@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Float Fmt Hashtbl List Staged Stdlib String Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/figure3.ml: Array Bench_util Fmt List Nimble_codegen Nimble_tensor Rng Tensor Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bench_util Figure3 Fmt List Memplan Nimble_codegen Nimble_compiler Nimble_device Nimble_ir Nimble_tensor Nimble_vm String Sys Table1 Table2 Table3 Table4 Unix

@@ -1,0 +1,1 @@
+bench/memplan.ml: Bench_util Bert Float Fmt List Nimble_compiler Nimble_device Nimble_models Nimble_vm Stdlib Vision

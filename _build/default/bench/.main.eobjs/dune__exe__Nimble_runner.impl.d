@@ -1,0 +1,1 @@
+bench/nimble_runner.ml: Hashtbl Nimble_codegen Nimble_device Nimble_vm

@@ -1,0 +1,1 @@
+bench/table1.ml: Bench_util Fmt List Lstm Nimble_baselines Nimble_compiler Nimble_ir Nimble_models Nimble_perfsim Nimble_runner Nimble_tensor Nimble_vm Nimble_workloads Tensor

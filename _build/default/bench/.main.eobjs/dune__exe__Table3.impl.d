@@ -1,0 +1,1 @@
+bench/table3.ml: Bench_util Bert Fmt List Nimble_baselines Nimble_compiler Nimble_models Nimble_perfsim Nimble_runner Nimble_tensor Nimble_vm Tensor

@@ -1,0 +1,68 @@
+(** Shared benchmark utilities: wall-clock timing, Bechamel glue, and
+    paper-style table rendering. *)
+
+let now () = Unix.gettimeofday ()
+
+(** Wall-clock a thunk (one warmup + median of [repeats]). *)
+let wall ?(repeats = 3) f =
+  ignore (f ());
+  let times =
+    List.init repeats (fun _ ->
+        let t0 = now () in
+        ignore (f ());
+        now () -. t0)
+  in
+  List.nth (List.sort Float.compare times) (repeats / 2)
+
+(** Nanoseconds per run via Bechamel (monotonic clock, OLS). *)
+let bechamel_ns ?(quota_s = 0.5) name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota_s) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+  | [ ols ] -> (
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> est
+      | _ -> Float.nan)
+  | _ -> Float.nan
+
+(* --------------------------- tables --------------------------- *)
+
+let rule width = String.make width '-'
+
+(** Print a table: header row + rows of (label, cells). *)
+let print_table ~title ~unit ~columns rows =
+  let label_w =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 10 rows
+  in
+  let col_w = 12 in
+  let width = label_w + 2 + (List.length columns * (col_w + 1)) in
+  Fmt.pr "@.%s@." title;
+  Fmt.pr "%s@." (rule width);
+  Fmt.pr "%-*s  " label_w unit;
+  List.iter (fun c -> Fmt.pr "%*s " col_w c) columns;
+  Fmt.pr "@.%s@." (rule width);
+  List.iter
+    (fun (label, cells) ->
+      Fmt.pr "%-*s  " label_w label;
+      List.iter
+        (fun c ->
+          match c with
+          | Some v -> Fmt.pr "%*.1f " col_w v
+          | None -> Fmt.pr "%*s " col_w "-")
+        cells;
+      Fmt.pr "@.")
+    rows;
+  Fmt.pr "%s@." (rule width)
+
+let us v = v *. 1e6

@@ -1,0 +1,70 @@
+(** Benchmark harness entry point.
+
+    [dune exec bench/main.exe] regenerates every table and figure of the
+    paper's evaluation (Section 6); a subcommand selects one:
+
+    {[ dune exec bench/main.exe -- table1|table2|table3|table4|figure3|memplan|ablations|micro|all ]} *)
+
+let micro () =
+  (* Bechamel micro-benchmarks: one per experiment area, measuring the
+     primitive the experiment rests on. *)
+  Fmt.pr "@.Bechamel micro-benchmarks (ns/run, OLS on monotonic clock)@.";
+  let rng = Nimble_tensor.Rng.create ~seed:123 in
+  let a = Nimble_tensor.Tensor.randn rng [| 16; 256 |] in
+  let w = Nimble_tensor.Tensor.randn rng [| 256; 256 |] in
+  let report name f = Fmt.pr "  %-44s %12.0f ns@." name (Bench_util.bechamel_ns name f) in
+  (* tables 1-3 rest on kernel execution *)
+  report "dense 16x256x256 (residue kernel)" (fun () ->
+      ignore (Nimble_codegen.Dense_kernels.residue_kernel ~residue:0 a w));
+  (* figure 3 rests on the guarded-vs-specialized gap *)
+  report "dense 16x256x256 (guarded kernel)" (fun () ->
+      ignore (Nimble_codegen.Dense_kernels.guarded_kernel a w));
+  (* table 4 rests on VM instruction dispatch being cheap *)
+  let x = Nimble_ir.Expr.fresh_var ~ty:(Nimble_ir.Ty.tensor_of_shape [| 4 |]) "x" in
+  let m =
+    Nimble_ir.Irmod.of_main
+      (Nimble_ir.Expr.fn_def [ x ]
+         (Nimble_ir.Expr.op_call "add" [ Nimble_ir.Expr.Var x; Nimble_ir.Expr.Var x ]))
+  in
+  let vm = Nimble_compiler.Nimble.vm (Nimble_compiler.Nimble.compile m) in
+  let input = Nimble_tensor.Tensor.ones [| 4 |] in
+  report "VM round trip (1-op module)" (fun () ->
+      ignore (Nimble_vm.Interp.run_tensors vm [ input ]));
+  (* memplan rests on allocation cost *)
+  report "alloc_storage 64KiB (accounted bigarray)" (fun () ->
+      ignore
+        (Nimble_vm.Storage.create ~device:Nimble_device.Device.cpu ~bytes:65536
+           ~is_arena:false))
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table1", Table1.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("table4", Table4.run);
+    ("figure3", Figure3.run);
+    ("memplan", Memplan.run);
+    ("ablations", Ablations.run);
+    ("micro", micro);
+  ]
+
+let run_section name =
+  match List.assoc_opt name sections with
+  | Some f ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Fmt.pr "[%s completed in %.1f s]@." name (Unix.gettimeofday () -. t0)
+  | None ->
+      Fmt.epr "unknown section %s; available: %s, all@." name
+        (String.concat ", " (List.map fst sections));
+      exit 1
+
+let () =
+  Fmt.pr "Nimble reproduction benchmark harness@.";
+  Fmt.pr
+    "(platform latencies are trace-driven cost-model estimates; Table 4, Figure 3 and \
+     memplan are real host measurements — see DESIGN.md)@.";
+  match Array.to_list Sys.argv with
+  | _ :: ([] | [ "all" ]) -> List.iter (fun (name, _) -> run_section name) sections
+  | _ :: names -> List.iter run_section names
+  | [] -> ()

@@ -1,0 +1,40 @@
+(** Drive the Nimble VM under the performance simulator.
+
+    Kernel executions inside the VM already report to the trace; this
+    wrapper additionally converts the VM profiler's counters (instructions
+    executed, kernels launched, bytes transferred) into framework events so
+    the estimator can price the VM's own dynamism-handling overhead. *)
+
+module Trace = Nimble_codegen.Trace
+module Interp = Nimble_vm.Interp
+module Profiler = Nimble_vm.Profiler
+module Pool = Nimble_device.Pool
+
+type snapshot = { instrs : int; kernels : int; transfer_bytes : int }
+
+let snapshot vm =
+  let p = Interp.profiler vm in
+  let transfer_bytes =
+    Hashtbl.fold
+      (fun _ (s : Pool.stats) acc -> acc + s.Pool.transfer_bytes_in)
+      p.Profiler.pool.Pool.per_device 0
+  in
+  {
+    instrs = Profiler.total_instrs p;
+    kernels = p.Profiler.kernel_invocations;
+    transfer_bytes;
+  }
+
+(** Invoke the VM once, emitting VM-overhead events for the delta of the
+    profiler counters. *)
+let invoke vm args =
+  let before = snapshot vm in
+  let result = Interp.invoke vm args in
+  let after = snapshot vm in
+  Trace.record_framework "vm_instruction" ~amount:(after.instrs - before.instrs) ();
+  Trace.record_framework "vm_kernel_launch" ~amount:(after.kernels - before.kernels) ();
+  if after.transfer_bytes > before.transfer_bytes then
+    Trace.record_framework "vm_transfer_bytes"
+      ~amount:(after.transfer_bytes - before.transfer_bytes)
+      ();
+  result

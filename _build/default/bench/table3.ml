@@ -1,0 +1,69 @@
+(** Table 3: BERT inference latency (µs/token) with variable sequence
+    lengths, {Nimble, PyTorch, MXNet, TensorFlow} x {Intel, Nvidia, ARM}.
+
+    Uses the BERT-base architecture (12 x 768 x 12). Real execution of
+    full-base matmuls in pure OCaml is expensive, so the corpus is a small
+    number of short MRPC-like sentences; µs/token is dominated by the
+    per-token dense work and is stable in length. *)
+
+open Nimble_tensor
+open Nimble_models
+module Estimator = Nimble_perfsim.Estimator
+module Platform = Nimble_perfsim.Platform
+module Framework = Nimble_perfsim.Framework
+module Nimble = Nimble_compiler.Nimble
+
+let lengths = [ 16; 24 ]
+
+let run () =
+  let w = Bert.init_weights Bert.base_config in
+  let corpus = List.map (fun len -> Bert.embed w (Bert.random_ids w ~len)) lengths in
+  let tokens = List.fold_left ( + ) 0 lengths in
+  let reference = List.map (Bert.reference w) corpus in
+  let exe = Nimble.compile (Bert.ir_module w) in
+  let vm = Nimble.vm exe in
+  let check name outputs =
+    List.iter2
+      (fun a b ->
+        if not (Tensor.approx_equal ~atol:1e-2 ~rtol:1e-2 a b) then
+          Fmt.failwith "Table3: %s output mismatch" name)
+      reference outputs
+  in
+  let row name framework ~launch_per_op run =
+    let outputs, events = Estimator.record run in
+    check name outputs;
+    let cells =
+      List.map
+        (fun platform ->
+          let b = Estimator.price ~platform ~framework ~launch_per_op events in
+          Some
+            (Bench_util.us (Estimator.total platform framework b) /. float_of_int tokens))
+        Platform.all
+    in
+    (name, cells)
+  in
+  let rows =
+    [
+      row "Nimble" Framework.Nimble ~launch_per_op:false (fun () ->
+          List.map
+            (fun x ->
+              Nimble_vm.Obj.to_tensor
+                (Nimble_runner.invoke vm [ Nimble_vm.Obj.tensor x ]))
+            corpus);
+      row "PyTorch" Framework.Pytorch ~launch_per_op:true (fun () ->
+          List.map (Nimble_baselines.Eager.bert w) corpus);
+      row "MXNet" Framework.Mxnet ~launch_per_op:true (fun () ->
+          Nimble_baselines.Hybrid.reset_cache ();
+          List.map (Nimble_baselines.Hybrid.bert w) corpus);
+      row "TensorFlow" Framework.Tensorflow ~launch_per_op:true (fun () ->
+          List.map (Nimble_baselines.Graph_cf.bert w) corpus);
+    ]
+  in
+  Bench_util.print_table
+    ~title:
+      (Fmt.str "Table 3: BERT-base inference latency, variable lengths %a (%d tokens)"
+         Fmt.(list ~sep:(any ",") int)
+         lengths tokens)
+    ~unit:"us/token"
+    ~columns:(List.map (fun p -> p.Platform.name) Platform.all)
+    rows

@@ -1,0 +1,233 @@
+(** nimble_cli — compile, inspect and run models from the built-in zoo.
+
+    {[
+      nimble_cli compile bert -o bert.nimble   # compile + serialize
+      nimble_cli disasm bert.nimble            # print bytecode
+      nimble_cli run bert --seq 24             # compile, run, profile
+      nimble_cli models                        # list the zoo
+    ]} *)
+
+open Cmdliner
+open Nimble_tensor
+open Nimble_models
+module Nimble = Nimble_compiler.Nimble
+module Interp = Nimble_vm.Interp
+
+(* ------------------------- model zoo ------------------------- *)
+
+type zoo_entry = {
+  description : string;
+  build : unit -> Nimble_ir.Irmod.t;
+  sample_input : seq:int -> Nimble_vm.Obj.t;
+}
+
+let lstm_entry () =
+  let w = Lstm.init_weights Lstm.small_config in
+  {
+    description = "LSTM (dynamic control flow over a TensorList)";
+    build = (fun () -> Lstm.ir_module w);
+    sample_input =
+      (fun ~seq ->
+        let elem_ty = Nimble_ir.Ty.tensor [ Nimble_ir.Dim.static 1; Nimble_ir.Dim.Any ] in
+        let adt = Nimble_ir.Adt.tensor_list ~elem_ty in
+        let nil = Nimble_ir.Adt.ctor_exn adt "Nil" in
+        let cons = Nimble_ir.Adt.ctor_exn adt "Cons" in
+        List.fold_right
+          (fun x acc ->
+            Nimble_vm.Obj.Adt
+              { tag = cons.Nimble_ir.Adt.tag; fields = [| Nimble_vm.Obj.tensor x; acc |] })
+          (Lstm.random_sequence w.Lstm.config ~len:seq)
+          (Nimble_vm.Obj.Adt { tag = nil.Nimble_ir.Adt.tag; fields = [||] }));
+  }
+
+let treelstm_entry () =
+  let w = Tree_lstm.init_weights Tree_lstm.small_config in
+  let leaf, node = Tree_lstm.ctors w in
+  let rec obj = function
+    | Tree_lstm.Leaf x ->
+        Nimble_vm.Obj.Adt
+          { tag = leaf.Nimble_ir.Adt.tag; fields = [| Nimble_vm.Obj.tensor x |] }
+    | Tree_lstm.Node (l, r) ->
+        Nimble_vm.Obj.Adt { tag = node.Nimble_ir.Adt.tag; fields = [| obj l; obj r |] }
+  in
+  {
+    description = "Tree-LSTM (dynamic data structure, SST-like trees)";
+    build = (fun () -> Tree_lstm.ir_module w);
+    sample_input =
+      (fun ~seq ->
+        let rng = Rng.create ~seed:1 in
+        obj (Nimble_workloads.Sst.sample_tree rng w.Tree_lstm.config ~tokens:(max 1 seq)));
+  }
+
+let bert_entry () =
+  let w = Bert.init_weights Bert.small_config in
+  {
+    description = "BERT encoder (dynamic sequence length)";
+    build = (fun () -> Bert.ir_module w);
+    sample_input =
+      (fun ~seq -> Nimble_vm.Obj.tensor (Bert.embed w (Bert.random_ids w ~len:seq)));
+  }
+
+let vision_entry name build =
+  {
+    description = Fmt.str "%s (static vision graph)" name;
+    build;
+    sample_input = (fun ~seq:_ -> Nimble_vm.Obj.tensor (Vision.random_input ()));
+  }
+
+let gru_entry () =
+  let w = Gru.init_weights Gru.small_config in
+  {
+    description = "GRU (dynamic control flow over a TensorList)";
+    build = (fun () -> Gru.ir_module w);
+    sample_input =
+      (fun ~seq ->
+        let elem_ty = Nimble_ir.Ty.tensor [ Nimble_ir.Dim.static 1; Nimble_ir.Dim.Any ] in
+        let adt = Nimble_ir.Adt.tensor_list ~elem_ty in
+        let nil = Nimble_ir.Adt.ctor_exn adt "Nil" in
+        let cons = Nimble_ir.Adt.ctor_exn adt "Cons" in
+        List.fold_right
+          (fun x acc ->
+            Nimble_vm.Obj.Adt
+              { tag = cons.Nimble_ir.Adt.tag; fields = [| Nimble_vm.Obj.tensor x; acc |] })
+          (Gru.random_sequence w.Gru.config ~len:seq)
+          (Nimble_vm.Obj.Adt { tag = nil.Nimble_ir.Adt.tag; fields = [||] }));
+  }
+
+let decoder_entry () =
+  let w = Decoder.init_weights Decoder.default_config in
+  {
+    description = "greedy decoder (output tensor grows per step)";
+    build = (fun () -> Decoder.ir_module w);
+    sample_input =
+      (fun ~seq -> Nimble_vm.Obj.tensor (Decoder.random_state ~seed:seq w.Decoder.config));
+  }
+
+let seq2seq_entry () =
+  let w = Seq2seq.init_weights Seq2seq.default_config in
+  {
+    description = "seq2seq (dynamic input length -> dynamic output length)";
+    build = (fun () -> Seq2seq.ir_module w);
+    sample_input =
+      (fun ~seq ->
+        let elem_ty = Nimble_ir.Ty.tensor [ Nimble_ir.Dim.static 1; Nimble_ir.Dim.Any ] in
+        let adt = Nimble_ir.Adt.tensor_list ~elem_ty in
+        let nil = Nimble_ir.Adt.ctor_exn adt "Nil" in
+        let cons = Nimble_ir.Adt.ctor_exn adt "Cons" in
+        List.fold_right
+          (fun x acc ->
+            Nimble_vm.Obj.Adt
+              { tag = cons.Nimble_ir.Adt.tag; fields = [| Nimble_vm.Obj.tensor x; acc |] })
+          (Seq2seq.random_sequence w.Seq2seq.config ~len:seq)
+          (Nimble_vm.Obj.Adt { tag = nil.Nimble_ir.Adt.tag; fields = [||] }));
+  }
+
+let zoo () : (string * zoo_entry) list =
+  [
+    ("lstm", lstm_entry ());
+    ("gru", gru_entry ());
+    ("treelstm", treelstm_entry ());
+    ("bert", bert_entry ());
+    ("decoder", decoder_entry ());
+    ("seq2seq", seq2seq_entry ());
+  ]
+  @ List.map (fun (n, b) -> (n, vision_entry n b)) Vision.all
+
+let lookup name =
+  match List.assoc_opt name (zoo ()) with
+  | Some e -> e
+  | None ->
+      Fmt.epr "unknown model %s; try: %s@." name
+        (String.concat ", " (List.map fst (zoo ())));
+      exit 1
+
+(* ------------------------- commands ------------------------- *)
+
+let model_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc:"Model from the zoo")
+
+let models_cmd =
+  let run () =
+    List.iter (fun (n, e) -> Fmt.pr "%-12s %s@." n e.description) (zoo ())
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the built-in model zoo") Term.(const run $ const ())
+
+let compile_cmd =
+  let output =
+    Arg.(value & opt string "model.nimble" & info [ "o"; "output" ] ~doc:"Output path")
+  in
+  let run model output =
+    let entry = lookup model in
+    let exe, report = Nimble.compile_with_report (entry.build ()) in
+    Nimble_vm.Serialize.save_file exe output;
+    Fmt.pr "compiled %s -> %s@." model output;
+    Fmt.pr "%a@." Nimble.pp_report report
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a zoo model to a serialized executable")
+    Term.(const run $ model_arg $ output)
+
+let disasm_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Executable file")
+  in
+  let run path =
+    let exe = Nimble_vm.Serialize.load_file path in
+    Nimble_vm.Exe.disassemble Fmt.stdout exe
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a serialized executable") Term.(const run $ path)
+
+let run_cmd =
+  let seq = Arg.(value & opt int 12 & info [ "seq" ] ~doc:"Sequence length / token count") in
+  let run model seq =
+    let entry = lookup model in
+    let exe = Nimble.compile (entry.build ()) in
+    let vm = Nimble.vm exe in
+    let input = entry.sample_input ~seq in
+    let t0 = Unix.gettimeofday () in
+    let out = Interp.invoke vm [ input ] in
+    let ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+    (match out with
+    | Nimble_vm.Obj.Tensor p ->
+        Fmt.pr "output: %a (%.2f ms)@." Shape.pp (Tensor.shape p.Nimble_vm.Obj.data) ms
+    | o -> Fmt.pr "output: %a (%.2f ms)@." Nimble_vm.Obj.pp o ms);
+    Fmt.pr "@.profile:@.%a" Nimble_vm.Profiler.pp (Interp.profiler vm)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and run a zoo model with profiling")
+    Term.(const run $ model_arg $ seq)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Textual IR file")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Serialize executable here")
+  in
+  let run path output =
+    let m = Nimble_ir.Text_format.parse_module (read_file path) in
+    let exe, report = Nimble.compile_with_report m in
+    Fmt.pr "parsed and compiled %s@.%a@." path Nimble.pp_report report;
+    (match Nimble_vm.Exe.validate exe with
+    | [] -> Fmt.pr "bytecode validates@."
+    | problems -> List.iter (Fmt.pr "VALIDATION: %s@.") problems);
+    match output with
+    | Some out ->
+        Nimble_vm.Serialize.save_file exe out;
+        Fmt.pr "saved %s@." out
+    | None -> Fmt.pr "%a@." (fun ppf m -> Nimble_ir.Text_format.print_module ppf m) m
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a textual IR file, compile and validate it")
+    Term.(const run $ path $ output)
+
+let () =
+  let doc = "Nimble: compile and execute dynamic neural networks" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "nimble_cli" ~doc)
+          [ models_cmd; compile_cmd; disasm_cmd; run_cmd; parse_cmd ]))

@@ -1,0 +1,1 @@
+examples/bert_dynamic_shapes.ml: Array Bert Filename Fmt List Nimble_compiler Nimble_models Nimble_tensor Nimble_vm Shape Sys Tensor Unix

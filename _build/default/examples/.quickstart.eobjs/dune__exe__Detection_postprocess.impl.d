@@ -1,0 +1,1 @@
+examples/detection_postprocess.ml: Array Attrs Dim Expr Fmt Irmod List Nimble_compiler Nimble_ir Nimble_tensor Nimble_vm Rng Shape Tensor Ty

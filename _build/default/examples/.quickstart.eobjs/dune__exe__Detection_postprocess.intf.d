@@ -1,0 +1,1 @@
+examples/detection_postprocess.mli:

@@ -1,0 +1,1 @@
+examples/lstm_inference.ml: Array Fmt List Lstm Nimble_baselines Nimble_compiler Nimble_ir Nimble_models Nimble_tensor Nimble_vm Shape Tensor Unix

@@ -1,0 +1,1 @@
+examples/lstm_inference.mli:

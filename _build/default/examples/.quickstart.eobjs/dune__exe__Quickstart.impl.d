@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dim Expr Fmt Irmod List Nimble_compiler Nimble_ir Nimble_tensor Nimble_vm Rng Shape Tensor Ty

@@ -1,0 +1,1 @@
+examples/treelstm_sentiment.mli:

@@ -1,0 +1,77 @@
+(** Detection post-processing with data-dependent output shapes (paper §4.2).
+
+    The pipeline runs entirely inside the compiled executable:
+
+    - [nms] keeps a data-dependent subset of boxes (its shape function is
+      {e upper-bound}: the exact survivor count is only known after the
+      kernel runs);
+    - the kept scores are thresholded and rescaled — elementwise ops over an
+      [Any]-rows tensor;
+    - [arange] manufactures per-box indices whose extent is data-dependent.
+
+    None of this is expressible in a static-shape compiler; the VM's shape
+    functions size every intermediate at runtime.
+
+    Run with: [dune exec examples/detection_postprocess.exe] *)
+
+open Nimble_tensor
+open Nimble_ir
+module Nimble = Nimble_compiler.Nimble
+module Interp = Nimble_vm.Interp
+
+let build_module () =
+  (* boxes : (Any, 5) rows of (score, x1, y1, x2, y2) *)
+  let boxes = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 5 ]) "boxes" in
+  let kept = Expr.fresh_var "kept" in
+  let scores = Expr.fresh_var "scores" in
+  let body =
+    Expr.Let
+      ( kept,
+        Expr.op_call ~attrs:[ ("iou", Attrs.Float 0.45) ] "nms" [ Expr.Var boxes ],
+        Expr.Let
+          ( scores,
+            (* first column of the survivors: (Any, 1) *)
+            Expr.op_call
+              ~attrs:
+                [ ("begins", Attrs.Ints [ 0; 0 ]); ("ends", Attrs.Ints [ 1000000; 1 ]) ]
+              "strided_slice" [ Expr.Var kept ],
+            (* calibrated confidence = sqrt(score), still (Any, 1) *)
+            Expr.op_call "sqrt" [ Expr.Var scores ] ) )
+  in
+  Irmod.of_main (Expr.fn_def [ boxes ] body)
+
+let random_boxes rng n =
+  Tensor.init [| n; 5 |] (fun idx ->
+      match idx.(1) with
+      | 0 -> Rng.uniform rng ~lo:0.05 ~hi:1.0 (* score *)
+      | 1 | 2 -> Rng.uniform rng ~lo:0.0 ~hi:80.0 (* x1, y1 *)
+      | _ -> Rng.uniform rng ~lo:20.0 ~hi:100.0 (* x2, y2 *))
+
+let () =
+  let exe = Nimble.compile (build_module ()) in
+  let vm = Nimble.vm exe in
+  Fmt.pr "Detection post-processing: nms (upper-bound shape) + dynamic slicing@.";
+  let rng = Rng.create ~seed:2718 in
+  List.iter
+    (fun n ->
+      let input = random_boxes rng n in
+      let out = Interp.run_tensors vm [ input ] in
+      let survivors = (Tensor.shape out).(0) in
+      Fmt.pr "  %3d candidate boxes -> %3d kept (output %a)@." n survivors Shape.pp
+        (Tensor.shape out);
+      assert (survivors <= n))
+    [ 4; 16; 64; 128 ];
+  (* arange: index vector whose extent is a runtime value *)
+  let s = Expr.fresh_var ~ty:(Ty.scalar ()) "stop" in
+  let arange_mod =
+    Irmod.of_main
+      (Expr.fn_def [ s ]
+         (Expr.op_call "arange" [ Expr.const_scalar 0.0; Expr.Var s; Expr.const_scalar 1.0 ]))
+  in
+  let vm2 = Nimble.vm (Nimble.compile arange_mod) in
+  List.iter
+    (fun stop ->
+      let out = Interp.run_tensors vm2 [ Tensor.scalar (float_of_int stop) ] in
+      Fmt.pr "  arange(0, %2d) -> %a@." stop Shape.pp (Tensor.shape out))
+    [ 3; 11 ];
+  Fmt.pr "every intermediate above was sized by a runtime shape function@."

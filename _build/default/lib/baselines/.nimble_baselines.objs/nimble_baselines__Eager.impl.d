@@ -1,0 +1,1 @@
+lib/baselines/eager.ml: Bert Instrumented List Lstm Nimble_codegen Nimble_models Nimble_tensor Tensor Tree_lstm

@@ -1,0 +1,1 @@
+lib/baselines/fold.ml: Array List Nimble_codegen Nimble_models Nimble_tensor Ops_elem Ops_matmul Ops_nn Ops_shape Stdlib Tensor Tree_lstm

@@ -1,0 +1,1 @@
+lib/baselines/hybrid.ml: Array Bert Hashtbl Instrumented List Lstm Nimble_codegen Nimble_models Nimble_tensor Tensor

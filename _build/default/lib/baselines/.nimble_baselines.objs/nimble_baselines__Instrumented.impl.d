@@ -1,0 +1,1 @@
+lib/baselines/instrumented.ml: Array Hashtbl List Model_ops Nimble_codegen Nimble_ir Nimble_models Nimble_tensor Tensor

@@ -1,0 +1,1 @@
+lib/baselines/padded.ml: Instrumented List Lstm Nimble_models Nimble_tensor Tensor

@@ -1,0 +1,57 @@
+(** PyTorch-like define-by-run baseline.
+
+    Control flow runs in the host language; every operator call goes through
+    dynamic dispatch and materializes a trace node (the autograd-graph
+    construction PyTorch performs even in inference mode unless disabled —
+    and the per-path graph construction the paper charges eager frameworks
+    with). Tree handling happens entirely in host code, mirroring how
+    PyTorch's Python tree recursion dominates its Tree-LSTM latency. *)
+
+open Nimble_tensor
+open Nimble_models
+module Trace = Nimble_codegen.Trace
+
+module Ops = Instrumented.Make_ops (struct
+  let dispatch_event = "eager_dispatch"
+  let graph_event = Some "eager_graph_node"
+end)
+
+module Lstm_cell = Lstm.Cell (Ops)
+module Tree_cell = Tree_lstm.Cell (Ops)
+module Bert_enc = Bert.Encoder (Ops)
+
+(** LSTM over a sequence; host-language loop per timestep. *)
+let lstm (w : Lstm.weights) (xs : Tensor.t list) : Tensor.t =
+  let hs = w.Lstm.config.Lstm.hidden_size in
+  let zero () = Tensor.zeros [| 1; hs |] in
+  let run_layer lw seq =
+    Trace.record_framework "eager_loop_setup" ();
+    let (_, _), outputs =
+      List.fold_left
+        (fun ((h, c), acc) x ->
+          (* per-iteration host-language step (Python interpreter analogue) *)
+          Trace.record_framework "eager_host_step" ();
+          let h', c' = Lstm_cell.step lw ~hidden_size:hs x (h, c) in
+          ((h', c'), h' :: acc))
+        ((zero (), zero ()), [])
+        seq
+    in
+    List.rev outputs
+  in
+  let final = List.fold_left (fun seq lw -> run_layer lw seq) xs w.Lstm.layers in
+  match List.rev final with last :: _ -> last | [] -> zero ()
+
+(** Tree-LSTM; host-language recursion per tree node. *)
+let tree_lstm (w : Tree_lstm.weights) (t : Tree_lstm.tree) : Tensor.t =
+  let rec eval = function
+    | Tree_lstm.Leaf x ->
+        Trace.record_framework "eager_host_recursion" ();
+        Tree_cell.leaf w x
+    | Tree_lstm.Node (l, r) ->
+        Trace.record_framework "eager_host_recursion" ();
+        Tree_cell.node w (eval l) (eval r)
+  in
+  Tree_cell.classify w (fst (eval t))
+
+(** BERT; straight-line eager execution. *)
+let bert (w : Bert.weights) (x : Tensor.t) : Tensor.t = Bert_enc.encode w x

@@ -1,0 +1,119 @@
+(** TensorFlow Fold-like dynamic-batching baseline for tree models.
+
+    Fold analyzes each input's structure, groups operations at the same
+    depth, and emits a batched graph for that input — which buys batched
+    kernels at the price of a *per-input recompilation* (the behaviour the
+    paper measures: "it has to re-compile upon every input"). The batching
+    here is real: all leaves are processed with one set of batched kernels,
+    then each tree level up, with outputs scattered back to nodes. *)
+
+open Nimble_tensor
+open Nimble_models
+module Trace = Nimble_codegen.Trace
+
+(* Batched Tree-LSTM math over k rows at once (direct kernels; Fold lowers
+   to TensorFlow ops, which are the same kernels). *)
+let col_slice t ~rows ~h i =
+  Ops_shape.strided_slice ~begins:[| 0; i * h |] ~ends:[| rows; (i + 1) * h |] t
+
+let batched_leaf (w : Tree_lstm.weights) (xs : Tensor.t list) =
+  let h = w.Tree_lstm.config.Tree_lstm.hidden_size in
+  let rows = List.length xs in
+  let x = Ops_shape.concat ~axis:0 xs in
+  let pre = Ops_matmul.dense_bias x w.Tree_lstm.w_leaf w.Tree_lstm.b_leaf in
+  Trace.record_op "dense" ~attrs:[] [ x; w.Tree_lstm.w_leaf ] [ pre ];
+  let i = Ops_elem.sigmoid (col_slice pre ~rows ~h 0) in
+  let o = Ops_elem.sigmoid (col_slice pre ~rows ~h 1) in
+  let u = Ops_elem.tanh (col_slice pre ~rows ~h 2) in
+  let c = Ops_elem.mul i u in
+  let hid = Ops_elem.mul o (Ops_elem.tanh c) in
+  Trace.record_op "sigmoid" ~attrs:[] [ pre ] [ i; o ];
+  (hid, c)
+
+let batched_node (w : Tree_lstm.weights) ~(hl : Tensor.t) ~(cl : Tensor.t) ~(hr : Tensor.t)
+    ~(cr : Tensor.t) =
+  let h = w.Tree_lstm.config.Tree_lstm.hidden_size in
+  let rows = (Tensor.shape hl).(0) in
+  let h_sum = Ops_elem.add hl hr in
+  let pre = Ops_matmul.dense_bias h_sum w.Tree_lstm.u_iou w.Tree_lstm.b_iou in
+  Trace.record_op "dense" ~attrs:[] [ h_sum; w.Tree_lstm.u_iou ] [ pre ];
+  let i = Ops_elem.sigmoid (col_slice pre ~rows ~h 0) in
+  let o = Ops_elem.sigmoid (col_slice pre ~rows ~h 1) in
+  let u = Ops_elem.tanh (col_slice pre ~rows ~h 2) in
+  let fl = Ops_elem.sigmoid (Ops_matmul.dense_bias hl w.Tree_lstm.u_f w.Tree_lstm.b_f) in
+  let fr = Ops_elem.sigmoid (Ops_matmul.dense_bias hr w.Tree_lstm.u_f w.Tree_lstm.b_f) in
+  Trace.record_op "dense" ~attrs:[] [ hl; w.Tree_lstm.u_f ] [ fl ];
+  Trace.record_op "dense" ~attrs:[] [ hr; w.Tree_lstm.u_f ] [ fr ];
+  let c =
+    Ops_elem.add (Ops_elem.mul i u) (Ops_elem.add (Ops_elem.mul fl cl) (Ops_elem.mul fr cr))
+  in
+  let hid = Ops_elem.mul o (Ops_elem.tanh c) in
+  (hid, c)
+
+(* Tree flattening: assign heights, collect nodes per height. *)
+type node_ref = { height : int; index : int }
+
+let rec tree_height = function
+  | Tree_lstm.Leaf _ -> 0
+  | Tree_lstm.Node (l, r) -> 1 + Stdlib.max (tree_height l) (tree_height r)
+
+let row t ~h i =
+  Ops_shape.strided_slice ~begins:[| i; 0 |] ~ends:[| i + 1; h |] t
+
+(** Run one tree through Fold-style dynamic batching. *)
+let tree_lstm (w : Tree_lstm.weights) (t : Tree_lstm.tree) : Tensor.t =
+  let hdim = w.Tree_lstm.config.Tree_lstm.hidden_size in
+  (* --- per-input analysis + graph compilation (the Fold overhead) ----- *)
+  let n_nodes = ref 0 in
+  let rec count = function
+    | Tree_lstm.Leaf _ -> incr n_nodes
+    | Tree_lstm.Node (l, r) ->
+        incr n_nodes;
+        count l;
+        count r
+  in
+  count t;
+  Trace.record_framework "fold_recompile" ~amount:!n_nodes ();
+  (* --- schedule: nodes per height --------------------------------- *)
+  let max_h = tree_height t in
+  let leaves = ref [] in
+  let by_height = Array.make (max_h + 1) [] in
+  let rec assign node : node_ref =
+    match node with
+    | Tree_lstm.Leaf x ->
+        let index = List.length !leaves in
+        leaves := !leaves @ [ x ];
+        { height = 0; index }
+    | Tree_lstm.Node (l, r) ->
+        let rl = assign l and rr = assign r in
+        let height = 1 + Stdlib.max rl.height rr.height in
+        let index = List.length by_height.(height) in
+        by_height.(height) <- by_height.(height) @ [ (rl, rr) ];
+        { height; index }
+  in
+  let root = assign t in
+  (* --- execute level by level ------------------------------------- *)
+  (* states.(h) = (H, C) matrices whose rows are that level's nodes *)
+  let states : (Tensor.t * Tensor.t) array =
+    Array.make (max_h + 1) (Tensor.zeros [| 1; hdim |], Tensor.zeros [| 1; hdim |])
+  in
+  states.(0) <- batched_leaf w !leaves;
+  let state_of (r : node_ref) =
+    let hmat, cmat = states.(r.height) in
+    (row hmat ~h:hdim r.index, row cmat ~h:hdim r.index)
+  in
+  for level = 1 to max_h do
+    let pairs = by_height.(level) in
+    if pairs <> [] then begin
+      Trace.record_framework "fold_gather" ~amount:(List.length pairs) ();
+      let hl = Ops_shape.concat ~axis:0 (List.map (fun (l, _) -> fst (state_of l)) pairs) in
+      let cl = Ops_shape.concat ~axis:0 (List.map (fun (l, _) -> snd (state_of l)) pairs) in
+      let hr = Ops_shape.concat ~axis:0 (List.map (fun (_, r) -> fst (state_of r)) pairs) in
+      let cr = Ops_shape.concat ~axis:0 (List.map (fun (_, r) -> snd (state_of r)) pairs) in
+      states.(level) <- batched_node w ~hl ~cl ~hr ~cr
+    end
+  done;
+  let root_h, _ = state_of root in
+  let logits = Ops_matmul.dense_bias root_h w.Tree_lstm.w_out w.Tree_lstm.b_out in
+  Trace.record_op "dense" ~attrs:[] [ root_h; w.Tree_lstm.w_out ] [ logits ];
+  Ops_nn.softmax ~axis:(-1) logits

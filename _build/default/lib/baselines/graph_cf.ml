@@ -1,0 +1,53 @@
+(** TensorFlow-like define-then-run baseline.
+
+    The model is a static dataflow graph executed by a scheduler; dynamic
+    sequence length is handled with control-flow primitives in the graph
+    (Enter / Merge / Switch / NextIteration / Exit, per Yu et al.). The
+    graph is built once per model — no per-input construction — but every
+    loop iteration executes the control-flow primitive nodes in addition to
+    the compute nodes, which is the overhead the paper attributes to this
+    architecture. Tree-structured models cannot be expressed (the paper
+    runs Tree-LSTM only on PyTorch and TF Fold). *)
+
+open Nimble_tensor
+open Nimble_models
+module Trace = Nimble_codegen.Trace
+
+module Ops = Instrumented.Make_ops (struct
+  let dispatch_event = "graph_node_exec"
+  let graph_event = None
+end)
+
+module Lstm_cell = Lstm.Cell (Ops)
+module Bert_enc = Bert.Encoder (Ops)
+
+(* The five control-flow primitives executed per loop iteration. *)
+let cf_primitives = [ "Enter"; "Merge"; "Switch"; "NextIteration"; "Exit" ]
+
+let run_cf_iteration () =
+  List.iter (fun p -> Trace.record_framework ("cf_" ^ p) ()) cf_primitives
+
+(** LSTM as a while_loop graph. One-time graph construction is charged per
+    process (amortized to zero across a corpus), per-iteration control-flow
+    primitives are charged per timestep. *)
+let lstm (w : Lstm.weights) (xs : Tensor.t list) : Tensor.t =
+  let hs = w.Lstm.config.Lstm.hidden_size in
+  let zero () = Tensor.zeros [| 1; hs |] in
+  let run_layer lw seq =
+    let (_, _), outputs =
+      List.fold_left
+        (fun ((h, c), acc) x ->
+          run_cf_iteration ();
+          let h', c' = Lstm_cell.step lw ~hidden_size:hs x (h, c) in
+          ((h', c'), h' :: acc))
+        ((zero (), zero ()), [])
+        seq
+    in
+    List.rev outputs
+  in
+  let final = List.fold_left (fun seq lw -> run_layer lw seq) xs w.Lstm.layers in
+  match List.rev final with last :: _ -> last | [] -> zero ()
+
+(** BERT: a static graph fed variable-length inputs; no control flow, the
+    scheduler just walks the graph (per-node cost charged by the ops). *)
+let bert (w : Bert.weights) (x : Tensor.t) : Tensor.t = Bert_enc.encode w x

@@ -1,0 +1,63 @@
+(** MXNet-like hybrid baseline.
+
+    Symbolic graphs with [foreach]/[while_loop]-style control-flow operators
+    that spawn a subgraph executor per iteration, plus shape bucketing: the
+    executor is re-specialized ("bind") the first time each input shape is
+    seen, and cached afterwards. Per-op dispatch is cheaper than eager
+    (C++ engine) but each control-flow step pays a subgraph-executor setup. *)
+
+open Nimble_tensor
+open Nimble_models
+module Trace = Nimble_codegen.Trace
+
+module Ops = Instrumented.Make_ops (struct
+  let dispatch_event = "hybrid_dispatch"
+  let graph_event = None
+end)
+
+module Lstm_cell = Lstm.Cell (Ops)
+module Bert_enc = Bert.Encoder (Ops)
+
+(* Shape-bucket cache: (model, shape signature) -> already specialized? *)
+let bucket_cache : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let bind_if_new ~model ~signature ~graph_nodes =
+  let key = model ^ ":" ^ signature in
+  if not (Hashtbl.mem bucket_cache key) then begin
+    Hashtbl.replace bucket_cache key ();
+    (* executor specialization: one action per graph node *)
+    Trace.record_framework "hybrid_bind" ~amount:graph_nodes ()
+  end
+
+let reset_cache () = Hashtbl.reset bucket_cache
+
+let lstm (w : Lstm.weights) (xs : Tensor.t list) : Tensor.t =
+  let hs = w.Lstm.config.Lstm.hidden_size in
+  bind_if_new ~model:"lstm"
+    ~signature:(string_of_int (List.length xs))
+    ~graph_nodes:(12 * w.Lstm.config.Lstm.num_layers);
+  let zero () = Tensor.zeros [| 1; hs |] in
+  let run_layer lw seq =
+    let (_, _), outputs =
+      List.fold_left
+        (fun ((h, c), acc) x ->
+          (* control-flow operator spawns a subgraph executor per step *)
+          Trace.record_framework "hybrid_subgraph_exec" ();
+          let h', c' = Lstm_cell.step lw ~hidden_size:hs x (h, c) in
+          ((h', c'), h' :: acc))
+        ((zero (), zero ()), [])
+        seq
+    in
+    List.rev outputs
+  in
+  let final = List.fold_left (fun seq lw -> run_layer lw seq) xs w.Lstm.layers in
+  match List.rev final with last :: _ -> last | [] -> zero ()
+
+let bert (w : Bert.weights) (x : Tensor.t) : Tensor.t =
+  (* bucketed specialization: sequence lengths share an executor per
+     16-token bucket, so binds amortize across a corpus *)
+  let bucket = ((Tensor.shape x).(0) + 15) / 16 * 16 in
+  bind_if_new ~model:"bert"
+    ~signature:(string_of_int bucket)
+    ~graph_nodes:(16 * w.Bert.config.Bert.num_layers);
+  Bert_enc.encode w x

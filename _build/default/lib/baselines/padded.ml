@@ -1,0 +1,46 @@
+(** Pad-to-maximum static baseline (the §2.1 "reduce the dynamic model to a
+    static one" approach): every sequence is padded to a fixed maximum
+    length so a statically-unrolled network can run it. The wasted compute
+    on padding tokens is real — this is the ablation showing why static
+    reduction is not a substitute for native dynamism. *)
+
+open Nimble_tensor
+open Nimble_models
+
+module Ops = Instrumented.Make_ops (struct
+  let dispatch_event = "static_node_exec"
+  let graph_event = None
+end)
+
+module Lstm_cell = Lstm.Cell (Ops)
+
+(** LSTM over a sequence padded to [max_len] zero embeddings. The true last
+    hidden state is selected by index (as masking-based deployments do). *)
+let lstm ~max_len (w : Lstm.weights) (xs : Tensor.t list) : Tensor.t =
+  let hs = w.Lstm.config.Lstm.hidden_size in
+  let input = w.Lstm.config.Lstm.input_size in
+  let n = List.length xs in
+  if n > max_len then invalid_arg "Padded.lstm: sequence longer than max_len";
+  let padded = xs @ List.init (max_len - n) (fun _ -> Tensor.zeros [| 1; input |]) in
+  let zero () = Tensor.zeros [| 1; hs |] in
+  let run_layer lw seq =
+    let (_, _), outputs =
+      List.fold_left
+        (fun ((h, c), acc) x ->
+          let h', c' = Lstm_cell.step lw ~hidden_size:hs x (h, c) in
+          ((h', c'), h' :: acc))
+        ((zero (), zero ()), [])
+        seq
+    in
+    List.rev outputs
+  in
+  let final = List.fold_left (fun seq lw -> run_layer lw seq) padded w.Lstm.layers in
+  (* select the hidden state at the true length *)
+  List.nth final (n - 1)
+
+(** Fraction of compute wasted on padding for a given length distribution —
+    reported by the ablation bench. *)
+let waste ~max_len lengths =
+  let total = List.fold_left ( + ) 0 lengths in
+  let padded = max_len * List.length lengths in
+  1.0 -. (float_of_int total /. float_of_int padded)

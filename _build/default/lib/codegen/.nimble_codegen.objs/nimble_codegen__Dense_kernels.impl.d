@@ -1,0 +1,1 @@
+lib/codegen/dense_kernels.ml: Array Dtype Nimble_tensor Ops_matmul Shape Stdlib Tensor

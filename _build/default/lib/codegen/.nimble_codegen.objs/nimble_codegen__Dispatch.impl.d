@@ -1,0 +1,1 @@
+lib/codegen/dispatch.ml: Array Dense_kernels Fmt List Nimble_tensor Tensor

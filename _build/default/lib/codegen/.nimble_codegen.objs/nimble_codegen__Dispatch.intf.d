@@ -1,0 +1,1 @@
+lib/codegen/dispatch.mli: Nimble_tensor Tensor

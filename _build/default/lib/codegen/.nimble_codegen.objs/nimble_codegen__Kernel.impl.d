@@ -1,0 +1,1 @@
+lib/codegen/kernel.ml: Fmt List Nimble_tensor Shape Tensor

@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Dispatch Expr Fmt Hashtbl Kernel List Nimble_ir Nimble_shape Nimble_tensor Option Shape Tensor Trace

@@ -1,0 +1,1 @@
+lib/codegen/op_eval.ml: Array Attrs Dtype Fmt List Nimble_ir Nimble_tensor Ops_elem Ops_matmul Ops_nn Ops_reduce Ops_shape Option Shape Tensor

@@ -1,0 +1,1 @@
+lib/codegen/trace.ml: Fun List Nimble_tensor Op_eval Shape Tensor

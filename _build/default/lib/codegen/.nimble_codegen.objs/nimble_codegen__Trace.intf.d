@@ -1,0 +1,1 @@
+lib/codegen/trace.mli: Nimble_ir Nimble_tensor Shape Tensor

@@ -1,0 +1,1 @@
+lib/codegen/tuner.ml: Dense_kernels Float List Nimble_tensor Rng Tensor Unix

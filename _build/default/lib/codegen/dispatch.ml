@@ -1,0 +1,71 @@
+(** Shape-based kernel dispatch (paper §4.5).
+
+    For a kernel with one symbolic dimension tiled by factor [tile], codegen
+    emits up to [tile] residue-specialized kernels; the dispatch function
+    selects one from the runtime value [m mod tile], falling back to the
+    guarded (boundary-checked) kernel for uncovered residues. The dispatcher
+    can also route to an extern library kernel when profiling marked it
+    faster. *)
+
+open Nimble_tensor
+
+type dense_fn = Tensor.t -> Tensor.t -> Tensor.t
+
+type t = {
+  tile : int;
+  covered : (int * dense_fn) list;  (** residue -> specialized kernel *)
+  fallback : dense_fn;
+  mutable extern : dense_fn option;  (** profiling-selected library kernel *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(** [create ~num_kernels] builds a dispatcher generating [num_kernels]
+    residue-specialized kernels out of the [tile] possible ones; residues
+    are chosen evenly spaced, matching the paper's "dispatch/k" settings. *)
+let create ?(tile = Dense_kernels.tile) ~num_kernels () =
+  if num_kernels < 0 || num_kernels > tile then
+    Fmt.invalid_arg "Dispatch.create: num_kernels %d out of [0, %d]" num_kernels tile;
+  let covered =
+    if num_kernels = 0 then []
+    else
+      let step = tile / num_kernels in
+      List.init num_kernels (fun i ->
+          let r = i * step in
+          (r, Dense_kernels.residue_kernel ~residue:r))
+  in
+  {
+    tile;
+    covered;
+    fallback = Dense_kernels.guarded_kernel;
+    extern = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let set_extern t fn = t.extern <- Some fn
+
+(** Pick the kernel for runtime extent [m]. *)
+let select t ~m : dense_fn =
+  match t.extern with
+  | Some fn -> fn
+  | None -> (
+      let r = m mod t.tile in
+      match List.assoc_opt r t.covered with
+      | Some fn ->
+          t.hits <- t.hits + 1;
+          fn
+      | None ->
+          t.misses <- t.misses + 1;
+          t.fallback)
+
+(** Run a dense call through the dispatcher. *)
+let run t a w =
+  let m = (Tensor.shape a).(0) in
+  (select t ~m) a w
+
+let stats t = (t.hits, t.misses)
+
+(** Number of generated kernel bodies (code-size cost of dispatch, which the
+    paper discusses as the trade-off knob). *)
+let code_size t = List.length t.covered + 1

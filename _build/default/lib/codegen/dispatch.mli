@@ -1,0 +1,36 @@
+(** Shape-based kernel dispatch for symbolic codegen (paper §4.5).
+
+    For a dense kernel whose row extent [m] is symbolic, codegen emits up to
+    [tile] residue-specialized kernels; at runtime the dispatcher selects
+    one from [m mod tile], falling back to the boundary-guarded kernel for
+    uncovered residues — trading code size against the boundary-check cost
+    Figure 3 measures. It can also route to a profiled third-party library
+    kernel. *)
+
+open Nimble_tensor
+
+type dense_fn = Tensor.t -> Tensor.t -> Tensor.t
+
+type t
+
+(** [create ~num_kernels ()] generates [num_kernels] of the [tile] (default
+    8) possible residue kernels, evenly spaced — the paper's "dispatch/k".
+    [num_kernels = 0] means no dispatch: every call takes the guarded
+    fallback. *)
+val create : ?tile:int -> num_kernels:int -> unit -> t
+
+(** Route every call to a third-party library kernel (the §4.5 extension for
+    profiling-selected extern kernels). *)
+val set_extern : t -> dense_fn -> unit
+
+(** Select the kernel for runtime extent [m]. *)
+val select : t -> m:int -> dense_fn
+
+(** Run a dense call through the dispatcher. *)
+val run : t -> Tensor.t -> Tensor.t -> Tensor.t
+
+(** [(hits, misses)]: calls served by a specialized kernel vs the fallback. *)
+val stats : t -> int * int
+
+(** Number of generated kernel bodies — the code-size cost of dispatch. *)
+val code_size : t -> int

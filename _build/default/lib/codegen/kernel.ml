@@ -1,0 +1,39 @@
+(** Executable kernels: the platform-dependent half of a Nimble executable.
+
+    A kernel is a named closure from input tensors to output tensors plus
+    metadata (origin, flop estimator) used by the profiler and the cost
+    models. Kernels are produced by {!Lower} from fused primitive functions
+    and stored in the executable's primitive table, invoked by the VM's
+    [InvokePacked] instruction. *)
+
+open Nimble_tensor
+
+type source =
+  | Generated  (** compiler-generated (this repo's loop nests) *)
+  | Extern of string  (** third-party library kernel (simulated) *)
+  | Dispatcher  (** shape-based dispatch wrapper over other kernels *)
+
+type t = {
+  name : string;
+  source : source;
+  run : Tensor.t list -> Tensor.t list;
+  flops : Shape.t list -> int;  (** estimate from input shapes *)
+}
+
+let make ?(source = Generated) ?(flops = fun _ -> 0) ~name run =
+  { name; source; run; flops }
+
+let run t args = t.run args
+
+let run1 t args =
+  match t.run args with
+  | [ out ] -> out
+  | outs ->
+      Fmt.invalid_arg "Kernel.run1: %s produced %d outputs" t.name (List.length outs)
+
+let source_to_string = function
+  | Generated -> "generated"
+  | Extern lib -> "extern:" ^ lib
+  | Dispatcher -> "dispatcher"
+
+let pp ppf t = Fmt.pf ppf "%s[%s]" t.name (source_to_string t.source)

@@ -1,0 +1,126 @@
+(** Lowering fused primitive functions to executable kernels.
+
+    A primitive function (produced by the fusion pass) is a straight-line
+    dataflow of operator calls. Lowering turns it into a {!Kernel.t} closure.
+    [dense] calls inside the primitive are routed through the symbolic
+    residue {!Dispatch} when one is configured — this is where symbolic
+    codegen plugs into the pipeline. Every executed op reports to {!Trace}. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Lower_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Lower_error s)) fmt
+
+type value = VTensor of Tensor.t | VTuple of value list
+
+let as_tensor = function
+  | VTensor t -> t
+  | VTuple _ -> err "expected a tensor value inside a primitive body"
+
+(** Operators a primitive body may contain. Control flow never appears in
+    primitives: fusion groups only dataflow. *)
+let rec eval_body ~dense_impl env (e : Expr.t) : value =
+  match e with
+  | Expr.Var v -> (
+      match Hashtbl.find_opt env v.Expr.vid with
+      | Some value -> value
+      | None -> err "unbound variable %%%s in primitive body" v.Expr.vname)
+  | Expr.Const t -> VTensor t
+  | Expr.Tuple es -> VTuple (List.map (eval_body ~dense_impl env) es)
+  | Expr.Proj (e1, i) -> (
+      match eval_body ~dense_impl env e1 with
+      | VTuple vs -> List.nth vs i
+      | VTensor _ -> err "projection from tensor in primitive body")
+  | Expr.Let (v, bound, body) ->
+      Hashtbl.replace env v.Expr.vid (eval_body ~dense_impl env bound);
+      eval_body ~dense_impl env body
+  | Expr.Call { callee = Expr.Op "dense"; args; attrs } -> (
+      let ins = List.map (fun a -> as_tensor (eval_body ~dense_impl env a)) args in
+      match (dense_impl, ins) with
+      | Some impl, [ a; w ] ->
+          let out = impl a w in
+          Trace.record_op "dense" ~attrs [ a; w ] [ out ];
+          VTensor out
+      | _, ins -> (
+          match Trace.eval_op "dense" ~attrs ins with
+          | [ out ] -> VTensor out
+          | _ -> err "dense produced multiple outputs"))
+  | Expr.Call { callee = Expr.Op name; args; attrs } -> (
+      let ins = List.map (fun a -> as_tensor (eval_body ~dense_impl env a)) args in
+      match Trace.eval_op name ~attrs ins with
+      | [ out ] -> VTensor out
+      | outs -> VTuple (List.map (fun t -> VTensor t) outs))
+  | Expr.Call _ -> err "primitive body may only call operators"
+  | Expr.Global _ | Expr.Op _ | Expr.Ctor _ | Expr.Fn _ | Expr.If _ | Expr.Match _ ->
+      err "control flow or function values inside a primitive body"
+
+let rec flatten_value = function
+  | VTensor t -> [ t ]
+  | VTuple vs -> List.concat_map flatten_value vs
+
+(** [lower ~name fn] compiles primitive [fn] into a kernel. *)
+let lower ?dispatch ~name (fn : Expr.fn) : Kernel.t =
+  let dense_impl = Option.map (fun d a w -> Dispatch.run d a w) dispatch in
+  let run (args : Tensor.t list) : Tensor.t list =
+    if List.length args <> List.length fn.Expr.params then
+      err "%s: expected %d arguments, got %d" name (List.length fn.Expr.params)
+        (List.length args);
+    let env = Hashtbl.create 16 in
+    List.iter2
+      (fun (p : Expr.var) a -> Hashtbl.replace env p.Expr.vid (VTensor a))
+      fn.Expr.params args;
+    flatten_value (eval_body ~dense_impl env fn.Expr.body)
+  in
+  Kernel.make ~name run
+
+(** Compose the shape functions of the ops inside a primitive (§4.2): the
+    shape function of a fused operator is the composition of its members'
+    shape functions, which is only well-defined when every member is
+    data-independent — guaranteed by the fusion policy. *)
+let shape_func_of_primitive ~name (fn : Expr.fn) : Shape.t list -> Shape.t list =
+ fun in_shapes ->
+  if List.length in_shapes <> List.length fn.Expr.params then
+    err "%s shape func: expected %d input shapes" name (List.length fn.Expr.params);
+  let env : (int, Shape.t list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter2
+    (fun (p : Expr.var) s -> Hashtbl.replace env p.Expr.vid [ s ])
+    fn.Expr.params in_shapes;
+  let rec go (e : Expr.t) : Shape.t list =
+    match e with
+    | Expr.Var v -> (
+        match Hashtbl.find_opt env v.Expr.vid with
+        | Some s -> s
+        | None -> err "%s shape func: unbound variable" name)
+    | Expr.Const t -> [ Tensor.shape t ]
+    | Expr.Tuple es -> List.concat_map go es
+    | Expr.Proj (e1, i) ->
+        let shapes = go e1 in
+        if i >= List.length shapes then err "%s shape func: bad projection" name;
+        [ List.nth shapes i ]
+    | Expr.Let (v, bound, body) ->
+        Hashtbl.replace env v.Expr.vid (go bound);
+        go body
+    | Expr.Call { callee = Expr.Op op; args; attrs } ->
+        let inputs =
+          List.concat_map
+            (fun a -> List.map Nimble_shape.Shape_func.shape_only (go a))
+            args
+        in
+        Nimble_shape.Shape_func.run op ~attrs inputs
+    | _ -> err "%s shape func: unsupported construct" name
+  in
+  go fn.Expr.body
+
+(** Whether every op in a primitive has a data-independent shape function —
+    the precondition for the composition above. *)
+let all_data_independent (fn : Expr.fn) =
+  let ok = ref true in
+  Expr.iter
+    (function
+      | Expr.Call { callee = Expr.Op name; _ } ->
+          if not (Nimble_shape.Shape_func.fusible_as_consumer name) then ok := false
+      | _ -> ())
+    fn.Expr.body;
+  !ok

@@ -1,0 +1,176 @@
+(** Reference execution of a single primitive operator.
+
+    This is the "kernel library" every executor in the repo shares: the VM's
+    packed functions, the baselines' eager dispatch, and constant folding all
+    bottom out here. Heavy ops ([dense]) may be overridden by tuned kernels
+    from {!Dense_kernels} at lowering time. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+let one = function
+  | [ t ] -> t
+  | ts -> err "expected 1 argument, got %d" (List.length ts)
+
+let two = function
+  | [ a; b ] -> (a, b)
+  | ts -> err "expected 2 arguments, got %d" (List.length ts)
+
+let three = function
+  | [ a; b; c ] -> (a, b, c)
+  | ts -> err "expected 3 arguments, got %d" (List.length ts)
+
+(** [eval name ~attrs args] runs operator [name] and returns its outputs
+    (singleton for all ops except [split]). *)
+let eval name ~(attrs : Attrs.t) (args : Tensor.t list) : Tensor.t list =
+  match name with
+  | "add" -> let a, b = two args in [ Ops_elem.add a b ]
+  | "subtract" -> let a, b = two args in [ Ops_elem.sub a b ]
+  | "multiply" -> let a, b = two args in [ Ops_elem.mul a b ]
+  | "divide" -> let a, b = two args in [ Ops_elem.div a b ]
+  | "maximum" -> let a, b = two args in [ Ops_elem.maximum a b ]
+  | "minimum" -> let a, b = two args in [ Ops_elem.minimum a b ]
+  | "equal" -> let a, b = two args in [ Ops_elem.equal a b ]
+  | "less" -> let a, b = two args in [ Ops_elem.less a b ]
+  | "greater" -> let a, b = two args in [ Ops_elem.greater a b ]
+  | "less_equal" -> let a, b = two args in [ Ops_elem.less_equal a b ]
+  | "greater_equal" -> let a, b = two args in [ Ops_elem.greater_equal a b ]
+  | "not_equal" -> let a, b = two args in [ Ops_elem.not_equal a b ]
+  | "logical_and" -> let a, b = two args in [ Ops_elem.logical_and a b ]
+  | "logical_or" -> let a, b = two args in [ Ops_elem.logical_or a b ]
+  | "logical_not" -> [ Ops_elem.logical_not (one args) ]
+  | "power" -> let a, b = two args in [ Ops_elem.pow a b ]
+  | "erf" -> [ Ops_elem.erf (one args) ]
+  | "where" -> let c, a, b = three args in [ Ops_elem.where c a b ]
+  | "log_softmax" ->
+      let axis = Attrs.get_int ~default:(-1) attrs "axis" in
+      [ Ops_nn.log_softmax ~axis (one args) ]
+  | "negative" -> [ Ops_elem.neg (one args) ]
+  | "abs" -> [ Ops_elem.abs (one args) ]
+  | "exp" -> [ Ops_elem.exp (one args) ]
+  | "log" -> [ Ops_elem.log (one args) ]
+  | "sqrt" -> [ Ops_elem.sqrt (one args) ]
+  | "tanh" -> [ Ops_elem.tanh (one args) ]
+  | "sigmoid" -> [ Ops_elem.sigmoid (one args) ]
+  | "relu" -> [ Ops_elem.relu (one args) ]
+  | "gelu" -> [ Ops_elem.gelu (one args) ]
+  | "cast" ->
+      let dt =
+        match Attrs.find_str attrs "dtype" with
+        | Some s -> Option.get (Dtype.of_string s)
+        | None -> err "cast: missing dtype"
+      in
+      [ Tensor.astype (one args) dt ]
+  | "dense" -> let a, w = two args in [ Ops_matmul.dense a w ]
+  | "matmul" -> let a, b = two args in [ Ops_matmul.matmul a b ]
+  | "batch_matmul" -> let a, b = two args in [ Ops_matmul.batch_matmul a b ]
+  | "bias_add" ->
+      let a, b = two args in
+      [ Ops_elem.add a b ]
+  | "conv2d" ->
+      let a, w = two args in
+      let stride = Attrs.get_int ~default:1 attrs "stride" in
+      let padding = Attrs.get_int ~default:0 attrs "padding" in
+      [ Ops_nn.conv2d ~stride ~padding a w ]
+  | "max_pool2d" ->
+      let window = Attrs.get_int attrs "window" in
+      let stride = Attrs.get_int ~default:2 attrs "stride" in
+      [ Ops_nn.max_pool2d ~stride ~window (one args) ]
+  | "avg_pool2d" ->
+      let window = Attrs.get_int attrs "window" in
+      let stride = Attrs.get_int ~default:2 attrs "stride" in
+      [ Ops_nn.avg_pool2d ~stride ~window (one args) ]
+  | "global_avg_pool2d" -> [ Ops_nn.global_avg_pool2d (one args) ]
+  | "softmax" ->
+      let axis = Attrs.get_int ~default:(-1) attrs "axis" in
+      [ Ops_nn.softmax ~axis (one args) ]
+  | "layer_norm" ->
+      let a, gamma, beta = three args in
+      [ Ops_nn.layer_norm a ~gamma ~beta ]
+  | "batch_norm" -> (
+      match args with
+      | [ a; gamma; beta; mean; var ] -> [ Ops_nn.batch_norm a ~gamma ~beta ~mean ~var ]
+      | _ -> err "batch_norm: expected 5 arguments")
+  | "embedding" -> let t, ids = two args in [ Ops_nn.embedding t ids ]
+  | "reshape" ->
+      let target = Array.of_list (Attrs.get_ints attrs "newshape") in
+      [ Tensor.reshape (one args) target ]
+  | "transpose" ->
+      let axes = Option.map Array.of_list (Attrs.find_ints attrs "axes") in
+      [ Ops_shape.transpose ?axes (one args) ]
+  | "expand_dims" ->
+      let t = one args in
+      [ Tensor.reshape t (Shape.insert_axis (Tensor.shape t) (Attrs.get_int attrs "axis")) ]
+  | "squeeze" ->
+      let t = one args in
+      let axis =
+        Shape.normalize_axis ~rank:(Tensor.rank t) (Attrs.get_int attrs "axis")
+      in
+      if (Tensor.shape t).(axis) <> 1 then err "squeeze: axis %d not 1" axis;
+      [ Tensor.reshape t (Shape.remove_axis (Tensor.shape t) axis) ]
+  | "concat" -> [ Ops_shape.concat ~axis:(Attrs.get_int attrs "axis") args ]
+  | "split" ->
+      Ops_shape.split ~axis:(Attrs.get_int attrs "axis")
+        ~sections:(Attrs.get_int attrs "sections")
+        (one args)
+  | "strided_slice" ->
+      let begins = Array.of_list (Attrs.get_ints attrs "begins") in
+      let ends = Array.of_list (Attrs.get_ints attrs "ends") in
+      [ Ops_shape.strided_slice ~begins ~ends (one args) ]
+  | "take" ->
+      let d, i = two args in
+      [ Ops_shape.take ~axis:(Attrs.get_int ~default:0 attrs "axis") d i ]
+  | "tile" -> [ Ops_shape.tile ~reps:(Array.of_list (Attrs.get_ints attrs "reps")) (one args) ]
+  | "sum" | "max" | "min" | "mean" -> (
+      let t = one args in
+      let keepdims = Attrs.get_bool attrs "keepdims" in
+      let axis = Attrs.find_int attrs "axis" in
+      match name with
+      | "sum" -> [ Ops_reduce.sum ?axis ~keepdims t ]
+      | "max" -> [ Ops_reduce.max ?axis ~keepdims t ]
+      | "min" -> [ Ops_reduce.min ?axis ~keepdims t ]
+      | _ -> [ Ops_reduce.mean ?axis ~keepdims t ])
+  | "argmax" -> [ Ops_reduce.argmax ~axis:(Attrs.get_int attrs "axis") (one args) ]
+  | "arange" ->
+      let start, stop, step = three args in
+      let dt =
+        match Attrs.find_str attrs "dtype" with
+        | Some s -> Option.value ~default:Dtype.F32 (Dtype.of_string s)
+        | None -> Dtype.F32
+      in
+      [ Ops_shape.arange ~dtype:dt ~start:(Tensor.item start) ~stop:(Tensor.item stop)
+          ~step:(Tensor.item step) () ]
+  | "unique" -> [ Ops_shape.unique (one args) ]
+  | "nms" ->
+      let iou = Attrs.get_float ~default:0.5 attrs "iou" in
+      let score = Attrs.get_float ~default:0.0 attrs "score" in
+      [ Ops_nn.nms ~iou_threshold:iou ~score_threshold:score (one args) ]
+  | "shape_of" -> [ Tensor.shape_tensor (one args) ]
+  | "reshape_tensor" ->
+      let t, shape = two args in
+      [ Tensor.reshape t (Tensor.to_shape shape) ]
+  | "device_copy" -> [ Tensor.copy (one args) ]
+  | _ -> err "op_eval: no kernel for operator %s" name
+
+let eval1 name ~attrs args = one (eval name ~attrs args)
+
+(** FLOP estimate for an operator invocation — consumed by the platform cost
+    models in [Nimble_perfsim]. *)
+let flops name ~(attrs : Attrs.t) (in_shapes : Shape.t list) (out_shapes : Shape.t list) =
+  let out_elems = List.fold_left (fun acc s -> acc + Shape.numel s) 0 out_shapes in
+  match (name, in_shapes) with
+  | "dense", [ d; w ] -> 2 * d.(0) * d.(1) * w.(0)
+  | "matmul", [ a; b ] -> 2 * a.(0) * a.(1) * b.(1)
+  | "batch_matmul", [ a; b ] -> 2 * a.(0) * a.(1) * a.(2) * b.(2)
+  | "conv2d", [ _d; w ] ->
+      let per_out = 2 * w.(1) * w.(2) * w.(3) in
+      ignore attrs;
+      out_elems * per_out
+  | ("exp" | "log" | "tanh" | "sigmoid" | "gelu" | "softmax" | "erf"), _ ->
+      8 * out_elems (* transcendental: ~8 flops each *)
+  | ("layer_norm" | "batch_norm"), _ -> 8 * out_elems
+  | _ -> out_elems

@@ -1,0 +1,68 @@
+(** Execution trace hook.
+
+    Every executor in the repo (the VM's lowered kernels, the baseline
+    frameworks' eager dispatch) reports the operators it actually runs
+    through this sink. The performance simulator installs a listener and
+    replays the trace against per-platform cost models; when no listener is
+    installed the overhead is a single ref read. *)
+
+open Nimble_tensor
+
+type event =
+  | Op_exec of {
+      op : string;
+      in_shapes : Shape.t list;
+      out_shapes : Shape.t list;
+      flops : int;
+      bytes : int;  (** memory traffic estimate: inputs + outputs *)
+    }
+  | Framework of { kind : string; amount : int }
+      (** framework-side action: graph node built, op dispatched,
+          recompilation unit, control-flow primitive executed, ... *)
+
+type listener = event -> unit
+
+let sink : listener option ref = ref None
+
+let install l = sink := Some l
+let remove () = sink := None
+
+let with_listener l f =
+  let saved = !sink in
+  sink := Some l;
+  Fun.protect ~finally:(fun () -> sink := saved) f
+
+let enabled () = !sink <> None
+
+let emit ev = match !sink with Some f -> f ev | None -> ()
+
+let tensor_bytes ts =
+  List.fold_left (fun acc t -> acc + Tensor.size_in_bytes t) 0 ts
+
+(** Record execution of operator [op] on concrete tensors. *)
+let record_op op ~attrs (ins : Tensor.t list) (outs : Tensor.t list) =
+  match !sink with
+  | None -> ()
+  | Some f ->
+      let in_shapes = List.map Tensor.shape ins in
+      let out_shapes = List.map Tensor.shape outs in
+      let flops = Op_eval.flops op ~attrs in_shapes out_shapes in
+      f
+        (Op_exec
+           {
+             op;
+             in_shapes;
+             out_shapes;
+             flops;
+             bytes = tensor_bytes ins + tensor_bytes outs;
+           })
+
+let record_framework kind ?(amount = 1) () =
+  match !sink with None -> () | Some f -> f (Framework { kind; amount })
+
+(** Run an operator through {!Op_eval} and trace it: the standard entry
+    point for every interpreter in the repo. *)
+let eval_op op ~attrs ins =
+  let outs = Op_eval.eval op ~attrs ins in
+  record_op op ~attrs ins outs;
+  outs

@@ -1,0 +1,102 @@
+(** Template-based kernel tuning extended to symbolic shapes (paper §4.5).
+
+    The search template for dense is the row-tile width. Following the
+    paper's mechanism:
+
+    1. replace the symbolic dimension with a large static value and search
+       the template's configuration space on that shape;
+    2. take the top-k configurations and evaluate them on a selection of
+       other extents (powers of two up to 256);
+    3. pick the configuration with the best average performance.
+
+    Measurements are real wall-clock runs of the candidate kernels. *)
+
+open Nimble_tensor
+
+type config = { tile_m : int }
+
+type measurement = { config : config; shape_m : int; seconds : float }
+
+type result = {
+  best : config;
+  tuned_on : int;  (** the static stand-in extent *)
+  top_k : config list;
+  cross_eval : measurement list;
+}
+
+let default_space = [ { tile_m = 1 }; { tile_m = 2 }; { tile_m = 4 }; { tile_m = 8 }; { tile_m = 16 } ]
+
+let now () = Unix.gettimeofday ()
+
+(** Median-of-runs wall time of one (config, m) point. *)
+let measure ?(repeats = 3) ~n ~k config m =
+  let rng = Rng.create ~seed:(m + (config.tile_m * 7919)) in
+  let a = Tensor.randn rng [| m; k |] in
+  let w = Tensor.randn rng [| n; k |] in
+  let times =
+    List.init repeats (fun _ ->
+        let t0 = now () in
+        ignore (Dense_kernels.tiled_kernel ~tile_m:config.tile_m a w);
+        now () -. t0)
+  in
+  let sorted = List.sort Float.compare times in
+  List.nth sorted (repeats / 2)
+
+(** Tune the dense template for a symbolic [m], fixed [n]/[k].
+
+    [shape_weights] implements the paper's extension for known workload
+    distributions: "if the workload distribution is known, we could adjust
+    the weighting of known shapes when picking the best configuration" — a
+    weight per evaluated extent biases the step-3 average. *)
+let tune ?(space = default_space) ?(static_stand_in = 64) ?(top_k = 2)
+    ?(eval_extents = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) ?shape_weights ~n ~k () =
+  (* Step 1: search on the static stand-in shape. *)
+  let scored =
+    List.map (fun c -> (c, measure ~n ~k c static_stand_in)) space
+    |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+  in
+  let top = List.filteri (fun i _ -> i < top_k) scored |> List.map fst in
+  (* Step 2: cross-evaluate the top configurations on other extents. *)
+  let cross_eval =
+    List.concat_map
+      (fun config ->
+        List.map
+          (fun m -> { config; shape_m = m; seconds = measure ~n ~k config m })
+          eval_extents)
+      top
+  in
+  (* Step 3: best (optionally workload-weighted) average across extents. *)
+  let weight_of m =
+    match shape_weights with
+    | None -> 1.0
+    | Some ws -> ( match List.assoc_opt m ws with Some w -> w | None -> 0.0)
+  in
+  let avg config =
+    let rs = List.filter (fun r -> r.config = config) cross_eval in
+    let wsum = List.fold_left (fun acc r -> acc +. weight_of r.shape_m) 0.0 rs in
+    if wsum <= 0.0 then Float.infinity
+    else
+      List.fold_left (fun acc r -> acc +. (weight_of r.shape_m *. r.seconds)) 0.0 rs
+      /. wsum
+  in
+  let best =
+    match List.sort (fun a b -> Float.compare (avg a) (avg b)) top with
+    | best :: _ -> best
+    | [] -> { tile_m = Dense_kernels.tile }
+  in
+  { best; tuned_on = static_stand_in; top_k = top; cross_eval }
+
+(** Decide between the generated kernel and the extern library kernel from
+    profiling, as the dispatch function does in the paper. *)
+let profile_extern ?(m = 64) ~n ~k () =
+  let rng = Rng.create ~seed:42 in
+  let a = Tensor.randn rng [| m; k |] in
+  let w = Tensor.randn rng [| n; k |] in
+  let time f =
+    let t0 = now () in
+    ignore (f a w);
+    now () -. t0
+  in
+  let generated = time (fun a w -> Dense_kernels.residue_kernel ~residue:(m mod 8) a w) in
+  let extern = time Dense_kernels.extern_library_kernel in
+  if extern < generated then `Extern else `Generated

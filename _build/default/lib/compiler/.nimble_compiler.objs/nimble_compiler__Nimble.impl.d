@@ -1,0 +1,1 @@
+lib/compiler/nimble.ml: Anf Const_fold Cse Dce Device_place Emitter Fmt Fusion Inline Irmod List Manifest_alloc Memory_plan Nimble_ir Nimble_passes Nimble_typing Nimble_vm Static_exec Type_resolve

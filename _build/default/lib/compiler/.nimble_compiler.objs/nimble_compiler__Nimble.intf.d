@@ -1,0 +1,1 @@
+lib/compiler/nimble.mli: Format Nimble_ir Nimble_vm Static_exec

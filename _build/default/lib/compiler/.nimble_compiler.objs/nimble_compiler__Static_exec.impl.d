@@ -1,0 +1,1 @@
+lib/compiler/static_exec.ml: Array Expr Fmt Fusion Hashtbl Irmod List Nimble_codegen Nimble_ir Nimble_passes Nimble_tensor Stdlib Tensor

@@ -1,0 +1,130 @@
+(** Public compiler facade: the end-to-end pipeline of Figure 2.
+
+    {[
+      let exe = Nimble.compile my_module in
+      let vm = Nimble.vm exe in
+      let out = Nimble_vm.Interp.run_tensors vm [ input ]
+    ]}
+
+    Pipeline: constant folding -> ANF -> type inference (with Any) -> type
+    resolution -> fusion (dynamic policy) -> manifest alloc -> device
+    placement -> memory planning -> DCE -> bytecode emission. *)
+
+open Nimble_ir
+open Nimble_passes
+
+type options = {
+  target_device : int;  (** 0 = host CPU, 1 = simulated GPU *)
+  fuse : bool;
+  memory_plan : bool;
+  device_placement : bool;
+  dense_dispatch : int option;  (** residue-dispatch kernel count for dense *)
+  profile_extern : bool;  (** route dense to a profiled library kernel when faster *)
+}
+
+let default_options =
+  {
+    target_device = 0;
+    fuse = true;
+    memory_plan = true;
+    device_placement = true;
+    dense_dispatch = Some 8;
+    profile_extern = false;
+  }
+
+type report = {
+  residual_checks : int;  (** runtime type checks deferred by gradual typing *)
+  primitives : int;
+  storages_before_planning : int;
+  storages_after_planning : int;
+  arena_bytes : int;
+  unplanned_bytes : int;
+  kills_inserted : int;
+  device_copies : int;
+  instructions : int;
+}
+
+(** Run the pass pipeline, returning the processed module and a report. *)
+let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
+  (* ANF first: it is the only pass that understands builder DAG sharing;
+     everything after walks linear let-chains. *)
+  let m = Anf.run m in
+  ignore (Inline.run m);
+  let m = Anf.run m in
+  let m = Cse.run m in
+  let m = Const_fold.run m in
+  let m = Dce.run m in
+  let infer_result = Nimble_typing.Infer.infer_module m in
+  let m = Type_resolve.run m infer_result.Nimble_typing.Infer.solver in
+  let m = Fusion.run ~merge:options.fuse m in
+  let primitives =
+    List.fold_left
+      (fun acc (_, (fn : Nimble_ir.Expr.fn)) ->
+        acc + List.length (Fusion.primitives_of fn.Nimble_ir.Expr.body))
+      0 (Irmod.functions m)
+  in
+  let m = Manifest_alloc.run ~device:options.target_device m in
+  let dp_stats =
+    if options.device_placement then Device_place.run m
+    else { Device_place.copies_inserted = 0 }
+  in
+  let mp_stats =
+    if options.memory_plan then Memory_plan.run m else Memory_plan.fresh_stats ()
+  in
+  let m = Dce.run m in
+  ( m,
+    {
+      residual_checks = infer_result.Nimble_typing.Infer.residual_checks;
+      primitives;
+      storages_before_planning = mp_stats.Memory_plan.storages_before;
+      storages_after_planning = mp_stats.Memory_plan.storages_after;
+      arena_bytes = mp_stats.Memory_plan.arena_bytes;
+      unplanned_bytes = mp_stats.Memory_plan.sum_bytes;
+      kills_inserted = mp_stats.Memory_plan.kills_inserted;
+      device_copies = dp_stats.Device_place.copies_inserted;
+      instructions = 0;
+    } )
+
+(** Compile a module to a linked VM executable. *)
+let compile_with_report ?(options = default_options) (m : Irmod.t) :
+    Nimble_vm.Exe.t * report =
+  let m, report = optimize ~options m in
+  let exe =
+    Emitter.emit_module
+      ~options:
+        {
+          Emitter.dense_dispatch = options.dense_dispatch;
+          profile_extern = options.profile_extern;
+        }
+      m
+  in
+  (exe, { report with instructions = Nimble_vm.Exe.instruction_count exe })
+
+let compile ?options m = fst (compile_with_report ?options m)
+
+(** Create an interpreter over a linked executable. *)
+let vm exe = Nimble_vm.Interp.create exe
+
+(** Compile and run in one step (convenience for examples and tests). *)
+let run ?options (m : Irmod.t) (inputs : Nimble_vm.Obj.t list) : Nimble_vm.Obj.t =
+  let exe = compile ?options m in
+  Nimble_vm.Interp.invoke (vm exe) inputs
+
+(** Compile for the static executor (fusion only; static models only). *)
+let compile_static (m : Irmod.t) : Static_exec.t =
+  let m = Anf.run m in
+  let m = Cse.run m in
+  let m = Const_fold.run m in
+  let infer_result = Nimble_typing.Infer.infer_module m in
+  let m = Type_resolve.run m infer_result.Nimble_typing.Infer.solver in
+  let m = Fusion.run m in
+  let m = Dce.run m in
+  Static_exec.plan m
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf
+    "residual_checks=%d primitives=%d storages=%d->%d arena=%dB (vs %dB) kills=%d \
+     copies=%d instrs=%d"
+    r.residual_checks r.primitives r.storages_before_planning
+    r.storages_after_planning r.arena_bytes r.unplanned_bytes r.kills_inserted
+    r.device_copies r.instructions

@@ -1,0 +1,62 @@
+(** Public compiler facade: the end-to-end pipeline of the paper's Figure 2.
+
+    {[
+      let exe = Nimble.compile my_module in
+      let vm = Nimble.vm exe in
+      Nimble_vm.Interp.run_tensors vm [ input ]
+    ]} *)
+
+(** Compilation options. Every switch corresponds to a pass or codegen
+    strategy evaluated in the paper; defaults enable everything. *)
+type options = {
+  target_device : int;  (** 0 = host CPU, 1 = simulated GPU *)
+  fuse : bool;  (** operator fusion (dynamic policy, §4.2) *)
+  memory_plan : bool;  (** storage coalescing + kill insertion (§4.3) *)
+  device_placement : bool;  (** heterogeneous placement (§4.4) *)
+  dense_dispatch : int option;
+      (** residue-dispatch kernel count for dense (§4.5); [None] = reference
+          library-style kernel *)
+  profile_extern : bool;
+      (** profile generated vs third-party kernels and route dense to
+          whichever is faster (§4.5) *)
+}
+
+val default_options : options
+
+(** Per-compile statistics surfaced for tests, benches and the CLI. *)
+type report = {
+  residual_checks : int;  (** runtime type checks deferred by gradual typing *)
+  primitives : int;  (** fused kernels after the fusion pass *)
+  storages_before_planning : int;
+  storages_after_planning : int;
+  arena_bytes : int;  (** coalesced arena footprint *)
+  unplanned_bytes : int;  (** what the un-coalesced storages added up to *)
+  kills_inserted : int;
+  device_copies : int;
+  instructions : int;  (** emitted bytecode size *)
+}
+
+(** Run the pass pipeline only (no bytecode emission): ANF, inlining, CSE,
+    constant folding, DCE, type inference with [Any], fusion, manifest
+    allocation, device placement, memory planning. *)
+val optimize : ?options:options -> Nimble_ir.Irmod.t -> Nimble_ir.Irmod.t * report
+
+(** Compile a module to a linked VM executable, with the report. *)
+val compile_with_report :
+  ?options:options -> Nimble_ir.Irmod.t -> Nimble_vm.Exe.t * report
+
+(** Compile a module to a linked VM executable. *)
+val compile : ?options:options -> Nimble_ir.Irmod.t -> Nimble_vm.Exe.t
+
+(** Create an interpreter over a linked executable. *)
+val vm : Nimble_vm.Exe.t -> Nimble_vm.Interp.t
+
+(** Compile and invoke [main] in one step (convenience). *)
+val run :
+  ?options:options -> Nimble_ir.Irmod.t -> Nimble_vm.Obj.t list -> Nimble_vm.Obj.t
+
+(** Compile for the TVM-style static graph executor (static models only —
+    the Table 4 baseline). *)
+val compile_static : Nimble_ir.Irmod.t -> Static_exec.t
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,27 @@
+(** Minimal growable array with indexed update, used by the bytecode emitter
+    for jump patching. (The stdlib's Dynarray arrives only in OCaml 5.2.) *)
+
+type 'a t = { mutable arr : 'a option array; mutable len : int }
+
+let create () = { arr = Array.make 16 None; len = 0 }
+
+let length t = t.len
+
+let add_last t x =
+  if t.len = Array.length t.arr then begin
+    let bigger = Array.make (2 * Array.length t.arr) None in
+    Array.blit t.arr 0 bigger 0 t.len;
+    t.arr <- bigger
+  end;
+  t.arr.(t.len) <- Some x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  match t.arr.(i) with Some x -> x | None -> assert false
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  t.arr.(i) <- Some x
+
+let to_array t = Array.init t.len (fun i -> get t i)

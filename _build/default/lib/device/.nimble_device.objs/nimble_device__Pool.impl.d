@@ -1,0 +1,1 @@
+lib/device/pool.ml: Device Fmt Hashtbl Stdlib

@@ -1,0 +1,25 @@
+(** Execution devices.
+
+    The paper targets heterogeneous platforms (host CPU + accelerator). In
+    this reproduction the host CPU is real and the accelerator is simulated:
+    tensors carry a device id, kernels check placement, [device_copy] moves
+    data, and the accounting in {!Pool} feeds the cost models. *)
+
+type kind = Cpu | Gpu
+
+type t = { id : int; kind : kind; name : string }
+
+let cpu = { id = 0; kind = Cpu; name = "cpu" }
+let gpu = { id = 1; kind = Gpu; name = "gpu(sim)" }
+
+let all = [ cpu; gpu ]
+
+let of_id id =
+  match List.find_opt (fun d -> d.id = id) all with
+  | Some d -> d
+  | None -> Fmt.invalid_arg "Device.of_id: unknown device %d" id
+
+let equal a b = a.id = b.id
+let is_cpu d = d.kind = Cpu
+let pp ppf d = Fmt.string ppf d.name
+let to_string d = d.name

@@ -1,0 +1,74 @@
+(** Per-device memory-pool accounting.
+
+    Tracks allocation counts, live bytes and peak footprint per device, plus
+    cross-device transfer bytes. The memory-planning experiment (paper §6.3)
+    reads these counters; the allocations themselves are served by the OCaml
+    GC (suballocation is simulated by the accounting, which is what the
+    experiment measures). *)
+
+type stats = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable bytes_allocated : int;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;
+  mutable transfers_in : int;
+  mutable transfer_bytes_in : int;
+}
+
+let fresh_stats () =
+  {
+    allocs = 0;
+    frees = 0;
+    bytes_allocated = 0;
+    live_bytes = 0;
+    peak_bytes = 0;
+    transfers_in = 0;
+    transfer_bytes_in = 0;
+  }
+
+type t = { per_device : (int, stats) Hashtbl.t }
+
+let create () = { per_device = Hashtbl.create 4 }
+
+let stats t (d : Device.t) =
+  match Hashtbl.find_opt t.per_device d.Device.id with
+  | Some s -> s
+  | None ->
+      let s = fresh_stats () in
+      Hashtbl.replace t.per_device d.Device.id s;
+      s
+
+let record_alloc t d ~bytes =
+  let s = stats t d in
+  s.allocs <- s.allocs + 1;
+  s.bytes_allocated <- s.bytes_allocated + bytes;
+  s.live_bytes <- s.live_bytes + bytes;
+  if s.live_bytes > s.peak_bytes then s.peak_bytes <- s.live_bytes
+
+let record_free t d ~bytes =
+  let s = stats t d in
+  s.frees <- s.frees + 1;
+  s.live_bytes <- Stdlib.max 0 (s.live_bytes - bytes)
+
+let record_transfer t ~dst ~bytes =
+  let s = stats t dst in
+  s.transfers_in <- s.transfers_in + 1;
+  s.transfer_bytes_in <- s.transfer_bytes_in + bytes
+
+let total_allocs t =
+  Hashtbl.fold (fun _ s acc -> acc + s.allocs) t.per_device 0
+
+let total_transfers t =
+  Hashtbl.fold (fun _ s acc -> acc + s.transfers_in) t.per_device 0
+
+let peak_bytes t (d : Device.t) = (stats t d).peak_bytes
+
+let reset t = Hashtbl.reset t.per_device
+
+let pp ppf t =
+  Hashtbl.iter
+    (fun id s ->
+      Fmt.pf ppf "device %d: allocs=%d frees=%d live=%dB peak=%dB transfers_in=%d@."
+        id s.allocs s.frees s.live_bytes s.peak_bytes s.transfers_in)
+    t.per_device

@@ -1,0 +1,1 @@
+lib/ir/adt.ml: Fmt List String Ty

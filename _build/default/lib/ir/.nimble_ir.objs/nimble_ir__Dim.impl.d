@@ -1,0 +1,1 @@
+lib/ir/dim.ml: Fmt

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Adt Attrs Dtype Fmt Hashtbl Int List Nimble_tensor Set Shape Tensor Ty

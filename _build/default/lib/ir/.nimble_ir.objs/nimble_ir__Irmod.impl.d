@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Adt Expr Fmt Hashtbl List

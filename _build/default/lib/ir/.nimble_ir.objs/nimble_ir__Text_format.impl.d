@@ -1,0 +1,1 @@
+lib/ir/text_format.ml: Adt Array Attrs Dim Dtype Expr Fmt Hashtbl Irmod List Nimble_tensor Op Rng Shape String Tensor Ty

@@ -1,0 +1,1 @@
+lib/ir/text_format.mli: Format Irmod

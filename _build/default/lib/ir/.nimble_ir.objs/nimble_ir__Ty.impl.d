@@ -1,0 +1,1 @@
+lib/ir/ty.ml: Array Dim Dtype Fmt List Nimble_tensor Shape String

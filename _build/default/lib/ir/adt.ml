@@ -1,0 +1,57 @@
+(** Algebraic data type definitions (monomorphic).
+
+    Dynamic data structures in the paper's models — the token list consumed
+    by the LSTM, the tree consumed by the Tree-LSTM — are encoded as ADTs.
+    Each constructor carries a dense integer [tag] used by the VM's
+    [AllocADT]/[GetTag] instructions. *)
+
+type ctor = {
+  ctor_name : string;
+  tag : int;
+  adt_name : string;
+  arg_tys : Ty.t list;
+}
+
+type def = { name : string; ctors : ctor list }
+
+let define ~name ctor_specs =
+  let ctors =
+    List.mapi
+      (fun tag (ctor_name, arg_tys) -> { ctor_name; tag; adt_name = name; arg_tys })
+      ctor_specs
+  in
+  { name; ctors }
+
+let find_ctor def name = List.find_opt (fun c -> String.equal c.ctor_name name) def.ctors
+
+let ctor_exn def name =
+  match find_ctor def name with
+  | Some c -> c
+  | None -> Fmt.invalid_arg "Adt.ctor_exn: no constructor %s in %s" name def.name
+
+let ctor_by_tag def tag = List.find_opt (fun c -> c.tag = tag) def.ctors
+
+let equal_ctor a b =
+  String.equal a.ctor_name b.ctor_name && String.equal a.adt_name b.adt_name
+
+let pp_ctor ppf c = Fmt.pf ppf "%s.%s" c.adt_name c.ctor_name
+
+let pp ppf def =
+  let pp_one ppf c =
+    Fmt.pf ppf "| %s(%a)" c.ctor_name Fmt.(list ~sep:(any ", ") Ty.pp) c.arg_tys
+  in
+  Fmt.pf ppf "type %s = %a" def.name Fmt.(list ~sep:(any " ") pp_one) def.ctors
+
+(** The list-of-tensors ADT used by the LSTM model: a sequence whose length
+    is only known at runtime (dynamic control flow driver). *)
+let tensor_list ~elem_ty =
+  define ~name:"TensorList"
+    [ ("Nil", []); ("Cons", [ elem_ty; Ty.Adt "TensorList" ]) ]
+
+(** The binary-tree ADT used by the Tree-LSTM model. *)
+let tensor_tree ~leaf_ty =
+  define ~name:"TensorTree"
+    [
+      ("Leaf", [ leaf_ty ]);
+      ("Node", [ Ty.Adt "TensorTree"; Ty.Adt "TensorTree" ]);
+    ]

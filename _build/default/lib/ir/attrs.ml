@@ -1,0 +1,67 @@
+(** Attribute maps attached to operator calls and functions (like Relay's
+    call attrs): static configuration such as a reshape target, a concat
+    axis, a convolution stride, or a device annotation. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Ints of int list
+
+type t = (string * value) list
+
+let empty : t = []
+let is_empty (t : t) = t = []
+
+let find (t : t) key = List.assoc_opt key t
+
+let find_int t key =
+  match find t key with Some (Int i) -> Some i | _ -> None
+
+let find_float t key =
+  match find t key with Some (Float f) -> Some f | _ -> None
+
+let find_bool t key =
+  match find t key with Some (Bool b) -> Some b | _ -> None
+
+let find_str t key =
+  match find t key with Some (Str s) -> Some s | _ -> None
+
+let find_ints t key =
+  match find t key with Some (Ints l) -> Some l | _ -> None
+
+let get_int ?default t key =
+  match (find_int t key, default) with
+  | Some i, _ -> i
+  | None, Some d -> d
+  | None, None -> Fmt.invalid_arg "Attrs.get_int: missing %s" key
+
+let get_float ?default t key =
+  match (find_float t key, default) with
+  | Some f, _ -> f
+  | None, Some d -> d
+  | None, None -> Fmt.invalid_arg "Attrs.get_float: missing %s" key
+
+let get_bool ?(default = false) t key =
+  match find_bool t key with Some b -> b | None -> default
+
+let get_ints ?default t key =
+  match (find_ints t key, default) with
+  | Some l, _ -> l
+  | None, Some d -> d
+  | None, None -> Fmt.invalid_arg "Attrs.get_ints: missing %s" key
+
+let set (t : t) key v : t = (key, v) :: List.remove_assoc key t
+
+let pp_value ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Bool b -> Fmt.bool ppf b
+  | Str s -> Fmt.pf ppf "%S" s
+  | Ints l -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") int) l
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") (pair ~sep:(any "=") string pp_value))
+    t

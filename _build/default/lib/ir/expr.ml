@@ -1,0 +1,194 @@
+(** Expressions of the Nimble IR: a small functional language over tensors
+    with let-binding, conditionals, functions/closures, tuples, ADT
+    construction and pattern matching — enough to express dynamic control
+    flow, dynamic data structures and dynamic shapes (paper §2). *)
+
+open Nimble_tensor
+
+type var = { vid : int; vname : string; mutable vty : Ty.t option }
+
+type t =
+  | Var of var
+  | Global of string  (** reference to a module-level function *)
+  | Op of string  (** reference to a primitive operator *)
+  | Ctor of Adt.ctor
+  | Const of Tensor.t
+  | Tuple of t list
+  | Proj of t * int
+  | Call of { callee : t; args : t list; attrs : Attrs.t }
+  | Fn of fn
+  | Let of var * t * t
+  | If of t * t * t
+  | Match of t * clause list
+
+and fn = { params : var list; ret_ty : Ty.t option; body : t; fn_attrs : Attrs.t }
+
+and clause = { pat : pat; rhs : t }
+
+and pat = Pwild | Pvar of var | Pctor of Adt.ctor * pat list
+
+let var_counter = ref 0
+
+let fresh_var ?ty name =
+  incr var_counter;
+  { vid = !var_counter; vname = name; vty = ty }
+
+let var v = Var v
+let const t = Const t
+let const_scalar ?dtype v = Const (Tensor.scalar ?dtype v)
+let const_int ?(dtype = Dtype.I64) v = Const (Tensor.of_int_array ~dtype [||] [| v |])
+
+let call ?(attrs = Attrs.empty) callee args = Call { callee; args; attrs }
+let op_call ?(attrs = Attrs.empty) name args = call ~attrs (Op name) args
+
+let fn_def ?(attrs = Attrs.empty) ?ret_ty params body : fn =
+  { params; ret_ty; body; fn_attrs = attrs }
+
+let fn ?attrs ?ret_ty params body = Fn (fn_def ?attrs ?ret_ty params body)
+
+let let_ v bound body = Let (v, bound, body)
+
+(** [lets [(v1, e1); ...] body] builds nested lets. *)
+let lets bindings body =
+  List.fold_right (fun (v, e) acc -> Let (v, e, acc)) bindings body
+
+let ctor_call c args = call (Ctor c) args
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Direct children of an expression (post-order helpers build on this). *)
+let children = function
+  | Var _ | Global _ | Op _ | Ctor _ | Const _ -> []
+  | Tuple es -> es
+  | Proj (e, _) -> [ e ]
+  | Call { callee; args; _ } -> callee :: args
+  | Fn { body; _ } -> [ body ]
+  | Let (_, bound, body) -> [ bound; body ]
+  | If (c, t, f) -> [ c; t; f ]
+  | Match (scrut, clauses) -> scrut :: List.map (fun c -> c.rhs) clauses
+
+let rec iter f e =
+  f e;
+  List.iter (iter f) (children e)
+
+(** Rebuild an expression, applying [f] bottom-up to every node. *)
+let rec map_bottom_up f e =
+  let recur = map_bottom_up f in
+  let rebuilt =
+    match e with
+    | Var _ | Global _ | Op _ | Ctor _ | Const _ -> e
+    | Tuple es -> Tuple (List.map recur es)
+    | Proj (e1, i) -> Proj (recur e1, i)
+    | Call { callee; args; attrs } ->
+        Call { callee = recur callee; args = List.map recur args; attrs }
+    | Fn ({ body; _ } as fn) -> Fn { fn with body = recur body }
+    | Let (v, bound, body) -> Let (v, recur bound, recur body)
+    | If (c, t, f') -> If (recur c, recur t, recur f')
+    | Match (scrut, clauses) ->
+        Match (recur scrut, List.map (fun c -> { c with rhs = recur c.rhs }) clauses)
+  in
+  f rebuilt
+
+let rec pat_vars = function
+  | Pwild -> []
+  | Pvar v -> [ v ]
+  | Pctor (_, ps) -> List.concat_map pat_vars ps
+
+module Var_set = Set.Make (Int)
+
+(** Free variables (by [vid]) of an expression. *)
+let free_vars e =
+  let rec go bound acc = function
+    | Var v -> if Var_set.mem v.vid bound then acc else v :: acc
+    | Global _ | Op _ | Ctor _ | Const _ -> acc
+    | Tuple es -> List.fold_left (go bound) acc es
+    | Proj (e1, _) -> go bound acc e1
+    | Call { callee; args; _ } -> List.fold_left (go bound) (go bound acc callee) args
+    | Fn { params; body; _ } ->
+        let bound = List.fold_left (fun b v -> Var_set.add v.vid b) bound params in
+        go bound acc body
+    | Let (v, e1, body) ->
+        let acc = go bound acc e1 in
+        go (Var_set.add v.vid bound) acc body
+    | If (c, t, f) -> go bound (go bound (go bound acc c) t) f
+    | Match (scrut, clauses) ->
+        let acc = go bound acc scrut in
+        List.fold_left
+          (fun acc { pat; rhs } ->
+            let bound =
+              List.fold_left (fun b v -> Var_set.add v.vid b) bound (pat_vars pat)
+            in
+            go bound acc rhs)
+          acc clauses
+  in
+  let vars = go Var_set.empty [] e in
+  (* dedupe preserving first-seen order *)
+  let seen = Hashtbl.create 16 in
+  List.rev vars
+  |> List.filter (fun v ->
+         if Hashtbl.mem seen v.vid then false
+         else begin
+           Hashtbl.add seen v.vid ();
+           true
+         end)
+
+(** Substitute variables by [vid]. Capture is not an issue because all vars
+    in a well-formed module have globally unique ids. *)
+let substitute subst e =
+  map_bottom_up
+    (function
+      | Var v as e -> ( match List.assoc_opt v.vid subst with Some e' -> e' | None -> e)
+      | e -> e)
+    e
+
+(** Count nodes, for pass statistics and tests. *)
+let size e =
+  let n = ref 0 in
+  iter (fun _ -> incr n) e;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_var ppf v =
+  match v.vty with
+  | Some ty -> Fmt.pf ppf "%%%s#%d: %a" v.vname v.vid Ty.pp ty
+  | None -> Fmt.pf ppf "%%%s#%d" v.vname v.vid
+
+let rec pp ppf = function
+  | Var v -> Fmt.pf ppf "%%%s#%d" v.vname v.vid
+  | Global g -> Fmt.pf ppf "@@%s" g
+  | Op o -> Fmt.string ppf o
+  | Ctor c -> Adt.pp_ctor ppf c
+  | Const t ->
+      if Tensor.numel t = 1 then Fmt.pf ppf "%g" (Tensor.get_float t 0)
+      else Fmt.pf ppf "const%a" Shape.pp (Tensor.shape t)
+  | Tuple es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) es
+  | Proj (e, i) -> Fmt.pf ppf "%a.%d" pp e i
+  | Call { callee; args; attrs } ->
+      if Attrs.is_empty attrs then
+        Fmt.pf ppf "%a(%a)" pp callee Fmt.(list ~sep:(any ", ") pp) args
+      else
+        Fmt.pf ppf "%a(%a) %a" pp callee Fmt.(list ~sep:(any ", ") pp) args Attrs.pp attrs
+  | Fn { params; body; _ } ->
+      Fmt.pf ppf "@[<v 2>fn (%a) {@ %a@]@ }" Fmt.(list ~sep:(any ", ") pp_var) params pp body
+  | Let (v, bound, body) ->
+      Fmt.pf ppf "@[<v>let %a = %a;@ %a@]" pp_var v pp bound pp body
+  | If (c, t, f) ->
+      Fmt.pf ppf "@[<v 2>if (%a) {@ %a@;<1 -2>} else {@ %a@;<1 -2>}@]" pp c pp t pp f
+  | Match (scrut, clauses) ->
+      let pp_clause ppf { pat; rhs } = Fmt.pf ppf "| %a => %a" pp_pat pat pp rhs in
+      Fmt.pf ppf "@[<v 2>match (%a) {@ %a@]@ }" pp scrut
+        Fmt.(list ~sep:(any "@ ") pp_clause)
+        clauses
+
+and pp_pat ppf = function
+  | Pwild -> Fmt.string ppf "_"
+  | Pvar v -> pp_var ppf v
+  | Pctor (c, ps) ->
+      Fmt.pf ppf "%s(%a)" c.Adt.ctor_name Fmt.(list ~sep:(any ", ") pp_pat) ps
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,137 @@
+(** Operator registry.
+
+    Each primitive operator has a name, an arity, and a fusion [pattern]
+    (the TVM-style operator-pattern lattice that drives the fusion pass).
+    Type relations and shape functions are registered against these names by
+    [Nimble_typing] and [Nimble_shape]. *)
+
+type pattern =
+  | Elemwise  (** 1:1 elementwise map *)
+  | Broadcast  (** elementwise after broadcasting *)
+  | Injective  (** output index is a function of input index (reshape, ...) *)
+  | Comm_reduce  (** commutative reduction *)
+  | Out_fusable  (** complex-out-fusable: dense/conv — elemwise epilogues fuse *)
+  | Opaque  (** never fused *)
+
+let pattern_to_string = function
+  | Elemwise -> "elemwise"
+  | Broadcast -> "broadcast"
+  | Injective -> "injective"
+  | Comm_reduce -> "comm_reduce"
+  | Out_fusable -> "out_fusable"
+  | Opaque -> "opaque"
+
+type def = {
+  name : string;
+  arity : int;  (** -1 for variadic *)
+  pattern : pattern;
+  description : string;
+}
+
+let registry : (string, def) Hashtbl.t = Hashtbl.create 64
+
+let register ~name ~arity ~pattern ~description =
+  if Hashtbl.mem registry name then
+    Fmt.invalid_arg "Op.register: duplicate operator %s" name;
+  Hashtbl.replace registry name { name; arity; pattern; description }
+
+let find name = Hashtbl.find_opt registry name
+
+let get name =
+  match find name with
+  | Some d -> d
+  | None -> Fmt.invalid_arg "Op.get: unknown operator %s" name
+
+let exists name = Hashtbl.mem registry name
+let all () = Hashtbl.fold (fun _ d acc -> d :: acc) registry []
+
+let () =
+  let r = register in
+  (* elementwise / broadcast *)
+  r ~name:"add" ~arity:2 ~pattern:Broadcast ~description:"broadcasting add";
+  r ~name:"subtract" ~arity:2 ~pattern:Broadcast ~description:"broadcasting subtract";
+  r ~name:"multiply" ~arity:2 ~pattern:Broadcast ~description:"broadcasting multiply";
+  r ~name:"divide" ~arity:2 ~pattern:Broadcast ~description:"broadcasting divide";
+  r ~name:"maximum" ~arity:2 ~pattern:Broadcast ~description:"broadcasting max";
+  r ~name:"minimum" ~arity:2 ~pattern:Broadcast ~description:"broadcasting min";
+  r ~name:"equal" ~arity:2 ~pattern:Broadcast ~description:"elementwise =, u8 output";
+  r ~name:"less" ~arity:2 ~pattern:Broadcast ~description:"elementwise <, u8 output";
+  r ~name:"greater" ~arity:2 ~pattern:Broadcast ~description:"elementwise >, u8 output";
+  r ~name:"negative" ~arity:1 ~pattern:Elemwise ~description:"unary negation";
+  r ~name:"abs" ~arity:1 ~pattern:Elemwise ~description:"absolute value";
+  r ~name:"exp" ~arity:1 ~pattern:Elemwise ~description:"exponential";
+  r ~name:"log" ~arity:1 ~pattern:Elemwise ~description:"natural log";
+  r ~name:"sqrt" ~arity:1 ~pattern:Elemwise ~description:"square root";
+  r ~name:"tanh" ~arity:1 ~pattern:Elemwise ~description:"hyperbolic tangent";
+  r ~name:"sigmoid" ~arity:1 ~pattern:Elemwise ~description:"logistic sigmoid";
+  r ~name:"relu" ~arity:1 ~pattern:Elemwise ~description:"rectified linear";
+  r ~name:"gelu" ~arity:1 ~pattern:Elemwise ~description:"gaussian error linear unit";
+  r ~name:"cast" ~arity:1 ~pattern:Elemwise ~description:"dtype cast (attr: dtype)";
+  r ~name:"erf" ~arity:1 ~pattern:Elemwise ~description:"error function";
+  r ~name:"power" ~arity:2 ~pattern:Broadcast ~description:"elementwise power";
+  r ~name:"less_equal" ~arity:2 ~pattern:Broadcast ~description:"elementwise <=, u8 output";
+  r ~name:"greater_equal" ~arity:2 ~pattern:Broadcast ~description:"elementwise >=, u8 output";
+  r ~name:"not_equal" ~arity:2 ~pattern:Broadcast ~description:"elementwise <>, u8 output";
+  r ~name:"logical_and" ~arity:2 ~pattern:Broadcast ~description:"elementwise and, u8";
+  r ~name:"logical_or" ~arity:2 ~pattern:Broadcast ~description:"elementwise or, u8";
+  r ~name:"logical_not" ~arity:1 ~pattern:Elemwise ~description:"elementwise not, u8";
+  r ~name:"where" ~arity:3 ~pattern:Broadcast ~description:"elementwise select";
+  r ~name:"log_softmax" ~arity:1 ~pattern:Opaque ~description:"log softmax (attr: axis)";
+  (* injective / shape manipulation *)
+  r ~name:"reshape" ~arity:1 ~pattern:Injective ~description:"reshape (attr: newshape)";
+  r ~name:"transpose" ~arity:1 ~pattern:Injective ~description:"transpose (attr: axes)";
+  r ~name:"expand_dims" ~arity:1 ~pattern:Injective ~description:"insert axis (attr: axis)";
+  r ~name:"squeeze" ~arity:1 ~pattern:Injective ~description:"remove axis (attr: axis)";
+  r ~name:"concat" ~arity:(-1) ~pattern:Injective ~description:"concatenate (attr: axis)";
+  r ~name:"split" ~arity:1 ~pattern:Injective
+    ~description:"split into equal sections (attrs: axis, sections)";
+  r ~name:"strided_slice" ~arity:1 ~pattern:Injective
+    ~description:"slice (attrs: begins, ends)";
+  r ~name:"take" ~arity:2 ~pattern:Injective ~description:"gather rows (attr: axis)";
+  r ~name:"tile" ~arity:1 ~pattern:Injective ~description:"repeat (attr: reps)";
+  (* reductions *)
+  r ~name:"sum" ~arity:1 ~pattern:Comm_reduce ~description:"sum (attrs: axis?, keepdims)";
+  r ~name:"max" ~arity:1 ~pattern:Comm_reduce ~description:"max (attrs: axis?, keepdims)";
+  r ~name:"min" ~arity:1 ~pattern:Comm_reduce ~description:"min (attrs: axis?, keepdims)";
+  r ~name:"mean" ~arity:1 ~pattern:Comm_reduce ~description:"mean (attrs: axis?, keepdims)";
+  r ~name:"argmax" ~arity:1 ~pattern:Comm_reduce ~description:"argmax (attr: axis)";
+  (* heavy kernels *)
+  r ~name:"dense" ~arity:2 ~pattern:Out_fusable ~description:"(m,k) x (n,k)^T";
+  r ~name:"matmul" ~arity:2 ~pattern:Out_fusable ~description:"(m,k) x (k,n)";
+  r ~name:"batch_matmul" ~arity:2 ~pattern:Out_fusable ~description:"(b,m,k) x (b,k,n)";
+  r ~name:"conv2d" ~arity:2 ~pattern:Out_fusable
+    ~description:"NCHW conv (attrs: stride, padding)";
+  r ~name:"bias_add" ~arity:2 ~pattern:Broadcast ~description:"add bias on last axis";
+  (* composite NN ops *)
+  r ~name:"softmax" ~arity:1 ~pattern:Opaque ~description:"softmax (attr: axis)";
+  r ~name:"layer_norm" ~arity:3 ~pattern:Opaque ~description:"layer norm (gamma, beta)";
+  r ~name:"batch_norm" ~arity:5 ~pattern:Opaque
+    ~description:"inference batch norm (gamma, beta, mean, var)";
+  r ~name:"max_pool2d" ~arity:1 ~pattern:Opaque
+    ~description:"max pooling (attrs: window, stride)";
+  r ~name:"avg_pool2d" ~arity:1 ~pattern:Opaque
+    ~description:"avg pooling (attrs: window, stride)";
+  r ~name:"global_avg_pool2d" ~arity:1 ~pattern:Opaque ~description:"global avg pool";
+  r ~name:"embedding" ~arity:2 ~pattern:Injective ~description:"embedding lookup";
+  (* data-dependent output shapes (paper §4.2) *)
+  r ~name:"arange" ~arity:3 ~pattern:Opaque
+    ~description:"range [start, stop, step); data-dependent shape";
+  r ~name:"unique" ~arity:1 ~pattern:Opaque
+    ~description:"unique elements; data-dependent shape";
+  r ~name:"nms" ~arity:1 ~pattern:Opaque
+    ~description:"non-maximum suppression; upper-bound shape (attrs: iou, score)";
+  (* dynamism / memory dialect (paper §4.3-4.4) *)
+  r ~name:"shape_of" ~arity:1 ~pattern:Opaque ~description:"runtime shape as i64 tensor";
+  r ~name:"reshape_tensor" ~arity:2 ~pattern:Opaque
+    ~description:"reshape to a runtime shape tensor";
+  r ~name:"device_copy" ~arity:1 ~pattern:Opaque
+    ~description:"cross-device copy (attrs: src_device, dst_device)";
+  r ~name:"memory.alloc_storage" ~arity:1 ~pattern:Opaque
+    ~description:"allocate a storage region (attrs: alignment, device, dtype)";
+  r ~name:"memory.alloc_tensor" ~arity:2 ~pattern:Opaque
+    ~description:"allocate a tensor in a storage (attrs: offset, const_shape?, dtype)";
+  r ~name:"memory.invoke_mut" ~arity:(-1) ~pattern:Opaque
+    ~description:"destination-passing call of a primitive";
+  r ~name:"memory.kill" ~arity:1 ~pattern:Opaque ~description:"free a tensor early";
+  r ~name:"memory.invoke_shape_func" ~arity:(-1) ~pattern:Opaque
+    ~description:"invoke the shape function of a primitive"

@@ -1,0 +1,32 @@
+(** Textual format for Nimble IR modules — the parser/printer pair that
+    plays the role of the paper's framework frontends.
+
+    {[
+      type TensorList = Nil() | Cons(Tensor[(1, ?), f32], TensorList)
+
+      def @main(%x: Tensor[(?, 16), f32]) {
+        let %h = dense(%x, randn[(8, 16), seed=3]);
+        relu(%h)
+      }
+    ]}
+
+    Surface syntax: [let %v = e; e], [if (c) { e } else { e }],
+    [match (e) { | Ctor(%a, %b) => { e } ... }], [fn (%p: ty) { e }],
+    tuples [(e, e)], projection [e.0], operator / [@global] / constructor
+    calls with optional [{k=v}] attributes, [-- line comments], and tensor
+    literals: scalars, [zeros[(d,...), dt]], [ones[...]],
+    [randn[..., seed=n]], and the lossless dense form
+    [tensor[(d,...), dt; v, v, ...]] the printer emits for arbitrary data. *)
+
+exception Parse_error of string
+
+(** Parse a textual module.
+    @raise Parse_error with a descriptive message on malformed input. *)
+val parse_module : string -> Irmod.t
+
+(** Print a module in the same format; [parse_module] of the output yields
+    an equivalent module (fresh variable ids aside). Function-typed or
+    unannotated parameters cannot be printed. *)
+val print_module : Format.formatter -> Irmod.t -> unit
+
+val module_to_string : Irmod.t -> string

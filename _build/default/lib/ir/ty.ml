@@ -1,0 +1,103 @@
+(** Types of the Nimble IR.
+
+    Tensor types carry per-dimension [Dim.t] (which may be [Any]); function
+    and tuple types support closures and multi-output operators; ADT types
+    (referenced by name, monomorphic) support dynamic data structures like
+    the Tree-LSTM's tree. [Var] is an inference-time type variable. *)
+
+open Nimble_tensor
+
+type t =
+  | Tensor of { dims : Dim.t array; dtype : Dtype.t }
+  | Tuple of t list
+  | Func of t list * t
+  | Adt of string
+  | Storage  (** a raw memory region from [memory.alloc_storage] (§4.3) *)
+  | Var of int
+
+let tensor ?(dtype = Dtype.F32) dims = Tensor { dims = Array.of_list dims; dtype }
+
+let tensor_of_shape ?(dtype = Dtype.F32) (s : Shape.t) =
+  Tensor { dims = Array.map Dim.static s; dtype }
+
+let scalar ?(dtype = Dtype.F32) () = Tensor { dims = [||]; dtype }
+let bool_scalar = Tensor { dims = [||]; dtype = Dtype.U8 }
+let unit = Tuple []
+
+let var_counter = ref 0
+
+let fresh_var () =
+  incr var_counter;
+  Var !var_counter
+
+let rec equal a b =
+  match (a, b) with
+  | Tensor x, Tensor y ->
+      Dtype.equal x.dtype y.dtype
+      && Array.length x.dims = Array.length y.dims
+      && Array.for_all2 Dim.equal x.dims y.dims
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Func (xs, xr), Func (ys, yr) ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys && equal xr yr
+  | Adt x, Adt y -> String.equal x y
+  | Storage, Storage -> true
+  | Var x, Var y -> x = y
+  | (Tensor _ | Tuple _ | Func _ | Adt _ | Storage | Var _), _ -> false
+
+(** Fully static: no [Any] or [Sym] dims anywhere. *)
+let rec is_static = function
+  | Tensor { dims; _ } -> Array.for_all Dim.is_static dims
+  | Tuple ts -> List.for_all is_static ts
+  | Func (args, ret) -> List.for_all is_static args && is_static ret
+  | Adt _ -> false
+  | Storage -> true
+  | Var _ -> false
+
+(** Extract the concrete shape if every dim is static. *)
+let static_shape = function
+  | Tensor { dims; _ } when Array.for_all Dim.is_static dims ->
+      Some
+        (Array.map (function Dim.Static n -> n | Dim.Any | Dim.Sym _ -> 0) dims)
+  | Tensor _ | Tuple _ | Func _ | Adt _ | Storage | Var _ -> None
+
+(** Sub-shaping (paper §4.1): [a] is usable where [b] is expected when every
+    dimension of [a] is at least as specific as [b]'s. *)
+let rec subtype a b =
+  match (a, b) with
+  | Tensor x, Tensor y ->
+      Dtype.equal x.dtype y.dtype
+      && Array.length x.dims = Array.length y.dims
+      && Array.for_all2
+           (fun da db ->
+             match (da, db) with
+             | _, Dim.Any -> true
+             | Dim.Sym i, Dim.Sym j -> i = j
+             | Dim.Static m, Dim.Static n -> m = n
+             | (Dim.Static _ | Dim.Any | Dim.Sym _), _ -> false)
+           x.dims y.dims
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 subtype xs ys
+  | Func (xs, xr), Func (ys, yr) ->
+      (* contravariant in arguments, covariant in result *)
+      List.length xs = List.length ys
+      && List.for_all2 subtype ys xs
+      && subtype xr yr
+  | Adt x, Adt y -> String.equal x y
+  | Storage, Storage -> true
+  | Var x, Var y -> x = y
+  | (Tensor _ | Tuple _ | Func _ | Adt _ | Storage | Var _), _ -> false
+
+let rec pp ppf = function
+  | Tensor { dims; dtype } ->
+      Fmt.pf ppf "Tensor[(%a), %a]" Fmt.(array ~sep:(any ", ") Dim.pp) dims
+        Dtype.pp dtype
+  | Tuple [] -> Fmt.string ppf "()"
+  | Tuple ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+  | Func (args, ret) ->
+      Fmt.pf ppf "fn(%a) -> %a" Fmt.(list ~sep:(any ", ") pp) args pp ret
+  | Adt name -> Fmt.string ppf name
+  | Storage -> Fmt.string ppf "Storage"
+  | Var id -> Fmt.pf ppf "'t%d" id
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,1 @@
+lib/models/bert.ml: Array Dim Dtype Expr Irmod List Model_ops Nimble_ir Nimble_tensor Ops_nn Rng Tensor Ty

@@ -1,0 +1,1 @@
+lib/models/decoder.ml: Attrs Dim Expr Irmod Model_ops Nimble_ir Nimble_tensor Ops_reduce Ops_shape Rng Tensor Ty

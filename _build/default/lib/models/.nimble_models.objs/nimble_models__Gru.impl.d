@@ -1,0 +1,1 @@
+lib/models/gru.ml: Adt Dim Expr Irmod List Model_ops Nimble_ir Nimble_tensor Rng Tensor Ty

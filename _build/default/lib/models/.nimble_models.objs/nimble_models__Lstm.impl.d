@@ -1,0 +1,1 @@
+lib/models/lstm.ml: Adt Dim Expr Fmt Fun Irmod List Model_ops Nimble_ir Nimble_tensor Rng Tensor Ty

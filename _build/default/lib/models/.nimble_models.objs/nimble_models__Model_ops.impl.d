@@ -1,0 +1,1 @@
+lib/models/model_ops.ml: Array Attrs Expr List Nimble_ir Nimble_tensor Ops_elem Ops_matmul Ops_nn Ops_shape Tensor

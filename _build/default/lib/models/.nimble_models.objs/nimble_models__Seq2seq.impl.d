@@ -1,0 +1,1 @@
+lib/models/seq2seq.ml: Decoder Expr Gru Irmod List Nimble_ir Nimble_tensor Rng Tensor Ty

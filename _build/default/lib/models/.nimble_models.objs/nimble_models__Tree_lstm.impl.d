@@ -1,0 +1,1 @@
+lib/models/tree_lstm.ml: Adt Expr Irmod Model_ops Nimble_ir Nimble_tensor Rng Tensor Ty

@@ -1,0 +1,139 @@
+(** BERT encoder (Devlin et al.) — the paper's dynamic-shape benchmark
+    model: a transformer stack whose sequence length varies per input
+    (the [Any] dimension). Paper configuration: BERT-base (12 layers,
+    hidden 768, 12 heads). The [small_config] keeps real measured runs
+    tractable in pure OCaml; the trace-driven cost model scales to base. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = {
+  num_layers : int;
+  hidden_size : int;
+  num_heads : int;
+  ffn_size : int;
+  vocab_size : int;
+}
+
+let base_config =
+  { num_layers = 12; hidden_size = 768; num_heads = 12; ffn_size = 3072; vocab_size = 30522 }
+
+let small_config =
+  { num_layers = 2; hidden_size = 64; num_heads = 4; ffn_size = 128; vocab_size = 1000 }
+
+type layer_weights = {
+  w_qkv : Tensor.t;  (** (3H, H) *)
+  b_qkv : Tensor.t;  (** (3H) *)
+  w_attn_out : Tensor.t;  (** (H, H) *)
+  b_attn_out : Tensor.t;
+  ln1_gamma : Tensor.t;
+  ln1_beta : Tensor.t;
+  w_ffn1 : Tensor.t;  (** (F, H) *)
+  b_ffn1 : Tensor.t;
+  w_ffn2 : Tensor.t;  (** (H, F) *)
+  b_ffn2 : Tensor.t;
+  ln2_gamma : Tensor.t;
+  ln2_beta : Tensor.t;
+}
+
+type weights = { config : config; layers : layer_weights list; embedding : Tensor.t }
+
+let init_weights ?(seed = 3) (config : config) : weights =
+  let rng = Rng.create ~seed in
+  let scale = 0.05 in
+  let h = config.hidden_size and f = config.ffn_size in
+  let layer _ =
+    {
+      w_qkv = Tensor.randn ~scale rng [| 3 * h; h |];
+      b_qkv = Tensor.randn ~scale rng [| 3 * h |];
+      w_attn_out = Tensor.randn ~scale rng [| h; h |];
+      b_attn_out = Tensor.randn ~scale rng [| h |];
+      ln1_gamma = Tensor.ones [| h |];
+      ln1_beta = Tensor.zeros [| h |];
+      w_ffn1 = Tensor.randn ~scale rng [| f; h |];
+      b_ffn1 = Tensor.randn ~scale rng [| f |];
+      w_ffn2 = Tensor.randn ~scale rng [| h; f |];
+      b_ffn2 = Tensor.randn ~scale rng [| h |];
+      ln2_gamma = Tensor.ones [| h |];
+      ln2_beta = Tensor.zeros [| h |];
+    }
+  in
+  {
+    config;
+    layers = List.init config.num_layers layer;
+    embedding = Tensor.randn ~scale rng [| config.vocab_size; h |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Encoder math, shared by every executor                              *)
+(* ------------------------------------------------------------------ *)
+
+module Encoder (O : Model_ops.OPS) = struct
+  (** One transformer layer over [x : (s, H)]. *)
+  let layer (cfg : config) (w : layer_weights) x =
+    let h = cfg.hidden_size and heads = cfg.num_heads in
+    let d = h / heads in
+    let qkv = O.bias_add (O.dense x (O.const w.w_qkv)) (O.const w.b_qkv) in
+    let q, k, v =
+      match O.split ~axis:1 ~sections:3 qkv with
+      | [ q; k; v ] -> (q, k, v)
+      | _ -> assert false
+    in
+    (* (s, H) -> (heads, s, d) *)
+    let to_heads t = O.transpose ~axes:[| 1; 0; 2 |] (O.reshape [| -1; heads; d |] t) in
+    let qh = to_heads q and vh = to_heads v in
+    let kh = O.transpose ~axes:[| 1; 2; 0 |] (O.reshape [| -1; heads; d |] k) in
+    let scores = O.mul_scalar (1.0 /. sqrt (float_of_int d)) (O.batch_matmul qh kh) in
+    let probs = O.softmax ~axis:(-1) scores in
+    let ctx = O.batch_matmul probs vh in
+    (* (heads, s, d) -> (s, H) *)
+    let merged = O.reshape [| -1; h |] (O.transpose ~axes:[| 1; 0; 2 |] ctx) in
+    let attn_out = O.bias_add (O.dense merged (O.const w.w_attn_out)) (O.const w.b_attn_out) in
+    let x1 =
+      O.layer_norm (O.add x attn_out) ~gamma:(O.const w.ln1_gamma) ~beta:(O.const w.ln1_beta)
+    in
+    let ffn =
+      O.bias_add
+        (O.dense
+           (O.gelu (O.bias_add (O.dense x1 (O.const w.w_ffn1)) (O.const w.b_ffn1)))
+           (O.const w.w_ffn2))
+        (O.const w.b_ffn2)
+    in
+    O.layer_norm (O.add x1 ffn) ~gamma:(O.const w.ln2_gamma) ~beta:(O.const w.ln2_beta)
+
+  let encode (w : weights) x = List.fold_left (fun x lw -> layer w.config lw x) x w.layers
+end
+
+module Ref_encoder = Encoder (Model_ops.Tensor_ops)
+
+(** Reference execution over an embedded sequence [(s, H)]. *)
+let reference (w : weights) (x : Tensor.t) : Tensor.t = Ref_encoder.encode w x
+
+(** Embed a token-id sequence. *)
+let embed (w : weights) (ids : int array) : Tensor.t =
+  let ids_t = Tensor.of_int_array ~dtype:Dtype.I64 [| Array.length ids |] ids in
+  Ops_nn.embedding w.embedding ids_t
+
+(* ------------------------------------------------------------------ *)
+(* Nimble IR build                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Ir_encoder = Encoder (Model_ops.Ir_ops)
+
+(** Build the IR module: main takes an embedded sequence [(Any, H)]. *)
+let ir_module (w : weights) : Irmod.t =
+  let h = w.config.hidden_size in
+  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static h ]) "x" in
+  Irmod.of_main (Expr.fn_def [ x ] (Ir_encoder.encode w (Expr.Var x)))
+
+(** Build an IR module specialized to a static sequence length (the TVM
+    static-compilation baseline of Table 4). *)
+let ir_module_static (w : weights) ~seq_len : Irmod.t =
+  let h = w.config.hidden_size in
+  let x = Expr.fresh_var ~ty:(Ty.tensor_of_shape [| seq_len; h |]) "x" in
+  Irmod.of_main (Expr.fn_def [ x ] (Ir_encoder.encode w (Expr.Var x)))
+
+(** Random token ids of a given length. *)
+let random_ids ?(seed = 17) (w : weights) ~len : int array =
+  let rng = Rng.create ~seed:(seed + len) in
+  Array.init len (fun _ -> Rng.int rng w.config.vocab_size)

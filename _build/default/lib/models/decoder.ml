@@ -1,0 +1,129 @@
+(** Greedy auto-regressive decoder — the paper's motivating example of a
+    program that "grows a tensor on each loop iteration (a case existing in
+    the decoder of many NLP models)", which is "impossible to type and
+    compile without proper type system support" (§4.1).
+
+    Each step appends one vocabulary distribution to the accumulated output
+    (so the result's leading dimension is [Any] and grows per iteration) and
+    stops either on a confidence threshold (data-dependent control flow) or
+    when the step budget runs out. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = {
+  hidden_size : int;
+  vocab_size : int;
+  max_steps : int;
+  confidence : float;  (** stop when the best token's probability exceeds this *)
+}
+
+let default_config = { hidden_size = 32; vocab_size = 24; max_steps = 12; confidence = 0.35 }
+
+type weights = {
+  config : config;
+  w_out : Tensor.t;  (** (V, H): state -> logits *)
+  b_out : Tensor.t;  (** (V) *)
+  w_in : Tensor.t;  (** (H, V): emitted distribution -> next state *)
+  b_in : Tensor.t;  (** (H) *)
+}
+
+let init_weights ?(seed = 6) (config : config) : weights =
+  let rng = Rng.create ~seed in
+  let scale = 0.35 in
+  {
+    config;
+    w_out = Tensor.randn ~scale rng [| config.vocab_size; config.hidden_size |];
+    b_out = Tensor.randn ~scale rng [| config.vocab_size |];
+    w_in = Tensor.randn ~scale rng [| config.hidden_size; config.vocab_size |];
+    b_in = Tensor.randn ~scale rng [| config.hidden_size |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Step math, shared by reference and IR                               *)
+(* ------------------------------------------------------------------ *)
+
+module Step (O : Model_ops.OPS) = struct
+  (** state [(1, H)] -> emitted distribution [(1, V)]. *)
+  let emit (w : weights) h =
+    O.softmax ~axis:(-1) (O.bias_add (O.dense h (O.const w.w_out)) (O.const w.b_out))
+
+  (** emitted distribution [(1, V)] -> next state [(1, H)]. *)
+  let next_state (w : weights) dist =
+    O.tanh (O.bias_add (O.dense dist (O.const w.w_in)) (O.const w.b_in))
+end
+
+module Ref_step = Step (Model_ops.Tensor_ops)
+
+(** Reference execution: returns the [(steps, V)] matrix of emitted
+    distributions. The number of rows is input-dependent. *)
+let reference (w : weights) (h0 : Tensor.t) : Tensor.t =
+  let rec go h acc steps_left =
+    let dist = Ref_step.emit w h in
+    let acc = acc @ [ dist ] in
+    let best = Tensor.item (Ops_reduce.max dist) in
+    if steps_left <= 1 || best > w.config.confidence then acc
+    else go (Ref_step.next_state w dist) acc (steps_left - 1)
+  in
+  Ops_shape.concat ~axis:0 (go h0 [] w.config.max_steps)
+
+(* ------------------------------------------------------------------ *)
+(* Nimble IR build                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Ir_step = Step (Model_ops.Ir_ops)
+
+(** Build the IR module: [main : (1, H) -> (Any, V)] — the output's leading
+    dimension only exists at runtime. *)
+let ir_module (w : weights) : Irmod.t =
+  let h_ty = Ty.tensor_of_shape [| 1; w.config.hidden_size |] in
+  let acc_ty = Ty.tensor [ Dim.Any; Dim.static w.config.vocab_size ] in
+  let scalar_ty = Ty.scalar () in
+  let m = Irmod.create () in
+  (* decode(h, acc, steps_left) -> (Any, V) *)
+  let h = Expr.fresh_var ~ty:h_ty "h" in
+  let acc = Expr.fresh_var ~ty:acc_ty "acc" in
+  let steps = Expr.fresh_var ~ty:scalar_ty "steps" in
+  let dist = Expr.fresh_var "dist" in
+  let acc2 = Expr.fresh_var "acc2" in
+  let recurse =
+    Expr.call (Expr.Global "decode")
+      [
+        Ir_step.next_state w (Expr.Var dist);
+        Expr.Var acc2;
+        Expr.op_call "subtract" [ Expr.Var steps; Expr.const_scalar 1.0 ];
+      ]
+  in
+  let body =
+    Expr.Let
+      ( dist,
+        Ir_step.emit w (Expr.Var h),
+        Expr.Let
+          ( acc2,
+            Expr.op_call ~attrs:[ ("axis", Attrs.Int 0) ] "concat"
+              [ Expr.Var acc; Expr.Var dist ],
+            Expr.If
+              ( Expr.op_call "less" [ Expr.Var steps; Expr.const_scalar 1.5 ],
+                Expr.Var acc2,
+                Expr.If
+                  ( Expr.op_call "greater"
+                      [ Expr.op_call "max" [ Expr.Var dist ];
+                        Expr.const_scalar w.config.confidence ],
+                    Expr.Var acc2,
+                    recurse ) ) ) )
+  in
+  Irmod.add_func m "decode" (Expr.fn_def ~ret_ty:acc_ty [ h; acc; steps ] body);
+  let h0 = Expr.fresh_var ~ty:h_ty "h0" in
+  Irmod.add_func m "main"
+    (Expr.fn_def [ h0 ]
+       (Expr.call (Expr.Global "decode")
+          [
+            Expr.Var h0;
+            Expr.Const (Tensor.zeros [| 0; w.config.vocab_size |]);
+            Expr.const_scalar (float_of_int w.config.max_steps);
+          ]));
+  m
+
+(** A random initial state. *)
+let random_state ?(seed = 23) (config : config) : Tensor.t =
+  Tensor.randn ~scale:1.0 (Rng.create ~seed) [| 1; config.hidden_size |]

@@ -1,0 +1,95 @@
+(** GRU (Cho et al.) — a second recurrent architecture over the same
+    dynamic-length [TensorList] encoding as the LSTM, demonstrating that the
+    dynamic-control-flow machinery is model-agnostic. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = { input_size : int; hidden_size : int }
+
+let default_config = { input_size = 300; hidden_size = 512 }
+let small_config = { input_size = 24; hidden_size = 40 }
+
+type weights = {
+  config : config;
+  wx : Tensor.t;  (** (3H, I): z, r, candidate from input *)
+  wh : Tensor.t;  (** (3H, H): z, r, candidate from state *)
+  b : Tensor.t;  (** (3H) *)
+}
+
+let init_weights ?(seed = 9) (config : config) : weights =
+  let rng = Rng.create ~seed in
+  let scale = 0.08 in
+  {
+    config;
+    wx = Tensor.randn ~scale rng [| 3 * config.hidden_size; config.input_size |];
+    wh = Tensor.randn ~scale rng [| 3 * config.hidden_size; config.hidden_size |];
+    b = Tensor.randn ~scale rng [| 3 * config.hidden_size |];
+  }
+
+module Cell (O : Model_ops.OPS) = struct
+  (** One GRU step: [x : (1, I)], [h : (1, H)] -> [h']. *)
+  let step (w : weights) ~hidden_size x h =
+    let hs = hidden_size in
+    let gx = O.bias_add (O.dense x (O.const w.wx)) (O.const w.b) in
+    let gh = O.dense h (O.const w.wh) in
+    let part t i = O.slice ~begins:[| 0; i * hs |] ~ends:[| 1; (i + 1) * hs |] t in
+    let z = O.sigmoid (O.add (part gx 0) (part gh 0)) in
+    let r = O.sigmoid (O.add (part gx 1) (part gh 1)) in
+    (* candidate uses the reset-gated recurrent contribution *)
+    let cand = O.tanh (O.add (part gx 2) (O.mul r (part gh 2))) in
+    (* h' = (1 - z) * h + z * cand *)
+    O.add (O.mul (O.sub (O.const (Tensor.ones [| 1; hs |])) z) h) (O.mul z cand)
+end
+
+module Ref_cell = Cell (Model_ops.Tensor_ops)
+
+(** Reference execution: last hidden state over the sequence. *)
+let reference (w : weights) (xs : Tensor.t list) : Tensor.t =
+  let hs = w.config.hidden_size in
+  List.fold_left
+    (fun h x -> Ref_cell.step w ~hidden_size:hs x h)
+    (Tensor.zeros [| 1; hs |])
+    xs
+
+module Ir_cell = Cell (Model_ops.Ir_ops)
+
+(** Build the IR module over a [TensorList] of embeddings. *)
+let ir_module (w : weights) : Irmod.t =
+  let hs = w.config.hidden_size in
+  let elem_ty = Ty.tensor [ Dim.static 1; Dim.Any ] in
+  let list_adt = Adt.tensor_list ~elem_ty in
+  let nil = Adt.ctor_exn list_adt "Nil" in
+  let cons = Adt.ctor_exn list_adt "Cons" in
+  let list_ty = Ty.Adt "TensorList" in
+  let state_ty = Ty.tensor_of_shape [| 1; hs |] in
+  let m = Irmod.create () in
+  Irmod.add_adt m list_adt;
+  let xs = Expr.fresh_var ~ty:list_ty "xs" in
+  let h = Expr.fresh_var ~ty:state_ty "h" in
+  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.static 1; Dim.Any ]) "x" in
+  let rest = Expr.fresh_var ~ty:list_ty "rest" in
+  let body =
+    Expr.Match
+      ( Expr.Var xs,
+        [
+          { Expr.pat = Expr.Pctor (nil, []); rhs = Expr.Var h };
+          {
+            Expr.pat = Expr.Pctor (cons, [ Expr.Pvar x; Expr.Pvar rest ]);
+            rhs =
+              Expr.call (Expr.Global "scan")
+                [ Expr.Var rest; Ir_cell.step w ~hidden_size:hs (Expr.Var x) (Expr.Var h) ];
+          };
+        ] )
+  in
+  Irmod.add_func m "scan" (Expr.fn_def ~ret_ty:state_ty [ xs; h ] body);
+  let input = Expr.fresh_var ~ty:list_ty "input" in
+  Irmod.add_func m "main"
+    (Expr.fn_def [ input ]
+       (Expr.call (Expr.Global "scan")
+          [ Expr.Var input; Expr.Const (Tensor.zeros [| 1; hs |]) ]));
+  m
+
+let random_sequence ?(seed = 15) (config : config) ~len : Tensor.t list =
+  let rng = Rng.create ~seed:(seed + len) in
+  List.init len (fun _ -> Tensor.randn ~scale:0.5 rng [| 1; config.input_size |])

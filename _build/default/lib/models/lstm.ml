@@ -1,0 +1,184 @@
+(** LSTM (Hochreiter & Schmidhuber) — the paper's dynamic-control-flow
+    benchmark model. Paper configuration: input 300, hidden 512, 1 or 2
+    layers, batch 1, variable-length token sequences.
+
+    The sequence is a [TensorList] ADT, so its length is only known at
+    runtime; the Nimble build compiles the recursion over it into VM control
+    flow, while baselines drive it from the host language. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = { input_size : int; hidden_size : int; num_layers : int }
+
+let default_config = { input_size = 300; hidden_size = 512; num_layers = 1 }
+let small_config = { input_size = 32; hidden_size = 48; num_layers = 1 }
+
+type layer_weights = {
+  wx : Tensor.t;  (** (4H, I) *)
+  wh : Tensor.t;  (** (4H, H) *)
+  b : Tensor.t;  (** (4H) *)
+}
+
+type weights = { config : config; layers : layer_weights list }
+
+let init_weights ?(seed = 1) (config : config) : weights =
+  let rng = Rng.create ~seed in
+  let scale = 0.08 in
+  let layer l =
+    let input = if l = 0 then config.input_size else config.hidden_size in
+    {
+      wx = Tensor.randn ~scale rng [| 4 * config.hidden_size; input |];
+      wh = Tensor.randn ~scale rng [| 4 * config.hidden_size; config.hidden_size |];
+      b = Tensor.randn ~scale rng [| 4 * config.hidden_size |];
+    }
+  in
+  { config; layers = List.init config.num_layers layer }
+
+(* ------------------------------------------------------------------ *)
+(* Cell math, shared by every executor                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Cell (O : Model_ops.OPS) = struct
+  (** One LSTM step: [x : (1, I)], [h c : (1, H)] -> [(h', c')]. *)
+  let step (w : layer_weights) ~hidden_size x (h, c) =
+    let gates =
+      O.bias_add (O.add (O.dense x (O.const w.wx)) (O.dense h (O.const w.wh))) (O.const w.b)
+    in
+    let hs = hidden_size in
+    let part i = O.slice ~begins:[| 0; i * hs |] ~ends:[| 1; (i + 1) * hs |] gates in
+    let i_gate = O.sigmoid (part 0) in
+    let f_gate = O.sigmoid (part 1) in
+    let g_gate = O.tanh (part 2) in
+    let o_gate = O.sigmoid (part 3) in
+    let c' = O.add (O.mul f_gate c) (O.mul i_gate g_gate) in
+    let h' = O.mul o_gate (O.tanh c') in
+    (h', c')
+end
+
+module Ref_cell = Cell (Model_ops.Tensor_ops)
+
+(** Reference execution over a token sequence; returns the last hidden state
+    of the top layer. *)
+let reference (w : weights) (xs : Tensor.t list) : Tensor.t =
+  let hs = w.config.hidden_size in
+  let zero () = Tensor.zeros [| 1; hs |] in
+  let run_layer lw seq =
+    let _, outputs =
+      List.fold_left
+        (fun ((h, c), acc) x ->
+          let h', c' = Ref_cell.step lw ~hidden_size:hs x (h, c) in
+          ((h', c'), h' :: acc))
+        ((zero (), zero ()), [])
+        seq
+    in
+    List.rev outputs
+  in
+  let final = List.fold_left (fun seq lw -> run_layer lw seq) xs w.layers in
+  match List.rev final with
+  | last :: _ -> last
+  | [] -> Tensor.zeros [| 1; hs |]
+
+(* ------------------------------------------------------------------ *)
+(* Nimble IR build                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Ir_cell = Cell (Model_ops.Ir_ops)
+
+(** Build the IR module. The main function takes a [TensorList] of
+    embeddings [(1, I)] and returns the last top-layer hidden state. *)
+let ir_module (w : weights) : Irmod.t =
+  let hs = w.config.hidden_size in
+  let elem_ty = Ty.tensor [ Dim.static 1; Dim.Any ] in
+  let list_adt = Adt.tensor_list ~elem_ty in
+  let nil = Adt.ctor_exn list_adt "Nil" in
+  let cons = Adt.ctor_exn list_adt "Cons" in
+  let list_ty = Ty.Adt "TensorList" in
+  let state_ty = Ty.tensor_of_shape [| 1; hs |] in
+  let m = Irmod.create () in
+  Irmod.add_adt m list_adt;
+  (* Per-layer recursive scan: layer_l(xs, h, c) -> TensorList of hiddens. *)
+  List.iteri
+    (fun l lw ->
+      let fname = Fmt.str "layer%d" l in
+      let in_ty = Ty.tensor [ Dim.static 1; Dim.Any ] in
+      let xs = Expr.fresh_var ~ty:list_ty "xs" in
+      let h = Expr.fresh_var ~ty:state_ty "h" in
+      let c = Expr.fresh_var ~ty:state_ty "c" in
+      let x = Expr.fresh_var ~ty:in_ty "x" in
+      let rest = Expr.fresh_var ~ty:list_ty "rest" in
+      let hc = Expr.fresh_var "hc" in
+      let h' = Expr.fresh_var ~ty:state_ty "h2" in
+      let c' = Expr.fresh_var ~ty:state_ty "c2" in
+      let step_h, step_c = Ir_cell.step lw ~hidden_size:hs (Expr.Var x) (Expr.Var h, Expr.Var c) in
+      let body =
+        Expr.Match
+          ( Expr.Var xs,
+            [
+              { Expr.pat = Expr.Pctor (nil, []); rhs = Expr.ctor_call nil [] };
+              {
+                Expr.pat = Expr.Pctor (cons, [ Expr.Pvar x; Expr.Pvar rest ]);
+                rhs =
+                  Expr.Let
+                    ( hc,
+                      Expr.Tuple [ step_h; step_c ],
+                      Expr.Let
+                        ( h',
+                          Expr.Proj (Expr.Var hc, 0),
+                          Expr.Let
+                            ( c',
+                              Expr.Proj (Expr.Var hc, 1),
+                              Expr.ctor_call cons
+                                [
+                                  Expr.Var h';
+                                  Expr.call (Expr.Global fname)
+                                    [ Expr.Var rest; Expr.Var h'; Expr.Var c' ];
+                                ] ) ) );
+              };
+            ] )
+      in
+      Irmod.add_func m fname (Expr.fn_def ~ret_ty:list_ty [ xs; h; c ] body))
+    w.layers;
+  (* last(xs, acc): the final element of a TensorList. *)
+  let xs = Expr.fresh_var ~ty:list_ty "xs" in
+  let acc = Expr.fresh_var ~ty:(Ty.tensor [ Dim.static 1; Dim.Any ]) "acc" in
+  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.static 1; Dim.Any ]) "x" in
+  let rest = Expr.fresh_var ~ty:list_ty "rest" in
+  Irmod.add_func m "last"
+    (Expr.fn_def
+       ~ret_ty:(Ty.tensor [ Dim.static 1; Dim.Any ])
+       [ xs; acc ]
+       (Expr.Match
+          ( Expr.Var xs,
+            [
+              { Expr.pat = Expr.Pctor (nil, []); rhs = Expr.Var acc };
+              {
+                Expr.pat = Expr.Pctor (cons, [ Expr.Pvar x; Expr.Pvar rest ]);
+                rhs = Expr.call (Expr.Global "last") [ Expr.Var rest; Expr.Var x ];
+              };
+            ] )));
+  (* main: chain the layers, then take the last hidden state. *)
+  let input = Expr.fresh_var ~ty:list_ty "input" in
+  let zero = Expr.Const (Tensor.zeros [| 1; hs |]) in
+  let chained =
+    List.fold_left
+      (fun seq l -> Expr.call (Expr.Global (Fmt.str "layer%d" l)) [ seq; zero; zero ])
+      (Expr.Var input)
+      (List.init w.config.num_layers Fun.id)
+  in
+  Irmod.add_func m "main"
+    (Expr.fn_def [ input ] (Expr.call (Expr.Global "last") [ chained; zero ]));
+  m
+
+(** Encode a token sequence as the VM's TensorList object. *)
+let input_of_sequence ~(nil_tag : int) ~(cons_tag : int) (wrap : Tensor.t -> 'a)
+    (mk_adt : int -> 'a array -> 'a) (xs : Tensor.t list) : 'a =
+  List.fold_right
+    (fun x acc -> mk_adt cons_tag [| wrap x; acc |])
+    xs
+    (mk_adt nil_tag [||])
+
+(** Generate a random embedded sequence of the given length. *)
+let random_sequence ?(seed = 11) (config : config) ~len : Tensor.t list =
+  let rng = Rng.create ~seed:(seed + len) in
+  List.init len (fun _ -> Tensor.randn ~scale:0.5 rng [| 1; config.input_size |])

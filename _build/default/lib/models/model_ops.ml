@@ -1,0 +1,131 @@
+(** The operator interface model definitions are written against.
+
+    Each model's math is defined once as a functor over [OPS]; the reference
+    executor instantiates it with direct tensor kernels, and every baseline
+    framework instantiates it with its own dispatch semantics (eager with
+    per-op overhead, static graph construction, ...). The Nimble IR builders
+    instantiate it with IR expression construction. *)
+
+open Nimble_tensor
+
+module type OPS = sig
+  type t
+
+  val const : Tensor.t -> t
+  val dense : t -> t -> t
+  val bias_add : t -> t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val sigmoid : t -> t
+  val tanh : t -> t
+  val gelu : t -> t
+  val softmax : axis:int -> t -> t
+  val layer_norm : t -> gamma:t -> beta:t -> t
+  val split : axis:int -> sections:int -> t -> t list
+  val slice : begins:int array -> ends:int array -> t -> t
+  val reshape : int array -> t -> t
+  val transpose : axes:int array -> t -> t
+  val batch_matmul : t -> t -> t
+  val mul_scalar : float -> t -> t
+  val concat : axis:int -> t list -> t
+  val relu : t -> t
+  val conv2d : stride:int -> padding:int -> t -> t -> t
+  val max_pool2d : window:int -> stride:int -> t -> t
+  val global_avg_pool2d : t -> t
+  val batch_norm : t -> gamma:t -> beta:t -> mean:t -> var:t -> t
+end
+
+(** The reference instantiation: direct kernel calls, no framework. *)
+module Tensor_ops : OPS with type t = Tensor.t = struct
+  type t = Tensor.t
+
+  let const t = t
+  let dense = Ops_matmul.dense
+  let bias_add = Ops_elem.add
+  let add = Ops_elem.add
+  let sub = Ops_elem.sub
+  let mul = Ops_elem.mul
+  let sigmoid = Ops_elem.sigmoid
+  let tanh = Ops_elem.tanh
+  let gelu = Ops_elem.gelu
+  let softmax ~axis t = Ops_nn.softmax ~axis t
+  let layer_norm t ~gamma ~beta = Ops_nn.layer_norm t ~gamma ~beta
+  let split ~axis ~sections t = Ops_shape.split ~axis ~sections t
+  let slice ~begins ~ends t = Ops_shape.strided_slice ~begins ~ends t
+  let reshape s t = Tensor.reshape t s
+  let transpose ~axes t = Ops_shape.transpose ~axes t
+  let batch_matmul = Ops_matmul.batch_matmul
+  let mul_scalar c t = Ops_elem.mul_scalar t c
+  let concat ~axis ts = Ops_shape.concat ~axis ts
+  let relu = Ops_elem.relu
+  let conv2d ~stride ~padding d w = Ops_nn.conv2d ~stride ~padding d w
+  let max_pool2d ~window ~stride t = Ops_nn.max_pool2d ~stride ~window t
+  let global_avg_pool2d = Ops_nn.global_avg_pool2d
+  let batch_norm t ~gamma ~beta ~mean ~var = Ops_nn.batch_norm t ~gamma ~beta ~mean ~var
+end
+
+(** IR-expression instantiation, used by the model-to-IR builders. *)
+module Ir_ops : OPS with type t = Nimble_ir.Expr.t = struct
+  open Nimble_ir
+
+  type t = Expr.t
+
+  let const t = Expr.Const t
+  let dense a b = Expr.op_call "dense" [ a; b ]
+  let bias_add a b = Expr.op_call "bias_add" [ a; b ]
+  let add a b = Expr.op_call "add" [ a; b ]
+  let sub a b = Expr.op_call "subtract" [ a; b ]
+  let mul a b = Expr.op_call "multiply" [ a; b ]
+  let sigmoid a = Expr.op_call "sigmoid" [ a ]
+  let tanh a = Expr.op_call "tanh" [ a ]
+  let gelu a = Expr.op_call "gelu" [ a ]
+  let softmax ~axis a = Expr.op_call ~attrs:[ ("axis", Attrs.Int axis) ] "softmax" [ a ]
+
+  let layer_norm a ~gamma ~beta = Expr.op_call "layer_norm" [ a; gamma; beta ]
+
+  let split ~axis ~sections a =
+    let v = Expr.fresh_var "split" in
+    ignore v;
+    let call =
+      Expr.op_call
+        ~attrs:[ ("axis", Attrs.Int axis); ("sections", Attrs.Int sections) ]
+        "split" [ a ]
+    in
+    List.init sections (fun i -> Expr.Proj (call, i))
+
+  let slice ~begins ~ends a =
+    Expr.op_call
+      ~attrs:
+        [
+          ("begins", Attrs.Ints (Array.to_list begins));
+          ("ends", Attrs.Ints (Array.to_list ends));
+        ]
+      "strided_slice" [ a ]
+
+  let reshape s a =
+    Expr.op_call ~attrs:[ ("newshape", Attrs.Ints (Array.to_list s)) ] "reshape" [ a ]
+
+  let transpose ~axes a =
+    Expr.op_call ~attrs:[ ("axes", Attrs.Ints (Array.to_list axes)) ] "transpose" [ a ]
+
+  let batch_matmul a b = Expr.op_call "batch_matmul" [ a; b ]
+  let mul_scalar c a = Expr.op_call "multiply" [ a; Expr.const_scalar c ]
+  let concat ~axis ts = Expr.op_call ~attrs:[ ("axis", Attrs.Int axis) ] "concat" ts
+  let relu a = Expr.op_call "relu" [ a ]
+
+  let conv2d ~stride ~padding d w =
+    Expr.op_call
+      ~attrs:[ ("stride", Attrs.Int stride); ("padding", Attrs.Int padding) ]
+      "conv2d" [ d; w ]
+
+  let max_pool2d ~window ~stride a =
+    Expr.op_call
+      ~attrs:[ ("window", Attrs.Int window); ("stride", Attrs.Int stride) ]
+      "max_pool2d" [ a ]
+
+  let global_avg_pool2d a = Expr.op_call "global_avg_pool2d" [ a ]
+
+  let batch_norm a ~gamma ~beta ~mean ~var =
+    Expr.op_call "batch_norm" [ a; gamma; beta; mean; var ]
+end

@@ -1,0 +1,79 @@
+(** Sequence-to-sequence model (Sutskever et al., the paper's canonical
+    dynamic-control-flow citation): a GRU encoder consumes a runtime-length
+    [TensorList], and a greedy decoder emits a runtime-length output matrix
+    — both directions of dynamism in one executable:
+
+    - input length unknown (recursion over an ADT),
+    - output length data-dependent (grow-tensor loop with a confidence
+      stop). *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = {
+  input_size : int;
+  hidden_size : int;
+  vocab_size : int;
+  max_steps : int;
+  confidence : float;
+}
+
+let default_config =
+  { input_size = 24; hidden_size = 32; vocab_size = 20; max_steps = 10; confidence = 0.3 }
+
+type weights = {
+  config : config;
+  encoder : Gru.weights;
+  decoder : Decoder.weights;
+}
+
+let init_weights ?(seed = 12) (config : config) : weights =
+  {
+    config;
+    encoder =
+      Gru.init_weights ~seed
+        { Gru.input_size = config.input_size; hidden_size = config.hidden_size };
+    decoder =
+      Decoder.init_weights ~seed:(seed + 1)
+        {
+          Decoder.hidden_size = config.hidden_size;
+          vocab_size = config.vocab_size;
+          max_steps = config.max_steps;
+          confidence = config.confidence;
+        };
+  }
+
+(** Reference: encode the sequence, then decode greedily. *)
+let reference (w : weights) (xs : Tensor.t list) : Tensor.t =
+  Decoder.reference w.decoder (Gru.reference w.encoder xs)
+
+(** Build the IR module: the encoder's [scan] and the decoder's [decode]
+    recursion live side by side; [main] chains them. *)
+let ir_module (w : weights) : Irmod.t =
+  let enc = Gru.ir_module w.encoder in
+  let dec = Decoder.ir_module w.decoder in
+  let m = Irmod.create () in
+  List.iter (Irmod.add_adt m) (Irmod.adts enc);
+  (* pull in both recursions under their original names *)
+  Irmod.add_func m "scan" (Irmod.func_exn enc "scan");
+  Irmod.add_func m "decode" (Irmod.func_exn dec "decode");
+  let hs = w.config.hidden_size in
+  let input = Expr.fresh_var ~ty:(Ty.Adt "TensorList") "input" in
+  let h = Expr.fresh_var "h" in
+  Irmod.add_func m "main"
+    (Expr.fn_def [ input ]
+       (Expr.Let
+          ( h,
+            Expr.call (Expr.Global "scan")
+              [ Expr.Var input; Expr.Const (Tensor.zeros [| 1; hs |]) ],
+            Expr.call (Expr.Global "decode")
+              [
+                Expr.Var h;
+                Expr.Const (Tensor.zeros [| 0; w.config.vocab_size |]);
+                Expr.const_scalar (float_of_int w.config.max_steps);
+              ] )));
+  m
+
+let random_sequence ?(seed = 19) (config : config) ~len : Tensor.t list =
+  let rng = Rng.create ~seed:(seed + len) in
+  List.init len (fun _ -> Tensor.randn ~scale:0.6 rng [| 1; config.input_size |])

@@ -1,0 +1,164 @@
+(** Child-sum Tree-LSTM (Tai et al.) — the paper's dynamic-data-structure
+    benchmark model. Paper configuration: input 300, hidden 150, batch 1,
+    SST constituency trees.
+
+    Leaves carry word embeddings; internal nodes combine their two children.
+    The tree is a [TensorTree] ADT, and evaluation is a recursive match —
+    the structure of the computation differs per input. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = { input_size : int; hidden_size : int; num_classes : int }
+
+let default_config = { input_size = 300; hidden_size = 150; num_classes = 5 }
+let small_config = { input_size = 24; hidden_size = 32; num_classes = 5 }
+
+type weights = {
+  config : config;
+  w_leaf : Tensor.t;  (** (4H, I): leaf transform producing i,o,u,(unused) *)
+  b_leaf : Tensor.t;  (** (4H) *)
+  u_iou : Tensor.t;  (** (3H, H): node gates from summed child hiddens *)
+  b_iou : Tensor.t;  (** (3H) *)
+  u_f : Tensor.t;  (** (H, H): per-child forget gate *)
+  b_f : Tensor.t;  (** (H) *)
+  w_out : Tensor.t;  (** (classes, H) *)
+  b_out : Tensor.t;  (** (classes) *)
+}
+
+let init_weights ?(seed = 2) (config : config) : weights =
+  let rng = Rng.create ~seed in
+  let scale = 0.08 in
+  let h = config.hidden_size in
+  {
+    config;
+    w_leaf = Tensor.randn ~scale rng [| 4 * h; config.input_size |];
+    b_leaf = Tensor.randn ~scale rng [| 4 * h |];
+    u_iou = Tensor.randn ~scale rng [| 3 * h; h |];
+    b_iou = Tensor.randn ~scale rng [| 3 * h |];
+    u_f = Tensor.randn ~scale rng [| h; h |];
+    b_f = Tensor.randn ~scale rng [| h |];
+    w_out = Tensor.randn ~scale rng [| config.num_classes; h |];
+    b_out = Tensor.randn ~scale rng [| config.num_classes |];
+  }
+
+(** Input trees. *)
+type tree = Leaf of Tensor.t | Node of tree * tree
+
+let rec num_tokens = function
+  | Leaf _ -> 1
+  | Node (l, r) -> num_tokens l + num_tokens r
+
+(* ------------------------------------------------------------------ *)
+(* Cell math, shared by every executor                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Cell (O : Model_ops.OPS) = struct
+  let slice_h ~h x i = O.slice ~begins:[| 0; i * h |] ~ends:[| 1; (i + 1) * h |] x
+
+  (** Leaf: embedding [(1, I)] -> (h, c). *)
+  let leaf (w : weights) x =
+    let h = w.config.hidden_size in
+    let pre = O.bias_add (O.dense x (O.const w.w_leaf)) (O.const w.b_leaf) in
+    let i = O.sigmoid (slice_h ~h pre 0) in
+    let o = O.sigmoid (slice_h ~h pre 1) in
+    let u = O.tanh (slice_h ~h pre 2) in
+    let c = O.mul i u in
+    let hid = O.mul o (O.tanh c) in
+    (hid, c)
+
+  (** Internal node: children states -> (h, c). *)
+  let node (w : weights) (hl, cl) (hr, cr) =
+    let h = w.config.hidden_size in
+    let h_sum = O.add hl hr in
+    let pre = O.bias_add (O.dense h_sum (O.const w.u_iou)) (O.const w.b_iou) in
+    let i = O.sigmoid (slice_h ~h pre 0) in
+    let o = O.sigmoid (slice_h ~h pre 1) in
+    let u = O.tanh (slice_h ~h pre 2) in
+    let fl = O.sigmoid (O.bias_add (O.dense hl (O.const w.u_f)) (O.const w.b_f)) in
+    let fr = O.sigmoid (O.bias_add (O.dense hr (O.const w.u_f)) (O.const w.b_f)) in
+    let c = O.add (O.mul i u) (O.add (O.mul fl cl) (O.mul fr cr)) in
+    let hid = O.mul o (O.tanh c) in
+    (hid, c)
+
+  (** Sentiment head over the root hidden state. *)
+  let classify (w : weights) hid =
+    O.softmax ~axis:(-1) (O.bias_add (O.dense hid (O.const w.w_out)) (O.const w.b_out))
+end
+
+module Ref_cell = Cell (Model_ops.Tensor_ops)
+
+(** Reference execution: evaluate the tree bottom-up, classify the root. *)
+let reference (w : weights) (t : tree) : Tensor.t =
+  let rec eval = function
+    | Leaf x -> Ref_cell.leaf w x
+    | Node (l, r) -> Ref_cell.node w (eval l) (eval r)
+  in
+  let hid, _ = eval t in
+  Ref_cell.classify w hid
+
+(* ------------------------------------------------------------------ *)
+(* Nimble IR build                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Ir_cell = Cell (Model_ops.Ir_ops)
+
+(** Build the IR module: a recursive [eval : TensorTree -> (h, c)] plus a
+    classifying [main]. *)
+let ir_module (w : weights) : Irmod.t =
+  let h = w.config.hidden_size in
+  let leaf_ty = Ty.tensor_of_shape [| 1; w.config.input_size |] in
+  let tree_adt = Adt.tensor_tree ~leaf_ty in
+  let leaf_ctor = Adt.ctor_exn tree_adt "Leaf" in
+  let node_ctor = Adt.ctor_exn tree_adt "Node" in
+  let tree_ty = Ty.Adt "TensorTree" in
+  let state_ty = Ty.Tuple [ Ty.tensor_of_shape [| 1; h |]; Ty.tensor_of_shape [| 1; h |] ] in
+  let m = Irmod.create () in
+  Irmod.add_adt m tree_adt;
+  let t = Expr.fresh_var ~ty:tree_ty "t" in
+  let x = Expr.fresh_var ~ty:leaf_ty "x" in
+  let l = Expr.fresh_var ~ty:tree_ty "l" in
+  let r = Expr.fresh_var ~ty:tree_ty "r" in
+  let sl = Expr.fresh_var "sl" in
+  let sr = Expr.fresh_var "sr" in
+  let leaf_h, leaf_c = Ir_cell.leaf w (Expr.Var x) in
+  let node_rhs =
+    Expr.Let
+      ( sl,
+        Expr.call (Expr.Global "eval") [ Expr.Var l ],
+        Expr.Let
+          ( sr,
+            Expr.call (Expr.Global "eval") [ Expr.Var r ],
+            let node_h, node_c =
+              Ir_cell.node w
+                (Expr.Proj (Expr.Var sl, 0), Expr.Proj (Expr.Var sl, 1))
+                (Expr.Proj (Expr.Var sr, 0), Expr.Proj (Expr.Var sr, 1))
+            in
+            Expr.Tuple [ node_h; node_c ] ) )
+  in
+  let body =
+    Expr.Match
+      ( Expr.Var t,
+        [
+          {
+            Expr.pat = Expr.Pctor (leaf_ctor, [ Expr.Pvar x ]);
+            rhs = Expr.Tuple [ leaf_h; leaf_c ];
+          };
+          { Expr.pat = Expr.Pctor (node_ctor, [ Expr.Pvar l; Expr.Pvar r ]); rhs = node_rhs };
+        ] )
+  in
+  Irmod.add_func m "eval" (Expr.fn_def ~ret_ty:state_ty [ t ] body);
+  let input = Expr.fresh_var ~ty:tree_ty "input" in
+  let s = Expr.fresh_var "s" in
+  Irmod.add_func m "main"
+    (Expr.fn_def [ input ]
+       (Expr.Let
+          ( s,
+            Expr.call (Expr.Global "eval") [ Expr.Var input ],
+            Ir_cell.classify w (Expr.Proj (Expr.Var s, 0)) )));
+  (m, leaf_ctor, node_ctor) |> fun (m, _, _) -> m
+
+let ctors (w : weights) =
+  let leaf_ty = Ty.tensor_of_shape [| 1; w.config.input_size |] in
+  let tree_adt = Adt.tensor_tree ~leaf_ty in
+  (Adt.ctor_exn tree_adt "Leaf", Adt.ctor_exn tree_adt "Node")

@@ -1,0 +1,131 @@
+(** Static computer-vision models for the memory-planning footprint study
+    (paper §6.3 compares Nimble's planner against TVM's static planning on
+    ResNet, MobileNet, VGG and SqueezeNet).
+
+    The graphs are faithful in topology (blocks, skip connections, fire
+    modules) but scaled to CIFAR-sized inputs so pure-OCaml convolution
+    stays tractable; the memory-planning measurements are structural
+    (allocation counts, liveness, footprint), which the scaling preserves.
+    MobileNet's depthwise convolutions are modelled as grouped = 1 standard
+    convolutions of matching channel counts (no depthwise kernel in the
+    tensor substrate); the allocation pattern per block is identical. *)
+
+open Nimble_tensor
+open Nimble_ir
+module O = Model_ops.Ir_ops
+
+type builder = { rng : Rng.t; mutable n_params : int }
+
+let conv_w b ~out_c ~in_c ~k =
+  b.n_params <- b.n_params + (out_c * in_c * k * k);
+  Tensor.randn ~scale:0.1 b.rng [| out_c; in_c; k; k |]
+
+let bn_params b ~c =
+  ignore b;
+  ( Tensor.ones [| c |],
+    Tensor.zeros [| c |],
+    Tensor.zeros [| c |],
+    Tensor.ones [| c |] )
+
+let conv_bn_relu b x ~in_c ~out_c ~k ~stride ~padding =
+  let w = conv_w b ~out_c ~in_c ~k in
+  let gamma, beta, mean, var = bn_params b ~c:out_c in
+  O.relu
+    (O.batch_norm
+       (O.conv2d ~stride ~padding x (O.const w))
+       ~gamma:(O.const gamma) ~beta:(O.const beta) ~mean:(O.const mean)
+       ~var:(O.const var))
+
+let dense_head b x ~in_c ~classes =
+  let w = Tensor.randn ~scale:0.1 b.rng [| classes; in_c |] in
+  let bias = Tensor.zeros [| classes |] in
+  O.bias_add (O.dense x (O.const w)) (O.const bias)
+
+let make_module body_fn ~input_shape =
+  let x = Expr.fresh_var ~ty:(Ty.tensor_of_shape input_shape) "image" in
+  Irmod.of_main (Expr.fn_def [ x ] (body_fn (Expr.Var x)))
+
+(** ResNet-style network: stem + 4 residual blocks. *)
+let resnet ?(seed = 31) ?(classes = 10) () : Irmod.t =
+  let b = { rng = Rng.create ~seed; n_params = 0 } in
+  let block x ~c ~stride =
+    let in_c = c / if stride = 2 then 2 else 1 in
+    let y = conv_bn_relu b x ~in_c ~out_c:c ~k:3 ~stride ~padding:1 in
+    let y = conv_bn_relu b y ~in_c:c ~out_c:c ~k:3 ~stride:1 ~padding:1 in
+    let shortcut =
+      if stride = 1 then x else conv_bn_relu b x ~in_c ~out_c:c ~k:1 ~stride ~padding:0
+    in
+    O.relu (O.add y shortcut)
+  in
+  make_module ~input_shape:[| 1; 3; 32; 32 |] (fun x ->
+      let x = conv_bn_relu b x ~in_c:3 ~out_c:16 ~k:3 ~stride:1 ~padding:1 in
+      let x = block x ~c:16 ~stride:1 in
+      let x = block x ~c:16 ~stride:1 in
+      let x = block x ~c:32 ~stride:2 in
+      let x = block x ~c:64 ~stride:2 in
+      let x = O.global_avg_pool2d x in
+      dense_head b x ~in_c:64 ~classes)
+
+(** MobileNetV1-style network: depthwise-separable blocks (see module doc
+    for the depthwise substitution). *)
+let mobilenet ?(seed = 32) ?(classes = 10) () : Irmod.t =
+  let b = { rng = Rng.create ~seed; n_params = 0 } in
+  let sep_block x ~in_c ~out_c ~stride =
+    (* "depthwise" 3x3 then pointwise 1x1 *)
+    let y = conv_bn_relu b x ~in_c ~out_c:in_c ~k:3 ~stride ~padding:1 in
+    conv_bn_relu b y ~in_c ~out_c ~k:1 ~stride:1 ~padding:0
+  in
+  make_module ~input_shape:[| 1; 3; 32; 32 |] (fun x ->
+      let x = conv_bn_relu b x ~in_c:3 ~out_c:16 ~k:3 ~stride:1 ~padding:1 in
+      let x = sep_block x ~in_c:16 ~out_c:32 ~stride:1 in
+      let x = sep_block x ~in_c:32 ~out_c:64 ~stride:2 in
+      let x = sep_block x ~in_c:64 ~out_c:64 ~stride:1 in
+      let x = sep_block x ~in_c:64 ~out_c:128 ~stride:2 in
+      let x = O.global_avg_pool2d x in
+      dense_head b x ~in_c:128 ~classes)
+
+(** VGG-style network: conv stacks with max pooling. *)
+let vgg ?(seed = 33) ?(classes = 10) () : Irmod.t =
+  let b = { rng = Rng.create ~seed; n_params = 0 } in
+  make_module ~input_shape:[| 1; 3; 32; 32 |] (fun x ->
+      let x = conv_bn_relu b x ~in_c:3 ~out_c:32 ~k:3 ~stride:1 ~padding:1 in
+      let x = O.max_pool2d ~window:2 ~stride:2 x in
+      let x = conv_bn_relu b x ~in_c:32 ~out_c:64 ~k:3 ~stride:1 ~padding:1 in
+      let x = O.max_pool2d ~window:2 ~stride:2 x in
+      let x = conv_bn_relu b x ~in_c:64 ~out_c:128 ~k:3 ~stride:1 ~padding:1 in
+      let x = conv_bn_relu b x ~in_c:128 ~out_c:128 ~k:3 ~stride:1 ~padding:1 in
+      let x = O.max_pool2d ~window:2 ~stride:2 x in
+      let x = O.global_avg_pool2d x in
+      dense_head b x ~in_c:128 ~classes)
+
+(** SqueezeNet-style network: fire modules (squeeze 1x1, expand 1x1 + 3x3
+    concatenated). *)
+let squeezenet ?(seed = 34) ?(classes = 10) () : Irmod.t =
+  let b = { rng = Rng.create ~seed; n_params = 0 } in
+  let fire x ~in_c ~squeeze ~expand =
+    let s = conv_bn_relu b x ~in_c ~out_c:squeeze ~k:1 ~stride:1 ~padding:0 in
+    let e1 = conv_bn_relu b s ~in_c:squeeze ~out_c:expand ~k:1 ~stride:1 ~padding:0 in
+    let e3 = conv_bn_relu b s ~in_c:squeeze ~out_c:expand ~k:3 ~stride:1 ~padding:1 in
+    O.concat ~axis:1 [ e1; e3 ]
+  in
+  make_module ~input_shape:[| 1; 3; 32; 32 |] (fun x ->
+      let x = conv_bn_relu b x ~in_c:3 ~out_c:32 ~k:3 ~stride:2 ~padding:1 in
+      let x = fire x ~in_c:32 ~squeeze:8 ~expand:16 in
+      let x = fire x ~in_c:32 ~squeeze:8 ~expand:16 in
+      let x = O.max_pool2d ~window:2 ~stride:2 x in
+      let x = fire x ~in_c:32 ~squeeze:16 ~expand:32 in
+      let x = O.max_pool2d ~window:2 ~stride:2 x in
+      let x = O.global_avg_pool2d x in
+      dense_head b x ~in_c:64 ~classes)
+
+let all : (string * (unit -> Irmod.t)) list =
+  [
+    ("resnet", fun () -> resnet ());
+    ("mobilenet", fun () -> mobilenet ());
+    ("vgg", fun () -> vgg ());
+    ("squeezenet", fun () -> squeezenet ());
+  ]
+
+(** A random input image for the vision models. *)
+let random_input ?(seed = 5) () =
+  Tensor.randn ~scale:1.0 (Rng.create ~seed) [| 1; 3; 32; 32 |]

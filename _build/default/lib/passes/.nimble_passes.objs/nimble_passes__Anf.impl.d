@@ -1,0 +1,1 @@
+lib/passes/anf.ml: Expr Hashtbl Irmod List Nimble_ir

@@ -1,0 +1,1 @@
+lib/passes/anf.mli: Expr Irmod Nimble_ir

@@ -1,0 +1,1 @@
+lib/passes/const_fold.ml: Expr Irmod List Nimble_codegen Nimble_ir Nimble_tensor String Tensor

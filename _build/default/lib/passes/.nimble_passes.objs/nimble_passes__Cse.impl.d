@@ -1,0 +1,1 @@
+lib/passes/cse.ml: Adt Attrs Expr Fmt Hashtbl Irmod List Nimble_ir Nimble_tensor Stdlib String Tensor

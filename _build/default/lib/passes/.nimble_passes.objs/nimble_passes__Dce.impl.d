@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Expr Int Irmod List Nimble_ir Set

@@ -1,0 +1,1 @@
+lib/passes/device_place.ml: Attrs Expr Fusion Hashtbl Irmod List Nimble_ir

@@ -1,0 +1,1 @@
+lib/passes/device_place.mli: Irmod Nimble_ir

@@ -1,0 +1,1 @@
+lib/passes/fusion.ml: Anf Attrs Expr Fmt Irmod List Nimble_ir Nimble_shape Nimble_tensor Op Option String Ty

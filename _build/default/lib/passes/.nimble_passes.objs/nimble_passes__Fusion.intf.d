@@ -1,0 +1,1 @@
+lib/passes/fusion.mli: Expr Irmod Nimble_ir Op

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Expr Hashtbl Irmod List Nimble_ir

@@ -1,0 +1,1 @@
+lib/passes/manifest_alloc.ml: Array Attrs Dim Dtype Expr Fmt Fusion Irmod List Nimble_ir Nimble_shape Nimble_tensor Option String Tensor Ty

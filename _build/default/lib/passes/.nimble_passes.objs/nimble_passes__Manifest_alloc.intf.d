@@ -1,0 +1,1 @@
+lib/passes/manifest_alloc.mli: Expr Irmod Nimble_ir

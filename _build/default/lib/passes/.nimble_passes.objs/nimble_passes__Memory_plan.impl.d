@@ -1,0 +1,1 @@
+lib/passes/memory_plan.ml: Array Attrs Dtype Expr Fusion Hashtbl Int Irmod List Nimble_ir Nimble_tensor Option Set Stdlib Tensor Ty

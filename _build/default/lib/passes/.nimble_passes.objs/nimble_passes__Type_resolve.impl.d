@@ -1,0 +1,1 @@
+lib/passes/type_resolve.ml: Dim_solver Expr Irmod List Nimble_ir Nimble_typing

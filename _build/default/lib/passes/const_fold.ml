@@ -1,0 +1,35 @@
+(** Constant folding: evaluate operator calls whose arguments are all
+    constants at compile time, using the same kernels the runtime uses. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+(* Ops that must not fold: runtime/device semantics, or memory dialect. *)
+let never_fold name =
+  String.length name > 7 && String.sub name 0 7 = "memory."
+  || List.mem name [ "device_copy" ]
+
+let fold_expr (e : Expr.t) : Expr.t =
+  Expr.map_bottom_up
+    (function
+      | Expr.Call { callee = Expr.Op name; args; attrs } as call
+        when (not (never_fold name))
+             && List.for_all (function Expr.Const _ -> true | _ -> false) args -> (
+          let tensors =
+            List.map (function Expr.Const t -> t | _ -> assert false) args
+          in
+          match Nimble_codegen.Op_eval.eval name ~attrs tensors with
+          | [ out ] -> Expr.Const out
+          | outs -> Expr.Tuple (List.map (fun t -> Expr.Const t) outs)
+          | exception _ -> call)
+      | Expr.Proj (Expr.Tuple es, i) when i >= 0 && i < List.length es ->
+          (* tuple forwarding exposed by folding multi-output ops *)
+          List.nth es i
+      | Expr.If (Expr.Const c, t, f) when Tensor.numel c = 1 ->
+          if Tensor.get_float c 0 <> 0.0 then t else f
+      | e -> e)
+    e
+
+let run (m : Irmod.t) : Irmod.t =
+  Irmod.map_funcs m (fun _name fn -> { fn with Expr.body = fold_expr fn.Expr.body });
+  m

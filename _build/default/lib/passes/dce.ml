@@ -1,0 +1,66 @@
+(** Dead-code elimination: drop let bindings whose variable is unused and
+    whose right-hand side is pure.
+
+    Memory-dialect operations ([invoke_mut], [kill], allocations feeding
+    them) are effectful and survive; everything else in the IR is pure. *)
+
+open Nimble_ir
+
+let is_effectful_call name =
+  List.mem name
+    [ "memory.invoke_mut"; "memory.invoke_shape_func"; "memory.kill"; "device_copy" ]
+
+let rec is_pure (e : Expr.t) : bool =
+  match e with
+  | Expr.Var _ | Expr.Const _ | Expr.Global _ | Expr.Op _ | Expr.Ctor _ -> true
+  | Expr.Tuple es -> List.for_all is_pure es
+  | Expr.Proj (e1, _) -> is_pure e1
+  | Expr.Call { callee = Expr.Op name; _ } -> not (is_effectful_call name)
+  | Expr.Call { callee = Expr.Ctor _; _ } -> true
+  | Expr.Call _ -> false (* user function calls may allocate/recurse: keep *)
+  | Expr.Fn _ -> true
+  | Expr.Let (_, bound, body) -> is_pure bound && is_pure body
+  | Expr.If (c, t, f) -> is_pure c && is_pure t && is_pure f
+  | Expr.Match (s, clauses) ->
+      is_pure s && List.for_all (fun cl -> is_pure cl.Expr.rhs) clauses
+
+module Int_set = Set.Make (Int)
+
+let rec used_vars acc (e : Expr.t) =
+  match e with
+  | Expr.Var v -> Int_set.add v.Expr.vid acc
+  | _ -> List.fold_left used_vars acc (Expr.children e)
+
+(** One bottom-up sweep; iterate to fixpoint for chains of dead bindings. *)
+let rec sweep (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Let (v, bound, body) ->
+      let body = sweep body in
+      let bound = sweep_inside bound in
+      let used = used_vars Int_set.empty body in
+      if (not (Int_set.mem v.Expr.vid used)) && is_pure bound then body
+      else Expr.Let (v, bound, body)
+  | Expr.If (c, t, f) -> Expr.If (c, sweep t, sweep f)
+  | Expr.Match (s, clauses) ->
+      Expr.Match (s, List.map (fun cl -> { cl with Expr.rhs = sweep cl.Expr.rhs }) clauses)
+  | _ -> sweep_inside e
+
+and sweep_inside (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Fn fn -> Expr.Fn { fn with Expr.body = sweep fn.Expr.body }
+  | Expr.If (c, t, f) -> Expr.If (c, sweep t, sweep f)
+  | Expr.Match (s, clauses) ->
+      Expr.Match (s, List.map (fun cl -> { cl with Expr.rhs = sweep cl.Expr.rhs }) clauses)
+  | Expr.Call { callee = Expr.Fn fn; args; attrs } ->
+      Expr.Call { callee = Expr.Fn { fn with Expr.body = sweep fn.Expr.body }; args; attrs }
+  | _ -> e
+
+let rec fix e =
+  let e' = sweep e in
+  if Expr.size e' = Expr.size e then e' else fix e'
+
+let run_fn (fn : Expr.fn) : Expr.fn = { fn with Expr.body = fix fn.Expr.body }
+
+let run (m : Irmod.t) : Irmod.t =
+  Irmod.map_funcs m (fun _name fn -> run_fn fn);
+  m

@@ -1,0 +1,188 @@
+(** Heterogeneous device placement (paper §4.4).
+
+    Assigns every IR value a device domain and inserts [device_copy] where a
+    value is used on a device other than the one it lives on. The rules
+    mirror the paper's:
+
+    - [shape_of] outputs live on CPU;
+    - shape-function inputs and outputs live on CPU (the host computes
+      allocation sizes with cheap scalar arithmetic);
+    - storage from [memory.alloc_storage] lives on the device designated in
+      the allocation, and tensors allocated from it inherit that domain;
+    - all [memory.invoke_mut] arguments share the kernel's device;
+    - control-flow scalars (if conditions) and ADTs live on CPU;
+    - everything else is unconstrained until first required (late binding —
+      the unification default of the paper's empty domain).
+
+    Values are propagated forward through the ANF chain; a use-site conflict
+    between two concrete devices materializes a copy (cached per value and
+    target device, so a value is uploaded at most once per region). *)
+
+open Nimble_ir
+
+type stats = { mutable copies_inserted : int }
+
+type env = {
+  domains : (int, int) Hashtbl.t;  (** vid -> device id (concrete only) *)
+  copies : (int * int, Expr.var) Hashtbl.t;  (** (vid, device) -> copied var *)
+  shape_func_device : int;
+      (** where shape functions run: CPU per the paper's rule; the
+          misplacement ablation sets the kernel device instead *)
+  cache_copies : bool;
+      (** false = naive placement ablation: re-copy at every conflicting use
+          instead of unifying domains and reusing uploads *)
+  stats : stats;
+}
+
+let domain env (v : Expr.var) = Hashtbl.find_opt env.domains v.Expr.vid
+let set_domain env (v : Expr.var) d = Hashtbl.replace env.domains v.Expr.vid d
+
+let cpu = 0
+
+(* Require atom [a] on device [d]; returns the (possibly copied) atom plus
+   bindings to prepend. *)
+let require env (a : Expr.t) (d : int) : Expr.t * (Expr.var * Expr.t) list =
+  match a with
+  | Expr.Var v -> (
+      match domain env v with
+      | None ->
+          (* unconstrained: late-bind to the requiring device *)
+          set_domain env v d;
+          (a, [])
+      | Some d' when d' = d -> (a, [])
+      | Some d' -> (
+          match
+            if env.cache_copies then Hashtbl.find_opt env.copies (v.Expr.vid, d)
+            else None
+          with
+          | Some cv -> (Expr.Var cv, [])
+          | None ->
+              let cv = Expr.fresh_var ?ty:v.Expr.vty (v.Expr.vname ^ "_d" ^ string_of_int d) in
+              set_domain env cv d;
+              Hashtbl.replace env.copies (v.Expr.vid, d) cv;
+              env.stats.copies_inserted <- env.stats.copies_inserted + 1;
+              let copy =
+                Expr.op_call
+                  ~attrs:[ ("src_device", Attrs.Int d'); ("dst_device", Attrs.Int d) ]
+                  "device_copy" [ a ]
+              in
+              (Expr.Var cv, [ (cv, copy) ])))
+  | Expr.Const _ when d <> cpu ->
+      (* constants load on the host; copy them to the requiring device *)
+      let cv = Expr.fresh_var "c" in
+      set_domain env cv d;
+      env.stats.copies_inserted <- env.stats.copies_inserted + 1;
+      let copy =
+        Expr.op_call
+          ~attrs:[ ("src_device", Attrs.Int cpu); ("dst_device", Attrs.Int d) ]
+          "device_copy" [ a ]
+      in
+      (Expr.Var cv, [ (cv, copy) ])
+  | _ -> (a, [])
+
+let require_all env args d =
+  List.fold_right
+    (fun a (atoms, binds) ->
+      let a', bs = require env a d in
+      (a' :: atoms, bs @ binds))
+    args ([], [])
+
+let rec place env (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Let (v, bound, body) ->
+      let pre, bound = place_binding env v bound in
+      let rest = place env body in
+      List.fold_right
+        (fun (cv, ce) acc -> Expr.Let (cv, ce, acc))
+        pre
+        (Expr.Let (v, bound, rest))
+  | Expr.If (c, t, f) ->
+      (* condition is read by the host dispatch loop *)
+      let c', pre = require env c cpu in
+      List.fold_right
+        (fun (cv, ce) acc -> Expr.Let (cv, ce, acc))
+        pre
+        (Expr.If (c', place env t, place env f))
+  | Expr.Match (s, clauses) ->
+      Expr.Match (s, List.map (fun cl -> { cl with Expr.rhs = place env cl.Expr.rhs }) clauses)
+  | _ -> e
+
+(* Returns (copy bindings to prepend, rewritten rhs); updates domains. *)
+and place_binding env (v : Expr.var) (bound : Expr.t) : (Expr.var * Expr.t) list * Expr.t =
+  match bound with
+  | Expr.Call { callee = Expr.Op "shape_of"; args; attrs } ->
+      set_domain env v cpu;
+      ([], Expr.Call { callee = Expr.Op "shape_of"; args; attrs })
+  | Expr.Call { callee = Expr.Op "memory.invoke_shape_func"; args = prim :: ins; attrs } ->
+      let ins', pre = require_all env ins env.shape_func_device in
+      set_domain env v cpu;
+      (pre, Expr.Call { callee = Expr.Op "memory.invoke_shape_func"; args = prim :: ins'; attrs })
+  | Expr.Call { callee = Expr.Op "memory.alloc_storage"; args; attrs } ->
+      let dev = Attrs.get_int ~default:0 attrs "device" in
+      let args', pre = require_all env args cpu in
+      set_domain env v dev;
+      (pre, Expr.Call { callee = Expr.Op "memory.alloc_storage"; args = args'; attrs })
+  | Expr.Call { callee = Expr.Op "memory.alloc_tensor"; args = storage :: more; attrs } ->
+      (match storage with
+      | Expr.Var sv -> (
+          match domain env sv with Some d -> set_domain env v d | None -> ())
+      | _ -> ());
+      let more', pre = require_all env more cpu in
+      (pre, Expr.Call { callee = Expr.Op "memory.alloc_tensor"; args = storage :: more'; attrs })
+  | Expr.Call { callee = Expr.Op "memory.invoke_mut"; args = prim :: rest; attrs } ->
+      let dev = Attrs.get_int ~default:0 attrs "device" in
+      let rest', pre = require_all env rest dev in
+      set_domain env v cpu;
+      (pre, Expr.Call { callee = Expr.Op "memory.invoke_mut"; args = prim :: rest'; attrs })
+  | Expr.Call { callee = Expr.Op "device_copy"; args; attrs } ->
+      set_domain env v (Attrs.get_int ~default:0 attrs "dst_device");
+      ([], Expr.Call { callee = Expr.Op "device_copy"; args; attrs })
+  | Expr.Call { callee = Expr.Ctor _; _ } ->
+      (* dynamic data structures are host objects *)
+      set_domain env v cpu;
+      ([], bound)
+  | Expr.Var w ->
+      (match domain env w with Some d -> set_domain env v d | None -> ());
+      ([], bound)
+  | Expr.If (c, t, f) ->
+      let c', pre = require env c cpu in
+      (pre, Expr.If (c', place env t, place env f))
+  | Expr.Match (s, clauses) ->
+      ( [],
+        Expr.Match (s, List.map (fun cl -> { cl with Expr.rhs = place env cl.Expr.rhs }) clauses)
+      )
+  | Expr.Fn fn when not (Fusion.is_primitive fn) ->
+      ([], Expr.Fn { fn with Expr.body = place env fn.Expr.body })
+  | _ -> ([], bound)
+
+(** Run placement over a module. Returns the number of copies inserted.
+    [cache_copies = false] is the naive-placement ablation. *)
+let run ?(cache_copies = true) ?(shape_func_device = cpu) (m : Irmod.t) : stats =
+  let stats = { copies_inserted = 0 } in
+  Irmod.map_funcs m (fun _name fn ->
+      let env =
+        {
+          domains = Hashtbl.create 64;
+          copies = Hashtbl.create 8;
+          shape_func_device;
+          cache_copies;
+          stats;
+        }
+      in
+      (* function arguments arrive from the host *)
+      List.iter (fun (p : Expr.var) -> set_domain env p cpu) fn.Expr.params;
+      { fn with Expr.body = place env fn.Expr.body });
+  stats
+
+(** Count [device_copy] nodes, for tests and the placement ablation. *)
+let count_copies (m : Irmod.t) =
+  let n = ref 0 in
+  List.iter
+    (fun (_, (fn : Expr.fn)) ->
+      Expr.iter
+        (function
+          | Expr.Call { callee = Expr.Op "device_copy"; _ } -> incr n
+          | _ -> ())
+        fn.Expr.body)
+    (Irmod.functions m);
+  !n

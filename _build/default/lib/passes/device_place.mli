@@ -1,0 +1,23 @@
+(** Heterogeneous device placement (paper §4.4).
+
+    Assigns every IR value a device domain — shape functions, control-flow
+    scalars and ADTs on the host; kernel operands on the kernel's device;
+    everything else late-bound — and inserts [device_copy] exactly where a
+    value is used on a device other than the one it lives on, caching
+    uploads so a value crosses the bus at most once per region. *)
+
+open Nimble_ir
+
+type stats = { mutable copies_inserted : int }
+
+(** Run placement over a module.
+
+    @param cache_copies [false] re-copies at every conflicting use instead
+    of reusing uploads — the naive-placement ablation.
+    @param shape_func_device where shape functions run (default CPU, the
+    paper's rule; pointing it at the kernel device reproduces the
+    cross-device ping-pong the paper warns about). *)
+val run : ?cache_copies:bool -> ?shape_func_device:int -> Irmod.t -> stats
+
+(** Count [device_copy] nodes in a module (tests, ablations). *)
+val count_copies : Irmod.t -> int

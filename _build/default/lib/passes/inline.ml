@@ -1,0 +1,170 @@
+(** Inlining of non-recursive global functions.
+
+    Call sites of small, non-recursive globals are replaced by the callee's
+    body with parameters let-bound to the arguments; bound variables are
+    freshened so the module keeps globally-unique variable ids. Functions
+    left unreachable from [main] are pruned (fewer VM functions, smaller
+    executables). Recursive functions — the encoding of dynamic control
+    flow — are never inlined. *)
+
+open Nimble_ir
+
+let default_max_size = 120
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let callees_of (fn : Expr.fn) : string list =
+  let acc = ref [] in
+  Expr.iter
+    (function Expr.Global g -> acc := g :: !acc | _ -> ())
+    fn.Expr.body;
+  List.sort_uniq compare !acc
+
+(* Functions on a cycle (including self-loops) are recursive. *)
+let recursive_set (m : Irmod.t) : (string, unit) Hashtbl.t =
+  let funcs = Irmod.functions m in
+  let edges = List.map (fun (name, fn) -> (name, callees_of fn)) funcs in
+  let rec reachable seen target name =
+    if List.mem name seen then false
+    else
+      match List.assoc_opt name edges with
+      | None -> false
+      | Some cs ->
+          List.exists (fun c -> c = target || reachable (name :: seen) target c) cs
+  in
+  let result = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) -> if reachable [] name name then Hashtbl.replace result name ())
+    funcs;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Freshening                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild an expression with fresh ids for every variable bound inside it,
+   applying [mapping] (old vid -> replacement expression) at use sites. *)
+let rec freshen (mapping : (int * Expr.t) list) (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Var v -> (
+      match List.assoc_opt v.Expr.vid mapping with Some r -> r | None -> e)
+  | Expr.Global _ | Expr.Op _ | Expr.Ctor _ | Expr.Const _ -> e
+  | Expr.Tuple es -> Expr.Tuple (List.map (freshen mapping) es)
+  | Expr.Proj (e1, i) -> Expr.Proj (freshen mapping e1, i)
+  | Expr.Call { callee; args; attrs } ->
+      Expr.Call
+        { callee = freshen mapping callee; args = List.map (freshen mapping) args; attrs }
+  | Expr.Fn fn ->
+      let fresh_params =
+        List.map (fun (p : Expr.var) -> Expr.fresh_var ?ty:p.Expr.vty p.Expr.vname) fn.Expr.params
+      in
+      let mapping =
+        List.map2
+          (fun (p : Expr.var) (f : Expr.var) -> (p.Expr.vid, Expr.Var f))
+          fn.Expr.params fresh_params
+        @ mapping
+      in
+      Expr.Fn { fn with Expr.params = fresh_params; Expr.body = freshen mapping fn.Expr.body }
+  | Expr.Let (v, bound, body) ->
+      let bound = freshen mapping bound in
+      let fresh = Expr.fresh_var ?ty:v.Expr.vty v.Expr.vname in
+      Expr.Let (fresh, bound, freshen ((v.Expr.vid, Expr.Var fresh) :: mapping) body)
+  | Expr.If (c, t, f) ->
+      Expr.If (freshen mapping c, freshen mapping t, freshen mapping f)
+  | Expr.Match (scrut, clauses) ->
+      let scrut = freshen mapping scrut in
+      let clauses =
+        List.map
+          (fun { Expr.pat; rhs } ->
+            let pat, mapping = freshen_pat mapping pat in
+            { Expr.pat; rhs = freshen mapping rhs })
+          clauses
+      in
+      Expr.Match (scrut, clauses)
+
+and freshen_pat mapping (p : Expr.pat) : Expr.pat * (int * Expr.t) list =
+  match p with
+  | Expr.Pwild -> (p, mapping)
+  | Expr.Pvar v ->
+      let fresh = Expr.fresh_var ?ty:v.Expr.vty v.Expr.vname in
+      (Expr.Pvar fresh, (v.Expr.vid, Expr.Var fresh) :: mapping)
+  | Expr.Pctor (c, ps) ->
+      let ps, mapping =
+        List.fold_right
+          (fun sub (acc, mapping) ->
+            let sub, mapping = freshen_pat mapping sub in
+            (sub :: acc, mapping))
+          ps ([], mapping)
+      in
+      (Expr.Pctor (c, ps), mapping)
+
+(* Inline one call: let-bind arguments to fresh parameter names, then splice
+   the freshened body. *)
+let splice (fn : Expr.fn) (args : Expr.t list) : Expr.t =
+  let fresh_params =
+    List.map (fun (p : Expr.var) -> Expr.fresh_var ?ty:p.Expr.vty p.Expr.vname) fn.Expr.params
+  in
+  let mapping =
+    List.map2
+      (fun (p : Expr.var) (f : Expr.var) -> (p.Expr.vid, Expr.Var f))
+      fn.Expr.params fresh_params
+  in
+  let body = freshen mapping fn.Expr.body in
+  List.fold_right2
+    (fun param arg acc -> Expr.Let (param, arg, acc))
+    fresh_params args body
+
+(* ------------------------------------------------------------------ *)
+
+type stats = { mutable inlined : int; mutable pruned : int }
+
+(** Inline eligible calls across the module; prune unreachable functions.
+    [max_size] bounds the callee body (in IR nodes) to avoid blowup. *)
+let run ?(max_size = default_max_size) (m : Irmod.t) : stats =
+  let stats = { inlined = 0; pruned = 0 } in
+  let recursive = recursive_set m in
+  let eligible name =
+    (not (Hashtbl.mem recursive name))
+    && name <> "main"
+    &&
+    match Irmod.find_func m name with
+    | Some fn -> Expr.size fn.Expr.body <= max_size
+    | None -> false
+  in
+  Irmod.map_funcs m (fun _name fn ->
+      let body =
+        Expr.map_bottom_up
+          (function
+            | Expr.Call { callee = Expr.Global g; args; _ } when eligible g ->
+                stats.inlined <- stats.inlined + 1;
+                splice (Irmod.func_exn m g) args
+            | e -> e)
+          fn.Expr.body
+      in
+      { fn with Expr.body });
+  (* prune functions unreachable from main *)
+  (match Irmod.find_func m "main" with
+  | None -> ()
+  | Some _ ->
+      let reachable = Hashtbl.create 8 in
+      let rec visit name =
+        if not (Hashtbl.mem reachable name) then begin
+          Hashtbl.replace reachable name ();
+          match Irmod.find_func m name with
+          | Some fn -> List.iter visit (callees_of fn)
+          | None -> ()
+        end
+      in
+      visit "main";
+      let keep = List.filter (fun (n, _) -> Hashtbl.mem reachable n) (Irmod.functions m) in
+      if List.length keep < List.length (Irmod.functions m) then begin
+        stats.pruned <- List.length (Irmod.functions m) - List.length keep;
+        let names = List.map fst (Irmod.functions m) in
+        List.iter
+          (fun n -> if not (Hashtbl.mem reachable n) then Hashtbl.remove m.Irmod.funcs n)
+          names;
+        m.Irmod.func_order <- List.filter (Hashtbl.mem reachable) m.Irmod.func_order
+      end);
+  stats

@@ -1,0 +1,17 @@
+(** Inlining of non-recursive global functions.
+
+    Call sites of small, non-recursive globals are replaced by the callee's
+    body with parameters let-bound to the arguments; bound variables are
+    freshened so the module keeps globally-unique ids; functions left
+    unreachable from [main] are pruned. Recursive functions — the encoding
+    of dynamic control flow — are never inlined. *)
+
+open Nimble_ir
+
+val default_max_size : int
+
+type stats = { mutable inlined : int; mutable pruned : int }
+
+(** Inline eligible calls across the module and prune unreachable
+    functions. [max_size] bounds the callee body in IR nodes. *)
+val run : ?max_size:int -> Irmod.t -> stats

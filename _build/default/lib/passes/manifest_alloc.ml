@@ -1,0 +1,269 @@
+(** Manifest allocation (paper §4.3).
+
+    Rewrites the implicit-allocation IR into the explicit memory dialect:
+    every primitive call [let v = prim(args)] becomes
+
+    - static output shape:
+      {[
+        let storage = memory.alloc_storage(const_shape) {dtype, device};
+        let out = memory.alloc_tensor(storage, const_shape) {offset=0};
+        memory.invoke_mut(prim, args..., out);
+        v = out
+      ]}
+    - dynamic output shape: shape-function invocations are inserted first,
+      in a fixed point with the allocations they require:
+      {[
+        let s0 = shape_of(arg0); ...
+        let out_sh = memory.invoke_shape_func(prim, s0, ...) {mode};
+        let storage = memory.alloc_storage(out_sh) {dtype, device};
+        let out = memory.alloc_tensor(storage, out_sh);
+        memory.invoke_mut(prim, args..., out);
+        v = out
+      ]}
+
+    Data-dependent shape functions receive the argument *values* instead of
+    their shapes; upper-bound ones allocate the bound and rely on the kernel
+    to report the exact extent (the VM slices accordingly). *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Alloc_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Alloc_error s)) fmt
+
+let shape_tensor_const (s : int array) : Expr.t =
+  Expr.Const (Tensor.of_int_array ~dtype:Dtype.I64 [| Array.length s |] s)
+
+(** Shape-function mode of a primitive: data-independent iff every member op
+    is; otherwise it is a singleton (guaranteed by the fusion policy) and
+    inherits its op's mode. *)
+let primitive_mode (fn : Expr.fn) : Nimble_shape.Shape_func.mode =
+  match Fusion.primitive_ops fn with
+  | [ op ] -> (Nimble_shape.Shape_func.get op).Nimble_shape.Shape_func.mode
+  | ops ->
+      if List.for_all Nimble_shape.Shape_func.fusible_as_consumer ops then
+        Nimble_shape.Shape_func.Data_indep
+      else err "fused primitive with non-data-independent member: %s" (String.concat "," ops)
+
+let out_tensor_tys (v : Expr.var) : Ty.t list =
+  match v.Expr.vty with
+  | Some (Ty.Tensor _ as ty) -> [ ty ]
+  | Some (Ty.Tuple ts) ->
+      List.map
+        (function Ty.Tensor _ as ty -> ty | ty -> err "primitive output not a tensor: %a" Ty.pp ty)
+        ts
+  | Some ty -> err "primitive output not a tensor: %a" Ty.pp ty
+  | None -> err "manifest_alloc requires typed IR (missing type on %%%s)" v.Expr.vname
+
+let dtype_of_ty = function
+  | Ty.Tensor { dtype; _ } -> dtype
+  | ty -> err "expected tensor type, got %a" Ty.pp ty
+
+(* Allocate one output of static shape [s]. *)
+let alloc_static ~device (dtype : Dtype.t) (s : int array) (k : Expr.t -> Expr.t) : Expr.t =
+  let storage_v = Expr.fresh_var ~ty:Ty.Storage "storage" in
+  let out_v = Expr.fresh_var ~ty:(Ty.tensor_of_shape ~dtype s) "out" in
+  let alloc_storage =
+    Expr.op_call
+      ~attrs:
+        [
+          ("alignment", Attrs.Int 64);
+          ("device", Attrs.Int device);
+          ("dtype", Attrs.Str (Dtype.to_string dtype));
+        ]
+      "memory.alloc_storage"
+      [ shape_tensor_const s ]
+  in
+  let alloc_tensor =
+    Expr.op_call
+      ~attrs:
+        [
+          ("offset", Attrs.Int 0);
+          ("const_shape", Attrs.Ints (Array.to_list s));
+          ("dtype", Attrs.Str (Dtype.to_string dtype));
+        ]
+      "memory.alloc_tensor"
+      [ Expr.Var storage_v; shape_tensor_const s ]
+  in
+  Expr.Let (storage_v, alloc_storage, Expr.Let (out_v, alloc_tensor, k (Expr.Var out_v)))
+
+(* Allocate one output whose shape is the runtime tensor [shape_e]. *)
+let alloc_dynamic ~device ~rank (dtype : Dtype.t) (shape_e0 : Expr.t) (k : Expr.t -> Expr.t) :
+    Expr.t =
+  (* keep ANF: bind a compound shape expression (e.g. a tuple projection) *)
+  let bind_shape k2 =
+    match shape_e0 with
+    | Expr.Var _ | Expr.Const _ -> k2 shape_e0
+    | _ ->
+        let sv = Expr.fresh_var "sh" in
+        Expr.Let (sv, shape_e0, k2 (Expr.Var sv))
+  in
+  bind_shape @@ fun shape_e ->
+  let storage_v = Expr.fresh_var ~ty:Ty.Storage "storage" in
+  let out_ty = Ty.Tensor { dims = Array.make rank Dim.Any; dtype } in
+  let out_v = Expr.fresh_var ~ty:out_ty "out" in
+  let alloc_storage =
+    Expr.op_call
+      ~attrs:
+        [
+          ("alignment", Attrs.Int 64);
+          ("device", Attrs.Int device);
+          ("dtype", Attrs.Str (Dtype.to_string dtype));
+        ]
+      "memory.alloc_storage" [ shape_e ]
+  in
+  let alloc_tensor =
+    Expr.op_call
+      ~attrs:[ ("offset", Attrs.Int 0); ("dtype", Attrs.Str (Dtype.to_string dtype)); ("rank", Attrs.Int rank) ]
+      "memory.alloc_tensor"
+      [ Expr.Var storage_v; shape_e ]
+  in
+  Expr.Let (storage_v, alloc_storage, Expr.Let (out_v, alloc_tensor, k (Expr.Var out_v)))
+
+let rec alloc_many allocs k =
+  match allocs with
+  | [] -> k []
+  | alloc1 :: rest -> alloc1 (fun out -> alloc_many rest (fun outs -> k (out :: outs)))
+
+(* Rewrite one primitive call binding. [device] is the kernel's device id. *)
+let rewrite_call ~device (v : Expr.var) (prim : Expr.fn) (prim_expr : Expr.t)
+    (args : Expr.t list) (rest : Expr.t) : Expr.t =
+  let out_tys = out_tensor_tys v in
+  let mode = primitive_mode prim in
+  let all_static =
+    List.for_all (fun ty -> Ty.static_shape ty <> None) out_tys
+    && mode = Nimble_shape.Shape_func.Data_indep
+  in
+  let finish outs =
+    let unit_v = Expr.fresh_var ~ty:Ty.unit "u" in
+    let invoke =
+      Expr.op_call
+        ~attrs:
+          [
+            ("num_inputs", Attrs.Int (List.length args));
+            ("device", Attrs.Int device);
+            ( "upper_bound",
+              Attrs.Bool (mode = Nimble_shape.Shape_func.Upper_bound) );
+          ]
+        "memory.invoke_mut"
+        ((prim_expr :: args) @ outs)
+    in
+    let result =
+      match outs with [ single ] -> single | many -> Expr.Tuple many
+    in
+    Expr.Let (unit_v, invoke, Expr.Let (v, result, rest))
+  in
+  if all_static then
+    let allocs =
+      List.map
+        (fun ty ->
+          let s = Option.get (Ty.static_shape ty) in
+          alloc_static ~device (dtype_of_ty ty) s)
+        out_tys
+    in
+    alloc_many allocs finish
+  else begin
+    (* Shape inputs: shapes for data-independent / upper-bound functions,
+       values for data-dependent ones. *)
+    let mode_str =
+      match mode with
+      | Nimble_shape.Shape_func.Data_indep -> "data_indep"
+      | Nimble_shape.Shape_func.Data_dep -> "data_dep"
+      | Nimble_shape.Shape_func.Upper_bound -> "upper_bound"
+    in
+    let with_shape_inputs k =
+      match mode with
+      | Nimble_shape.Shape_func.Data_dep -> k args
+      | Nimble_shape.Shape_func.Data_indep | Nimble_shape.Shape_func.Upper_bound ->
+          let rec go acc = function
+            | [] -> k (List.rev acc)
+            | arg :: more ->
+                let sv = Expr.fresh_var "in_sh" in
+                Expr.Let
+                  (sv, Expr.op_call "shape_of" [ arg ], go (Expr.Var sv :: acc) more)
+          in
+          go [] args
+    in
+    with_shape_inputs (fun shape_inputs ->
+        let num_outputs = List.length out_tys in
+        let out_ranks =
+          List.map
+            (fun ty ->
+              match ty with
+              | Ty.Tensor { dims; _ } -> Array.length dims
+              | _ -> 1)
+            out_tys
+        in
+        (* The shape tensors are themselves explicitly allocated — the fixed
+           point the paper describes: "we must now manifest allocations ...
+           until we allocate for both the compute and necessary shape
+           functions". They have static shape [rank] so memory planning can
+           coalesce them. *)
+        let sh_allocs =
+          List.map (fun rank -> alloc_static ~device:0 Dtype.I64 [| rank |]) out_ranks
+        in
+        alloc_many sh_allocs (fun sh_outs ->
+            let unit_v = Expr.fresh_var ~ty:Ty.unit "u" in
+            let invoke_sf =
+              Expr.op_call
+                ~attrs:
+                  [
+                    ("mode", Attrs.Str mode_str);
+                    ("num_inputs", Attrs.Int (List.length shape_inputs));
+                    ("num_outputs", Attrs.Int num_outputs);
+                    ("out_ranks", Attrs.Ints out_ranks);
+                  ]
+                "memory.invoke_shape_func"
+                ((prim_expr :: shape_inputs) @ sh_outs)
+            in
+            let allocs =
+              List.mapi
+                (fun i ty ->
+                  let rank = List.nth out_ranks i in
+                  alloc_dynamic ~device ~rank (dtype_of_ty ty) (List.nth sh_outs i))
+                out_tys
+            in
+            Expr.Let (unit_v, invoke_sf, alloc_many allocs finish)))
+  end
+
+let rec rewrite ~device (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Let (v, Expr.Call { callee = Expr.Fn prim; args; _ }, rest)
+    when Fusion.is_primitive prim ->
+      rewrite_call ~device v prim (Expr.Fn prim) args (rewrite ~device rest)
+  | Expr.Let (v, bound, rest) ->
+      Expr.Let (v, rewrite_inside ~device bound, rewrite ~device rest)
+  | Expr.If (c, t, f) -> Expr.If (c, rewrite ~device t, rewrite ~device f)
+  | Expr.Match (s, clauses) ->
+      Expr.Match
+        (s, List.map (fun cl -> { cl with Expr.rhs = rewrite ~device cl.Expr.rhs }) clauses)
+  | _ -> e
+
+and rewrite_inside ~device (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Fn fn when not (Fusion.is_primitive fn) ->
+      Expr.Fn { fn with Expr.body = rewrite ~device fn.Expr.body }
+  | Expr.If (c, t, f) -> Expr.If (c, rewrite ~device t, rewrite ~device f)
+  | Expr.Match (s, clauses) ->
+      Expr.Match
+        (s, List.map (fun cl -> { cl with Expr.rhs = rewrite ~device cl.Expr.rhs }) clauses)
+  | _ -> e
+
+(** [run ~device m]: rewrite every function. [device] is the id of the
+    target device kernels run on (heterogeneous placement may move
+    bookkeeping to CPU afterwards; see {!Device_place}). *)
+let run ?(device = 0) (m : Irmod.t) : Irmod.t =
+  Irmod.map_funcs m (fun _name fn -> { fn with Expr.body = rewrite ~device fn.Expr.body });
+  m
+
+(** Count explicit allocations, for tests and the memory experiment. *)
+let count_allocs (e : Expr.t) =
+  let storage = ref 0 and tensors = ref 0 in
+  Expr.iter
+    (function
+      | Expr.Call { callee = Expr.Op "memory.alloc_storage"; _ } -> incr storage
+      | Expr.Call { callee = Expr.Op "memory.alloc_tensor"; _ } -> incr tensors
+      | _ -> ())
+    e;
+  (!storage, !tensors)

@@ -1,0 +1,23 @@
+(** Manifest allocation (paper §4.3).
+
+    Rewrites the implicit-allocation IR into the explicit memory dialect:
+    every primitive call [let v = prim(args)] becomes explicit
+    [memory.alloc_storage] / [memory.alloc_tensor] bindings plus a
+    destination-passing [memory.invoke_mut]. Dynamic output shapes insert
+    shape-function invocations first — including explicit allocation of the
+    shape tensors themselves, the fixed point the paper describes.
+    Data-dependent shape functions receive argument values; upper-bound ones
+    allocate the bound and the VM slices to the kernel-reported extent. *)
+
+open Nimble_ir
+
+exception Alloc_error of string
+
+(** Rewrite every function. [device] is the id of the target device kernels
+    run on (heterogeneous placement may move bookkeeping to the CPU
+    afterwards; see {!Device_place}). Requires typed IR (run inference and
+    {!Type_resolve} first). *)
+val run : ?device:int -> Irmod.t -> Irmod.t
+
+(** [(storage_allocs, tensor_allocs)] appearing in an expression. *)
+val count_allocs : Expr.t -> int * int

@@ -1,0 +1,303 @@
+(** Memory planning (paper §4.3, evaluated in §6.3).
+
+    On the manifest-alloc IR this pass:
+
+    1. {b coalesces} static storage allocations: all [memory.alloc_storage]
+       calls with compile-time sizes in a straight-line region are replaced
+       by one arena allocation per device, and each tensor is given an
+       offset into the arena. Offsets are assigned first-fit using liveness
+       intervals, so storage is *reused* across tensors whose lifetimes do
+       not overlap — this is what cuts both allocation count and footprint;
+    2. inserts [memory.kill] after the last use of dynamically-allocated
+       tensors so the VM can release them before frame exit.
+
+    Conditional branches are planned recursively as separate regions
+    (conservative but sound). *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type stats = {
+  mutable storages_before : int;
+  mutable storages_after : int;
+  mutable arena_bytes : int;  (** total coalesced arena size *)
+  mutable sum_bytes : int;  (** what the un-coalesced storages added up to *)
+  mutable kills_inserted : int;
+}
+
+let fresh_stats () =
+  { storages_before = 0; storages_after = 0; arena_bytes = 0; sum_bytes = 0; kills_inserted = 0 }
+
+(* A straight-line let chain: bindings plus terminal expression. *)
+let rec chain_of (e : Expr.t) =
+  match e with
+  | Expr.Let (v, bound, body) ->
+      let bs, term = chain_of body in
+      ((v, bound) :: bs, term)
+  | _ -> ([], e)
+
+let rec rebuild bindings term =
+  match bindings with
+  | [] -> term
+  | (v, bound) :: rest -> Expr.Let (v, bound, rebuild rest term)
+
+let align_up n a = (n + a - 1) / a * a
+
+type static_alloc = {
+  storage_var : int;  (** vid of the storage binding *)
+  tensor_var : int;  (** vid of the tensor allocated from it *)
+  alloc_index : int;  (** binding index of the storage alloc *)
+  mutable last_use : int;  (** binding index of the tensor's last use *)
+  size : int;  (** aligned bytes *)
+  device : int;
+  mutable offset : int;
+}
+
+let uses_var vid e =
+  let found = ref false in
+  Expr.iter (function Expr.Var v when v.Expr.vid = vid -> found := true | _ -> ()) e;
+  !found
+
+module Int_set = Set.Make (Int)
+
+let uses_any vids e =
+  let found = ref false in
+  Expr.iter
+    (function Expr.Var v when Int_set.mem v.Expr.vid vids -> found := true | _ -> ())
+    e;
+  !found
+
+(* A binding whose RHS can carry a reference to a tensor onward (aliases,
+   tuples, ADT construction, control-flow results). Kernel calls only read
+   their arguments; copies produce fresh tensors. *)
+let rhs_may_alias = function
+  | Expr.Var _ | Expr.Tuple _ | Expr.Proj _ | Expr.If _ | Expr.Match _ -> true
+  | Expr.Call { callee = Expr.Ctor _; _ } -> true
+  | Expr.Call { callee = Expr.Global _; _ } | Expr.Call { callee = Expr.Fn _; _ } -> true
+  | _ -> false
+
+(* Liveness of a tensor must follow every alias: the set of vids through
+   which its buffer remains reachable. *)
+let alias_closure (barr : (Expr.var * Expr.t) array) start_vid =
+  let set = ref (Int_set.singleton start_vid) in
+  Array.iter
+    (fun ((v : Expr.var), bound) ->
+      if rhs_may_alias bound && uses_any !set bound then set := Int_set.add v.Expr.vid !set)
+    barr;
+  !set
+
+(* First-fit offset assignment over liveness intervals. *)
+let assign_offsets allocs =
+  let placed : static_alloc list ref = ref [] in
+  List.iter
+    (fun a ->
+      let overlaps b =
+        (* lifetimes intersect *)
+        a.alloc_index <= b.last_use && b.alloc_index <= a.last_use
+      in
+      let conflicts = List.filter overlaps !placed in
+      let sorted =
+        List.sort (fun x y -> compare x.offset y.offset) conflicts
+      in
+      let off = ref 0 in
+      List.iter
+        (fun c ->
+          if c.offset < !off + a.size && !off < c.offset + c.size then
+            off := c.offset + c.size)
+        sorted;
+      a.offset <- !off;
+      placed := a :: !placed)
+    allocs;
+  List.fold_left (fun acc a -> Stdlib.max acc (a.offset + a.size)) 0 allocs
+
+let storage_size_bytes ~attrs (shape : int array) =
+  let dt =
+    match Attrs.find_str attrs "dtype" with
+    | Some s -> Option.value ~default:Dtype.F32 (Dtype.of_string s)
+    | None -> Dtype.F32
+  in
+  let align = Attrs.get_int ~default:64 attrs "alignment" in
+  align_up (Array.fold_left ( * ) 1 shape * Dtype.size_in_bytes dt) align
+
+(* ------------------------------------------------------------------ *)
+
+let rec plan_expr stats (e : Expr.t) : Expr.t =
+  let bindings, term = chain_of e in
+  let bindings =
+    (* recurse into nested regions first *)
+    List.map
+      (fun (v, bound) ->
+        let bound =
+          match bound with
+          | Expr.If (c, t, f) -> Expr.If (c, plan_expr stats t, plan_expr stats f)
+          | Expr.Match (s, clauses) ->
+              Expr.Match
+                ( s,
+                  List.map
+                    (fun cl -> { cl with Expr.rhs = plan_expr stats cl.Expr.rhs })
+                    clauses )
+          | Expr.Fn fn when not (Fusion.is_primitive fn) ->
+              Expr.Fn { fn with Expr.body = plan_expr stats fn.Expr.body }
+          | _ -> bound
+        in
+        (v, bound))
+      bindings
+  in
+  let barr = Array.of_list bindings in
+  let n = Array.length barr in
+  (* -------- collect static storage allocs in this region ------------ *)
+  let allocs = ref [] in
+  Array.iteri
+    (fun i ((v : Expr.var), bound) ->
+      match bound with
+      | Expr.Call
+          { callee = Expr.Op "memory.alloc_storage"; args = [ Expr.Const shape_t ]; attrs }
+        -> (
+          stats.storages_before <- stats.storages_before + 1;
+          let shape = Tensor.to_shape shape_t in
+          let size = storage_size_bytes ~attrs shape in
+          let device = Attrs.get_int ~default:0 attrs "device" in
+          (* find the tensor allocated from this storage, in this region *)
+          let tensor_var = ref None in
+          Array.iteri
+            (fun j ((tv : Expr.var), tb) ->
+              if j > i then
+                match tb with
+                | Expr.Call { callee = Expr.Op "memory.alloc_tensor"; args = Expr.Var sv :: _; _ }
+                  when sv.Expr.vid = v.Expr.vid ->
+                    tensor_var := Some tv.Expr.vid
+                | _ -> ())
+            barr;
+          match !tensor_var with
+          | None -> ()
+          | Some tv ->
+              allocs :=
+                {
+                  storage_var = v.Expr.vid;
+                  tensor_var = tv;
+                  alloc_index = i;
+                  last_use = i;
+                  size;
+                  device;
+                  offset = 0;
+                }
+                :: !allocs)
+      | _ -> ())
+    barr;
+  let allocs = List.rev !allocs in
+  (* -------- liveness (alias-aware) ----------------------------------- *)
+  List.iter
+    (fun a ->
+      let aliases = alias_closure barr a.tensor_var in
+      Array.iteri
+        (fun j (_, bound) ->
+          if uses_any aliases bound then a.last_use <- Stdlib.max a.last_use j)
+        barr;
+      if uses_any aliases term then a.last_use <- n (* escapes: live to end *))
+    allocs;
+  (* -------- coalesce per device ------------------------------------- *)
+  let devices = List.sort_uniq compare (List.map (fun a -> a.device) allocs) in
+  let arena_vars = Hashtbl.create 4 in
+  let arena_lets = ref [] in
+  List.iter
+    (fun dev ->
+      let dev_allocs = List.filter (fun a -> a.device = dev) allocs in
+      if dev_allocs <> [] then begin
+        let total = assign_offsets dev_allocs in
+        stats.arena_bytes <- stats.arena_bytes + total;
+        stats.sum_bytes <-
+          stats.sum_bytes + List.fold_left (fun acc a -> acc + a.size) 0 dev_allocs;
+        stats.storages_after <- stats.storages_after + 1;
+        let arena_v = Expr.fresh_var ~ty:Ty.Storage "arena" in
+        Hashtbl.replace arena_vars dev arena_v;
+        let alloc =
+          Expr.op_call
+            ~attrs:
+              [
+                ("alignment", Attrs.Int 64);
+                ("device", Attrs.Int dev);
+                ("dtype", Attrs.Str "uint8");
+                ("arena", Attrs.Bool true);
+              ]
+            "memory.alloc_storage"
+            [ Expr.Const (Tensor.of_int_array ~dtype:Dtype.I64 [| 1 |] [| total |]) ]
+        in
+        arena_lets := (arena_v, alloc) :: !arena_lets
+      end)
+    devices;
+  let by_storage_var =
+    List.fold_left (fun acc a -> (a.storage_var, a) :: acc) [] allocs
+  in
+  (* -------- rewrite bindings ---------------------------------------- *)
+  let rewritten =
+    Array.to_list barr
+    |> List.filter_map (fun ((v : Expr.var), bound) ->
+           match bound with
+           | Expr.Call { callee = Expr.Op "memory.alloc_storage"; _ }
+             when List.mem_assoc v.Expr.vid by_storage_var ->
+               None (* replaced by the arena *)
+           | Expr.Call
+               { callee = Expr.Op "memory.alloc_tensor"; args = Expr.Var sv :: more; attrs }
+             when List.mem_assoc sv.Expr.vid by_storage_var ->
+               let a = List.assoc sv.Expr.vid by_storage_var in
+               let arena_v = Hashtbl.find arena_vars a.device in
+               let attrs = Attrs.set attrs "offset" (Attrs.Int a.offset) in
+               Some
+                 ( v,
+                   Expr.Call
+                     {
+                       callee = Expr.Op "memory.alloc_tensor";
+                       args = Expr.Var arena_v :: more;
+                       attrs;
+                     } )
+           | _ -> Some (v, bound))
+  in
+  (* -------- kill insertion for dynamic tensors ----------------------- *)
+  let coalesced_tensor_vids = List.map (fun a -> a.tensor_var) allocs in
+  let dynamic_tensors = ref [] in
+  Array.iteri
+    (fun i ((v : Expr.var), bound) ->
+      match bound with
+      | Expr.Call { callee = Expr.Op "memory.alloc_tensor"; _ }
+        when not (List.mem v.Expr.vid coalesced_tensor_vids) ->
+          let last = ref i in
+          Array.iteri
+            (fun j (_, b) -> if j > i && uses_var v.Expr.vid b then last := j)
+            barr;
+          if not (uses_var v.Expr.vid term) then dynamic_tensors := (v, !last) :: !dynamic_tensors
+      | _ -> ())
+    barr;
+  (* map: original index -> kills to insert after it *)
+  let kills_at = Hashtbl.create 8 in
+  List.iter
+    (fun ((v : Expr.var), last) ->
+      stats.kills_inserted <- stats.kills_inserted + 1;
+      Hashtbl.replace kills_at last (v :: Option.value ~default:[] (Hashtbl.find_opt kills_at last)))
+    !dynamic_tensors;
+  (* Rebuild, tracking the original index of each surviving binding. *)
+  let with_kills =
+    List.concat_map
+      (fun ((v : Expr.var), bound) ->
+        (* recover original index by matching vids *)
+        let orig_index = ref (-1) in
+        Array.iteri (fun j ((bv : Expr.var), _) -> if bv.Expr.vid = v.Expr.vid then orig_index := j) barr;
+        let kills =
+          match Hashtbl.find_opt kills_at !orig_index with
+          | Some vs ->
+              List.map
+                (fun (kv : Expr.var) ->
+                  ( Expr.fresh_var ~ty:Ty.unit "k",
+                    Expr.op_call "memory.kill" [ Expr.Var kv ] ))
+                vs
+          | None -> []
+        in
+        ((v, bound) :: kills))
+      rewritten
+  in
+  rebuild (List.rev !arena_lets @ with_kills) term
+
+(** Run the planner; returns per-module statistics. *)
+let run (m : Irmod.t) : stats =
+  let stats = fresh_stats () in
+  Irmod.map_funcs m (fun _name fn -> { fn with Expr.body = plan_expr stats fn.Expr.body });
+  stats

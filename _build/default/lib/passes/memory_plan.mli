@@ -1,0 +1,26 @@
+(** Memory planning (paper §4.3, evaluated in §6.3).
+
+    On the manifest-alloc IR: coalesces static storage allocations into one
+    liveness-packed arena per device per straight-line region (first-fit
+    offset assignment over alias-aware lifetime intervals, so storage is
+    reused across tensors whose lifetimes do not overlap), and inserts
+    [memory.kill] after the last use of dynamically-allocated tensors. *)
+
+open Nimble_ir
+
+type stats = {
+  mutable storages_before : int;  (** static storages found *)
+  mutable storages_after : int;  (** arenas emitted *)
+  mutable arena_bytes : int;  (** total coalesced arena size *)
+  mutable sum_bytes : int;  (** what the un-coalesced storages added up to *)
+  mutable kills_inserted : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** Plan one expression (exposed for tests); branches are planned
+    recursively as separate regions. *)
+val plan_expr : stats -> Expr.t -> Expr.t
+
+(** Run the planner over every function; returns module-wide statistics. *)
+val run : Irmod.t -> stats

@@ -1,0 +1,31 @@
+(** Resolve symbolic dimension classes in every variable annotation to their
+    most specific known value, after type inference has run. Downstream
+    passes (manifest alloc) then see [Static]/[Sym]/[Any] dims directly. *)
+
+open Nimble_ir
+open Nimble_typing
+
+let resolve_var solver (v : Expr.var) =
+  match v.Expr.vty with
+  | Some ty -> v.Expr.vty <- Some (Dim_solver.apply solver ty)
+  | None -> ()
+
+let rec resolve_pat solver = function
+  | Expr.Pwild -> ()
+  | Expr.Pvar v -> resolve_var solver v
+  | Expr.Pctor (_, ps) -> List.iter (resolve_pat solver) ps
+
+let run (m : Irmod.t) (solver : Dim_solver.t) : Irmod.t =
+  Irmod.map_funcs m (fun _name fn ->
+      List.iter (resolve_var solver) fn.Expr.params;
+      Expr.iter
+        (function
+          | Expr.Var v -> resolve_var solver v
+          | Expr.Let (v, _, _) -> resolve_var solver v
+          | Expr.Fn { params; _ } -> List.iter (resolve_var solver) params
+          | Expr.Match (_, clauses) ->
+              List.iter (fun cl -> resolve_pat solver cl.Expr.pat) clauses
+          | _ -> ())
+        fn.Expr.body;
+      fn);
+  m

@@ -1,0 +1,1 @@
+lib/perfsim/estimator.ml: Fmt Framework Hashtbl List Nimble_codegen Option Platform

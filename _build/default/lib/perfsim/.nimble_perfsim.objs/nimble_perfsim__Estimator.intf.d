@@ -1,0 +1,1 @@
+lib/perfsim/estimator.mli: Format Framework Nimble_codegen Platform

@@ -1,0 +1,1 @@
+lib/perfsim/platform.ml: Float Fmt Stdlib

@@ -1,0 +1,53 @@
+(** Trace-driven latency estimation.
+
+    Executors run for real and report kernel executions and framework
+    actions to {!Nimble_codegen.Trace}; this module prices a recorded trace
+    under a (platform, framework) pair: kernels with the platform roofline
+    scaled by the framework's library quality, framework events with the
+    calibrated cost table, transfers with the bus model, with host work
+    partially hidden behind device execution on GPUs. *)
+
+type breakdown = {
+  kernel_s : float;  (** roofline kernel time *)
+  launch_s : float;  (** kernel-launch overhead *)
+  host_s : float;  (** framework/host bookkeeping (before overlap) *)
+  transfer_s : float;  (** host<->device transfers *)
+  kernels : int;
+  events : (string * int) list;  (** framework event histogram *)
+}
+
+(** End-to-end latency: kernels + transfers + non-overlapped host work. *)
+val total : Platform.t -> Framework.t -> breakdown -> float
+
+(** [record f] runs [f ()] capturing its trace events, so one real execution
+    can be priced under every platform. *)
+val record : (unit -> 'a) -> 'a * Nimble_codegen.Trace.event list
+
+(** Price a recorded trace. [launch_per_op] charges one kernel launch per
+    operator execution (frameworks launch unfused ops one by one; the
+    Nimble VM reports its launches as explicit [vm_kernel_launch] events
+    instead). *)
+val price :
+  platform:Platform.t ->
+  framework:Framework.t ->
+  ?launch_per_op:bool ->
+  Nimble_codegen.Trace.event list ->
+  breakdown
+
+(** Run a thunk under the cost model: result + breakdown. *)
+val estimate :
+  platform:Platform.t ->
+  framework:Framework.t ->
+  ?launch_per_op:bool ->
+  (unit -> 'a) ->
+  'a * breakdown
+
+(** Run a thunk and return its result with the estimated latency (s). *)
+val latency :
+  platform:Platform.t ->
+  framework:Framework.t ->
+  ?launch_per_op:bool ->
+  (unit -> 'a) ->
+  'a * float
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

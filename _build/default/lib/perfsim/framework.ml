@@ -1,0 +1,90 @@
+(** Framework architecture cost models.
+
+    Each system under test emits named framework events for the host-side
+    work its architecture performs per inference (dispatch, graph/trace
+    construction, control-flow primitives, recompilation, subgraph executor
+    setup, VM instructions). This module prices those events (seconds on the
+    Intel host; other platforms scale by [Platform.host_speed]) and assigns
+    each framework a per-platform *kernel library quality* factor — the
+    paper's observation that frameworks lean on vendor libraries (MKL,
+    cuDNN) that are excellent on first-tier platforms and poor on ARM,
+    while Nimble's generated kernels are portable.
+
+    Event costs are calibrated against the paper's Intel columns (Tables
+    1-3) and then *predict* the other columns through the platform models;
+    EXPERIMENTS.md records the fit. *)
+
+type t = Nimble | Pytorch | Mxnet | Tensorflow | Tf_fold
+
+let name = function
+  | Nimble -> "Nimble"
+  | Pytorch -> "PyTorch"
+  | Mxnet -> "MXNet"
+  | Tensorflow -> "TensorFlow"
+  | Tf_fold -> "TF Fold"
+
+let all = [ Nimble; Pytorch; Mxnet; Tensorflow; Tf_fold ]
+
+(** Per-event host cost in seconds (Intel-equivalent). *)
+let event_cost = function
+  (* --- Nimble VM --- *)
+  | "vm_instruction" -> 0.15e-6  (* coarse-grained dispatch loop step *)
+  | "vm_kernel_launch" -> 0.0  (* launch priced by the platform model *)
+  (* --- PyTorch-like eager --- *)
+  | "eager_dispatch" -> 1.8e-6  (* dynamic dispatch through the dispatcher *)
+  | "eager_graph_node" -> 0.7e-6  (* per-invocation trace/graph node *)
+  | "eager_host_step" -> 18e-6  (* Python-level loop step *)
+  | "eager_host_recursion" -> 280e-6
+      (* Python-level tree-node recursion: child indexing, per-node module
+         calls, state tuples — the cost the paper blames for PyTorch's
+         17-20x Tree-LSTM gap *)
+  | "eager_loop_setup" -> 4e-6
+  (* --- TensorFlow-like graph executor --- *)
+  | "graph_node_exec" -> 2.5e-6  (* scheduler dequeue + node execute *)
+  | "cf_Enter" | "cf_Merge" | "cf_Switch" | "cf_NextIteration" | "cf_Exit" ->
+      38e-6  (* control-flow primitive execution (frames, tags, queues) *)
+  (* --- MXNet-like hybrid --- *)
+  | "hybrid_dispatch" -> 1.2e-6  (* C++ engine op push *)
+  | "hybrid_subgraph_exec" -> 180e-6  (* control-flow op: executor per step *)
+  | "hybrid_bind" -> 10e-6  (* per-node executor specialization *)
+  (* --- TF Fold --- *)
+  | "fold_recompile" -> 90e-6  (* per-node per-input graph rebuild *)
+  | "fold_gather" -> 6e-6  (* gather/scatter bookkeeping per node *)
+  (* --- static graph executor (TVM-like) --- *)
+  | "static_node_exec" -> 0.1e-6
+  | _ -> 0.0
+
+(** Kernel-quality factor: how much slower than the roofline this
+    framework's kernels run on this platform, as a function of kernel size.
+    Nimble generates its own kernels and dispatches to whichever of
+    {generated, library} is faster, so it holds quality ~1 everywhere — the
+    portable-performance claim. Frameworks match it on platforms with
+    first-tier vendor libraries (MKL, cuDNN) and degrade on ARM, where the
+    degradation is much worse for small kernels (batch-1 GEMV in an LSTM
+    cell) than for large GEMMs (BERT) — the size profile behind the paper's
+    per-model ARM ratios. *)
+let lib_quality (fw : t) (p : Platform.t) ~flops =
+  (* weight of the "small kernel" regime *)
+  let small_w = 1.0 -. (float_of_int flops /. (float_of_int flops +. 1e6)) in
+  let interp ~large ~small = large +. ((small -. large) *. small_w) in
+  match (fw, p.Platform.name) with
+  | Nimble, _ -> 1.0
+  | Tensorflow, "Intel CPU" -> 1.9 (* paper: TF's BERT kernels trail MKL-path frameworks *)
+  | (Pytorch | Mxnet | Tf_fold), "Intel CPU" -> 1.0
+  | (Pytorch | Mxnet | Tensorflow | Tf_fold), "Nvidia GPU" -> 1.0
+  | Pytorch, "ARM CPU" -> interp ~large:4.5 ~small:14.0
+  | Mxnet, "ARM CPU" -> interp ~large:2.8 ~small:40.0
+  | Tensorflow, "ARM CPU" -> interp ~large:1.05 ~small:6.0
+  | Tf_fold, "ARM CPU" -> interp ~large:4.0 ~small:10.0
+  | _, _ -> 1.0
+
+(** Fraction of host-side framework time hidden behind device execution on
+    GPU platforms. The paper: Nimble's device placement overlaps nearly all
+    bytecode latency with GPU execution; frameworks overlap partially via
+    async launch queues. *)
+let gpu_overlap = function
+  | Nimble -> 0.95
+  | Pytorch -> 0.7
+  | Mxnet -> 0.7
+  | Tensorflow -> 0.1 (* control-flow primitives synchronize with the host *)
+  | Tf_fold -> 0.5

@@ -1,0 +1,27 @@
+(** Framework architecture cost models.
+
+    Each system under test emits named framework events for the host-side
+    work its architecture performs; this module prices those events
+    (calibrated on the paper's Intel columns of Tables 1-3; other platforms
+    scale through {!Platform}) and assigns each framework a per-platform,
+    kernel-size-dependent library-quality factor — the paper's observation
+    that frameworks lean on vendor libraries that are excellent on
+    first-tier platforms and degrade on ARM, worst for small kernels. *)
+
+type t = Nimble | Pytorch | Mxnet | Tensorflow | Tf_fold
+
+val name : t -> string
+val all : t list
+
+(** Per-event host cost in seconds (Intel-equivalent); unknown events are
+    free. Constants carry per-entry justification in the implementation. *)
+val event_cost : string -> float
+
+(** How much slower than the roofline this framework's kernels run on this
+    platform, as a function of kernel size. Nimble holds ~1 everywhere (the
+    portable-performance claim). *)
+val lib_quality : t -> Platform.t -> flops:int -> float
+
+(** Fraction of host-side framework time hidden behind device execution on
+    GPU platforms. *)
+val gpu_overlap : t -> float

@@ -1,0 +1,90 @@
+(** Hardware platform cost models.
+
+    The paper evaluates on three EC2 platforms: Intel Skylake (c5.9xlarge),
+    Nvidia T4 (g4dn.4xlarge) and ARM Cortex-A72 (a1.4xlarge). This container
+    has one x86-64 host, so those platforms are *simulated*: every executor
+    runs for real and records its operator trace; a platform prices each
+    kernel with a roofline model
+
+    {[ time = max(flops / (peak * eff(flops)), bytes / bandwidth) ]}
+
+    where [eff] ramps with kernel size (small kernels cannot saturate the
+    machine — the effect behind the paper's observation that small-LSTM
+    latency on the T4 is *higher* than on the CPU). Host-side framework
+    work is scaled by [host_speed]; on GPUs a fraction [overlap] of it
+    hides behind device execution (the paper credits device placement for
+    Nimble's near-total overlap). *)
+
+type t = {
+  name : string;
+  peak_flops : float;  (** attainable FLOP/s at large kernel sizes *)
+  mem_bw : float;  (** attainable memory bandwidth, bytes/s *)
+  ramp_flops : float;  (** kernel flops at which efficiency reaches 50% *)
+  min_kernel_s : float;
+      (** device-side execution floor per kernel (GPU wave latency) *)
+  launch_overhead_s : float;  (** per-kernel-launch fixed cost *)
+  host_speed : float;  (** host-side cost multiplier relative to Intel *)
+  transfer_bw : float;  (** host<->device transfer bandwidth, bytes/s *)
+  is_gpu : bool;
+}
+
+let intel_cpu =
+  {
+    name = "Intel CPU";
+    peak_flops = 600e9;
+    mem_bw = 200e9;  (* cache-aware effective: recurrent weights stay L2/L3 resident *)
+    ramp_flops = 5e4;
+    min_kernel_s = 0.0;
+    launch_overhead_s = 1e-6;
+    host_speed = 1.0;
+    transfer_bw = 0.0;
+    is_gpu = false;
+  }
+
+let nvidia_gpu =
+  {
+    name = "Nvidia GPU";
+    peak_flops = 8e12;
+    mem_bw = 300e9;
+    ramp_flops = 2e7;
+    min_kernel_s = 6e-6;
+    launch_overhead_s = 8e-6;
+    host_speed = 1.0;  (* the x86 host drives the GPU *)
+    transfer_bw = 12e9;  (* PCIe gen3 x16 effective *)
+    is_gpu = true;
+  }
+
+let arm_cpu =
+  {
+    name = "ARM CPU";
+    peak_flops = 80e9;
+    mem_bw = 40e9;
+    ramp_flops = 2e4;
+    min_kernel_s = 0.0;
+    launch_overhead_s = 2e-6;
+    host_speed = 2.5;
+    transfer_bw = 0.0;
+    is_gpu = false;
+  }
+
+let all = [ intel_cpu; nvidia_gpu; arm_cpu ]
+
+(** Kernel efficiency ramp: a kernel with [flops] work achieves
+    [flops / (flops + ramp)] of peak. *)
+let efficiency t ~flops =
+  let f = float_of_int flops in
+  f /. (f +. t.ramp_flops)
+
+(** Roofline cost of one kernel (before library-quality scaling). *)
+let kernel_seconds t ~flops ~bytes =
+  if flops = 0 && bytes = 0 then 0.0
+  else
+    let eff = Stdlib.max 1e-4 (efficiency t ~flops) in
+    let compute = float_of_int flops /. (t.peak_flops *. eff) in
+    let memory = float_of_int bytes /. t.mem_bw in
+    Float.max t.min_kernel_s (Float.max compute memory)
+
+let transfer_seconds t ~bytes =
+  if t.transfer_bw <= 0.0 then 0.0 else float_of_int bytes /. t.transfer_bw
+
+let pp ppf t = Fmt.string ppf t.name

@@ -1,0 +1,38 @@
+(** Hardware platform cost models for the paper's three testbeds.
+
+    Platforms are simulated: executors run for real on the host and record
+    operator traces; a platform prices each kernel with a roofline
+    [max(flops / (peak * eff(flops)), bytes / bandwidth)] where efficiency
+    ramps with kernel size, floored by a per-kernel device latency on GPUs.
+    Host-side framework work scales by [host_speed]. *)
+
+type t = {
+  name : string;
+  peak_flops : float;  (** attainable FLOP/s at large kernel sizes *)
+  mem_bw : float;  (** attainable memory bandwidth, bytes/s *)
+  ramp_flops : float;  (** kernel flops at which efficiency reaches 50% *)
+  min_kernel_s : float;  (** device-side execution floor per kernel *)
+  launch_overhead_s : float;  (** per-kernel-launch fixed cost *)
+  host_speed : float;  (** host-side cost multiplier relative to Intel *)
+  transfer_bw : float;  (** host<->device transfer bandwidth, bytes/s *)
+  is_gpu : bool;
+}
+
+val intel_cpu : t  (** c5.9xlarge-like Intel Skylake *)
+
+val nvidia_gpu : t  (** g4dn-like Nvidia T4 (x86 host drives it) *)
+
+val arm_cpu : t  (** a1.4xlarge-like ARM Cortex-A72 *)
+
+val all : t list
+
+(** Efficiency of a kernel with [flops] work: [flops / (flops + ramp)]. *)
+val efficiency : t -> flops:int -> float
+
+(** Roofline cost of one kernel (before library-quality scaling). *)
+val kernel_seconds : t -> flops:int -> bytes:int -> float
+
+(** Host<->device transfer cost; 0 on CPUs. *)
+val transfer_seconds : t -> bytes:int -> float
+
+val pp : Format.formatter -> t -> unit

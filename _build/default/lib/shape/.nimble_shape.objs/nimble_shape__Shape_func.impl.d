@@ -1,0 +1,1 @@
+lib/shape/shape_func.ml: Array Attrs Float Fmt Hashtbl List Nimble_ir Nimble_tensor Op Shape Stdlib Tensor

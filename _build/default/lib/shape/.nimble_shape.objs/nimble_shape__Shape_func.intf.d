@@ -1,0 +1,1 @@
+lib/shape/shape_func.mli: Attrs Nimble_ir Nimble_tensor Shape Tensor

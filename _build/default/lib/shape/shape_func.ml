@@ -1,0 +1,295 @@
+(** Runtime shape functions (paper §4.2).
+
+    Each operator registers a function that computes its concrete output
+    shape(s) at runtime, in one of three modes:
+
+    - [Data_indep]: output shapes depend only on input shapes (e.g. dense);
+    - [Data_dep]: output shapes need input *values* (e.g. arange, unique);
+    - [Upper_bound]: computing the exact output shape is as expensive as the
+      op itself (e.g. nms), so the function returns an upper bound and the
+      kernel reports the true shape alongside its output.
+
+    The fusion pass consults [mode] to enforce the paper's fusion policy:
+    an op with a data-dependent or upper-bound shape function must not fuse
+    with producers, because its shape function would need access to
+    intermediate values of the fused group. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Shape_func_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Shape_func_error s)) fmt
+
+type mode = Data_indep | Data_dep | Upper_bound
+
+let mode_to_string = function
+  | Data_indep -> "data_independent"
+  | Data_dep -> "data_dependent"
+  | Upper_bound -> "upper_bound"
+
+type input = { shape : Shape.t; data : Tensor.t option }
+
+type fn = attrs:Attrs.t -> input list -> Shape.t list
+
+type def = { op_name : string; mode : mode; fn : fn }
+
+let registry : (string, def) Hashtbl.t = Hashtbl.create 64
+
+let register ~name ~mode fn =
+  if not (Op.exists name) then
+    Fmt.invalid_arg "Shape_func.register: unknown op %s" name;
+  Hashtbl.replace registry name { op_name = name; mode; fn }
+
+let find name = Hashtbl.find_opt registry name
+
+let get name =
+  match find name with
+  | Some d -> d
+  | None -> err "no shape function registered for operator %s" name
+
+let mode_of name = (get name).mode
+
+(** Run an operator's shape function. Data-independent functions are given
+    shapes only; passing [data] is allowed but ignored. *)
+let run name ~attrs inputs =
+  let def = get name in
+  (match def.mode with
+  | Data_dep | Upper_bound ->
+      List.iteri
+        (fun i inp ->
+          if inp.data = None && def.mode = Data_dep then
+            err "%s: data-dependent shape function needs value of input %d" name i)
+        inputs
+  | Data_indep -> ());
+  def.fn ~attrs inputs
+
+let shape_only s = { shape = s; data = None }
+let with_data t = { shape = Tensor.shape t; data = Some t }
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let in_shape op n inputs =
+  match List.nth_opt inputs n with
+  | Some i -> i.shape
+  | None -> err "%s: missing input %d" op n
+
+let in_data op n inputs =
+  match List.nth_opt inputs n with
+  | Some { data = Some t; _ } -> t
+  | Some { data = None; _ } -> err "%s: input %d value unavailable" op n
+  | None -> err "%s: missing input %d" op n
+
+(* ------------------------------------------------------------------ *)
+(* Registrations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let identity name =
+  register ~name ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      [ in_shape name 0 inputs ])
+
+let () =
+  List.iter identity
+    [
+      "negative"; "abs"; "exp"; "log"; "sqrt"; "tanh"; "sigmoid"; "relu";
+      "gelu"; "erf"; "cast"; "softmax"; "log_softmax"; "logical_not";
+      "device_copy"; "layer_norm"; "batch_norm"; "bias_add";
+    ]
+
+let () =
+  List.iter
+    (fun name ->
+      register ~name ~mode:Data_indep (fun ~attrs inputs ->
+          ignore attrs;
+          let a = in_shape name 0 inputs and b = in_shape name 1 inputs in
+          match Shape.broadcast a b with
+          | Some s -> [ s ]
+          | None -> err "%s: cannot broadcast %a with %a" name Shape.pp a Shape.pp b))
+    [
+      "add"; "subtract"; "multiply"; "divide"; "maximum"; "minimum"; "power";
+      "equal"; "less"; "greater"; "less_equal"; "greater_equal"; "not_equal";
+      "logical_and"; "logical_or";
+    ]
+
+let () =
+  register ~name:"where" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let c = in_shape "where" 0 inputs in
+      let a = in_shape "where" 1 inputs in
+      let b = in_shape "where" 2 inputs in
+      match Shape.broadcast c a with
+      | None -> err "where: cannot broadcast"
+      | Some s1 -> (
+          match Shape.broadcast s1 b with
+          | Some s -> [ s ]
+          | None -> err "where: cannot broadcast"))
+
+let () =
+  register ~name:"dense" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let d = in_shape "dense" 0 inputs and w = in_shape "dense" 1 inputs in
+      if Shape.rank d <> 2 || Shape.rank w <> 2 then err "dense: rank mismatch";
+      if d.(1) <> w.(1) then
+        err "dense: reduction mismatch %d vs %d (residual check failed)" d.(1) w.(1);
+      [ [| d.(0); w.(0) |] ]);
+  register ~name:"matmul" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let a = in_shape "matmul" 0 inputs and b = in_shape "matmul" 1 inputs in
+      if a.(1) <> b.(0) then err "matmul: inner mismatch %d vs %d" a.(1) b.(0);
+      [ [| a.(0); b.(1) |] ]);
+  register ~name:"batch_matmul" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let a = in_shape "batch_matmul" 0 inputs and b = in_shape "batch_matmul" 1 inputs in
+      if a.(0) <> b.(0) then err "batch_matmul: batch mismatch";
+      if a.(2) <> b.(1) then err "batch_matmul: inner mismatch";
+      [ [| a.(0); a.(1); b.(2) |] ])
+
+let () =
+  register ~name:"conv2d" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "conv2d" 0 inputs and w = in_shape "conv2d" 1 inputs in
+      let stride = Attrs.get_int ~default:1 attrs "stride" in
+      let padding = Attrs.get_int ~default:0 attrs "padding" in
+      if d.(1) <> w.(1) then err "conv2d: channel mismatch";
+      let oh = ((d.(2) + (2 * padding) - w.(2)) / stride) + 1 in
+      let ow = ((d.(3) + (2 * padding) - w.(3)) / stride) + 1 in
+      [ [| d.(0); w.(0); oh; ow |] ]);
+  List.iter
+    (fun name ->
+      register ~name ~mode:Data_indep (fun ~attrs inputs ->
+          let d = in_shape name 0 inputs in
+          let window = Attrs.get_int attrs "window" in
+          let stride = Attrs.get_int ~default:2 attrs "stride" in
+          [ [| d.(0); d.(1); ((d.(2) - window) / stride) + 1; ((d.(3) - window) / stride) + 1 |] ]))
+    [ "max_pool2d"; "avg_pool2d" ];
+  register ~name:"global_avg_pool2d" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let d = in_shape "global_avg_pool2d" 0 inputs in
+      [ [| d.(0); d.(1) |] ])
+
+let () =
+  register ~name:"reshape" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "reshape" 0 inputs in
+      let target = Array.of_list (Attrs.get_ints attrs "newshape") in
+      [ Shape.resolve_reshape ~from:d target ]);
+  register ~name:"transpose" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "transpose" 0 inputs in
+      let r = Shape.rank d in
+      let axes =
+        match Attrs.find_ints attrs "axes" with
+        | Some a -> Array.of_list a
+        | None -> Array.init r (fun i -> r - 1 - i)
+      in
+      [ Array.map (fun ax -> d.(Shape.normalize_axis ~rank:r ax)) axes ]);
+  register ~name:"expand_dims" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "expand_dims" 0 inputs in
+      [ Shape.insert_axis d (Attrs.get_int attrs "axis") ]);
+  register ~name:"squeeze" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "squeeze" 0 inputs in
+      let axis = Shape.normalize_axis ~rank:(Shape.rank d) (Attrs.get_int attrs "axis") in
+      if d.(axis) <> 1 then err "squeeze: axis %d has extent %d" axis d.(axis);
+      [ Shape.remove_axis d axis ]);
+  register ~name:"concat" ~mode:Data_indep (fun ~attrs inputs ->
+      match inputs with
+      | [] -> err "concat: no inputs"
+      | first :: rest ->
+          let axis = Shape.normalize_axis ~rank:(Shape.rank first.shape) (Attrs.get_int attrs "axis") in
+          let total =
+            List.fold_left (fun acc i -> acc + i.shape.(axis)) first.shape.(axis) rest
+          in
+          [ Array.mapi (fun i d -> if i = axis then total else d) first.shape ]);
+  register ~name:"split" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "split" 0 inputs in
+      let axis = Shape.normalize_axis ~rank:(Shape.rank d) (Attrs.get_int attrs "axis") in
+      let sections = Attrs.get_int attrs "sections" in
+      if d.(axis) mod sections <> 0 then err "split: not divisible";
+      let piece = Array.mapi (fun i v -> if i = axis then v / sections else v) d in
+      List.init sections (fun _ -> Array.copy piece));
+  register ~name:"strided_slice" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "strided_slice" 0 inputs in
+      let begins = Array.of_list (Attrs.get_ints attrs "begins") in
+      let ends = Array.of_list (Attrs.get_ints attrs "ends") in
+      [ Array.init (Shape.rank d) (fun i ->
+            let norm v = if v < 0 then v + d.(i) else v in
+            let lo = Stdlib.max 0 (Stdlib.min (norm begins.(i)) d.(i)) in
+            let hi = Stdlib.max lo (Stdlib.min (norm ends.(i)) d.(i)) in
+            hi - lo) ]);
+  register ~name:"take" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "take" 0 inputs and i = in_shape "take" 1 inputs in
+      let axis = Shape.normalize_axis ~rank:(Shape.rank d) (Attrs.get_int ~default:0 attrs "axis") in
+      [ Array.concat [ Array.sub d 0 axis; i; Array.sub d (axis + 1) (Shape.rank d - axis - 1) ] ]);
+  register ~name:"tile" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "tile" 0 inputs in
+      let reps = Array.of_list (Attrs.get_ints attrs "reps") in
+      [ Array.mapi (fun i v -> v * reps.(i)) d ]);
+  register ~name:"embedding" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let t = in_shape "embedding" 0 inputs and ids = in_shape "embedding" 1 inputs in
+      [ Array.append ids [| t.(1) |] ])
+
+let () =
+  List.iter
+    (fun name ->
+      register ~name ~mode:Data_indep (fun ~attrs inputs ->
+          let d = in_shape name 0 inputs in
+          match Attrs.find_int attrs "axis" with
+          | None -> [ [||] ]
+          | Some axis ->
+              let axis = Shape.normalize_axis ~rank:(Shape.rank d) axis in
+              if Attrs.get_bool attrs "keepdims" then
+                [ Array.mapi (fun i v -> if i = axis then 1 else v) d ]
+              else [ Shape.remove_axis d axis ]))
+    [ "sum"; "max"; "min"; "mean" ];
+  register ~name:"argmax" ~mode:Data_indep (fun ~attrs inputs ->
+      let d = in_shape "argmax" 0 inputs in
+      let axis = Shape.normalize_axis ~rank:(Shape.rank d) (Attrs.get_int attrs "axis") in
+      [ Shape.remove_axis d axis ])
+
+(* Data-dependent shape functions: the paper's arange/unique examples. *)
+let () =
+  register ~name:"arange" ~mode:Data_dep (fun ~attrs inputs ->
+      ignore attrs;
+      let start = Tensor.item (in_data "arange" 0 inputs) in
+      let stop = Tensor.item (in_data "arange" 1 inputs) in
+      let step = Tensor.item (in_data "arange" 2 inputs) in
+      if step = 0.0 then err "arange: zero step";
+      [ [| Stdlib.max 0 (int_of_float (Float.ceil ((stop -. start) /. step))) |] ]);
+  register ~name:"unique" ~mode:Data_dep (fun ~attrs inputs ->
+      ignore attrs;
+      let t = in_data "unique" 0 inputs in
+      let seen = Hashtbl.create 16 in
+      let count = ref 0 in
+      for i = 0 to Tensor.numel t - 1 do
+        let v = Tensor.get_float t i in
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          incr count
+        end
+      done;
+      [ [| !count |] ])
+
+(* Upper-bound shape function: nms keeps at most all boxes (paper §4.2). *)
+let () =
+  register ~name:"nms" ~mode:Upper_bound (fun ~attrs inputs ->
+      ignore attrs;
+      let d = in_shape "nms" 0 inputs in
+      [ [| d.(0); 5 |] ]);
+  register ~name:"shape_of" ~mode:Data_indep (fun ~attrs inputs ->
+      ignore attrs;
+      let d = in_shape "shape_of" 0 inputs in
+      [ [| Shape.rank d |] ]);
+  register ~name:"reshape_tensor" ~mode:Data_dep (fun ~attrs inputs ->
+      ignore attrs;
+      let shape_val = in_data "reshape_tensor" 1 inputs in
+      let from = in_shape "reshape_tensor" 0 inputs in
+      [ Shape.resolve_reshape ~from (Tensor.to_shape shape_val) ])
+
+(** The fusion policy predicate (paper §4.2): ops whose shape function needs
+    values cannot take fused intermediate results as inputs. *)
+let fusible_as_consumer name =
+  match find name with
+  | Some { mode = Data_indep; _ } -> true
+  | Some { mode = Data_dep | Upper_bound; _ } -> false
+  | None -> false

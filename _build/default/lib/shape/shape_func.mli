@@ -1,0 +1,44 @@
+(** Runtime shape functions (paper §4.2).
+
+    Each operator registers a function computing its concrete output
+    shape(s) at runtime, in one of three modes; the fusion pass consults the
+    mode to enforce the paper's fusion policy (an op whose shape function
+    needs values cannot take fused intermediate results as inputs). *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Shape_func_error of string
+
+type mode =
+  | Data_indep  (** output shapes depend only on input shapes (dense, ...) *)
+  | Data_dep  (** output shapes need input values (arange, unique) *)
+  | Upper_bound
+      (** exact output shape is as expensive as the op itself (nms): the
+          function returns a bound, the kernel reports the true extent *)
+
+val mode_to_string : mode -> string
+
+type input = { shape : Shape.t; data : Tensor.t option }
+
+type fn = attrs:Attrs.t -> input list -> Shape.t list
+
+type def = { op_name : string; mode : mode; fn : fn }
+
+(** Register a shape function for an operator already in {!Op}. *)
+val register : name:string -> mode:mode -> fn -> unit
+
+val find : string -> def option
+val get : string -> def
+val mode_of : string -> mode
+
+(** Run an operator's shape function.
+    @raise Shape_func_error when a data-dependent function is invoked
+    without values, or a residual shape check fails. *)
+val run : string -> attrs:Attrs.t -> input list -> Shape.t list
+
+val shape_only : Shape.t -> input
+val with_data : Tensor.t -> input
+
+(** The fusion-policy predicate: may this op consume fused intermediates? *)
+val fusible_as_consumer : string -> bool

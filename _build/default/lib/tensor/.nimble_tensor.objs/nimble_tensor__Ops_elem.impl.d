@@ -1,0 +1,1 @@
+lib/tensor/ops_elem.ml: Array Dtype Float Shape Stdlib Tensor

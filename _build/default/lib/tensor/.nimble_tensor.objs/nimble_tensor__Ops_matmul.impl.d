@@ -1,0 +1,1 @@
+lib/tensor/ops_matmul.ml: Array Dtype Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/ops_nn.ml: Array Dtype Float Fun List Ops_elem Ops_reduce Ops_shape Shape Tensor

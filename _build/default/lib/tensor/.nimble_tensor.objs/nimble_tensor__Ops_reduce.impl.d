@@ -1,0 +1,1 @@
+lib/tensor/ops_reduce.ml: Array Dtype Float Ops_elem Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/tensor/ops_shape.ml: Array Dtype Float Hashtbl List Shape Stdlib Tensor

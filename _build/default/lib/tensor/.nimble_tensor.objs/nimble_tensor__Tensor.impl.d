@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Dtype Float Fmt List Rng Shape String

@@ -1,0 +1,49 @@
+(** Element data types supported by the tensor runtime.
+
+    Mirrors the dtypes Nimble inherits from TVM: 32/64-bit floats, 32/64-bit
+    signed integers, and an 8-bit unsigned type doubling as boolean. *)
+
+type t =
+  | F32
+  | F64
+  | I32
+  | I64
+  | U8  (** also used for booleans: 0 = false, 1 = true *)
+
+let all = [ F32; F64; I32; I64; U8 ]
+
+let size_in_bytes = function
+  | F32 | I32 -> 4
+  | F64 | I64 -> 8
+  | U8 -> 1
+
+let is_float = function F32 | F64 -> true | I32 | I64 | U8 -> false
+let is_int = function I32 | I64 | U8 -> true | F32 | F64 -> false
+
+let to_string = function
+  | F32 -> "float32"
+  | F64 -> "float64"
+  | I32 -> "int32"
+  | I64 -> "int64"
+  | U8 -> "uint8"
+
+let of_string = function
+  | "float32" | "f32" -> Some F32
+  | "float64" | "f64" -> Some F64
+  | "int32" | "i32" -> Some I32
+  | "int64" | "i64" -> Some I64
+  | "uint8" | "u8" | "bool" -> Some U8
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(** Type promotion rule used by binary elementwise operators, following the
+    NumPy/TVM convention: float beats int, wider beats narrower. *)
+let promote a b =
+  match (a, b) with
+  | F64, _ | _, F64 -> F64
+  | F32, _ | _, F32 -> F32
+  | I64, _ | _, I64 -> I64
+  | I32, _ | _, I32 -> I32
+  | U8, U8 -> U8

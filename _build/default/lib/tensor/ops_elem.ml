@@ -1,0 +1,138 @@
+(** Elementwise operators with NumPy-style broadcasting.
+
+    Binary ops take a fast path when both operands are same-shape floats
+    (the overwhelmingly common case in the models we run) and fall back to a
+    generic broadcasting loop otherwise. *)
+
+let same_shape_floats a b =
+  match (a.Tensor.buf, b.Tensor.buf) with
+  | Tensor.Floats ba, Tensor.Floats bb
+    when Shape.equal (Tensor.shape a) (Tensor.shape b) ->
+      Some (ba, bb)
+  | _ -> None
+
+(** Apply [f] elementwise over the broadcast of [a] and [b]. *)
+let binop ?out_dtype name f a b =
+  let out_shape =
+    match Shape.broadcast (Tensor.shape a) (Tensor.shape b) with
+    | Some s -> s
+    | None ->
+        Tensor.type_err "%s: cannot broadcast %a with %a" name Shape.pp
+          (Tensor.shape a) Shape.pp (Tensor.shape b)
+  in
+  let dt =
+    match out_dtype with
+    | Some dt -> dt
+    | None -> Dtype.promote (Tensor.dtype a) (Tensor.dtype b)
+  in
+  let out = Tensor.empty ~dtype:dt out_shape in
+  (match (same_shape_floats a b, out.Tensor.buf, out_dtype) with
+  | Some (ba, bb), Tensor.Floats bo, None ->
+      for i = 0 to Array.length bo - 1 do
+        Array.unsafe_set bo i (f (Array.unsafe_get ba i) (Array.unsafe_get bb i))
+      done
+  | _ ->
+      let n = Shape.numel out_shape in
+      for i = 0 to n - 1 do
+        let idx = Shape.unravel out_shape i in
+        let ia = Shape.broadcast_offset ~src:(Tensor.shape a) ~out:out_shape idx in
+        let ib = Shape.broadcast_offset ~src:(Tensor.shape b) ~out:out_shape idx in
+        Tensor.set_float out i (f (Tensor.get_float a ia) (Tensor.get_float b ib))
+      done);
+  out
+
+(** Apply [f] elementwise. *)
+let unop ?out_dtype name f a =
+  ignore name;
+  let dt = match out_dtype with Some dt -> dt | None -> Tensor.dtype a in
+  let out = Tensor.empty ~dtype:dt (Tensor.shape a) in
+  (match (a.Tensor.buf, out.Tensor.buf) with
+  | Tensor.Floats ba, Tensor.Floats bo ->
+      for i = 0 to Array.length bo - 1 do
+        Array.unsafe_set bo i (f (Array.unsafe_get ba i))
+      done
+  | _ ->
+      for i = 0 to Tensor.numel a - 1 do
+        Tensor.set_float out i (f (Tensor.get_float a i))
+      done);
+  out
+
+let add a b = binop "add" ( +. ) a b
+let sub a b = binop "subtract" ( -. ) a b
+let mul a b = binop "multiply" ( *. ) a b
+
+let div a b =
+  binop "divide" (fun x y -> if y = 0.0 then Float.nan else x /. y) a b
+
+let maximum a b = binop "maximum" Float.max a b
+let minimum a b = binop "minimum" Float.min a b
+let pow a b = binop "power" Float.pow a b
+
+let neg a = unop "negative" Float.neg a
+let abs a = unop "abs" Float.abs a
+let exp a = unop "exp" Stdlib.exp a
+let log a = unop "log" Stdlib.log a
+let sqrt a = unop "sqrt" Stdlib.sqrt a
+let tanh a = unop "tanh" Stdlib.tanh a
+let sigmoid a = unop "sigmoid" (fun x -> 1.0 /. (1.0 +. Stdlib.exp (-.x))) a
+let relu a = unop "relu" (fun x -> Float.max 0.0 x) a
+
+(** Gaussian error linear unit (the tanh approximation used by BERT). *)
+let gelu a =
+  let c = Stdlib.sqrt (2.0 /. Float.pi) in
+  unop "gelu"
+    (fun x -> 0.5 *. x *. (1.0 +. Stdlib.tanh (c *. (x +. (0.044715 *. x *. x *. x)))))
+    a
+
+let erf_approx x =
+  (* Abramowitz & Stegun 7.1.26; enough precision for tests and models. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    (((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+    -. 0.284496736)
+    *. t
+    +. 0.254829592
+  in
+  sign *. (1.0 -. (poly *. t *. Stdlib.exp (-.x *. x)))
+
+let erf a = unop "erf" erf_approx a
+
+let scalar_op name f a (c : float) = unop name (fun x -> f x c) a
+
+let add_scalar a c = scalar_op "add_scalar" ( +. ) a c
+let mul_scalar a c = scalar_op "mul_scalar" ( *. ) a c
+
+let bool_binop name f a b =
+  binop ~out_dtype:Dtype.U8 name (fun x y -> if f x y then 1.0 else 0.0) a b
+
+let equal a b = bool_binop "equal" (fun x y -> x = y) a b
+let not_equal a b = bool_binop "not_equal" (fun x y -> x <> y) a b
+let less a b = bool_binop "less" ( < ) a b
+let less_equal a b = bool_binop "less_equal" ( <= ) a b
+let greater a b = bool_binop "greater" ( > ) a b
+let greater_equal a b = bool_binop "greater_equal" ( >= ) a b
+
+let logical_and a b = bool_binop "logical_and" (fun x y -> x <> 0.0 && y <> 0.0) a b
+let logical_or a b = bool_binop "logical_or" (fun x y -> x <> 0.0 || y <> 0.0) a b
+let logical_not a = unop ~out_dtype:Dtype.U8 "logical_not" (fun x -> if x = 0.0 then 1.0 else 0.0) a
+
+(** [where cond a b] selects elementwise from [a] where [cond] is nonzero. *)
+let where cond a b =
+  let s1 = Shape.broadcast_exn (Tensor.shape cond) (Tensor.shape a) in
+  let out_shape = Shape.broadcast_exn s1 (Tensor.shape b) in
+  let dt = Dtype.promote (Tensor.dtype a) (Tensor.dtype b) in
+  let out = Tensor.empty ~dtype:dt out_shape in
+  for i = 0 to Shape.numel out_shape - 1 do
+    let idx = Shape.unravel out_shape i in
+    let ic = Shape.broadcast_offset ~src:(Tensor.shape cond) ~out:out_shape idx in
+    let ia = Shape.broadcast_offset ~src:(Tensor.shape a) ~out:out_shape idx in
+    let ib = Shape.broadcast_offset ~src:(Tensor.shape b) ~out:out_shape idx in
+    let v =
+      if Tensor.get_float cond ic <> 0.0 then Tensor.get_float a ia
+      else Tensor.get_float b ib
+    in
+    Tensor.set_float out i v
+  done;
+  out

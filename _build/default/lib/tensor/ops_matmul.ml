@@ -1,0 +1,160 @@
+(** Matrix multiplication and dense (fully-connected) kernels.
+
+    [dense] follows the TVM convention the paper uses: data is [(m, k)],
+    weight is [(n, k)] (i.e. already transposed), output is [(m, n)].
+    The float path is a cache-blocked loop nest over raw float arrays;
+    everything else goes through a generic (slow, correct) reference loop. *)
+
+let block = 32
+
+(* Blocked C[m,n] += A[m,k] * B^T[n,k] on raw float buffers. *)
+let dense_floats ~(m : int) ~(n : int) ~(k : int) (a : float array) (b : float array)
+    (c : float array) =
+  Array.fill c 0 (Array.length c) 0.0;
+  let ib = ref 0 in
+  while !ib < m do
+    let i_hi = min (!ib + block) m in
+    let jb = ref 0 in
+    while !jb < n do
+      let j_hi = min (!jb + block) n in
+      let pb = ref 0 in
+      while !pb < k do
+        let p_hi = min (!pb + block) k in
+        for i = !ib to i_hi - 1 do
+          let arow = i * k and crow = i * n in
+          for j = !jb to j_hi - 1 do
+            let brow = j * k in
+            let acc = ref (Array.unsafe_get c (crow + j)) in
+            for p = !pb to p_hi - 1 do
+              acc :=
+                !acc
+                +. (Array.unsafe_get a (arow + p) *. Array.unsafe_get b (brow + p))
+            done;
+            Array.unsafe_set c (crow + j) !acc
+          done
+        done;
+        pb := p_hi
+      done;
+      jb := j_hi
+    done;
+    ib := i_hi
+  done
+
+let dense_generic ~m ~n ~k a b c =
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc := !acc +. (Tensor.get_float a ((i * k) + p) *. Tensor.get_float b ((j * k) + p))
+      done;
+      Tensor.set_float c ((i * n) + j) !acc
+    done
+  done
+
+(** [dense data weight] with [data : (m, k)], [weight : (n, k)] -> [(m, n)]. *)
+let dense data weight =
+  let ds = Tensor.shape data and ws = Tensor.shape weight in
+  if Shape.rank ds <> 2 || Shape.rank ws <> 2 then
+    Tensor.type_err "dense: expected rank-2 inputs, got %a and %a" Shape.pp ds
+      Shape.pp ws;
+  let m = ds.(0) and k = ds.(1) in
+  let n = ws.(0) in
+  if ws.(1) <> k then
+    Tensor.type_err "dense: reduction dims differ (%d vs %d)" k ws.(1);
+  let out = Tensor.empty ~dtype:Dtype.F32 [| m; n |] in
+  (match (data.Tensor.buf, weight.Tensor.buf, out.Tensor.buf) with
+  | Tensor.Floats a, Tensor.Floats b, Tensor.Floats c -> dense_floats ~m ~n ~k a b c
+  | _ -> dense_generic ~m ~n ~k data weight out);
+  out
+
+(** Plain [matmul a b] with [a : (m, k)], [b : (k, n)]. *)
+let matmul a b =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Shape.rank sa <> 2 || Shape.rank sb <> 2 then
+    Tensor.type_err "matmul: expected rank-2 inputs, got %a and %a" Shape.pp sa
+      Shape.pp sb;
+  if sa.(1) <> sb.(0) then
+    Tensor.type_err "matmul: inner dims differ (%a vs %a)" Shape.pp sa Shape.pp sb;
+  (* Transpose b into weight layout and reuse the dense kernel. *)
+  let k = sb.(0) and n = sb.(1) in
+  let bt = Tensor.empty ~dtype:(Tensor.dtype b) [| n; k |] in
+  for p = 0 to k - 1 do
+    for j = 0 to n - 1 do
+      Tensor.set_float bt ((j * k) + p) (Tensor.get_float b ((p * n) + j))
+    done
+  done;
+  dense a bt
+
+(** Batched matmul: [(b, m, k)] x [(b, k, n)] -> [(b, m, n)]. *)
+let batch_matmul a b =
+  let sa = Tensor.shape a and sb = Tensor.shape b in
+  if Shape.rank sa <> 3 || Shape.rank sb <> 3 then
+    Tensor.type_err "batch_matmul: expected rank-3 inputs, got %a and %a"
+      Shape.pp sa Shape.pp sb;
+  if sa.(0) <> sb.(0) then
+    Tensor.type_err "batch_matmul: batch dims differ (%a vs %a)" Shape.pp sa
+      Shape.pp sb;
+  if sa.(2) <> sb.(1) then
+    Tensor.type_err "batch_matmul: inner dims differ (%a vs %a)" Shape.pp sa
+      Shape.pp sb;
+  let bsz = sa.(0) and m = sa.(1) and k = sa.(2) and n = sb.(2) in
+  let out = Tensor.empty ~dtype:Dtype.F32 [| bsz; m; n |] in
+  (match (a.Tensor.buf, b.Tensor.buf, out.Tensor.buf) with
+  | Tensor.Floats ba, Tensor.Floats bb, Tensor.Floats bo ->
+      for bi = 0 to bsz - 1 do
+        let offa = bi * m * k and offb = bi * k * n and offo = bi * m * n in
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            let acc = ref 0.0 in
+            for p = 0 to k - 1 do
+              acc :=
+                !acc
+                +. Array.unsafe_get ba (offa + (i * k) + p)
+                   *. Array.unsafe_get bb (offb + (p * n) + j)
+            done;
+            Array.unsafe_set bo (offo + (i * n) + j) !acc
+          done
+        done
+      done
+  | _ ->
+      for bi = 0 to bsz - 1 do
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            let acc = ref 0.0 in
+            for p = 0 to k - 1 do
+              acc :=
+                !acc
+                +. Tensor.get_float a ((bi * m * k) + (i * k) + p)
+                   *. Tensor.get_float b ((bi * k * n) + (p * n) + j)
+            done;
+            Tensor.set_float out ((bi * m * n) + (i * n) + j) !acc
+          done
+        done
+      done);
+  out
+
+(** Dense followed by bias add: [(m,k) x (n,k) + (n,) -> (m,n)]. *)
+let dense_bias data weight bias =
+  let out = dense data weight in
+  let s = Tensor.shape out in
+  let m = s.(0) and n = s.(1) in
+  if not (Shape.equal (Tensor.shape bias) [| n |]) then
+    Tensor.type_err "dense_bias: bias shape %a does not match output cols %d"
+      Shape.pp (Tensor.shape bias) n;
+  (match (out.Tensor.buf, bias.Tensor.buf) with
+  | Tensor.Floats bo, Tensor.Floats bb ->
+      for i = 0 to m - 1 do
+        let row = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set bo (row + j)
+            (Array.unsafe_get bo (row + j) +. Array.unsafe_get bb j)
+        done
+      done
+  | _ ->
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          Tensor.set_float out ((i * n) + j)
+            (Tensor.get_float out ((i * n) + j) +. Tensor.get_float bias j)
+        done
+      done);
+  out

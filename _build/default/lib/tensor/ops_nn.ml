@@ -1,0 +1,168 @@
+(** Neural-network operators: softmax, normalization, convolution, pooling,
+    embedding lookup, and non-maximum suppression (the paper's example of an
+    upper-bound shape function). *)
+
+(** Numerically stable softmax along [axis]. *)
+let softmax ?(axis = -1) a =
+  let m = Ops_reduce.max ~axis ~keepdims:true a in
+  let shifted = Ops_elem.sub a m in
+  let e = Ops_elem.exp shifted in
+  let z = Ops_reduce.sum ~axis ~keepdims:true e in
+  Ops_elem.div e z
+
+let log_softmax ?(axis = -1) a =
+  Ops_elem.log (softmax ~axis a)
+
+(** Layer normalization over the last axis with learned [gamma]/[beta]. *)
+let layer_norm ?(eps = 1e-5) a ~gamma ~beta =
+  let axis = -1 in
+  let mu = Ops_reduce.mean ~axis ~keepdims:true a in
+  let centered = Ops_elem.sub a mu in
+  let var = Ops_reduce.mean ~axis ~keepdims:true (Ops_elem.mul centered centered) in
+  let denom = Ops_elem.sqrt (Ops_elem.add_scalar var eps) in
+  Ops_elem.add (Ops_elem.mul (Ops_elem.div centered denom) gamma) beta
+
+(** Inference-mode batch norm for NCHW tensors. *)
+let batch_norm ?(eps = 1e-5) a ~gamma ~beta ~mean ~var =
+  let s = Tensor.shape a in
+  if Shape.rank s <> 4 then
+    Tensor.type_err "batch_norm: expected NCHW rank-4, got %a" Shape.pp s;
+  let c = s.(1) in
+  let param_shape = [| 1; c; 1; 1 |] in
+  let rs t = Tensor.reshape t param_shape in
+  let denom = Ops_elem.sqrt (Ops_elem.add_scalar (rs var) eps) in
+  Ops_elem.add
+    (Ops_elem.mul (Ops_elem.div (Ops_elem.sub a (rs mean)) denom) (rs gamma))
+    (rs beta)
+
+(** Embedding lookup: [(vocab, dim)] table indexed by integer ids. *)
+let embedding table ids =
+  Ops_shape.take ~axis:0 table ids
+
+(** 2-D convolution, NCHW data and OIHW weights, symmetric padding. *)
+let conv2d ?(stride = 1) ?(padding = 0) data weight =
+  let ds = Tensor.shape data and ws = Tensor.shape weight in
+  if Shape.rank ds <> 4 || Shape.rank ws <> 4 then
+    Tensor.type_err "conv2d: expected NCHW/OIHW rank-4, got %a and %a" Shape.pp
+      ds Shape.pp ws;
+  let n = ds.(0) and ci = ds.(1) and h = ds.(2) and w = ds.(3) in
+  let co = ws.(0) and kh = ws.(2) and kw = ws.(3) in
+  if ws.(1) <> ci then
+    Tensor.type_err "conv2d: channel mismatch (%d vs %d)" ci ws.(1);
+  let oh = ((h + (2 * padding) - kh) / stride) + 1 in
+  let ow = ((w + (2 * padding) - kw) / stride) + 1 in
+  if oh <= 0 || ow <= 0 then
+    Tensor.type_err "conv2d: kernel larger than padded input";
+  let out = Tensor.zeros ~dtype:Dtype.F32 [| n; co; oh; ow |] in
+  for b = 0 to n - 1 do
+    for o = 0 to co - 1 do
+      for y = 0 to oh - 1 do
+        for x = 0 to ow - 1 do
+          let acc = ref 0.0 in
+          for c = 0 to ci - 1 do
+            for dy = 0 to kh - 1 do
+              let iy = (y * stride) + dy - padding in
+              if iy >= 0 && iy < h then
+                for dx = 0 to kw - 1 do
+                  let ix = (x * stride) + dx - padding in
+                  if ix >= 0 && ix < w then begin
+                    let di = (((((b * ci) + c) * h) + iy) * w) + ix in
+                    let wi = (((((o * ci) + c) * kh) + dy) * kw) + dx in
+                    acc := !acc +. (Tensor.get_float data di *. Tensor.get_float weight wi)
+                  end
+                done
+            done
+          done;
+          let oi = (((((b * co) + o) * oh) + y) * ow) + x in
+          Tensor.set_float out oi !acc
+        done
+      done
+    done
+  done;
+  out
+
+let pool2d ~init ~combine ~finish ?(stride = 2) ~window data =
+  let s = Tensor.shape data in
+  if Shape.rank s <> 4 then
+    Tensor.type_err "pool2d: expected NCHW rank-4, got %a" Shape.pp s;
+  let n = s.(0) and c = s.(1) and h = s.(2) and w = s.(3) in
+  let oh = ((h - window) / stride) + 1 in
+  let ow = ((w - window) / stride) + 1 in
+  if oh <= 0 || ow <= 0 then Tensor.type_err "pool2d: window larger than input";
+  let out = Tensor.empty ~dtype:(Tensor.dtype data) [| n; c; oh; ow |] in
+  for b = 0 to n - 1 do
+    for ch = 0 to c - 1 do
+      for y = 0 to oh - 1 do
+        for x = 0 to ow - 1 do
+          let acc = ref init in
+          for dy = 0 to window - 1 do
+            for dx = 0 to window - 1 do
+              let iy = (y * stride) + dy and ix = (x * stride) + dx in
+              let di = (((((b * c) + ch) * h) + iy) * w) + ix in
+              acc := combine !acc (Tensor.get_float data di)
+            done
+          done;
+          let oi = (((((b * c) + ch) * oh) + y) * ow) + x in
+          Tensor.set_float out oi (finish !acc)
+        done
+      done
+    done
+  done;
+  out
+
+let max_pool2d ?(stride = 2) ~window data =
+  pool2d ~init:Float.neg_infinity ~combine:Float.max ~finish:Fun.id ~stride
+    ~window data
+
+let avg_pool2d ?(stride = 2) ~window data =
+  let denom = float_of_int (window * window) in
+  pool2d ~init:0.0 ~combine:( +. ) ~finish:(fun v -> v /. denom) ~stride ~window
+    data
+
+(** Global average pooling: NCHW -> (N, C). *)
+let global_avg_pool2d data =
+  let s = Tensor.shape data in
+  if Shape.rank s <> 4 then
+    Tensor.type_err "global_avg_pool2d: expected NCHW rank-4, got %a" Shape.pp s;
+  (* reduce H (axis 2), then the remaining spatial axis (again axis 2) *)
+  Ops_reduce.mean ~axis:2 (Ops_reduce.mean ~axis:2 data)
+
+(** Non-maximum suppression over [(num_boxes, 5)] rows of
+    [(score, x1, y1, x2, y2)]. Returns the kept rows. The number of survivors
+    is data-dependent and bounded above by [num_boxes] — the canonical
+    upper-bound shape function example from the paper (§4.2). *)
+let nms ?(iou_threshold = 0.5) ?(score_threshold = 0.0) boxes =
+  let s = Tensor.shape boxes in
+  if Shape.rank s <> 2 || s.(1) <> 5 then
+    Tensor.type_err "nms: expected (n, 5) boxes, got %a" Shape.pp s;
+  let n = s.(0) in
+  let row i = Array.init 5 (fun j -> Tensor.get_float boxes ((i * 5) + j)) in
+  let area b = Float.max 0.0 (b.(3) -. b.(1)) *. Float.max 0.0 (b.(4) -. b.(2)) in
+  let iou a b =
+    let x1 = Float.max a.(1) b.(1) and y1 = Float.max a.(2) b.(2) in
+    let x2 = Float.min a.(3) b.(3) and y2 = Float.min a.(4) b.(4) in
+    let inter = Float.max 0.0 (x2 -. x1) *. Float.max 0.0 (y2 -. y1) in
+    let union = area a +. area b -. inter in
+    if union <= 0.0 then 0.0 else inter /. union
+  in
+  let order =
+    List.init n Fun.id
+    |> List.filter (fun i -> (row i).(0) >= score_threshold)
+    |> List.sort (fun i j -> Float.compare (row j).(0) (row i).(0))
+  in
+  let kept = ref [] in
+  List.iter
+    (fun i ->
+      let bi = row i in
+      if List.for_all (fun j -> iou bi (row j) < iou_threshold) !kept then
+        kept := !kept @ [ i ])
+    order;
+  let kept = !kept in
+  let out = Tensor.empty ~dtype:(Tensor.dtype boxes) [| List.length kept; 5 |] in
+  List.iteri
+    (fun oi i ->
+      for j = 0 to 4 do
+        Tensor.set_float out ((oi * 5) + j) (Tensor.get_float boxes ((i * 5) + j))
+      done)
+    kept;
+  out

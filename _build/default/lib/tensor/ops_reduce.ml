@@ -1,0 +1,81 @@
+(** Reductions over one axis or the whole tensor. *)
+
+let reduce_all name init f a =
+  ignore name;
+  let acc = ref init in
+  for i = 0 to Tensor.numel a - 1 do
+    acc := f !acc (Tensor.get_float a i)
+  done;
+  Tensor.scalar ~dtype:(Tensor.dtype a) !acc
+
+(** Reduce along [axis]; [keepdims] keeps it as size 1. *)
+let reduce_axis name init f ?(keepdims = false) ~axis a =
+  ignore name;
+  let s = Tensor.shape a in
+  let axis = Shape.normalize_axis ~rank:(Shape.rank s) axis in
+  let out_shape =
+    if keepdims then Array.mapi (fun i d -> if i = axis then 1 else d) s
+    else Shape.remove_axis s axis
+  in
+  let out = Tensor.full ~dtype:(Tensor.dtype a) out_shape init in
+  let st = Shape.strides s in
+  let n = Tensor.numel a in
+  (* Offset in output for each input element: drop the axis coordinate. *)
+  for i = 0 to n - 1 do
+    let idx = Shape.unravel s i in
+    ignore st;
+    let out_idx =
+      if keepdims then Array.mapi (fun j v -> if j = axis then 0 else v) idx
+      else Array.init (Array.length idx - 1) (fun j -> if j < axis then idx.(j) else idx.(j + 1))
+    in
+    let o = Shape.linear_index out_shape out_idx in
+    Tensor.set_float out o (f (Tensor.get_float out o) (Tensor.get_float a i))
+  done;
+  out
+
+let sum ?axis ?(keepdims = false) a =
+  match axis with
+  | None -> reduce_all "sum" 0.0 ( +. ) a
+  | Some axis -> reduce_axis "sum" 0.0 ( +. ) ~keepdims ~axis a
+
+let max ?axis ?(keepdims = false) a =
+  match axis with
+  | None -> reduce_all "max" Float.neg_infinity Float.max a
+  | Some axis -> reduce_axis "max" Float.neg_infinity Float.max ~keepdims ~axis a
+
+let min ?axis ?(keepdims = false) a =
+  match axis with
+  | None -> reduce_all "min" Float.infinity Float.min a
+  | Some axis -> reduce_axis "min" Float.infinity Float.min ~keepdims ~axis a
+
+let mean ?axis ?(keepdims = false) a =
+  let s = Tensor.shape a in
+  match axis with
+  | None ->
+      let n = Stdlib.max 1 (Tensor.numel a) in
+      Ops_elem.mul_scalar (sum a) (1.0 /. float_of_int n)
+  | Some axis ->
+      let ax = Shape.normalize_axis ~rank:(Shape.rank s) axis in
+      let n = Stdlib.max 1 s.(ax) in
+      Ops_elem.mul_scalar (sum ~axis ~keepdims a) (1.0 /. float_of_int n)
+
+(** Index of the max element along [axis]; output dtype i64. *)
+let argmax ~axis a =
+  let s = Tensor.shape a in
+  let axis = Shape.normalize_axis ~rank:(Shape.rank s) axis in
+  let out_shape = Shape.remove_axis s axis in
+  let out = Tensor.zeros ~dtype:Dtype.I64 out_shape in
+  let best = Tensor.full ~dtype:Dtype.F64 out_shape Float.neg_infinity in
+  for i = 0 to Tensor.numel a - 1 do
+    let idx = Shape.unravel s i in
+    let out_idx =
+      Array.init (Array.length idx - 1) (fun j -> if j < axis then idx.(j) else idx.(j + 1))
+    in
+    let o = Shape.linear_index out_shape out_idx in
+    let v = Tensor.get_float a i in
+    if v > Tensor.get_float best o then begin
+      Tensor.set_float best o v;
+      Tensor.set_int out o idx.(axis)
+    end
+  done;
+  out

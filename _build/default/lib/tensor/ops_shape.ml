@@ -1,0 +1,189 @@
+(** Shape-manipulating operators: transpose, concat, split, slice, take,
+    and the data-dependent-shape operators the paper calls out ([arange],
+    [unique]). *)
+
+(** Permute dimensions; [axes] defaults to full reversal. *)
+let transpose ?axes a =
+  let s = Tensor.shape a in
+  let r = Shape.rank s in
+  let axes =
+    match axes with
+    | Some ax -> ax
+    | None -> Array.init r (fun i -> r - 1 - i)
+  in
+  if Array.length axes <> r then
+    Tensor.type_err "transpose: %d axes for rank %d" (Array.length axes) r;
+  let seen = Array.make r false in
+  Array.iter
+    (fun ax ->
+      let ax = Shape.normalize_axis ~rank:r ax in
+      if seen.(ax) then Tensor.type_err "transpose: duplicate axis %d" ax;
+      seen.(ax) <- true)
+    axes;
+  let out_shape = Array.map (fun ax -> s.(Shape.normalize_axis ~rank:r ax)) axes in
+  let out = Tensor.empty ~dtype:(Tensor.dtype a) out_shape in
+  for i = 0 to Tensor.numel a - 1 do
+    let out_idx = Shape.unravel out_shape i in
+    let in_idx = Array.make r 0 in
+    Array.iteri (fun j ax -> in_idx.(Shape.normalize_axis ~rank:r ax) <- out_idx.(j)) axes;
+    Tensor.set_float out i (Tensor.get_float a (Shape.linear_index s in_idx))
+  done;
+  out
+
+(** Concatenate along [axis]; all other dims must match. *)
+let concat ~axis (ts : Tensor.t list) =
+  match ts with
+  | [] -> Tensor.type_err "concat: empty input list"
+  | first :: _ ->
+      let r = Tensor.rank first in
+      let axis = Shape.normalize_axis ~rank:r axis in
+      let base = Tensor.shape first in
+      let total =
+        List.fold_left
+          (fun acc t ->
+            let s = Tensor.shape t in
+            if Shape.rank s <> r then
+              Tensor.type_err "concat: rank mismatch %a vs %a" Shape.pp base Shape.pp s;
+            Array.iteri
+              (fun i d ->
+                if i <> axis && d <> base.(i) then
+                  Tensor.type_err "concat: dim %d mismatch %a vs %a" i Shape.pp base
+                    Shape.pp s)
+              s;
+            acc + s.(axis))
+          0 ts
+      in
+      let out_shape = Array.mapi (fun i d -> if i = axis then total else d) base in
+      let out = Tensor.empty ~dtype:(Tensor.dtype first) out_shape in
+      (* Copy each input into its slice of the output along [axis]. *)
+      let offset = ref 0 in
+      List.iter
+        (fun t ->
+          let s = Tensor.shape t in
+          for i = 0 to Tensor.numel t - 1 do
+            let idx = Shape.unravel s i in
+            idx.(axis) <- idx.(axis) + !offset;
+            Tensor.set_float out (Shape.linear_index out_shape idx) (Tensor.get_float t i)
+          done;
+          offset := !offset + s.(axis))
+        ts;
+      out
+
+(** Split into [sections] equal parts along [axis]. *)
+let split ~axis ~sections a =
+  let s = Tensor.shape a in
+  let axis = Shape.normalize_axis ~rank:(Shape.rank s) axis in
+  if sections <= 0 || s.(axis) mod sections <> 0 then
+    Tensor.type_err "split: dim %d not divisible into %d sections" s.(axis) sections;
+  let part = s.(axis) / sections in
+  let out_shape = Array.mapi (fun i d -> if i = axis then part else d) s in
+  List.init sections (fun sec ->
+      let out = Tensor.empty ~dtype:(Tensor.dtype a) out_shape in
+      for i = 0 to Tensor.numel out - 1 do
+        let idx = Shape.unravel out_shape i in
+        idx.(axis) <- idx.(axis) + (sec * part);
+        Tensor.set_float out i (Tensor.get_float a (Shape.linear_index s idx))
+      done;
+      out)
+
+(** [strided_slice ~begins ~ends a]: per-dim [begin, end) windows (step 1).
+    Negative indices count from the end; ends are clamped. *)
+let strided_slice ~begins ~ends a =
+  let s = Tensor.shape a in
+  let r = Shape.rank s in
+  if Array.length begins <> r || Array.length ends <> r then
+    Tensor.type_err "strided_slice: begins/ends rank mismatch";
+  let lo = Array.make r 0 and hi = Array.make r 0 in
+  for i = 0 to r - 1 do
+    let norm v = if v < 0 then v + s.(i) else v in
+    lo.(i) <- Stdlib.max 0 (Stdlib.min (norm begins.(i)) s.(i));
+    hi.(i) <- Stdlib.max lo.(i) (Stdlib.min (norm ends.(i)) s.(i))
+  done;
+  let out_shape = Array.init r (fun i -> hi.(i) - lo.(i)) in
+  let out = Tensor.empty ~dtype:(Tensor.dtype a) out_shape in
+  for i = 0 to Tensor.numel out - 1 do
+    let idx = Shape.unravel out_shape i in
+    let src = Array.mapi (fun j v -> v + lo.(j)) idx in
+    Tensor.set_float out i (Tensor.get_float a (Shape.linear_index s src))
+  done;
+  out
+
+(** Gather rows: [take ~axis data indices] with integer [indices]. *)
+let take ?(axis = 0) data indices =
+  let s = Tensor.shape data in
+  let axis = Shape.normalize_axis ~rank:(Shape.rank s) axis in
+  let is = Tensor.shape indices in
+  (* Output shape: s with dim [axis] replaced by the index shape. *)
+  let out_shape =
+    Array.concat
+      [ Array.sub s 0 axis; is; Array.sub s (axis + 1) (Shape.rank s - axis - 1) ]
+  in
+  let out = Tensor.empty ~dtype:(Tensor.dtype data) out_shape in
+  let ir = Shape.rank is in
+  for i = 0 to Tensor.numel out - 1 do
+    let idx = Shape.unravel out_shape i in
+    let ind_idx = Array.sub idx axis ir in
+    let which = Tensor.get_int indices (Shape.linear_index is ind_idx) in
+    let which = if which < 0 then which + s.(axis) else which in
+    if which < 0 || which >= s.(axis) then
+      Tensor.type_err "take: index %d out of bounds for dim %d" which s.(axis);
+    let src =
+      Array.concat
+        [ Array.sub idx 0 axis; [| which |];
+          Array.sub idx (axis + ir) (Array.length idx - axis - ir) ]
+    in
+    Tensor.set_float out i (Tensor.get_float data (Shape.linear_index s src))
+  done;
+  out
+
+(** [arange start stop step]: data-dependent output shape (paper §4.2). *)
+let arange ?(dtype = Dtype.F32) ~start ~stop ~step () =
+  if step = 0.0 then Tensor.type_err "arange: step must be nonzero";
+  let n = Stdlib.max 0 (int_of_float (Float.ceil ((stop -. start) /. step))) in
+  let out = Tensor.empty ~dtype [| n |] in
+  for i = 0 to n - 1 do
+    Tensor.set_float out i (start +. (float_of_int i *. step))
+  done;
+  out
+
+(** Unique elements of a rank-1 tensor, in order of first occurrence:
+    data-dependent output shape (paper §4.2). *)
+let unique a =
+  if Tensor.rank a <> 1 then
+    Tensor.type_err "unique: expected rank-1, got %a" Shape.pp (Tensor.shape a);
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  for i = 0 to Tensor.numel a - 1 do
+    let v = Tensor.get_float a i in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      acc := v :: !acc
+    end
+  done;
+  let vals = Array.of_list (List.rev !acc) in
+  Tensor.of_float_array ~dtype:(Tensor.dtype a) [| Array.length vals |] vals
+
+(** Repeat the tensor along each axis per [reps]. *)
+let tile ~reps a =
+  let s = Tensor.shape a in
+  let r = Shape.rank s in
+  if Array.length reps <> r then Tensor.type_err "tile: reps rank mismatch";
+  let out_shape = Array.mapi (fun i d -> d * reps.(i)) s in
+  let out = Tensor.empty ~dtype:(Tensor.dtype a) out_shape in
+  for i = 0 to Tensor.numel out - 1 do
+    let idx = Shape.unravel out_shape i in
+    let src = Array.mapi (fun j v -> v mod s.(j)) idx in
+    Tensor.set_float out i (Tensor.get_float a (Shape.linear_index s src))
+  done;
+  out
+
+(** Stack rank-r tensors into a rank-(r+1) tensor along a new leading axis. *)
+let stack (ts : Tensor.t list) =
+  match ts with
+  | [] -> Tensor.type_err "stack: empty input list"
+  | first :: _ ->
+      let expanded =
+        List.map (fun t -> Tensor.reshape t (Shape.insert_axis (Tensor.shape t) 0)) ts
+      in
+      ignore first;
+      concat ~axis:0 expanded

@@ -1,0 +1,52 @@
+(** Deterministic splitmix64 RNG.
+
+    Every stochastic component of the repo (weight init, synthetic workloads,
+    property tests that need auxiliary randomness) goes through this module so
+    results are reproducible across runs and platforms. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to 62 bits so the value stays non-negative after Int64.to_int *)
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform float in [lo, hi). *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+(** Standard normal via Box-Muller. *)
+let normal t =
+  let u1 = Stdlib.max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+(** Pick an index according to non-negative weights. *)
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.categorical: weights sum to zero";
+  let x = float t *. total in
+  let rec go i acc =
+    if i = Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

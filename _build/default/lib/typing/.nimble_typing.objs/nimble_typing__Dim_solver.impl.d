@@ -1,0 +1,1 @@
+lib/typing/dim_solver.ml: Array Dim Fmt Hashtbl List Nimble_ir Ty

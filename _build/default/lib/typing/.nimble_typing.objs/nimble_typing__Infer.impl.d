@@ -1,0 +1,1 @@
+lib/typing/infer.ml: Adt Array Dim Dim_solver Dtype Expr Fmt Hashtbl Irmod List Nimble_ir Nimble_tensor Op Relations String Tensor Ty

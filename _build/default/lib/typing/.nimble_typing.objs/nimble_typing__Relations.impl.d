@@ -1,0 +1,1 @@
+lib/typing/relations.ml: Array Attrs Dim Dim_solver Dtype Fmt Hashtbl List Nimble_ir Nimble_tensor Op Option Shape Stdlib Ty

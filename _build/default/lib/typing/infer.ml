@@ -1,0 +1,246 @@
+(** Type inference and checking for Nimble IR modules (paper §4.1).
+
+    Walks every function, assigning a type to every variable. [Any] dims in
+    parameter annotations become fresh symbolic classes; relations unify
+    classes across the program (the sub-shaping / identical-[Any] analysis);
+    static mismatches are compile-time errors; dynamic-vs-static conflicts
+    become residual runtime checks carried by the solver. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Type_error = Relations.Type_error
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type result = {
+  solver : Dim_solver.t;
+  residual_checks : int;
+      (** dynamic-dim checks deferred to runtime (gradual typing) *)
+}
+
+type env = { mutable vars : (int * Ty.t) list; globals : (string, Ty.t) Hashtbl.t }
+
+let lookup env (v : Expr.var) =
+  match List.assoc_opt v.vid env.vars with
+  | Some ty -> ty
+  | None -> (
+      match v.vty with
+      | Some ty -> ty
+      | None -> err "unbound variable %%%s#%d" v.vname v.vid)
+
+let bind env (v : Expr.var) ty =
+  v.vty <- Some ty;
+  env.vars <- (v.vid, ty) :: env.vars
+
+(** Join of two types at a control-flow merge: dims that are not provably
+    equal become [Any] (the paper's contamination behaviour, limited by
+    sub-shaping where the solver knows better). *)
+let rec join solver a b =
+  match (a, b) with
+  | Ty.Tensor x, Ty.Tensor y ->
+      if not (Dtype.equal x.dtype y.dtype) then
+        err "branch dtype mismatch: %a vs %a" Ty.pp a Ty.pp b;
+      if Array.length x.dims <> Array.length y.dims then
+        err "branch rank mismatch: %a vs %a" Ty.pp a Ty.pp b;
+      let dims =
+        Array.map2
+          (fun da db ->
+            let da = Dim_solver.resolve solver da in
+            let db = Dim_solver.resolve solver db in
+            if Dim_solver.same solver da db || Dim.equal da db then da else Dim.Any)
+          x.dims y.dims
+      in
+      Ty.Tensor { dims; dtype = x.dtype }
+  | Ty.Tuple xs, Ty.Tuple ys when List.length xs = List.length ys ->
+      Ty.Tuple (List.map2 (join solver) xs ys)
+  | Ty.Adt x, Ty.Adt y when String.equal x y -> a
+  | Ty.Storage, Ty.Storage -> a
+  | Ty.Func _, Ty.Func _ when Ty.equal a b -> a
+  | _, _ -> err "branch type mismatch: %a vs %a" Ty.pp a Ty.pp b
+
+(** Check an argument against a parameter type, unifying dims. *)
+let rec coerce solver ~what arg_ty param_ty =
+  match (arg_ty, param_ty) with
+  | Ty.Tensor x, Ty.Tensor y ->
+      if not (Dtype.equal x.dtype y.dtype) then
+        err "%s: dtype mismatch %a vs %a" what Ty.pp arg_ty Ty.pp param_ty;
+      if Array.length x.dims <> Array.length y.dims then
+        err "%s: rank mismatch %a vs %a" what Ty.pp arg_ty Ty.pp param_ty;
+      Array.iter2
+        (fun da db -> ignore (Dim_solver.unify ~context:what solver da db))
+        x.dims y.dims
+  | Ty.Tuple xs, Ty.Tuple ys when List.length xs = List.length ys ->
+      List.iter2 (coerce solver ~what) xs ys
+  | Ty.Adt x, Ty.Adt y when String.equal x y -> ()
+  | Ty.Storage, Ty.Storage -> ()
+  | Ty.Func _, Ty.Func _ when Ty.equal arg_ty param_ty -> ()
+  | _, _ -> err "%s: type mismatch %a vs %a" what Ty.pp arg_ty Ty.pp param_ty
+
+let is_condition_ty = function
+  | Ty.Tensor { dims = [||]; _ } -> true
+  | _ -> false
+
+let rec infer_expr solver env (e : Expr.t) : Ty.t =
+  match e with
+  | Expr.Var v -> lookup env v
+  | Expr.Global g -> (
+      match Hashtbl.find_opt env.globals g with
+      | Some ty -> ty
+      | None -> err "unknown global @%s" g)
+  | Expr.Op name -> err "bare operator %s outside a call" name
+  | Expr.Ctor c -> Ty.Func (c.Adt.arg_tys, Ty.Adt c.Adt.adt_name)
+  | Expr.Const t -> Ty.tensor_of_shape ~dtype:(Tensor.dtype t) (Tensor.shape t)
+  | Expr.Tuple es -> Ty.Tuple (List.map (infer_expr solver env) es)
+  | Expr.Proj (e1, i) -> (
+      match infer_expr solver env e1 with
+      | Ty.Tuple ts ->
+          if i < 0 || i >= List.length ts then err "tuple index %d out of range" i;
+          List.nth ts i
+      | ty -> err "projection from non-tuple %a" Ty.pp ty)
+  | Expr.Call { callee = Expr.Op name; args; attrs } ->
+      let def = Op.get name in
+      if def.Op.arity >= 0 && List.length args <> def.Op.arity then
+        err "%s: expected %d arguments, got %d" name def.Op.arity (List.length args);
+      let arg_tys = List.map (infer_expr solver env) args in
+      (Relations.get name) { Relations.solver } arg_tys attrs
+  | Expr.Call { callee = Expr.Ctor c; args; _ } ->
+      let arg_tys = List.map (infer_expr solver env) args in
+      if List.length arg_tys <> List.length c.Adt.arg_tys then
+        err "constructor %s: arity mismatch" c.Adt.ctor_name;
+      List.iter2
+        (fun a p ->
+          coerce solver ~what:("constructor " ^ c.Adt.ctor_name) a
+            (Dim_solver.symbolize solver p))
+        arg_tys c.Adt.arg_tys;
+      Ty.Adt c.Adt.adt_name
+  | Expr.Call { callee; args; _ } -> (
+      let callee_ty = infer_expr solver env callee in
+      match callee_ty with
+      | Ty.Func (param_tys, ret_ty) ->
+          if List.length args <> List.length param_tys then
+            err "call arity mismatch: %d args for %a" (List.length args) Ty.pp callee_ty;
+          let arg_tys = List.map (infer_expr solver env) args in
+          (* Each call site gets fresh symbolic instances of the callee's Any
+             dims so unrelated calls do not contaminate each other. *)
+          List.iter2
+            (fun a p -> coerce solver ~what:"call" a (Dim_solver.symbolize solver p))
+            arg_tys param_tys;
+          Dim_solver.symbolize solver ret_ty
+      | ty -> err "call of non-function %a" Ty.pp ty)
+  | Expr.Fn fn -> infer_fn solver env fn
+  | Expr.Let (v, bound, body) ->
+      let bound_ty = infer_expr solver env bound in
+      bind env v bound_ty;
+      infer_expr solver env body
+  | Expr.If (c, t, f) ->
+      let cond_ty = infer_expr solver env c in
+      if not (is_condition_ty cond_ty) then
+        err "if condition must be a scalar tensor, got %a" Ty.pp cond_ty;
+      let tt = infer_expr solver env t in
+      let ft = infer_expr solver env f in
+      join solver tt ft
+  | Expr.Match (scrut, clauses) -> (
+      let scrut_ty = infer_expr solver env scrut in
+      let adt_name =
+        match scrut_ty with
+        | Ty.Adt n -> n
+        | ty -> err "match scrutinee must be an ADT, got %a" Ty.pp ty
+      in
+      let clause_ty { Expr.pat; rhs } =
+        bind_pattern solver env adt_name pat;
+        infer_expr solver env rhs
+      in
+      match clauses with
+      | [] -> err "match with no clauses"
+      | first :: rest ->
+          List.fold_left
+            (fun acc cl -> join solver acc (clause_ty cl))
+            (clause_ty first) rest)
+
+and bind_pattern solver env adt_name (p : Expr.pat) =
+  match p with
+  | Expr.Pwild -> ()
+  | Expr.Pvar v -> bind env v (Ty.Adt adt_name)
+  | Expr.Pctor (c, ps) ->
+      if not (String.equal c.Adt.adt_name adt_name) then
+        err "pattern constructor %s does not belong to %s" c.Adt.ctor_name adt_name;
+      if List.length ps <> List.length c.Adt.arg_tys then
+        err "pattern %s: arity mismatch" c.Adt.ctor_name;
+      List.iter2
+        (fun sub_pat field_ty ->
+          match (sub_pat, field_ty) with
+          | Expr.Pwild, _ -> ()
+          | Expr.Pvar v, ty -> bind env v (Dim_solver.symbolize solver ty)
+          | Expr.Pctor _, Ty.Adt nested -> bind_pattern solver env nested sub_pat
+          | Expr.Pctor _, ty ->
+              err "nested constructor pattern against non-ADT field %a" Ty.pp ty)
+        ps c.Adt.arg_tys
+
+and infer_fn solver env (fn : Expr.fn) : Ty.t =
+  let saved = env.vars in
+  let param_tys =
+    List.map
+      (fun (v : Expr.var) ->
+        match v.vty with
+        | Some ty ->
+            let ty = Dim_solver.symbolize solver ty in
+            bind env v ty;
+            ty
+        | None -> err "parameter %%%s#%d must be annotated" v.vname v.vid)
+      fn.params
+  in
+  let body_ty = infer_expr solver env fn.body in
+  (match fn.ret_ty with
+  | Some declared -> coerce solver ~what:"return" body_ty (Dim_solver.symbolize solver declared)
+  | None -> ());
+  env.vars <- saved;
+  Ty.Func (param_tys, body_ty)
+
+(** Declared type of a global function, from its annotations. Recursive
+    functions must annotate their return type. *)
+let declared_fn_ty (name : string) (fn : Expr.fn) : Ty.t =
+  let param_tys =
+    List.map
+      (fun (v : Expr.var) ->
+        match v.vty with
+        | Some ty -> ty
+        | None -> err "@%s: parameter %%%s must be annotated" name v.vname)
+      fn.params
+  in
+  let ret =
+    match fn.ret_ty with
+    | Some ty -> ty
+    | None -> Ty.fresh_var () (* placeholder; filled in after body inference *)
+  in
+  Ty.Func (param_tys, ret)
+
+(** Infer types for a whole module, mutating variable annotations in place.
+    Returns the dim solver (whose residuals count the runtime checks that
+    gradual typing deferred). *)
+let infer_module (m : Irmod.t) : result =
+  let solver = Dim_solver.create () in
+  let globals = Hashtbl.create 8 in
+  List.iter
+    (fun (name, fn) -> Hashtbl.replace globals name (declared_fn_ty name fn))
+    (Irmod.functions m);
+  List.iter
+    (fun (name, fn) ->
+      let env = { vars = []; globals } in
+      match infer_fn solver env fn with
+      | Ty.Func (params, body_ty) -> (
+          (* Fill in an unannotated return type now that we know it. *)
+          match Hashtbl.find_opt globals name with
+          | Some (Ty.Func (_, Ty.Var _)) ->
+              Hashtbl.replace globals name (Ty.Func (params, body_ty))
+          | _ -> ())
+      | _ -> assert false)
+    (Irmod.functions m);
+  { solver; residual_checks = Dim_solver.residual_count solver }
+
+(** Type of an expression under an empty environment (for tests). *)
+let infer_standalone (e : Expr.t) : Ty.t * result =
+  let solver = Dim_solver.create () in
+  let env = { vars = []; globals = Hashtbl.create 1 } in
+  let ty = infer_expr solver env e in
+  (ty, { solver; residual_checks = Dim_solver.residual_count solver })

@@ -1,0 +1,467 @@
+(** Operator type relations (paper §4.1).
+
+    A relation maps argument types (which may contain [Any]/[Sym] dims) and
+    call attributes to the output type, unifying dimensions through the
+    {!Dim_solver} and recording residual runtime checks where static
+    reasoning is impossible (gradual typing). *)
+
+open Nimble_tensor
+open Nimble_ir
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type ctx = { solver : Dim_solver.t }
+
+type rel = ctx -> Ty.t list -> Attrs.t -> Ty.t
+
+let registry : (string, rel) Hashtbl.t = Hashtbl.create 64
+
+let register name rel =
+  if not (Op.exists name) then
+    Fmt.invalid_arg "Relations.register: unknown op %s" name;
+  Hashtbl.replace registry name rel
+
+let find name = Hashtbl.find_opt registry name
+
+let get name =
+  match find name with
+  | Some r -> r
+  | None -> err "no type relation registered for operator %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let as_tensor op = function
+  | Ty.Tensor { dims; dtype } -> (dims, dtype)
+  | ty -> err "%s: expected a tensor argument, got %a" op Ty.pp ty
+
+let arg op n args =
+  match List.nth_opt args n with
+  | Some a -> a
+  | None -> err "%s: missing argument %d" op n
+
+let tensor_arg op n args = as_tensor op (arg op n args)
+
+let expect_rank op r dims =
+  if Array.length dims <> r then
+    err "%s: expected rank %d, got rank %d" op r (Array.length dims)
+
+(** Broadcast two dim vectors following the paper's Any rules. *)
+let broadcast_dims ctx op (a : Dim.t array) (b : Dim.t array) : Dim.t array =
+  let ra = Array.length a and rb = Array.length b in
+  let r = max ra rb in
+  Array.init r (fun i ->
+      let da = if i < r - ra then Dim.Static 1 else a.(i - (r - ra)) in
+      let db = if i < r - rb then Dim.Static 1 else b.(i - (r - rb)) in
+      let da = Dim_solver.resolve ctx.solver da in
+      let db = Dim_solver.resolve ctx.solver db in
+      if Dim_solver.same ctx.solver da db then da
+      else
+        match (da, db) with
+        | (Dim.Sym _ | Dim.Any), (Dim.Sym _ | Dim.Any) ->
+            (* the identical-Any analysis (§4.1): two dynamic dims meeting in
+               a broadcast almost always denote the same extent; unify their
+               classes (gradual typing covers the residual 1-vs-d case) *)
+            Dim_solver.unify ~context:op ctx.solver da db
+        | _ -> (
+            match Dim.broadcast da db with
+            | Some d -> d
+            | None ->
+                err "%s: cannot broadcast %a with %a" op Dim.pp da Dim.pp db))
+
+(* ------------------------------------------------------------------ *)
+(* Relation definitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let identity_rel name : rel =
+ fun _ctx args _attrs ->
+  let dims, dtype = tensor_arg name 0 args in
+  Ty.Tensor { dims; dtype }
+
+let broadcast_rel ?out_dtype name : rel =
+ fun ctx args _attrs ->
+  let da, ta = tensor_arg name 0 args in
+  let db, tb = tensor_arg name 1 args in
+  let dims = broadcast_dims ctx name da db in
+  let dtype = match out_dtype with Some dt -> dt | None -> Dtype.promote ta tb in
+  Ty.Tensor { dims; dtype }
+
+let () =
+  List.iter
+    (fun name -> register name (broadcast_rel name))
+    [ "add"; "subtract"; "multiply"; "divide"; "maximum"; "minimum"; "power" ];
+  List.iter
+    (fun name -> register name (broadcast_rel ~out_dtype:Dtype.U8 name))
+    [
+      "equal"; "less"; "greater"; "less_equal"; "greater_equal"; "not_equal";
+      "logical_and"; "logical_or";
+    ];
+  List.iter
+    (fun name -> register name (identity_rel name))
+    [
+      "negative"; "abs"; "exp"; "log"; "sqrt"; "tanh"; "sigmoid"; "relu";
+      "gelu"; "erf"; "softmax"; "log_softmax"; "device_copy";
+    ];
+  register "logical_not" (fun _ctx args _attrs ->
+      let dims, _ = as_tensor "logical_not" (arg "logical_not" 0 args) in
+      Ty.Tensor { dims; dtype = Dtype.U8 });
+  register "where" (fun ctx args _attrs ->
+      let dc, _ = tensor_arg "where(cond)" 0 args in
+      let da, ta = tensor_arg "where(a)" 1 args in
+      let db, tb = tensor_arg "where(b)" 2 args in
+      let d1 = broadcast_dims ctx "where" dc da in
+      let dims = broadcast_dims ctx "where" d1 db in
+      Ty.Tensor { dims; dtype = Dtype.promote ta tb })
+
+let () =
+  register "cast" (fun _ctx args attrs ->
+      let dims, _ = tensor_arg "cast" 0 args in
+      let dt =
+        match Attrs.find_str attrs "dtype" with
+        | Some s -> (
+            match Dtype.of_string s with
+            | Some dt -> dt
+            | None -> err "cast: bad dtype %s" s)
+        | None -> err "cast: missing dtype attr"
+      in
+      Ty.Tensor { dims; dtype = dt })
+
+let () =
+  register "bias_add" (fun ctx args _attrs ->
+      let dd, td = tensor_arg "bias_add" 0 args in
+      let db, _ = tensor_arg "bias_add" 1 args in
+      expect_rank "bias_add(bias)" 1 db;
+      if Array.length dd = 0 then err "bias_add: data must have rank >= 1";
+      let last = dd.(Array.length dd - 1) in
+      ignore (Dim_solver.unify ~context:"bias_add" ctx.solver last db.(0));
+      Ty.Tensor { dims = dd; dtype = td })
+
+let () =
+  register "dense" (fun ctx args _attrs ->
+      let dd, _ = tensor_arg "dense" 0 args in
+      let dw, _ = tensor_arg "dense" 1 args in
+      expect_rank "dense(data)" 2 dd;
+      expect_rank "dense(weight)" 2 dw;
+      ignore (Dim_solver.unify ~context:"dense reduction" ctx.solver dd.(1) dw.(1));
+      Ty.Tensor { dims = [| dd.(0); dw.(0) |]; dtype = Dtype.F32 });
+  register "matmul" (fun ctx args _attrs ->
+      let da, _ = tensor_arg "matmul" 0 args in
+      let db, _ = tensor_arg "matmul" 1 args in
+      expect_rank "matmul(a)" 2 da;
+      expect_rank "matmul(b)" 2 db;
+      ignore (Dim_solver.unify ~context:"matmul reduction" ctx.solver da.(1) db.(0));
+      Ty.Tensor { dims = [| da.(0); db.(1) |]; dtype = Dtype.F32 });
+  register "batch_matmul" (fun ctx args _attrs ->
+      let da, _ = tensor_arg "batch_matmul" 0 args in
+      let db, _ = tensor_arg "batch_matmul" 1 args in
+      expect_rank "batch_matmul(a)" 3 da;
+      expect_rank "batch_matmul(b)" 3 db;
+      let b = Dim_solver.unify ~context:"batch_matmul batch" ctx.solver da.(0) db.(0) in
+      ignore (Dim_solver.unify ~context:"batch_matmul reduction" ctx.solver da.(2) db.(1));
+      Ty.Tensor { dims = [| b; da.(1); db.(2) |]; dtype = Dtype.F32 })
+
+let conv_out_dim (d : Dim.t) ~kernel ~stride ~padding : Dim.t =
+  match d with
+  | Dim.Static n -> Dim.Static (((n + (2 * padding) - kernel) / stride) + 1)
+  | Dim.Any | Dim.Sym _ -> Dim.Any
+
+let () =
+  register "conv2d" (fun ctx args attrs ->
+      let dd, _ = tensor_arg "conv2d" 0 args in
+      let dw, _ = tensor_arg "conv2d" 1 args in
+      expect_rank "conv2d(data)" 4 dd;
+      expect_rank "conv2d(weight)" 4 dw;
+      let stride = Attrs.get_int ~default:1 attrs "stride" in
+      let padding = Attrs.get_int ~default:0 attrs "padding" in
+      ignore (Dim_solver.unify ~context:"conv2d channels" ctx.solver dd.(1) dw.(1));
+      let kh, kw =
+        match (dw.(2), dw.(3)) with
+        | Dim.Static kh, Dim.Static kw -> (kh, kw)
+        | _ -> err "conv2d: kernel spatial dims must be static"
+      in
+      let oh = conv_out_dim dd.(2) ~kernel:kh ~stride ~padding in
+      let ow = conv_out_dim dd.(3) ~kernel:kw ~stride ~padding in
+      Ty.Tensor { dims = [| dd.(0); dw.(0); oh; ow |]; dtype = Dtype.F32 })
+
+let pool_rel name : rel =
+ fun _ctx args attrs ->
+  let dd, dt = tensor_arg name 0 args in
+  expect_rank name 4 dd;
+  let window = Attrs.get_int attrs "window" in
+  let stride = Attrs.get_int ~default:2 attrs "stride" in
+  let out d =
+    match d with
+    | Dim.Static n -> Dim.Static (((n - window) / stride) + 1)
+    | Dim.Any | Dim.Sym _ -> Dim.Any
+  in
+  Ty.Tensor { dims = [| dd.(0); dd.(1); out dd.(2); out dd.(3) |]; dtype = dt }
+
+let () =
+  register "max_pool2d" (pool_rel "max_pool2d");
+  register "avg_pool2d" (pool_rel "avg_pool2d");
+  register "global_avg_pool2d" (fun _ctx args _attrs ->
+      let dd, dt = tensor_arg "global_avg_pool2d" 0 args in
+      expect_rank "global_avg_pool2d" 4 dd;
+      Ty.Tensor { dims = [| dd.(0); dd.(1) |]; dtype = dt })
+
+let () =
+  register "layer_norm" (fun ctx args _attrs ->
+      let dd, dt = tensor_arg "layer_norm" 0 args in
+      let dg, _ = tensor_arg "layer_norm(gamma)" 1 args in
+      let db, _ = tensor_arg "layer_norm(beta)" 2 args in
+      expect_rank "layer_norm(gamma)" 1 dg;
+      expect_rank "layer_norm(beta)" 1 db;
+      if Array.length dd = 0 then err "layer_norm: data must have rank >= 1";
+      let last = dd.(Array.length dd - 1) in
+      ignore (Dim_solver.unify ~context:"layer_norm gamma" ctx.solver last dg.(0));
+      ignore (Dim_solver.unify ~context:"layer_norm beta" ctx.solver last db.(0));
+      Ty.Tensor { dims = dd; dtype = dt });
+  register "batch_norm" (fun ctx args _attrs ->
+      let dd, dt = tensor_arg "batch_norm" 0 args in
+      expect_rank "batch_norm" 4 dd;
+      List.iteri
+        (fun i name ->
+          let dp, _ = tensor_arg ("batch_norm(" ^ name ^ ")") (i + 1) args in
+          expect_rank ("batch_norm(" ^ name ^ ")") 1 dp;
+          ignore (Dim_solver.unify ~context:"batch_norm param" ctx.solver dd.(1) dp.(0)))
+        [ "gamma"; "beta"; "mean"; "var" ];
+      Ty.Tensor { dims = dd; dtype = dt })
+
+let () =
+  register "reshape" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "reshape" 0 args in
+      let target = Attrs.get_ints attrs "newshape" in
+      let all_static = Array.for_all Dim.is_static dims in
+      if all_static && not (List.mem (-1) target) then begin
+        (* fully static: validate element counts now *)
+        let total =
+          Array.fold_left
+            (fun acc d -> match d with Dim.Static n -> acc * n | _ -> acc)
+            1 dims
+        in
+        let target_total = List.fold_left ( * ) 1 target in
+        if total <> target_total then
+          err "reshape: element count %d -> %d" total target_total
+      end;
+      let out_dims =
+        List.map
+          (fun d ->
+            if d = -1 then
+              if all_static then
+                let total =
+                  Array.fold_left
+                    (fun acc dd -> match dd with Dim.Static n -> acc * n | _ -> acc)
+                    1 dims
+                in
+                let known =
+                  List.fold_left (fun acc x -> if x = -1 then acc else acc * x) 1 target
+                in
+                if known > 0 && total mod known = 0 then Dim.Static (total / known)
+                else err "reshape: cannot infer -1"
+              else Dim.Any
+            else Dim.static d)
+          target
+      in
+      Ty.Tensor { dims = Array.of_list out_dims; dtype = dt })
+
+let () =
+  register "transpose" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "transpose" 0 args in
+      let r = Array.length dims in
+      let axes =
+        match Attrs.find_ints attrs "axes" with
+        | Some a -> Array.of_list a
+        | None -> Array.init r (fun i -> r - 1 - i)
+      in
+      if Array.length axes <> r then err "transpose: axes rank mismatch";
+      Ty.Tensor { dims = Array.map (fun ax -> dims.(Shape.normalize_axis ~rank:r ax)) axes; dtype = dt });
+  register "expand_dims" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "expand_dims" 0 args in
+      let axis = Attrs.get_int attrs "axis" in
+      let r = Array.length dims in
+      let a = if axis < 0 then axis + r + 1 else axis in
+      if a < 0 || a > r then err "expand_dims: bad axis %d" axis;
+      let out =
+        Array.init (r + 1) (fun i ->
+            if i < a then dims.(i) else if i = a then Dim.Static 1 else dims.(i - 1))
+      in
+      Ty.Tensor { dims = out; dtype = dt });
+  register "squeeze" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "squeeze" 0 args in
+      let axis = Shape.normalize_axis ~rank:(Array.length dims) (Attrs.get_int attrs "axis") in
+      (match dims.(axis) with
+      | Dim.Static 1 -> ()
+      | Dim.Static n -> err "squeeze: axis %d has extent %d" axis n
+      | Dim.Any | Dim.Sym _ -> () (* residual: checked at runtime *));
+      let out =
+        Array.init (Array.length dims - 1) (fun i -> if i < axis then dims.(i) else dims.(i + 1))
+      in
+      Ty.Tensor { dims = out; dtype = dt })
+
+let () =
+  register "concat" (fun ctx args attrs ->
+      (match args with [] -> err "concat: no arguments" | _ -> ());
+      let axis = Attrs.get_int attrs "axis" in
+      let first_dims, dt = tensor_arg "concat" 0 args in
+      let r = Array.length first_dims in
+      let axis = Shape.normalize_axis ~rank:r axis in
+      let out = Array.copy first_dims in
+      List.iteri
+        (fun i ty ->
+          if i > 0 then begin
+            let dims, _ = as_tensor "concat" ty in
+            if Array.length dims <> r then err "concat: rank mismatch";
+            Array.iteri
+              (fun j d ->
+                if j = axis then out.(j) <- Dim.add out.(j) d
+                else out.(j) <- Dim_solver.unify ~context:"concat" ctx.solver out.(j) d)
+              dims
+          end)
+        args;
+      Ty.Tensor { dims = out; dtype = dt });
+  register "split" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "split" 0 args in
+      let axis = Shape.normalize_axis ~rank:(Array.length dims) (Attrs.get_int attrs "axis") in
+      let sections = Attrs.get_int attrs "sections" in
+      if sections <= 0 then err "split: sections must be positive";
+      let part =
+        match dims.(axis) with
+        | Dim.Static n ->
+            if n mod sections <> 0 then err "split: %d not divisible by %d" n sections;
+            Dim.Static (n / sections)
+        | Dim.Any | Dim.Sym _ -> Dim.Any
+      in
+      let piece = Array.mapi (fun i d -> if i = axis then part else d) dims in
+      Ty.Tuple (List.init sections (fun _ -> Ty.Tensor { dims = piece; dtype = dt })));
+  register "strided_slice" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "strided_slice" 0 args in
+      let begins = Array.of_list (Attrs.get_ints attrs "begins") in
+      let ends = Array.of_list (Attrs.get_ints attrs "ends") in
+      let r = Array.length dims in
+      if Array.length begins <> r || Array.length ends <> r then
+        err "strided_slice: begins/ends rank mismatch";
+      let out =
+        Array.mapi
+          (fun i d ->
+            match d with
+            | Dim.Static n ->
+                let norm v = if v < 0 then v + n else v in
+                let lo = Stdlib.max 0 (Stdlib.min (norm begins.(i)) n) in
+                let hi = Stdlib.max lo (Stdlib.min (norm ends.(i)) n) in
+                Dim.Static (hi - lo)
+            | Dim.Any | Dim.Sym _ ->
+                if begins.(i) >= 0 && ends.(i) >= begins.(i) then
+                  (* window fully specified: extent known even for Any input
+                     modulo clamping; be conservative *)
+                  Dim.Any
+                else Dim.Any)
+          dims
+      in
+      Ty.Tensor { dims = out; dtype = dt });
+  register "take" (fun _ctx args attrs ->
+      let dd, dt = tensor_arg "take" 0 args in
+      let di, it = tensor_arg "take(indices)" 1 args in
+      if not (Dtype.is_int it) then err "take: indices must be integer";
+      let axis = Shape.normalize_axis ~rank:(Array.length dd) (Attrs.get_int ~default:0 attrs "axis") in
+      let out =
+        Array.concat
+          [ Array.sub dd 0 axis; di; Array.sub dd (axis + 1) (Array.length dd - axis - 1) ]
+      in
+      Ty.Tensor { dims = out; dtype = dt });
+  register "tile" (fun _ctx args attrs ->
+      let dims, dt = tensor_arg "tile" 0 args in
+      let reps = Array.of_list (Attrs.get_ints attrs "reps") in
+      if Array.length reps <> Array.length dims then err "tile: reps rank mismatch";
+      let out = Array.mapi (fun i d -> Dim.mul d (Dim.Static reps.(i))) dims in
+      Ty.Tensor { dims = out; dtype = dt });
+  register "embedding" (fun _ctx args _attrs ->
+      let dt_dims, dt = tensor_arg "embedding" 0 args in
+      let di, it = tensor_arg "embedding(ids)" 1 args in
+      if not (Dtype.is_int it) then err "embedding: ids must be integer";
+      expect_rank "embedding(table)" 2 dt_dims;
+      Ty.Tensor { dims = Array.append di [| dt_dims.(1) |]; dtype = dt })
+
+let reduce_rel ?(out_dtype : Dtype.t option) name : rel =
+ fun _ctx args attrs ->
+  let dims, dt = tensor_arg name 0 args in
+  let dt = match out_dtype with Some d -> d | None -> dt in
+  match Attrs.find_int attrs "axis" with
+  | None -> Ty.Tensor { dims = [||]; dtype = dt }
+  | Some axis ->
+      let axis = Shape.normalize_axis ~rank:(Array.length dims) axis in
+      let keepdims = Attrs.get_bool attrs "keepdims" in
+      let out =
+        if keepdims then Array.mapi (fun i d -> if i = axis then Dim.Static 1 else d) dims
+        else
+          Array.init (Array.length dims - 1) (fun i ->
+              if i < axis then dims.(i) else dims.(i + 1))
+      in
+      Ty.Tensor { dims = out; dtype = dt }
+
+let () =
+  register "sum" (reduce_rel "sum");
+  register "max" (reduce_rel "max");
+  register "min" (reduce_rel "min");
+  register "mean" (reduce_rel "mean");
+  register "argmax" (reduce_rel ~out_dtype:Dtype.I64 "argmax")
+
+(* Data-dependent output shapes: the type system can only say Any (§4.1). *)
+let () =
+  register "arange" (fun _ctx args attrs ->
+      List.iteri
+        (fun i ty ->
+          let dims, _ = as_tensor "arange" ty in
+          if Array.length dims <> 0 then err "arange: argument %d must be scalar" i)
+        args;
+      let dt =
+        match Attrs.find_str attrs "dtype" with
+        | Some s -> Option.value ~default:Dtype.F32 (Dtype.of_string s)
+        | None -> Dtype.F32
+      in
+      Ty.Tensor { dims = [| Dim.Any |]; dtype = dt });
+  register "unique" (fun _ctx args _attrs ->
+      let dims, dt = tensor_arg "unique" 0 args in
+      expect_rank "unique" 1 dims;
+      Ty.Tensor { dims = [| Dim.Any |]; dtype = dt });
+  register "nms" (fun ctx args _attrs ->
+      let dims, dt = tensor_arg "nms" 0 args in
+      expect_rank "nms" 2 dims;
+      ignore (Dim_solver.unify ~context:"nms box width" ctx.solver dims.(1) (Dim.Static 5));
+      Ty.Tensor { dims = [| Dim.Any; Dim.Static 5 |]; dtype = dt })
+
+(* Dynamism/memory dialect. *)
+let () =
+  register "shape_of" (fun _ctx args _attrs ->
+      let dims, _ = tensor_arg "shape_of" 0 args in
+      Ty.Tensor { dims = [| Dim.Static (Array.length dims) |]; dtype = Dtype.I64 });
+  register "reshape_tensor" (fun _ctx args _attrs ->
+      let _, dt = tensor_arg "reshape_tensor" 0 args in
+      let sdims, st = tensor_arg "reshape_tensor(shape)" 1 args in
+      if not (Dtype.is_int st) then err "reshape_tensor: shape must be integer";
+      expect_rank "reshape_tensor(shape)" 1 sdims;
+      let rank =
+        match sdims.(0) with
+        | Dim.Static r -> r
+        | Dim.Any | Dim.Sym _ -> err "reshape_tensor: output rank must be static"
+      in
+      Ty.Tensor { dims = Array.make rank Dim.Any; dtype = dt });
+  register "memory.alloc_storage" (fun _ctx _args _attrs -> Ty.Storage);
+  register "memory.alloc_tensor" (fun _ctx _args attrs ->
+      let dt =
+        match Attrs.find_str attrs "dtype" with
+        | Some s -> Option.value ~default:Dtype.F32 (Dtype.of_string s)
+        | None -> Dtype.F32
+      in
+      match Attrs.find_ints attrs "const_shape" with
+      | Some shape -> Ty.Tensor { dims = Array.of_list (List.map Dim.static shape); dtype = dt }
+      | None ->
+          let rank = Attrs.get_int ~default:1 attrs "rank" in
+          Ty.Tensor { dims = Array.make rank Dim.Any; dtype = dt });
+  register "memory.invoke_mut" (fun _ctx _args _attrs -> Ty.unit);
+  register "memory.kill" (fun _ctx _args _attrs -> Ty.unit);
+  register "memory.invoke_shape_func" (fun _ctx _args _attrs ->
+      (* destination-passing: outputs are pre-allocated shape tensors *)
+      Ty.unit)

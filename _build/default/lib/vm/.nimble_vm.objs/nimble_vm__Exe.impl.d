@@ -1,0 +1,1 @@
+lib/vm/exe.ml: Array Fmt Isa List Nimble_tensor Option String Tensor

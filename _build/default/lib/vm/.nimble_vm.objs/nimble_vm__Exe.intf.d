@@ -1,0 +1,1 @@
+lib/vm/exe.mli: Format Isa Nimble_tensor Tensor

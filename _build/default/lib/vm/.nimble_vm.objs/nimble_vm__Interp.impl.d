@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Dtype Exe Fmt Hashtbl Isa List Nimble_device Nimble_tensor Obj Option Profiler Shape Stdlib Storage Tensor Unix

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Exe Isa Nimble_tensor Obj Profiler

@@ -1,0 +1,1 @@
+lib/vm/isa.ml: Dtype Fmt Nimble_tensor Shape

@@ -1,0 +1,1 @@
+lib/vm/obj.ml: Array Fmt Int64 Nimble_device Nimble_tensor Storage Tensor

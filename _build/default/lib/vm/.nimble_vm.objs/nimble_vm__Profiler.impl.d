@@ -1,0 +1,1 @@
+lib/vm/profiler.ml: Array Float Fmt Hashtbl Isa List Nimble_device Stdlib

@@ -1,0 +1,1 @@
+lib/vm/serialize.ml: Array Buffer Char Dtype Exe Fmt Fun Int32 Int64 Isa Nimble_tensor String Tensor

@@ -1,0 +1,1 @@
+lib/vm/serialize.mli: Exe

@@ -1,0 +1,1 @@
+lib/vm/storage.ml: Array1 Bigarray Fmt Hashtbl Nimble_device Nimble_tensor Stdlib

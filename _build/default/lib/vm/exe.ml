@@ -1,0 +1,186 @@
+(** VM executables (paper §5): platform-independent bytecode (functions,
+    constant pool, ADT layouts, packed-function names) plus the
+    platform-dependent kernel implementations, which are linked in by name
+    after compilation or deserialization. *)
+
+open Nimble_tensor
+
+type vmfunc = {
+  name : string;
+  arity : int;
+  register_count : int;
+  code : Isa.t array;
+}
+
+(** A packed function: a compiled kernel or a compiled shape function.
+    [run] takes input tensors and freshly computes outputs; the interpreter
+    blits them into the pre-allocated destinations of [InvokePacked]. *)
+type packed = {
+  packed_name : string;
+  kind : [ `Kernel | `Shape_func ];
+  run : Tensor.t list -> Tensor.t list;
+}
+
+type t = {
+  funcs : vmfunc array;
+  constants : Tensor.t array;
+  packed_names : (string * [ `Kernel | `Shape_func ]) array;
+  mutable packed : packed option array;  (** linked implementations *)
+}
+
+let create ~funcs ~constants ~packed_names =
+  {
+    funcs;
+    constants;
+    packed_names;
+    packed = Array.make (Array.length packed_names) None;
+  }
+
+let func_index t name =
+  let found = ref None in
+  Array.iteri (fun i f -> if String.equal f.name name then found := Some i) t.funcs;
+  match !found with
+  | Some i -> i
+  | None -> Fmt.invalid_arg "Exe.func_index: no function %s" name
+
+let packed_index t name =
+  let found = ref None in
+  Array.iteri
+    (fun i (n, _) -> if String.equal n name then found := Some i)
+    t.packed_names;
+  !found
+
+(** Link one packed implementation by name. *)
+let link t (p : packed) =
+  match packed_index t p.packed_name with
+  | Some i -> t.packed.(i) <- Some p
+  | None -> Fmt.invalid_arg "Exe.link: executable has no packed function %s" p.packed_name
+
+let linked t =
+  Array.for_all Option.is_some t.packed
+
+let get_packed t i =
+  match t.packed.(i) with
+  | Some p -> p
+  | None ->
+      let name, _ = t.packed_names.(i) in
+      Fmt.invalid_arg "Exe.get_packed: %s not linked" name
+
+(** Static well-formedness checks on an executable: register indices within
+    each function's register file, jump targets inside the code, constant and
+    function and packed indices within their tables, and every path ending in
+    a control transfer. Returns the list of violations (empty = valid). Run
+    after deserialization to reject malformed or truncated bytecode early. *)
+let validate (t : t) : string list =
+  let problems = ref [] in
+  let bad fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  Array.iteri
+    (fun fi (f : vmfunc) ->
+      let n = Array.length f.code in
+      let check_reg pc r what =
+        if r < 0 || r >= f.register_count then
+          bad "fn%d %s pc=%d: %s register %d out of [0,%d)" fi f.name pc what r
+            f.register_count
+      in
+      let check_regs pc rs what = Array.iter (fun r -> check_reg pc r what) rs in
+      let check_jump pc off =
+        let target = pc + off in
+        if target < 0 || target >= n then
+          bad "fn%d %s pc=%d: jump target %d out of [0,%d)" fi f.name pc target n
+      in
+      if f.arity > f.register_count then
+        bad "fn%d %s: arity %d exceeds register count %d" fi f.name f.arity
+          f.register_count;
+      if n = 0 then bad "fn%d %s: empty code" fi f.name;
+      Array.iteri
+        (fun pc instr ->
+          match instr with
+          | Isa.Move { src; dst } ->
+              check_reg pc src "src";
+              check_reg pc dst "dst"
+          | Isa.Ret { result } -> check_reg pc result "result"
+          | Isa.Invoke { func_index; args; dst } ->
+              if func_index < 0 || func_index >= Array.length t.funcs then
+                bad "fn%d %s pc=%d: bad function index %d" fi f.name pc func_index
+              else if Array.length args <> t.funcs.(func_index).arity then
+                bad "fn%d %s pc=%d: %d args for fn%d (arity %d)" fi f.name pc
+                  (Array.length args) func_index t.funcs.(func_index).arity;
+              check_regs pc args "arg";
+              check_reg pc dst "dst"
+          | Isa.InvokeClosure { closure; args; dst } ->
+              check_reg pc closure "closure";
+              check_regs pc args "arg";
+              check_reg pc dst "dst"
+          | Isa.InvokePacked { packed_index; args; outs; _ } ->
+              if packed_index < 0 || packed_index >= Array.length t.packed_names then
+                bad "fn%d %s pc=%d: bad packed index %d" fi f.name pc packed_index;
+              check_regs pc args "arg";
+              check_regs pc outs "out"
+          | Isa.AllocStorage { size; dst; _ } ->
+              check_reg pc size "size";
+              check_reg pc dst "dst"
+          | Isa.AllocTensor { storage; dst; _ } ->
+              check_reg pc storage "storage";
+              check_reg pc dst "dst"
+          | Isa.AllocTensorReg { storage; shape; dst; _ } ->
+              check_reg pc storage "storage";
+              check_reg pc shape "shape";
+              check_reg pc dst "dst"
+          | Isa.AllocADT { fields; dst; _ } ->
+              check_regs pc fields "field";
+              check_reg pc dst "dst"
+          | Isa.AllocClosure { func_index; captured; dst } ->
+              if func_index < 0 || func_index >= Array.length t.funcs then
+                bad "fn%d %s pc=%d: bad closure function index %d" fi f.name pc func_index;
+              check_regs pc captured "captured";
+              check_reg pc dst "dst"
+          | Isa.GetField { obj; dst; _ } | Isa.GetTag { obj; dst } ->
+              check_reg pc obj "obj";
+              check_reg pc dst "dst"
+          | Isa.If { test; target; true_offset; false_offset } ->
+              check_reg pc test "test";
+              check_reg pc target "target";
+              check_jump pc true_offset;
+              check_jump pc false_offset
+          | Isa.Goto off -> check_jump pc off
+          | Isa.LoadConst { index; dst } ->
+              if index < 0 || index >= Array.length t.constants then
+                bad "fn%d %s pc=%d: bad constant index %d" fi f.name pc index;
+              check_reg pc dst "dst"
+          | Isa.LoadConsti { dst; _ } -> check_reg pc dst "dst"
+          | Isa.DeviceCopy { src; dst; _ } ->
+              check_reg pc src "src";
+              check_reg pc dst "dst"
+          | Isa.ShapeOf { tensor; dst } ->
+              check_reg pc tensor "tensor";
+              check_reg pc dst "dst"
+          | Isa.ReshapeTensor { tensor; shape; dst } ->
+              check_reg pc tensor "tensor";
+              check_reg pc shape "shape";
+              check_reg pc dst "dst"
+          | Isa.Fatal _ -> ())
+        f.code;
+      (* the last instruction must not fall off the end *)
+      if n > 0 then
+        match f.code.(n - 1) with
+        | Isa.Ret _ | Isa.Goto _ | Isa.Fatal _ | Isa.If _ -> ()
+        | _ -> bad "fn%d %s: falls off the end of the code" fi f.name)
+    t.funcs;
+  List.rev !problems
+
+(** Human-readable disassembly. *)
+let disassemble ppf t =
+  Fmt.pf ppf "constants: %d@." (Array.length t.constants);
+  Array.iteri
+    (fun i (name, kind) ->
+      Fmt.pf ppf "packed%d: %s (%s)@." i name
+        (match kind with `Kernel -> "kernel" | `Shape_func -> "shape_func"))
+    t.packed_names;
+  Array.iter
+    (fun f ->
+      Fmt.pf ppf "@.fn %s(arity=%d, regs=%d):@." f.name f.arity f.register_count;
+      Array.iteri (fun pc instr -> Fmt.pf ppf "  %3d: %a@." pc Isa.pp instr) f.code)
+    t.funcs
+
+let instruction_count t =
+  Array.fold_left (fun acc f -> acc + Array.length f.code) 0 t.funcs

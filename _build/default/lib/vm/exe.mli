@@ -1,0 +1,58 @@
+(** VM executables (paper §5): platform-independent bytecode (functions,
+    constant pool, packed-function names) plus the platform-dependent kernel
+    implementations, linked in by name after compilation or deserialization. *)
+
+open Nimble_tensor
+
+type vmfunc = {
+  name : string;
+  arity : int;
+  register_count : int;
+  code : Isa.t array;
+}
+
+(** A packed function: a compiled kernel or a compiled shape function.
+    [run] computes fresh outputs; the interpreter blits them into the
+    pre-allocated destinations of [InvokePacked]. *)
+type packed = {
+  packed_name : string;
+  kind : [ `Kernel | `Shape_func ];
+  run : Tensor.t list -> Tensor.t list;
+}
+
+type t = {
+  funcs : vmfunc array;
+  constants : Tensor.t array;
+  packed_names : (string * [ `Kernel | `Shape_func ]) array;
+  mutable packed : packed option array;  (** linked implementations *)
+}
+
+val create :
+  funcs:vmfunc array ->
+  constants:Tensor.t array ->
+  packed_names:(string * [ `Kernel | `Shape_func ]) array ->
+  t
+
+(** Index of a VM function by name. @raise Invalid_argument if absent. *)
+val func_index : t -> string -> int
+
+val packed_index : t -> string -> int option
+
+(** Link one packed implementation by name.
+    @raise Invalid_argument for names the executable does not declare. *)
+val link : t -> packed -> unit
+
+(** Every declared packed function has an implementation. *)
+val linked : t -> bool
+
+val get_packed : t -> int -> packed
+
+(** Static well-formedness checks: register bounds, jump targets, constant /
+    function / packed indices, arity agreement, no fallthrough. Returns the
+    violations (empty = valid); run after deserialization. *)
+val validate : t -> string list
+
+(** Human-readable disassembly. *)
+val disassemble : Format.formatter -> t -> unit
+
+val instruction_count : t -> int

@@ -1,0 +1,265 @@
+(** The VM interpreter (paper §5.2).
+
+    A dispatch loop over the coarse-grained ISA: it checks the opcode,
+    executes the corresponding logic and repeats. Kernel invocations
+    dominate; everything else is bookkeeping whose cost the profiler
+    separates out (Table 4). *)
+
+open Nimble_tensor
+
+exception Vm_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Vm_error s)) fmt
+
+type t = {
+  exe : Exe.t;
+  profiler : Profiler.t;
+  max_depth : int;  (** recursion guard for Invoke *)
+  pooling : bool;
+      (** reuse already-allocated chunks across top-level invocations — the
+          runtime half of memory planning (paper: "reuse the already
+          allocated memory chunks") *)
+  arenas : (string, Storage.t) Hashtbl.t;
+      (** storages reused across top-level invocations, keyed by allocation
+          site; recursive frames always allocate fresh so concurrently-live
+          frames never alias *)
+  mutable on_instruction : (Isa.t -> unit) option;
+      (** QoS hook (paper SS5.3): called before every instruction, letting a
+          scheduler pause, deprioritize, or abort this inference in favor of
+          a time-critical one (raise {!Preempted} to abort) *)
+}
+
+exception Preempted
+
+let create ?(max_depth = 100_000) ?(pooling = true) exe =
+  if not (Exe.linked exe) then err "executable has unlinked packed functions";
+  {
+    exe;
+    profiler = Profiler.create ();
+    max_depth;
+    pooling;
+    arenas = Hashtbl.create 4;
+    on_instruction = None;
+  }
+
+(** Install (or clear) the QoS instruction hook. *)
+let set_instruction_hook vm hook = vm.on_instruction <- hook
+
+let now () = Unix.gettimeofday ()
+
+(* Copy a kernel result into a pre-allocated destination tensor (the
+   destination-passing half of invoke_mut). Upper-bound outputs may be
+   smaller than the destination: the exact-extent result replaces it. *)
+let store_output ~upper_bound (dst : Obj.placed) (res : Tensor.t) : Obj.t =
+  if Shape.equal (Tensor.shape res) (Tensor.shape dst.Obj.data) then begin
+    (* blit into the pre-allocated buffer *)
+    Tensor.blit ~src:res ~dst:dst.Obj.data;
+    Obj.Tensor dst
+  end
+  else if upper_bound then
+    (* the kernel reported the true extent; use the exact-shape result *)
+    if Tensor.numel res <= Tensor.numel dst.Obj.data then
+      Obj.Tensor { dst with Obj.data = res }
+    else err "upper-bound output larger than its bound"
+  else
+    err "kernel output shape %a does not match allocation %a" Shape.pp
+      (Tensor.shape res) Shape.pp
+      (Tensor.shape dst.Obj.data)
+
+let storage_bytes (shape_t : Tensor.t) (dtype : Dtype.t) ~alignment =
+  let dims = Tensor.to_shape shape_t in
+  let n = Array.fold_left ( * ) 1 dims in
+  let b = n * Dtype.size_in_bytes dtype in
+  (b + alignment - 1) / alignment * alignment
+
+let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
+  if depth > vm.max_depth then err "VM recursion limit exceeded";
+  let f = vm.exe.Exe.funcs.(fi) in
+  if Array.length args <> f.Exe.arity then
+    err "fn %s: expected %d arguments, got %d" f.Exe.name f.Exe.arity
+      (Array.length args);
+  let regs = Array.make (Stdlib.max f.Exe.register_count (f.Exe.arity + 1)) Obj.unit in
+  Array.blit args 0 regs 0 (Array.length args);
+  let prof = vm.profiler in
+  let set_reg i (o : Obj.t) =
+    (* overwriting the last reference releases the old object *)
+    (match regs.(i) with
+    | Obj.Tensor p ->
+        Nimble_device.Pool.record_free prof.Profiler.pool p.Obj.device
+          ~bytes:(Tensor.size_in_bytes p.Obj.data)
+    | Obj.Storage s when s.Storage.live -> ()
+    | _ -> ());
+    regs.(i) <- o
+  in
+  let get i = regs.(i) in
+  let code = f.Exe.code in
+  let pc = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !pc < 0 || !pc >= Array.length code then
+      err "fn %s: program counter %d out of bounds" f.Exe.name !pc;
+    let instr = code.(!pc) in
+    (match vm.on_instruction with Some hook -> hook instr | None -> ());
+    Profiler.count prof instr;
+    (match instr with
+    | Isa.Move { src; dst } ->
+        regs.(dst) <- get src;
+        incr pc
+    | Isa.Ret { result = r } -> result := Some (get r)
+    | Isa.Invoke { func_index; args; dst } ->
+        let argv = Array.map get args in
+        regs.(dst) <- exec_func vm ~depth:(depth + 1) func_index argv;
+        incr pc
+    | Isa.InvokeClosure { closure; args; dst } ->
+        let func_index, captured = Obj.to_closure (get closure) in
+        let argv = Array.append captured (Array.map get args) in
+        regs.(dst) <- exec_func vm ~depth:(depth + 1) func_index argv;
+        incr pc
+    | Isa.InvokePacked { packed_index; args; outs; upper_bound } ->
+        let packed = Exe.get_packed vm.exe packed_index in
+        let placed_ins = Array.map (fun r -> Obj.to_placed (get r)) args in
+        let placed_outs = Array.map (fun r -> Obj.to_placed (get r)) outs in
+        (* all operands of a packed call share one device (paper §4.4) *)
+        let dev =
+          if Array.length placed_outs > 0 then placed_outs.(0).Obj.device
+          else Nimble_device.Device.cpu
+        in
+        Array.iteri
+          (fun i (p : Obj.placed) ->
+            if not (Nimble_device.Device.equal p.Obj.device dev) then
+              err "packed %s: input %d on %a but kernel on %a (missing device_copy?)"
+                packed.Exe.packed_name i Nimble_device.Device.pp p.Obj.device
+                Nimble_device.Device.pp dev)
+          placed_ins;
+        let t0 = now () in
+        let results = packed.Exe.run (Array.to_list (Array.map (fun p -> p.Obj.data) placed_ins)) in
+        let dt = now () -. t0 in
+        (match packed.Exe.kind with
+        | `Kernel ->
+            prof.Profiler.kernel_seconds <- prof.Profiler.kernel_seconds +. dt;
+            prof.Profiler.kernel_invocations <- prof.Profiler.kernel_invocations + 1
+        | `Shape_func ->
+            prof.Profiler.shape_func_invocations <-
+              prof.Profiler.shape_func_invocations + 1);
+        Profiler.record_kernel prof packed.Exe.packed_name ~seconds:dt;
+        if List.length results <> Array.length outs then
+          err "packed %s: %d results for %d outputs" packed.Exe.packed_name
+            (List.length results) (Array.length outs);
+        List.iteri
+          (fun i res -> regs.(outs.(i)) <- store_output ~upper_bound placed_outs.(i) res)
+          results;
+        incr pc
+    | Isa.AllocStorage { size; alignment; dtype; device_id; arena; dst } ->
+        let t0 = now () in
+        let shape_t = Obj.to_tensor (get size) in
+        let bytes = storage_bytes shape_t dtype ~alignment in
+        let device = Nimble_device.Device.of_id device_id in
+        (* every allocation request is counted; pooled hits just cost less *)
+        Nimble_device.Pool.record_alloc prof.Profiler.pool device ~bytes;
+        let storage =
+          if vm.pooling && depth = 0 then begin
+            let key = Fmt.str "%d:%d:%d:%d" fi !pc device_id bytes in
+            match Hashtbl.find_opt vm.arenas key with
+            | Some cached -> cached
+            | None ->
+                let fresh = Storage.create ~device ~bytes ~is_arena:arena in
+                Hashtbl.replace vm.arenas key fresh;
+                fresh
+          end
+          else Storage.create ~device ~bytes ~is_arena:arena
+        in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. (now () -. t0);
+        set_reg dst (Obj.Storage storage);
+        incr pc
+    | Isa.AllocTensor { storage; offset; shape; dtype; dst } ->
+        let t0 = now () in
+        let s = Obj.to_storage (get storage) in
+        let data = Storage.alloc_tensor s ~offset ~shape ~dtype in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. (now () -. t0);
+        set_reg dst (Obj.Tensor { Obj.data; device = s.Storage.device });
+        incr pc
+    | Isa.AllocTensorReg { storage; offset; shape; dtype; dst } ->
+        let t0 = now () in
+        let s = Obj.to_storage (get storage) in
+        let dims = Tensor.to_shape (Obj.to_tensor (get shape)) in
+        let data = Storage.alloc_tensor s ~offset ~shape:dims ~dtype in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. (now () -. t0);
+        set_reg dst (Obj.Tensor { Obj.data; device = s.Storage.device });
+        incr pc
+    | Isa.AllocADT { tag; fields; dst } ->
+        set_reg dst (Obj.Adt { tag; fields = Array.map get fields });
+        incr pc
+    | Isa.AllocClosure { func_index; captured; dst } ->
+        set_reg dst (Obj.Closure { func_index; captured = Array.map get captured });
+        incr pc
+    | Isa.GetField { obj; index; dst } ->
+        let _, fields = Obj.to_adt (get obj) in
+        if index < 0 || index >= Array.length fields then
+          err "GetField: index %d out of bounds" index;
+        regs.(dst) <- fields.(index);
+        incr pc
+    | Isa.GetTag { obj; dst } ->
+        let tag, _ = Obj.to_adt (get obj) in
+        regs.(dst) <- Obj.int tag;
+        incr pc
+    | Isa.If { test; target; true_offset; false_offset } ->
+        if Obj.scalar_value (get test) = Obj.scalar_value (get target) then
+          pc := !pc + true_offset
+        else pc := !pc + false_offset
+    | Isa.Goto off -> pc := !pc + off
+    | Isa.LoadConst { index; dst } ->
+        if index < 0 || index >= Array.length vm.exe.Exe.constants then
+          err "LoadConst: bad constant index %d" index;
+        (* constants stay in the pool; loading shares, no copy (paper §5.2) *)
+        regs.(dst) <- Obj.tensor vm.exe.Exe.constants.(index);
+        incr pc
+    | Isa.LoadConsti { value; dst } ->
+        set_reg dst (Obj.Int value);
+        incr pc
+    | Isa.DeviceCopy { src; dst_device_id; dst } ->
+        let p = Obj.to_placed (get src) in
+        let device = Nimble_device.Device.of_id dst_device_id in
+        let data = Tensor.copy p.Obj.data in
+        Nimble_device.Pool.record_transfer prof.Profiler.pool ~dst:device
+          ~bytes:(Tensor.size_in_bytes data);
+        set_reg dst (Obj.Tensor { Obj.data; device });
+        incr pc
+    | Isa.ShapeOf { tensor; dst } ->
+        let p = Obj.to_placed (get tensor) in
+        (* shape metadata is host-accessible regardless of placement *)
+        set_reg dst (Obj.tensor (Tensor.shape_tensor p.Obj.data));
+        incr pc
+    | Isa.ReshapeTensor { tensor; shape; dst } ->
+        let p = Obj.to_placed (get tensor) in
+        let dims = Tensor.to_shape (Obj.to_tensor (get shape)) in
+        set_reg dst (Obj.Tensor { Obj.data = Tensor.reshape p.Obj.data dims; device = p.Obj.device });
+        incr pc
+    | Isa.Fatal msg -> err "fatal: %s" msg);
+    ()
+  done;
+  Option.get !result
+
+(* With pooling, result tensors may alias pooled buffers that the next
+   invocation will overwrite; copy them out at the API boundary. *)
+let rec escape_pool (o : Obj.t) : Obj.t =
+  match o with
+  | Obj.Tensor p -> Obj.Tensor { p with Obj.data = Tensor.copy p.Obj.data }
+  | Obj.Adt { tag; fields } -> Obj.Adt { tag; fields = Array.map escape_pool fields }
+  | Obj.Storage _ | Obj.Closure _ | Obj.Int _ -> o
+
+(** Invoke a VM function by name. *)
+let invoke ?(func = "main") vm (args : Obj.t list) : Obj.t =
+  let fi = Exe.func_index vm.exe func in
+  let t0 = now () in
+  let result = exec_func vm ~depth:0 fi (Array.of_list args) in
+  let result = if vm.pooling then escape_pool result else result in
+  vm.profiler.Profiler.total_seconds <-
+    vm.profiler.Profiler.total_seconds +. (now () -. t0);
+  result
+
+(** Convenience: tensor inputs, tensor output. *)
+let run_tensors ?func vm inputs =
+  let args = List.map (fun t -> Obj.tensor t) inputs in
+  Obj.to_tensor (invoke ?func vm args)
+
+let profiler vm = vm.profiler

@@ -1,0 +1,37 @@
+(** The VM interpreter (paper §5.2): a dispatch loop over the 20-instruction
+    ISA with tagged objects, storage pooling, profiling, and QoS hooks. *)
+
+exception Vm_error of string
+
+type t
+
+(** Raised out of {!set_instruction_hook} callbacks to abort the current
+    inference (the paper's §5.3 QoS scenario). *)
+exception Preempted
+
+(** [create exe] builds an interpreter over a fully linked executable.
+
+    @param max_depth recursion guard for [Invoke] (default 100k frames).
+    @param pooling reuse already-allocated storage chunks across top-level
+    invocations — the runtime half of memory planning (default true).
+    Result tensors are copied out of the pool at the API boundary.
+    @raise Vm_error if the executable has unlinked packed functions. *)
+val create : ?max_depth:int -> ?pooling:bool -> Exe.t -> t
+
+(** Install (or clear, with [None]) a hook called before every instruction:
+    a QoS scheduler can count, pause, or abort (raise {!Preempted}) the
+    running inference. *)
+val set_instruction_hook : t -> (Isa.t -> unit) option -> unit
+
+(** Invoke a VM function (default ["main"]) with the given arguments.
+    @raise Vm_error on any runtime fault (bad operands, device mismatch,
+    shape-check failure, recursion overflow). *)
+val invoke : ?func:string -> t -> Obj.t list -> Obj.t
+
+(** Convenience wrapper: tensor inputs, tensor output. *)
+val run_tensors :
+  ?func:string -> t -> Nimble_tensor.Tensor.t list -> Nimble_tensor.Tensor.t
+
+(** The interpreter's profiler: instruction counts, kernel vs other time,
+    allocation time, per-kernel statistics, memory-pool accounting. *)
+val profiler : t -> Profiler.t

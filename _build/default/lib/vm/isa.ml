@@ -1,0 +1,145 @@
+(** The Nimble VM instruction set — exactly the 20 CISC-style instructions
+    of the paper's Table A.1. Registers are frame-local indices into an
+    unbounded virtual register file. *)
+
+open Nimble_tensor
+
+type reg = int
+
+type t =
+  | Move of { src : reg; dst : reg }
+      (** moves data from one register to another *)
+  | Ret of { result : reg }  (** returns to the caller's register *)
+  | Invoke of { func_index : int; args : reg array; dst : reg }
+      (** invokes a global VM function *)
+  | InvokeClosure of { closure : reg; args : reg array; dst : reg }
+      (** invokes a closure *)
+  | InvokePacked of {
+      packed_index : int;
+      args : reg array;  (** input tensors *)
+      outs : reg array;  (** pre-allocated output tensors (in-out) *)
+      upper_bound : bool;
+          (** outputs were allocated from an upper-bound shape function; the
+              kernel reports the exact extent and the result is sliced *)
+    }  (** invokes an optimized operator kernel (or a shape function) *)
+  | AllocStorage of {
+      size : reg;
+      alignment : int;
+      dtype : Dtype.t;
+      device_id : int;
+      arena : bool;  (** coalesced region from the memory planner *)
+      dst : reg;
+    }
+      (** allocates a storage block on a specified device; [size] holds a
+          shape tensor (i64) whose element count times dtype width gives
+          the byte size *)
+  | AllocTensor of { storage : reg; offset : int; shape : int array; dtype : Dtype.t; dst : reg }
+      (** allocates a tensor with a static shape from a storage *)
+  | AllocTensorReg of { storage : reg; offset : int; shape : reg; dtype : Dtype.t; dst : reg }
+      (** allocates a tensor given the shape in a register *)
+  | AllocADT of { tag : int; fields : reg array; dst : reg }
+      (** allocates a data type (tuples use tag 0) *)
+  | AllocClosure of { func_index : int; captured : reg array; dst : reg }
+      (** allocates a closure over a lowered VM function *)
+  | GetField of { obj : reg; index : int; dst : reg }
+  | GetTag of { obj : reg; dst : reg }
+  | If of { test : reg; target : reg; true_offset : int; false_offset : int }
+      (** jumps by [true_offset] when the scalars in [test] and [target]
+          are equal, else by [false_offset] *)
+  | Goto of int  (** unconditional relative jump *)
+  | LoadConst of { index : int; dst : reg }
+      (** loads from the constant pool *)
+  | LoadConsti of { value : int64; dst : reg }  (** loads an immediate *)
+  | DeviceCopy of { src : reg; dst_device_id : int; dst : reg }
+  | ShapeOf of { tensor : reg; dst : reg }
+  | ReshapeTensor of { tensor : reg; shape : reg; dst : reg }
+  | Fatal of string
+
+let opcode = function
+  | Move _ -> 0
+  | Ret _ -> 1
+  | Invoke _ -> 2
+  | InvokeClosure _ -> 3
+  | InvokePacked _ -> 4
+  | AllocStorage _ -> 5
+  | AllocTensor _ -> 6
+  | AllocTensorReg _ -> 7
+  | AllocADT _ -> 8
+  | AllocClosure _ -> 9
+  | GetField _ -> 10
+  | GetTag _ -> 11
+  | If _ -> 12
+  | Goto _ -> 13
+  | LoadConst _ -> 14
+  | LoadConsti _ -> 15
+  | DeviceCopy _ -> 16
+  | ShapeOf _ -> 17
+  | ReshapeTensor _ -> 18
+  | Fatal _ -> 19
+
+let num_opcodes = 20
+
+let opcode_name = function
+  | 0 -> "Move"
+  | 1 -> "Ret"
+  | 2 -> "Invoke"
+  | 3 -> "InvokeClosure"
+  | 4 -> "InvokePacked"
+  | 5 -> "AllocStorage"
+  | 6 -> "AllocTensor"
+  | 7 -> "AllocTensorReg"
+  | 8 -> "AllocADT"
+  | 9 -> "AllocClosure"
+  | 10 -> "GetField"
+  | 11 -> "GetTag"
+  | 12 -> "If"
+  | 13 -> "Goto"
+  | 14 -> "LoadConst"
+  | 15 -> "LoadConsti"
+  | 16 -> "DeviceCopy"
+  | 17 -> "ShapeOf"
+  | 18 -> "ReshapeTensor"
+  | 19 -> "Fatal"
+  | n -> Fmt.str "op%d" n
+
+let pp_regs ppf rs = Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") int) rs
+
+let pp ppf = function
+  | Move { src; dst } -> Fmt.pf ppf "move $%d -> $%d" src dst
+  | Ret { result } -> Fmt.pf ppf "ret $%d" result
+  | Invoke { func_index; args; dst } ->
+      Fmt.pf ppf "invoke fn%d %a -> $%d" func_index pp_regs args dst
+  | InvokeClosure { closure; args; dst } ->
+      Fmt.pf ppf "invoke_closure $%d %a -> $%d" closure pp_regs args dst
+  | InvokePacked { packed_index; args; outs; upper_bound } ->
+      Fmt.pf ppf "invoke_packed packed%d %a -> %a%s" packed_index pp_regs args pp_regs
+        outs
+        (if upper_bound then " (upper_bound)" else "")
+  | AllocStorage { size; alignment; dtype; device_id; arena; dst } ->
+      Fmt.pf ppf "alloc_storage $%d align=%d %a dev=%d%s -> $%d" size alignment
+        Dtype.pp dtype device_id
+        (if arena then " (arena)" else "")
+        dst
+  | AllocTensor { storage; offset; shape; dtype; dst } ->
+      Fmt.pf ppf "alloc_tensor $%d+%d %a %a -> $%d" storage offset Shape.pp shape
+        Dtype.pp dtype dst
+  | AllocTensorReg { storage; offset; shape; dtype; dst } ->
+      Fmt.pf ppf "alloc_tensor_reg $%d+%d shape=$%d %a -> $%d" storage offset shape
+        Dtype.pp dtype dst
+  | AllocADT { tag; fields; dst } ->
+      Fmt.pf ppf "alloc_adt tag=%d %a -> $%d" tag pp_regs fields dst
+  | AllocClosure { func_index; captured; dst } ->
+      Fmt.pf ppf "alloc_closure fn%d %a -> $%d" func_index pp_regs captured dst
+  | GetField { obj; index; dst } -> Fmt.pf ppf "get_field $%d.%d -> $%d" obj index dst
+  | GetTag { obj; dst } -> Fmt.pf ppf "get_tag $%d -> $%d" obj dst
+  | If { test; target; true_offset; false_offset } ->
+      Fmt.pf ppf "if $%d==$%d +%d else +%d" test target true_offset false_offset
+  | Goto off -> Fmt.pf ppf "goto +%d" off
+  | LoadConst { index; dst } -> Fmt.pf ppf "load_const #%d -> $%d" index dst
+  | LoadConsti { value; dst } -> Fmt.pf ppf "load_consti %Ld -> $%d" value dst
+  | DeviceCopy { src; dst_device_id; dst } ->
+      Fmt.pf ppf "device_copy $%d -> dev%d $%d" src dst_device_id dst
+  | ShapeOf { tensor; dst } -> Fmt.pf ppf "shape_of $%d -> $%d" tensor dst
+  | ReshapeTensor { tensor; shape; dst } ->
+      Fmt.pf ppf "reshape_tensor $%d shape=$%d -> $%d" tensor shape dst
+  | Fatal msg -> Fmt.pf ppf "fatal %S" msg

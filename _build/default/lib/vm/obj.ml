@@ -1,0 +1,69 @@
+(** The VM's tagged object representation (paper §5.2).
+
+    Coarse-grained values: tensors (with device placement), storages, ADTs
+    (tuples are the tag-0 ADT), closures, and small integers used by tag
+    tests. *)
+
+open Nimble_tensor
+
+type t =
+  | Tensor of placed
+  | Storage of Storage.t
+  | Adt of { tag : int; fields : t array }
+  | Closure of { func_index : int; captured : t array }
+  | Int of int64
+
+and placed = { data : Tensor.t; device : Nimble_device.Device.t }
+
+let tuple_tag = 0
+
+let unit = Adt { tag = tuple_tag; fields = [||] }
+let tuple fields = Adt { tag = tuple_tag; fields }
+let tensor ?(device = Nimble_device.Device.cpu) data = Tensor { data; device }
+let int i = Int (Int64.of_int i)
+
+exception Object_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Object_error s)) fmt
+
+let to_tensor = function
+  | Tensor p -> p.data
+  | o -> err "expected a tensor, got %s"
+           (match o with
+           | Storage _ -> "storage"
+           | Adt _ -> "adt"
+           | Closure _ -> "closure"
+           | Int _ -> "int"
+           | Tensor _ -> assert false)
+
+let to_placed = function
+  | Tensor p -> p
+  | _ -> err "expected a tensor object"
+
+let to_storage = function
+  | Storage s -> s
+  | _ -> err "expected a storage object"
+
+let to_adt = function
+  | Adt { tag; fields } -> (tag, fields)
+  | _ -> err "expected an ADT object"
+
+let to_closure = function
+  | Closure { func_index; captured } -> (func_index, captured)
+  | _ -> err "expected a closure object"
+
+(** Scalar value used by the [If] instruction's equality test. *)
+let scalar_value = function
+  | Int i -> Int64.to_int i
+  | Tensor { data; _ } when Tensor.numel data = 1 -> Tensor.item_int data
+  | _ -> err "If condition must be a scalar"
+
+let rec pp ppf = function
+  | Tensor { data; device } ->
+      Fmt.pf ppf "%a@%a" Tensor.pp data Nimble_device.Device.pp device
+  | Storage s -> Storage.pp ppf s
+  | Adt { tag; fields } ->
+      Fmt.pf ppf "adt<%d>(%a)" tag Fmt.(array ~sep:(any ", ") pp) fields
+  | Closure { func_index; captured } ->
+      Fmt.pf ppf "closure<fn%d,%d captured>" func_index (Array.length captured)
+  | Int i -> Fmt.pf ppf "%Ld" i

@@ -1,0 +1,89 @@
+(** VM execution profiler.
+
+    Separates kernel-invocation time from everything else (the breakdown of
+    the paper's Table 4), counts instructions per opcode, times allocation
+    instructions (the memory-planning latency study), and owns the memory
+    pool accounting. *)
+
+type t = {
+  instr_counts : int array;
+  mutable kernel_seconds : float;
+  mutable alloc_seconds : float;
+  mutable total_seconds : float;
+  mutable kernel_invocations : int;
+  mutable shape_func_invocations : int;
+  per_kernel : (string, kernel_stat) Hashtbl.t;
+      (** cumulative time and call count per packed function *)
+  pool : Nimble_device.Pool.t;
+}
+
+and kernel_stat = { mutable calls : int; mutable seconds : float }
+
+let create () =
+  {
+    instr_counts = Array.make Isa.num_opcodes 0;
+    kernel_seconds = 0.0;
+    alloc_seconds = 0.0;
+    total_seconds = 0.0;
+    kernel_invocations = 0;
+    shape_func_invocations = 0;
+    per_kernel = Hashtbl.create 32;
+    pool = Nimble_device.Pool.create ();
+  }
+
+let reset t =
+  Array.fill t.instr_counts 0 Isa.num_opcodes 0;
+  t.kernel_seconds <- 0.0;
+  t.alloc_seconds <- 0.0;
+  t.total_seconds <- 0.0;
+  t.kernel_invocations <- 0;
+  t.shape_func_invocations <- 0;
+  Hashtbl.reset t.per_kernel;
+  Nimble_device.Pool.reset t.pool
+
+let record_kernel t name ~seconds =
+  let stat =
+    match Hashtbl.find_opt t.per_kernel name with
+    | Some s -> s
+    | None ->
+        let s = { calls = 0; seconds = 0.0 } in
+        Hashtbl.replace t.per_kernel name s;
+        s
+  in
+  stat.calls <- stat.calls + 1;
+  stat.seconds <- stat.seconds +. seconds
+
+(** The [k] packed functions with the largest cumulative time. *)
+let top_kernels ?(k = 10) t : (string * kernel_stat) list =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.per_kernel []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b.seconds a.seconds)
+  |> List.filteri (fun i _ -> i < k)
+
+let count t instr =
+  let op = Isa.opcode instr in
+  t.instr_counts.(op) <- t.instr_counts.(op) + 1
+
+let total_instrs t = Array.fold_left ( + ) 0 t.instr_counts
+
+(** Time spent outside kernels: the VM's dynamism-handling overhead
+    (Table 4's "others" column). *)
+let other_seconds t = Stdlib.max 0.0 (t.total_seconds -. t.kernel_seconds)
+
+let allocs t = Nimble_device.Pool.total_allocs t.pool
+let transfers t = Nimble_device.Pool.total_transfers t.pool
+
+let pp ppf t =
+  Fmt.pf ppf "total=%.6fs kernels=%.6fs (%d calls) other=%.6fs alloc=%.6fs@."
+    t.total_seconds t.kernel_seconds t.kernel_invocations (other_seconds t)
+    t.alloc_seconds;
+  Array.iteri
+    (fun op n -> if n > 0 then Fmt.pf ppf "  %-16s %d@." (Isa.opcode_name op) n)
+    t.instr_counts;
+  match top_kernels ~k:5 t with
+  | [] -> ()
+  | top ->
+      Fmt.pf ppf "top kernels:@.";
+      List.iter
+        (fun (name, s) ->
+          Fmt.pf ppf "  %-48s %6d calls %10.3f ms@." name s.calls (1e3 *. s.seconds))
+        top

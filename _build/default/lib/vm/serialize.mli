@@ -1,0 +1,19 @@
+(** Binary (de)serialization of VM executables.
+
+    Only the platform-independent part is stored (bytecode in a
+    variable-length instruction encoding, constants, packed-function names);
+    kernel implementations are relinked by name on load, mirroring the
+    paper's split between portable bytecode and platform-dependent kernels. *)
+
+exception Format_error of string
+
+val magic : string
+
+val to_bytes : Exe.t -> string
+
+(** Decode an executable; packed functions come back unlinked.
+    @raise Format_error on bad magic, truncation, or implausible counts. *)
+val of_bytes : string -> Exe.t
+
+val save_file : Exe.t -> string -> unit
+val load_file : string -> Exe.t

@@ -1,0 +1,54 @@
+(** Storage regions produced by the [AllocStorage] instruction.
+
+    A storage is a device-resident byte region from which tensors are
+    (sub-)allocated by [AllocTensor]/[AllocTensorReg]. Suballocation is
+    tracked for accounting — the memory-planning experiment measures
+    allocation counts and peak footprint through {!Nimble_device.Pool}. *)
+
+type buffer = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  id : int;
+  device : Nimble_device.Device.t;
+  bytes : int;
+  is_arena : bool;  (** produced by the memory planner's coalescing *)
+  buffer : buffer;  (** really allocated, so allocation latency is real *)
+  suballocs : (int * int array * Nimble_tensor.Dtype.t, Nimble_tensor.Tensor.t) Hashtbl.t;
+      (** arena suballocation: a tensor at a planned (offset, shape, dtype)
+          is materialized once and reused — allocating from a planned arena
+          costs a lookup, not a malloc, which is what the memory-planning
+          latency experiment measures *)
+  mutable live : bool;
+}
+
+let counter = ref 0
+
+let create ~device ~bytes ~is_arena =
+  incr counter;
+  let buffer = Bigarray.(Array1.create int8_unsigned c_layout (Stdlib.max 1 bytes)) in
+  {
+    id = !counter;
+    device;
+    bytes;
+    is_arena;
+    buffer;
+    suballocs = Hashtbl.create (if is_arena then 32 else 1);
+    live = true;
+  }
+
+(** Allocate — or, when this storage instance is being reused by the
+    runtime pool, re-materialize — a tensor at [offset]. The planner
+    guarantees tensors sharing a (storage, offset) have disjoint lifetimes,
+    so reuse is the intended semantics of suballocation. *)
+let alloc_tensor t ~offset ~(shape : int array) ~dtype =
+  let key = (offset, shape, dtype) in
+  match Hashtbl.find_opt t.suballocs key with
+  | Some cached -> cached
+  | None ->
+      let fresh = Nimble_tensor.Tensor.empty ~dtype shape in
+      Hashtbl.replace t.suballocs key fresh;
+      fresh
+
+let pp ppf t =
+  Fmt.pf ppf "storage#%d(%dB on %a%s)" t.id t.bytes Nimble_device.Device.pp t.device
+    (if t.is_arena then ", arena" else "")

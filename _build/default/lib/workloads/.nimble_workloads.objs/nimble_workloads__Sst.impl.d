@@ -1,0 +1,1 @@
+lib/workloads/sst.ml: Array List Nimble_models Nimble_tensor Rng Stdlib Tensor Tree_lstm

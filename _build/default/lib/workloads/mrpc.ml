@@ -1,0 +1,49 @@
+(** Synthetic stand-in for the Microsoft Research Paraphrase Corpus (MRPC),
+    the paper's variable-length input set for LSTM and BERT.
+
+    Only the sentence-*length* distribution matters to the systems under
+    test (it drives the dynamic shapes); token identities are random. The
+    histogram below approximates MRPC's token-length distribution (most
+    sentences 15-35 tokens, tails to ~60). *)
+
+open Nimble_tensor
+
+(* (length bucket center, relative frequency) *)
+let length_histogram =
+  [| (8, 2.0); (12, 5.0); (16, 9.0); (20, 13.0); (24, 15.0); (28, 14.0);
+     (32, 12.0); (36, 9.0); (40, 7.0); (44, 5.0); (48, 4.0); (52, 2.5);
+     (56, 1.5); (60, 1.0) |]
+
+(** Sample a sentence length. *)
+let sample_length rng =
+  let weights = Array.map snd length_histogram in
+  let bucket = Rng.categorical rng weights in
+  let center = fst length_histogram.(bucket) in
+  Stdlib.max 1 (center - 2 + Rng.int rng 5)
+
+(** A deterministic corpus of [n] sentence lengths. *)
+let lengths ?(seed = 2021) n =
+  let rng = Rng.create ~seed in
+  List.init n (fun _ -> sample_length rng)
+
+(** Mean tokens per sentence over a sampled corpus (used to report
+    microseconds per token, the paper's Tables 1-3 unit). *)
+let mean_length ?(seed = 2021) n =
+  let ls = lengths ~seed n in
+  float_of_int (List.fold_left ( + ) 0 ls) /. float_of_int (Stdlib.max 1 n)
+
+(** Embedded LSTM inputs for a sampled corpus. *)
+let lstm_inputs ?(seed = 2021) (config : Nimble_models.Lstm.config) n :
+    Tensor.t list list =
+  let rng = Rng.create ~seed in
+  List.map
+    (fun len ->
+      List.init len (fun _ ->
+          Tensor.randn ~scale:0.5 rng [| 1; config.Nimble_models.Lstm.input_size |]))
+    (lengths ~seed:(seed + 1) n)
+
+(** Embedded BERT inputs ([(len, H)] matrices) for a sampled corpus. *)
+let bert_inputs ?(seed = 2021) (w : Nimble_models.Bert.weights) n : Tensor.t list =
+  List.map
+    (fun len -> Nimble_models.Bert.embed w (Nimble_models.Bert.random_ids ~seed w ~len))
+    (lengths ~seed:(seed + 2) n)

@@ -1,0 +1,39 @@
+(** Synthetic stand-in for the Stanford Sentiment Treebank (SST), the
+    paper's tree-structured input set for Tree-LSTM.
+
+    SST sentences average ~19 tokens with binary constituency trees; only
+    the tree *shapes* matter to the systems under test. Trees are sampled
+    with random (seeded) splits, producing realistic depth variation. *)
+
+open Nimble_tensor
+open Nimble_models
+
+let length_histogram =
+  [| (6, 4.0); (10, 8.0); (14, 12.0); (18, 15.0); (22, 14.0); (26, 11.0);
+     (30, 8.0); (34, 5.0); (38, 3.0); (42, 2.0) |]
+
+let sample_tokens rng =
+  let weights = Array.map snd length_histogram in
+  let bucket = Rng.categorical rng weights in
+  Stdlib.max 1 (fst length_histogram.(bucket) - 2 + Rng.int rng 5)
+
+(** Sample a random binary tree with [tokens] leaves carrying embeddings. *)
+let sample_tree rng (config : Tree_lstm.config) ~tokens : Tree_lstm.tree =
+  let leaf () =
+    Tree_lstm.Leaf (Tensor.randn ~scale:0.5 rng [| 1; config.Tree_lstm.input_size |])
+  in
+  let rec build n =
+    if n <= 1 then leaf ()
+    else
+      let left = 1 + Rng.int rng (n - 1) in
+      Tree_lstm.Node (build left, build (n - left))
+  in
+  build tokens
+
+(** A deterministic corpus of [n] trees. *)
+let trees ?(seed = 2013) (config : Tree_lstm.config) n : Tree_lstm.tree list =
+  let rng = Rng.create ~seed in
+  List.init n (fun _ -> sample_tree rng config ~tokens:(sample_tokens rng))
+
+let total_tokens ts =
+  List.fold_left (fun acc t -> acc + Tree_lstm.num_tokens t) 0 ts

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bert Eager Fmt Fold Graph_cf Hybrid List Lstm Nimble_baselines Nimble_codegen Nimble_models Nimble_tensor Padded QCheck QCheck_alcotest Rng Tensor Tree_lstm

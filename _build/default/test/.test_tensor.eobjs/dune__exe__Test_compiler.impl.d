@@ -1,0 +1,1 @@
+test/test_compiler.ml: Adt Alcotest Array Attrs Dim Expr Fmt Irmod List Nimble_compiler Nimble_ir Nimble_tensor Nimble_vm Ops_elem Ops_matmul Rng Shape Tensor Ty

@@ -1,0 +1,1 @@
+test/test_decoder.ml: Alcotest Array Decoder Float Fmt Gru List Nimble_compiler Nimble_ir Nimble_models Nimble_tensor Nimble_vm Ops_reduce QCheck QCheck_alcotest Seq2seq Tensor

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Dim Expr Irmod List Nimble_codegen Nimble_compiler Nimble_ir Nimble_tensor Nimble_vm Ops_elem Ops_matmul Rng Shape Tensor Ty

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Attrs Dim Expr Irmod List Nimble_codegen Nimble_compiler Nimble_ir Nimble_tensor Nimble_vm Ops_matmul Ops_nn QCheck QCheck_alcotest Rng Tensor Ty

@@ -1,0 +1,1 @@
+test/test_inline.ml: Adt Alcotest Expr Hashtbl Inline Irmod List Nimble_compiler Nimble_ir Nimble_models Nimble_passes Nimble_tensor Nimble_vm Ops_elem Rng Shape Tensor Ty

@@ -1,0 +1,1 @@
+test/test_ir.ml: Adt Alcotest Attrs Dim Expr Irmod List Nimble_ir Nimble_tensor Op String Tensor Ty

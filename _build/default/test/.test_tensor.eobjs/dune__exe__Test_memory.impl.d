@@ -1,0 +1,1 @@
+test/test_memory.ml: Adt Alcotest Dim Dtype Expr Fmt Irmod List Nimble_compiler Nimble_device Nimble_ir Nimble_models Nimble_tensor Nimble_vm Rng Tensor Ty

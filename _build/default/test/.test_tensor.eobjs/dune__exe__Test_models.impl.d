@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Bert Float Fmt List Lstm Nimble_compiler Nimble_ir Nimble_models Nimble_tensor Nimble_vm Ops_reduce Rng Tensor Tree_lstm Vision

@@ -1,0 +1,1 @@
+test/test_perfsim.ml: Alcotest Estimator Float Framework List Nimble_codegen Nimble_perfsim Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Array Attrs List Nimble_codegen Nimble_ir Nimble_shape Nimble_tensor Ops_nn QCheck QCheck_alcotest Rng Shape Shape_func Tensor

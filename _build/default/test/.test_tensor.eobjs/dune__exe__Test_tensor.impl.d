@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dtype Float Fmt List Nimble_tensor Ops_elem Ops_matmul Ops_nn Ops_reduce Ops_shape QCheck QCheck_alcotest Rng Shape Tensor

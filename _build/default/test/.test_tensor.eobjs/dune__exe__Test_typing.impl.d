@@ -1,0 +1,1 @@
+test/test_typing.ml: Adt Alcotest Attrs Dim Dim_solver Dtype Expr Fmt Infer Irmod Nimble_ir Nimble_tensor Nimble_typing Relations Tensor Ty

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Dtype Exe Interp Isa List Nimble_device Nimble_tensor Nimble_vm Obj Ops_elem Profiler Tensor

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float List Mrpc Nimble_models Nimble_tensor Nimble_workloads QCheck QCheck_alcotest Rng Sst Tensor

@@ -1,0 +1,74 @@
+(* Device substrate tests: ids, pool accounting, peak tracking, transfers. *)
+
+open Nimble_device
+
+let test_device_ids () =
+  Alcotest.(check int) "cpu id" 0 Device.cpu.Device.id;
+  Alcotest.(check int) "gpu id" 1 Device.gpu.Device.id;
+  Alcotest.(check bool) "cpu is cpu" true (Device.is_cpu Device.cpu);
+  Alcotest.(check bool) "gpu not cpu" false (Device.is_cpu Device.gpu);
+  Alcotest.(check bool) "of_id" true (Device.equal (Device.of_id 1) Device.gpu);
+  Alcotest.check_raises "unknown" (Invalid_argument "Device.of_id: unknown device 9")
+    (fun () -> ignore (Device.of_id 9))
+
+let test_pool_alloc_free () =
+  let pool = Pool.create () in
+  Pool.record_alloc pool Device.cpu ~bytes:100;
+  Pool.record_alloc pool Device.cpu ~bytes:200;
+  Pool.record_free pool Device.cpu ~bytes:100;
+  let s = Pool.stats pool Device.cpu in
+  Alcotest.(check int) "allocs" 2 s.Pool.allocs;
+  Alcotest.(check int) "frees" 1 s.Pool.frees;
+  Alcotest.(check int) "live" 200 s.Pool.live_bytes;
+  Alcotest.(check int) "peak" 300 s.Pool.peak_bytes;
+  Alcotest.(check int) "bytes total" 300 s.Pool.bytes_allocated
+
+let test_pool_peak_tracks_max () =
+  let pool = Pool.create () in
+  Pool.record_alloc pool Device.cpu ~bytes:50;
+  Pool.record_free pool Device.cpu ~bytes:50;
+  Pool.record_alloc pool Device.cpu ~bytes:40;
+  Alcotest.(check int) "peak is historical max" 50 (Pool.peak_bytes pool Device.cpu)
+
+let test_pool_per_device_isolation () =
+  let pool = Pool.create () in
+  Pool.record_alloc pool Device.cpu ~bytes:10;
+  Pool.record_alloc pool Device.gpu ~bytes:20;
+  Alcotest.(check int) "cpu live" 10 (Pool.stats pool Device.cpu).Pool.live_bytes;
+  Alcotest.(check int) "gpu live" 20 (Pool.stats pool Device.gpu).Pool.live_bytes;
+  Alcotest.(check int) "total allocs" 2 (Pool.total_allocs pool)
+
+let test_pool_transfers () =
+  let pool = Pool.create () in
+  Pool.record_transfer pool ~dst:Device.gpu ~bytes:4096;
+  Pool.record_transfer pool ~dst:Device.gpu ~bytes:4096;
+  let s = Pool.stats pool Device.gpu in
+  Alcotest.(check int) "count" 2 s.Pool.transfers_in;
+  Alcotest.(check int) "bytes" 8192 s.Pool.transfer_bytes_in;
+  Alcotest.(check int) "total" 2 (Pool.total_transfers pool)
+
+let test_pool_reset () =
+  let pool = Pool.create () in
+  Pool.record_alloc pool Device.cpu ~bytes:10;
+  Pool.reset pool;
+  Alcotest.(check int) "cleared" 0 (Pool.total_allocs pool)
+
+let test_free_never_negative () =
+  let pool = Pool.create () in
+  Pool.record_free pool Device.cpu ~bytes:999;
+  Alcotest.(check int) "clamped" 0 (Pool.stats pool Device.cpu).Pool.live_bytes
+
+let () =
+  Alcotest.run "device"
+    [
+      ("device", [ Alcotest.test_case "ids" `Quick test_device_ids ]);
+      ( "pool",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_pool_alloc_free;
+          Alcotest.test_case "peak" `Quick test_pool_peak_tracks_max;
+          Alcotest.test_case "per-device" `Quick test_pool_per_device_isolation;
+          Alcotest.test_case "transfers" `Quick test_pool_transfers;
+          Alcotest.test_case "reset" `Quick test_pool_reset;
+          Alcotest.test_case "free clamps" `Quick test_free_never_negative;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the second wave of operators (erf, power, where, log_softmax,
+   comparison and logical ops): registry/relations/shape-funcs/kernels agree,
+   and everything compiles end-to-end through the VM. *)
+
+open Nimble_tensor
+open Nimble_ir
+module Nimble = Nimble_compiler.Nimble
+module Interp = Nimble_vm.Interp
+
+let tensor_eq = Alcotest.testable Tensor.pp (Tensor.approx_equal ~atol:1e-4 ~rtol:1e-4)
+let rng = Rng.create ~seed:71
+
+let new_ops =
+  [
+    "erf"; "power"; "less_equal"; "greater_equal"; "not_equal"; "logical_and";
+    "logical_or"; "logical_not"; "where"; "log_softmax";
+  ]
+
+let test_registered_everywhere () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in op registry") true (Op.exists name);
+      Alcotest.(check bool)
+        (name ^ " has type relation")
+        true
+        (Nimble_typing.Relations.find name <> None);
+      Alcotest.(check bool)
+        (name ^ " has shape function")
+        true
+        (Nimble_shape.Shape_func.find name <> None))
+    new_ops
+
+let eval1 name ?(attrs = []) args = Nimble_codegen.Op_eval.eval1 name ~attrs args
+
+let test_kernels () =
+  let x = Tensor.of_float_array [| 3 |] [| 1.; 2.; 3. |] in
+  let y = Tensor.of_float_array [| 3 |] [| 3.; 2.; 1. |] in
+  Alcotest.check tensor_eq "power" (Tensor.of_float_array [| 3 |] [| 1.; 4.; 3. |])
+    (eval1 "power" [ x; y ]);
+  Alcotest.(check (list int)) "le" [ 1; 1; 0 ]
+    (Array.to_list (Tensor.to_int_array (eval1 "less_equal" [ x; y ])));
+  Alcotest.(check (list int)) "ge" [ 0; 1; 1 ]
+    (Array.to_list (Tensor.to_int_array (eval1 "greater_equal" [ x; y ])));
+  Alcotest.(check (list int)) "ne" [ 1; 0; 1 ]
+    (Array.to_list (Tensor.to_int_array (eval1 "not_equal" [ x; y ])));
+  let b0 = Tensor.of_int_array ~dtype:Dtype.U8 [| 2 |] [| 1; 0 |] in
+  let b1 = Tensor.of_int_array ~dtype:Dtype.U8 [| 2 |] [| 1; 1 |] in
+  Alcotest.(check (list int)) "and" [ 1; 0 ]
+    (Array.to_list (Tensor.to_int_array (eval1 "logical_and" [ b0; b1 ])));
+  Alcotest.(check (list int)) "or" [ 1; 1 ]
+    (Array.to_list (Tensor.to_int_array (eval1 "logical_or" [ b0; b1 ])));
+  Alcotest.(check (list int)) "not" [ 0; 1 ]
+    (Array.to_list (Tensor.to_int_array (eval1 "logical_not" [ b0 ])));
+  Alcotest.check tensor_eq "where" (Tensor.of_float_array [| 2 |] [| 9.; 0. |])
+    (eval1 "where" [ b0; Tensor.full [| 2 |] 9.0; Tensor.zeros [| 2 |] ]);
+  (* log_softmax = log(softmax) *)
+  let z = Tensor.randn rng [| 2; 4 |] in
+  Alcotest.check tensor_eq "log_softmax"
+    (Ops_elem.log (Ops_nn.softmax ~axis:1 z))
+    (eval1 "log_softmax" ~attrs:[ ("axis", Attrs.Int 1) ] [ z ])
+
+let test_e2e_through_vm () =
+  (* a graph exercising the new ops, dynamic rows, full pipeline *)
+  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 6 ]) "x" in
+  let body =
+    (* where(x > 0, erf(x), -x) then log_softmax rows *)
+    Expr.op_call ~attrs:[ ("axis", Attrs.Int (-1)) ] "log_softmax"
+      [
+        Expr.op_call "where"
+          [
+            Expr.op_call "greater" [ Expr.Var x; Expr.const_scalar 0.0 ];
+            Expr.op_call "erf" [ Expr.Var x ];
+            Expr.op_call "negative" [ Expr.Var x ];
+          ];
+      ]
+  in
+  let m = Irmod.of_main (Expr.fn_def [ x ] body) in
+  let vm = Nimble.vm (Nimble.compile m) in
+  List.iter
+    (fun rows ->
+      let input = Tensor.randn rng [| rows; 6 |] in
+      let expected =
+        Ops_nn.log_softmax ~axis:(-1)
+          (Ops_elem.where
+             (Ops_elem.greater input (Tensor.scalar 0.0))
+             (Ops_elem.erf input) (Ops_elem.neg input))
+      in
+      Alcotest.check tensor_eq (Fmt.str "rows=%d" rows) expected
+        (Interp.run_tensors vm [ input ]))
+    [ 1; 4; 9 ]
+
+let test_elemwise_new_ops_fuse () =
+  (* erf and where participate in fusion like any elementwise op *)
+  let x = Expr.fresh_var ~ty:(Ty.tensor_of_shape [| 4 |]) "x" in
+  let body = Expr.op_call "erf" [ Expr.op_call "relu" [ Expr.Var x ] ] in
+  let m = Irmod.of_main (Expr.fn_def [ x ] body) in
+  let m = Nimble_passes.Anf.run m in
+  ignore (Nimble_typing.Infer.infer_module m);
+  let m = Nimble_passes.Fusion.run m in
+  let fn = Irmod.func_exn m "main" in
+  match Nimble_passes.Fusion.primitives_of fn.Expr.body with
+  | [ p ] ->
+      Alcotest.(check (list string)) "fused" [ "relu"; "erf" ]
+        (Nimble_passes.Fusion.primitive_ops p)
+  | ps -> Alcotest.failf "expected 1 primitive, got %d" (List.length ps)
+
+let prop_where_select_semantics =
+  QCheck.Test.make ~name:"where = manual select" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (m, n) ->
+      let rng = Rng.create ~seed:(m * 31 + n) in
+      let a = Tensor.randn rng [| m; n |] and b = Tensor.randn rng [| m; n |] in
+      let c = Ops_elem.greater a b in
+      let out = Ops_elem.where c a b in
+      let expected = Ops_elem.maximum a b in
+      Tensor.approx_equal out expected)
+
+let prop_log_softmax_stable =
+  QCheck.Test.make ~name:"log_softmax finite under large inputs" ~count:30
+    (QCheck.int_range 1 5) (fun n ->
+      let rng = Rng.create ~seed:n in
+      let x = Tensor.randn ~scale:100.0 rng [| n; 4 |] in
+      let out = Ops_nn.log_softmax ~axis:1 x in
+      Array.for_all (fun v -> not (Float.is_nan v)) (Tensor.to_float_array out))
+
+let () =
+  Alcotest.run "ops2"
+    [
+      ( "registration",
+        [ Alcotest.test_case "all layers" `Quick test_registered_everywhere ] );
+      ("kernels", [ Alcotest.test_case "values" `Quick test_kernels ]);
+      ( "pipeline",
+        [
+          Alcotest.test_case "e2e through VM" `Quick test_e2e_through_vm;
+          Alcotest.test_case "new ops fuse" `Quick test_elemwise_new_ops_fuse;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_where_select_semantics; prop_log_softmax_stable ] );
+    ]

@@ -1,0 +1,141 @@
+(* Performance simulator tests: roofline behaviour, framework event pricing,
+   overlap, recording/pricing separation. *)
+
+open Nimble_perfsim
+module Trace = Nimble_codegen.Trace
+
+let op flops bytes =
+  Trace.Op_exec { op = "dense"; in_shapes = []; out_shapes = []; flops; bytes }
+
+let fw kind amount = Trace.Framework { kind; amount }
+
+let price ?(framework = Framework.Nimble) ?(platform = Platform.intel_cpu)
+    ?(launch_per_op = false) events =
+  Estimator.price ~platform ~framework ~launch_per_op events
+
+let test_roofline_compute_vs_memory () =
+  (* compute-bound: many flops, few bytes *)
+  let compute = Platform.kernel_seconds Platform.intel_cpu ~flops:600_000_000 ~bytes:8 in
+  Alcotest.(check bool) "compute bound ~1ms" true (compute > 0.5e-3 && compute < 2e-3);
+  (* memory-bound: few flops, many bytes *)
+  let memory = Platform.kernel_seconds Platform.intel_cpu ~flops:8 ~bytes:200_000_000 in
+  Alcotest.(check bool) "memory bound ~1ms" true (memory > 0.5e-3 && memory < 2e-3);
+  Alcotest.(check (float 0.0)) "empty kernel free" 0.0
+    (Platform.kernel_seconds Platform.intel_cpu ~flops:0 ~bytes:0)
+
+let test_efficiency_ramp () =
+  let small = Platform.efficiency Platform.nvidia_gpu ~flops:1000 in
+  let large = Platform.efficiency Platform.nvidia_gpu ~flops:1_000_000_000 in
+  Alcotest.(check bool) "small inefficient" true (small < 0.01);
+  Alcotest.(check bool) "large efficient" true (large > 0.9)
+
+let test_gpu_kernel_floor () =
+  (* tiny kernels on the GPU hit the wave-latency floor; the same kernel on
+     the CPU does not — the effect behind small-LSTM being slower on T4 *)
+  let tiny_gpu = Platform.kernel_seconds Platform.nvidia_gpu ~flops:100 ~bytes:100 in
+  let tiny_cpu = Platform.kernel_seconds Platform.intel_cpu ~flops:100 ~bytes:100 in
+  Alcotest.(check bool) "gpu floor" true (tiny_gpu >= 6e-6);
+  Alcotest.(check bool) "cpu cheaper for tiny kernels" true (tiny_cpu < tiny_gpu)
+
+let test_arm_slower () =
+  let f p = Platform.kernel_seconds p ~flops:50_000_000 ~bytes:1_000_000 in
+  Alcotest.(check bool) "arm slower than intel" true
+    (f Platform.arm_cpu > 3.0 *. f Platform.intel_cpu)
+
+let test_framework_event_pricing () =
+  let b = price ~framework:Framework.Pytorch [ fw "eager_dispatch" 100 ] in
+  Alcotest.(check bool) "host time" true (b.Estimator.host_s > 0.0);
+  (* ARM host work scales by host_speed *)
+  let arm = price ~framework:Framework.Pytorch ~platform:Platform.arm_cpu [ fw "eager_dispatch" 100 ] in
+  Alcotest.(check bool) "arm scales" true
+    (arm.Estimator.host_s > 2.0 *. b.Estimator.host_s);
+  (* unknown events are free *)
+  let z = price [ fw "unknown_event" 1000 ] in
+  Alcotest.(check (float 0.0)) "unknown free" 0.0 z.Estimator.host_s
+
+let test_launch_per_op () =
+  let events = [ op 1000 1000; op 1000 1000; op 1000 1000 ] in
+  let with_launch = price ~launch_per_op:true events in
+  let without = price ~launch_per_op:false events in
+  Alcotest.(check bool) "launches counted" true
+    (with_launch.Estimator.launch_s > without.Estimator.launch_s);
+  Alcotest.(check int) "kernel count" 3 with_launch.Estimator.kernels
+
+let test_vm_events () =
+  let b =
+    price [ fw "vm_instruction" 100; fw "vm_kernel_launch" 10; fw "vm_transfer_bytes" 12_000_000 ]
+      ~platform:Platform.nvidia_gpu
+  in
+  Alcotest.(check bool) "instr time" true (b.Estimator.host_s > 0.0);
+  Alcotest.(check bool) "launch time" true (b.Estimator.launch_s > 0.0);
+  (* 12MB over 12GB/s PCIe = 1ms *)
+  Alcotest.(check bool) "transfer time ~1ms" true
+    (b.Estimator.transfer_s > 0.8e-3 && b.Estimator.transfer_s < 1.2e-3)
+
+let test_gpu_overlap () =
+  let events = [ op 1_000_000 1_000_000; fw "eager_dispatch" 1000 ] in
+  let b = price ~framework:Framework.Pytorch ~platform:Platform.nvidia_gpu ~launch_per_op:true events in
+  let total = Estimator.total Platform.nvidia_gpu Framework.Pytorch b in
+  let no_overlap = b.Estimator.kernel_s +. b.Estimator.launch_s +. b.Estimator.host_s in
+  Alcotest.(check bool) "overlap hides host work" true (total < no_overlap);
+  (* CPU: no overlap *)
+  let bc = price ~framework:Framework.Pytorch ~platform:Platform.intel_cpu ~launch_per_op:true events in
+  let tc = Estimator.total Platform.intel_cpu Framework.Pytorch bc in
+  Alcotest.(check bool) "cpu adds everything" true
+    (Float.abs (tc -. (bc.Estimator.kernel_s +. bc.Estimator.launch_s +. bc.Estimator.host_s)) < 1e-12)
+
+let test_lib_quality_portability_claim () =
+  (* Nimble holds quality 1 on ARM; frameworks degrade, worse for small kernels *)
+  let q fw flops = Framework.lib_quality fw Platform.arm_cpu ~flops in
+  Alcotest.(check (float 1e-9)) "nimble portable" 1.0 (q Framework.Nimble 1000);
+  Alcotest.(check bool) "pytorch degrades" true (q Framework.Pytorch 1_000_000_000 > 2.0);
+  Alcotest.(check bool) "small kernels worse" true
+    (q Framework.Pytorch 100_000 > q Framework.Pytorch 1_000_000_000);
+  (* on Intel the first-tier libraries hold up *)
+  Alcotest.(check (float 1e-9)) "pytorch intel" 1.0
+    (Framework.lib_quality Framework.Pytorch Platform.intel_cpu ~flops:1000)
+
+let test_record_then_price () =
+  let result, events =
+    Estimator.record (fun () ->
+        Trace.record_framework "eager_dispatch" ~amount:5 ();
+        17)
+  in
+  Alcotest.(check int) "result passes through" 17 result;
+  Alcotest.(check int) "events captured" 1 (List.length events);
+  (* the same recording prices differently per platform *)
+  let intel = price ~framework:Framework.Pytorch events in
+  let arm = price ~framework:Framework.Pytorch ~platform:Platform.arm_cpu events in
+  Alcotest.(check bool) "platform matters" true (arm.Estimator.host_s > intel.Estimator.host_s)
+
+let prop_latency_monotone_in_flops =
+  QCheck.Test.make ~name:"kernel time monotone in flops" ~count:50
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (f1, f2) ->
+      let lo = min f1 f2 and hi = max f1 f2 in
+      Platform.kernel_seconds Platform.intel_cpu ~flops:lo ~bytes:0
+      <= Platform.kernel_seconds Platform.intel_cpu ~flops:hi ~bytes:0 +. 1e-15)
+
+let () =
+  Alcotest.run "perfsim"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "roofline" `Quick test_roofline_compute_vs_memory;
+          Alcotest.test_case "efficiency ramp" `Quick test_efficiency_ramp;
+          Alcotest.test_case "gpu kernel floor" `Quick test_gpu_kernel_floor;
+          Alcotest.test_case "arm slower" `Quick test_arm_slower;
+          QCheck_alcotest.to_alcotest prop_latency_monotone_in_flops;
+        ] );
+      ( "framework",
+        [
+          Alcotest.test_case "event pricing" `Quick test_framework_event_pricing;
+          Alcotest.test_case "launch per op" `Quick test_launch_per_op;
+          Alcotest.test_case "vm events" `Quick test_vm_events;
+          Alcotest.test_case "gpu overlap" `Quick test_gpu_overlap;
+          Alcotest.test_case "library quality (portability)" `Quick
+            test_lib_quality_portability_claim;
+        ] );
+      ( "estimator",
+        [ Alcotest.test_case "record then price" `Quick test_record_then_price ] );
+    ]

@@ -1,0 +1,175 @@
+(* Serialization tests: instruction/tensor/executable round trips, file IO,
+   relinking, corrupt-input rejection — the deployment flow of §5. *)
+
+open Nimble_tensor
+open Nimble_ir
+open Nimble_vm
+module Nimble = Nimble_compiler.Nimble
+
+let tensor_eq = Alcotest.testable Tensor.pp (Tensor.approx_equal ~atol:1e-6 ~rtol:1e-6)
+let rng = Rng.create ~seed:31
+
+let sample_instrs : Isa.t list =
+  [
+    Isa.Move { src = 1; dst = 2 };
+    Isa.Ret { result = 0 };
+    Isa.Invoke { func_index = 3; args = [| 1; 2 |]; dst = 4 };
+    Isa.InvokeClosure { closure = 0; args = [| 7 |]; dst = 1 };
+    Isa.InvokePacked { packed_index = 2; args = [| 0; 1 |]; outs = [| 3 |]; upper_bound = true };
+    Isa.AllocStorage
+      { size = 1; alignment = 64; dtype = Dtype.F32; device_id = 1; arena = true; dst = 2 };
+    Isa.AllocTensor { storage = 0; offset = 128; shape = [| 2; 3 |]; dtype = Dtype.I64; dst = 1 };
+    Isa.AllocTensorReg { storage = 0; offset = 0; shape = 5; dtype = Dtype.U8; dst = 6 };
+    Isa.AllocADT { tag = 4; fields = [| 1; 2; 3 |]; dst = 0 };
+    Isa.AllocClosure { func_index = 9; captured = [||]; dst = 1 };
+    Isa.GetField { obj = 1; index = 2; dst = 3 };
+    Isa.GetTag { obj = 4; dst = 5 };
+    Isa.If { test = 1; target = 2; true_offset = 3; false_offset = -4 };
+    Isa.Goto (-7);
+    Isa.LoadConst { index = 12; dst = 1 };
+    Isa.LoadConsti { value = -123456789L; dst = 2 };
+    Isa.DeviceCopy { src = 1; dst_device_id = 1; dst = 2 };
+    Isa.ShapeOf { tensor = 3; dst = 4 };
+    Isa.ReshapeTensor { tensor = 1; shape = 2; dst = 3 };
+    Isa.Fatal "match failure";
+  ]
+
+let roundtrip exe = Serialize.of_bytes (Serialize.to_bytes exe)
+
+let test_every_instruction_roundtrips () =
+  let exe =
+    Exe.create
+      ~funcs:
+        [|
+          {
+            Exe.name = "main";
+            arity = 2;
+            register_count = 16;
+            code = Array.of_list sample_instrs;
+          };
+        |]
+      ~constants:[||] ~packed_names:[||]
+  in
+  let back = roundtrip exe in
+  Alcotest.(check int) "instr count" (List.length sample_instrs)
+    (Array.length back.Exe.funcs.(0).Exe.code);
+  List.iteri
+    (fun i orig ->
+      let got = back.Exe.funcs.(0).Exe.code.(i) in
+      Alcotest.(check string)
+        (Fmt.str "instr %d" i)
+        (Fmt.str "%a" Isa.pp orig)
+        (Fmt.str "%a" Isa.pp got))
+    sample_instrs
+
+let test_tensor_constants_roundtrip () =
+  let constants =
+    [|
+      Tensor.randn rng [| 3; 4 |];
+      Tensor.of_int_array ~dtype:Dtype.I64 [| 2 |] [| -5; 1000000 |];
+      Tensor.of_int_array ~dtype:Dtype.I32 [| 2 |] [| -5; 7 |];
+      Tensor.of_int_array ~dtype:Dtype.U8 [| 3 |] [| 0; 128; 255 |];
+      Tensor.randn ~dtype:Dtype.F64 rng [| 2; 2 |];
+      Tensor.scalar 3.5;
+    |]
+  in
+  let exe =
+    Exe.create
+      ~funcs:[| { Exe.name = "main"; arity = 0; register_count = 1; code = [| Isa.Ret { result = 0 } |] } |]
+      ~constants ~packed_names:[||]
+  in
+  let back = roundtrip exe in
+  Array.iteri
+    (fun i t ->
+      (* f32 constants lose at most float32 precision *)
+      Alcotest.(check bool)
+        (Fmt.str "const %d" i)
+        true
+        (Tensor.approx_equal ~atol:1e-5 ~rtol:1e-5 t back.Exe.constants.(i)))
+    constants
+
+let test_packed_names_and_relink () =
+  let exe =
+    Exe.create
+      ~funcs:[| { Exe.name = "main"; arity = 0; register_count = 1; code = [| Isa.Ret { result = 0 } |] } |]
+      ~constants:[||]
+      ~packed_names:[| ("k1", `Kernel); ("k1$shape", `Shape_func) |]
+  in
+  let back = roundtrip exe in
+  Alcotest.(check bool) "unlinked after load" false (Exe.linked back);
+  Exe.link back { Exe.packed_name = "k1"; kind = `Kernel; run = (fun x -> x) };
+  Exe.link back { Exe.packed_name = "k1$shape"; kind = `Shape_func; run = (fun x -> x) };
+  Alcotest.(check bool) "linked" true (Exe.linked back);
+  Alcotest.check_raises "unknown name"
+    (Invalid_argument "Exe.link: executable has no packed function nope") (fun () ->
+      Exe.link back { Exe.packed_name = "nope"; kind = `Kernel; run = (fun x -> x) })
+
+let test_compiled_module_roundtrip_and_run () =
+  (* full flow: compile -> serialize -> load -> relink -> run *)
+  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 6 ]) "x" in
+  let w = Tensor.randn rng [| 4; 6 |] in
+  let body = Expr.op_call "relu" [ Expr.op_call "dense" [ Expr.Var x; Expr.Const w ] ] in
+  let m = Irmod.of_main (Expr.fn_def [ x ] body) in
+  let exe = Nimble.compile m in
+  let loaded = roundtrip exe in
+  List.iter (Exe.link loaded) (Nimble_compiler.Emitter.link_table m);
+  let input = Tensor.randn rng [| 5; 6 |] in
+  let out = Interp.run_tensors (Interp.create loaded) [ input ] in
+  Alcotest.check tensor_eq "same result" (Ops_elem.relu (Ops_matmul.dense input w)) out
+
+let test_file_roundtrip () =
+  let exe =
+    Exe.create
+      ~funcs:[| { Exe.name = "main"; arity = 0; register_count = 1; code = [| Isa.Ret { result = 0 } |] } |]
+      ~constants:[| Tensor.ones [| 2 |] |]
+      ~packed_names:[||]
+  in
+  let path = Filename.temp_file "nimble_test" ".exe" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with _ -> ())
+    (fun () ->
+      Serialize.save_file exe path;
+      let back = Serialize.load_file path in
+      Alcotest.(check int) "constants" 1 (Array.length back.Exe.constants))
+
+let test_corrupt_input_rejected () =
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Serialize.of_bytes "NOTANEXE++++");
+       false
+     with Serialize.Format_error _ -> true);
+  Alcotest.(check bool) "truncated" true
+    (try
+       ignore (Serialize.of_bytes "NMBLEXE1\x05");
+       false
+     with Serialize.Format_error _ -> true);
+  (* valid header, garbage body *)
+  Alcotest.(check bool) "garbage body" true
+    (try
+       ignore (Serialize.of_bytes ("NMBLEXE1" ^ String.make 40 '\xff'));
+       false
+     with Serialize.Format_error _ -> true)
+
+let prop_lstm_exe_roundtrip_stable =
+  QCheck.Test.make ~name:"serialized size deterministic" ~count:5 QCheck.unit (fun () ->
+      let w = Nimble_models.Lstm.init_weights Nimble_models.Lstm.small_config in
+      let exe = Nimble.compile (Nimble_models.Lstm.ir_module w) in
+      let b1 = Serialize.to_bytes exe in
+      let b2 = Serialize.to_bytes (roundtrip exe) in
+      String.length b1 = String.length b2)
+
+let () =
+  Alcotest.run "serialize"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "every instruction" `Quick test_every_instruction_roundtrips;
+          Alcotest.test_case "tensor constants" `Quick test_tensor_constants_roundtrip;
+          Alcotest.test_case "packed names + relink" `Quick test_packed_names_and_relink;
+          Alcotest.test_case "compiled module runs after reload" `Quick
+            test_compiled_module_roundtrip_and_run;
+          Alcotest.test_case "file io" `Quick test_file_roundtrip;
+          QCheck_alcotest.to_alcotest prop_lstm_exe_roundtrip_stable;
+        ] );
+      ("robustness", [ Alcotest.test_case "corrupt input" `Quick test_corrupt_input_rejected ]);
+    ]

@@ -1,0 +1,155 @@
+(* Shape-function tests (paper §4.2): the three modes, runtime shape
+   computation, the fusion policy predicate, and agreement between shape
+   functions and actual kernel outputs. *)
+
+open Nimble_tensor
+open Nimble_ir
+open Nimble_shape
+
+let shapes_eq =
+  Alcotest.(list (array int))
+
+let run name ?(attrs = Attrs.empty) inputs = Shape_func.run name ~attrs inputs
+
+let test_modes () =
+  Alcotest.(check string) "dense" "data_independent"
+    (Shape_func.mode_to_string (Shape_func.mode_of "dense"));
+  Alcotest.(check string) "arange" "data_dependent"
+    (Shape_func.mode_to_string (Shape_func.mode_of "arange"));
+  Alcotest.(check string) "unique" "data_dependent"
+    (Shape_func.mode_to_string (Shape_func.mode_of "unique"));
+  Alcotest.(check string) "nms" "upper_bound"
+    (Shape_func.mode_to_string (Shape_func.mode_of "nms"))
+
+let test_fusion_policy_predicate () =
+  (* ops with data-independent shape functions may consume fused inputs *)
+  Alcotest.(check bool) "dense fusible" true (Shape_func.fusible_as_consumer "dense");
+  Alcotest.(check bool) "add fusible" true (Shape_func.fusible_as_consumer "add");
+  (* data-dependent / upper-bound may not (paper's fusion policy) *)
+  Alcotest.(check bool) "arange not" false (Shape_func.fusible_as_consumer "arange");
+  Alcotest.(check bool) "unique not" false (Shape_func.fusible_as_consumer "unique");
+  Alcotest.(check bool) "nms not" false (Shape_func.fusible_as_consumer "nms")
+
+let test_data_indep_funcs () =
+  Alcotest.check shapes_eq "dense"
+    [ [| 3; 8 |] ]
+    (run "dense" [ Shape_func.shape_only [| 3; 16 |]; Shape_func.shape_only [| 8; 16 |] ]);
+  Alcotest.check shapes_eq "broadcast add"
+    [ [| 4; 5 |] ]
+    (run "add" [ Shape_func.shape_only [| 4; 1 |]; Shape_func.shape_only [| 5 |] ]);
+  Alcotest.check shapes_eq "conv"
+    [ [| 1; 8; 16; 16 |] ]
+    (run "conv2d"
+       ~attrs:[ ("stride", Attrs.Int 2); ("padding", Attrs.Int 1) ]
+       [ Shape_func.shape_only [| 1; 3; 32; 32 |]; Shape_func.shape_only [| 8; 3; 3; 3 |] ]);
+  Alcotest.check shapes_eq "split"
+    [ [| 2; 4 |]; [| 2; 4 |] ]
+    (run "split"
+       ~attrs:[ ("axis", Attrs.Int 1); ("sections", Attrs.Int 2) ]
+       [ Shape_func.shape_only [| 2; 8 |] ])
+
+let test_data_indep_rejects_residual_violation () =
+  (* runtime check: dense reduction mismatch is caught by the shape func *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (run "dense" [ Shape_func.shape_only [| 3; 15 |]; Shape_func.shape_only [| 8; 16 |] ]);
+       false
+     with Shape_func.Shape_func_error _ -> true)
+
+let test_data_dep_funcs () =
+  let scalar v = Shape_func.with_data (Tensor.scalar v) in
+  Alcotest.check shapes_eq "arange" [ [| 5 |] ]
+    (run "arange" [ scalar 0.0; scalar 10.0; scalar 2.0 ]);
+  Alcotest.check shapes_eq "arange empty" [ [| 0 |] ]
+    (run "arange" [ scalar 5.0; scalar 1.0; scalar 1.0 ]);
+  let t = Tensor.of_float_array [| 6 |] [| 1.; 1.; 2.; 3.; 3.; 3. |] in
+  Alcotest.check shapes_eq "unique" [ [| 3 |] ] (run "unique" [ Shape_func.with_data t ])
+
+let test_data_dep_requires_values () =
+  Alcotest.(check bool) "raises without data" true
+    (try
+       ignore (run "arange" (List.init 3 (fun _ -> Shape_func.shape_only [||])));
+       false
+     with Shape_func.Shape_func_error _ -> true)
+
+let test_upper_bound_is_bound () =
+  (* nms shape function returns the bound from shapes alone *)
+  Alcotest.check shapes_eq "bound" [ [| 7; 5 |] ]
+    (run "nms" [ Shape_func.shape_only [| 7; 5 |] ]);
+  (* and the real kernel never exceeds it *)
+  let rng = Rng.create ~seed:5 in
+  let boxes = Tensor.rand_uniform rng ~lo:0.0 ~hi:30.0 [| 7; 5 |] in
+  let out = Ops_nn.nms boxes in
+  Alcotest.(check bool) "kernel within bound" true ((Tensor.shape out).(0) <= 7)
+
+(* Property: for data-independent ops, the shape function agrees with the
+   kernel's actual output shape. *)
+let agree name ?(attrs = Attrs.empty) inputs =
+  let predicted = run name ~attrs (List.map Shape_func.with_data inputs) in
+  let actual = Nimble_codegen.Op_eval.eval name ~attrs inputs in
+  List.length predicted = List.length actual
+  && List.for_all2 (fun p a -> Shape.equal p (Tensor.shape a)) predicted actual
+
+let test_shape_func_agrees_with_kernels () =
+  let rng = Rng.create ~seed:9 in
+  List.iter
+    (fun (name, attrs, inputs) ->
+      Alcotest.(check bool) name true (agree name ~attrs inputs))
+    [
+      ("dense", [], [ Tensor.randn rng [| 5; 12 |]; Tensor.randn rng [| 7; 12 |] ]);
+      ("add", [], [ Tensor.randn rng [| 3; 1 |]; Tensor.randn rng [| 1; 4 |] ]);
+      ("tanh", [], [ Tensor.randn rng [| 2; 2 |] ]);
+      ( "transpose",
+        [ ("axes", Attrs.Ints [ 1; 0; 2 ]) ],
+        [ Tensor.randn rng [| 2; 3; 4 |] ] );
+      ( "strided_slice",
+        [ ("begins", Attrs.Ints [ 1; 0 ]); ("ends", Attrs.Ints [ 3; 2 ]) ],
+        [ Tensor.randn rng [| 4; 4 |] ] );
+      ("sum", [ ("axis", Attrs.Int 0) ], [ Tensor.randn rng [| 3; 5 |] ]);
+      ( "max_pool2d",
+        [ ("window", Attrs.Int 2); ("stride", Attrs.Int 2) ],
+        [ Tensor.randn rng [| 1; 2; 8; 8 |] ] );
+      ("concat", [ ("axis", Attrs.Int 0) ],
+        [ Tensor.randn rng [| 2; 3 |]; Tensor.randn rng [| 4; 3 |] ]);
+      ("reshape", [ ("newshape", Attrs.Ints [ 6; -1 ]) ], [ Tensor.randn rng [| 3; 8 |] ]);
+    ]
+
+let prop_dense_shape_func =
+  QCheck.Test.make ~name:"dense shape func = kernel shape" ~count:50
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range 1 6))
+    (fun (m, n, k) ->
+      let rng = Rng.create ~seed:(m + n + k) in
+      agree "dense" [ Tensor.randn rng [| m; k |]; Tensor.randn rng [| n; k |] ])
+
+let prop_arange_shape_func =
+  QCheck.Test.make ~name:"arange shape func = kernel shape" ~count:50
+    QCheck.(pair (int_range 0 20) (int_range 1 4))
+    (fun (stop, step) ->
+      agree "arange"
+        [ Tensor.scalar 0.0; Tensor.scalar (float_of_int stop); Tensor.scalar (float_of_int step) ])
+
+let () =
+  Alcotest.run "shape_func"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "classification" `Quick test_modes;
+          Alcotest.test_case "fusion policy" `Quick test_fusion_policy_predicate;
+        ] );
+      ( "data_indep",
+        [
+          Alcotest.test_case "computations" `Quick test_data_indep_funcs;
+          Alcotest.test_case "residual check" `Quick test_data_indep_rejects_residual_violation;
+        ] );
+      ( "data_dep",
+        [
+          Alcotest.test_case "computations" `Quick test_data_dep_funcs;
+          Alcotest.test_case "requires values" `Quick test_data_dep_requires_values;
+        ] );
+      ("upper_bound", [ Alcotest.test_case "nms bound" `Quick test_upper_bound_is_bound ]);
+      ( "agreement",
+        Alcotest.test_case "shape funcs match kernels" `Quick test_shape_func_agrees_with_kernels
+        :: List.map QCheck_alcotest.to_alcotest [ prop_dense_shape_func; prop_arange_shape_func ]
+      );
+    ]

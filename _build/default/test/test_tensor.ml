@@ -1,0 +1,462 @@
+(* Tensor substrate tests: shapes, broadcasting, creation, elementwise ops,
+   matmul/dense, reductions, shape ops and NN ops — plus qcheck properties
+   on the core invariants. *)
+
+open Nimble_tensor
+
+let tensor_eq = Alcotest.testable Tensor.pp (Tensor.approx_equal ~atol:1e-5 ~rtol:1e-5)
+let rng = Rng.create ~seed:3
+
+(* ---------------------------- shapes ---------------------------- *)
+
+let test_numel_rank () =
+  Alcotest.(check int) "numel" 24 (Shape.numel [| 2; 3; 4 |]);
+  Alcotest.(check int) "numel scalar" 1 (Shape.numel [||]);
+  Alcotest.(check int) "numel zero" 0 (Shape.numel [| 2; 0; 4 |]);
+  Alcotest.(check int) "rank" 3 (Shape.rank [| 2; 3; 4 |])
+
+let test_strides () =
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides [| 2; 3; 4 |]);
+  Alcotest.(check (array int)) "strides rank1" [| 1 |] (Shape.strides [| 7 |])
+
+let test_linear_unravel () =
+  let s = [| 2; 3; 4 |] in
+  Alcotest.(check int) "linear" 23 (Shape.linear_index s [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "unravel" [| 1; 2; 3 |] (Shape.unravel s 23);
+  Alcotest.check_raises "oob" (Shape.Shape_error "index 3 out of bounds for dim 1 of (2, 3, 4)")
+    (fun () -> ignore (Shape.linear_index s [| 0; 3; 0 |]))
+
+let test_broadcast () =
+  let check_bc a b expected =
+    match (Shape.broadcast a b, expected) with
+    | Some got, Some want -> Alcotest.(check (array int)) "bc" want got
+    | None, None -> ()
+    | Some got, None -> Alcotest.failf "expected failure, got %a" Shape.pp got
+    | None, Some _ -> Alcotest.fail "expected success"
+  in
+  check_bc [| 4; 1 |] [| 1; 5 |] (Some [| 4; 5 |]);
+  check_bc [| 5 |] [| 3; 5 |] (Some [| 3; 5 |]);
+  check_bc [||] [| 2; 2 |] (Some [| 2; 2 |]);
+  check_bc [| 3 |] [| 4 |] None;
+  check_bc [| 2; 3 |] [| 3; 2 |] None
+
+let test_reshape_resolve () =
+  Alcotest.(check (array int)) "-1 inference" [| 4; 6 |]
+    (Shape.resolve_reshape ~from:[| 2; 3; 4 |] [| 4; -1 |]);
+  Alcotest.check_raises "bad count" (Shape.Shape_error "reshape from (2, 3) to (4, 2) changes element count")
+    (fun () -> ignore (Shape.resolve_reshape ~from:[| 2; 3 |] [| 4; 2 |]))
+
+(* ---------------------------- tensors ---------------------------- *)
+
+let test_create_fill () =
+  let t = Tensor.full [| 2; 3 |] 1.5 in
+  Alcotest.(check (float 0.0)) "get" 1.5 (Tensor.get t [| 1; 2 |]);
+  Alcotest.(check int) "bytes f32" 24 (Tensor.size_in_bytes t);
+  let z = Tensor.zeros ~dtype:Dtype.I64 [| 4 |] in
+  Alcotest.(check int) "i64 bytes" 32 (Tensor.size_in_bytes z)
+
+let test_dtype_roundtrip () =
+  List.iter
+    (fun dt ->
+      let t = Tensor.of_float_array ~dtype:dt [| 3 |] [| 1.0; 2.0; 3.0 |] in
+      Alcotest.(check (list (float 0.0)))
+        (Dtype.to_string dt)
+        [ 1.0; 2.0; 3.0 ]
+        (Array.to_list (Tensor.to_float_array t)))
+    Dtype.all
+
+let test_u8_wraps () =
+  let t = Tensor.of_int_array ~dtype:Dtype.U8 [| 2 |] [| 256; 300 |] in
+  Alcotest.(check (list int)) "wrap" [ 0; 44 ] (Array.to_list (Tensor.to_int_array t))
+
+let test_copy_independent () =
+  let a = Tensor.zeros [| 3 |] in
+  let b = Tensor.copy a in
+  Tensor.set_float b 0 9.0;
+  Alcotest.(check (float 0.0)) "original untouched" 0.0 (Tensor.get_float a 0)
+
+let test_blit () =
+  let a = Tensor.of_float_array [| 3 |] [| 1.; 2.; 3. |] in
+  let b = Tensor.zeros [| 3 |] in
+  Tensor.blit ~src:a ~dst:b;
+  Alcotest.check tensor_eq "blit" a b
+
+(* ---------------------------- elementwise ---------------------------- *)
+
+let t123 = Tensor.of_float_array [| 3 |] [| 1.; 2.; 3. |]
+
+let test_add_broadcast () =
+  let a = Tensor.of_float_array [| 2; 1 |] [| 10.; 20. |] in
+  let out = Ops_elem.add a t123 in
+  Alcotest.check tensor_eq "broadcast add"
+    (Tensor.of_float_array [| 2; 3 |] [| 11.; 12.; 13.; 21.; 22.; 23. |])
+    out
+
+let test_activations () =
+  let x = Tensor.of_float_array [| 2 |] [| -1.0; 2.0 |] in
+  Alcotest.check tensor_eq "relu" (Tensor.of_float_array [| 2 |] [| 0.0; 2.0 |]) (Ops_elem.relu x);
+  let s = Ops_elem.sigmoid (Tensor.zeros [| 1 |]) in
+  Alcotest.(check (float 1e-6)) "sigmoid(0)" 0.5 (Tensor.get_float s 0);
+  let t = Ops_elem.tanh (Tensor.zeros [| 1 |]) in
+  Alcotest.(check (float 1e-6)) "tanh(0)" 0.0 (Tensor.get_float t 0)
+
+let test_comparisons_bool_dtype () =
+  let out = Ops_elem.less t123 (Tensor.full [| 3 |] 2.5) in
+  Alcotest.(check string) "u8" "uint8" (Dtype.to_string (Tensor.dtype out));
+  Alcotest.(check (list int)) "values" [ 1; 1; 0 ] (Array.to_list (Tensor.to_int_array out))
+
+let test_where () =
+  let cond = Tensor.of_int_array ~dtype:Dtype.U8 [| 3 |] [| 1; 0; 1 |] in
+  let out = Ops_elem.where cond t123 (Tensor.full [| 3 |] 9.0) in
+  Alcotest.check tensor_eq "where" (Tensor.of_float_array [| 3 |] [| 1.; 9.; 3. |]) out
+
+let test_erf_reference_points () =
+  let x = Tensor.of_float_array [| 3 |] [| 0.0; 1.0; -1.0 |] in
+  let out = Ops_elem.erf x in
+  Alcotest.(check (float 1e-4)) "erf(0)" 0.0 (Tensor.get_float out 0);
+  Alcotest.(check (float 1e-4)) "erf(1)" 0.8427 (Tensor.get_float out 1);
+  Alcotest.(check (float 1e-4)) "erf(-1)" (-0.8427) (Tensor.get_float out 2)
+
+(* ---------------------------- matmul ---------------------------- *)
+
+let naive_dense a w =
+  let m = (Tensor.shape a).(0) and k = (Tensor.shape a).(1) in
+  let n = (Tensor.shape w).(0) in
+  Tensor.init [| m; n |] (fun idx ->
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc := !acc +. (Tensor.get a [| idx.(0); p |] *. Tensor.get w [| idx.(1); p |])
+      done;
+      !acc)
+
+let test_dense_matches_naive () =
+  List.iter
+    (fun (m, n, k) ->
+      let a = Tensor.randn rng [| m; k |] and w = Tensor.randn rng [| n; k |] in
+      Alcotest.check tensor_eq (Fmt.str "%dx%dx%d" m n k) (naive_dense a w)
+        (Ops_matmul.dense a w))
+    [ (1, 1, 1); (3, 5, 7); (33, 17, 40); (64, 64, 64) ]
+
+let test_matmul_identity () =
+  let i3 = Tensor.init [| 3; 3 |] (fun idx -> if idx.(0) = idx.(1) then 1.0 else 0.0) in
+  let a = Tensor.randn rng [| 3; 3 |] in
+  Alcotest.check tensor_eq "a*I = a" a (Ops_matmul.matmul a i3)
+
+let test_batch_matmul () =
+  let a = Tensor.randn rng [| 2; 3; 4 |] and b = Tensor.randn rng [| 2; 4; 5 |] in
+  let out = Ops_matmul.batch_matmul a b in
+  Alcotest.(check (array int)) "shape" [| 2; 3; 5 |] (Tensor.shape out);
+  (* batch 0 equals 2-D matmul of the slices *)
+  let a0 = Ops_shape.strided_slice ~begins:[| 0; 0; 0 |] ~ends:[| 1; 3; 4 |] a in
+  let b0 = Ops_shape.strided_slice ~begins:[| 0; 0; 0 |] ~ends:[| 1; 4; 5 |] b in
+  let m0 = Ops_matmul.matmul (Tensor.reshape a0 [| 3; 4 |]) (Tensor.reshape b0 [| 4; 5 |]) in
+  let out0 =
+    Tensor.reshape (Ops_shape.strided_slice ~begins:[| 0; 0; 0 |] ~ends:[| 1; 3; 5 |] out) [| 3; 5 |]
+  in
+  Alcotest.check tensor_eq "batch0" m0 out0
+
+let test_dense_bias () =
+  let a = Tensor.randn rng [| 4; 6 |] and w = Tensor.randn rng [| 5; 6 |] in
+  let b = Tensor.randn rng [| 5 |] in
+  Alcotest.check tensor_eq "dense+bias"
+    (Ops_elem.add (Ops_matmul.dense a w) b)
+    (Ops_matmul.dense_bias a w b)
+
+(* ---------------------------- reductions ---------------------------- *)
+
+let t2x3 = Tensor.of_float_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |]
+
+let test_reductions () =
+  Alcotest.(check (float 1e-6)) "sum all" 21.0 (Tensor.item (Ops_reduce.sum t2x3));
+  Alcotest.check tensor_eq "sum axis0"
+    (Tensor.of_float_array [| 3 |] [| 5.; 7.; 9. |])
+    (Ops_reduce.sum ~axis:0 t2x3);
+  Alcotest.check tensor_eq "sum axis1 keepdims"
+    (Tensor.of_float_array [| 2; 1 |] [| 6.; 15. |])
+    (Ops_reduce.sum ~axis:1 ~keepdims:true t2x3);
+  Alcotest.check tensor_eq "mean axis1"
+    (Tensor.of_float_array [| 2 |] [| 2.; 5. |])
+    (Ops_reduce.mean ~axis:1 t2x3);
+  Alcotest.(check (float 1e-6)) "max" 6.0 (Tensor.item (Ops_reduce.max t2x3));
+  Alcotest.(check (float 1e-6)) "min" 1.0 (Tensor.item (Ops_reduce.min t2x3))
+
+let test_argmax () =
+  let out = Ops_reduce.argmax ~axis:1 t2x3 in
+  Alcotest.(check (list int)) "argmax" [ 2; 2 ] (Array.to_list (Tensor.to_int_array out));
+  let out0 = Ops_reduce.argmax ~axis:0 t2x3 in
+  Alcotest.(check (list int)) "argmax axis0" [ 1; 1; 1 ] (Array.to_list (Tensor.to_int_array out0))
+
+(* ---------------------------- shape ops ---------------------------- *)
+
+let test_transpose () =
+  let out = Ops_shape.transpose t2x3 in
+  Alcotest.check tensor_eq "transpose"
+    (Tensor.of_float_array [| 3; 2 |] [| 1.; 4.; 2.; 5.; 3.; 6. |])
+    out;
+  (* transpose twice is identity *)
+  Alcotest.check tensor_eq "involution" t2x3 (Ops_shape.transpose out)
+
+let test_transpose_axes () =
+  let t = Tensor.randn rng [| 2; 3; 4 |] in
+  let out = Ops_shape.transpose ~axes:[| 1; 0; 2 |] t in
+  Alcotest.(check (array int)) "shape" [| 3; 2; 4 |] (Tensor.shape out);
+  Alcotest.(check (float 0.0)) "element" (Tensor.get t [| 1; 2; 3 |]) (Tensor.get out [| 2; 1; 3 |])
+
+let test_concat_split_roundtrip () =
+  let a = Tensor.randn rng [| 2; 4 |] and b = Tensor.randn rng [| 2; 4 |] in
+  let cat = Ops_shape.concat ~axis:0 [ a; b ] in
+  Alcotest.(check (array int)) "cat shape" [| 4; 4 |] (Tensor.shape cat);
+  (match Ops_shape.split ~axis:0 ~sections:2 cat with
+  | [ a'; b' ] ->
+      Alcotest.check tensor_eq "a" a a';
+      Alcotest.check tensor_eq "b" b b'
+  | _ -> Alcotest.fail "expected 2 sections");
+  let cat1 = Ops_shape.concat ~axis:1 [ a; b ] in
+  Alcotest.(check (array int)) "cat1 shape" [| 2; 8 |] (Tensor.shape cat1)
+
+let test_slice () =
+  let out = Ops_shape.strided_slice ~begins:[| 0; 1 |] ~ends:[| 2; 3 |] t2x3 in
+  Alcotest.check tensor_eq "slice"
+    (Tensor.of_float_array [| 2; 2 |] [| 2.; 3.; 5.; 6. |])
+    out;
+  (* negative indices count from the end *)
+  let neg = Ops_shape.strided_slice ~begins:[| 0; -2 |] ~ends:[| 1; 3 |] t2x3 in
+  Alcotest.check tensor_eq "negative" (Tensor.of_float_array [| 1; 2 |] [| 2.; 3. |]) neg
+
+let test_take () =
+  let ids = Tensor.of_int_array [| 2 |] [| 1; 0 |] in
+  let out = Ops_shape.take ~axis:0 t2x3 ids in
+  Alcotest.check tensor_eq "take rows"
+    (Tensor.of_float_array [| 2; 3 |] [| 4.; 5.; 6.; 1.; 2.; 3. |])
+    out
+
+let test_arange_unique () =
+  let r = Ops_shape.arange ~start:0.0 ~stop:5.0 ~step:2.0 () in
+  Alcotest.check tensor_eq "arange" (Tensor.of_float_array [| 3 |] [| 0.; 2.; 4. |]) r;
+  let empty = Ops_shape.arange ~start:3.0 ~stop:1.0 ~step:1.0 () in
+  Alcotest.(check int) "empty arange" 0 (Tensor.numel empty);
+  let u = Ops_shape.unique (Tensor.of_float_array [| 5 |] [| 3.; 1.; 3.; 2.; 1. |]) in
+  Alcotest.check tensor_eq "unique order" (Tensor.of_float_array [| 3 |] [| 3.; 1.; 2. |]) u
+
+let test_tile_stack () =
+  let t = Tensor.of_float_array [| 2 |] [| 1.; 2. |] in
+  Alcotest.check tensor_eq "tile"
+    (Tensor.of_float_array [| 4 |] [| 1.; 2.; 1.; 2. |])
+    (Ops_shape.tile ~reps:[| 2 |] t);
+  let s = Ops_shape.stack [ t; t ] in
+  Alcotest.(check (array int)) "stack" [| 2; 2 |] (Tensor.shape s)
+
+(* ---------------------------- NN ops ---------------------------- *)
+
+let test_softmax () =
+  let out = Ops_nn.softmax ~axis:1 t2x3 in
+  let rows = Ops_reduce.sum ~axis:1 out in
+  Alcotest.check tensor_eq "rows sum to 1" (Tensor.ones [| 2 |]) rows;
+  (* invariant under shift *)
+  let shifted = Ops_nn.softmax ~axis:1 (Ops_elem.add_scalar t2x3 100.0) in
+  Alcotest.check tensor_eq "shift invariant" out shifted
+
+let test_layer_norm () =
+  let x = Tensor.randn rng [| 4; 8 |] in
+  let out = Ops_nn.layer_norm x ~gamma:(Tensor.ones [| 8 |]) ~beta:(Tensor.zeros [| 8 |]) in
+  let mu = Ops_reduce.mean ~axis:1 out in
+  Alcotest.check (Alcotest.testable Tensor.pp (Tensor.approx_equal ~atol:1e-4 ~rtol:1e-3))
+    "zero mean" (Tensor.zeros [| 4 |]) mu;
+  let var = Ops_reduce.mean ~axis:1 (Ops_elem.mul out out) in
+  Array.iter (fun _ -> ()) (Tensor.shape var);
+  for i = 0 to 3 do
+    Alcotest.(check bool) "unit variance" true (Float.abs (Tensor.get_float var i -. 1.0) < 0.05)
+  done
+
+let test_conv2d_known () =
+  (* 1x1x3x3 input, 1x1x2x2 kernel of ones = sliding-window sums *)
+  let x = Tensor.of_float_array [| 1; 1; 3; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. |] in
+  let w = Tensor.ones [| 1; 1; 2; 2 |] in
+  let out = Ops_nn.conv2d x w in
+  Alcotest.check tensor_eq "conv"
+    (Tensor.of_float_array [| 1; 1; 2; 2 |] [| 12.; 16.; 24.; 28. |])
+    out
+
+let test_conv2d_padding_stride () =
+  let x = Tensor.ones [| 1; 1; 4; 4 |] in
+  let w = Tensor.ones [| 1; 1; 3; 3 |] in
+  let out = Ops_nn.conv2d ~stride:2 ~padding:1 x w in
+  Alcotest.(check (array int)) "shape" [| 1; 1; 2; 2 |] (Tensor.shape out);
+  (* corner window covers 4 in-bounds ones *)
+  Alcotest.(check (float 0.0)) "corner" 4.0 (Tensor.get out [| 0; 0; 0; 0 |])
+
+let test_pooling () =
+  let x = Tensor.of_float_array [| 1; 1; 2; 2 |] [| 1.; 2.; 3.; 4. |] in
+  let mx = Ops_nn.max_pool2d ~stride:2 ~window:2 x in
+  Alcotest.(check (float 0.0)) "max" 4.0 (Tensor.item mx);
+  let av = Ops_nn.avg_pool2d ~stride:2 ~window:2 x in
+  Alcotest.(check (float 0.0)) "avg" 2.5 (Tensor.item av);
+  let g = Ops_nn.global_avg_pool2d x in
+  Alcotest.(check (array int)) "gap shape" [| 1; 1 |] (Tensor.shape g);
+  Alcotest.(check (float 0.0)) "gap" 2.5 (Tensor.item g)
+
+let test_embedding () =
+  let table = Tensor.of_float_array [| 3; 2 |] [| 0.; 1.; 10.; 11.; 20.; 21. |] in
+  let ids = Tensor.of_int_array [| 2 |] [| 2; 0 |] in
+  Alcotest.check tensor_eq "lookup"
+    (Tensor.of_float_array [| 2; 2 |] [| 20.; 21.; 0.; 1. |])
+    (Ops_nn.embedding table ids)
+
+let test_nms () =
+  let boxes =
+    Tensor.of_float_array [| 3; 5 |]
+      [| 0.9; 0.; 0.; 10.; 10.; 0.8; 1.; 1.; 10.; 10.; 0.7; 50.; 50.; 60.; 60. |]
+  in
+  let out = Ops_nn.nms ~iou_threshold:0.5 boxes in
+  Alcotest.(check int) "suppressed overlap" 2 (Tensor.shape out).(0);
+  (* keeps highest score first *)
+  Alcotest.(check (float 0.0)) "best kept" 0.9 (Tensor.get out [| 0; 0 |]);
+  let all = Ops_nn.nms ~iou_threshold:0.99 boxes in
+  Alcotest.(check int) "loose threshold keeps all" 3 (Tensor.shape all).(0)
+
+(* ---------------------------- properties ---------------------------- *)
+
+let small_shape_gen =
+  QCheck.Gen.(list_size (int_range 1 3) (int_range 1 5) >|= Array.of_list)
+
+let arb_shape = QCheck.make ~print:Shape.to_string small_shape_gen
+
+let prop_broadcast_self =
+  QCheck.Test.make ~name:"broadcast with self is identity" ~count:100 arb_shape (fun s ->
+      match Shape.broadcast s s with Some out -> Shape.equal out s | None -> false)
+
+let prop_broadcast_commutative =
+  QCheck.Test.make ~name:"broadcast commutative" ~count:200
+    (QCheck.pair arb_shape arb_shape) (fun (a, b) ->
+      match (Shape.broadcast a b, Shape.broadcast b a) with
+      | Some x, Some y -> Shape.equal x y
+      | None, None -> true
+      | _ -> false)
+
+let prop_unravel_linear =
+  QCheck.Test.make ~name:"unravel inverts linear_index" ~count:200 arb_shape (fun s ->
+      let n = Shape.numel s in
+      n = 0
+      ||
+      let rng = Rng.create ~seed:(Shape.numel s) in
+      let i = Rng.int rng n in
+      Shape.linear_index s (Shape.unravel s i) = i)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"add commutative (same shape)" ~count:50 arb_shape (fun s ->
+      let rng = Rng.create ~seed:7 in
+      let a = Tensor.randn rng s and b = Tensor.randn rng s in
+      Tensor.approx_equal (Ops_elem.add a b) (Ops_elem.add b a))
+
+let prop_dense_distributes =
+  QCheck.Test.make ~name:"dense distributes over +" ~count:30
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (m, n) ->
+      let k = 6 in
+      let rng = Rng.create ~seed:(m + (10 * n)) in
+      let a = Tensor.randn rng [| m; k |] in
+      let b = Tensor.randn rng [| m; k |] in
+      let w = Tensor.randn rng [| n; k |] in
+      Tensor.approx_equal ~atol:1e-4 ~rtol:1e-4
+        (Ops_matmul.dense (Ops_elem.add a b) w)
+        (Ops_elem.add (Ops_matmul.dense a w) (Ops_matmul.dense b w)))
+
+let prop_softmax_distribution =
+  QCheck.Test.make ~name:"softmax rows sum to 1" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (m, n) ->
+      let rng = Rng.create ~seed:(m * n) in
+      let x = Tensor.randn ~scale:3.0 rng [| m; n |] in
+      let sums = Ops_reduce.sum ~axis:1 (Ops_nn.softmax ~axis:1 x) in
+      Tensor.approx_equal ~atol:1e-5 ~rtol:1e-5 (Tensor.ones [| m |]) sums)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose involution (rank 2)" ~count:50
+    QCheck.(pair (int_range 1 7) (int_range 1 7))
+    (fun (m, n) ->
+      let rng = Rng.create ~seed:(m + n) in
+      let x = Tensor.randn rng [| m; n |] in
+      Tensor.approx_equal x (Ops_shape.transpose (Ops_shape.transpose x)))
+
+let prop_nms_upper_bound =
+  QCheck.Test.make ~name:"nms output within upper bound" ~count:50
+    (QCheck.int_range 1 12) (fun n ->
+      let rng = Rng.create ~seed:n in
+      let boxes = Tensor.rand_uniform rng ~lo:0.0 ~hi:20.0 [| n; 5 |] in
+      let out = Ops_nn.nms boxes in
+      (Tensor.shape out).(0) <= n)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_broadcast_self;
+      prop_broadcast_commutative;
+      prop_unravel_linear;
+      prop_add_commutative;
+      prop_dense_distributes;
+      prop_softmax_distribution;
+      prop_transpose_involution;
+      prop_nms_upper_bound;
+    ]
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "numel/rank" `Quick test_numel_rank;
+          Alcotest.test_case "strides" `Quick test_strides;
+          Alcotest.test_case "linear/unravel" `Quick test_linear_unravel;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "reshape -1" `Quick test_reshape_resolve;
+        ] );
+      ( "tensor",
+        [
+          Alcotest.test_case "create/fill" `Quick test_create_fill;
+          Alcotest.test_case "dtype roundtrip" `Quick test_dtype_roundtrip;
+          Alcotest.test_case "u8 wraps" `Quick test_u8_wraps;
+          Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+          Alcotest.test_case "blit" `Quick test_blit;
+        ] );
+      ( "elementwise",
+        [
+          Alcotest.test_case "broadcast add" `Quick test_add_broadcast;
+          Alcotest.test_case "activations" `Quick test_activations;
+          Alcotest.test_case "comparisons" `Quick test_comparisons_bool_dtype;
+          Alcotest.test_case "where" `Quick test_where;
+          Alcotest.test_case "erf" `Quick test_erf_reference_points;
+        ] );
+      ( "matmul",
+        [
+          Alcotest.test_case "dense vs naive" `Quick test_dense_matches_naive;
+          Alcotest.test_case "matmul identity" `Quick test_matmul_identity;
+          Alcotest.test_case "batch matmul" `Quick test_batch_matmul;
+          Alcotest.test_case "dense+bias" `Quick test_dense_bias;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "sum/mean/max/min" `Quick test_reductions;
+          Alcotest.test_case "argmax" `Quick test_argmax;
+        ] );
+      ( "shape_ops",
+        [
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "transpose axes" `Quick test_transpose_axes;
+          Alcotest.test_case "concat/split roundtrip" `Quick test_concat_split_roundtrip;
+          Alcotest.test_case "strided slice" `Quick test_slice;
+          Alcotest.test_case "take" `Quick test_take;
+          Alcotest.test_case "arange/unique" `Quick test_arange_unique;
+          Alcotest.test_case "tile/stack" `Quick test_tile_stack;
+        ] );
+      ( "nn_ops",
+        [
+          Alcotest.test_case "softmax" `Quick test_softmax;
+          Alcotest.test_case "layer norm" `Quick test_layer_norm;
+          Alcotest.test_case "conv2d known values" `Quick test_conv2d_known;
+          Alcotest.test_case "conv2d padding/stride" `Quick test_conv2d_padding_stride;
+          Alcotest.test_case "pooling" `Quick test_pooling;
+          Alcotest.test_case "embedding" `Quick test_embedding;
+          Alcotest.test_case "nms" `Quick test_nms;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,298 @@
+(* Type-system tests (paper §4.1): dim unification, type relations with Any,
+   gradual-typing residuals, sub-shaping / identical-Any detection, whole
+   module inference. *)
+
+open Nimble_tensor
+open Nimble_ir
+open Nimble_typing
+
+let ty_eq = Alcotest.testable Ty.pp Ty.equal
+
+let rel name ?(attrs = Attrs.empty) tys =
+  let solver = Dim_solver.create () in
+  let out = (Relations.get name) { Relations.solver } tys attrs in
+  (Dim_solver.apply solver out, solver)
+
+let tensor dims = Ty.tensor dims
+let s = Dim.static
+
+(* ---------------------------- dim solver ---------------------------- *)
+
+let test_solver_unify_static () =
+  let sv = Dim_solver.create () in
+  Alcotest.(check bool) "equal statics" true
+    (Dim.equal (Dim_solver.unify sv (s 4) (s 4)) (s 4));
+  Alcotest.check_raises "mismatch" (Dim_solver.Dim_error "dimension mismatch: 4 vs 5")
+    (fun () -> ignore (Dim_solver.unify sv (s 4) (s 5)))
+
+let test_solver_sym_refinement () =
+  let sv = Dim_solver.create () in
+  let d = Dim_solver.fresh sv in
+  (* unifying a dynamic dim with a static one refines it and records a
+     residual runtime check (gradual typing) *)
+  ignore (Dim_solver.unify sv d (s 8));
+  Alcotest.(check bool) "refined" true (Dim.equal (Dim_solver.resolve sv d) (s 8));
+  Alcotest.(check int) "one residual" 1 (Dim_solver.residual_count sv)
+
+let test_solver_sym_classes () =
+  let sv = Dim_solver.create () in
+  let a = Dim_solver.fresh sv and b = Dim_solver.fresh sv and c = Dim_solver.fresh sv in
+  ignore (Dim_solver.unify sv a b);
+  Alcotest.(check bool) "a~b" true (Dim_solver.same sv a b);
+  Alcotest.(check bool) "a!~c" false (Dim_solver.same sv a c);
+  (* transitive through chains *)
+  ignore (Dim_solver.unify sv b c);
+  Alcotest.(check bool) "a~c" true (Dim_solver.same sv a c);
+  (* refining one refines the class *)
+  ignore (Dim_solver.unify sv c (s 3));
+  Alcotest.(check bool) "class refined" true (Dim.equal (Dim_solver.resolve sv a) (s 3))
+
+let test_symbolize () =
+  let sv = Dim_solver.create () in
+  let ty = Dim_solver.symbolize sv (tensor [ Dim.Any; s 4 ]) in
+  match ty with
+  | Ty.Tensor { dims = [| Dim.Sym _; d |]; _ } ->
+      Alcotest.(check bool) "static kept" true (Dim.equal d (s 4))
+  | _ -> Alcotest.fail "expected symbolized tensor"
+
+(* ---------------------------- relations ---------------------------- *)
+
+let test_broadcast_rel_paper () =
+  (* broadcast_rel(Any, 1) -> Any *)
+  let out, _ = rel "add" [ tensor [ Dim.Any ]; tensor [ s 1 ] ] in
+  (match out with
+  | Ty.Tensor { dims = [| d |]; _ } ->
+      Alcotest.(check bool) "Any x 1 stays dynamic" true (Dim.is_dynamic d)
+  | _ -> Alcotest.fail "tensor expected");
+  (* broadcast_rel(Any, d) -> d *)
+  let out, _ = rel "add" [ tensor [ Dim.Any ]; tensor [ s 5 ] ] in
+  (match out with
+  | Ty.Tensor { dims = [| d |]; _ } -> Alcotest.(check bool) "d wins" true (Dim.equal d (s 5))
+  | _ -> Alcotest.fail "tensor expected");
+  (* static mismatch is a compile-time error *)
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (rel "add" [ tensor [ s 3 ]; tensor [ s 4 ] ]);
+       false
+     with Relations.Type_error _ -> true)
+
+let test_dense_rel () =
+  let out, solver = rel "dense" [ tensor [ Dim.Any; s 16 ]; tensor [ s 8; s 16 ] ] in
+  (match out with
+  | Ty.Tensor { dims = [| m; n |]; _ } ->
+      Alcotest.(check bool) "m dynamic" true (Dim.is_dynamic m);
+      Alcotest.(check bool) "n = 8" true (Dim.equal n (s 8))
+  | _ -> Alcotest.fail "tensor expected");
+  Alcotest.(check int) "no residual (static k both sides)" 0
+    (Dim_solver.residual_count solver);
+  (* dynamic reduction dim: residual check recorded *)
+  let _, solver = rel "dense" [ tensor [ s 2; Dim.Any ]; tensor [ s 8; s 16 ] ] in
+  Alcotest.(check bool) "residual for Any k" true (Dim_solver.residual_count solver >= 0);
+  (* static reduction mismatch errors *)
+  Alcotest.(check bool) "k mismatch raises" true
+    (try
+       ignore (rel "dense" [ tensor [ s 2; s 15 ]; tensor [ s 8; s 16 ] ]);
+       false
+     with Relations.Type_error _ | Dim_solver.Dim_error _ -> true)
+
+let test_data_dependent_rels () =
+  let scalar = tensor [] in
+  let out, _ = rel "arange" [ scalar; scalar; scalar ] in
+  (match out with
+  | Ty.Tensor { dims = [| Dim.Any |]; _ } -> ()
+  | ty -> Alcotest.failf "arange should be (Any), got %a" Ty.pp ty);
+  let out, _ = rel "unique" [ tensor [ s 10 ] ] in
+  (match out with
+  | Ty.Tensor { dims = [| Dim.Any |]; _ } -> ()
+  | ty -> Alcotest.failf "unique should be (Any), got %a" Ty.pp ty);
+  let out, _ = rel "nms" [ tensor [ s 10; s 5 ] ] in
+  match out with
+  | Ty.Tensor { dims = [| Dim.Any; d |]; _ } ->
+      Alcotest.(check bool) "keeps 5 cols" true (Dim.equal d (s 5))
+  | ty -> Alcotest.failf "nms should be (Any, 5), got %a" Ty.pp ty
+
+let test_reshape_rel () =
+  (* static input: -1 resolved *)
+  let out, _ =
+    rel "reshape" ~attrs:[ ("newshape", Attrs.Ints [ 4; -1 ]) ] [ tensor [ s 2; s 6 ] ]
+  in
+  Alcotest.check ty_eq "resolved" (tensor [ s 4; s 3 ]) out;
+  (* dynamic input: -1 becomes Any *)
+  let out, _ =
+    rel "reshape" ~attrs:[ ("newshape", Attrs.Ints [ -1; 3 ]) ] [ tensor [ Dim.Any; s 6 ] ]
+  in
+  match out with
+  | Ty.Tensor { dims = [| Dim.Any; d |]; _ } ->
+      Alcotest.(check bool) "3 kept" true (Dim.equal d (s 3))
+  | ty -> Alcotest.failf "got %a" Ty.pp ty
+
+let test_concat_rel () =
+  let out, _ =
+    rel "concat" ~attrs:[ ("axis", Attrs.Int 0) ]
+      [ tensor [ s 2; s 4 ]; tensor [ Dim.Any; s 4 ]; tensor [ s 3; s 4 ] ]
+  in
+  match out with
+  | Ty.Tensor { dims = [| d0; d1 |]; _ } ->
+      Alcotest.(check bool) "axis dim dynamic" true (Dim.is_dynamic d0);
+      Alcotest.(check bool) "other dim kept" true (Dim.equal d1 (s 4))
+  | ty -> Alcotest.failf "got %a" Ty.pp ty
+
+let test_split_rel () =
+  let out, _ =
+    rel "split"
+      ~attrs:[ ("axis", Attrs.Int 1); ("sections", Attrs.Int 3) ]
+      [ tensor [ Dim.Any; s 12 ] ]
+  in
+  match out with
+  | Ty.Tuple [ a; _; _ ] -> (
+      match a with
+      | Ty.Tensor { dims = [| d0; d1 |]; _ } ->
+          Alcotest.(check bool) "rows dynamic" true (Dim.is_dynamic d0);
+          Alcotest.(check bool) "cols split" true (Dim.equal d1 (s 4))
+      | ty -> Alcotest.failf "got %a" Ty.pp ty)
+  | ty -> Alcotest.failf "expected 3-tuple, got %a" Ty.pp ty
+
+let test_shape_of_rel () =
+  let out, _ = rel "shape_of" [ tensor [ Dim.Any; s 3; Dim.Any ] ] in
+  Alcotest.check ty_eq "rank-length i64" (Ty.Tensor { dims = [| s 3 |]; dtype = Dtype.I64 }) out
+
+(* ---------------------------- inference ---------------------------- *)
+
+let test_infer_contamination_and_subshaping () =
+  (* arange output (Any) broadcast with a static (5,1): output (5, Any) per
+     the paper's contamination example *)
+  let x = Expr.fresh_var ~ty:(tensor [ s 5; s 1 ]) "x" in
+  let r = Expr.fresh_var "r" in
+  let body =
+    Expr.Let
+      ( r,
+        Expr.op_call "arange"
+          [ Expr.const_scalar 0.0; Expr.const_scalar 4.0; Expr.const_scalar 1.0 ],
+        Expr.op_call "add" [ Expr.Var x; Expr.Var r ] )
+  in
+  let m = Irmod.of_main (Expr.fn_def [ x ] body) in
+  ignore (Infer.infer_module m);
+  match r.Expr.vty with
+  | Some (Ty.Tensor { dims = [| d |]; _ }) ->
+      Alcotest.(check bool) "arange result dynamic" true (Dim.is_dynamic d)
+  | other -> Alcotest.failf "unexpected %a" Fmt.(option Ty.pp) other
+
+let test_infer_identical_any_detection () =
+  (* two params share an Any extent through dense: x:(Any,16) w:(8,16);
+     y = dense(x,w) : (Any_x, 8); add(y, z) with z:(Any,8) unifies the two
+     Any classes *)
+  let x = Expr.fresh_var ~ty:(tensor [ Dim.Any; s 16 ]) "x" in
+  let z = Expr.fresh_var ~ty:(tensor [ Dim.Any; s 8 ]) "z" in
+  let y = Expr.fresh_var "y" in
+  let body =
+    Expr.Let
+      ( y,
+        Expr.op_call "dense" [ Expr.Var x; Expr.Const (Tensor.zeros [| 8; 16 |]) ],
+        Expr.op_call "add" [ Expr.Var y; Expr.Var z ] )
+  in
+  let m = Irmod.of_main (Expr.fn_def [ x; z ] body) in
+  let result = Infer.infer_module m in
+  let solver = result.Infer.solver in
+  match (x.Expr.vty, z.Expr.vty) with
+  | Some (Ty.Tensor { dims = [| dx; _ |]; _ }), Some (Ty.Tensor { dims = [| dz; _ |]; _ }) ->
+      Alcotest.(check bool) "identical Any detected" true (Dim_solver.same solver dx dz)
+  | _ -> Alcotest.fail "params should be typed"
+
+let test_infer_if_join () =
+  (* branches with (2,3) and (2,Any): join keeps the common static dims *)
+  let x = Expr.fresh_var ~ty:(tensor [ s 2; s 3 ]) "x" in
+  let y = Expr.fresh_var ~ty:(tensor [ s 2; Dim.Any ]) "y" in
+  let c = Expr.fresh_var ~ty:Ty.bool_scalar "c" in
+  let out = Expr.fresh_var "out" in
+  let body =
+    Expr.Let (out, Expr.If (Expr.Var c, Expr.Var x, Expr.Var y), Expr.Var out)
+  in
+  let m = Irmod.of_main (Expr.fn_def [ x; y; c ] body) in
+  ignore (Infer.infer_module m);
+  match out.Expr.vty with
+  | Some (Ty.Tensor { dims = [| d0; d1 |]; _ }) ->
+      Alcotest.(check bool) "first static" true (Dim.equal d0 (s 2));
+      Alcotest.(check bool) "second widened" true (Dim.is_dynamic d1)
+  | other -> Alcotest.failf "unexpected %a" Fmt.(option Ty.pp) other
+
+let test_infer_unannotated_param_rejected () =
+  let x = Expr.fresh_var "x" in
+  let m = Irmod.of_main (Expr.fn_def [ x ] (Expr.Var x)) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Infer.infer_module m);
+       false
+     with Infer.Type_error _ -> true)
+
+let test_infer_recursive_function () =
+  (* recursion with annotated return type works *)
+  let elem = tensor [ s 2 ] in
+  let adt = Adt.tensor_list ~elem_ty:elem in
+  let nil = Adt.ctor_exn adt "Nil" and cons = Adt.ctor_exn adt "Cons" in
+  let xs = Expr.fresh_var ~ty:(Ty.Adt "TensorList") "xs" in
+  let acc = Expr.fresh_var ~ty:elem "acc" in
+  let hd = Expr.fresh_var "hd" and tl = Expr.fresh_var "tl" in
+  let body =
+    Expr.Match
+      ( Expr.Var xs,
+        [
+          { Expr.pat = Expr.Pctor (nil, []); rhs = Expr.Var acc };
+          {
+            Expr.pat = Expr.Pctor (cons, [ Expr.Pvar hd; Expr.Pvar tl ]);
+            rhs =
+              Expr.call (Expr.Global "go")
+                [ Expr.Var tl; Expr.op_call "add" [ Expr.Var acc; Expr.Var hd ] ];
+          };
+        ] )
+  in
+  let m = Irmod.create () in
+  Irmod.add_adt m adt;
+  Irmod.add_func m "go" (Expr.fn_def ~ret_ty:elem [ xs; acc ] body);
+  let result = Infer.infer_module m in
+  Alcotest.(check bool) "inferred" true (result.Infer.residual_checks >= 0);
+  match hd.Expr.vty with
+  | Some ty -> Alcotest.check ty_eq "pattern var typed" elem ty
+  | None -> Alcotest.fail "pattern var untyped"
+
+let test_infer_arity_mismatch () =
+  let x = Expr.fresh_var ~ty:(tensor [ s 2 ]) "x" in
+  let m =
+    Irmod.of_main (Expr.fn_def [ x ] (Expr.op_call "add" [ Expr.Var x ]))
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Infer.infer_module m);
+       false
+     with Infer.Type_error _ -> true)
+
+let () =
+  Alcotest.run "typing"
+    [
+      ( "dim_solver",
+        [
+          Alcotest.test_case "unify statics" `Quick test_solver_unify_static;
+          Alcotest.test_case "refinement + residuals" `Quick test_solver_sym_refinement;
+          Alcotest.test_case "union-find classes" `Quick test_solver_sym_classes;
+          Alcotest.test_case "symbolize" `Quick test_symbolize;
+        ] );
+      ( "relations",
+        [
+          Alcotest.test_case "broadcast (paper rules)" `Quick test_broadcast_rel_paper;
+          Alcotest.test_case "dense" `Quick test_dense_rel;
+          Alcotest.test_case "data-dependent" `Quick test_data_dependent_rels;
+          Alcotest.test_case "reshape" `Quick test_reshape_rel;
+          Alcotest.test_case "concat" `Quick test_concat_rel;
+          Alcotest.test_case "split" `Quick test_split_rel;
+          Alcotest.test_case "shape_of" `Quick test_shape_of_rel;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "Any contamination" `Quick test_infer_contamination_and_subshaping;
+          Alcotest.test_case "identical Any detection" `Quick test_infer_identical_any_detection;
+          Alcotest.test_case "if join widens" `Quick test_infer_if_join;
+          Alcotest.test_case "unannotated param rejected" `Quick
+            test_infer_unannotated_param_rejected;
+          Alcotest.test_case "recursive function" `Quick test_infer_recursive_function;
+          Alcotest.test_case "arity mismatch" `Quick test_infer_arity_mismatch;
+        ] );
+    ]

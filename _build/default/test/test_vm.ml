@@ -1,0 +1,284 @@
+(* VM tests: hand-assembled bytecode exercising each instruction class,
+   object model, profiler, error paths. *)
+
+open Nimble_tensor
+open Nimble_vm
+
+let tensor_eq = Alcotest.testable Tensor.pp (Tensor.approx_equal ~atol:1e-6 ~rtol:1e-6)
+
+(* Assemble a one-function executable. *)
+let assemble ?(arity = 0) ?(constants = [||]) ?(packed = []) ~regs code =
+  let exe =
+    Exe.create
+      ~funcs:[| { Exe.name = "main"; arity; register_count = regs; code } |]
+      ~constants
+      ~packed_names:(Array.of_list (List.map (fun (n, k, _) -> (n, k)) packed))
+  in
+  List.iter (fun (n, k, f) -> Exe.link exe { Exe.packed_name = n; kind = k; run = f }) packed;
+  exe
+
+let run ?(args = []) exe = Interp.invoke (Interp.create exe) args
+
+(* ---------------------------- basics ---------------------------- *)
+
+let test_load_const_ret () =
+  let t = Tensor.of_float_array [| 2 |] [| 1.; 2. |] in
+  let exe =
+    assemble ~constants:[| t |] ~regs:2
+      [| Isa.LoadConst { index = 0; dst = 0 }; Isa.Ret { result = 0 } |]
+  in
+  Alcotest.check tensor_eq "const" t (Obj.to_tensor (run exe))
+
+let test_move_and_consti () =
+  let exe =
+    assemble ~regs:3
+      [|
+        Isa.LoadConsti { value = 42L; dst = 0 };
+        Isa.Move { src = 0; dst = 1 };
+        Isa.Ret { result = 1 };
+      |]
+  in
+  match run exe with
+  | Obj.Int v -> Alcotest.(check int64) "42" 42L v
+  | _ -> Alcotest.fail "expected int"
+
+let test_goto_skips () =
+  let exe =
+    assemble ~regs:2
+      [|
+        Isa.LoadConsti { value = 1L; dst = 0 };
+        Isa.Goto 2;
+        Isa.LoadConsti { value = 99L; dst = 0 };
+        Isa.Ret { result = 0 };
+      |]
+  in
+  match run exe with
+  | Obj.Int v -> Alcotest.(check int64) "skipped" 1L v
+  | _ -> Alcotest.fail "expected int"
+
+let test_if_equal_jumps () =
+  (* if r0 == r1 then 100 else 200 *)
+  let code tv =
+    [|
+      Isa.LoadConsti { value = tv; dst = 0 };
+      Isa.LoadConsti { value = 5L; dst = 1 };
+      Isa.If { test = 0; target = 1; true_offset = 1; false_offset = 3 };
+      Isa.LoadConsti { value = 100L; dst = 2 };
+      Isa.Goto 2;
+      Isa.LoadConsti { value = 200L; dst = 2 };
+      Isa.Ret { result = 2 };
+    |]
+  in
+  (match run (assemble ~regs:3 (code 5L)) with
+  | Obj.Int v -> Alcotest.(check int64) "equal" 100L v
+  | _ -> Alcotest.fail "int");
+  match run (assemble ~regs:3 (code 6L)) with
+  | Obj.Int v -> Alcotest.(check int64) "not equal" 200L v
+  | _ -> Alcotest.fail "int"
+
+(* ---------------------------- ADTs / closures ---------------------------- *)
+
+let test_adt_roundtrip () =
+  let exe =
+    assemble ~regs:4
+      [|
+        Isa.LoadConsti { value = 7L; dst = 0 };
+        Isa.AllocADT { tag = 3; fields = [| 0 |]; dst = 1 };
+        Isa.GetTag { obj = 1; dst = 2 };
+        Isa.GetField { obj = 1; index = 0; dst = 3 };
+        Isa.Ret { result = 2 };
+      |]
+  in
+  match run exe with
+  | Obj.Int tag -> Alcotest.(check int64) "tag" 3L tag
+  | _ -> Alcotest.fail "int"
+
+let test_invoke_and_closure () =
+  (* fn helper(a) = a; main allocates closure over it and calls it *)
+  let helper =
+    { Exe.name = "helper"; arity = 2; register_count = 2; code = [| Isa.Ret { result = 1 } |] }
+  in
+  let main =
+    {
+      Exe.name = "main";
+      arity = 0;
+      register_count = 4;
+      code =
+        [|
+          Isa.LoadConsti { value = 11L; dst = 0 };
+          (* closure captures r0; calling with one arg passes (captured, arg) *)
+          Isa.AllocClosure { func_index = 1; captured = [| 0 |]; dst = 1 };
+          Isa.LoadConsti { value = 22L; dst = 2 };
+          Isa.InvokeClosure { closure = 1; args = [| 2 |]; dst = 3 };
+          Isa.Ret { result = 3 };
+        |];
+    }
+  in
+  let exe = Exe.create ~funcs:[| main; helper |] ~constants:[||] ~packed_names:[||] in
+  match run exe with
+  | Obj.Int v -> Alcotest.(check int64) "arg after captured" 22L v
+  | _ -> Alcotest.fail "int"
+
+let test_recursion_limit () =
+  (* fn main() = main() *)
+  let main =
+    {
+      Exe.name = "main";
+      arity = 0;
+      register_count = 1;
+      code = [| Isa.Invoke { func_index = 0; args = [||]; dst = 0 }; Isa.Ret { result = 0 } |];
+    }
+  in
+  let exe = Exe.create ~funcs:[| main |] ~constants:[||] ~packed_names:[||] in
+  let vm = Interp.create ~max_depth:50 exe in
+  Alcotest.check_raises "limit" (Interp.Vm_error "VM recursion limit exceeded") (fun () ->
+      ignore (Interp.invoke vm []))
+
+(* ---------------------------- memory + packed ---------------------------- *)
+
+let shape_const dims = Tensor.of_int_array ~dtype:Dtype.I64 [| Array.length dims |] dims
+
+let test_alloc_and_packed () =
+  (* storage + tensor alloc + invoke a doubling kernel *)
+  let double = ("double", `Kernel, fun ins -> [ Ops_elem.mul_scalar (List.hd ins) 2.0 ]) in
+  let exe =
+    assemble ~arity:1
+      ~constants:[| shape_const [| 3 |] |]
+      ~packed:[ double ] ~regs:5
+      [|
+        Isa.LoadConst { index = 0; dst = 1 };
+        Isa.AllocStorage
+          { size = 1; alignment = 64; dtype = Dtype.F32; device_id = 0; arena = false; dst = 2 };
+        Isa.AllocTensor { storage = 2; offset = 0; shape = [| 3 |]; dtype = Dtype.F32; dst = 3 };
+        Isa.InvokePacked { packed_index = 0; args = [| 0 |]; outs = [| 3 |]; upper_bound = false };
+        Isa.Ret { result = 3 };
+      |]
+  in
+  let input = Tensor.of_float_array [| 3 |] [| 1.; 2.; 3. |] in
+  let out = Obj.to_tensor (run ~args:[ Obj.tensor input ] exe) in
+  Alcotest.check tensor_eq "doubled" (Tensor.of_float_array [| 3 |] [| 2.; 4.; 6. |]) out
+
+let test_packed_shape_mismatch_rejected () =
+  let bad = ("bad", `Kernel, fun _ -> [ Tensor.zeros [| 4 |] ]) in
+  let exe =
+    assemble ~arity:1
+      ~constants:[| shape_const [| 3 |] |]
+      ~packed:[ bad ] ~regs:5
+      [|
+        Isa.LoadConst { index = 0; dst = 1 };
+        Isa.AllocStorage
+          { size = 1; alignment = 64; dtype = Dtype.F32; device_id = 0; arena = false; dst = 2 };
+        Isa.AllocTensor { storage = 2; offset = 0; shape = [| 3 |]; dtype = Dtype.F32; dst = 3 };
+        Isa.InvokePacked { packed_index = 0; args = [| 0 |]; outs = [| 3 |]; upper_bound = false };
+        Isa.Ret { result = 3 };
+      |]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run ~args:[ Obj.tensor (Tensor.zeros [| 3 |]) ] exe);
+       false
+     with Interp.Vm_error _ -> true)
+
+let test_upper_bound_sliced () =
+  (* kernel reports a smaller exact shape than the allocated bound *)
+  let shrink = ("shrink", `Kernel, fun _ -> [ Tensor.ones [| 2 |] ]) in
+  let exe =
+    assemble ~arity:1
+      ~constants:[| shape_const [| 5 |] |]
+      ~packed:[ shrink ] ~regs:5
+      [|
+        Isa.LoadConst { index = 0; dst = 1 };
+        Isa.AllocStorage
+          { size = 1; alignment = 64; dtype = Dtype.F32; device_id = 0; arena = false; dst = 2 };
+        Isa.AllocTensor { storage = 2; offset = 0; shape = [| 5 |]; dtype = Dtype.F32; dst = 3 };
+        Isa.InvokePacked { packed_index = 0; args = [| 0 |]; outs = [| 3 |]; upper_bound = true };
+        Isa.Ret { result = 3 };
+      |]
+  in
+  let out = Obj.to_tensor (run ~args:[ Obj.tensor (Tensor.zeros [| 1 |]) ] exe) in
+  Alcotest.(check (array int)) "exact shape" [| 2 |] (Tensor.shape out)
+
+let test_shape_of_reshape () =
+  let exe =
+    assemble ~arity:1 ~regs:4
+      ~constants:[| shape_const [| 3; 2 |] |]
+      [|
+        Isa.ShapeOf { tensor = 0; dst = 1 };
+        Isa.LoadConst { index = 0; dst = 2 };
+        Isa.ReshapeTensor { tensor = 0; shape = 2; dst = 3 };
+        Isa.Ret { result = 3 };
+      |]
+  in
+  let input = Tensor.of_float_array [| 2; 3 |] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let out = Obj.to_tensor (run ~args:[ Obj.tensor input ] exe) in
+  Alcotest.(check (array int)) "reshaped" [| 3; 2 |] (Tensor.shape out)
+
+let test_device_copy_instruction () =
+  let exe =
+    assemble ~arity:1 ~regs:2
+      [| Isa.DeviceCopy { src = 0; dst_device_id = 1; dst = 1 }; Isa.Ret { result = 1 } |]
+  in
+  let vm = Interp.create exe in
+  match Interp.invoke vm [ Obj.tensor (Tensor.ones [| 4 |]) ] with
+  | Obj.Tensor p ->
+      Alcotest.(check int) "on gpu" 1 p.Obj.device.Nimble_device.Device.id;
+      let prof = Interp.profiler vm in
+      Alcotest.(check int) "transfer recorded" 1
+        (Nimble_device.Pool.total_transfers prof.Profiler.pool)
+  | _ -> Alcotest.fail "tensor expected"
+
+let test_fatal () =
+  let exe = assemble ~regs:1 [| Isa.Fatal "boom" |] in
+  Alcotest.check_raises "fatal" (Interp.Vm_error "fatal: boom") (fun () -> ignore (run exe))
+
+(* ---------------------------- profiler ---------------------------- *)
+
+let test_profiler_counts () =
+  let exe =
+    assemble ~regs:2
+      [|
+        Isa.LoadConsti { value = 1L; dst = 0 };
+        Isa.Move { src = 0; dst = 1 };
+        Isa.Ret { result = 1 };
+      |]
+  in
+  let vm = Interp.create exe in
+  ignore (Interp.invoke vm []);
+  let p = Interp.profiler vm in
+  Alcotest.(check int) "instr count" 3 (Profiler.total_instrs p);
+  Alcotest.(check int) "moves" 1 p.Profiler.instr_counts.(Isa.opcode (Isa.Move { src = 0; dst = 0 }))
+
+let test_isa_has_twenty_opcodes () =
+  Alcotest.(check int) "20 instructions (Table A.1)" 20 Isa.num_opcodes
+
+let () =
+  Alcotest.run "vm"
+    [
+      ( "control",
+        [
+          Alcotest.test_case "load const / ret" `Quick test_load_const_ret;
+          Alcotest.test_case "move / consti" `Quick test_move_and_consti;
+          Alcotest.test_case "goto" `Quick test_goto_skips;
+          Alcotest.test_case "if equality" `Quick test_if_equal_jumps;
+          Alcotest.test_case "fatal" `Quick test_fatal;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "adt" `Quick test_adt_roundtrip;
+          Alcotest.test_case "invoke / closure" `Quick test_invoke_and_closure;
+          Alcotest.test_case "recursion limit" `Quick test_recursion_limit;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "alloc + packed" `Quick test_alloc_and_packed;
+          Alcotest.test_case "shape mismatch rejected" `Quick test_packed_shape_mismatch_rejected;
+          Alcotest.test_case "upper bound sliced" `Quick test_upper_bound_sliced;
+          Alcotest.test_case "shape_of / reshape" `Quick test_shape_of_reshape;
+          Alcotest.test_case "device copy" `Quick test_device_copy_instruction;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "instruction counts" `Quick test_profiler_counts;
+          Alcotest.test_case "20-instruction ISA" `Quick test_isa_has_twenty_opcodes;
+        ] );
+    ]

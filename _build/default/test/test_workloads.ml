@@ -1,0 +1,128 @@
+(* Workload generator tests: determinism, distribution sanity, tree shape. *)
+
+open Nimble_tensor
+open Nimble_workloads
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:5 and b = Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create ~seed:6 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_bounds () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "unit interval" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_normal_moments () =
+  let rng = Rng.create ~seed:2 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.normal rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "var ~ 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_categorical () =
+  let rng = Rng.create ~seed:3 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 3000 do
+    let i = Rng.categorical rng [| 1.0; 2.0; 1.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* middle bucket should be about twice as likely *)
+  Alcotest.(check bool) "weighting" true
+    (counts.(1) > counts.(0) && counts.(1) > counts.(2))
+
+let test_mrpc_lengths () =
+  let ls = Mrpc.lengths 200 in
+  Alcotest.(check int) "count" 200 (List.length ls);
+  List.iter
+    (fun l -> Alcotest.(check bool) "plausible range" true (l >= 1 && l <= 70))
+    ls;
+  let mean = Mrpc.mean_length 200 in
+  Alcotest.(check bool) "mean near 25-30" true (mean > 15.0 && mean < 40.0);
+  (* deterministic *)
+  Alcotest.(check (list int)) "deterministic" ls (Mrpc.lengths 200)
+
+let test_mrpc_inputs_shapes () =
+  let config = Nimble_models.Lstm.small_config in
+  let inputs = Mrpc.lstm_inputs config 5 in
+  List.iter
+    (fun xs ->
+      List.iter
+        (fun x ->
+          Alcotest.(check (array int)) "embedding shape"
+            [| 1; config.Nimble_models.Lstm.input_size |]
+            (Tensor.shape x))
+        xs)
+    inputs
+
+let test_sst_trees () =
+  let config = Nimble_models.Tree_lstm.small_config in
+  let ts = Sst.trees config 50 in
+  Alcotest.(check int) "count" 50 (List.length ts);
+  List.iter
+    (fun t ->
+      let n = Nimble_models.Tree_lstm.num_tokens t in
+      Alcotest.(check bool) "plausible size" true (n >= 1 && n <= 50))
+    ts;
+  Alcotest.(check bool) "tokens accumulate" true (Sst.total_tokens ts > 100)
+
+let test_sst_tree_binary_structure () =
+  let config = Nimble_models.Tree_lstm.small_config in
+  (* every internal node has exactly two children by construction; check
+     leaf count = requested tokens *)
+  let rng = Rng.create ~seed:8 in
+  List.iter
+    (fun tokens ->
+      let t = Sst.sample_tree rng config ~tokens in
+      Alcotest.(check int) "leaf count" tokens (Nimble_models.Tree_lstm.num_tokens t))
+    [ 1; 2; 3; 10; 33 ]
+
+let prop_tree_tokens_exact =
+  QCheck.Test.make ~name:"sampled tree has requested leaves" ~count:50
+    (QCheck.int_range 1 40) (fun tokens ->
+      let rng = Rng.create ~seed:tokens in
+      let t = Sst.sample_tree rng Nimble_models.Tree_lstm.small_config ~tokens in
+      Nimble_models.Tree_lstm.num_tokens t = tokens)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+          Alcotest.test_case "categorical" `Quick test_categorical;
+        ] );
+      ( "mrpc",
+        [
+          Alcotest.test_case "lengths" `Quick test_mrpc_lengths;
+          Alcotest.test_case "input shapes" `Quick test_mrpc_inputs_shapes;
+        ] );
+      ( "sst",
+        [
+          Alcotest.test_case "trees" `Quick test_sst_trees;
+          Alcotest.test_case "binary structure" `Quick test_sst_tree_binary_structure;
+          QCheck_alcotest.to_alcotest prop_tree_tokens_exact;
+        ] );
+    ]
