@@ -38,10 +38,36 @@ let bechamel_ns ?(quota_s = 0.5) name f =
 
 (* --------------------------- tables --------------------------- *)
 
+(** When set (bench [--json]), {!print_table} emits each table as one
+    compact [nimble-bench/v1] JSON line on stdout instead of ASCII art, so
+    harness output can be diffed and post-processed. *)
+let json_mode = ref false
+
+(** A table as [nimble-bench/v1] JSON: missing cells become [null]. *)
+let table_json ~title ~unit ~columns rows : Nimble_vm.Json.t =
+  let open Nimble_vm.Json in
+  let cell = function Some v -> Float v | None -> Null in
+  Obj
+    [
+      ("schema", String "nimble-bench/v1");
+      ("title", String title);
+      ("unit", String unit);
+      ("columns", List (Stdlib.List.map (fun c -> String c) columns));
+      ( "rows",
+        List
+          (Stdlib.List.map
+             (fun (label, cells) ->
+               Obj
+                 [
+                   ("label", String label);
+                   ("cells", List (Stdlib.List.map cell cells));
+                 ])
+             rows) );
+    ]
+
 let rule width = String.make width '-'
 
-(** Print a table: header row + rows of (label, cells). *)
-let print_table ~title ~unit ~columns rows =
+let print_table_ascii ~title ~unit ~columns rows =
   let label_w =
     List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 10 rows
   in
@@ -64,5 +90,12 @@ let print_table ~title ~unit ~columns rows =
       Fmt.pr "@.")
     rows;
   Fmt.pr "%s@." (rule width)
+
+(** Print a table: header row + rows of (label, cells); one JSON line per
+    table instead when {!json_mode} is set. *)
+let print_table ~title ~unit ~columns rows =
+  if !json_mode then
+    print_endline (Nimble_vm.Json.to_string (table_json ~title ~unit ~columns rows))
+  else print_table_ascii ~title ~unit ~columns rows
 
 let us v = v *. 1e6

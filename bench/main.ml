@@ -53,18 +53,35 @@ let run_section name =
   | Some f ->
       let t0 = Unix.gettimeofday () in
       f ();
-      Fmt.pr "[%s completed in %.1f s]@." name (Unix.gettimeofday () -. t0)
+      if not !Bench_util.json_mode then
+        Fmt.pr "[%s completed in %.1f s]@." name (Unix.gettimeofday () -. t0)
   | None ->
       Fmt.epr "unknown section %s; available: %s, all@." name
         (String.concat ", " (List.map fst sections));
       exit 1
 
 let () =
-  Fmt.pr "Nimble reproduction benchmark harness@.";
-  Fmt.pr
-    "(platform latencies are trace-driven cost-model estimates; Table 4, Figure 3 and \
-     memplan are real host measurements — see DESIGN.md)@.";
-  match Array.to_list Sys.argv with
-  | _ :: ([] | [ "all" ]) -> List.iter (fun (name, _) -> run_section name) sections
-  | _ :: names -> List.iter run_section names
-  | [] -> ()
+  (* [--json] anywhere on the command line switches every table to one
+     nimble-bench/v1 JSON line on stdout (and silences the prose banner). *)
+  let names =
+    List.filter
+      (fun a ->
+        match a with
+        | "--json" ->
+            Bench_util.json_mode := true;
+            false
+        | "--profile-json" ->
+            Nimble_runner.json_dump := true;
+            false
+        | _ -> true)
+      (match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [])
+  in
+  if not !Bench_util.json_mode then begin
+    Fmt.pr "Nimble reproduction benchmark harness@.";
+    Fmt.pr
+      "(platform latencies are trace-driven cost-model estimates; Table 4, Figure 3 and \
+       memplan are real host measurements — see DESIGN.md)@."
+  end;
+  match names with
+  | [] | [ "all" ] -> List.iter (fun (name, _) -> run_section name) sections
+  | names -> List.iter run_section names

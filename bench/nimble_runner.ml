@@ -10,6 +10,12 @@ module Interp = Nimble_vm.Interp
 module Profiler = Nimble_vm.Profiler
 module Pool = Nimble_device.Pool
 
+(** When set (bench [--profile-json]), every {!invoke} appends one compact
+    [nimble-profile/v1] JSON line to stdout with the VM profiler's
+    cumulative state after the call — the same schema the CLI's
+    [--report] embeds (see [docs/OBSERVABILITY.md]). *)
+let json_dump = ref false
+
 type snapshot = { instrs : int; kernels : int; transfer_bytes : int }
 
 let snapshot vm =
@@ -37,4 +43,6 @@ let invoke vm args =
     Trace.record_framework "vm_transfer_bytes"
       ~amount:(after.transfer_bytes - before.transfer_bytes)
       ();
+  if !json_dump then
+    print_endline (Nimble_vm.Json.to_string (Profiler.to_json (Interp.profiler vm)));
   result

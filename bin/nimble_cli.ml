@@ -156,15 +156,27 @@ let compile_cmd =
   let output =
     Arg.(value & opt string "model.nimble" & info [ "o"; "output" ] ~doc:"Output path")
   in
-  let run model output =
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the compile report ($(i,nimble-compile/v1) JSON) to $(docv)")
+  in
+  let run model output report_out =
     let entry = lookup model in
     let exe, report = Nimble.compile_with_report (entry.build ()) in
     Nimble_vm.Serialize.save_file exe output;
     Fmt.pr "compiled %s -> %s@." model output;
-    Fmt.pr "%a@." Nimble.pp_report report
+    Fmt.pr "%a@." Nimble.pp_report report;
+    Option.iter
+      (fun path ->
+        Nimble_vm.Json.save_file (Nimble.report_to_json report) path;
+        Fmt.pr "report: %s@." path)
+      report_out
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a zoo model to a serialized executable")
-    Term.(const run $ model_arg $ output)
+    Term.(const run $ model_arg $ output $ report_out)
 
 let disasm_cmd =
   let path =
@@ -176,12 +188,61 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a serialized executable") Term.(const run $ path)
 
+let seq_arg =
+  Arg.(value & opt int 12 & info [ "seq" ] ~doc:"Sequence length / token count")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a VM execution trace and write it to $(docv) as Chrome \
+           $(i,trace_event) JSON (load in Perfetto or chrome://tracing)")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a $(i,nimble-report/v1) JSON (profiler + compile report) to \
+           $(docv)")
+
+(** The [nimble-report/v1] document: one CLI run's profiler report plus
+    the compile report that produced the executable. *)
+let run_report_json ~model ~seq ~(creport : Nimble.report) vm =
+  Nimble_vm.Json.Obj
+    [
+      ("schema", Nimble_vm.Json.String "nimble-report/v1");
+      ("model", Nimble_vm.Json.String model);
+      ("seq", Nimble_vm.Json.Int seq);
+      ("profile", Nimble_vm.Profiler.to_json (Interp.profiler vm));
+      ("compile", Nimble.report_to_json creport);
+    ]
+
+let save_trace ~model ~seq tr path =
+  let meta = [ ("model", model); ("seq", string_of_int seq) ] in
+  Nimble_vm.Trace.save_file ~meta tr path;
+  Fmt.pr "trace: %s (%d spans, %d dropped)@." path
+    (List.length (Nimble_vm.Trace.spans tr))
+    (Nimble_vm.Trace.dropped tr)
+
+let save_report ~model ~seq ~creport vm path =
+  Nimble_vm.Json.save_file (run_report_json ~model ~seq ~creport vm) path;
+  Fmt.pr "report: %s@." path
+
 let run_cmd =
-  let seq = Arg.(value & opt int 12 & info [ "seq" ] ~doc:"Sequence length / token count") in
-  let run model seq =
+  let run model seq trace_out report_out =
     let entry = lookup model in
-    let exe = Nimble.compile (entry.build ()) in
+    let exe, creport = Nimble.compile_with_report (entry.build ()) in
     let vm = Nimble.vm exe in
+    let tr =
+      match trace_out with
+      | Some _ -> Some (Nimble_vm.Trace.create ())
+      | None -> None
+    in
+    Interp.set_trace vm tr;
     let input = entry.sample_input ~seq in
     let t0 = Unix.gettimeofday () in
     let out = Interp.invoke vm [ input ] in
@@ -190,10 +251,61 @@ let run_cmd =
     | Nimble_vm.Obj.Tensor p ->
         Fmt.pr "output: %a (%.2f ms)@." Shape.pp (Tensor.shape p.Nimble_vm.Obj.data) ms
     | o -> Fmt.pr "output: %a (%.2f ms)@." Nimble_vm.Obj.pp o ms);
-    Fmt.pr "@.profile:@.%a" Nimble_vm.Profiler.pp (Interp.profiler vm)
+    Fmt.pr "@.profile:@.%a" Nimble_vm.Profiler.pp (Interp.profiler vm);
+    (match (tr, trace_out) with
+    | Some tr, Some path -> save_trace ~model ~seq tr path
+    | _ -> ());
+    Option.iter (save_report ~model ~seq ~creport vm) report_out
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and run a zoo model with profiling")
-    Term.(const run $ model_arg $ seq)
+    Term.(const run $ model_arg $ seq_arg $ trace_arg $ report_arg)
+
+let profile_cmd =
+  let runs =
+    Arg.(value & opt int 1 & info [ "runs" ] ~doc:"Number of measured invocations")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the $(i,nimble-report/v1) JSON to stdout instead of tables")
+  in
+  let run model seq runs json trace_out report_out =
+    let entry = lookup model in
+    let exe, creport = Nimble.compile_with_report (entry.build ()) in
+    let vm = Nimble.vm exe in
+    let tr =
+      match trace_out with
+      | Some _ -> Some (Nimble_vm.Trace.create ())
+      | None -> None
+    in
+    Interp.set_trace vm tr;
+    let input = entry.sample_input ~seq in
+    let runs = max 1 runs in
+    for _ = 1 to runs do
+      ignore (Interp.invoke vm [ input ])
+    done;
+    if json then
+      print_string
+        (Nimble_vm.Json.to_string_pretty (run_report_json ~model ~seq ~creport vm))
+    else begin
+      Fmt.pr "== compile (%s) ==@.%a@.@.%a@." model Nimble.pp_report creport
+        Nimble.pp_passes creport;
+      Fmt.pr "== runtime (seq=%d, %d run%s) ==@.%a" seq runs
+        (if runs = 1 then "" else "s")
+        Nimble_vm.Profiler.pp (Interp.profiler vm)
+    end;
+    (match (tr, trace_out) with
+    | Some tr, Some path -> save_trace ~model ~seq tr path
+    | _ -> ());
+    Option.iter (save_report ~model ~seq ~creport vm) report_out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Compile and run a zoo model, then print per-pass compile stats and \
+          the runtime profile (or the JSON report with $(b,--json))")
+    Term.(const run $ model_arg $ seq_arg $ runs $ json $ trace_arg $ report_arg)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -230,4 +342,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nimble_cli" ~doc)
-          [ models_cmd; compile_cmd; disasm_cmd; run_cmd; parse_cmd ]))
+          [ models_cmd; compile_cmd; disasm_cmd; run_cmd; profile_cmd; parse_cmd ]))

@@ -5,25 +5,47 @@
     selects one from the runtime value [m mod tile], falling back to the
     guarded (boundary-checked) kernel for uncovered residues. The dispatcher
     can also route to an extern library kernel when profiling marked it
-    faster. *)
+    faster.
+
+    Every dispatcher keeps hit/miss counters (total and per residue) and
+    registers itself in a process-wide table so the observability layer can
+    report dispatch-table statistics ({!snapshots}); {!last_selection} lets
+    the VM trace attribute each kernel invocation to the specialization
+    that actually fired. *)
 
 open Nimble_tensor
 
 type dense_fn = Tensor.t -> Tensor.t -> Tensor.t
 
+type selection = Hit of int | Miss of int | Extern
+
 type t = {
+  name : string;
   tile : int;
   covered : (int * dense_fn) list;  (** residue -> specialized kernel *)
   fallback : dense_fn;
   mutable extern : dense_fn option;  (** profiling-selected library kernel *)
   mutable hits : int;
   mutable misses : int;
+  mutable extern_calls : int;
+  residue_hits : int array;  (** hit count per residue class, length [tile] *)
 }
+
+(* Process-wide observability state: the dispatchers created so far (for
+   report aggregation) and the most recent selection (for trace
+   attribution). Compilation creates a handful of dispatchers per
+   executable, so the registry stays small. *)
+let registry : t list ref = ref []
+let last : (string * selection) option ref = ref None
+
+let last_selection () = !last
+let clear_last_selection () = last := None
 
 (** [create ~num_kernels] builds a dispatcher generating [num_kernels]
     residue-specialized kernels out of the [tile] possible ones; residues
-    are chosen evenly spaced, matching the paper's "dispatch/k" settings. *)
-let create ?(tile = Dense_kernels.tile) ~num_kernels () =
+    are chosen evenly spaced, matching the paper's "dispatch/k" settings.
+    [name] labels the dispatcher in reports (default ["dense"]). *)
+let create ?(name = "dense") ?(tile = Dense_kernels.tile) ~num_kernels () =
   if num_kernels < 0 || num_kernels > tile then
     Fmt.invalid_arg "Dispatch.create: num_kernels %d out of [0, %d]" num_kernels tile;
   let covered =
@@ -34,29 +56,42 @@ let create ?(tile = Dense_kernels.tile) ~num_kernels () =
           let r = i * step in
           (r, Dense_kernels.residue_kernel ~residue:r))
   in
-  {
-    tile;
-    covered;
-    fallback = Dense_kernels.guarded_kernel;
-    extern = None;
-    hits = 0;
-    misses = 0;
-  }
+  let t =
+    {
+      name;
+      tile;
+      covered;
+      fallback = Dense_kernels.guarded_kernel;
+      extern = None;
+      hits = 0;
+      misses = 0;
+      extern_calls = 0;
+      residue_hits = Array.make tile 0;
+    }
+  in
+  registry := t :: !registry;
+  t
 
 let set_extern t fn = t.extern <- Some fn
 
-(** Pick the kernel for runtime extent [m]. *)
+(** Pick the kernel for runtime extent [m], recording the selection. *)
 let select t ~m : dense_fn =
   match t.extern with
-  | Some fn -> fn
+  | Some fn ->
+      t.extern_calls <- t.extern_calls + 1;
+      last := Some (t.name, Extern);
+      fn
   | None -> (
       let r = m mod t.tile in
       match List.assoc_opt r t.covered with
       | Some fn ->
           t.hits <- t.hits + 1;
+          t.residue_hits.(r) <- t.residue_hits.(r) + 1;
+          last := Some (t.name, Hit r);
           fn
       | None ->
           t.misses <- t.misses + 1;
+          last := Some (t.name, Miss r);
           t.fallback)
 
 (** Run a dense call through the dispatcher. *)
@@ -69,3 +104,48 @@ let stats t = (t.hits, t.misses)
 (** Number of generated kernel bodies (code-size cost of dispatch, which the
     paper discusses as the trade-off knob). *)
 let code_size t = List.length t.covered + 1
+
+(* ----------------------- report aggregation ----------------------- *)
+
+type snapshot = {
+  snap_name : string;
+  snap_tile : int;
+  snap_kernels : int;  (** residue-specialized bodies generated *)
+  snap_hits : int;
+  snap_misses : int;
+  snap_extern_calls : int;
+  snap_residue_hits : (int * int) list;  (** residue -> hits, nonzero only *)
+}
+
+let snapshot_of t =
+  {
+    snap_name = t.name;
+    snap_tile = t.tile;
+    snap_kernels = List.length t.covered;
+    snap_hits = t.hits;
+    snap_misses = t.misses;
+    snap_extern_calls = t.extern_calls;
+    snap_residue_hits =
+      Array.to_list t.residue_hits
+      |> List.mapi (fun r n -> (r, n))
+      |> List.filter (fun (_, n) -> n > 0);
+  }
+
+(** Per-dispatcher counters for every dispatcher created in this process,
+    oldest first, dispatchers that never fired excluded. *)
+let snapshots () =
+  List.rev !registry
+  |> List.filter (fun t -> t.hits + t.misses + t.extern_calls > 0)
+  |> List.map snapshot_of
+
+(** Zero every registered dispatcher's counters, scoping the next
+    {!snapshots} to one measurement window. *)
+let reset_counters () =
+  List.iter
+    (fun t ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.extern_calls <- 0;
+      Array.fill t.residue_hits 0 t.tile 0)
+    !registry;
+  last := None

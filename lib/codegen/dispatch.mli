@@ -5,25 +5,37 @@
     one from [m mod tile], falling back to the boundary-guarded kernel for
     uncovered residues — trading code size against the boundary-check cost
     Figure 3 measures. It can also route to a profiled third-party library
-    kernel. *)
+    kernel.
+
+    Dispatchers also feed the observability layer: each keeps hit/miss
+    counters (total and per residue class) and registers itself in a
+    process-wide table read by {!snapshots}, and {!last_selection} exposes
+    the most recent routing decision so the VM trace can attribute a kernel
+    invocation to the specialization that fired. *)
 
 open Nimble_tensor
 
 type dense_fn = Tensor.t -> Tensor.t -> Tensor.t
+
+(** The routing decision for one call: a residue-specialized kernel
+    ([Hit r]), the guarded fallback on an uncovered residue ([Miss r]), or
+    the extern library kernel. *)
+type selection = Hit of int | Miss of int | Extern
 
 type t
 
 (** [create ~num_kernels ()] generates [num_kernels] of the [tile] (default
     8) possible residue kernels, evenly spaced — the paper's "dispatch/k".
     [num_kernels = 0] means no dispatch: every call takes the guarded
-    fallback. *)
-val create : ?tile:int -> num_kernels:int -> unit -> t
+    fallback.
+    @param name label used in reports and traces (default ["dense"]). *)
+val create : ?name:string -> ?tile:int -> num_kernels:int -> unit -> t
 
 (** Route every call to a third-party library kernel (the §4.5 extension for
     profiling-selected extern kernels). *)
 val set_extern : t -> dense_fn -> unit
 
-(** Select the kernel for runtime extent [m]. *)
+(** Select the kernel for runtime extent [m], recording the selection. *)
 val select : t -> m:int -> dense_fn
 
 (** Run a dense call through the dispatcher. *)
@@ -34,3 +46,36 @@ val stats : t -> int * int
 
 (** Number of generated kernel bodies — the code-size cost of dispatch. *)
 val code_size : t -> int
+
+(** {2 Observability} *)
+
+(** The most recent routing decision in this process, as
+    [(dispatcher name, selection)] — read (and cleared with
+    {!clear_last_selection}) by the VM interpreter around each
+    packed-kernel call to tag the kernel's trace span. When several dense
+    calls are fused into one kernel, the last call wins. *)
+val last_selection : unit -> (string * selection) option
+
+val clear_last_selection : unit -> unit
+
+(** Counters of one dispatcher at one instant (the [dispatch] rows of the
+    profiler report; see [docs/OBSERVABILITY.md]). *)
+type snapshot = {
+  snap_name : string;
+  snap_tile : int;
+  snap_kernels : int;  (** residue-specialized bodies generated *)
+  snap_hits : int;
+  snap_misses : int;
+  snap_extern_calls : int;
+  snap_residue_hits : (int * int) list;  (** residue -> hits, nonzero only *)
+}
+
+val snapshot_of : t -> snapshot
+
+(** Per-dispatcher counters for every dispatcher created in this process,
+    oldest first; dispatchers that never fired are excluded. *)
+val snapshots : unit -> snapshot list
+
+(** Zero every registered dispatcher's counters, scoping the next
+    {!snapshots} to one measurement window. *)
+val reset_counters : unit -> unit

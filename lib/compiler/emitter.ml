@@ -81,14 +81,15 @@ let func_index st name =
 (* Packed function registration                                        *)
 (* ------------------------------------------------------------------ *)
 
-let register_packed st name kind (impl : Tensor.t list -> Tensor.t list) =
+let register_packed ?mode st name kind (impl : Tensor.t list -> Tensor.t list) =
   match Hashtbl.find_opt st.packed name with
   | Some idx -> idx
   | None ->
       let idx = List.length !(st.packed_list) in
       Hashtbl.replace st.packed name idx;
       st.packed_list := (name, kind) :: !(st.packed_list);
-      Hashtbl.replace st.packed_impls name { Exe.packed_name = name; kind; run = impl };
+      Hashtbl.replace st.packed_impls name
+        { Exe.packed_name = name; kind; mode; run = impl };
       idx
 
 (* The op call at the root of a singleton primitive, for shape functions. *)
@@ -103,7 +104,7 @@ let kernel_of_primitive st (prim : Expr.fn) =
   let dispatch =
     match st.opts.dense_dispatch with
     | Some k when List.mem "dense" (Fusion.primitive_ops prim) ->
-        let d = Nimble_codegen.Dispatch.create ~num_kernels:k () in
+        let d = Nimble_codegen.Dispatch.create ~name ~num_kernels:k () in
         if
           st.opts.profile_extern
           && Nimble_codegen.Tuner.profile_extern ~n:64 ~k:64 () = `Extern
@@ -146,7 +147,7 @@ let shape_func_of_primitive st (prim : Expr.fn) ~(mode : string) =
         | None -> err "upper-bound shape function on a fused primitive")
     | m -> err "unknown shape function mode %s" m
   in
-  register_packed st name `Shape_func impl
+  register_packed ~mode st name `Shape_func impl
 
 (* ------------------------------------------------------------------ *)
 (* Function compilation                                                *)

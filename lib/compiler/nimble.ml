@@ -32,6 +32,16 @@ let default_options =
     profile_extern = false;
   }
 
+(** One pipeline stage's contribution to the compile report: wall time and
+    the IR-size delta it caused (expression nodes before/after — fusion
+    grows the module, DCE shrinks it, analyses leave it unchanged). *)
+type pass_stat = {
+  pass_name : string;
+  pass_seconds : float;
+  nodes_before : int;
+  nodes_after : int;
+}
+
 type report = {
   residual_checks : int;  (** runtime type checks deferred by gradual typing *)
   primitives : int;
@@ -42,36 +52,73 @@ type report = {
   kills_inserted : int;
   device_copies : int;
   instructions : int;
+  passes : pass_stat list;  (** per-pass timings and deltas, pipeline order *)
 }
+
+(** Total expression nodes across a module's functions — the "IR size" the
+    per-pass deltas track. *)
+let ir_size (m : Irmod.t) : int =
+  List.fold_left
+    (fun acc (_, (fn : Nimble_ir.Expr.fn)) ->
+      acc + Nimble_ir.Expr.size (Nimble_ir.Expr.Fn fn))
+    0 (Irmod.functions m)
 
 (** Run the pass pipeline, returning the processed module and a report. *)
 let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
+  let passes = ref [] in
+  let record name seconds before after =
+    passes :=
+      { pass_name = name; pass_seconds = seconds; nodes_before = before; nodes_after = after }
+      :: !passes
+  in
+  (* time a transform returning a new module *)
+  let timed name f m =
+    let before = ir_size m in
+    let t0 = Unix.gettimeofday () in
+    let m' = f m in
+    record name (Unix.gettimeofday () -. t0) before (ir_size m');
+    m'
+  in
+  (* time a pass that mutates the module in place and returns statistics *)
+  let timed_stats name f m =
+    let before = ir_size m in
+    let t0 = Unix.gettimeofday () in
+    let r = f m in
+    record name (Unix.gettimeofday () -. t0) before (ir_size m);
+    r
+  in
   (* ANF first: it is the only pass that understands builder DAG sharing;
      everything after walks linear let-chains. *)
-  let m = Anf.run m in
-  ignore (Inline.run m);
-  let m = Anf.run m in
-  let m = Cse.run m in
-  let m = Const_fold.run m in
-  let m = Dce.run m in
-  let infer_result = Nimble_typing.Infer.infer_module m in
-  let m = Type_resolve.run m infer_result.Nimble_typing.Infer.solver in
-  let m = Fusion.run ~merge:options.fuse m in
+  let m = timed "anf" Anf.run m in
+  ignore (timed_stats "inline" (fun m -> Inline.run m) m);
+  let m = timed "anf" Anf.run m in
+  let m = timed "cse" Cse.run m in
+  let m = timed "const_fold" Const_fold.run m in
+  let m = timed "dce" Dce.run m in
+  let infer_result = timed_stats "infer" Nimble_typing.Infer.infer_module m in
+  let m =
+    timed "type_resolve"
+      (fun m -> Type_resolve.run m infer_result.Nimble_typing.Infer.solver)
+      m
+  in
+  let m = timed "fusion" (Fusion.run ~merge:options.fuse) m in
   let primitives =
     List.fold_left
       (fun acc (_, (fn : Nimble_ir.Expr.fn)) ->
         acc + List.length (Fusion.primitives_of fn.Nimble_ir.Expr.body))
       0 (Irmod.functions m)
   in
-  let m = Manifest_alloc.run ~device:options.target_device m in
+  let m = timed "manifest_alloc" (Manifest_alloc.run ~device:options.target_device) m in
   let dp_stats =
-    if options.device_placement then Device_place.run m
+    if options.device_placement then
+      timed_stats "device_place" (fun m -> Device_place.run m) m
     else { Device_place.copies_inserted = 0 }
   in
   let mp_stats =
-    if options.memory_plan then Memory_plan.run m else Memory_plan.fresh_stats ()
+    if options.memory_plan then timed_stats "memory_plan" Memory_plan.run m
+    else Memory_plan.fresh_stats ()
   in
-  let m = Dce.run m in
+  let m = timed "dce" Dce.run m in
   ( m,
     {
       residual_checks = infer_result.Nimble_typing.Infer.residual_checks;
@@ -83,6 +130,7 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
       kills_inserted = mp_stats.Memory_plan.kills_inserted;
       device_copies = dp_stats.Device_place.copies_inserted;
       instructions = 0;
+      passes = List.rev !passes;
     } )
 
 (** Compile a module to a linked VM executable. *)
@@ -128,3 +176,40 @@ let pp_report ppf (r : report) =
     r.residual_checks r.primitives r.storages_before_planning
     r.storages_after_planning r.arena_bytes r.unplanned_bytes r.kills_inserted
     r.device_copies r.instructions
+
+let pp_passes ppf (r : report) =
+  Fmt.pf ppf "%-14s %9s %8s %8s@." "pass" "ms" "nodes" "delta";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%-14s %9.3f %8d %+8d@." p.pass_name (p.pass_seconds *. 1e3)
+        p.nodes_after
+        (p.nodes_after - p.nodes_before))
+    r.passes
+
+let report_to_json (r : report) : Nimble_vm.Json.t =
+  let open Nimble_vm.Json in
+  Obj
+    [
+      ("schema", String "nimble-compile/v1");
+      ("residual_checks", Int r.residual_checks);
+      ("primitives", Int r.primitives);
+      ("storages_before_planning", Int r.storages_before_planning);
+      ("storages_after_planning", Int r.storages_after_planning);
+      ("arena_bytes", Int r.arena_bytes);
+      ("unplanned_bytes", Int r.unplanned_bytes);
+      ("kills_inserted", Int r.kills_inserted);
+      ("device_copies", Int r.device_copies);
+      ("instructions", Int r.instructions);
+      ( "passes",
+        List
+          (List.map
+             (fun p ->
+               Obj
+                 [
+                   ("name", String p.pass_name);
+                   ("seconds", Float p.pass_seconds);
+                   ("nodes_before", Int p.nodes_before);
+                   ("nodes_after", Int p.nodes_after);
+                 ])
+             r.passes) );
+    ]

@@ -23,6 +23,18 @@ type options = {
 
 val default_options : options
 
+(** One pipeline stage's contribution to the compile report: its wall time
+    and the IR-size delta it caused. IR size is the total expression-node
+    count over the module's functions ({!ir_size}) — fusion grows it,
+    DCE/CSE shrink it, pure analyses (inference, inlining stats) leave it
+    unchanged. *)
+type pass_stat = {
+  pass_name : string;  (** e.g. ["anf"], ["fusion"]; ["dce"] appears twice *)
+  pass_seconds : float;  (** wall-clock time of the pass *)
+  nodes_before : int;
+  nodes_after : int;
+}
+
 (** Per-compile statistics surfaced for tests, benches and the CLI. *)
 type report = {
   residual_checks : int;  (** runtime type checks deferred by gradual typing *)
@@ -34,7 +46,12 @@ type report = {
   kills_inserted : int;
   device_copies : int;
   instructions : int;  (** emitted bytecode size *)
+  passes : pass_stat list;  (** per-pass timings and deltas, pipeline order *)
 }
+
+(** Total expression nodes across the module's functions — the "IR size"
+    tracked by {!pass_stat} deltas. *)
+val ir_size : Nimble_ir.Irmod.t -> int
 
 (** Run the pass pipeline only (no bytecode emission): ANF, inlining, CSE,
     constant folding, DCE, type inference with [Any], fusion, manifest
@@ -60,3 +77,12 @@ val run :
 val compile_static : Nimble_ir.Irmod.t -> Static_exec.t
 
 val pp_report : Format.formatter -> report -> unit
+
+(** Render the per-pass table (pass, ms, nodes after, node delta). *)
+val pp_passes : Format.formatter -> report -> unit
+
+(** The compile report as [nimble-compile/v1] JSON: the scalar fields of
+    {!report} plus a [passes] array of
+    [{name, seconds, nodes_before, nodes_after}] objects. See
+    [docs/OBSERVABILITY.md]. *)
+val report_to_json : report -> Nimble_vm.Json.t

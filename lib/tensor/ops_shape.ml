@@ -86,8 +86,9 @@ let split ~axis ~sections a =
       done;
       out)
 
-(** [strided_slice ~begins ~ends a]: per-dim [begin, end) windows (step 1).
-    Negative indices count from the end; ends are clamped. *)
+(** [strided_slice ~begins ~ends a]: per-dim windows from [begins]
+    (inclusive) to [ends] (exclusive), step 1. Negative indices count from
+    the end; ends are clamped. *)
 let strided_slice ~begins ~ends a =
   let s = Tensor.shape a in
   let r = Shape.rank s in

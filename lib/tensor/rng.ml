@@ -17,19 +17,19 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** Uniform in [0, bound). *)
+(** Uniform integer, 0 inclusive to [bound] exclusive. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* mask to 62 bits so the value stays non-negative after Int64.to_int *)
   let v = Int64.to_int (next_int64 t) land max_int in
   v mod bound
 
-(** Uniform float in [0, 1). *)
+(** Uniform float, 0 inclusive to 1 exclusive. *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in
   Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
 
-(** Uniform float in [lo, hi). *)
+(** Uniform float, [lo] inclusive to [hi] exclusive. *)
 let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
 (** Standard normal via Box-Muller. *)

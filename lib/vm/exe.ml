@@ -18,6 +18,9 @@ type vmfunc = {
 type packed = {
   packed_name : string;
   kind : [ `Kernel | `Shape_func ];
+  mode : string option;
+      (** shape-function mode ("data_indep" / "data_dep" / "upper_bound"),
+          carried for trace tagging; [None] for kernels *)
   run : Tensor.t list -> Tensor.t list;
 }
 

@@ -4,6 +4,9 @@
 
 open Nimble_tensor
 
+(** One lowered VM function: straight-line {!Isa} bytecode over a
+    frame-local register file of [register_count] virtual registers, the
+    first [arity] of which hold the arguments on entry. *)
 type vmfunc = {
   name : string;
   arity : int;
@@ -13,13 +16,22 @@ type vmfunc = {
 
 (** A packed function: a compiled kernel or a compiled shape function.
     [run] computes fresh outputs; the interpreter blits them into the
-    pre-allocated destinations of [InvokePacked]. *)
+    pre-allocated destinations of [InvokePacked]. Packed implementations
+    are platform-dependent and therefore never serialized; {!Serialize}
+    stores only [packed_names] and {!link} reattaches implementations by
+    name. *)
 type packed = {
   packed_name : string;
   kind : [ `Kernel | `Shape_func ];
+  mode : string option;
+      (** shape-function mode ("data_indep" / "data_dep" / "upper_bound"),
+          carried for trace tagging; [None] for kernels *)
   run : Tensor.t list -> Tensor.t list;
 }
 
+(** An executable: the serializable, platform-independent part (bytecode
+    functions, constant pool, packed-function names) plus the linked-in
+    platform-dependent implementations. *)
 type t = {
   funcs : vmfunc array;
   constants : Tensor.t array;
@@ -27,6 +39,8 @@ type t = {
   mutable packed : packed option array;  (** linked implementations *)
 }
 
+(** Assemble an executable with every packed slot unlinked; call {!link}
+    for each name in [packed_names] before handing it to the interpreter. *)
 val create :
   funcs:vmfunc array ->
   constants:Tensor.t array ->
@@ -36,6 +50,7 @@ val create :
 (** Index of a VM function by name. @raise Invalid_argument if absent. *)
 val func_index : t -> string -> int
 
+(** Index of a declared packed function by name; [None] if undeclared. *)
 val packed_index : t -> string -> int option
 
 (** Link one packed implementation by name.
@@ -45,6 +60,8 @@ val link : t -> packed -> unit
 (** Every declared packed function has an implementation. *)
 val linked : t -> bool
 
+(** The linked implementation at a packed index.
+    @raise Invalid_argument if that slot was never {!link}ed. *)
 val get_packed : t -> int -> packed
 
 (** Static well-formedness checks: register bounds, jump targets, constant /
@@ -55,4 +72,6 @@ val validate : t -> string list
 (** Human-readable disassembly. *)
 val disassemble : Format.formatter -> t -> unit
 
+(** Total bytecode instructions across all functions (the [instructions]
+    field of the compile report). *)
 val instruction_count : t -> int

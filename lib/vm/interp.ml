@@ -27,6 +27,9 @@ type t = {
       (** QoS hook (paper SS5.3): called before every instruction, letting a
           scheduler pause, deprioritize, or abort this inference in favor of
           a time-critical one (raise {!Preempted} to abort) *)
+  mutable trace : Trace.t option;
+      (** event recorder; when set, the dispatch loop emits spans for every
+          instruction, kernel, shape function, allocation and device copy *)
 }
 
 exception Preempted
@@ -40,10 +43,38 @@ let create ?(max_depth = 100_000) ?(pooling = true) exe =
     pooling;
     arenas = Hashtbl.create 4;
     on_instruction = None;
+    trace = None;
   }
 
 (** Install (or clear) the QoS instruction hook. *)
 let set_instruction_hook vm hook = vm.on_instruction <- hook
+
+(** Install (or clear) a structured event recorder. Tracing is off by
+    default; with no trace installed the dispatch loop takes no extra
+    clock reads. *)
+let set_trace vm trace = vm.trace <- trace
+
+let trace vm = vm.trace
+
+(* Trace-span helpers: every [record_*] is a no-op when no trace is
+   installed, so the hot loop only pays for observability when asked. *)
+
+let shapes_arg tensors =
+  String.concat ";" (List.map (fun t -> Shape.to_string (Tensor.shape t)) tensors)
+
+let dispatch_args () =
+  match Nimble_codegen.Dispatch.last_selection () with
+  | None -> []
+  | Some (dname, sel) ->
+      let which, residue =
+        match sel with
+        | Nimble_codegen.Dispatch.Hit r -> ("hit", Some r)
+        | Nimble_codegen.Dispatch.Miss r -> ("miss", Some r)
+        | Nimble_codegen.Dispatch.Extern -> ("extern", None)
+      in
+      ("dispatch", Trace.Str which)
+      :: ("dispatch_table", Trace.Str dname)
+      :: (match residue with Some r -> [ ("residue", Trace.Int r) ] | None -> [])
 
 let now () = Unix.gettimeofday ()
 
@@ -101,6 +132,7 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
     let instr = code.(!pc) in
     (match vm.on_instruction with Some hook -> hook instr | None -> ());
     Profiler.count prof instr;
+    let instr_ts = match vm.trace with Some tr -> Trace.now_us tr | None -> 0.0 in
     (match instr with
     | Isa.Move { src; dst } ->
         regs.(dst) <- get src;
@@ -131,6 +163,13 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
                 packed.Exe.packed_name i Nimble_device.Device.pp p.Obj.device
                 Nimble_device.Device.pp dev)
           placed_ins;
+        let ts_us =
+          match vm.trace with
+          | Some tr ->
+              Nimble_codegen.Dispatch.clear_last_selection ();
+              Trace.now_us tr
+          | None -> 0.0
+        in
         let t0 = now () in
         let results = packed.Exe.run (Array.to_list (Array.map (fun p -> p.Obj.data) placed_ins)) in
         let dt = now () -. t0 in
@@ -142,6 +181,30 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
             prof.Profiler.shape_func_invocations <-
               prof.Profiler.shape_func_invocations + 1);
         Profiler.record_kernel prof packed.Exe.packed_name ~seconds:dt;
+        (match vm.trace with
+        | Some tr ->
+            let cat, extra =
+              match packed.Exe.kind with
+              | `Kernel -> (Trace.cat_kernel, dispatch_args ())
+              | `Shape_func ->
+                  ( Trace.cat_shape_func,
+                    [
+                      ( "mode",
+                        Trace.Str (Option.value ~default:"?" packed.Exe.mode) );
+                    ] )
+            in
+            Trace.record tr ~name:packed.Exe.packed_name ~cat ~ts_us
+              ~dur_us:(dt *. 1e6)
+              ([
+                 ( "in_shapes",
+                   Trace.Str
+                     (shapes_arg
+                        (Array.to_list (Array.map (fun p -> p.Obj.data) placed_ins))) );
+                 ("out_shapes", Trace.Str (shapes_arg results));
+                 ("upper_bound", Trace.Bool upper_bound);
+               ]
+              @ extra)
+        | None -> ());
         if List.length results <> Array.length outs then
           err "packed %s: %d results for %d outputs" packed.Exe.packed_name
             (List.length results) (Array.length outs);
@@ -156,26 +219,49 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
         let device = Nimble_device.Device.of_id device_id in
         (* every allocation request is counted; pooled hits just cost less *)
         Nimble_device.Pool.record_alloc prof.Profiler.pool device ~bytes;
-        let storage =
+        let storage, pool_hit =
           if vm.pooling && depth = 0 then begin
             let key = Fmt.str "%d:%d:%d:%d" fi !pc device_id bytes in
             match Hashtbl.find_opt vm.arenas key with
-            | Some cached -> cached
+            | Some cached -> (cached, true)
             | None ->
                 let fresh = Storage.create ~device ~bytes ~is_arena:arena in
                 Hashtbl.replace vm.arenas key fresh;
-                fresh
+                (fresh, false)
           end
-          else Storage.create ~device ~bytes ~is_arena:arena
+          else (Storage.create ~device ~bytes ~is_arena:arena, false)
         in
-        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. (now () -. t0);
+        if pool_hit then prof.Profiler.pool_hits <- prof.Profiler.pool_hits + 1;
+        let dt = now () -. t0 in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. dt;
+        (match vm.trace with
+        | Some tr ->
+            Trace.record tr ~name:"alloc_storage" ~cat:Trace.cat_alloc
+              ~ts_us:instr_ts ~dur_us:(dt *. 1e6)
+              [
+                ("bytes", Trace.Int bytes);
+                ("device", Trace.Int device_id);
+                ("pool_hit", Trace.Bool pool_hit);
+                ("arena", Trace.Bool arena);
+              ]
+        | None -> ());
         set_reg dst (Obj.Storage storage);
         incr pc
     | Isa.AllocTensor { storage; offset; shape; dtype; dst } ->
         let t0 = now () in
         let s = Obj.to_storage (get storage) in
         let data = Storage.alloc_tensor s ~offset ~shape ~dtype in
-        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. (now () -. t0);
+        let dt = now () -. t0 in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. dt;
+        (match vm.trace with
+        | Some tr ->
+            Trace.record tr ~name:"alloc_tensor" ~cat:Trace.cat_alloc
+              ~ts_us:instr_ts ~dur_us:(dt *. 1e6)
+              [
+                ("bytes", Trace.Int (Tensor.size_in_bytes data));
+                ("shape", Trace.Str (Shape.to_string (Tensor.shape data)));
+              ]
+        | None -> ());
         set_reg dst (Obj.Tensor { Obj.data; device = s.Storage.device });
         incr pc
     | Isa.AllocTensorReg { storage; offset; shape; dtype; dst } ->
@@ -183,7 +269,17 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
         let s = Obj.to_storage (get storage) in
         let dims = Tensor.to_shape (Obj.to_tensor (get shape)) in
         let data = Storage.alloc_tensor s ~offset ~shape:dims ~dtype in
-        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. (now () -. t0);
+        let dt = now () -. t0 in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. dt;
+        (match vm.trace with
+        | Some tr ->
+            Trace.record tr ~name:"alloc_tensor_reg" ~cat:Trace.cat_alloc
+              ~ts_us:instr_ts ~dur_us:(dt *. 1e6)
+              [
+                ("bytes", Trace.Int (Tensor.size_in_bytes data));
+                ("shape", Trace.Str (Shape.to_string (Tensor.shape data)));
+              ]
+        | None -> ());
         set_reg dst (Obj.Tensor { Obj.data; device = s.Storage.device });
         incr pc
     | Isa.AllocADT { tag; fields; dst } ->
@@ -222,6 +318,17 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
         let data = Tensor.copy p.Obj.data in
         Nimble_device.Pool.record_transfer prof.Profiler.pool ~dst:device
           ~bytes:(Tensor.size_in_bytes data);
+        (match vm.trace with
+        | Some tr ->
+            Trace.record tr ~name:"device_copy" ~cat:Trace.cat_device_copy
+              ~ts_us:instr_ts
+              ~dur_us:(Trace.now_us tr -. instr_ts)
+              [
+                ("bytes", Trace.Int (Tensor.size_in_bytes data));
+                ("src_device", Trace.Int p.Obj.device.Nimble_device.Device.id);
+                ("dst_device", Trace.Int dst_device_id);
+              ]
+        | None -> ());
         set_reg dst (Obj.Tensor { Obj.data; device });
         incr pc
     | Isa.ShapeOf { tensor; dst } ->
@@ -235,7 +342,14 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
         set_reg dst (Obj.Tensor { Obj.data = Tensor.reshape p.Obj.data dims; device = p.Obj.device });
         incr pc
     | Isa.Fatal msg -> err "fatal: %s" msg);
-    ()
+    (match vm.trace with
+    | Some tr ->
+        Trace.record tr
+          ~name:(Isa.opcode_name (Isa.opcode instr))
+          ~cat:Trace.cat_instr ~ts_us:instr_ts
+          ~dur_us:(Trace.now_us tr -. instr_ts)
+          []
+    | None -> ())
   done;
   Option.get !result
 
@@ -250,11 +364,17 @@ let rec escape_pool (o : Obj.t) : Obj.t =
 (** Invoke a VM function by name. *)
 let invoke ?(func = "main") vm (args : Obj.t list) : Obj.t =
   let fi = Exe.func_index vm.exe func in
+  let ts_us = match vm.trace with Some tr -> Trace.now_us tr | None -> 0.0 in
   let t0 = now () in
   let result = exec_func vm ~depth:0 fi (Array.of_list args) in
   let result = if vm.pooling then escape_pool result else result in
-  vm.profiler.Profiler.total_seconds <-
-    vm.profiler.Profiler.total_seconds +. (now () -. t0);
+  let dt = now () -. t0 in
+  vm.profiler.Profiler.total_seconds <- vm.profiler.Profiler.total_seconds +. dt;
+  (match vm.trace with
+  | Some tr ->
+      Trace.record tr ~name:("invoke:" ^ func) ~cat:Trace.cat_invoke ~ts_us
+        ~dur_us:(dt *. 1e6) []
+  | None -> ());
   result
 
 (** Convenience: tensor inputs, tensor output. *)

@@ -18,10 +18,41 @@ exception Preempted
     @raise Vm_error if the executable has unlinked packed functions. *)
 val create : ?max_depth:int -> ?pooling:bool -> Exe.t -> t
 
-(** Install (or clear, with [None]) a hook called before every instruction:
-    a QoS scheduler can count, pause, or abort (raise {!Preempted}) the
-    running inference. *)
+(** Install (or clear, with [None]) the QoS preemption hook (paper §5.3).
+
+    Contract: the hook is called synchronously from the dispatch loop
+    {e before} every instruction executes, with the instruction about to
+    run. Returning normally lets execution continue; raising {!Preempted}
+    (or any exception) aborts the inference — the exception propagates out
+    of {!invoke} and no further instructions run. Because the VM blocks in
+    the hook, a scheduler may also {e pause} the inference by simply not
+    returning until the resource is free. The hook must not re-enter this
+    interpreter instance. Hook time is attributed to the VM's "other"
+    (non-kernel) time by the profiler.
+
+    QoS example — abort a long batch job after 10 ms so a latency-critical
+    request can take over, then restart it later:
+    {[
+      let deadline = Unix.gettimeofday () +. 0.010 in
+      Interp.set_instruction_hook vm
+        (Some (fun _instr ->
+           if Unix.gettimeofday () > deadline then raise Interp.Preempted));
+      match Interp.invoke vm args with
+      | result -> result
+      | exception Interp.Preempted -> (* re-enqueue at lower priority *) ...
+    ]} *)
 val set_instruction_hook : t -> (Isa.t -> unit) option -> unit
+
+(** Install (or clear, with [None]) a structured event recorder: with a
+    trace installed, the dispatch loop emits one span per instruction plus
+    detailed spans for kernels (resolved shapes, residue-dispatch
+    selection), shape functions (tagged by mode), allocations (bytes,
+    pool hits) and device copies. Tracing is off by default and costs
+    nothing when off; see {!Trace} and [docs/OBSERVABILITY.md]. *)
+val set_trace : t -> Trace.t option -> unit
+
+(** The currently installed event recorder, if any. *)
+val trace : t -> Trace.t option
 
 (** Invoke a VM function (default ["main"]) with the given arguments.
     @raise Vm_error on any runtime fault (bad operands, device mismatch,

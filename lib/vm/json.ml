@@ -1,0 +1,316 @@
+(** Minimal JSON values: the wire format of the observability layer.
+
+    The container ships no JSON library, so the telemetry surface (VM
+    traces, profiler reports, compile reports, bench tables — see
+    [docs/OBSERVABILITY.md]) carries its own emitter and parser. The
+    emitter produces strict RFC 8259 JSON; the parser accepts exactly what
+    the emitter produces (plus insignificant whitespace), which is all the
+    round-trip tests and trajectory scrapers need. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_repr f =
+  (* NaN / infinities are not JSON; null keeps the document valid *)
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Fmt.str "%.1f" f
+  else Fmt.str "%.17g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s -> escape_string b s
+  | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_string b k;
+          Buffer.add_char b ':';
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  write b v;
+  Buffer.contents b
+
+(* Indented emission, for files a human will open. *)
+let rec write_pretty b indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> write b v
+  | List [] -> Buffer.add_string b "[]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | List vs ->
+      let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad';
+          write_pretty b (indent + 2) v)
+        vs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b pad;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      let pad = String.make indent ' ' and pad' = String.make (indent + 2) ' ' in
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b pad';
+          escape_string b k;
+          Buffer.add_string b ": ";
+          write_pretty b (indent + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      Buffer.add_string b pad;
+      Buffer.add_char b '}'
+
+let to_string_pretty v =
+  let b = Buffer.create 4096 in
+  write_pretty b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let save_file v path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty v))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> err "expected %C at offset %d, found %C" c p.pos c'
+  | None -> err "expected %C at offset %d, found end of input" c p.pos
+
+let parse_literal p lit value =
+  if
+    p.pos + String.length lit <= String.length p.src
+    && String.sub p.src p.pos (String.length lit) = lit
+  then begin
+    p.pos <- p.pos + String.length lit;
+    value
+  end
+  else err "bad literal at offset %d" p.pos
+
+let parse_string_body p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> err "unterminated string at offset %d" p.pos
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | Some '"' -> advance p; Buffer.add_char b '"'; go ()
+        | Some '\\' -> advance p; Buffer.add_char b '\\'; go ()
+        | Some '/' -> advance p; Buffer.add_char b '/'; go ()
+        | Some 'n' -> advance p; Buffer.add_char b '\n'; go ()
+        | Some 'r' -> advance p; Buffer.add_char b '\r'; go ()
+        | Some 't' -> advance p; Buffer.add_char b '\t'; go ()
+        | Some 'b' -> advance p; Buffer.add_char b '\b'; go ()
+        | Some 'f' -> advance p; Buffer.add_char b '\012'; go ()
+        | Some 'u' ->
+            advance p;
+            if p.pos + 4 > String.length p.src then err "truncated \\u escape";
+            let hex = String.sub p.src p.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> err "bad \\u escape %S" hex
+            in
+            p.pos <- p.pos + 4;
+            (* UTF-8 encode the code point (BMP only, like the emitter) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> err "bad escape at offset %d" p.pos)
+    | Some c ->
+        advance p;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+  then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> err "bad number %S at offset %d" s start
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> err "bad number %S at offset %d" s start)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> err "unexpected end of input"
+  | Some 'n' -> parse_literal p "null" Null
+  | Some 't' -> parse_literal p "true" (Bool true)
+  | Some 'f' -> parse_literal p "false" (Bool false)
+  | Some '"' -> String (parse_string_body p)
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              items (v :: acc)
+          | Some ']' ->
+              advance p;
+              List (List.rev (v :: acc))
+          | _ -> err "expected ',' or ']' at offset %d" p.pos
+        in
+        items []
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws p;
+          let k = parse_string_body p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance p;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> err "expected ',' or '}' at offset %d" p.pos
+        in
+        fields []
+  | Some c -> err "unexpected character %C at offset %d" c p.pos
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then err "trailing garbage at offset %d" p.pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (for tests and scrapers)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let member_exn key v =
+  match member key v with
+  | Some x -> x
+  | None -> err "no member %S" key
+
+let to_list_exn = function List vs -> vs | _ -> err "expected an array"
+
+let to_int_exn = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | _ -> err "expected an integer"
+
+let to_float_exn = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> err "expected a number"
+
+let to_string_exn = function String s -> s | _ -> err "expected a string"
+
+let keys = function Obj fields -> List.map fst fields | _ -> []

@@ -1,0 +1,56 @@
+(** Minimal JSON values — the wire format of the observability layer.
+
+    The container ships no JSON library, so the telemetry surface (VM
+    traces, profiler reports, compile reports, bench tables) carries its
+    own emitter and parser. See [docs/OBSERVABILITY.md] for the schemas
+    built on top of this module. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact single-line rendering (NDJSON-friendly). Non-finite floats
+    render as [null] to keep the document strictly valid. *)
+val to_string : t -> string
+
+(** Two-space-indented rendering with a trailing newline, for files a
+    human will open. Parses back to the same value as {!to_string}. *)
+val to_string_pretty : t -> string
+
+(** [save_file v path] writes {!to_string_pretty}[ v] to [path]. *)
+val save_file : t -> string -> unit
+
+(** Parse a JSON document. Accepts everything the emitter produces plus
+    insignificant whitespace; [\u] escapes are decoded to UTF-8 (BMP only).
+    @raise Parse_error on malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** {2 Accessors} — for tests and trajectory scrapers. *)
+
+(** Field lookup on an [Obj]; [None] on missing keys or non-objects. *)
+val member : string -> t -> t option
+
+(** @raise Parse_error when the member is absent. *)
+val member_exn : string -> t -> t
+
+(** @raise Parse_error on a non-array. *)
+val to_list_exn : t -> t list
+
+(** Accepts [Int] and integral [Float]. @raise Parse_error otherwise. *)
+val to_int_exn : t -> int
+
+(** Accepts [Float] and [Int]. @raise Parse_error otherwise. *)
+val to_float_exn : t -> float
+
+(** @raise Parse_error on a non-string. *)
+val to_string_exn : t -> string
+
+(** Field names of an [Obj], in order; [[]] for any other value. *)
+val keys : t -> string list

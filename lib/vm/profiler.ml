@@ -3,7 +3,9 @@
     Separates kernel-invocation time from everything else (the breakdown of
     the paper's Table 4), counts instructions per opcode, times allocation
     instructions (the memory-planning latency study), and owns the memory
-    pool accounting. *)
+    pool accounting. {!report} snapshots all of it into a typed record and
+    {!report_to_json} renders the machine-readable [nimble-profile/v1]
+    document (see [docs/OBSERVABILITY.md]). *)
 
 type t = {
   instr_counts : int array;
@@ -12,6 +14,8 @@ type t = {
   mutable total_seconds : float;
   mutable kernel_invocations : int;
   mutable shape_func_invocations : int;
+  mutable pool_hits : int;
+      (** storage requests served by the interpreter's cross-invocation pool *)
   per_kernel : (string, kernel_stat) Hashtbl.t;
       (** cumulative time and call count per packed function *)
   pool : Nimble_device.Pool.t;
@@ -27,6 +31,7 @@ let create () =
     total_seconds = 0.0;
     kernel_invocations = 0;
     shape_func_invocations = 0;
+    pool_hits = 0;
     per_kernel = Hashtbl.create 32;
     pool = Nimble_device.Pool.create ();
   }
@@ -38,6 +43,7 @@ let reset t =
   t.total_seconds <- 0.0;
   t.kernel_invocations <- 0;
   t.shape_func_invocations <- 0;
+  t.pool_hits <- 0;
   Hashtbl.reset t.per_kernel;
   Nimble_device.Pool.reset t.pool
 
@@ -87,3 +93,148 @@ let pp ppf t =
         (fun (name, s) ->
           Fmt.pf ppf "  %-48s %6d calls %10.3f ms@." name s.calls (1e3 *. s.seconds))
         top
+
+(* ------------------------- typed report ------------------------- *)
+
+type kernel_row = { kr_name : string; kr_calls : int; kr_seconds : float }
+
+type device_row = {
+  dr_device : int;
+  dr_allocs : int;
+  dr_frees : int;
+  dr_bytes_allocated : int;
+  dr_live_bytes : int;
+  dr_peak_bytes : int;  (** pool high-water mark *)
+  dr_transfers_in : int;
+  dr_transfer_bytes_in : int;
+}
+
+type report = {
+  r_total_seconds : float;
+  r_kernel_seconds : float;
+  r_other_seconds : float;
+  r_alloc_seconds : float;
+  r_kernel_invocations : int;
+  r_shape_func_invocations : int;
+  r_total_instructions : int;
+  r_pool_hits : int;
+  r_instructions : (string * int) list;  (** opcode name -> count, nonzero *)
+  r_kernels : kernel_row list;  (** every packed function, hottest first *)
+  r_devices : device_row list;  (** per-device pool accounting, by id *)
+  r_dispatch : Nimble_codegen.Dispatch.snapshot list;
+}
+
+(** Snapshot the profiler (and, by default, every residue dispatcher in
+    the process) into a typed report. *)
+let report ?dispatch t : report =
+  let instructions =
+    Array.to_list t.instr_counts
+    |> List.mapi (fun op n -> (Isa.opcode_name op, n))
+    |> List.filter (fun (_, n) -> n > 0)
+  in
+  let kernels =
+    Hashtbl.fold
+      (fun name s acc -> { kr_name = name; kr_calls = s.calls; kr_seconds = s.seconds } :: acc)
+      t.per_kernel []
+    |> List.sort (fun a b -> Float.compare b.kr_seconds a.kr_seconds)
+  in
+  let devices =
+    Hashtbl.fold
+      (fun id (s : Nimble_device.Pool.stats) acc ->
+        {
+          dr_device = id;
+          dr_allocs = s.Nimble_device.Pool.allocs;
+          dr_frees = s.Nimble_device.Pool.frees;
+          dr_bytes_allocated = s.Nimble_device.Pool.bytes_allocated;
+          dr_live_bytes = s.Nimble_device.Pool.live_bytes;
+          dr_peak_bytes = s.Nimble_device.Pool.peak_bytes;
+          dr_transfers_in = s.Nimble_device.Pool.transfers_in;
+          dr_transfer_bytes_in = s.Nimble_device.Pool.transfer_bytes_in;
+        }
+        :: acc)
+      t.pool.Nimble_device.Pool.per_device []
+    |> List.sort (fun a b -> Int.compare a.dr_device b.dr_device)
+  in
+  let dispatch =
+    match dispatch with
+    | Some d -> d
+    | None -> Nimble_codegen.Dispatch.snapshots ()
+  in
+  {
+    r_total_seconds = t.total_seconds;
+    r_kernel_seconds = t.kernel_seconds;
+    r_other_seconds = other_seconds t;
+    r_alloc_seconds = t.alloc_seconds;
+    r_kernel_invocations = t.kernel_invocations;
+    r_shape_func_invocations = t.shape_func_invocations;
+    r_total_instructions = total_instrs t;
+    r_pool_hits = t.pool_hits;
+    r_instructions = instructions;
+    r_kernels = kernels;
+    r_devices = devices;
+    r_dispatch = dispatch;
+  }
+
+let json_of_dispatch (d : Nimble_codegen.Dispatch.snapshot) =
+  Json.Obj
+    [
+      ("name", Json.String d.Nimble_codegen.Dispatch.snap_name);
+      ("tile", Json.Int d.snap_tile);
+      ("kernels", Json.Int d.snap_kernels);
+      ("hits", Json.Int d.snap_hits);
+      ("misses", Json.Int d.snap_misses);
+      ("extern_calls", Json.Int d.snap_extern_calls);
+      ( "residue_hits",
+        Json.Obj
+          (List.map
+             (fun (r, n) -> (string_of_int r, Json.Int n))
+             d.snap_residue_hits) );
+    ]
+
+(** Render a report as the [nimble-profile/v1] JSON document. *)
+let report_to_json (r : report) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.String "nimble-profile/v1");
+      ("total_seconds", Json.Float r.r_total_seconds);
+      ("kernel_seconds", Json.Float r.r_kernel_seconds);
+      ("other_seconds", Json.Float r.r_other_seconds);
+      ("alloc_seconds", Json.Float r.r_alloc_seconds);
+      ("kernel_invocations", Json.Int r.r_kernel_invocations);
+      ("shape_func_invocations", Json.Int r.r_shape_func_invocations);
+      ("total_instructions", Json.Int r.r_total_instructions);
+      ("pool_hits", Json.Int r.r_pool_hits);
+      ( "instructions",
+        Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) r.r_instructions) );
+      ( "kernels",
+        Json.List
+          (List.map
+             (fun k ->
+               Json.Obj
+                 [
+                   ("name", Json.String k.kr_name);
+                   ("calls", Json.Int k.kr_calls);
+                   ("seconds", Json.Float k.kr_seconds);
+                 ])
+             r.r_kernels) );
+      ( "devices",
+        Json.List
+          (List.map
+             (fun d ->
+               Json.Obj
+                 [
+                   ("device", Json.Int d.dr_device);
+                   ("allocs", Json.Int d.dr_allocs);
+                   ("frees", Json.Int d.dr_frees);
+                   ("bytes_allocated", Json.Int d.dr_bytes_allocated);
+                   ("live_bytes", Json.Int d.dr_live_bytes);
+                   ("peak_bytes", Json.Int d.dr_peak_bytes);
+                   ("transfers_in", Json.Int d.dr_transfers_in);
+                   ("transfer_bytes_in", Json.Int d.dr_transfer_bytes_in);
+                 ])
+             r.r_devices) );
+      ("dispatch", Json.List (List.map json_of_dispatch r.r_dispatch));
+    ]
+
+(** [report] and [report_to_json] composed: the one-call JSON snapshot. *)
+let to_json ?dispatch t = report_to_json (report ?dispatch t)

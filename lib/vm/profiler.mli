@@ -1,0 +1,112 @@
+(** VM execution profiler.
+
+    Separates kernel-invocation time from everything else (the breakdown
+    of the paper's Table 4 — kernels vs the VM's dynamism-handling
+    overhead), counts instructions per opcode, times allocation
+    instructions (the §6.3 memory-planning latency study), and owns the
+    per-device memory-pool accounting.
+
+    The interpreter increments the mutable counters directly from its
+    dispatch loop; they are exposed here so harnesses (e.g.
+    [bench/nimble_runner.ml]) can snapshot deltas around an invocation.
+    {!report} freezes everything into a typed record and
+    {!report_to_json} renders the machine-readable [nimble-profile/v1]
+    document consumed by [nimble_cli], the bench harness, and future
+    [BENCH_*.json] trajectories (schema: [docs/OBSERVABILITY.md]). *)
+
+type t = {
+  instr_counts : int array;  (** executed-instruction count per opcode *)
+  mutable kernel_seconds : float;  (** wall time inside packed kernels *)
+  mutable alloc_seconds : float;  (** wall time inside Alloc* instructions *)
+  mutable total_seconds : float;  (** wall time of whole invocations *)
+  mutable kernel_invocations : int;
+  mutable shape_func_invocations : int;
+  mutable pool_hits : int;
+      (** storage requests served by the interpreter's cross-invocation
+          storage pool instead of a fresh allocation *)
+  per_kernel : (string, kernel_stat) Hashtbl.t;
+      (** cumulative time and call count per packed function *)
+  pool : Nimble_device.Pool.t;
+}
+
+and kernel_stat = { mutable calls : int; mutable seconds : float }
+
+(** A fresh profiler with all counters at zero and an empty pool. *)
+val create : unit -> t
+
+(** Zero every counter and reset the pool accounting. *)
+val reset : t -> unit
+
+(** Add one timed call to [name]'s per-kernel statistics. *)
+val record_kernel : t -> string -> seconds:float -> unit
+
+(** The [k] (default 10) packed functions with the largest cumulative
+    time, hottest first. *)
+val top_kernels : ?k:int -> t -> (string * kernel_stat) list
+
+(** Count one executed instruction under its opcode. *)
+val count : t -> Isa.t -> unit
+
+(** Total instructions executed, across all opcodes. *)
+val total_instrs : t -> int
+
+(** Time spent outside kernels: the VM's dynamism-handling overhead
+    (Table 4's "others" column). *)
+val other_seconds : t -> float
+
+(** Total allocation requests across devices (pool hits included — a
+    pooled request still asks for memory; it just costs less). *)
+val allocs : t -> int
+
+(** Total cross-device transfers recorded by [DeviceCopy]. *)
+val transfers : t -> int
+
+(** Human-readable dump: totals, per-opcode counts, top-5 kernels. *)
+val pp : Format.formatter -> t -> unit
+
+(** {2 Typed report} *)
+
+(** One packed function's aggregate in the report. *)
+type kernel_row = { kr_name : string; kr_calls : int; kr_seconds : float }
+
+(** One device's pool accounting in the report. *)
+type device_row = {
+  dr_device : int;
+  dr_allocs : int;
+  dr_frees : int;
+  dr_bytes_allocated : int;
+  dr_live_bytes : int;
+  dr_peak_bytes : int;  (** pool high-water mark *)
+  dr_transfers_in : int;
+  dr_transfer_bytes_in : int;
+}
+
+(** Frozen snapshot of the profiler — the [nimble-profile/v1] schema,
+    field for field. *)
+type report = {
+  r_total_seconds : float;
+  r_kernel_seconds : float;
+  r_other_seconds : float;
+  r_alloc_seconds : float;
+  r_kernel_invocations : int;
+  r_shape_func_invocations : int;
+  r_total_instructions : int;
+  r_pool_hits : int;
+  r_instructions : (string * int) list;  (** opcode name -> count, nonzero *)
+  r_kernels : kernel_row list;  (** every packed function, hottest first *)
+  r_devices : device_row list;  (** per-device pool accounting, by id *)
+  r_dispatch : Nimble_codegen.Dispatch.snapshot list;
+      (** residue-dispatch table statistics *)
+}
+
+(** Snapshot the profiler into a typed report.
+    @param dispatch dispatch-table rows to embed; defaults to
+    {!Nimble_codegen.Dispatch.snapshots}[ ()] (every dispatcher the
+    process created — pass an explicit list to narrow the scope). *)
+val report : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> report
+
+(** Render a report as the [nimble-profile/v1] JSON document. *)
+val report_to_json : report -> Json.t
+
+(** {!report} and {!report_to_json} composed: one-call JSON snapshot. *)
+val to_json : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> Json.t

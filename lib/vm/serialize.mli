@@ -5,15 +5,28 @@
     kernel implementations are relinked by name on load, mirroring the
     paper's split between portable bytecode and platform-dependent kernels. *)
 
+(** Raised by {!of_bytes}/{!load_file} when the input is not a valid
+    serialized executable (bad magic, truncated stream, implausible
+    section counts). *)
 exception Format_error of string
 
+(** The file-format magic the byte stream must start with. Exposed so
+    external tooling can sniff executables without decoding them. *)
 val magic : string
 
+(** Encode an executable to its portable byte representation. Kernel
+    implementations are {e not} stored — only their names, for relinking
+    on load. *)
 val to_bytes : Exe.t -> string
 
 (** Decode an executable; packed functions come back unlinked.
     @raise Format_error on bad magic, truncation, or implausible counts. *)
 val of_bytes : string -> Exe.t
 
+(** {!to_bytes} written to a file (the [.nimble] artifact produced by
+    [nimble_cli compile]). *)
 val save_file : Exe.t -> string -> unit
+
+(** {!of_bytes} over a file's contents.
+    @raise Format_error as {!of_bytes}; I/O errors propagate as [Sys_error]. *)
 val load_file : string -> Exe.t

@@ -1,0 +1,123 @@
+(** Structured VM event recorder.
+
+    A bounded ring buffer of timed spans fed by the interpreter when a
+    trace is installed ({!Interp.set_trace}): instruction dispatch, kernel
+    invocations (with resolved runtime shapes and the residue-dispatch
+    specialization that fired), shape-function calls tagged by mode,
+    storage/tensor allocations (with pool-hit flags), and [device_copy]s.
+
+    Exports Chrome [trace_event] JSON loadable by [chrome://tracing] and
+    Perfetto; see [docs/OBSERVABILITY.md] for the schema and a worked
+    example. When the buffer fills, the oldest spans are overwritten and
+    the drop count is reported in the export's [otherData]. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  name : string;
+  cat : string;
+  ts_us : float;  (** start, µs since the trace was created *)
+  dur_us : float;
+  args : (string * arg) list;
+}
+
+(* Span categories. Kept as strings so the Chrome export is direct and
+   downstream consumers can filter with plain string matches. *)
+let cat_instr = "instr"
+let cat_invoke = "invoke"
+let cat_kernel = "kernel"
+let cat_shape_func = "shape_func"
+let cat_alloc = "alloc"
+let cat_device_copy = "device_copy"
+
+let dummy = { name = ""; cat = ""; ts_us = 0.0; dur_us = 0.0; args = [] }
+
+type t = {
+  buf : span array;
+  capacity : int;
+  mutable next : int;  (** ring write cursor *)
+  mutable total : int;  (** spans ever recorded (>= capacity means drops) *)
+  epoch : float;  (** [Unix.gettimeofday] at creation, seconds *)
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then Fmt.invalid_arg "Trace.create: capacity %d" capacity;
+  {
+    buf = Array.make capacity dummy;
+    capacity;
+    next = 0;
+    total = 0;
+    epoch = Unix.gettimeofday ();
+  }
+
+(** Current timestamp in trace time (µs since creation). *)
+let now_us t = (Unix.gettimeofday () -. t.epoch) *. 1e6
+
+let record t ~name ~cat ~ts_us ~dur_us args =
+  t.buf.(t.next) <- { name; cat; ts_us; dur_us; args };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let total_recorded t = t.total
+let dropped t = Stdlib.max 0 (t.total - t.capacity)
+
+(** Retained spans, oldest first. *)
+let spans t : span list =
+  let n = Stdlib.min t.total t.capacity in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i -> t.buf.((start + i) mod t.capacity))
+
+let count_cat t cat =
+  List.fold_left
+    (fun acc s -> if String.equal s.cat cat then acc + 1 else acc)
+    0 (spans t)
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0
+
+(* --------------------- Chrome trace_event export --------------------- *)
+
+let json_of_arg = function
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+(* One complete ("ph":"X") event per span. A single pid/tid is enough: the
+   VM interpreter is single-threaded, and Perfetto renders nested spans
+   (instruction wrapping kernel) as a flame stack on one track. *)
+let json_of_span s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("ph", Json.String "X");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("ts", Json.Float s.ts_us);
+      ("dur", Json.Float s.dur_us);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) s.args));
+    ]
+
+(** Export as a Chrome [trace_event] document (object format). [meta]
+    key/values are merged into [otherData] alongside the drop counters. *)
+let to_json ?(meta = []) t =
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          ([
+             ("tool", Json.String "nimble");
+             ("schema", Json.String "nimble-trace/v1");
+             ("spans_recorded", Json.Int t.total);
+             ("spans_dropped", Json.Int (dropped t));
+           ]
+          @ List.map (fun (k, v) -> (k, Json.String v)) meta) );
+      ("traceEvents", Json.List (List.map json_of_span (spans t)));
+    ]
+
+let save_file ?meta t path = Json.save_file (to_json ?meta t) path

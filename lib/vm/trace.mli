@@ -1,0 +1,93 @@
+(** Structured VM event recorder (the runtime half of the observability
+    layer; [docs/OBSERVABILITY.md] is the full surface spec).
+
+    A bounded ring buffer of timed spans fed by the interpreter when a
+    trace is installed with {!Interp.set_trace}:
+
+    - [instr] — one span per executed VM instruction, named by opcode;
+    - [kernel] — one span per packed kernel invocation, carrying the
+      resolved runtime shapes and which residue-dispatch specialization
+      fired (args [residue], [dispatch]);
+    - [shape_func] — shape-function invocations tagged by mode
+      (data-independent / data-dependent / upper-bound);
+    - [alloc] — storage and tensor allocations, with bytes, device and
+      whether the storage pool served the request ([pool_hit]);
+    - [device_copy] — cross-device transfers with byte counts.
+
+    Exports Chrome [trace_event] JSON loadable in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. When the buffer fills, the
+    oldest spans are overwritten; the export reports the drop count. *)
+
+(** Span argument values, rendered into the Chrome event's [args] object. *)
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  name : string;  (** event name, e.g. the opcode or packed-function name *)
+  cat : string;  (** one of the [cat_*] constants below *)
+  ts_us : float;  (** start, µs since the trace was created *)
+  dur_us : float;  (** duration in µs (0 for effectively-instant events) *)
+  args : (string * arg) list;
+}
+
+(** Per-instruction spans, named by opcode. *)
+val cat_instr : string
+
+(** Top-level VM invocations ([invoke:<func>] root spans). *)
+val cat_invoke : string
+
+(** Packed kernel invocations (shapes + residue-dispatch selection). *)
+val cat_kernel : string
+
+(** Shape-function invocations, tagged by mode in the [mode] arg. *)
+val cat_shape_func : string
+
+(** Storage and tensor allocations ([alloc_storage], [alloc_tensor],
+    [alloc_tensor_reg] spans). *)
+val cat_alloc : string
+
+(** Cross-device transfers emitted by the [DeviceCopy] instruction. *)
+val cat_device_copy : string
+
+type t
+
+(** [create ()] makes an empty trace. @param capacity ring size in spans
+    (default 65536); the oldest spans are dropped beyond it. *)
+val create : ?capacity:int -> unit -> t
+
+(** Current timestamp in trace time (µs since {!create}); pass the result
+    as [ts_us] when recording a span started now. *)
+val now_us : t -> float
+
+(** Append one span (overwriting the oldest if the ring is full). *)
+val record :
+  t ->
+  name:string ->
+  cat:string ->
+  ts_us:float ->
+  dur_us:float ->
+  (string * arg) list ->
+  unit
+
+(** Spans ever recorded, including ones the ring has since dropped. *)
+val total_recorded : t -> int
+
+(** Spans lost to ring overflow ([total_recorded - capacity], floored). *)
+val dropped : t -> int
+
+(** Retained spans, oldest first. *)
+val spans : t -> span list
+
+(** Number of retained spans in category [cat]. *)
+val count_cat : t -> string -> int
+
+(** Forget all spans (the ring and counters reset; the epoch is kept). *)
+val clear : t -> unit
+
+(** Export as a Chrome [trace_event] document (object format, one complete
+    ["ph":"X"] event per span). [meta] key/values are merged into the
+    document's [otherData]. *)
+val to_json : ?meta:(string * string) list -> t -> Json.t
+
+(** {!to_json} pretty-printed to a file — the artifact behind
+    [nimble_cli run --trace out.json]. *)
+val save_file : ?meta:(string * string) list -> t -> string -> unit

@@ -1,0 +1,285 @@
+(** doc_lint — validate interface documentation without odoc.
+
+    The container has no [odoc] binary, so [dune build @doc] cannot render
+    HTML; this linter gives the alias teeth anyway. It scans the given
+    directories for OCaml sources and checks, cheaply but strictly:
+
+    - every doc comment ([(** ... *)]) has balanced [{]/[}] markup and
+      balanced [[]] code spans (contents of [{[ ... ]}] and [{v ... v}]
+      blocks are treated as opaque code);
+    - [@param]/[@raise]/[@see] tags name their subject;
+    - every [.mli] under [lib/vm] opens with a module doc comment and
+      documents every [val] (doc above, or trailing on the same line) —
+      the VM is the repo's public telemetry surface, so its interfaces
+      must stay fully documented.
+
+    Exit status 0 when clean, 1 when any check fails (one line per
+    finding, [file:line: message]). Run via [dune build @doc]. *)
+
+let errors = ref 0
+
+let err file line fmt =
+  incr errors;
+  Printf.ksprintf (fun s -> Printf.eprintf "%s:%d: %s\n" file line s) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------ comment extraction ------------------------ *)
+
+type comment = { c_doc : bool; c_line : int; c_end_line : int; c_body : string }
+
+(** Extract all comments, tracking nesting and string literals inside them
+    (OCaml lexes ["*)"] inside a quoted string as part of the string). *)
+let comments_of src : comment list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* comment start: walk to the matching close *)
+      let start_line = !line in
+      let body_start = !i + 2 in
+      let depth = ref 1 in
+      i := !i + 2;
+      let in_string = ref false in
+      while !depth > 0 && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if !in_string then begin
+          if c = '\\' && !i + 1 < n then begin
+            bump src.[!i + 1];
+            i := !i + 2
+          end
+          else begin
+            if c = '"' then in_string := false;
+            incr i
+          end
+        end
+        else if c = '"' then begin
+          in_string := true;
+          incr i
+        end
+        else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          i := !i + 2
+        end
+        else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      let body_end = if !depth = 0 then !i - 2 else !i in
+      let body = String.sub src body_start (max 0 (body_end - body_start)) in
+      let doc =
+        String.length body > 0 && body.[0] = '*' && body <> "*"
+        (* "(**)" is an empty plain comment, "(***" a decoration line *)
+        && not (String.length body > 1 && body.[1] = '*')
+      in
+      out :=
+        {
+          c_doc = doc;
+          c_line = start_line;
+          c_end_line = !line;
+          c_body = (if doc then String.sub body 1 (String.length body - 1) else body);
+        }
+        :: !out
+    end
+    else if c = '"' then begin
+      (* string literal outside comments: skip so "(*" inside it is inert *)
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = src.[!i] in
+        bump c;
+        if c = '\\' && !i + 1 < n then begin
+          bump src.[!i + 1];
+          i := !i + 2
+        end
+        else begin
+          if c = '"' then closed := true;
+          incr i
+        end
+      done
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !out
+
+(* -------------------------- markup checks -------------------------- *)
+
+(** Check one doc comment's markup: balanced braces/brackets outside
+    verbatim and code blocks, terminated blocks, non-empty tags. *)
+let check_markup file (c : comment) =
+  let body = c.c_body in
+  let n = String.length body in
+  let line = ref c.c_line in
+  let braces = ref 0 and brackets = ref 0 in
+  let i = ref 0 in
+  let bump ch = if ch = '\n' then incr line in
+  (* skip to the closing delimiter of a {[ ]} or {v v} block *)
+  let skip_block close_a close_b what =
+    let start_line = !line in
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      let ch = body.[!i] in
+      bump ch;
+      if ch = close_a && !i + 1 < n && body.[!i + 1] = close_b then begin
+        closed := true;
+        i := !i + 2
+      end
+      else incr i
+    done;
+    if not !closed then err file start_line "unterminated %s block" what
+  in
+  while !i < n do
+    let ch = body.[!i] in
+    if ch = '\\' && !i + 1 < n then begin
+      bump body.[!i + 1];
+      i := !i + 2 (* escaped char, e.g. \{ or \[ *)
+    end
+    else begin
+      bump ch;
+      (match ch with
+      | '{' when !i + 1 < n && body.[!i + 1] = '[' ->
+          incr i;
+          incr i;
+          skip_block ']' '}' "{[ ]} code"
+      | '{' when !i + 1 < n && body.[!i + 1] = 'v' ->
+          incr i;
+          incr i;
+          skip_block 'v' '}' "{v v} verbatim"
+      | '{' ->
+          incr braces;
+          incr i
+      | '}' ->
+          decr braces;
+          if !braces < 0 then begin
+            err file !line "unmatched '}' in doc comment";
+            braces := 0
+          end;
+          incr i
+      | '[' ->
+          incr brackets;
+          incr i
+      | ']' ->
+          decr brackets;
+          if !brackets < 0 then begin
+            err file !line "unmatched ']' in doc comment";
+            brackets := 0
+          end;
+          incr i
+      | '@' ->
+          (* tags must name a subject: "@param x", "@raise Exn" *)
+          let j = ref (!i + 1) in
+          while !j < n && (match body.[!j] with 'a' .. 'z' -> true | _ -> false) do
+            incr j
+          done;
+          let tag = String.sub body (!i + 1) (!j - !i - 1) in
+          (if List.mem tag [ "param"; "raise"; "see" ] then
+             let k = ref !j in
+             let _ =
+               while !k < n && body.[!k] = ' ' do
+                 incr k
+               done
+             in
+             if !k >= n || body.[!k] = '\n' then
+               err file !line "@%s tag without a subject" tag);
+          i := !j
+      | _ -> incr i)
+    end
+  done;
+  if !braces > 0 then err file c.c_line "%d unclosed '{' in doc comment" !braces;
+  if !brackets > 0 then err file c.c_line "%d unclosed '[' in doc comment" !brackets
+
+(* ------------------------- coverage checks ------------------------- *)
+
+let starts_with_val s =
+  let s = String.trim s in
+  String.length s >= 4 && String.sub s 0 4 = "val "
+
+(** Every [val] in the interface must carry a doc comment: either one
+    ending on the line directly above (blank lines allowed in between) or
+    one starting on the [val]'s own line (trailing style). *)
+let check_coverage file src (comments : comment list) =
+  let docs = List.filter (fun c -> c.c_doc) comments in
+  let in_comment line =
+    List.exists (fun c -> c.c_line <= line && line <= c.c_end_line) comments
+  in
+  (match docs with
+  | first :: _ when first.c_line <= 3 -> ()
+  | _ -> err file 1 "interface has no leading module doc comment");
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun idx l ->
+      let ln = idx + 1 in
+      if starts_with_val l && not (in_comment ln) then
+        let documented =
+          List.exists
+            (fun c ->
+              c.c_line = ln
+              ||
+              (* nearest code above must be the doc's last line *)
+              (c.c_end_line < ln
+              &&
+              let rec blank_between k =
+                k >= ln
+                || (String.trim (List.nth lines (k - 1)) = "" && blank_between (k + 1))
+              in
+              blank_between (c.c_end_line + 1)))
+            docs
+        in
+        if not documented then
+          err file ln "undocumented val: %s" (String.trim l))
+    lines
+
+(* ------------------------------ driver ------------------------------ *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let rec walk dir acc =
+  if Filename.basename dir = "_build" then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk path acc
+        else if is_source entry then path :: acc
+        else acc)
+      acc (Sys.readdir dir)
+
+let covered path =
+  (* full doc coverage is enforced on the VM's public interfaces *)
+  Filename.check_suffix path ".mli"
+  && String.length path >= 7
+  && String.sub path 0 7 = "lib/vm/"
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with _ :: (_ :: _ as roots) -> roots | _ -> [ "lib" ]
+  in
+  let files = List.concat_map (fun r -> List.sort compare (walk r [])) roots in
+  List.iter
+    (fun path ->
+      let src = read_file path in
+      let comments = comments_of src in
+      List.iter (fun c -> if c.c_doc then check_markup path c) comments;
+      if covered path then check_coverage path src comments)
+    files;
+  if !errors > 0 then begin
+    Printf.eprintf "doc_lint: %d problem(s) in %d file(s) scanned\n" !errors
+      (List.length files);
+    exit 1
+  end
+  else Printf.printf "doc_lint: %d files clean\n" (List.length files)
