@@ -1,0 +1,67 @@
+(** Domain-pool scaling table: hot kernels at 1/2/4/8 domains.
+
+    Each row is one kernel workload (static shapes from the paper's
+    evaluation plus odd/prime "dynamic" shapes that stress chunk-boundary
+    handling); each column re-runs it with the pool forced to that width
+    via {!Nimble_parallel.Parallel.set_num_domains}. Cells are median
+    wall-clock milliseconds. Results are bitwise-identical across
+    columns by construction (each output element is written by exactly
+    one worker in an unchanged accumulation order); the dedicated check
+    lives in [test/test_parallel.ml].
+
+    Note: on a single-core host the pool still fans out, so columns > 1
+    show scheduling overhead rather than speedup — the table is an
+    honest record of whatever the host provides. *)
+
+module Parallel = Nimble_parallel.Parallel
+module Tensor = Nimble_tensor.Tensor
+module Ops_matmul = Nimble_tensor.Ops_matmul
+module Ops_elem = Nimble_tensor.Ops_elem
+module Ops_nn = Nimble_tensor.Ops_nn
+module Ops_reduce = Nimble_tensor.Ops_reduce
+
+let widths = [ 1; 2; 4; 8 ]
+
+(* Time [f] at every pool width; [repeats] caps cost on the heavy rows. *)
+let scale ?(repeats = 3) f =
+  List.map
+    (fun w ->
+      Parallel.set_num_domains w;
+      Some (Bench_util.wall ~repeats f *. 1e3))
+    widths
+
+let run () =
+  let default_width = Parallel.num_domains () in
+  let rng = Nimble_tensor.Rng.create ~seed:42 in
+  let randn = Tensor.randn rng in
+  (* static shape from the dense benchmarks *)
+  let a1k = randn [| 1024; 1024 |] and w1k = randn [| 1024; 1024 |] in
+  (* prime m/k/n: the dynamic-shape case, chunks never divide evenly *)
+  let ap = randn [| 509; 509 |] and wp = randn [| 509; 509 |] in
+  let ba = randn [| 8; 128; 128 |] and bb = randn [| 8; 128; 128 |] in
+  let ea = randn [| 4_194_304 |] and eb = randn [| 4_194_304 |] in
+  let sm = randn [| 512; 1021 |] in
+  let ra = randn [| 512; 2048 |] in
+  (* below every grain gate: must stay sequential at any width *)
+  let small_a = randn [| 16; 64 |] and small_w = randn [| 64; 64 |] in
+  let rows =
+    [
+      ( "dense 1024x1024x1024 (static)",
+        scale ~repeats:1 (fun () -> Ops_matmul.dense a1k w1k) );
+      ( "dense 509x509x509 (prime/dynamic)",
+        scale (fun () -> Ops_matmul.dense ap wp) );
+      ( "batch_matmul 8x128x128x128",
+        scale (fun () -> Ops_matmul.batch_matmul ba bb) );
+      ("elementwise add 4M", scale (fun () -> Ops_elem.add ea eb));
+      ("softmax 512x1021", scale (fun () -> Ops_nn.softmax sm));
+      ( "reduce sum axis=1 512x2048",
+        scale (fun () -> Ops_reduce.sum ~axis:1 ra) );
+      ( "dense 16x64x64 (below grain)",
+        scale ~repeats:5 (fun () -> Ops_matmul.dense small_a small_w) );
+    ]
+  in
+  Parallel.set_num_domains default_width;
+  Bench_util.print_table ~title:"Parallel kernel scaling (domain pool)"
+    ~unit:"ms / run"
+    ~columns:(List.map (fun w -> Printf.sprintf "%dd" w) widths)
+    rows

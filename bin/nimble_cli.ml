@@ -191,6 +191,17 @@ let disasm_cmd =
 let seq_arg =
   Arg.(value & opt int 12 & info [ "seq" ] ~doc:"Sequence length / token count")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain-pool width for multicore kernels (overrides \
+           $(b,NIMBLE_NUM_DOMAINS); 1 = fully sequential)")
+
+let apply_domains = Option.iter Nimble_parallel.Parallel.set_num_domains
+
 let trace_arg =
   Arg.(
     value
@@ -233,7 +244,8 @@ let save_report ~model ~seq ~creport vm path =
   Fmt.pr "report: %s@." path
 
 let run_cmd =
-  let run model seq trace_out report_out =
+  let run model seq domains trace_out report_out =
+    apply_domains domains;
     let entry = lookup model in
     let exe, creport = Nimble.compile_with_report (entry.build ()) in
     let vm = Nimble.vm exe in
@@ -258,7 +270,7 @@ let run_cmd =
     Option.iter (save_report ~model ~seq ~creport vm) report_out
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and run a zoo model with profiling")
-    Term.(const run $ model_arg $ seq_arg $ trace_arg $ report_arg)
+    Term.(const run $ model_arg $ seq_arg $ domains_arg $ trace_arg $ report_arg)
 
 let profile_cmd =
   let runs =
@@ -270,7 +282,8 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Print the $(i,nimble-report/v1) JSON to stdout instead of tables")
   in
-  let run model seq runs json trace_out report_out =
+  let run model seq domains runs json trace_out report_out =
+    apply_domains domains;
     let entry = lookup model in
     let exe, creport = Nimble.compile_with_report (entry.build ()) in
     let vm = Nimble.vm exe in
@@ -305,7 +318,7 @@ let profile_cmd =
        ~doc:
          "Compile and run a zoo model, then print per-pass compile stats and \
           the runtime profile (or the JSON report with $(b,--json))")
-    Term.(const run $ model_arg $ seq_arg $ runs $ json $ trace_arg $ report_arg)
+    Term.(const run $ model_arg $ seq_arg $ domains_arg $ runs $ json $ trace_arg $ report_arg)
 
 let read_file path =
   let ic = open_in_bin path in

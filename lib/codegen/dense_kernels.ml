@@ -17,8 +17,17 @@
 
 
 open Nimble_tensor
+module Parallel = Nimble_parallel.Parallel
 
 let tile = 8
+
+(* Row-tiles write disjoint output rows, so the tile loop partitions
+   over the domain pool bitwise-identically to the sequential sweep.
+   Grain keeps at least [default_min_work] flops per chunk. *)
+let tile_grain ~rows_per_tile ~n ~k =
+  Parallel.grain_for
+    ~work_per_item:(rows_per_tile * n * k)
+    ~min_work:Parallel.default_min_work
 
 (* Unrolled microkernel: rows [i0, i0+8) of out += a * w^T, full tile.
    Eight unrolled accumulators and, crucially, each weight element is loaded
@@ -86,9 +95,11 @@ let residue_kernel ~residue a w =
   let out = Tensor.empty ~dtype:Dtype.F32 [| m; n |] in
   let ba, bw, bc = bufs_exn a w out in
   let q = m / tile in
-  for blk = 0 to q - 1 do
-    micro8 ba bw bc ~i0:(blk * tile) ~n ~k
-  done;
+  Parallel.parallel_for ~grain:(tile_grain ~rows_per_tile:tile ~n ~k) q
+    (fun lo hi ->
+      for blk = lo to hi - 1 do
+        micro8 ba bw bc ~i0:(blk * tile) ~n ~k
+      done);
   if residue > 0 then tail_rows ba bw bc ~i0:(q * tile) ~rows:residue ~n ~k;
   out
 
@@ -111,12 +122,14 @@ let guarded_kernel a w =
   let out = Tensor.empty ~dtype:Dtype.F32 [| m; n |] in
   let ba, bw, bc = bufs_exn a w out in
   let nblocks = (m + tile - 1) / tile in
-  for blk = 0 to nblocks - 1 do
-    let i0 = blk * tile in
-    let rows = Stdlib.min tile (m - i0) in
-    (* un-tiled fallback body: one row at a time, no cross-row reuse *)
-    tail_rows ba bw bc ~i0 ~rows ~n ~k
-  done;
+  Parallel.parallel_for ~grain:(tile_grain ~rows_per_tile:tile ~n ~k) nblocks
+    (fun lo hi ->
+      for blk = lo to hi - 1 do
+        let i0 = blk * tile in
+        let rows = Stdlib.min tile (m - i0) in
+        (* un-tiled fallback body: one row at a time, no cross-row reuse *)
+        tail_rows ba bw bc ~i0 ~rows ~n ~k
+      done);
   out
 
 (** Microkernels with other row-tile widths, for the tuner's search space. *)
@@ -126,29 +139,33 @@ let tiled_kernel ~tile_m a w =
   let ba, bw, bc = bufs_exn a w out in
   if tile_m = tile then begin
     let q = m / tile in
-    for blk = 0 to q - 1 do
-      micro8 ba bw bc ~i0:(blk * tile) ~n ~k
-    done;
+    Parallel.parallel_for ~grain:(tile_grain ~rows_per_tile:tile ~n ~k) q
+      (fun lo hi ->
+        for blk = lo to hi - 1 do
+          micro8 ba bw bc ~i0:(blk * tile) ~n ~k
+        done);
     tail_rows ba bw bc ~i0:(q * tile) ~rows:(m mod tile) ~n ~k
   end
   else begin
     let q = m / tile_m in
-    for blk = 0 to q - 1 do
-      let i0 = blk * tile_m in
-      for j = 0 to n - 1 do
-        let wrow = j * k in
-        let acc = Array.make tile_m 0.0 in
-        for p = 0 to k - 1 do
-          let wv = Array.unsafe_get bw (wrow + p) in
-          for r = 0 to tile_m - 1 do
-            acc.(r) <- acc.(r) +. (Array.unsafe_get ba (((i0 + r) * k) + p) *. wv)
+    Parallel.parallel_for ~grain:(tile_grain ~rows_per_tile:tile_m ~n ~k) q
+      (fun lo hi ->
+        for blk = lo to hi - 1 do
+          let i0 = blk * tile_m in
+          for j = 0 to n - 1 do
+            let wrow = j * k in
+            let acc = Array.make tile_m 0.0 in
+            for p = 0 to k - 1 do
+              let wv = Array.unsafe_get bw (wrow + p) in
+              for r = 0 to tile_m - 1 do
+                acc.(r) <- acc.(r) +. (Array.unsafe_get ba (((i0 + r) * k) + p) *. wv)
+              done
+            done;
+            for r = 0 to tile_m - 1 do
+              Array.unsafe_set bc (((i0 + r) * n) + j) acc.(r)
+            done
           done
-        done;
-        for r = 0 to tile_m - 1 do
-          Array.unsafe_set bc (((i0 + r) * n) + j) acc.(r)
-        done
-      done
-    done;
+        done);
     tail_rows ba bw bc ~i0:(q * tile_m) ~rows:(m mod tile_m) ~n ~k
   end;
   out

@@ -3,7 +3,14 @@
     This is the "kernel library" every executor in the repo shares: the VM's
     packed functions, the baselines' eager dispatch, and constant folding all
     bottom out here. Heavy ops ([dense]) may be overridden by tuned kernels
-    from {!Dense_kernels} at lowering time. *)
+    from {!Dense_kernels} at lowering time.
+
+    Every route out of here executes on the [Nimble_parallel] domain pool:
+    [dense]/[matmul]/[batch_matmul] partition over output rows, elementwise
+    maps over elements, [softmax]/[layer_norm] over rows, and single-axis
+    reductions over output elements — all grain-gated so small dynamic
+    shapes stay sequential, and all bitwise-identical to
+    [NIMBLE_NUM_DOMAINS=1] (see [docs/PARALLELISM.md]). *)
 
 open Nimble_tensor
 open Nimble_ir

@@ -1,0 +1,248 @@
+(** Multicore kernel execution: a lazily-initialized fixed pool of
+    {!Domain}s with static-chunked [parallel_for].
+
+    The pool width (total parallelism, counting the calling domain)
+    comes from [NIMBLE_NUM_DOMAINS], defaulting to
+    [Domain.recommended_domain_count () - 1] clamped to at least 1.
+    Width 1 means no worker domains exist and every [parallel_for]
+    degenerates to the plain sequential loop — the exact single-core
+    code path, with zero synchronization cost.
+
+    Determinism: [parallel_for] splits the index range [\[0, n)] into
+    contiguous chunks at fixed, width-and-grain-determined boundaries;
+    each index is executed by exactly one domain. Kernels built on it
+    write each output element from exactly one chunk, so results are
+    bitwise identical across any domain count (no accumulation order
+    ever crosses a chunk boundary). Which domain runs which chunk is
+    scheduling-dependent; what each chunk computes is not.
+
+    See [docs/PARALLELISM.md] for the pool lifecycle and grain policy. *)
+
+(* ------------------------------------------------------------------ *)
+(* Width configuration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_width n = Stdlib.max 1 n
+
+let env_width () =
+  match Sys.getenv_opt "NIMBLE_NUM_DOMAINS" with
+  | None -> None
+  | Some s -> Option.map clamp_width (int_of_string_opt (String.trim s))
+
+(* Resolved lazily so [set_num_domains] / the env var can be applied
+   before the first parallel region spawns anything. *)
+let width_ref : int option ref = ref None
+
+let num_domains () =
+  match !width_ref with
+  | Some w -> w
+  | None ->
+      let w =
+        match env_width () with
+        | Some n -> n
+        | None -> clamp_width (Domain.recommended_domain_count () - 1)
+      in
+      width_ref := Some w;
+      w
+
+(* ------------------------------------------------------------------ *)
+(* Counters (read/written only by the initiating domain)               *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_seq_runs : int;  (** [parallel_for] calls that ran sequentially *)
+  sn_par_runs : int;  (** calls that fanned out over the pool *)
+  sn_chunks : int;  (** total chunks executed across parallel runs *)
+  sn_workers : int;  (** total participating domains, summed per run *)
+}
+
+let zero_snapshot = { sn_seq_runs = 0; sn_par_runs = 0; sn_chunks = 0; sn_workers = 0 }
+
+let counters = ref zero_snapshot
+
+let snapshot () = !counters
+
+let diff ~before ~after =
+  {
+    sn_seq_runs = after.sn_seq_runs - before.sn_seq_runs;
+    sn_par_runs = after.sn_par_runs - before.sn_par_runs;
+    sn_chunks = after.sn_chunks - before.sn_chunks;
+    sn_workers = after.sn_workers - before.sn_workers;
+  }
+
+let reset_counters () = counters := zero_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* The domain pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  body : int -> int -> unit;  (** run the half-open index range lo..hi-1 *)
+  bounds : int array;  (** chunk boundaries, length nchunks + 1 *)
+  next : int Atomic.t;  (** next unclaimed chunk *)
+  participants : int Atomic.t;  (** domains that claimed >= 1 chunk *)
+  mutable completed : int;  (** chunks finished (under [mux]) *)
+  mutable failed : exn option;  (** first exception raised by a chunk *)
+}
+
+let mux = Mutex.create ()
+let cond_job = Condition.create ()
+let cond_done = Condition.create ()
+let current : job option ref = ref None
+let generation = ref 0
+let quitting = ref false
+let workers : unit Domain.t array ref = ref [||]
+let pool_spawned = ref false
+
+(* Re-entrancy guard: a chunk body that itself calls [parallel_for]
+   (e.g. a fused kernel composed of parallel primitives) must not post
+   a nested job — the pool has one job slot — so nested regions run
+   sequentially on whichever domain reached them. *)
+let inside_region = Domain.DLS.new_key (fun () -> false)
+
+let run_chunks (j : job) =
+  let nchunks = Array.length j.bounds - 1 in
+  let claimed = ref false in
+  let continue_ = ref true in
+  Domain.DLS.set inside_region true;
+  while !continue_ do
+    let c = Atomic.fetch_and_add j.next 1 in
+    if c >= nchunks then continue_ := false
+    else begin
+      if not !claimed then begin
+        claimed := true;
+        Atomic.incr j.participants
+      end;
+      (try j.body j.bounds.(c) j.bounds.(c + 1)
+       with e ->
+         Mutex.lock mux;
+         if j.failed = None then j.failed <- Some e;
+         Mutex.unlock mux);
+      Mutex.lock mux;
+      j.completed <- j.completed + 1;
+      if j.completed = nchunks then Condition.broadcast cond_done;
+      Mutex.unlock mux
+    end
+  done;
+  Domain.DLS.set inside_region false
+
+let worker_main () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock mux;
+    while !generation = !seen && not !quitting do
+      Condition.wait cond_job mux
+    done;
+    if !quitting then begin
+      running := false;
+      Mutex.unlock mux
+    end
+    else begin
+      seen := !generation;
+      match !current with
+      | None -> Mutex.unlock mux
+      | Some j ->
+          Mutex.unlock mux;
+          run_chunks j
+    end
+  done
+
+let spawn_pool () =
+  let n_workers = num_domains () - 1 in
+  if n_workers > 0 then
+    workers := Array.init n_workers (fun _ -> Domain.spawn worker_main);
+  pool_spawned := true
+
+(** Join every worker domain and forget the pool. Safe to call when no
+    pool exists; a subsequent parallel region respawns lazily. *)
+let shutdown () =
+  if !pool_spawned then begin
+    Mutex.lock mux;
+    quitting := true;
+    Condition.broadcast cond_job;
+    Mutex.unlock mux;
+    Array.iter Domain.join !workers;
+    workers := [||];
+    quitting := false;
+    pool_spawned := false
+  end
+
+(** Reconfigure the pool width (joins any existing workers first).
+    Values below 1 are clamped to 1. *)
+let set_num_domains n =
+  shutdown ();
+  width_ref := Some (clamp_width n)
+
+(* ------------------------------------------------------------------ *)
+(* parallel_for                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [run_sequential n body] is [body 0 n]: the escape hatch that takes
+    the exact single-domain code path (also counted as a sequential
+    run, so observability stays consistent). *)
+let run_sequential n body =
+  if n > 0 then body 0 n;
+  counters := { !counters with sn_seq_runs = !counters.sn_seq_runs + 1 }
+
+(** [parallel_for ~grain n body] runs [body lo hi] over a partition of
+    [\[0, n)] into contiguous chunks of at least [grain] indices, using
+    at most [num_domains ()] domains (the caller participates). Falls
+    back to {!run_sequential} when the pool width is 1, when [n] is at
+    most [grain], or when called from inside another parallel region. *)
+let parallel_for ?(grain = 1) n body =
+  let grain = Stdlib.max 1 grain in
+  let width = num_domains () in
+  let nchunks =
+    if width <= 1 || Domain.DLS.get inside_region then 1
+    else Stdlib.min width ((n + grain - 1) / grain)
+  in
+  if n <= 0 then ()
+  else if nchunks <= 1 then run_sequential n body
+  else begin
+    if not !pool_spawned then spawn_pool ();
+    (* Even split: chunk [c] covers [c*n/nchunks, (c+1)*n/nchunks). *)
+    let bounds = Array.init (nchunks + 1) (fun c -> c * n / nchunks) in
+    let j =
+      {
+        body;
+        bounds;
+        next = Atomic.make 0;
+        participants = Atomic.make 0;
+        completed = 0;
+        failed = None;
+      }
+    in
+    Mutex.lock mux;
+    current := Some j;
+    incr generation;
+    Condition.broadcast cond_job;
+    Mutex.unlock mux;
+    run_chunks j;
+    Mutex.lock mux;
+    while j.completed < nchunks do
+      Condition.wait cond_done mux
+    done;
+    current := None;
+    Mutex.unlock mux;
+    let c = !counters in
+    counters :=
+      {
+        c with
+        sn_par_runs = c.sn_par_runs + 1;
+        sn_chunks = c.sn_chunks + nchunks;
+        sn_workers = c.sn_workers + Atomic.get j.participants;
+      };
+    match j.failed with Some e -> raise e | None -> ()
+  end
+
+(** Grain that keeps roughly [min_work] scalar operations per chunk:
+    [max 1 (min_work / work_per_item)]. The shared policy knob for
+    kernels whose per-index cost varies with the other dimensions. *)
+let grain_for ~work_per_item ~min_work =
+  Stdlib.max 1 (min_work / Stdlib.max 1 work_per_item)
+
+(** Default minimum per-chunk work (scalar ops) before a kernel fans
+    out: small dynamic shapes — the common Nimble case — stay under it
+    and run sequentially, paying zero synchronization cost. *)
+let default_min_work = 16_384

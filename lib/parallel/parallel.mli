@@ -1,0 +1,64 @@
+(** Multicore kernel execution: a lazily-initialized fixed pool of
+    [Domain]s with static-chunked {!parallel_for}.
+
+    Width comes from [NIMBLE_NUM_DOMAINS] (default
+    [Domain.recommended_domain_count () - 1], clamped to at least 1).
+    Width 1 takes the exact sequential code path with zero
+    synchronization cost. Chunk boundaries depend only on [(n, grain,
+    width)], and each index runs on exactly one domain, so kernels
+    that write each output element from exactly one index produce
+    bitwise-identical results at every width. See
+    [docs/PARALLELISM.md]. *)
+
+(** The configured total parallelism width, counting the caller
+    (resolved from [NIMBLE_NUM_DOMAINS] on first use). *)
+val num_domains : unit -> int
+
+(** Reconfigure the width (clamped to at least 1); joins any existing
+    worker domains first, and the pool respawns lazily at the new
+    width. Call only between parallel regions (e.g. harness setup). *)
+val set_num_domains : int -> unit
+
+(** Join every worker domain and forget the pool; a later
+    {!parallel_for} respawns it lazily. *)
+val shutdown : unit -> unit
+
+(** [parallel_for ~grain n body] partitions [\[0, n)] into contiguous
+    chunks of at least [grain] indices (default 1) and runs
+    [body lo hi] for each chunk, using at most {!num_domains} domains
+    including the caller. Falls back to {!run_sequential} when the
+    width is 1, when [n <= grain], or when called from inside another
+    parallel region. Exceptions raised by a chunk are re-raised in the
+    caller after all chunks finish. *)
+val parallel_for : ?grain:int -> int -> (int -> int -> unit) -> unit
+
+(** [run_sequential n body] is [body 0 n] on the calling domain — the
+    escape hatch every [NIMBLE_NUM_DOMAINS=1] run takes. *)
+val run_sequential : int -> (int -> int -> unit) -> unit
+
+(** Cumulative observability counters, maintained on the initiating
+    domain (snapshot/diff around a kernel call to attribute runs). *)
+type snapshot = {
+  sn_seq_runs : int;  (** [parallel_for] calls that ran sequentially *)
+  sn_par_runs : int;  (** calls that fanned out over the pool *)
+  sn_chunks : int;  (** total chunks executed across parallel runs *)
+  sn_workers : int;  (** participating domains, summed over runs *)
+}
+
+(** Current cumulative counters. *)
+val snapshot : unit -> snapshot
+
+(** Field-wise [after - before]. *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** Zero the counters (the pool itself is untouched). *)
+val reset_counters : unit -> unit
+
+(** [grain_for ~work_per_item ~min_work] is [max 1 (min_work /
+    work_per_item)]: the grain that keeps roughly [min_work] scalar
+    operations per chunk. *)
+val grain_for : work_per_item:int -> min_work:int -> int
+
+(** Default [min_work] for {!grain_for} (16384 scalar ops): below one
+    chunk of this size a kernel stays sequential. *)
+val default_min_work : int

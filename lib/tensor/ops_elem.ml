@@ -2,7 +2,16 @@
 
     Binary ops take a fast path when both operands are same-shape floats
     (the overwhelmingly common case in the models we run) and fall back to a
-    generic broadcasting loop otherwise. *)
+    generic broadcasting loop otherwise. The fast paths run over the
+    {!Nimble_parallel.Parallel} domain pool, chunked so each element is
+    written by exactly one domain (bitwise-identical to sequential);
+    small tensors stay under the grain and never synchronize. *)
+
+module Parallel = Nimble_parallel.Parallel
+
+(* Elementwise maps cost ~1 scalar op per index, so the grain is simply
+   the minimum chunk work. *)
+let elem_grain = Parallel.default_min_work
 
 let same_shape_floats a b =
   match (a.Tensor.buf, b.Tensor.buf) with
@@ -28,9 +37,10 @@ let binop ?out_dtype name f a b =
   let out = Tensor.empty ~dtype:dt out_shape in
   (match (same_shape_floats a b, out.Tensor.buf, out_dtype) with
   | Some (ba, bb), Tensor.Floats bo, None ->
-      for i = 0 to Array.length bo - 1 do
-        Array.unsafe_set bo i (f (Array.unsafe_get ba i) (Array.unsafe_get bb i))
-      done
+      Parallel.parallel_for ~grain:elem_grain (Array.length bo) (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set bo i (f (Array.unsafe_get ba i) (Array.unsafe_get bb i))
+          done)
   | _ ->
       let n = Shape.numel out_shape in
       for i = 0 to n - 1 do
@@ -48,9 +58,10 @@ let unop ?out_dtype name f a =
   let out = Tensor.empty ~dtype:dt (Tensor.shape a) in
   (match (a.Tensor.buf, out.Tensor.buf) with
   | Tensor.Floats ba, Tensor.Floats bo ->
-      for i = 0 to Array.length bo - 1 do
-        Array.unsafe_set bo i (f (Array.unsafe_get ba i))
-      done
+      Parallel.parallel_for ~grain:elem_grain (Array.length bo) (fun lo hi ->
+          for i = lo to hi - 1 do
+            Array.unsafe_set bo i (f (Array.unsafe_get ba i))
+          done)
   | _ ->
       for i = 0 to Tensor.numel a - 1 do
         Tensor.set_float out i (f (Tensor.get_float a i))

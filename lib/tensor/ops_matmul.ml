@@ -2,18 +2,26 @@
 
     [dense] follows the TVM convention the paper uses: data is [(m, k)],
     weight is [(n, k)] (i.e. already transposed), output is [(m, n)].
-    The float path is a cache-blocked loop nest over raw float arrays;
-    everything else goes through a generic (slow, correct) reference loop. *)
+    The float path is a cache-blocked loop nest over raw float arrays,
+    partitioned over output rows across the {!Nimble_parallel.Parallel}
+    domain pool (each row is written by exactly one domain, so results
+    are bitwise identical at any pool width); everything else goes
+    through a generic (slow, correct) reference loop. *)
+
+module Parallel = Nimble_parallel.Parallel
 
 let block = 32
 
-(* Blocked C[m,n] += A[m,k] * B^T[n,k] on raw float buffers. *)
-let dense_floats ~(m : int) ~(n : int) ~(k : int) (a : float array) (b : float array)
-    (c : float array) =
-  Array.fill c 0 (Array.length c) 0.0;
-  let ib = ref 0 in
-  while !ib < m do
-    let i_hi = min (!ib + block) m in
+(* Blocked C[m,n] += A[m,k] * B^T[n,k] on raw float buffers, for output
+   rows [row_lo, row_hi) only. Row-range partitioning never changes the
+   per-element accumulation order (always ascending p), so any split is
+   bitwise identical to the full sequential sweep. *)
+let dense_rows ~(row_lo : int) ~(row_hi : int) ~(n : int) ~(k : int)
+    (a : float array) (b : float array) (c : float array) =
+  Array.fill c (row_lo * n) ((row_hi - row_lo) * n) 0.0;
+  let ib = ref row_lo in
+  while !ib < row_hi do
+    let i_hi = min (!ib + block) row_hi in
     let jb = ref 0 in
     while !jb < n do
       let j_hi = min (!jb + block) n in
@@ -39,6 +47,12 @@ let dense_floats ~(m : int) ~(n : int) ~(k : int) (a : float array) (b : float a
     done;
     ib := i_hi
   done
+
+let dense_floats ~m ~n ~k a b c =
+  let grain =
+    Parallel.grain_for ~work_per_item:(n * k) ~min_work:Parallel.default_min_work
+  in
+  Parallel.parallel_for ~grain m (fun lo hi -> dense_rows ~row_lo:lo ~row_hi:hi ~n ~k a b c)
 
 let dense_generic ~m ~n ~k a b c =
   for i = 0 to m - 1 do
@@ -67,6 +81,27 @@ let dense data weight =
   | _ -> dense_generic ~m ~n ~k data weight out);
   out
 
+(* Blocked [(k, n)] -> [(n, k)] transpose on raw float buffers: walks
+   square tiles so both the read and the write stream stay within a
+   cache-sized window. *)
+let transpose_floats ~(k : int) ~(n : int) (src : float array) (dst : float array) =
+  let pb = ref 0 in
+  while !pb < k do
+    let p_hi = min (!pb + block) k in
+    let jb = ref 0 in
+    while !jb < n do
+      let j_hi = min (!jb + block) n in
+      for p = !pb to p_hi - 1 do
+        let srow = p * n in
+        for j = !jb to j_hi - 1 do
+          Array.unsafe_set dst ((j * k) + p) (Array.unsafe_get src (srow + j))
+        done
+      done;
+      jb := j_hi
+    done;
+    pb := p_hi
+  done
+
 (** Plain [matmul a b] with [a : (m, k)], [b : (k, n)]. *)
 let matmul a b =
   let sa = Tensor.shape a and sb = Tensor.shape b in
@@ -78,12 +113,30 @@ let matmul a b =
   (* Transpose b into weight layout and reuse the dense kernel. *)
   let k = sb.(0) and n = sb.(1) in
   let bt = Tensor.empty ~dtype:(Tensor.dtype b) [| n; k |] in
-  for p = 0 to k - 1 do
-    for j = 0 to n - 1 do
-      Tensor.set_float bt ((j * k) + p) (Tensor.get_float b ((p * n) + j))
-    done
-  done;
+  (match (b.Tensor.buf, bt.Tensor.buf) with
+  | Tensor.Floats src, Tensor.Floats dst -> transpose_floats ~k ~n src dst
+  | _ ->
+      for p = 0 to k - 1 do
+        for j = 0 to n - 1 do
+          Tensor.set_float bt ((j * k) + p) (Tensor.get_float b ((p * n) + j))
+        done
+      done);
   dense a bt
+
+(* One output row [i] of batch [bi]: out[bi,i,:] = a[bi,i,:] * b[bi]. *)
+let batch_row ~(m : int) ~(n : int) ~(k : int) (ba : float array) (bb : float array)
+    (bo : float array) ~(bi : int) ~(i : int) =
+  let offa = bi * m * k and offb = bi * k * n and offo = bi * m * n in
+  for j = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for p = 0 to k - 1 do
+      acc :=
+        !acc
+        +. Array.unsafe_get ba (offa + (i * k) + p)
+           *. Array.unsafe_get bb (offb + (p * n) + j)
+    done;
+    Array.unsafe_set bo (offo + (i * n) + j) !acc
+  done
 
 (** Batched matmul: [(b, m, k)] x [(b, k, n)] -> [(b, m, n)]. *)
 let batch_matmul a b =
@@ -101,21 +154,15 @@ let batch_matmul a b =
   let out = Tensor.empty ~dtype:Dtype.F32 [| bsz; m; n |] in
   (match (a.Tensor.buf, b.Tensor.buf, out.Tensor.buf) with
   | Tensor.Floats ba, Tensor.Floats bb, Tensor.Floats bo ->
-      for bi = 0 to bsz - 1 do
-        let offa = bi * m * k and offb = bi * k * n and offo = bi * m * n in
-        for i = 0 to m - 1 do
-          for j = 0 to n - 1 do
-            let acc = ref 0.0 in
-            for p = 0 to k - 1 do
-              acc :=
-                !acc
-                +. Array.unsafe_get ba (offa + (i * k) + p)
-                   *. Array.unsafe_get bb (offb + (p * n) + j)
-            done;
-            Array.unsafe_set bo (offo + (i * n) + j) !acc
-          done
-        done
-      done
+      (* partition over batch x row so uneven batch counts still spread *)
+      let grain =
+        Parallel.grain_for ~work_per_item:(n * k)
+          ~min_work:Parallel.default_min_work
+      in
+      Parallel.parallel_for ~grain (bsz * m) (fun lo hi ->
+          for r = lo to hi - 1 do
+            batch_row ~m ~n ~k ba bb bo ~bi:(r / m) ~i:(r mod m)
+          done)
   | _ ->
       for bi = 0 to bsz - 1 do
         for i = 0 to m - 1 do
@@ -143,13 +190,15 @@ let dense_bias data weight bias =
       Shape.pp (Tensor.shape bias) n;
   (match (out.Tensor.buf, bias.Tensor.buf) with
   | Tensor.Floats bo, Tensor.Floats bb ->
-      for i = 0 to m - 1 do
-        let row = i * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set bo (row + j)
-            (Array.unsafe_get bo (row + j) +. Array.unsafe_get bb j)
-        done
-      done
+      let grain = Parallel.grain_for ~work_per_item:n ~min_work:Parallel.default_min_work in
+      Parallel.parallel_for ~grain m (fun lo hi ->
+          for i = lo to hi - 1 do
+            let row = i * n in
+            for j = 0 to n - 1 do
+              Array.unsafe_set bo (row + j)
+                (Array.unsafe_get bo (row + j) +. Array.unsafe_get bb j)
+            done
+          done)
   | _ ->
       for i = 0 to m - 1 do
         for j = 0 to n - 1 do

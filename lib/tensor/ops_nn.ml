@@ -1,26 +1,130 @@
 (** Neural-network operators: softmax, normalization, convolution, pooling,
     embedding lookup, and non-maximum suppression (the paper's example of an
-    upper-bound shape function). *)
+    upper-bound shape function).
+
+    [softmax] and [layer_norm] over the last axis of a float tensor take a
+    fused row-wise path partitioned over the {!Nimble_parallel.Parallel}
+    domain pool: rows are independent, each is handled by exactly one
+    domain, and the per-row arithmetic replicates the composed
+    reduce/elementwise pipeline operation for operation, so the fused path
+    is bitwise-identical to the sequential composition at any pool
+    width. *)
+
+module Parallel = Nimble_parallel.Parallel
+
+let row_grain ~row_len =
+  Parallel.grain_for ~work_per_item:(4 * row_len)
+    ~min_work:Parallel.default_min_work
 
 (** Numerically stable softmax along [axis]. *)
 let softmax ?(axis = -1) a =
-  let m = Ops_reduce.max ~axis ~keepdims:true a in
-  let shifted = Ops_elem.sub a m in
-  let e = Ops_elem.exp shifted in
-  let z = Ops_reduce.sum ~axis ~keepdims:true e in
-  Ops_elem.div e z
+  let s = Tensor.shape a in
+  let r = Shape.rank s in
+  let fast =
+    r > 0 && s.(r - 1) > 0
+    && Shape.normalize_axis ~rank:r axis = r - 1
+    && Dtype.is_float (Tensor.dtype a)
+    && (match a.Tensor.buf with Tensor.Floats _ -> true | Tensor.Ints _ -> false)
+  in
+  if not fast then begin
+    let m = Ops_reduce.max ~axis ~keepdims:true a in
+    let shifted = Ops_elem.sub a m in
+    let e = Ops_elem.exp shifted in
+    let z = Ops_reduce.sum ~axis ~keepdims:true e in
+    Ops_elem.div e z
+  end
+  else begin
+    let d = s.(r - 1) in
+    let rows = Tensor.numel a / d in
+    let out = Tensor.empty ~dtype:(Tensor.dtype a) s in
+    let src = Tensor.float_buf a and dst = Tensor.float_buf out in
+    Parallel.parallel_for ~grain:(row_grain ~row_len:d) rows (fun lo hi ->
+        for row = lo to hi - 1 do
+          let base = row * d in
+          (* max, exp(x - max), sum, divide: same per-element operations
+             and order as the composed reduce/elementwise pipeline *)
+          let m = ref Float.neg_infinity in
+          for j = 0 to d - 1 do
+            m := Float.max !m (Array.unsafe_get src (base + j))
+          done;
+          let m = !m in
+          let z = ref 0.0 in
+          for j = 0 to d - 1 do
+            let e = Stdlib.exp (Array.unsafe_get src (base + j) -. m) in
+            Array.unsafe_set dst (base + j) e;
+            z := !z +. e
+          done;
+          let z = !z in
+          for j = 0 to d - 1 do
+            let e = Array.unsafe_get dst (base + j) in
+            Array.unsafe_set dst (base + j)
+              (if z = 0.0 then Float.nan else e /. z)
+          done
+        done);
+    out
+  end
 
 let log_softmax ?(axis = -1) a =
   Ops_elem.log (softmax ~axis a)
 
 (** Layer normalization over the last axis with learned [gamma]/[beta]. *)
 let layer_norm ?(eps = 1e-5) a ~gamma ~beta =
-  let axis = -1 in
-  let mu = Ops_reduce.mean ~axis ~keepdims:true a in
-  let centered = Ops_elem.sub a mu in
-  let var = Ops_reduce.mean ~axis ~keepdims:true (Ops_elem.mul centered centered) in
-  let denom = Ops_elem.sqrt (Ops_elem.add_scalar var eps) in
-  Ops_elem.add (Ops_elem.mul (Ops_elem.div centered denom) gamma) beta
+  let s = Tensor.shape a in
+  let r = Shape.rank s in
+  let fast =
+    r > 0 && s.(r - 1) > 0
+    && Shape.equal (Tensor.shape gamma) [| s.(r - 1) |]
+    && Shape.equal (Tensor.shape beta) [| s.(r - 1) |]
+    && Dtype.equal (Tensor.dtype a) (Tensor.dtype gamma)
+    && Dtype.equal (Tensor.dtype a) (Tensor.dtype beta)
+    && Dtype.is_float (Tensor.dtype a)
+    && (match (a.Tensor.buf, gamma.Tensor.buf, beta.Tensor.buf) with
+       | Tensor.Floats _, Tensor.Floats _, Tensor.Floats _ -> true
+       | _ -> false)
+  in
+  if not fast then begin
+    let axis = -1 in
+    let mu = Ops_reduce.mean ~axis ~keepdims:true a in
+    let centered = Ops_elem.sub a mu in
+    let var = Ops_reduce.mean ~axis ~keepdims:true (Ops_elem.mul centered centered) in
+    let denom = Ops_elem.sqrt (Ops_elem.add_scalar var eps) in
+    Ops_elem.add (Ops_elem.mul (Ops_elem.div centered denom) gamma) beta
+  end
+  else begin
+    let d = s.(r - 1) in
+    let rows = Tensor.numel a / d in
+    let inv_d = 1.0 /. float_of_int d in
+    let out = Tensor.empty ~dtype:(Tensor.dtype a) s in
+    let src = Tensor.float_buf a and dst = Tensor.float_buf out in
+    let g = Tensor.float_buf gamma and bt = Tensor.float_buf beta in
+    Parallel.parallel_for ~grain:(row_grain ~row_len:d) rows (fun lo hi ->
+        for row = lo to hi - 1 do
+          let base = row * d in
+          (* mean = sum * (1/d), centered, var = sum(c*c) * (1/d),
+             out = ((c / sqrt(var + eps)) * gamma) + beta — replicating
+             the composed pipeline's operations exactly (including the
+             divide-by-zero -> nan rule of Ops_elem.div) *)
+          let sum = ref 0.0 in
+          for j = 0 to d - 1 do
+            sum := !sum +. Array.unsafe_get src (base + j)
+          done;
+          let mu = !sum *. inv_d in
+          let sumsq = ref 0.0 in
+          for j = 0 to d - 1 do
+            let c = Array.unsafe_get src (base + j) -. mu in
+            Array.unsafe_set dst (base + j) c;
+            sumsq := !sumsq +. (c *. c)
+          done;
+          let denom = Stdlib.sqrt ((!sumsq *. inv_d) +. eps) in
+          for j = 0 to d - 1 do
+            let c = Array.unsafe_get dst (base + j) in
+            let scaled = if denom = 0.0 then Float.nan else c /. denom in
+            Array.unsafe_set dst (base + j)
+              ((scaled *. Array.unsafe_get g j) +. Array.unsafe_get bt j)
+          done
+        done);
+    out
+  end
 
 (** Inference-mode batch norm for NCHW tensors. *)
 let batch_norm ?(eps = 1e-5) a ~gamma ~beta ~mean ~var =

@@ -1,4 +1,14 @@
-(** Reductions over one axis or the whole tensor. *)
+(** Reductions over one axis or the whole tensor.
+
+    Single-axis reductions over float buffers are restructured so every
+    output element is accumulated by exactly one domain, in ascending
+    axis order — the same per-element order as the sequential sweep —
+    then partitioned over the {!Nimble_parallel.Parallel} pool. Results
+    are bitwise identical at any pool width. Whole-tensor reductions
+    stay sequential: splitting one accumulator would reassociate
+    floating-point addition. *)
+
+module Parallel = Nimble_parallel.Parallel
 
 let reduce_all name init f a =
   ignore name;
@@ -18,19 +28,47 @@ let reduce_axis name init f ?(keepdims = false) ~axis a =
     else Shape.remove_axis s axis
   in
   let out = Tensor.full ~dtype:(Tensor.dtype a) out_shape init in
-  let st = Shape.strides s in
-  let n = Tensor.numel a in
-  (* Offset in output for each input element: drop the axis coordinate. *)
-  for i = 0 to n - 1 do
-    let idx = Shape.unravel s i in
-    ignore st;
-    let out_idx =
-      if keepdims then Array.mapi (fun j v -> if j = axis then 0 else v) idx
-      else Array.init (Array.length idx - 1) (fun j -> if j < axis then idx.(j) else idx.(j + 1))
-    in
-    let o = Shape.linear_index out_shape out_idx in
-    Tensor.set_float out o (f (Tensor.get_float out o) (Tensor.get_float a i))
-  done;
+  (match (a.Tensor.buf, out.Tensor.buf) with
+  | Tensor.Floats src, Tensor.Floats dst ->
+      (* Each output element o = (outer, inner) reduces the [len] input
+         elements at [outer*len*inner_sz + inner + j*inner_sz], j
+         ascending — the same order the linear sweep below visits them
+         in, so this path is bitwise-identical to it. *)
+      let len = s.(axis) in
+      let inner_sz =
+        let p = ref 1 in
+        for j = axis + 1 to Shape.rank s - 1 do
+          p := !p * s.(j)
+        done;
+        !p
+      in
+      let grain =
+        Parallel.grain_for ~work_per_item:len ~min_work:Parallel.default_min_work
+      in
+      Parallel.parallel_for ~grain (Array.length dst) (fun lo hi ->
+          for o = lo to hi - 1 do
+            let outer = o / inner_sz and inner = o mod inner_sz in
+            let base = (outer * len * inner_sz) + inner in
+            let acc = ref init in
+            for j = 0 to len - 1 do
+              acc := f !acc (Array.unsafe_get src (base + (j * inner_sz)))
+            done;
+            Array.unsafe_set dst o !acc
+          done)
+  | _ ->
+      (* Offset in output for each input element: drop the axis coordinate. *)
+      let n = Tensor.numel a in
+      for i = 0 to n - 1 do
+        let idx = Shape.unravel s i in
+        let out_idx =
+          if keepdims then Array.mapi (fun j v -> if j = axis then 0 else v) idx
+          else
+            Array.init (Array.length idx - 1) (fun j ->
+                if j < axis then idx.(j) else idx.(j + 1))
+        in
+        let o = Shape.linear_index out_shape out_idx in
+        Tensor.set_float out o (f (Tensor.get_float out o) (Tensor.get_float a i))
+      done);
   out
 
 let sum ?axis ?(keepdims = false) a =

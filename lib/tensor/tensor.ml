@@ -107,9 +107,14 @@ let of_float_array ?(dtype = Dtype.F32) shape (src : float array) =
   if Array.length src <> Shape.numel shape then
     type_err "of_float_array: %d elements for shape %a" (Array.length src)
       Shape.pp shape;
-  let t = empty ~dtype shape in
-  Array.iteri (fun i v -> set_float t i v) src;
-  t
+  if Dtype.is_float dtype then
+    (* already the buffer representation: one copy, no per-element dispatch *)
+    { shape = Array.copy shape; dtype; buf = Floats (Array.copy src) }
+  else begin
+    let t = empty ~dtype shape in
+    Array.iteri (fun i v -> set_float t i v) src;
+    t
+  end
 
 let of_int_array ?(dtype = Dtype.I64) shape (src : int array) =
   if Array.length src <> Shape.numel shape then
@@ -119,8 +124,15 @@ let of_int_array ?(dtype = Dtype.I64) shape (src : int array) =
   Array.iteri (fun i v -> set_int t i v) src;
   t
 
-let to_float_array t = Array.init (numel t) (get_float t)
-let to_int_array t = Array.init (numel t) (get_int t)
+let to_float_array t =
+  match t.buf with
+  | Floats b -> Array.copy b
+  | Ints _ -> Array.init (numel t) (get_float t)
+
+let to_int_array t =
+  match t.buf with
+  | Ints b -> Array.copy b
+  | Floats _ -> Array.init (numel t) (get_int t)
 
 (** A fresh tensor with identical contents. *)
 let copy t =

@@ -170,9 +170,14 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
               Trace.now_us tr
           | None -> 0.0
         in
+        let par_before = Nimble_parallel.Parallel.snapshot () in
         let t0 = now () in
         let results = packed.Exe.run (Array.to_list (Array.map (fun p -> p.Obj.data) placed_ins)) in
         let dt = now () -. t0 in
+        let par =
+          Nimble_parallel.Parallel.diff ~before:par_before
+            ~after:(Nimble_parallel.Parallel.snapshot ())
+        in
         (match packed.Exe.kind with
         | `Kernel ->
             prof.Profiler.kernel_seconds <- prof.Profiler.kernel_seconds +. dt;
@@ -180,12 +185,22 @@ let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
         | `Shape_func ->
             prof.Profiler.shape_func_invocations <-
               prof.Profiler.shape_func_invocations + 1);
-        Profiler.record_kernel prof packed.Exe.packed_name ~seconds:dt;
+        Profiler.record_kernel ~par prof packed.Exe.packed_name ~seconds:dt;
         (match vm.trace with
         | Some tr ->
+            let par_args =
+              if par.Nimble_parallel.Parallel.sn_par_runs > 0 then
+                [
+                  ("parallel", Trace.Bool true);
+                  ("par_workers", Trace.Int par.Nimble_parallel.Parallel.sn_workers);
+                  ("par_chunks", Trace.Int par.Nimble_parallel.Parallel.sn_chunks);
+                  ("par_runs", Trace.Int par.Nimble_parallel.Parallel.sn_par_runs);
+                ]
+              else [ ("parallel", Trace.Bool false) ]
+            in
             let cat, extra =
               match packed.Exe.kind with
-              | `Kernel -> (Trace.cat_kernel, dispatch_args ())
+              | `Kernel -> (Trace.cat_kernel, par_args @ dispatch_args ())
               | `Shape_func ->
                   ( Trace.cat_shape_func,
                     [

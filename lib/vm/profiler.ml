@@ -21,7 +21,15 @@ type t = {
   pool : Nimble_device.Pool.t;
 }
 
-and kernel_stat = { mutable calls : int; mutable seconds : float }
+and kernel_stat = {
+  mutable calls : int;
+  mutable seconds : float;
+  mutable par_runs : int;
+      (** parallel_for fan-outs executed inside this kernel's calls *)
+  mutable seq_runs : int;  (** parallel_for calls that stayed sequential *)
+  mutable par_chunks : int;  (** chunks executed across those fan-outs *)
+  mutable par_workers : int;  (** participating domains, summed per fan-out *)
+}
 
 let create () =
   {
@@ -47,17 +55,33 @@ let reset t =
   Hashtbl.reset t.per_kernel;
   Nimble_device.Pool.reset t.pool
 
-let record_kernel t name ~seconds =
+let record_kernel ?par t name ~seconds =
   let stat =
     match Hashtbl.find_opt t.per_kernel name with
     | Some s -> s
     | None ->
-        let s = { calls = 0; seconds = 0.0 } in
+        let s =
+          {
+            calls = 0;
+            seconds = 0.0;
+            par_runs = 0;
+            seq_runs = 0;
+            par_chunks = 0;
+            par_workers = 0;
+          }
+        in
         Hashtbl.replace t.per_kernel name s;
         s
   in
   stat.calls <- stat.calls + 1;
-  stat.seconds <- stat.seconds +. seconds
+  stat.seconds <- stat.seconds +. seconds;
+  match (par : Nimble_parallel.Parallel.snapshot option) with
+  | None -> ()
+  | Some d ->
+      stat.par_runs <- stat.par_runs + d.Nimble_parallel.Parallel.sn_par_runs;
+      stat.seq_runs <- stat.seq_runs + d.Nimble_parallel.Parallel.sn_seq_runs;
+      stat.par_chunks <- stat.par_chunks + d.Nimble_parallel.Parallel.sn_chunks;
+      stat.par_workers <- stat.par_workers + d.Nimble_parallel.Parallel.sn_workers
 
 (** The [k] packed functions with the largest cumulative time. *)
 let top_kernels ?(k = 10) t : (string * kernel_stat) list =
@@ -82,6 +106,15 @@ let pp ppf t =
   Fmt.pf ppf "total=%.6fs kernels=%.6fs (%d calls) other=%.6fs alloc=%.6fs@."
     t.total_seconds t.kernel_seconds t.kernel_invocations (other_seconds t)
     t.alloc_seconds;
+  (let par = Nimble_parallel.Parallel.snapshot () in
+   if par.Nimble_parallel.Parallel.sn_par_runs > 0 then
+     Fmt.pf ppf
+       "parallel: %d domains, %d fan-outs (%d chunks, %d worker slots), %d sequential@."
+       (Nimble_parallel.Parallel.num_domains ())
+       par.Nimble_parallel.Parallel.sn_par_runs
+       par.Nimble_parallel.Parallel.sn_chunks
+       par.Nimble_parallel.Parallel.sn_workers
+       par.Nimble_parallel.Parallel.sn_seq_runs);
   Array.iteri
     (fun op n -> if n > 0 then Fmt.pf ppf "  %-16s %d@." (Isa.opcode_name op) n)
     t.instr_counts;
@@ -96,7 +129,23 @@ let pp ppf t =
 
 (* ------------------------- typed report ------------------------- *)
 
-type kernel_row = { kr_name : string; kr_calls : int; kr_seconds : float }
+type kernel_row = {
+  kr_name : string;
+  kr_calls : int;
+  kr_seconds : float;
+  kr_par_runs : int;
+  kr_seq_runs : int;
+  kr_par_chunks : int;
+  kr_par_workers : int;
+}
+
+type parallel_stats = {
+  pr_num_domains : int;
+  pr_seq_runs : int;
+  pr_par_runs : int;
+  pr_chunks : int;
+  pr_workers : int;
+}
 
 type device_row = {
   dr_device : int;
@@ -122,6 +171,7 @@ type report = {
   r_kernels : kernel_row list;  (** every packed function, hottest first *)
   r_devices : device_row list;  (** per-device pool accounting, by id *)
   r_dispatch : Nimble_codegen.Dispatch.snapshot list;
+  r_parallel : parallel_stats;  (** domain-pool worker utilization *)
 }
 
 (** Snapshot the profiler (and, by default, every residue dispatcher in
@@ -134,7 +184,17 @@ let report ?dispatch t : report =
   in
   let kernels =
     Hashtbl.fold
-      (fun name s acc -> { kr_name = name; kr_calls = s.calls; kr_seconds = s.seconds } :: acc)
+      (fun name s acc ->
+        {
+          kr_name = name;
+          kr_calls = s.calls;
+          kr_seconds = s.seconds;
+          kr_par_runs = s.par_runs;
+          kr_seq_runs = s.seq_runs;
+          kr_par_chunks = s.par_chunks;
+          kr_par_workers = s.par_workers;
+        }
+        :: acc)
       t.per_kernel []
     |> List.sort (fun a b -> Float.compare b.kr_seconds a.kr_seconds)
   in
@@ -160,6 +220,16 @@ let report ?dispatch t : report =
     | Some d -> d
     | None -> Nimble_codegen.Dispatch.snapshots ()
   in
+  let par = Nimble_parallel.Parallel.snapshot () in
+  let parallel =
+    {
+      pr_num_domains = Nimble_parallel.Parallel.num_domains ();
+      pr_seq_runs = par.Nimble_parallel.Parallel.sn_seq_runs;
+      pr_par_runs = par.Nimble_parallel.Parallel.sn_par_runs;
+      pr_chunks = par.Nimble_parallel.Parallel.sn_chunks;
+      pr_workers = par.Nimble_parallel.Parallel.sn_workers;
+    }
+  in
   {
     r_total_seconds = t.total_seconds;
     r_kernel_seconds = t.kernel_seconds;
@@ -173,6 +243,7 @@ let report ?dispatch t : report =
     r_kernels = kernels;
     r_devices = devices;
     r_dispatch = dispatch;
+    r_parallel = parallel;
   }
 
 let json_of_dispatch (d : Nimble_codegen.Dispatch.snapshot) =
@@ -206,6 +277,15 @@ let report_to_json (r : report) : Json.t =
       ("pool_hits", Json.Int r.r_pool_hits);
       ( "instructions",
         Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) r.r_instructions) );
+      ( "parallel",
+        Json.Obj
+          [
+            ("num_domains", Json.Int r.r_parallel.pr_num_domains);
+            ("seq_runs", Json.Int r.r_parallel.pr_seq_runs);
+            ("par_runs", Json.Int r.r_parallel.pr_par_runs);
+            ("chunks", Json.Int r.r_parallel.pr_chunks);
+            ("workers", Json.Int r.r_parallel.pr_workers);
+          ] );
       ( "kernels",
         Json.List
           (List.map
@@ -215,6 +295,10 @@ let report_to_json (r : report) : Json.t =
                    ("name", Json.String k.kr_name);
                    ("calls", Json.Int k.kr_calls);
                    ("seconds", Json.Float k.kr_seconds);
+                   ("par_runs", Json.Int k.kr_par_runs);
+                   ("seq_runs", Json.Int k.kr_seq_runs);
+                   ("par_chunks", Json.Int k.kr_par_chunks);
+                   ("par_workers", Json.Int k.kr_par_workers);
                  ])
              r.r_kernels) );
       ( "devices",

@@ -29,7 +29,18 @@ type t = {
   pool : Nimble_device.Pool.t;
 }
 
-and kernel_stat = { mutable calls : int; mutable seconds : float }
+and kernel_stat = {
+  mutable calls : int;
+  mutable seconds : float;
+  mutable par_runs : int;
+      (** domain-pool fan-outs executed inside this kernel's calls *)
+  mutable seq_runs : int;
+      (** [parallel_for] calls that stayed sequential (grain-gated) *)
+  mutable par_chunks : int;  (** chunks executed across those fan-outs *)
+  mutable par_workers : int;
+      (** participating domains, summed over fan-outs (so
+          [par_workers / par_runs] is the mean worker utilization) *)
+}
 
 (** A fresh profiler with all counters at zero and an empty pool. *)
 val create : unit -> t
@@ -37,8 +48,12 @@ val create : unit -> t
 (** Zero every counter and reset the pool accounting. *)
 val reset : t -> unit
 
-(** Add one timed call to [name]'s per-kernel statistics. *)
-val record_kernel : t -> string -> seconds:float -> unit
+(** Add one timed call to [name]'s per-kernel statistics.
+    @param par the {!Nimble_parallel.Parallel} counter delta observed
+    around the call, accumulated into the kernel's worker-utilization
+    counters. *)
+val record_kernel :
+  ?par:Nimble_parallel.Parallel.snapshot -> t -> string -> seconds:float -> unit
 
 (** The [k] (default 10) packed functions with the largest cumulative
     time, hottest first. *)
@@ -66,8 +81,26 @@ val pp : Format.formatter -> t -> unit
 
 (** {2 Typed report} *)
 
-(** One packed function's aggregate in the report. *)
-type kernel_row = { kr_name : string; kr_calls : int; kr_seconds : float }
+(** One packed function's aggregate in the report, including its
+    domain-pool utilization counters. *)
+type kernel_row = {
+  kr_name : string;
+  kr_calls : int;
+  kr_seconds : float;
+  kr_par_runs : int;
+  kr_seq_runs : int;
+  kr_par_chunks : int;
+  kr_par_workers : int;
+}
+
+(** Process-wide domain-pool statistics embedded in the report. *)
+type parallel_stats = {
+  pr_num_domains : int;  (** configured pool width (caller included) *)
+  pr_seq_runs : int;  (** [parallel_for] calls that ran sequentially *)
+  pr_par_runs : int;  (** calls that fanned out *)
+  pr_chunks : int;  (** chunks executed across parallel runs *)
+  pr_workers : int;  (** participating domains, summed per run *)
+}
 
 (** One device's pool accounting in the report. *)
 type device_row = {
@@ -97,6 +130,8 @@ type report = {
   r_devices : device_row list;  (** per-device pool accounting, by id *)
   r_dispatch : Nimble_codegen.Dispatch.snapshot list;
       (** residue-dispatch table statistics *)
+  r_parallel : parallel_stats;
+      (** domain-pool width and cumulative worker utilization *)
 }
 
 (** Snapshot the profiler into a typed report.

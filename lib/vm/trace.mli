@@ -6,8 +6,10 @@
 
     - [instr] — one span per executed VM instruction, named by opcode;
     - [kernel] — one span per packed kernel invocation, carrying the
-      resolved runtime shapes and which residue-dispatch specialization
-      fired (args [residue], [dispatch]);
+      resolved runtime shapes, which residue-dispatch specialization
+      fired (args [residue], [dispatch]), and the domain-pool fan-out
+      (arg [parallel], plus [par_workers]/[par_chunks]/[par_runs] when
+      the kernel went parallel);
     - [shape_func] — shape-function invocations tagged by mode
       (data-independent / data-dependent / upper-bound);
     - [alloc] — storage and tensor allocations, with bytes, device and

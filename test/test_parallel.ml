@@ -1,0 +1,168 @@
+(* Determinism tests for the domain pool: every parallelized kernel must
+   be bitwise-identical to its 1-domain (fully sequential) run, because
+   static chunking assigns each output element to exactly one worker and
+   never changes per-element accumulation order. Sizes are deliberately
+   odd/prime and straddle the grain gates (n < grain, n = grain + 1). *)
+
+open Nimble_tensor
+module Parallel = Nimble_parallel.Parallel
+
+let tensor_bitwise = Alcotest.testable Tensor.pp Tensor.equal
+let rng = Rng.create ~seed:7
+
+(* Run [f] at width 1, then at each multi-domain width, and demand exact
+   equality. Resets the pool width afterwards so suites stay independent. *)
+let check_widths name f =
+  Parallel.set_num_domains 1;
+  let reference = f () in
+  List.iter
+    (fun w ->
+      Parallel.set_num_domains w;
+      Alcotest.check tensor_bitwise
+        (Printf.sprintf "%s @ %d domains" name w)
+        reference (f ()))
+    [ 2; 3; 4 ];
+  Parallel.set_num_domains 1
+
+(* ------------------------------ dense ------------------------------ *)
+
+let test_dense_prime () =
+  (* n*k > min_work => grain 1 => every row is its own chunk candidate *)
+  let a = Tensor.randn rng [| 7; 257 |] and w = Tensor.randn rng [| 131; 257 |] in
+  check_widths "dense 7x257x131" (fun () -> Ops_matmul.dense a w)
+
+let test_dense_below_grain () =
+  (* tiny: the grain gate must keep this sequential at any width *)
+  let a = Tensor.randn rng [| 3; 5 |] and w = Tensor.randn rng [| 4; 5 |] in
+  check_widths "dense 3x5x4" (fun () -> Ops_matmul.dense a w)
+
+let test_matmul_transpose_path () =
+  let a = Tensor.randn rng [| 33; 65 |] and b = Tensor.randn rng [| 65; 37 |] in
+  check_widths "matmul 33x65x37" (fun () -> Ops_matmul.matmul a b)
+
+let test_batch_matmul () =
+  let a = Tensor.randn rng [| 5; 11; 67 |] and b = Tensor.randn rng [| 5; 67; 13 |] in
+  check_widths "batch_matmul 5x11x67x13" (fun () -> Ops_matmul.batch_matmul a b)
+
+let test_dense_bias () =
+  let a = Tensor.randn rng [| 9; 129 |]
+  and w = Tensor.randn rng [| 141; 129 |]
+  and b = Tensor.randn rng [| 141 |] in
+  check_widths "dense_bias 9x129x141" (fun () -> Ops_matmul.dense_bias a w b)
+
+(* --------------------------- elementwise --------------------------- *)
+
+(* elem grain is Parallel.default_min_work: straddle it exactly *)
+let n_at_grain = Parallel.default_min_work
+let n_over_grain = Parallel.default_min_work + 1
+
+let test_elem_binop () =
+  List.iter
+    (fun n ->
+      let a = Tensor.randn rng [| n |] and b = Tensor.randn rng [| n |] in
+      check_widths (Printf.sprintf "add %d" n) (fun () -> Ops_elem.add a b))
+    [ 17; n_at_grain; n_over_grain; 40_013 ]
+
+let test_elem_unop () =
+  List.iter
+    (fun n ->
+      let a = Tensor.randn rng [| n |] in
+      check_widths (Printf.sprintf "relu %d" n) (fun () -> Ops_elem.relu a))
+    [ n_over_grain; 32_771 ]
+
+(* ---------------------------- reductions ---------------------------- *)
+
+let test_reduce_sum_axis () =
+  let a = Tensor.randn rng [| 53; 1021 |] in
+  check_widths "sum axis=1 53x1021" (fun () -> Ops_reduce.sum ~axis:1 a);
+  check_widths "sum axis=0 53x1021" (fun () -> Ops_reduce.sum ~axis:0 a)
+
+let test_reduce_max_inner () =
+  let a = Tensor.randn rng [| 31; 67; 19 |] in
+  check_widths "max axis=1 31x67x19" (fun () -> Ops_reduce.max ~axis:1 a)
+
+(* ------------------------------- nn -------------------------------- *)
+
+let test_softmax () =
+  let a = Tensor.randn rng [| 61; 1021 |] in
+  check_widths "softmax 61x1021" (fun () -> Ops_nn.softmax a)
+
+let test_layer_norm () =
+  let a = Tensor.randn rng [| 47; 769 |] in
+  let gamma = Tensor.randn rng [| 769 |] and beta = Tensor.randn rng [| 769 |] in
+  check_widths "layer_norm 47x769" (fun () -> Ops_nn.layer_norm a ~gamma ~beta)
+
+(* ------------------------- pool machinery --------------------------- *)
+
+let test_parallel_for_coverage () =
+  (* every index written exactly once, including at awkward grains *)
+  List.iter
+    (fun (n, grain) ->
+      Parallel.set_num_domains 4;
+      let hits = Array.make n 0 in
+      Parallel.parallel_for ~grain n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Parallel.set_num_domains 1;
+      Array.iteri
+        (fun i c ->
+          if c <> 1 then Alcotest.failf "n=%d grain=%d: index %d hit %d times" n grain i c)
+        hits)
+    [ (1, 1); (7, 3); (97, 10); (100, 1); (16_385, 4096) ]
+
+let test_counters () =
+  Parallel.set_num_domains 4;
+  Parallel.reset_counters ();
+  let before = Parallel.snapshot () in
+  Parallel.parallel_for ~grain:1 64 (fun _ _ -> ());
+  Parallel.run_sequential 8 (fun _ _ -> ());
+  let d = Parallel.diff ~before ~after:(Parallel.snapshot ()) in
+  Parallel.set_num_domains 1;
+  Alcotest.(check int) "par_runs" 1 d.Parallel.sn_par_runs;
+  Alcotest.(check int) "seq_runs" 1 d.Parallel.sn_seq_runs;
+  Alcotest.(check bool) "chunks >= 2" true (d.Parallel.sn_chunks >= 2)
+
+let test_exception_propagates () =
+  Parallel.set_num_domains 4;
+  let raised =
+    try
+      Parallel.parallel_for ~grain:1 32 (fun lo _ ->
+          if lo >= 8 then failwith "chunk boom");
+      false
+    with Failure "chunk boom" -> true
+  in
+  Parallel.set_num_domains 1;
+  Alcotest.(check bool) "exception re-raised" true raised;
+  (* the pool must still be usable after a failed job *)
+  Parallel.set_num_domains 4;
+  let total = ref 0 in
+  Parallel.parallel_for ~grain:1 16 (fun lo hi -> ignore (lo, hi));
+  Parallel.run_sequential 4 (fun lo hi -> total := !total + hi - lo);
+  Parallel.set_num_domains 1;
+  Alcotest.(check int) "pool alive after failure" 4 !total
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "dense prime" `Quick test_dense_prime;
+          Alcotest.test_case "dense below grain" `Quick test_dense_below_grain;
+          Alcotest.test_case "matmul transpose path" `Quick test_matmul_transpose_path;
+          Alcotest.test_case "batch_matmul" `Quick test_batch_matmul;
+          Alcotest.test_case "dense_bias" `Quick test_dense_bias;
+          Alcotest.test_case "elementwise binop" `Quick test_elem_binop;
+          Alcotest.test_case "elementwise unop" `Quick test_elem_unop;
+          Alcotest.test_case "reduce sum axis" `Quick test_reduce_sum_axis;
+          Alcotest.test_case "reduce max inner axis" `Quick test_reduce_max_inner;
+          Alcotest.test_case "softmax" `Quick test_softmax;
+          Alcotest.test_case "layer_norm" `Quick test_layer_norm;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "coverage" `Quick test_parallel_for_coverage;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+        ] );
+    ]

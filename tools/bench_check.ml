@@ -1,0 +1,102 @@
+(* Schema gate for committed benchmark baselines: every non-empty line of
+   each argument file must parse as a [nimble-bench/v1] table. Exits 1 on
+   any drift so `dune runtest` catches accidental format changes before a
+   downstream scraper does.
+
+   Checked per table: the exact [schema] tag; [title]/[unit] strings;
+   [columns] a non-empty list of strings; [rows] a non-empty list of
+   objects, each carrying a [label] string and a [cells] list whose length
+   equals the column count and whose entries are numbers or null. *)
+
+module Json = Nimble_vm.Json
+
+let problems = ref 0
+
+let fail file line fmt =
+  Format.kasprintf
+    (fun msg ->
+      incr problems;
+      Format.eprintf "%s:%d: %s@." file line msg)
+    fmt
+
+let check_table file lineno json =
+  let str_member key =
+    match Json.member key json with
+    | Some (Json.String s) -> Some s
+    | Some _ ->
+        fail file lineno "%S is not a string" key;
+        None
+    | None ->
+        fail file lineno "missing key %S" key;
+        None
+  in
+  (match str_member "schema" with
+  | Some "nimble-bench/v1" | None -> ()
+  | Some other -> fail file lineno "schema is %S, want \"nimble-bench/v1\"" other);
+  ignore (str_member "title");
+  ignore (str_member "unit");
+  let ncols =
+    match Json.member "columns" json with
+    | Some (Json.List cols) when cols <> [] ->
+        List.iter
+          (function
+            | Json.String _ -> ()
+            | _ -> fail file lineno "non-string entry in \"columns\"")
+          cols;
+        List.length cols
+    | Some _ | None ->
+        fail file lineno "missing or empty \"columns\" list";
+        -1
+  in
+  match Json.member "rows" json with
+  | Some (Json.List rows) when rows <> [] ->
+      List.iteri
+        (fun i row ->
+          (match Json.member "label" row with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "row %d: missing string \"label\"" i);
+          match Json.member "cells" row with
+          | Some (Json.List cells) ->
+              if ncols >= 0 && List.length cells <> ncols then
+                fail file lineno "row %d: %d cells for %d columns" i
+                  (List.length cells) ncols;
+              List.iter
+                (function
+                  | Json.Float _ | Json.Int _ | Json.Null -> ()
+                  | _ -> fail file lineno "row %d: cell is not number|null" i)
+                cells
+          | _ -> fail file lineno "row %d: missing \"cells\" list" i)
+        rows
+  | Some _ | None -> fail file lineno "missing or empty \"rows\" list"
+
+let check_file file =
+  let ic = open_in file in
+  let tables = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         incr tables;
+         match Json.of_string line with
+         | json -> check_table file !lineno json
+         | exception Json.Parse_error msg ->
+             fail file !lineno "JSON parse error: %s" msg
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !tables = 0 then fail file 0 "no tables found (empty file)"
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: bench_check FILE...";
+    exit 2
+  end;
+  List.iter check_file files;
+  if !problems > 0 then begin
+    Format.eprintf "bench_check: %d problem(s)@." !problems;
+    exit 1
+  end
