@@ -28,8 +28,11 @@ let micro () =
   in
   let vm = Nimble_compiler.Nimble.vm (Nimble_compiler.Nimble.compile m) in
   let input = Nimble_tensor.Tensor.ones [| 4 |] in
-  report "VM round trip (1-op module)" (fun () ->
-      ignore (Nimble_vm.Interp.run_tensors vm [ input ]));
+  (* warm execution context (reused register frame), as a serving worker
+     holds: the dispatch cost without per-call frame allocation *)
+  let ctx = Nimble_vm.Interp.context () in
+  report "VM round trip (1-op module, warm frame)" (fun () ->
+      ignore (Nimble_vm.Interp.run_tensors ~ctx vm [ input ]));
   (* memplan rests on allocation cost *)
   report "alloc_storage 64KiB (accounted bigarray)" (fun () ->
       ignore
@@ -46,6 +49,7 @@ let sections : (string * (unit -> unit)) list =
     ("memplan", Memplan.run);
     ("ablations", Ablations.run);
     ("par_scaling", Par_scaling.run);
+    ("serve", Serve_bench.run);
     ("micro", micro);
   ]
 

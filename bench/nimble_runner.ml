@@ -32,10 +32,12 @@ let snapshot vm =
   }
 
 (** Invoke the VM once, emitting VM-overhead events for the delta of the
-    profiler counters. *)
-let invoke vm args =
+    profiler counters.
+    @param ctx reuse a warm execution context (register frame) across
+    calls, as the serving workers do. *)
+let invoke ?ctx vm args =
   let before = snapshot vm in
-  let result = Interp.invoke vm args in
+  let result = Interp.invoke ?ctx vm args in
   let after = snapshot vm in
   Trace.record_framework "vm_instruction" ~amount:(after.instrs - before.instrs) ();
   Trace.record_framework "vm_kernel_launch" ~amount:(after.kernels - before.kernels) ();

@@ -12,6 +12,7 @@ open Nimble_tensor
 open Nimble_models
 module Nimble = Nimble_compiler.Nimble
 module Interp = Nimble_vm.Interp
+module Serve = Nimble_serve
 
 (* ------------------------- model zoo ------------------------- *)
 
@@ -295,8 +296,11 @@ let profile_cmd =
     Interp.set_trace vm tr;
     let input = entry.sample_input ~seq in
     let runs = max 1 runs in
+    (* reuse one execution context across the measured runs, as the
+       serving workers do: steady-state cost, not per-call allocation *)
+    let ctx = Interp.context () in
     for _ = 1 to runs do
-      ignore (Interp.invoke vm [ input ])
+      ignore (Interp.invoke ~ctx vm [ input ])
     done;
     if json then
       print_string
@@ -304,8 +308,10 @@ let profile_cmd =
     else begin
       Fmt.pr "== compile (%s) ==@.%a@.@.%a@." model Nimble.pp_report creport
         Nimble.pp_passes creport;
-      Fmt.pr "== runtime (seq=%d, %d run%s) ==@.%a" seq runs
+      Fmt.pr "== runtime (seq=%d, %d run%s, %d warm frame reuse%s) ==@.%a" seq runs
         (if runs = 1 then "" else "s")
+        (Interp.frame_reuses ctx)
+        (if Interp.frame_reuses ctx = 1 then "" else "s")
         Nimble_vm.Profiler.pp (Interp.profiler vm)
     end;
     (match (tr, trace_out) with
@@ -319,6 +325,277 @@ let profile_cmd =
          "Compile and run a zoo model, then print per-pass compile stats and \
           the runtime profile (or the JSON report with $(b,--json))")
     Term.(const run $ model_arg $ seq_arg $ domains_arg $ runs $ json $ trace_arg $ report_arg)
+
+(* ------------------------- serving ------------------------- *)
+
+let engine_config_term =
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"VM worker domains")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Pending-queue bound; submissions beyond it are rejected")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Flush a shape bucket at this many requests")
+  in
+  let max_wait =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "max-wait-us" ] ~docv:"US"
+          ~doc:"... or when its oldest request has waited this long (microseconds)")
+  in
+  let bucket =
+    Arg.(
+      value & opt int 8
+      & info [ "bucket-multiple" ] ~docv:"M"
+          ~doc:
+            "Round bucket dims up to a multiple of $(docv) so nearby shapes batch \
+             together (0 or 1 = exact-shape buckets). Inputs are never padded: \
+             every request runs at its exact shape")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-us" ] ~docv:"US"
+          ~doc:"Default per-request deadline (microseconds from submission)")
+  in
+  let mk workers queue_capacity max_batch max_wait_us bucket timeout =
+    {
+      Serve.Engine.workers;
+      queue_capacity;
+      max_batch;
+      max_wait_us;
+      policy =
+        (if bucket <= 1 then Serve.Bucket.Exact
+         else Serve.Bucket.Pad { multiple = bucket; max_over = 2.0 });
+      default_timeout_us = timeout;
+    }
+  in
+  Term.(const mk $ workers $ queue $ max_batch $ max_wait $ bucket $ timeout)
+
+(** Cold-load through the warm cache (serialize → deserialize → relink),
+    then load again to show the warm path. *)
+let cache_load ?(quiet = false) ~model (entry : zoo_entry) =
+  let cache = Serve.Cache.create () in
+  let t0 = Unix.gettimeofday () in
+  let exe = Serve.Cache.load cache ~name:model ~build:entry.build in
+  let cold_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+  ignore (Serve.Cache.load cache ~name:model ~build:entry.build);
+  let bytes =
+    match Serve.Cache.serialized_bytes cache ~name:model with Some b -> b | None -> 0
+  in
+  if not quiet then
+    Fmt.pr "loaded %s: cold %.1f ms (%d bytes serialized), warm hits %d@." model cold_ms
+      bytes (Serve.Cache.hits cache);
+  exe
+
+let save_serve_trace ~model tr path =
+  let meta = [ ("model", model); ("mode", "serve") ] in
+  Nimble_vm.Trace.save_file ~meta tr path;
+  Fmt.pr "trace: %s (%d spans, %d dropped)@." path
+    (List.length (Nimble_vm.Trace.spans tr))
+    (Nimble_vm.Trace.dropped tr)
+
+(** The serving report: [nimble-profile/v1] from a sequential reference
+    VM, with the engine's statistics embedded as the [server] section. *)
+let save_serve_report ~ref_vm engine path =
+  let server = Serve.Engine.server_json engine in
+  Nimble_vm.Json.save_file
+    (Nimble_vm.Profiler.to_json ~server (Interp.profiler ref_vm))
+    path;
+  Fmt.pr "report: %s@." path
+
+let serve_cmd =
+  let requests =
+    Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve")
+  in
+  let seq_min =
+    Arg.(value & opt int 4 & info [ "seq-min" ] ~doc:"Smallest sequence length served")
+  in
+  let seq_max =
+    Arg.(value & opt int 16 & info [ "seq-max" ] ~doc:"Largest sequence length served")
+  in
+  let run model domains cfg requests seq_min seq_max trace_out report_out =
+    apply_domains domains;
+    let entry = lookup model in
+    let exe = cache_load ~model entry in
+    let tr =
+      match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
+    in
+    let engine = Serve.Engine.create ~config:cfg ?trace:tr exe in
+    let requests = max 1 requests in
+    let seq_max = max seq_min seq_max in
+    let span = seq_max - seq_min + 1 in
+    (* round-robin over the seq range: distinct shapes exercise bucketing *)
+    let jobs =
+      Array.init requests (fun i ->
+          let seq = seq_min + (i mod span) in
+          (seq, entry.sample_input ~seq))
+    in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      Array.map (fun (seq, input) -> Serve.Engine.submit engine ~shape:[| seq |] input) jobs
+    in
+    let ok = ref 0 and rejected = ref 0 and timed_out = ref 0 and failed = ref 0 in
+    let first_ok = ref None in
+    Array.iteri
+      (fun i tk ->
+        match tk with
+        | Error _ -> incr rejected
+        | Ok tk -> (
+            match Serve.Engine.wait tk with
+            | Ok out ->
+                incr ok;
+                if !first_ok = None then first_ok := Some (i, out)
+            | Error Serve.Engine.Rejected -> incr rejected
+            | Error Serve.Engine.Timed_out -> incr timed_out
+            | Error (Serve.Engine.Failed msg) ->
+                incr failed;
+                Fmt.epr "request failed: %s@." msg))
+      tickets;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* re-run one served request on a sequential reference VM: batched
+       execution must be bitwise-identical (and the reference profile
+       anchors the --report document) *)
+    let ref_vm = Nimble.vm exe in
+    (match !first_ok with
+    | Some (i, Nimble_vm.Obj.Tensor served) -> (
+        let _, input = jobs.(i) in
+        match Interp.invoke ref_vm [ input ] with
+        | Nimble_vm.Obj.Tensor reference ->
+            Fmt.pr "bitwise vs sequential reference: %b@."
+              (Tensor.equal served.Nimble_vm.Obj.data reference.Nimble_vm.Obj.data)
+        | _ -> ())
+    | Some (i, _) ->
+        let _, input = jobs.(i) in
+        ignore (Interp.invoke ref_vm [ input ])
+    | None -> ());
+    Serve.Engine.shutdown engine;
+    Fmt.pr "served %d/%d in %.1f ms (%.0f req/s); rejected %d, timed out %d, failed %d@."
+      !ok requests (1e3 *. wall_s)
+      (float_of_int !ok /. Float.max 1e-9 wall_s)
+      !rejected !timed_out !failed;
+    Fmt.pr "@.%a@." Serve.Stats.pp_summary (Serve.Engine.stats engine);
+    (match (tr, trace_out) with
+    | Some tr, Some path -> save_serve_trace ~model tr path
+    | _ -> ());
+    Option.iter (save_serve_report ~ref_vm engine) report_out
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a zoo model through the batching engine: shape-bucketed dynamic \
+          batches over a VM worker pool, with a bitwise check against a \
+          sequential reference run")
+    Term.(
+      const run $ model_arg $ domains_arg $ engine_config_term $ requests $ seq_min
+      $ seq_max $ trace_arg $ report_arg)
+
+let loadgen_cmd =
+  let rate =
+    Arg.(value & opt float 200.0 & info [ "rate" ] ~docv:"RPS" ~doc:"Aggregate arrival rate")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"S" ~doc:"Generation window, seconds")
+  in
+  let clients =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Client domains")
+  in
+  let mix =
+    Arg.(
+      value & opt string "8:1"
+      & info [ "mix" ] ~docv:"SEQ:W,..."
+          ~doc:
+            "Weighted sequence-length mix, e.g. $(b,4:0.5,16:0.5); weights need \
+             not sum to 1")
+  in
+  let steady =
+    Arg.(
+      value & flag
+      & info [ "steady" ] ~doc:"Fixed inter-arrival gaps instead of Poisson")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Arrival/mix RNG seed") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the $(i,server) JSON section instead of the table")
+  in
+  let parse_mix s : Serve.Loadgen.mix =
+    String.split_on_char ',' s
+    |> List.filter (fun e -> String.trim e <> "")
+    |> List.map (fun entry ->
+           let bad () =
+             Fmt.epr "bad mix entry %S (want SEQ or SEQ:WEIGHT, e.g. 4:0.5,16:0.5)@."
+               entry;
+             exit 1
+           in
+           match String.split_on_char ':' (String.trim entry) with
+           | [ seq ] -> (
+               match int_of_string_opt seq with
+               | Some s -> ([| s |], 1.0)
+               | None -> bad ())
+           | [ seq; w ] -> (
+               match (int_of_string_opt seq, float_of_string_opt w) with
+               | Some s, Some w -> ([| s |], w)
+               | _ -> bad ())
+           | _ -> bad ())
+  in
+  let run model domains cfg rate duration clients mix steady seed json trace_out report_out
+      =
+    apply_domains domains;
+    let entry = lookup model in
+    let exe = cache_load ~quiet:json ~model entry in
+    let tr =
+      match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
+    in
+    let engine = Serve.Engine.create ~config:cfg ?trace:tr exe in
+    let lcfg =
+      {
+        Serve.Loadgen.rate_rps = rate;
+        duration_s = duration;
+        clients;
+        mix = parse_mix mix;
+        process = (if steady then Serve.Loadgen.Steady else Serve.Loadgen.Poisson);
+        seed;
+        timeout_us = cfg.Serve.Engine.default_timeout_us;
+      }
+    in
+    let result =
+      Serve.Loadgen.run ~config:lcfg engine ~make_input:(fun ~shape ->
+          entry.sample_input ~seq:shape.(0))
+    in
+    Serve.Engine.shutdown engine;
+    if json then
+      print_string (Nimble_vm.Json.to_string_pretty (Serve.Engine.server_json engine))
+    else begin
+      Fmt.pr "offered %d in %.2f s -> achieved %.0f req/s@." result.Serve.Loadgen.offered
+        result.Serve.Loadgen.wall_s result.Serve.Loadgen.achieved_rps;
+      Fmt.pr "@.%a@." Serve.Stats.pp_summary result.Serve.Loadgen.summary
+    end;
+    (match (tr, trace_out) with
+    | Some tr, Some path -> save_serve_trace ~model tr path
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        Nimble_vm.Json.save_file (Serve.Engine.server_json engine) path;
+        Fmt.pr "report: %s@." path)
+      report_out
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive the serving engine with an open-loop synthetic load (seeded \
+          Poisson or steady arrivals over a weighted shape mix) and report \
+          throughput, latency percentiles and the batch-size histogram")
+    Term.(
+      const run $ model_arg $ domains_arg $ engine_config_term $ rate $ duration
+      $ clients $ mix $ steady $ seed $ json $ trace_arg $ report_arg)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -355,4 +632,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "nimble_cli" ~doc)
-          [ models_cmd; compile_cmd; disasm_cmd; run_cmd; profile_cmd; parse_cmd ]))
+          [
+            models_cmd;
+            compile_cmd;
+            disasm_cmd;
+            run_cmd;
+            profile_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            parse_cmd;
+          ]))

@@ -46,7 +46,8 @@ let num_domains () =
       w
 
 (* ------------------------------------------------------------------ *)
-(* Counters (read/written only by the initiating domain)               *)
+(* Counters (atomic: any domain — e.g. a serving-engine VM worker —    *)
+(* may initiate a region, so increments must not lose updates)         *)
 (* ------------------------------------------------------------------ *)
 
 type snapshot = {
@@ -56,11 +57,18 @@ type snapshot = {
   sn_workers : int;  (** total participating domains, summed per run *)
 }
 
-let zero_snapshot = { sn_seq_runs = 0; sn_par_runs = 0; sn_chunks = 0; sn_workers = 0 }
+let seq_runs_ctr = Atomic.make 0
+let par_runs_ctr = Atomic.make 0
+let chunks_ctr = Atomic.make 0
+let workers_ctr = Atomic.make 0
 
-let counters = ref zero_snapshot
-
-let snapshot () = !counters
+let snapshot () =
+  {
+    sn_seq_runs = Atomic.get seq_runs_ctr;
+    sn_par_runs = Atomic.get par_runs_ctr;
+    sn_chunks = Atomic.get chunks_ctr;
+    sn_workers = Atomic.get workers_ctr;
+  }
 
 let diff ~before ~after =
   {
@@ -70,7 +78,11 @@ let diff ~before ~after =
     sn_workers = after.sn_workers - before.sn_workers;
   }
 
-let reset_counters () = counters := zero_snapshot
+let reset_counters () =
+  Atomic.set seq_runs_ctr 0;
+  Atomic.set par_runs_ctr 0;
+  Atomic.set chunks_ctr 0;
+  Atomic.set workers_ctr 0
 
 (* ------------------------------------------------------------------ *)
 (* The domain pool                                                     *)
@@ -183,7 +195,19 @@ let set_num_domains n =
     run, so observability stays consistent). *)
 let run_sequential n body =
   if n > 0 then body 0 n;
-  counters := { !counters with sn_seq_runs = !counters.sn_seq_runs + 1 }
+  Atomic.incr seq_runs_ctr
+
+(** [pinned_sequential f] runs [f ()] with this domain's re-entrancy
+    flag set, so every [parallel_for] it (transitively) performs takes
+    the sequential path without touching the shared pool. The serving
+    engine pins its VM workers this way when several of them run
+    concurrently: request-level parallelism then owns the cores, and the
+    single-job-slot kernel pool is never contended. Nests safely inside
+    a real parallel region (the flag is already set there). *)
+let pinned_sequential f =
+  let was = Domain.DLS.get inside_region in
+  Domain.DLS.set inside_region true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set inside_region was) f
 
 (** [parallel_for ~grain n body] runs [body lo hi] over a partition of
     [\[0, n)] into contiguous chunks of at least [grain] indices, using
@@ -225,14 +249,9 @@ let parallel_for ?(grain = 1) n body =
     done;
     current := None;
     Mutex.unlock mux;
-    let c = !counters in
-    counters :=
-      {
-        c with
-        sn_par_runs = c.sn_par_runs + 1;
-        sn_chunks = c.sn_chunks + nchunks;
-        sn_workers = c.sn_workers + Atomic.get j.participants;
-      };
+    Atomic.incr par_runs_ctr;
+    ignore (Atomic.fetch_and_add chunks_ctr nchunks);
+    ignore (Atomic.fetch_and_add workers_ctr (Atomic.get j.participants));
     match j.failed with Some e -> raise e | None -> ()
   end
 

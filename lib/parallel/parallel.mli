@@ -36,8 +36,18 @@ val parallel_for : ?grain:int -> int -> (int -> int -> unit) -> unit
     escape hatch every [NIMBLE_NUM_DOMAINS=1] run takes. *)
 val run_sequential : int -> (int -> int -> unit) -> unit
 
-(** Cumulative observability counters, maintained on the initiating
-    domain (snapshot/diff around a kernel call to attribute runs). *)
+(** [pinned_sequential f] runs [f ()] with this domain pinned to the
+    sequential path: every {!parallel_for} it performs (however deeply)
+    degrades to {!run_sequential} without touching the shared pool.
+    The serving engine ([Nimble_serve]) pins each VM worker this way
+    when several workers run concurrently, so request-level parallelism
+    owns the cores instead of contending for the single kernel-pool job
+    slot. Results are unchanged either way (chunking is deterministic).
+    Exception-safe; nests freely. *)
+val pinned_sequential : (unit -> 'a) -> 'a
+
+(** Cumulative observability counters (atomic — any domain may initiate
+    a region; snapshot/diff around a kernel call to attribute runs). *)
 type snapshot = {
   sn_seq_runs : int;  (** [parallel_for] calls that ran sequentially *)
   sn_par_runs : int;  (** calls that fanned out over the pool *)

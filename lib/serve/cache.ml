@@ -1,0 +1,63 @@
+(** Warm executable cache: compile once per model, serve forever.
+
+    A cold load runs the full deployment path — compile the IR module,
+    {!Nimble_vm.Serialize.to_bytes} it, decode the bytes back, and
+    relink the packed kernels by name — exactly what a server restoring
+    a [.nimble] artifact from disk does, so the serialized format stays
+    load-bearing in the serving path (and is covered by
+    [test/test_serve.ml]). Warm loads return the cached, already-linked
+    executable. An executable is immutable after linking (bytecode,
+    constants and packed implementations are only read), so many VM
+    workers can share one instance across domains; each worker keeps its
+    own {!Nimble_vm.Interp.t} for mutable state. *)
+
+module Nimble = Nimble_compiler.Nimble
+
+type entry = { exe : Nimble_vm.Exe.t; bytes : int  (** serialized size *) }
+
+type t = {
+  mux : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { mux = Mutex.create (); entries = Hashtbl.create 4; hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.mux;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
+
+(** [load t ~name ~build] returns the linked executable for [name],
+    compiling (and serialize/deserialize round-tripping) [build ()] on
+    the first request only. The build runs under the cache lock, so
+    concurrent cold loads of the same model compile once. *)
+let load t ~name ~(build : unit -> Nimble_ir.Irmod.t) : Nimble_vm.Exe.t =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.entries name with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          e.exe
+      | None ->
+          t.misses <- t.misses + 1;
+          let m = build () in
+          let compiled = Nimble.compile m in
+          (* the deployment round trip: portable bytes, then relink the
+             platform kernels by name *)
+          let bytes = Nimble_vm.Serialize.to_bytes compiled in
+          let exe = Nimble_vm.Serialize.of_bytes bytes in
+          List.iter (Nimble_vm.Exe.link exe) (Nimble_compiler.Emitter.link_table m);
+          Hashtbl.replace t.entries name { exe; bytes = String.length bytes };
+          exe)
+
+(** Warm loads served since creation. *)
+let hits t = locked t (fun () -> t.hits)
+
+(** Cold loads (compile + round trip) performed since creation. *)
+let misses t = locked t (fun () -> t.misses)
+
+(** Serialized size in bytes of a cached model, if present. *)
+let serialized_bytes t ~name =
+  locked t (fun () ->
+      Option.map (fun e -> e.bytes) (Hashtbl.find_opt t.entries name))

@@ -1,0 +1,21 @@
+(** Warm executable cache: compile once per model; cold loads take the
+    serialize → deserialize → relink deployment path, warm loads return
+    the cached linked executable (safe to share across VM workers — an
+    executable is immutable after linking). *)
+
+type t
+
+val create : unit -> t
+
+(** The linked executable for [name]; [build] is compiled and
+    round-tripped on the first request only. *)
+val load : t -> name:string -> build:(unit -> Nimble_ir.Irmod.t) -> Nimble_vm.Exe.t
+
+(** Warm loads served since creation. *)
+val hits : t -> int
+
+(** Cold loads (compile + round trip) performed since creation. *)
+val misses : t -> int
+
+(** Serialized size in bytes of a cached model, if present. *)
+val serialized_bytes : t -> name:string -> int option

@@ -1,0 +1,379 @@
+(** The serving engine: shape-bucketed dynamic batching over a pool of
+    VM workers.
+
+    {v
+      clients --submit--> [pending queue] --> batch former --> [batch queue]
+                 (bounded: full = reject)     (bucket, wait)      (bounded)
+                                                                     |
+                                             workers <---------------+
+                                      (one Interp + ctx each,
+                                       warm arenas + frames)
+    v}
+
+    - {b Admission}: {!submit} never blocks. A full pending queue is an
+      immediate [Error Rejected] — backpressure by refusal, so a stalled
+      server sheds load instead of queueing unboundedly.
+    - {b Batching}: the batch former groups requests by {!Bucket} key.
+      A bucket flushes when it reaches [max_batch] requests or its
+      oldest member has waited [max_wait_us], whichever comes first, so
+      a lone request never waits more than the knob allows. Distinct
+      buckets accumulate independently (no head-of-line blocking).
+    - {b Execution}: each worker owns one {!Nimble_vm.Interp.t} over the
+      shared executable plus a reusable {!Nimble_vm.Interp.ctx}, so a
+      steady-state request allocates neither a register frame nor (after
+      warmup, per distinct shape) storage. Every request runs at its
+      {e exact} shape — bucketing affects scheduling and memory reuse
+      only — so batched results are bitwise-identical to unbatched runs.
+    - {b Deadlines}: a request whose deadline passes before execution is
+      completed with [Error Timed_out] without running (admission
+      control for stale work); one that started executing runs to the
+      end.
+    - {b Shutdown}: {!shutdown} closes admission, drains every queued
+      request through the workers, then joins all engine domains.
+
+    When more than one worker runs, workers execute kernels under
+    {!Nimble_parallel.Parallel.pinned_sequential}: request-level
+    parallelism owns the cores and the single-slot kernel pool is never
+    contended (results are identical either way). With one worker,
+    kernels keep fanning out over the domain pool, so [--domains]
+    composes with serving in both regimes. *)
+
+module Interp = Nimble_vm.Interp
+module Obj = Nimble_vm.Obj
+module Trace = Nimble_vm.Trace
+module Parallel = Nimble_parallel.Parallel
+
+type error =
+  | Rejected  (** admission refused: the submission queue was full *)
+  | Timed_out  (** the deadline passed before execution started *)
+  | Failed of string  (** the VM raised; the message is the fault *)
+
+type outcome = (Obj.t, error) result
+
+type config = {
+  workers : int;  (** VM worker domains (each owns an interpreter) *)
+  queue_capacity : int;  (** pending-queue bound; beyond it, reject *)
+  max_batch : int;  (** flush a bucket at this many requests *)
+  max_wait_us : float;  (** ... or when its oldest member waited this long *)
+  policy : Bucket.policy;  (** shape-bucketing policy *)
+  default_timeout_us : float option;
+      (** deadline applied to requests submitted without one *)
+}
+
+let default_config =
+  {
+    workers = 2;
+    queue_capacity = 64;
+    max_batch = 8;
+    max_wait_us = 2_000.0;
+    policy = Bucket.default;
+    default_timeout_us = None;
+  }
+
+(* A one-shot result cell (ivar): filled exactly once by the engine,
+   awaited by the submitting client. *)
+type cell = {
+  cm : Mutex.t;
+  cc : Condition.t;
+  mutable value : outcome option;
+}
+
+type request = {
+  input : Obj.t;
+  bucket : string;
+  submit_s : float;  (** Unix time at submission *)
+  deadline_s : float option;
+  cell : cell;
+}
+
+type ticket = cell
+
+type batch = { b_bucket : string; b_reqs : request list  (** submission order *) }
+
+type t = {
+  cfg : config;
+  exe : Nimble_vm.Exe.t;
+  func : string;
+  stats : Stats.t;
+  trace : Trace.t option;
+  trace_mux : Mutex.t;  (** Trace.t is single-writer; serialize serve spans *)
+  pending : request Squeue.t;
+  batches : batch Squeue.t;
+  paused : bool Atomic.t;
+  mutable batcher : unit Domain.t option;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;  (** set by [shutdown]; guarded by [stop_mux] *)
+  stop_mux : Mutex.t;
+}
+
+let now () = Unix.gettimeofday ()
+
+let fill (c : cell) (v : outcome) =
+  Mutex.lock c.cm;
+  if c.value = None then c.value <- Some v;
+  Condition.broadcast c.cc;
+  Mutex.unlock c.cm
+
+(** Block until the engine completes the ticket's request. *)
+let wait (tk : ticket) : outcome =
+  Mutex.lock tk.cm;
+  while tk.value = None do
+    Condition.wait tk.cc tk.cm
+  done;
+  let v = Option.get tk.value in
+  Mutex.unlock tk.cm;
+  v
+
+let record_span t ~name ~ts_us ~dur_us args =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Mutex.lock t.trace_mux;
+      Trace.record tr ~name ~cat:Trace.cat_serve ~ts_us ~dur_us args;
+      Mutex.unlock t.trace_mux
+
+let trace_now t =
+  match t.trace with
+  | None -> 0.0
+  | Some tr ->
+      Mutex.lock t.trace_mux;
+      let v = Trace.now_us tr in
+      Mutex.unlock t.trace_mux;
+      v
+
+(* ------------------------------ workers ------------------------------ *)
+
+let expired r t_now = match r.deadline_s with Some d -> t_now > d | None -> false
+
+let exec_request t vm ctx ~worker_id (r : request) =
+  let t_now = now () in
+  if expired r t_now then begin
+    Stats.record_timeout t.stats;
+    fill r.cell (Error Timed_out);
+    record_span t ~name:"serve.exec" ~ts_us:(trace_now t) ~dur_us:0.0
+      [
+        ("bucket", Trace.Str r.bucket);
+        ("worker", Trace.Int worker_id);
+        ("outcome", Trace.Str "timeout");
+      ]
+  end
+  else begin
+    let ts_us = trace_now t in
+    let outcome =
+      match Interp.invoke ~func:t.func ~ctx vm [ r.input ] with
+      | result -> Ok result
+      | exception e -> Error (Failed (Printexc.to_string e))
+    in
+    let done_s = now () in
+    (match outcome with
+    | Ok _ -> Stats.record_complete t.stats ~latency_us:((done_s -. r.submit_s) *. 1e6)
+    | Error _ -> Stats.record_error t.stats);
+    fill r.cell outcome;
+    record_span t ~name:"serve.exec" ~ts_us ~dur_us:(trace_now t -. ts_us)
+      [
+        ("bucket", Trace.Str r.bucket);
+        ("worker", Trace.Int worker_id);
+        ( "outcome",
+          Trace.Str (match outcome with Ok _ -> "ok" | Error _ -> "error") );
+      ]
+  end
+
+let worker_main t worker_id () =
+  (* one interpreter and one execution context per worker: private
+     storage arenas and a private register frame, both reused across
+     every request this worker ever runs *)
+  let vm = Interp.create t.exe in
+  let ctx = Interp.context () in
+  let pin = t.cfg.workers > 1 in
+  let run_batch (b : batch) =
+    let ts_us = trace_now t in
+    let frames0 = Interp.frame_reuses ctx in
+    let hits0 = (Interp.profiler vm).Nimble_vm.Profiler.pool_hits in
+    List.iter (exec_request t vm ctx ~worker_id) b.b_reqs;
+    Stats.record_reuse t.stats
+      ~frame_reuses:(Interp.frame_reuses ctx - frames0)
+      ~arena_hits:((Interp.profiler vm).Nimble_vm.Profiler.pool_hits - hits0);
+    record_span t ~name:"serve.batch_exec" ~ts_us ~dur_us:(trace_now t -. ts_us)
+      [
+        ("bucket", Trace.Str b.b_bucket);
+        ("size", Trace.Int (List.length b.b_reqs));
+        ("worker", Trace.Int worker_id);
+      ]
+  in
+  let rec loop () =
+    match Squeue.pop t.batches with
+    | None -> ()
+    | Some b ->
+        (if pin then Parallel.pinned_sequential (fun () -> run_batch b)
+         else run_batch b);
+        loop ()
+  in
+  loop ()
+
+(* --------------------------- batch former --------------------------- *)
+
+(* Per-bucket accumulation: requests are appended in submission order
+   and flushed as one batch when full or due. *)
+type slot = { first_s : float; mutable rev_reqs : request list; mutable count : int }
+
+let batcher_main t () =
+  let stash : (string, slot) Hashtbl.t = Hashtbl.create 8 in
+  let flush bucket slot =
+    Hashtbl.remove stash bucket;
+    let reqs = List.rev slot.rev_reqs in
+    Stats.record_batch t.stats ~size:slot.count;
+    record_span t ~name:"serve.batch" ~ts_us:(trace_now t) ~dur_us:0.0
+      [ ("bucket", Trace.Str bucket); ("size", Trace.Int slot.count) ];
+    (* blocking push: when workers fall behind, backpressure propagates
+       here, the pending queue fills, and admission starts rejecting *)
+    ignore (Squeue.push t.batches { b_bucket = bucket; b_reqs = reqs })
+  in
+  let flush_due ~all =
+    let due_limit = now () -. (t.cfg.max_wait_us /. 1e6) in
+    let picks =
+      Hashtbl.fold
+        (fun b s acc -> if all || s.first_s <= due_limit then (b, s) :: acc else acc)
+        stash []
+    in
+    (* flush oldest-first so FIFO order across buckets is approximated *)
+    List.iter
+      (fun (b, s) -> flush b s)
+      (List.sort (fun (_, a) (_, b) -> Float.compare a.first_s b.first_s) picks)
+  in
+  let accept r =
+    Stats.observe_queue_depth t.stats (Squeue.length t.pending + 1);
+    let slot =
+      match Hashtbl.find_opt stash r.bucket with
+      | Some s -> s
+      | None ->
+          let s = { first_s = now (); rev_reqs = []; count = 0 } in
+          Hashtbl.replace stash r.bucket s;
+          s
+    in
+    slot.rev_reqs <- r :: slot.rev_reqs;
+    slot.count <- slot.count + 1;
+    if slot.count >= t.cfg.max_batch then flush r.bucket slot
+  in
+  let running = ref true in
+  while !running do
+    if Atomic.get t.paused then Unix.sleepf 0.001
+    else if Hashtbl.length stash = 0 then begin
+      (* nothing in flight: block for the next request (or drain signal) *)
+      match Squeue.pop t.pending with
+      | Some r -> accept r
+      | None ->
+          running := false (* closed and drained *)
+    end
+    else begin
+      (match Squeue.try_pop t.pending with
+      | Some r -> accept r
+      | None ->
+          if Squeue.closed t.pending then flush_due ~all:true
+          else (* bounded wait for stragglers, then re-check deadlines *)
+            Unix.sleepf (Float.min 0.0002 (t.cfg.max_wait_us /. 1e6 /. 4.0)));
+      flush_due ~all:false
+    end
+  done;
+  flush_due ~all:true;
+  Squeue.close t.batches
+
+(* ------------------------------ lifecycle ----------------------------- *)
+
+(** Start an engine over a linked executable: spawns the batch former
+    and [config.workers] VM worker domains. @param func the VM function
+    served (default ["main"]). @param trace record [serve.*] spans into
+    this recorder (shared with nothing else; the engine serializes its
+    own writes). *)
+let create ?(config = default_config) ?trace ?(func = "main") exe =
+  if config.workers < 1 then Fmt.invalid_arg "Engine.create: workers %d" config.workers;
+  if config.max_batch < 1 then Fmt.invalid_arg "Engine.create: max_batch %d" config.max_batch;
+  let t =
+    {
+      cfg = config;
+      exe;
+      func;
+      stats = Stats.create ();
+      trace;
+      trace_mux = Mutex.create ();
+      pending = Squeue.create ~capacity:config.queue_capacity;
+      batches = Squeue.create ~capacity:(Stdlib.max config.workers (config.queue_capacity / Stdlib.max 1 config.max_batch) + 1);
+      paused = Atomic.make false;
+      batcher = None;
+      workers = [];
+      stopped = false;
+      stop_mux = Mutex.create ();
+    }
+  in
+  t.batcher <- Some (Domain.spawn (batcher_main t));
+  t.workers <-
+    List.init config.workers (fun i -> Domain.spawn (worker_main t i));
+  t
+
+(** Submit one request. [shape] is the bucketing shape (for a sequence
+    model, [[| seq |]]); [input] is the VM argument executed {e as is} —
+    it is never padded. Returns a ticket to {!wait} on, or
+    [Error Rejected] when the pending queue is full (backpressure).
+    @param timeout_us per-request deadline from now, overriding
+    [config.default_timeout_us]. *)
+let submit ?timeout_us t ~shape (input : Obj.t) : (ticket, error) result =
+  Stats.record_submit t.stats;
+  let submit_s = now () in
+  let timeout =
+    match timeout_us with Some _ -> timeout_us | None -> t.cfg.default_timeout_us
+  in
+  let r =
+    {
+      input;
+      bucket = Bucket.key_string t.cfg.policy shape;
+      submit_s;
+      deadline_s = Option.map (fun us -> submit_s +. (us /. 1e6)) timeout;
+      cell = { cm = Mutex.create (); cc = Condition.create (); value = None };
+    }
+  in
+  if Squeue.try_push t.pending r then Ok r.cell
+  else begin
+    Stats.record_reject t.stats;
+    Error Rejected
+  end
+
+(** {!submit} then {!wait}: the blocking convenience for clients that
+    want one in-flight request. *)
+let run ?timeout_us t ~shape input =
+  match submit ?timeout_us t ~shape input with
+  | Error e -> Error e
+  | Ok tk -> wait tk
+
+(** Stop forming batches (the pending queue keeps filling — admission
+    starts rejecting once it is full). For tests and drain drills. *)
+let pause t = Atomic.set t.paused true
+
+(** Resume batch formation after {!pause}. *)
+let resume t = Atomic.set t.paused false
+
+(** Close admission, drain all in-flight work through the workers, join
+    every engine domain. Idempotent; concurrent calls are serialized. *)
+let shutdown t =
+  Mutex.lock t.stop_mux;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_mux;
+  if first then begin
+    Atomic.set t.paused false;
+    Squeue.close t.pending;
+    Stats.observe_queue_depth t.stats (Squeue.high_water t.pending);
+    Option.iter Domain.join t.batcher;
+    t.batcher <- None;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(** Frozen statistics snapshot (callable while serving). *)
+let stats t =
+  Stats.observe_queue_depth t.stats (Squeue.high_water t.pending);
+  Stats.summary t.stats
+
+(** {!stats} as the [server] JSON section for [nimble-profile/v1]. *)
+let server_json t = Stats.summary_to_json (stats t)
+
+(** The engine's configuration (as given to {!create}). *)
+let config t = t.cfg

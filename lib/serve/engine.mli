@@ -1,0 +1,80 @@
+(** The serving engine: shape-bucketed dynamic batching over a pool of
+    VM workers (architecture and tuning guide: [docs/SERVING.md]).
+
+    Requests are admitted through a bounded queue (full = immediate
+    reject, never blocking), grouped by {!Bucket} key until a bucket
+    reaches [max_batch] or its oldest request has waited [max_wait_us],
+    and executed by worker domains that each own a warm
+    {!Nimble_vm.Interp.t} (reused storage arenas) and
+    {!Nimble_vm.Interp.ctx} (reused register frame). Every request runs
+    at its exact shape, so batched results are bitwise-identical to
+    unbatched runs. *)
+
+type error =
+  | Rejected  (** admission refused: the submission queue was full *)
+  | Timed_out  (** the deadline passed before execution started *)
+  | Failed of string  (** the VM raised; the message is the fault *)
+
+type outcome = (Nimble_vm.Obj.t, error) result
+
+type config = {
+  workers : int;  (** VM worker domains (each owns an interpreter) *)
+  queue_capacity : int;  (** pending-queue bound; beyond it, reject *)
+  max_batch : int;  (** flush a bucket at this many requests *)
+  max_wait_us : float;  (** ... or when its oldest member waited this long *)
+  policy : Bucket.policy;  (** shape-bucketing policy *)
+  default_timeout_us : float option;
+      (** deadline applied to requests submitted without one *)
+}
+
+(** 2 workers, capacity 64, batches of up to 8 formed within 2 ms,
+    {!Bucket.default} padding, no default deadline. *)
+val default_config : config
+
+type t
+
+(** A claim on one submitted request's eventual {!outcome}. *)
+type ticket
+
+(** Start an engine over a linked executable: spawns the batch former and
+    [config.workers] VM worker domains.
+    @param func the VM function served (default ["main"]).
+    @param trace record [serve.*] spans into this recorder.
+    @raise Invalid_argument on a non-positive worker or batch count. *)
+val create :
+  ?config:config -> ?trace:Nimble_vm.Trace.t -> ?func:string -> Nimble_vm.Exe.t -> t
+
+(** Submit one request: [shape] is the bucketing shape, [input] the VM
+    argument (executed as-is, never padded). [Error Rejected] when the
+    pending queue is full.
+    @param timeout_us per-request deadline from now, overriding
+    [config.default_timeout_us]. *)
+val submit :
+  ?timeout_us:float -> t -> shape:int array -> Nimble_vm.Obj.t -> (ticket, error) result
+
+(** Block until the engine completes the ticket's request. *)
+val wait : ticket -> outcome
+
+(** {!submit} then {!wait}. *)
+val run :
+  ?timeout_us:float -> t -> shape:int array -> Nimble_vm.Obj.t -> outcome
+
+(** Stop forming batches (admission keeps queueing, then rejecting when
+    the queue fills). For tests and drain drills. *)
+val pause : t -> unit
+
+(** Resume batch formation after {!pause}. *)
+val resume : t -> unit
+
+(** Close admission, drain in-flight work, join all engine domains.
+    Idempotent. *)
+val shutdown : t -> unit
+
+(** Frozen statistics snapshot (callable while serving). *)
+val stats : t -> Stats.summary
+
+(** {!stats} rendered as the [server] section for [nimble-profile/v1]. *)
+val server_json : t -> Nimble_vm.Json.t
+
+(** The engine's configuration (as given to {!create}). *)
+val config : t -> config

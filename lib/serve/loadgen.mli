@@ -1,0 +1,33 @@
+(** Open-loop synthetic load generator for {!Engine}: weighted shape
+    mix, seeded Poisson (or steady) arrivals across N client domains,
+    full drain before reporting. See [docs/SERVING.md]. *)
+
+type mix = (int array * float) list
+
+type process = Poisson  (** exponential inter-arrival gaps *) | Steady  (** fixed gaps *)
+
+type config = {
+  rate_rps : float;  (** aggregate offered arrival rate, all clients *)
+  duration_s : float;  (** generation window (drain time is extra) *)
+  clients : int;  (** submitting domains, each at [rate_rps / clients] *)
+  mix : mix;  (** weighted shape distribution *)
+  process : process;
+  seed : int;  (** arrival and mix draws are deterministic per seed *)
+  timeout_us : float option;  (** per-request deadline passed to submit *)
+}
+
+(** 200 rps for 1 s from 2 clients, all-[| 8 |] mix, Poisson, seed 42. *)
+val default_config : config
+
+type result = {
+  offered : int;  (** submission attempts across all clients *)
+  wall_s : float;  (** generation window + drain, wall clock *)
+  achieved_rps : float;  (** completed requests / [wall_s] *)
+  summary : Stats.summary;  (** the engine's cumulative statistics *)
+}
+
+(** Drive [engine] per [config]; [make_input] builds the VM argument for
+    a drawn shape (called on the client domain at submit time). Use a
+    fresh engine per measurement point — engine stats are cumulative. *)
+val run :
+  ?config:config -> Engine.t -> make_input:(shape:int array -> Nimble_vm.Obj.t) -> result

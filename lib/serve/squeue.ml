@@ -1,0 +1,104 @@
+(** Bounded multi-producer/multi-consumer queue — the serving engine's
+    backpressure primitive.
+
+    Producers never block: {!try_push} refuses immediately when the
+    queue is at capacity (the engine turns that into a [`Rejected]
+    admission result instead of letting clients pile up behind a stalled
+    server). Consumers block in {!pop} until an element or {!close}.
+    Closing is graceful: queued elements drain; only then does {!pop}
+    return [None]. The high-water mark is kept for observability (the
+    [queue_depth_hwm] field of the server stats). *)
+
+type 'a t = {
+  mux : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  items : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable high_water : int;  (** max depth ever observed *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then Fmt.invalid_arg "Squeue.create: capacity %d" capacity;
+  {
+    mux = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    items = Queue.create ();
+    capacity;
+    closed = false;
+    high_water = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mux;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
+
+(** Enqueue without blocking: [false] when the queue is full or closed
+    (the caller decides whether that is a reject or a retry). *)
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.items >= t.capacity then false
+      else begin
+        Queue.push x t.items;
+        t.high_water <- Stdlib.max t.high_water (Queue.length t.items);
+        Condition.signal t.nonempty;
+        true
+      end)
+
+(** Enqueue, blocking while the queue is full; [false] only when the
+    queue is (or becomes) closed. Used between engine stages, where an
+    element must not be dropped and backpressure should propagate
+    upstream instead. *)
+let push t x =
+  with_lock t (fun () ->
+      while Queue.length t.items >= t.capacity && not t.closed do
+        Condition.wait t.nonfull t.mux
+      done;
+      if t.closed then false
+      else begin
+        Queue.push x t.items;
+        t.high_water <- Stdlib.max t.high_water (Queue.length t.items);
+        Condition.signal t.nonempty;
+        true
+      end)
+
+(** Dequeue, blocking until an element is available or the queue is
+    closed and fully drained ([None]). *)
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.items && not t.closed do
+        Condition.wait t.nonempty t.mux
+      done;
+      if Queue.is_empty t.items then None
+      else begin
+        let x = Queue.pop t.items in
+        Condition.signal t.nonfull;
+        Some x
+      end)
+
+(** Dequeue without blocking; [None] when currently empty. *)
+let try_pop t =
+  with_lock t (fun () ->
+      if Queue.is_empty t.items then None
+      else begin
+        let x = Queue.pop t.items in
+        Condition.signal t.nonfull;
+        Some x
+      end)
+
+(** Mark the queue closed: producers are refused from now on, consumers
+    drain what is queued and then see [None]. Idempotent. *)
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.nonfull)
+
+let closed t = with_lock t (fun () -> t.closed)
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+
+(** Deepest the queue has ever been (not reset by pops). *)
+let high_water t = with_lock t (fun () -> t.high_water)

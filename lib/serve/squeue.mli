@@ -1,0 +1,37 @@
+(** Bounded multi-producer/multi-consumer queue with non-blocking
+    admission (backpressure by refusal, not by blocking) and graceful
+    close-and-drain. See [docs/SERVING.md]. *)
+
+type 'a t
+
+(** [create ~capacity] makes an empty queue refusing pushes beyond
+    [capacity] elements. @raise Invalid_argument when [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+(** Enqueue without blocking: [false] when full or closed. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Enqueue, blocking while full; [false] only when closed. For
+    engine-internal stages where backpressure must propagate upstream
+    rather than drop elements. *)
+val push : 'a t -> 'a -> bool
+
+(** Dequeue, blocking until an element arrives or the queue is closed
+    and drained ([None]). *)
+val pop : 'a t -> 'a option
+
+(** Dequeue without blocking; [None] when currently empty. *)
+val try_pop : 'a t -> 'a option
+
+(** Refuse producers from now on; consumers drain then see [None].
+    Idempotent. *)
+val close : 'a t -> unit
+
+(** Has {!close} been called? *)
+val closed : 'a t -> bool
+
+(** Current depth. *)
+val length : 'a t -> int
+
+(** Deepest the queue has ever been. *)
+val high_water : 'a t -> int

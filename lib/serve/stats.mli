@@ -1,0 +1,52 @@
+(** Serving-engine statistics: admission counters, batch-size histogram,
+    latency percentiles. Thread-safe recorders; [summary] freezes a
+    consistent snapshot and [summary_to_json] renders the [server]
+    section of [nimble-profile/v1] (see [docs/OBSERVABILITY.md]). *)
+
+type t
+
+val create : unit -> t
+
+val record_submit : t -> unit
+val record_reject : t -> unit
+val record_timeout : t -> unit
+val record_error : t -> unit
+
+(** One completed request with its submit-to-complete latency (µs). *)
+val record_complete : t -> latency_us:float -> unit
+
+(** One formed batch of [size] requests. *)
+val record_batch : t -> size:int -> unit
+
+(** Fold a submission-queue depth observation into the high-water mark. *)
+val observe_queue_depth : t -> int -> unit
+
+(** Accumulate a worker's VM warm-state counters (register-frame reuses,
+    storage-arena hits). *)
+val record_reuse : t -> frame_reuses:int -> arena_hits:int -> unit
+
+type summary = {
+  s_submitted : int;
+  s_completed : int;
+  s_rejected : int;  (** refused at admission (queue full) *)
+  s_timeouts : int;  (** deadline passed before execution *)
+  s_errors : int;  (** VM faults surfaced to clients *)
+  s_batches : int;
+  s_queue_depth_hwm : int;
+  s_batch_hist : (int * int) list;  (** (batch size, count), ascending *)
+  s_mean_batch : float;
+  s_p50_ms : float;  (** 0 when nothing completed *)
+  s_p99_ms : float;
+  s_mean_ms : float;
+  s_frame_reuses : int;  (** VM register-frame reuses across workers *)
+  s_arena_hits : int;  (** storage-pool hits across workers *)
+}
+
+(** Freeze a consistent snapshot (percentiles computed at call time). *)
+val summary : t -> summary
+
+(** The [server] JSON section embedded in [nimble-profile/v1]. *)
+val summary_to_json : summary -> Nimble_vm.Json.t
+
+(** Human-readable dump (CLI output). *)
+val pp_summary : Format.formatter -> summary -> unit

@@ -103,13 +103,45 @@ let storage_bytes (shape_t : Tensor.t) (dtype : Dtype.t) ~alignment =
   let b = n * Dtype.size_in_bytes dtype in
   (b + alignment - 1) / alignment * alignment
 
-let rec exec_func (vm : t) ~depth (fi : int) (args : Obj.t array) : Obj.t =
+(** A reusable execution context: the top-level register frame for each
+    entry function, kept across invocations so a steady-state caller (the
+    serving engine's VM workers, the bench loops) re-enters without
+    allocating a fresh frame. Frames are keyed by function index, so a
+    context is only meaningful against the interpreter it was handed to
+    first. Recursive [Invoke] frames are always fresh — only the depth-0
+    frame is reused. *)
+type ctx = {
+  frames : (int, Obj.t array) Hashtbl.t;
+  mutable frame_reuses : int;  (** invocations that skipped the frame alloc *)
+}
+
+let context () = { frames = Hashtbl.create 2; frame_reuses = 0 }
+
+let frame_reuses c = c.frame_reuses
+
+let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
   if depth > vm.max_depth then err "VM recursion limit exceeded";
   let f = vm.exe.Exe.funcs.(fi) in
   if Array.length args <> f.Exe.arity then
     err "fn %s: expected %d arguments, got %d" f.Exe.name f.Exe.arity
       (Array.length args);
-  let regs = Array.make (Stdlib.max f.Exe.register_count (f.Exe.arity + 1)) Obj.unit in
+  let nregs = Stdlib.max f.Exe.register_count (f.Exe.arity + 1) in
+  let regs =
+    match ctx with
+    | Some c when depth = 0 -> (
+        match Hashtbl.find_opt c.frames fi with
+        | Some cached when Array.length cached = nregs ->
+            (* refill, don't reallocate: behavior is identical to a fresh
+               frame (every slot starts as [Obj.unit]) at zero allocation *)
+            c.frame_reuses <- c.frame_reuses + 1;
+            Array.fill cached 0 nregs Obj.unit;
+            cached
+        | _ ->
+            let fresh = Array.make nregs Obj.unit in
+            Hashtbl.replace c.frames fi fresh;
+            fresh)
+    | _ -> Array.make nregs Obj.unit
+  in
   Array.blit args 0 regs 0 (Array.length args);
   let prof = vm.profiler in
   let set_reg i (o : Obj.t) =
@@ -377,11 +409,11 @@ let rec escape_pool (o : Obj.t) : Obj.t =
   | Obj.Storage _ | Obj.Closure _ | Obj.Int _ -> o
 
 (** Invoke a VM function by name. *)
-let invoke ?(func = "main") vm (args : Obj.t list) : Obj.t =
+let invoke ?(func = "main") ?ctx vm (args : Obj.t list) : Obj.t =
   let fi = Exe.func_index vm.exe func in
   let ts_us = match vm.trace with Some tr -> Trace.now_us tr | None -> 0.0 in
   let t0 = now () in
-  let result = exec_func vm ~depth:0 fi (Array.of_list args) in
+  let result = exec_func vm ?ctx ~depth:0 fi (Array.of_list args) in
   let result = if vm.pooling then escape_pool result else result in
   let dt = now () -. t0 in
   vm.profiler.Profiler.total_seconds <- vm.profiler.Profiler.total_seconds +. dt;
@@ -393,8 +425,8 @@ let invoke ?(func = "main") vm (args : Obj.t list) : Obj.t =
   result
 
 (** Convenience: tensor inputs, tensor output. *)
-let run_tensors ?func vm inputs =
+let run_tensors ?func ?ctx vm inputs =
   let args = List.map (fun t -> Obj.tensor t) inputs in
-  Obj.to_tensor (invoke ?func vm args)
+  Obj.to_tensor (invoke ?func ?ctx vm args)
 
 let profiler vm = vm.profiler

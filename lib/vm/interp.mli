@@ -54,14 +54,33 @@ val set_trace : t -> Trace.t option -> unit
 (** The currently installed event recorder, if any. *)
 val trace : t -> Trace.t option
 
+(** A reusable execution context: caches the top-level register frame per
+    entry function so repeated invocations of the same function allocate
+    nothing for the frame (the serving engine's steady-state path; the
+    bench loops use one too). Behavior is identical to context-free
+    invocation — the cached frame is refilled with unit values before
+    every run — and only the depth-0 frame is reused; recursive frames
+    stay fresh. A context indexes frames by function index, so use each
+    context against a single interpreter (one per VM worker). Contexts
+    are not thread-safe: one domain at a time. *)
+type ctx
+
+(** A fresh, empty execution context. *)
+val context : unit -> ctx
+
+(** Invocations that reused a cached frame instead of allocating one. *)
+val frame_reuses : ctx -> int
+
 (** Invoke a VM function (default ["main"]) with the given arguments.
+    @param ctx reuse this execution context's cached register frame
+    (see {!ctx}).
     @raise Vm_error on any runtime fault (bad operands, device mismatch,
     shape-check failure, recursion overflow). *)
-val invoke : ?func:string -> t -> Obj.t list -> Obj.t
+val invoke : ?func:string -> ?ctx:ctx -> t -> Obj.t list -> Obj.t
 
 (** Convenience wrapper: tensor inputs, tensor output. *)
 val run_tensors :
-  ?func:string -> t -> Nimble_tensor.Tensor.t list -> Nimble_tensor.Tensor.t
+  ?func:string -> ?ctx:ctx -> t -> Nimble_tensor.Tensor.t list -> Nimble_tensor.Tensor.t
 
 (** The interpreter's profiler: instruction counts, kernel vs other time,
     allocation time, per-kernel statistics, memory-pool accounting. *)

@@ -262,10 +262,15 @@ let json_of_dispatch (d : Nimble_codegen.Dispatch.snapshot) =
              d.snap_residue_hits) );
     ]
 
-(** Render a report as the [nimble-profile/v1] JSON document. *)
-let report_to_json (r : report) : Json.t =
+(** Render a report as the [nimble-profile/v1] JSON document.
+    @param server serving-engine statistics ([Nimble_serve.Stats]) to embed
+    as the document's [server] member — present only when serving. *)
+let report_to_json ?server (r : report) : Json.t =
+  let server_member =
+    match server with Some s -> [ ("server", s) ] | None -> []
+  in
   Json.Obj
-    [
+    ([
       ("schema", Json.String "nimble-profile/v1");
       ("total_seconds", Json.Float r.r_total_seconds);
       ("kernel_seconds", Json.Float r.r_kernel_seconds);
@@ -319,6 +324,7 @@ let report_to_json (r : report) : Json.t =
              r.r_devices) );
       ("dispatch", Json.List (List.map json_of_dispatch r.r_dispatch));
     ]
+    @ server_member)
 
 (** [report] and [report_to_json] composed: the one-call JSON snapshot. *)
-let to_json ?dispatch t = report_to_json (report ?dispatch t)
+let to_json ?dispatch ?server t = report_to_json ?server (report ?dispatch t)

@@ -140,8 +140,13 @@ type report = {
     process created — pass an explicit list to narrow the scope). *)
 val report : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> report
 
-(** Render a report as the [nimble-profile/v1] JSON document. *)
-val report_to_json : report -> Json.t
+(** Render a report as the [nimble-profile/v1] JSON document.
+    @param server a serving-engine statistics object
+    ([Nimble_serve.Stats.summary_to_json]) embedded as the document's
+    [server] member; absent for non-serving runs
+    (schema: [docs/OBSERVABILITY.md]). *)
+val report_to_json : ?server:Json.t -> report -> Json.t
 
 (** {!report} and {!report_to_json} composed: one-call JSON snapshot. *)
-val to_json : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> Json.t
+val to_json :
+  ?dispatch:Nimble_codegen.Dispatch.snapshot list -> ?server:Json.t -> t -> Json.t

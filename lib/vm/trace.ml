@@ -29,6 +29,7 @@ let cat_kernel = "kernel"
 let cat_shape_func = "shape_func"
 let cat_alloc = "alloc"
 let cat_device_copy = "device_copy"
+let cat_serve = "serve"
 
 let dummy = { name = ""; cat = ""; ts_us = 0.0; dur_us = 0.0; args = [] }
 

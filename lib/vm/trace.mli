@@ -50,6 +50,11 @@ val cat_alloc : string
 (** Cross-device transfers emitted by the [DeviceCopy] instruction. *)
 val cat_device_copy : string
 
+(** Serving-engine events ([Nimble_serve]): request admission, batch
+    formation ([serve.batch], with [bucket]/[size] args) and per-request
+    execution ([serve.exec], with [bucket]/[outcome]/[worker] args). *)
+val cat_serve : string
+
 type t
 
 (** [create ()] makes an empty trace. @param capacity ring size in spans

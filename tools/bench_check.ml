@@ -1,12 +1,19 @@
 (* Schema gate for committed benchmark baselines: every non-empty line of
-   each argument file must parse as a [nimble-bench/v1] table. Exits 1 on
-   any drift so `dune runtest` catches accidental format changes before a
-   downstream scraper does.
+   each argument file must parse as a [nimble-bench/v1] table or a
+   [nimble-serve/v1] serving-benchmark document (the [schema] member picks
+   the check). Exits 1 on any drift so `dune runtest` catches accidental
+   format changes before a downstream scraper does.
 
-   Checked per table: the exact [schema] tag; [title]/[unit] strings;
-   [columns] a non-empty list of strings; [rows] a non-empty list of
-   objects, each carrying a [label] string and a [cells] list whose length
-   equals the column count and whose entries are numbers or null. *)
+   Checked per bench table: the exact [schema] tag; [title]/[unit]
+   strings; [columns] a non-empty list of strings; [rows] a non-empty list
+   of objects, each carrying a [label] string and a [cells] list whose
+   length equals the column count and whose entries are numbers or null.
+
+   Checked per serve document: [title]/[model] strings and a [points]
+   list of at least three (arrival rate x shape mix) measurements, each
+   with numeric [throughput_rps]/[p50_ms]/[p99_ms], integer
+   [rejected]/[timeouts]/[queue_depth_hwm], and a non-empty [batch_hist]
+   object of integer counts. *)
 
 module Json = Nimble_vm.Json
 
@@ -19,20 +26,67 @@ let fail file line fmt =
       Format.eprintf "%s:%d: %s@." file line msg)
     fmt
 
-let check_table file lineno json =
-  let str_member key =
-    match Json.member key json with
-    | Some (Json.String s) -> Some s
-    | Some _ ->
-        fail file lineno "%S is not a string" key;
-        None
-    | None ->
-        fail file lineno "missing key %S" key;
-        None
+let str_member file lineno json key =
+  match Json.member key json with
+  | Some (Json.String s) -> Some s
+  | Some _ ->
+      fail file lineno "%S is not a string" key;
+      None
+  | None ->
+      fail file lineno "missing key %S" key;
+      None
+
+(* a [nimble-serve/v1] line: the BENCH_serve.json baseline *)
+let check_serve file lineno json =
+  let str_member = str_member file lineno json in
+  ignore (str_member "title");
+  ignore (str_member "model");
+  let num ctx point key =
+    match Json.member key point with
+    | Some (Json.Float _) | Some (Json.Int _) -> ()
+    | _ -> fail file lineno "%s: missing numeric %S" ctx key
   in
-  (match str_member "schema" with
-  | Some "nimble-bench/v1" | None -> ()
-  | Some other -> fail file lineno "schema is %S, want \"nimble-bench/v1\"" other);
+  let int_ ctx point key =
+    match Json.member key point with
+    | Some (Json.Int _) -> ()
+    | _ -> fail file lineno "%s: missing integer %S" ctx key
+  in
+  match Json.member "points" json with
+  | Some (Json.List points) ->
+      if List.length points < 3 then
+        fail file lineno "%d points, want at least 3 (rate x mix grid)"
+          (List.length points);
+      List.iteri
+        (fun i point ->
+          let ctx = Fmt.str "point %d" i in
+          (match Json.member "label" point with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "%s: missing string \"label\"" ctx);
+          num ctx point "rate_rps";
+          num ctx point "throughput_rps";
+          num ctx point "p50_ms";
+          num ctx point "p99_ms";
+          int_ ctx point "rejected";
+          int_ ctx point "timeouts";
+          int_ ctx point "queue_depth_hwm";
+          match Json.member "batch_hist" point with
+          | Some (Json.Obj ((_ :: _) as entries)) ->
+              List.iter
+                (fun (size, count) ->
+                  (match int_of_string_opt size with
+                  | Some _ -> ()
+                  | None ->
+                      fail file lineno "%s: batch_hist key %S is not a size" ctx size);
+                  match count with
+                  | Json.Int _ -> ()
+                  | _ -> fail file lineno "%s: batch_hist[%s] is not an integer" ctx size)
+                entries
+          | _ -> fail file lineno "%s: missing non-empty \"batch_hist\" object" ctx)
+        points
+  | Some _ | None -> fail file lineno "missing \"points\" list"
+
+let check_table file lineno json =
+  let str_member = str_member file lineno json in
   ignore (str_member "title");
   ignore (str_member "unit");
   let ncols =
@@ -80,7 +134,14 @@ let check_file file =
        if String.trim line <> "" then begin
          incr tables;
          match Json.of_string line with
-         | json -> check_table file !lineno json
+         | json -> (
+             match Json.member "schema" json with
+             | Some (Json.String "nimble-bench/v1") -> check_table file !lineno json
+             | Some (Json.String "nimble-serve/v1") -> check_serve file !lineno json
+             | Some (Json.String other) ->
+                 fail file !lineno
+                   "schema is %S, want \"nimble-bench/v1\" or \"nimble-serve/v1\"" other
+             | Some _ | None -> fail file !lineno "missing string \"schema\"")
          | exception Json.Parse_error msg ->
              fail file !lineno "JSON parse error: %s" msg
        end
