@@ -13,6 +13,11 @@ open Nimble_models
 module Nimble = Nimble_compiler.Nimble
 module Interp = Nimble_vm.Interp
 module Serve = Nimble_serve
+module Fault = Nimble_fault.Fault
+
+(** Exit with a one-line diagnostic (no backtrace): the polite way to
+    refuse a malformed knob value. *)
+let die fmt = Fmt.kstr (fun msg -> Fmt.epr "nimble_cli: %s@." msg; exit 1) fmt
 
 (* ------------------------- model zoo ------------------------- *)
 
@@ -221,6 +226,33 @@ let report_arg =
           "Write a $(i,nimble-report/v1) JSON (profiler + compile report) to \
            $(docv)")
 
+let no_guards_arg =
+  Arg.(
+    value & flag
+    & info [ "no-guards" ]
+        ~doc:
+          "Compile without entry type guards (the runtime checks that validate \
+           each call's tensor arguments against the function's declared types; \
+           see docs/ROBUSTNESS.md)")
+
+let compile_options ~no_guards =
+  { Nimble.default_options with Nimble.runtime_guards = not no_guards }
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Fault-injection spec, e.g. $(b,seed=11;*=0.05) or \
+           $(b,kernel_launch=0.5:transient) (overrides $(b,NIMBLE_FAULT_SPEC); \
+           grammar in docs/ROBUSTNESS.md)")
+
+let apply_fault =
+  Option.iter (fun spec ->
+      try Fault.configure spec
+      with Fault.Spec_error msg -> die "bad --fault spec: %s" msg)
+
 (** The [nimble-report/v1] document: one CLI run's profiler report plus
     the compile report that produced the executable. *)
 let run_report_json ~model ~seq ~(creport : Nimble.report) vm =
@@ -245,10 +277,13 @@ let save_report ~model ~seq ~creport vm path =
   Fmt.pr "report: %s@." path
 
 let run_cmd =
-  let run model seq domains trace_out report_out =
+  let run model seq domains no_guards fault trace_out report_out =
     apply_domains domains;
+    apply_fault fault;
     let entry = lookup model in
-    let exe, creport = Nimble.compile_with_report (entry.build ()) in
+    let exe, creport =
+      Nimble.compile_with_report ~options:(compile_options ~no_guards) (entry.build ())
+    in
     let vm = Nimble.vm exe in
     let tr =
       match trace_out with
@@ -258,7 +293,11 @@ let run_cmd =
     Interp.set_trace vm tr;
     let input = entry.sample_input ~seq in
     let t0 = Unix.gettimeofday () in
-    let out = Interp.invoke vm [ input ] in
+    let out =
+      match Interp.invoke_result vm [ input ] with
+      | Ok out -> out
+      | Error fl -> die "execution failed: %a" Interp.pp_failure fl
+    in
     let ms = 1e3 *. (Unix.gettimeofday () -. t0) in
     (match out with
     | Nimble_vm.Obj.Tensor p ->
@@ -271,7 +310,9 @@ let run_cmd =
     Option.iter (save_report ~model ~seq ~creport vm) report_out
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and run a zoo model with profiling")
-    Term.(const run $ model_arg $ seq_arg $ domains_arg $ trace_arg $ report_arg)
+    Term.(
+      const run $ model_arg $ seq_arg $ domains_arg $ no_guards_arg $ fault_arg
+      $ trace_arg $ report_arg)
 
 let profile_cmd =
   let runs =
@@ -283,10 +324,12 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Print the $(i,nimble-report/v1) JSON to stdout instead of tables")
   in
-  let run model seq domains runs json trace_out report_out =
+  let run model seq domains runs json no_guards trace_out report_out =
     apply_domains domains;
     let entry = lookup model in
-    let exe, creport = Nimble.compile_with_report (entry.build ()) in
+    let exe, creport =
+      Nimble.compile_with_report ~options:(compile_options ~no_guards) (entry.build ())
+    in
     let vm = Nimble.vm exe in
     let tr =
       match trace_out with
@@ -324,7 +367,9 @@ let profile_cmd =
        ~doc:
          "Compile and run a zoo model, then print per-pass compile stats and \
           the runtime profile (or the JSON report with $(b,--json))")
-    Term.(const run $ model_arg $ seq_arg $ domains_arg $ runs $ json $ trace_arg $ report_arg)
+    Term.(
+      const run $ model_arg $ seq_arg $ domains_arg $ runs $ json $ no_guards_arg
+      $ trace_arg $ report_arg)
 
 (* ------------------------- serving ------------------------- *)
 
@@ -365,7 +410,46 @@ let engine_config_term =
       & info [ "timeout-us" ] ~docv:"US"
           ~doc:"Default per-request deadline (microseconds from submission)")
   in
-  let mk workers queue_capacity max_batch max_wait_us bucket timeout =
+  let max_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Per-request retries of transient failures (0 disables retrying)")
+  in
+  let retry_backoff =
+    Arg.(
+      value & opt float 200.0
+      & info [ "retry-backoff-us" ] ~docv:"US"
+          ~doc:"Base backoff before the first retry (doubles per attempt)")
+  in
+  let pool_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool-cap-bytes" ] ~docv:"B"
+          ~doc:
+            "Per-worker cap on VM storage retained across requests; an \
+             allocation that would exceed it fails the request as \
+             $(i,alloc)")
+  in
+  let mk workers queue_capacity max_batch max_wait_us bucket timeout max_retries
+      retry_backoff_us pool_cap_bytes =
+    if workers < 1 then die "--workers must be >= 1 (got %d)" workers;
+    if queue_capacity < 1 then
+      die "--queue-capacity must be >= 1 (got %d)" queue_capacity;
+    if max_batch < 1 then die "--max-batch must be >= 1 (got %d)" max_batch;
+    if max_wait_us < 0.0 then
+      die "--max-wait-us must be >= 0 (got %g)" max_wait_us;
+    if bucket < 0 then die "--bucket-multiple must be >= 0 (got %d)" bucket;
+    Option.iter
+      (fun t -> if t <= 0.0 then die "--timeout-us must be > 0 (got %g)" t)
+      timeout;
+    if max_retries < 0 then die "--max-retries must be >= 0 (got %d)" max_retries;
+    if retry_backoff_us < 0.0 then
+      die "--retry-backoff-us must be >= 0 (got %g)" retry_backoff_us;
+    Option.iter
+      (fun b -> if b <= 0 then die "--pool-cap-bytes must be > 0 (got %d)" b)
+      pool_cap_bytes;
     {
       Serve.Engine.workers;
       queue_capacity;
@@ -375,18 +459,23 @@ let engine_config_term =
         (if bucket <= 1 then Serve.Bucket.Exact
          else Serve.Bucket.Pad { multiple = bucket; max_over = 2.0 });
       default_timeout_us = timeout;
+      max_retries;
+      retry_backoff_us;
+      pool_cap_bytes;
     }
   in
-  Term.(const mk $ workers $ queue $ max_batch $ max_wait $ bucket $ timeout)
+  Term.(
+    const mk $ workers $ queue $ max_batch $ max_wait $ bucket $ timeout
+    $ max_retries $ retry_backoff $ pool_cap)
 
 (** Cold-load through the warm cache (serialize → deserialize → relink),
     then load again to show the warm path. *)
-let cache_load ?(quiet = false) ~model (entry : zoo_entry) =
+let cache_load ?(quiet = false) ?options ~model (entry : zoo_entry) =
   let cache = Serve.Cache.create () in
   let t0 = Unix.gettimeofday () in
-  let exe = Serve.Cache.load cache ~name:model ~build:entry.build in
+  let exe = Serve.Cache.load ?options cache ~name:model ~build:entry.build in
   let cold_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
-  ignore (Serve.Cache.load cache ~name:model ~build:entry.build);
+  ignore (Serve.Cache.load ?options cache ~name:model ~build:entry.build);
   let bytes =
     match Serve.Cache.serialized_bytes cache ~name:model with Some b -> b | None -> 0
   in
@@ -421,16 +510,20 @@ let serve_cmd =
   let seq_max =
     Arg.(value & opt int 16 & info [ "seq-max" ] ~doc:"Largest sequence length served")
   in
-  let run model domains cfg requests seq_min seq_max trace_out report_out =
+  let run model domains cfg requests seq_min seq_max no_guards fault trace_out
+      report_out =
     apply_domains domains;
+    apply_fault fault;
+    if requests < 1 then die "--requests must be >= 1 (got %d)" requests;
+    if seq_min < 1 then die "--seq-min must be >= 1 (got %d)" seq_min;
+    if seq_max < seq_min then
+      die "--seq-max (%d) must be >= --seq-min (%d)" seq_max seq_min;
     let entry = lookup model in
-    let exe = cache_load ~model entry in
+    let exe = cache_load ~options:(compile_options ~no_guards) ~model entry in
     let tr =
       match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
     in
     let engine = Serve.Engine.create ~config:cfg ?trace:tr exe in
-    let requests = max 1 requests in
-    let seq_max = max seq_min seq_max in
     let span = seq_max - seq_min + 1 in
     (* round-robin over the seq range: distinct shapes exercise bucketing *)
     let jobs =
@@ -455,27 +548,30 @@ let serve_cmd =
                 if !first_ok = None then first_ok := Some (i, out)
             | Error Serve.Engine.Rejected -> incr rejected
             | Error Serve.Engine.Timed_out -> incr timed_out
-            | Error (Serve.Engine.Failed msg) ->
+            | Error (Serve.Engine.Failed fl) ->
                 incr failed;
-                Fmt.epr "request failed: %s@." msg))
+                Fmt.epr "request failed: %a@." Interp.pp_failure fl))
       tickets;
     let wall_s = Unix.gettimeofday () -. t0 in
     (* re-run one served request on a sequential reference VM: batched
        execution must be bitwise-identical (and the reference profile
        anchors the --report document) *)
     let ref_vm = Nimble.vm exe in
-    (match !first_ok with
-    | Some (i, Nimble_vm.Obj.Tensor served) -> (
-        let _, input = jobs.(i) in
-        match Interp.invoke ref_vm [ input ] with
-        | Nimble_vm.Obj.Tensor reference ->
-            Fmt.pr "bitwise vs sequential reference: %b@."
-              (Tensor.equal served.Nimble_vm.Obj.data reference.Nimble_vm.Obj.data)
-        | _ -> ())
-    | Some (i, _) ->
-        let _, input = jobs.(i) in
-        ignore (Interp.invoke ref_vm [ input ])
-    | None -> ());
+    (* the reference must be fault-free even mid-chaos-run, so suspend
+       injection (counters kept for the report) while it executes *)
+    Fault.with_suspended (fun () ->
+        match !first_ok with
+        | Some (i, Nimble_vm.Obj.Tensor served) -> (
+            let _, input = jobs.(i) in
+            match Interp.invoke ref_vm [ input ] with
+            | Nimble_vm.Obj.Tensor reference ->
+                Fmt.pr "bitwise vs sequential reference: %b@."
+                  (Tensor.equal served.Nimble_vm.Obj.data reference.Nimble_vm.Obj.data)
+            | _ -> ())
+        | Some (i, _) ->
+            let _, input = jobs.(i) in
+            ignore (Interp.invoke ref_vm [ input ])
+        | None -> ());
     Serve.Engine.shutdown engine;
     Fmt.pr "served %d/%d in %.1f ms (%.0f req/s); rejected %d, timed out %d, failed %d@."
       !ok requests (1e3 *. wall_s)
@@ -495,7 +591,7 @@ let serve_cmd =
           sequential reference run")
     Term.(
       const run $ model_arg $ domains_arg $ engine_config_term $ requests $ seq_min
-      $ seq_max $ trace_arg $ report_arg)
+      $ seq_max $ no_guards_arg $ fault_arg $ trace_arg $ report_arg)
 
 let loadgen_cmd =
   let rate =
@@ -546,11 +642,24 @@ let loadgen_cmd =
                | _ -> bad ())
            | _ -> bad ())
   in
-  let run model domains cfg rate duration clients mix steady seed json trace_out report_out
-      =
+  let run model domains cfg rate duration clients mix steady seed json no_guards
+      fault trace_out report_out =
     apply_domains domains;
+    apply_fault fault;
+    if rate <= 0.0 then die "--rate must be > 0 (got %g)" rate;
+    if duration <= 0.0 then die "--duration must be > 0 (got %g)" duration;
+    if clients < 1 then die "--clients must be >= 1 (got %d)" clients;
+    let mix_parsed = parse_mix mix in
+    if mix_parsed = [] then die "--mix must name at least one SEQ:WEIGHT entry";
+    List.iter
+      (fun (shape, w) ->
+        if shape.(0) < 1 then die "--mix sequence lengths must be >= 1 (got %d)" shape.(0);
+        if w <= 0.0 then die "--mix weights must be > 0 (got %g)" w)
+      mix_parsed;
     let entry = lookup model in
-    let exe = cache_load ~quiet:json ~model entry in
+    let exe =
+      cache_load ~quiet:json ~options:(compile_options ~no_guards) ~model entry
+    in
     let tr =
       match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
     in
@@ -560,7 +669,7 @@ let loadgen_cmd =
         Serve.Loadgen.rate_rps = rate;
         duration_s = duration;
         clients;
-        mix = parse_mix mix;
+        mix = mix_parsed;
         process = (if steady then Serve.Loadgen.Steady else Serve.Loadgen.Poisson);
         seed;
         timeout_us = cfg.Serve.Engine.default_timeout_us;
@@ -595,7 +704,8 @@ let loadgen_cmd =
           throughput, latency percentiles and the batch-size histogram")
     Term.(
       const run $ model_arg $ domains_arg $ engine_config_term $ rate $ duration
-      $ clients $ mix $ steady $ seed $ json $ trace_arg $ report_arg)
+      $ clients $ mix $ steady $ seed $ json $ no_guards_arg $ fault_arg
+      $ trace_arg $ report_arg)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -22,9 +22,14 @@ type options = {
       (** profile generated vs third-party-library kernels at compile time
           and let the dispatch function route to whichever is faster
           (paper SS4.5) *)
+  guards : bool;
+      (** emit gradual-typing entry guards (paper §4.1): residual checks on
+          each named function's tensor parameters — concrete dims, identical-
+          [Any] equalities, dtypes — enforced by the VM at the API boundary *)
 }
 
-let default_options = { dense_dispatch = Some 8; profile_extern = false }
+let default_options =
+  { dense_dispatch = Some 8; profile_extern = false; guards = true }
 
 type state = {
   opts : options;
@@ -497,9 +502,35 @@ and compile_function st name (fn : Expr.fn) : unit =
 
 (* ------------------------------------------------------------------ *)
 
+(* Entry guards (paper §4.1): the residual checks that type inference
+   could not discharge statically, attached to each named function's
+   tensor parameters. [Static n] dims become exact checks, [Any] is
+   unconstrained, and [Sym s] dims — identical-[Any] classes the
+   inference proved equal — become cross-argument equality checks on
+   symbol [s]. Parameters without a resolved tensor type (tuples,
+   functions, unresolved) are left unguarded. *)
+let guard_of_param i (p : Expr.var) : Exe.guard option =
+  match p.Expr.vty with
+  | Some (Ty.Tensor { dims; dtype }) ->
+      Some
+        {
+          Exe.g_arg = i;
+          g_name = p.Expr.vname;
+          g_dims =
+            Array.map
+              (function
+                | Dim.Static n -> Exe.Check_exact n
+                | Dim.Any -> Exe.Check_any
+                | Dim.Sym s -> Exe.Check_eq s)
+              dims;
+          g_dtype = Some dtype;
+        }
+  | _ -> None
+
 (** Emit a processed module into a linked executable. *)
 let emit_module ?(options = default_options) (m : Irmod.t) : Exe.t =
   let st = create_state options in
+  let named = List.map fst (Irmod.functions m) in
   st.funcs <- List.map (fun (name, fn) -> (name, Some fn)) (Irmod.functions m);
   List.iter
     (fun (name, fn) ->
@@ -515,6 +546,23 @@ let emit_module ?(options = default_options) (m : Irmod.t) : Exe.t =
       ~constants:(Array.of_list (List.rev !(st.constants)))
       ~packed_names:(Array.of_list (List.rev !(st.packed_list)))
   in
+  (if options.guards then
+     (* guard only the module's named entry functions: lifted closures are
+        internal (never invoked at the API boundary) and their captured
+        parameters have no declared types *)
+     let guards =
+       Array.of_list
+         (List.map
+            (fun (name, fn) ->
+              match fn with
+              | Some fn when List.mem name named ->
+                  Array.of_list
+                    (List.filter_map Fun.id
+                       (List.mapi guard_of_param fn.Expr.params))
+              | _ -> [||])
+            st.funcs)
+     in
+     Exe.set_guards exe guards);
   Hashtbl.iter (fun _ p -> Exe.link exe p) st.packed_impls;
   exe
 

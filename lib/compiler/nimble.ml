@@ -20,6 +20,9 @@ type options = {
   device_placement : bool;
   dense_dispatch : int option;  (** residue-dispatch kernel count for dense *)
   profile_extern : bool;  (** route dense to a profiled library kernel when faster *)
+  runtime_guards : bool;
+      (** emit gradual-typing entry guards: the §4.1 residual checks on
+          entry-function tensor parameters, enforced by the VM *)
 }
 
 let default_options =
@@ -30,6 +33,7 @@ let default_options =
     device_placement = true;
     dense_dispatch = Some 8;
     profile_extern = false;
+    runtime_guards = true;
   }
 
 (** One pipeline stage's contribution to the compile report: wall time and
@@ -143,6 +147,7 @@ let compile_with_report ?(options = default_options) (m : Irmod.t) :
         {
           Emitter.dense_dispatch = options.dense_dispatch;
           profile_extern = options.profile_extern;
+          guards = options.runtime_guards;
         }
       m
   in

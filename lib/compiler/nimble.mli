@@ -19,6 +19,11 @@ type options = {
   profile_extern : bool;
       (** profile generated vs third-party kernels and route dense to
           whichever is faster (§4.5) *)
+  runtime_guards : bool;
+      (** emit gradual-typing entry guards (§4.1): residual checks on the
+          entry functions' tensor parameters — concrete dims, identical-Any
+          equalities, dtypes — enforced by the VM at the API boundary and
+          surfaced as [Shape_guard] failures (see [docs/ROBUSTNESS.md]) *)
 }
 
 val default_options : options

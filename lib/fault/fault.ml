@@ -1,0 +1,245 @@
+(** Deterministic fault-injection registry.
+
+    Named injection points across the runtime ({!well_known_points}) call
+    {!check}; when a configured rule matches, the call raises {!Injected}
+    instead of returning. Whether a given attempt faults is a pure
+    function of [(seed, point, attempt counter)] — a splitmix64 hash
+    compared against the rule's rate — so a chaos run with a fixed spec
+    replays identically, independent of scheduling.
+
+    Configuration comes from the [NIMBLE_FAULT_SPEC] environment variable
+    (read once at program start) or an explicit {!configure} call (tests,
+    the CLI [--fault] flag). Grammar (see [docs/ROBUSTNESS.md]):
+
+    {v
+      spec    ::= clause (';' clause)*
+      clause  ::= "off"
+                | "seed=" INT
+                | point "=" RATE [":transient" | ":persistent"]
+      point   ::= a well-known point name | "*"   (all well-known points)
+      RATE    ::= float in [0,1]
+    v}
+
+    Example: [seed=11;*=0.05] — 5% transient faults at every point;
+    [kernel_launch=1.0:persistent] — every kernel launch traps, and
+    retrying cannot help.
+
+    When no spec is configured, {!check} is a single atomic load —
+    injection costs nothing in production builds. *)
+
+type mode = Transient | Persistent
+
+exception Injected of { point : string; mode : mode }
+
+exception Spec_error of string
+
+let spec_err fmt = Fmt.kstr (fun s -> raise (Spec_error s)) fmt
+
+(** Every injection point wired into the runtime; ["*"] in a spec expands
+    to exactly this list. *)
+let well_known_points =
+  [
+    "storage_alloc" (* [AllocStorage] in the VM dispatch loop *);
+    "kernel_launch" (* [InvokePacked] of a kernel *);
+    "shape_func" (* [InvokePacked] of a shape function *);
+    "queue_push" (* serving-engine admission ([Squeue.try_push]) *);
+    "deserialize" (* [Serialize.of_bytes] *);
+    "worker_loop" (* serving-engine worker batch loop *);
+  ]
+
+type rule = { rate : float; rule_mode : mode }
+
+type counters = { mutable attempts : int; mutable hits : int }
+
+type state = {
+  spec : string;
+  seed : int;
+  rules : (string * rule) list;
+  tallies : (string, counters) Hashtbl.t;
+}
+
+let enabled_flag = Atomic.make false
+
+(* The active configuration. Written at startup / by [configure] (rare),
+   read by every [check]; counter mutation is serialized by [mux]. *)
+let state : state option ref = ref None
+
+let mux = Mutex.create ()
+
+let locked f =
+  Mutex.lock mux;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mux) f
+
+(* ------------------------------ spec parsing ------------------------------ *)
+
+let parse_mode point = function
+  | None -> Transient
+  | Some "transient" -> Transient
+  | Some "persistent" -> Persistent
+  | Some m -> spec_err "%s: bad mode %S (want transient or persistent)" point m
+
+let parse_clause (seed, rules) clause =
+  match String.index_opt clause '=' with
+  | None when String.equal clause "off" -> (seed, rules)
+  | None -> spec_err "bad clause %S (want point=rate, seed=N, or off)" clause
+  | Some i -> (
+      let key = String.trim (String.sub clause 0 i) in
+      let value =
+        String.trim (String.sub clause (i + 1) (String.length clause - i - 1))
+      in
+      match key with
+      | "seed" -> (
+          match int_of_string_opt value with
+          | Some s -> (s, rules)
+          | None -> spec_err "seed=%S is not an integer" value)
+      | point ->
+          let rate_s, mode_s =
+            match String.index_opt value ':' with
+            | None -> (value, None)
+            | Some j ->
+                ( String.sub value 0 j,
+                  Some (String.sub value (j + 1) (String.length value - j - 1)) )
+          in
+          let rate =
+            match float_of_string_opt rate_s with
+            | Some r when r >= 0.0 && r <= 1.0 -> r
+            | Some r -> spec_err "%s: rate %g outside [0,1]" point r
+            | None -> spec_err "%s: rate %S is not a number" point rate_s
+          in
+          let rule = { rate; rule_mode = parse_mode point mode_s } in
+          let points =
+            if String.equal point "*" then well_known_points
+            else if String.equal point "" then spec_err "empty point name"
+            else [ point ]
+          in
+          (seed, List.map (fun p -> (p, rule)) points @ rules))
+
+let parse_spec spec : int * (string * rule) list =
+  String.split_on_char ';' spec
+  |> List.map String.trim
+  |> List.filter (fun c -> c <> "")
+  |> List.fold_left parse_clause (0, [])
+
+(** Install a spec (replacing any previous configuration and resetting
+    all counters). [""] or ["off"] disables injection entirely.
+    @raise Spec_error on a malformed spec. *)
+let configure spec =
+  let seed, rules = parse_spec spec in
+  locked (fun () ->
+      if rules = [] then begin
+        state := None;
+        Atomic.set enabled_flag false
+      end
+      else begin
+        state := Some { spec; seed; rules; tallies = Hashtbl.create 8 };
+        Atomic.set enabled_flag true
+      end)
+
+(** Remove any configuration: subsequent {!check}s are free no-ops. *)
+let disable () =
+  locked (fun () ->
+      state := None;
+      Atomic.set enabled_flag false)
+
+let enabled () = Atomic.get enabled_flag
+
+(** The active spec string, when injection is configured. *)
+let spec () = locked (fun () -> Option.map (fun s -> s.spec) !state)
+
+(* Read the environment exactly once, at program start, so every library
+   that links this module sees the same configuration without an
+   initialization race between domains. *)
+let () =
+  match Sys.getenv_opt "NIMBLE_FAULT_SPEC" with
+  | None | Some "" -> ()
+  | Some spec -> configure spec
+
+(* ------------------------- deterministic decision ------------------------- *)
+
+let splitmix64 (s : int64) : int64 =
+  let open Int64 in
+  let z = add s 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* A uniform draw in [0,1) from (seed, point, attempt): hash the point
+   name into the seed, then advance by the attempt index. *)
+let uniform ~seed ~point ~attempt =
+  let h =
+    String.fold_left
+      (fun acc c -> Int64.add (Int64.mul acc 31L) (Int64.of_int (Char.code c)))
+      1469598103934665603L point
+  in
+  let x = splitmix64 (Int64.logxor (Int64.of_int seed) h) in
+  let x = splitmix64 (Int64.add x (Int64.of_int attempt)) in
+  Int64.to_float (Int64.shift_right_logical x 11) /. 9007199254740992.0
+
+(** Evaluate injection point [point]: returns normally, or raises
+    {!Injected} when the configured rule for [point] fires on this
+    attempt. A no-op when nothing is configured. *)
+let check point =
+  if Atomic.get enabled_flag then begin
+    let decision =
+      locked (fun () ->
+          match !state with
+          | None -> None
+          | Some st -> (
+              match List.assoc_opt point st.rules with
+              | None -> None
+              | Some rule ->
+                  let c =
+                    match Hashtbl.find_opt st.tallies point with
+                    | Some c -> c
+                    | None ->
+                        let c = { attempts = 0; hits = 0 } in
+                        Hashtbl.replace st.tallies point c;
+                        c
+                  in
+                  let attempt = c.attempts in
+                  c.attempts <- attempt + 1;
+                  if uniform ~seed:st.seed ~point ~attempt < rule.rate then begin
+                    c.hits <- c.hits + 1;
+                    Some rule.rule_mode
+                  end
+                  else None))
+    in
+    match decision with
+    | Some mode -> raise (Injected { point; mode })
+    | None -> ()
+  end
+
+(** Run [f] with injection suspended: the configuration and counters are
+    kept, but every {!check} in the dynamic extent of [f] is a no-op.
+    Process-wide — concurrent domains also see injection off while [f]
+    runs — so it belongs after workers have drained (e.g. computing a
+    fault-free reference result at the end of a chaos run). *)
+let with_suspended f =
+  let was = Atomic.get enabled_flag in
+  Atomic.set enabled_flag false;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled_flag was) f
+
+(* ------------------------------- counters ------------------------------- *)
+
+let tally f =
+  locked (fun () ->
+      match !state with
+      | None -> []
+      | Some st ->
+          Hashtbl.fold (fun p c acc -> (p, f c) :: acc) st.tallies []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(** [(point, times check ran)] for every point that has been evaluated. *)
+let attempts () = tally (fun c -> c.attempts)
+
+(** [(point, times a fault was injected)], same ordering as {!attempts}. *)
+let hits () = tally (fun c -> c.hits)
+
+(** Zero the attempt/hit counters, keeping the configuration. *)
+let reset_counters () =
+  locked (fun () ->
+      match !state with None -> () | Some st -> Hashtbl.reset st.tallies)
+
+let pp_mode ppf = function
+  | Transient -> Fmt.string ppf "transient"
+  | Persistent -> Fmt.string ppf "persistent"

@@ -1,0 +1,66 @@
+(** Deterministic, seed-driven fault injection (chaos testing support;
+    grammar and usage in [docs/ROBUSTNESS.md]).
+
+    Runtime subsystems call {!check} at named injection points; a
+    configured rule makes some fraction of those calls raise {!Injected}.
+    The decision is a pure function of [(seed, point, attempt index)], so
+    a run with a fixed spec faults at exactly the same attempts every
+    time, regardless of scheduling. Configure via the [NIMBLE_FAULT_SPEC]
+    environment variable (read once at startup) or {!configure}.
+    Unconfigured, {!check} is one atomic load. *)
+
+(** Whether a retry of the faulted operation can be expected to succeed:
+    [Transient] faults model recoverable conditions (the serving engine
+    retries them with backoff); [Persistent] faults fire on every
+    matching attempt's draw and are surfaced immediately. *)
+type mode = Transient | Persistent
+
+(** Raised by {!check} when the rule for [point] fires. *)
+exception Injected of { point : string; mode : mode }
+
+(** Raised by {!configure} (or startup parsing of [NIMBLE_FAULT_SPEC])
+    on a malformed spec. *)
+exception Spec_error of string
+
+(** Every injection point wired into the runtime ([storage_alloc],
+    [kernel_launch], [shape_func], [queue_push], [deserialize],
+    [worker_loop]); ["*"] in a spec expands to this list. *)
+val well_known_points : string list
+
+(** Install a spec such as ["seed=11;*=0.05"] or
+    ["kernel_launch=1.0:persistent"], replacing any previous
+    configuration and resetting all counters. [""] or ["off"] disables
+    injection. @raise Spec_error on a malformed spec. *)
+val configure : string -> unit
+
+(** Remove any configuration: subsequent {!check}s are free no-ops. *)
+val disable : unit -> unit
+
+(** Whether any injection rule is active. *)
+val enabled : unit -> bool
+
+(** The active spec string, when injection is configured. *)
+val spec : unit -> string option
+
+(** Evaluate injection point [point]: returns normally, or raises
+    {!Injected} when the configured rule for [point] fires on this
+    attempt. *)
+val check : string -> unit
+
+(** Run [f] with injection suspended (configuration and counters kept;
+    every {!check} inside is a no-op). Process-wide, so use it after
+    workers have drained — e.g. to compute a fault-free reference result
+    at the end of a chaos run. *)
+val with_suspended : (unit -> 'a) -> 'a
+
+(** [(point, times {!check} ran)] for every evaluated point, sorted. *)
+val attempts : unit -> (string * int) list
+
+(** [(point, times a fault was injected)], same ordering as {!attempts}. *)
+val hits : unit -> (string * int) list
+
+(** Zero the attempt/hit counters, keeping the configuration. *)
+val reset_counters : unit -> unit
+
+(** Render a {!mode} as ["transient"] / ["persistent"]. *)
+val pp_mode : Format.formatter -> mode -> unit

@@ -29,11 +29,24 @@ let locked t f =
   Mutex.lock t.mux;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
 
+(** Decode with a bounded retry of {e transient} injected faults: the
+    ["deserialize"] fault point models a flaky artifact read (a torn NFS
+    page, a racing writer), which a loader should retry a few times
+    before giving up. Persistent faults propagate immediately. *)
+let rec of_bytes_retrying ?(attempt = 0) bytes =
+  try Nimble_vm.Serialize.of_bytes bytes with
+  | Nimble_fault.Fault.Injected { mode = Nimble_fault.Fault.Transient; _ }
+    when attempt < 3 ->
+      of_bytes_retrying ~attempt:(attempt + 1) bytes
+
 (** [load t ~name ~build] returns the linked executable for [name],
     compiling (and serialize/deserialize round-tripping) [build ()] on
     the first request only. The build runs under the cache lock, so
-    concurrent cold loads of the same model compile once. *)
-let load t ~name ~(build : unit -> Nimble_ir.Irmod.t) : Nimble_vm.Exe.t =
+    concurrent cold loads of the same model compile once.
+    @param options compiler options for the cold build (guards on/off,
+    dispatch thresholds); ignored on warm hits. *)
+let load ?options t ~name ~(build : unit -> Nimble_ir.Irmod.t) :
+    Nimble_vm.Exe.t =
   locked t (fun () ->
       match Hashtbl.find_opt t.entries name with
       | Some e ->
@@ -42,11 +55,11 @@ let load t ~name ~(build : unit -> Nimble_ir.Irmod.t) : Nimble_vm.Exe.t =
       | None ->
           t.misses <- t.misses + 1;
           let m = build () in
-          let compiled = Nimble.compile m in
+          let compiled = Nimble.compile ?options m in
           (* the deployment round trip: portable bytes, then relink the
              platform kernels by name *)
           let bytes = Nimble_vm.Serialize.to_bytes compiled in
-          let exe = Nimble_vm.Serialize.of_bytes bytes in
+          let exe = of_bytes_retrying bytes in
           List.iter (Nimble_vm.Exe.link exe) (Nimble_compiler.Emitter.link_table m);
           Hashtbl.replace t.entries name { exe; bytes = String.length bytes };
           exe)

@@ -8,8 +8,15 @@ type t
 val create : unit -> t
 
 (** The linked executable for [name]; [build] is compiled and
-    round-tripped on the first request only. *)
-val load : t -> name:string -> build:(unit -> Nimble_ir.Irmod.t) -> Nimble_vm.Exe.t
+    round-tripped on the first request only. Transient injected faults
+    at the ["deserialize"] point are retried a bounded number of times
+    (a loader should survive a flaky artifact read); persistent ones
+    propagate.
+    @param options compiler options for the cold build; ignored on warm
+    hits. *)
+val load :
+  ?options:Nimble_compiler.Nimble.options ->
+  t -> name:string -> build:(unit -> Nimble_ir.Irmod.t) -> Nimble_vm.Exe.t
 
 (** Warm loads served since creation. *)
 val hits : t -> int

@@ -24,10 +24,19 @@
       warmup, per distinct shape) storage. Every request runs at its
       {e exact} shape — bucketing affects scheduling and memory reuse
       only — so batched results are bitwise-identical to unbatched runs.
-    - {b Deadlines}: a request whose deadline passes before execution is
-      completed with [Error Timed_out] without running (admission
+    - {b Deadlines}: a request whose deadline passes before execution —
+      checked both when a worker picks it up and when its bucket flushes
+      — is completed with [Error Timed_out] without running (admission
       control for stale work); one that started executing runs to the
       end.
+    - {b Failures}: a request whose execution fails completes with
+      [Error (Failed failure)] carrying the VM's typed failure; the
+      worker survives. Transient failures (injected faults in transient
+      mode) are retried up to [max_retries] times with deadline-aware
+      exponential backoff before surfacing. A worker whose batch escapes
+      the typed channel entirely is supervised: stranded requests are
+      answered, the interpreter is rebuilt, and the worker keeps
+      consuming (see [docs/ROBUSTNESS.md]).
     - {b Shutdown}: {!shutdown} closes admission, drains every queued
       request through the workers, then joins all engine domains.
 
@@ -42,11 +51,14 @@ module Interp = Nimble_vm.Interp
 module Obj = Nimble_vm.Obj
 module Trace = Nimble_vm.Trace
 module Parallel = Nimble_parallel.Parallel
+module Fault = Nimble_fault.Fault
 
 type error =
   | Rejected  (** admission refused: the submission queue was full *)
   | Timed_out  (** the deadline passed before execution started *)
-  | Failed of string  (** the VM raised; the message is the fault *)
+  | Failed of Interp.failure
+      (** the VM failed; the typed failure says what, where, and whether
+          it was transient (retries, if any, were already spent) *)
 
 type outcome = (Obj.t, error) result
 
@@ -58,6 +70,16 @@ type config = {
   policy : Bucket.policy;  (** shape-bucketing policy *)
   default_timeout_us : float option;
       (** deadline applied to requests submitted without one *)
+  max_retries : int;
+      (** per-request retries of {e transient} failures (injected faults
+          in transient mode); persistent failures are never retried *)
+  retry_backoff_us : float;
+      (** base backoff before the first retry; doubles per attempt, with
+          a small deterministic jitter *)
+  pool_cap_bytes : int option;
+      (** per-worker cap on VM storage retained across requests; an
+          allocation that would exceed it fails as [Alloc] (see
+          [Interp.create]'s [max_pool_bytes]) *)
 }
 
 let default_config =
@@ -68,6 +90,9 @@ let default_config =
     max_wait_us = 2_000.0;
     policy = Bucket.default;
     default_timeout_us = None;
+    max_retries = 3;
+    retry_backoff_us = 200.0;
+    pool_cap_bytes = None;
   }
 
 (* A one-shot result cell (ivar): filled exactly once by the engine,
@@ -108,11 +133,23 @@ type t = {
 
 let now () = Unix.gettimeofday ()
 
-let fill (c : cell) (v : outcome) =
+(* Fill the one-shot cell; [true] iff this call was the one that filled
+   it. The supervisor uses the return to count only requests it actually
+   answered (a cell may already hold a result from before the crash). *)
+let try_fill (c : cell) (v : outcome) : bool =
   Mutex.lock c.cm;
-  if c.value = None then c.value <- Some v;
+  let filled =
+    if c.value = None then begin
+      c.value <- Some v;
+      true
+    end
+    else false
+  in
   Condition.broadcast c.cc;
-  Mutex.unlock c.cm
+  Mutex.unlock c.cm;
+  filled
+
+let fill (c : cell) (v : outcome) = ignore (try_fill c v)
 
 (** Block until the engine completes the ticket's request. *)
 let wait (tk : ticket) : outcome =
@@ -145,6 +182,17 @@ let trace_now t =
 
 let expired r t_now = match r.deadline_s with Some d -> t_now > d | None -> false
 
+(* Deterministic backoff before retry [attempt] (0-based): exponential in
+   the attempt with a small per-worker jitter, so colliding workers
+   desynchronize without any global randomness (chaos runs replay). *)
+let retry_delay_s t ~attempt ~worker_id =
+  let base = t.cfg.retry_backoff_us /. 1e6 in
+  let d = base *. float_of_int (1 lsl Stdlib.min attempt 16) in
+  let jitter =
+    float_of_int (((worker_id * 31) + (attempt * 7)) mod 10) /. 20.0
+  in
+  d *. (0.9 +. jitter)
+
 let exec_request t vm ctx ~worker_id (r : request) =
   let t_now = now () in
   if expired r t_now then begin
@@ -159,14 +207,56 @@ let exec_request t vm ctx ~worker_id (r : request) =
   end
   else begin
     let ts_us = trace_now t in
+    (* retry transiently-failed invocations with bounded, deadline-aware
+       exponential backoff; persistent and undiagnosed failures surface
+       immediately. Exceptions (Preempted, configuration errors) escape
+       to the worker supervisor. *)
+    let rec attempt_exec attempt =
+      match Interp.invoke_result ~func:t.func ~ctx vm [ r.input ] with
+      | Ok result -> Ok result
+      | Error fl
+        when fl.Interp.fail_transient && attempt < t.cfg.max_retries ->
+          let delay = retry_delay_s t ~attempt ~worker_id in
+          let fits_deadline =
+            match r.deadline_s with
+            | Some d -> now () +. delay <= d
+            | None -> true
+          in
+          if not fits_deadline then Error fl
+          else begin
+            Stats.record_retry t.stats;
+            record_span t ~name:"serve.retry" ~ts_us:(trace_now t)
+              ~dur_us:(delay *. 1e6)
+              [
+                ("bucket", Trace.Str r.bucket);
+                ("worker", Trace.Int worker_id);
+                ("attempt", Trace.Int (attempt + 1));
+                ("kind", Trace.Str (Interp.kind_name fl.Interp.fail_kind));
+              ];
+            Unix.sleepf delay;
+            attempt_exec (attempt + 1)
+          end
+      | Error fl -> Error fl
+    in
     let outcome =
-      match Interp.invoke ~func:t.func ~ctx vm [ r.input ] with
-      | result -> Ok result
-      | exception e -> Error (Failed (Printexc.to_string e))
+      match attempt_exec 0 with
+      | Ok result -> Ok result
+      | Error fl -> Error (Failed fl)
     in
     let done_s = now () in
     (match outcome with
-    | Ok _ -> Stats.record_complete t.stats ~latency_us:((done_s -. r.submit_s) *. 1e6)
+    | Ok _ ->
+        Stats.record_complete t.stats ~latency_us:((done_s -. r.submit_s) *. 1e6)
+    | Error (Failed fl) ->
+        Stats.record_failure t.stats ~kind:(Interp.kind_name fl.Interp.fail_kind);
+        record_span t ~name:"serve.fail" ~ts_us:(trace_now t) ~dur_us:0.0
+          [
+            ("bucket", Trace.Str r.bucket);
+            ("worker", Trace.Int worker_id);
+            ("kind", Trace.Str (Interp.kind_name fl.Interp.fail_kind));
+            ("transient", Trace.Bool fl.Interp.fail_transient);
+            ("msg", Trace.Str fl.Interp.fail_msg);
+          ]
     | Error _ -> Stats.record_error t.stats);
     fill r.cell outcome;
     record_span t ~name:"serve.exec" ~ts_us ~dur_us:(trace_now t -. ts_us)
@@ -182,10 +272,15 @@ let worker_main t worker_id () =
   (* one interpreter and one execution context per worker: private
      storage arenas and a private register frame, both reused across
      every request this worker ever runs *)
-  let vm = Interp.create t.exe in
-  let ctx = Interp.context () in
+  let fresh_state () =
+    (Interp.create ?max_pool_bytes:t.cfg.pool_cap_bytes t.exe,
+     Interp.context ())
+  in
+  let state = ref (fresh_state ()) in
   let pin = t.cfg.workers > 1 in
   let run_batch (b : batch) =
+    Fault.check "worker_loop";
+    let vm, ctx = !state in
     let ts_us = trace_now t in
     let frames0 = Interp.frame_reuses ctx in
     let hits0 = (Interp.profiler vm).Nimble_vm.Profiler.pool_hits in
@@ -200,12 +295,40 @@ let worker_main t worker_id () =
         ("worker", Trace.Int worker_id);
       ]
   in
+  (* supervisor: a batch whose execution escapes the typed channel (an
+     injected worker_loop fault, Preempted, a configuration error) would
+     otherwise kill this domain and strand its batch — and, with it, every
+     client blocked in [wait]. Answer whatever the dead run left unfilled,
+     rebuild the interpreter (its pool may be mid-mutation), and keep
+     consuming. *)
+  let supervise_batch (b : batch) =
+    try
+      if pin then Parallel.pinned_sequential (fun () -> run_batch b)
+      else run_batch b
+    with e ->
+      let msg =
+        match e with
+        | Fault.Injected { point; _ } -> Fmt.str "injected fault at %s" point
+        | e -> Printexc.to_string e
+      in
+      let fl = Interp.internal_failure ~func:t.func msg in
+      List.iter
+        (fun r ->
+          if try_fill r.cell (Error (Failed fl)) then
+            Stats.record_failure t.stats
+              ~kind:(Interp.kind_name fl.Interp.fail_kind))
+        b.b_reqs;
+      Stats.record_worker_restart t.stats;
+      record_span t ~name:"serve.worker_restart" ~ts_us:(trace_now t)
+        ~dur_us:0.0
+        [ ("worker", Trace.Int worker_id); ("reason", Trace.Str msg) ];
+      state := fresh_state ()
+  in
   let rec loop () =
     match Squeue.pop t.batches with
     | None -> ()
     | Some b ->
-        (if pin then Parallel.pinned_sequential (fun () -> run_batch b)
-         else run_batch b);
+        supervise_batch b;
         loop ()
   in
   loop ()
@@ -220,13 +343,26 @@ let batcher_main t () =
   let stash : (string, slot) Hashtbl.t = Hashtbl.create 8 in
   let flush bucket slot =
     Hashtbl.remove stash bucket;
-    let reqs = List.rev slot.rev_reqs in
-    Stats.record_batch t.stats ~size:slot.count;
-    record_span t ~name:"serve.batch" ~ts_us:(trace_now t) ~dur_us:0.0
-      [ ("bucket", Trace.Str bucket); ("size", Trace.Int slot.count) ];
-    (* blocking push: when workers fall behind, backpressure propagates
-       here, the pending queue fills, and admission starts rejecting *)
-    ignore (Squeue.push t.batches { b_bucket = bucket; b_reqs = reqs })
+    (* re-check deadlines at flush time: a request can expire while
+       stashed (waiting for batch-mates), not only while queued — without
+       this it would be pushed to a worker and execute stale *)
+    let t_now = now () in
+    let live, dead =
+      List.partition (fun r -> not (expired r t_now)) (List.rev slot.rev_reqs)
+    in
+    List.iter
+      (fun r ->
+        Stats.record_timeout t.stats;
+        fill r.cell (Error Timed_out))
+      dead;
+    if live <> [] then begin
+      Stats.record_batch t.stats ~size:(List.length live);
+      record_span t ~name:"serve.batch" ~ts_us:(trace_now t) ~dur_us:0.0
+        [ ("bucket", Trace.Str bucket); ("size", Trace.Int (List.length live)) ];
+      (* blocking push: when workers fall behind, backpressure propagates
+         here, the pending queue fills, and admission starts rejecting *)
+      ignore (Squeue.push t.batches { b_bucket = bucket; b_reqs = live })
+    end
   in
   let flush_due ~all =
     let due_limit = now () -. (t.cfg.max_wait_us /. 1e6) in
@@ -330,7 +466,14 @@ let submit ?timeout_us t ~shape (input : Obj.t) : (ticket, error) result =
       cell = { cm = Mutex.create (); cc = Condition.create (); value = None };
     }
   in
-  if Squeue.try_push t.pending r then Ok r.cell
+  (* an injected queue_push fault is a refusal, not a crash: the request
+     was never accepted, so it surfaces exactly like a full queue *)
+  let accepted =
+    match Squeue.try_push t.pending r with
+    | ok -> ok
+    | exception Fault.Injected _ -> false
+  in
+  if accepted then Ok r.cell
   else begin
     Stats.record_reject t.stats;
     Error Rejected

@@ -8,12 +8,23 @@
     {!Nimble_vm.Interp.t} (reused storage arenas) and
     {!Nimble_vm.Interp.ctx} (reused register frame). Every request runs
     at its exact shape, so batched results are bitwise-identical to
-    unbatched runs. *)
+    unbatched runs.
+
+    Execution is supervised (failure taxonomy and retry policy:
+    [docs/ROBUSTNESS.md]): a failing request completes with
+    [Error (Failed failure)] instead of killing its worker, transient
+    failures are retried with deadline-aware exponential backoff, and a
+    worker whose batch dies outside the typed channel is restarted with
+    a fresh interpreter after answering its stranded requests. *)
 
 type error =
   | Rejected  (** admission refused: the submission queue was full *)
-  | Timed_out  (** the deadline passed before execution started *)
-  | Failed of string  (** the VM raised; the message is the fault *)
+  | Timed_out
+      (** the deadline passed before execution started (checked at worker
+          pickup and again when a stashed bucket flushes) *)
+  | Failed of Nimble_vm.Interp.failure
+      (** the VM failed; the typed failure says what, where, and whether
+          it was transient (retries, if any, were already spent) *)
 
 type outcome = (Nimble_vm.Obj.t, error) result
 
@@ -25,10 +36,20 @@ type config = {
   policy : Bucket.policy;  (** shape-bucketing policy *)
   default_timeout_us : float option;
       (** deadline applied to requests submitted without one *)
+  max_retries : int;
+      (** per-request retries of {e transient} failures; persistent
+          failures are never retried *)
+  retry_backoff_us : float;
+      (** base backoff before the first retry; doubles per attempt, with
+          a small deterministic jitter, and never past the deadline *)
+  pool_cap_bytes : int option;
+      (** per-worker cap on VM storage retained across requests; an
+          allocation that would exceed it fails as [Alloc] *)
 }
 
 (** 2 workers, capacity 64, batches of up to 8 formed within 2 ms,
-    {!Bucket.default} padding, no default deadline. *)
+    {!Bucket.default} padding, no default deadline; up to 3 transient
+    retries starting at 200 µs backoff, no pool cap. *)
 val default_config : config
 
 type t

@@ -36,8 +36,12 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
 
 (** Enqueue without blocking: [false] when the queue is full or closed
-    (the caller decides whether that is a reject or a retry). *)
+    (the caller decides whether that is a reject or a retry). Evaluates
+    the ["queue_push"] fault-injection point {e before} taking the lock:
+    an injected fault refuses the element without touching the queue, so
+    chaos runs exercise the admission-reject path, never a corrupt one. *)
 let try_push t x =
+  Nimble_fault.Fault.check "queue_push";
   with_lock t (fun () ->
       if t.closed || Queue.length t.items >= t.capacity then false
       else begin

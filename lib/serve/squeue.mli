@@ -8,7 +8,10 @@ type 'a t
     [capacity] elements. @raise Invalid_argument when [capacity <= 0]. *)
 val create : capacity:int -> 'a t
 
-(** Enqueue without blocking: [false] when full or closed. *)
+(** Enqueue without blocking: [false] when full or closed. Evaluates the
+    ["queue_push"] fault-injection point before touching the queue, so an
+    injected fault ([Nimble_fault.Fault.Injected]) leaves the queue
+    state unchanged. *)
 val try_push : 'a t -> 'a -> bool
 
 (** Enqueue, blocking while full; [false] only when closed. For

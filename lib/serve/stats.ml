@@ -21,6 +21,10 @@ type t = {
   mutable n_latencies : int;
   mutable frame_reuses : int;  (** VM register-frame reuses across workers *)
   mutable arena_hits : int;  (** storage-pool hits across workers *)
+  mutable retries : int;  (** transient failures retried by workers *)
+  mutable worker_restarts : int;  (** worker domains resurrected after dying *)
+  failure_kinds : (string, int) Hashtbl.t;
+      (** typed-failure kind name -> count (subset sum of [errors]) *)
 }
 
 let create () =
@@ -38,6 +42,9 @@ let create () =
     n_latencies = 0;
     frame_reuses = 0;
     arena_hits = 0;
+    retries = 0;
+    worker_restarts = 0;
+    failure_kinds = Hashtbl.create 8;
   }
 
 let locked t f =
@@ -48,6 +55,18 @@ let record_submit t = locked t (fun () -> t.submitted <- t.submitted + 1)
 let record_reject t = locked t (fun () -> t.rejected <- t.rejected + 1)
 let record_timeout t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
 let record_error t = locked t (fun () -> t.errors <- t.errors + 1)
+let record_retry t = locked t (fun () -> t.retries <- t.retries + 1)
+
+let record_worker_restart t =
+  locked t (fun () -> t.worker_restarts <- t.worker_restarts + 1)
+
+(** One request completed with [Error (Failed _)]: bumps [errors] and the
+    per-kind tally ([kind] is [Interp.kind_name] of the failure). *)
+let record_failure t ~kind =
+  locked t (fun () ->
+      t.errors <- t.errors + 1;
+      Hashtbl.replace t.failure_kinds kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.failure_kinds kind)))
 
 (** One completed request with its submit-to-complete latency. *)
 let record_complete t ~latency_us =
@@ -95,6 +114,9 @@ type summary = {
   s_mean_ms : float;
   s_frame_reuses : int;
   s_arena_hits : int;
+  s_retries : int;
+  s_worker_restarts : int;
+  s_failure_kinds : (string * int) list;  (** (kind, count), sorted by kind *)
 }
 
 let percentile sorted n p =
@@ -136,6 +158,12 @@ let summary t : summary =
         s_mean_ms = mean_lat /. 1e3;
         s_frame_reuses = t.frame_reuses;
         s_arena_hits = t.arena_hits;
+        s_retries = t.retries;
+        s_worker_restarts = t.worker_restarts;
+        s_failure_kinds =
+          List.sort
+            (fun (a, _) (b, _) -> String.compare a b)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.failure_kinds []);
       })
 
 (** The [server] JSON section ([nimble-profile/v1]; see
@@ -159,6 +187,10 @@ let summary_to_json (s : summary) : Nimble_vm.Json.t =
       ("mean_ms", Float s.s_mean_ms);
       ("frame_reuses", Int s.s_frame_reuses);
       ("arena_hits", Int s.s_arena_hits);
+      ("retries", Int s.s_retries);
+      ("worker_restarts", Int s.s_worker_restarts);
+      ( "failure_kinds",
+        Obj (List.map (fun (k, v) -> (k, Int v)) s.s_failure_kinds) );
     ]
 
 let pp_summary ppf (s : summary) =
@@ -166,7 +198,14 @@ let pp_summary ppf (s : summary) =
     "@[<v>submitted %d  completed %d  rejected %d  timeouts %d  errors %d@,\
      batches %d (mean size %.2f)  queue hwm %d@,\
      latency ms: p50 %.3f  p99 %.3f  mean %.3f@,\
-     warm state: frame reuses %d, arena hits %d@]"
+     warm state: frame reuses %d, arena hits %d@,\
+     resilience: retries %d, worker restarts %d%a@]"
     s.s_submitted s.s_completed s.s_rejected s.s_timeouts s.s_errors s.s_batches
     s.s_mean_batch s.s_queue_depth_hwm s.s_p50_ms s.s_p99_ms s.s_mean_ms
-    s.s_frame_reuses s.s_arena_hits
+    s.s_frame_reuses s.s_arena_hits s.s_retries s.s_worker_restarts
+    (fun ppf kinds ->
+      if kinds <> [] then
+        Fmt.pf ppf ", failures:%a"
+          (fun ppf -> List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v))
+          kinds)
+    s.s_failure_kinds

@@ -12,6 +12,16 @@ val record_reject : t -> unit
 val record_timeout : t -> unit
 val record_error : t -> unit
 
+(** One transient failure retried by a worker (with backoff). *)
+val record_retry : t -> unit
+
+(** One worker domain resurrected by the supervisor after dying. *)
+val record_worker_restart : t -> unit
+
+(** One request failed with a typed VM failure: bumps the error count and
+    the per-kind tally ([kind] is [Nimble_vm.Interp.kind_name]). *)
+val record_failure : t -> kind:string -> unit
+
 (** One completed request with its submit-to-complete latency (µs). *)
 val record_complete : t -> latency_us:float -> unit
 
@@ -40,6 +50,11 @@ type summary = {
   s_mean_ms : float;
   s_frame_reuses : int;  (** VM register-frame reuses across workers *)
   s_arena_hits : int;  (** storage-pool hits across workers *)
+  s_retries : int;  (** transient failures retried by workers *)
+  s_worker_restarts : int;  (** worker domains resurrected after dying *)
+  s_failure_kinds : (string * int) list;
+      (** (typed-failure kind, count), sorted by kind; sums to at most
+          [s_errors] *)
 }
 
 (** Freeze a consistent snapshot (percentiles computed at call time). *)

@@ -51,7 +51,11 @@ let get name =
 let mode_of name = (get name).mode
 
 (** Run an operator's shape function. Data-independent functions are given
-    shapes only; passing [data] is allowed but ignored. *)
+    shapes only; passing [data] is allowed but ignored. Anything the
+    registered function throws beyond {!Shape_func_error} — an
+    out-of-bounds dimension index, a missing attribute — is rewrapped as
+    a {!Shape_func_error} naming the operator, so shape-function failures
+    always surface through one typed channel. *)
 let run name ~attrs inputs =
   let def = get name in
   (match def.mode with
@@ -62,7 +66,10 @@ let run name ~attrs inputs =
             err "%s: data-dependent shape function needs value of input %d" name i)
         inputs
   | Data_indep -> ());
-  def.fn ~attrs inputs
+  try def.fn ~attrs inputs with
+  | Shape_func_error _ as e -> raise e
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | e -> err "%s: shape function raised %s" name (Printexc.to_string e)
 
 let shape_only s = { shape = s; data = None }
 let with_data t = { shape = Tensor.shape t; data = Some t }

@@ -34,7 +34,9 @@ val mode_of : string -> mode
 
 (** Run an operator's shape function.
     @raise Shape_func_error when a data-dependent function is invoked
-    without values, or a residual shape check fails. *)
+    without values, a residual shape check fails, or the registered
+    function itself throws (the exception is rewrapped with the operator
+    name so shape failures surface through one typed channel). *)
 val run : string -> attrs:Attrs.t -> input list -> Shape.t list
 
 val shape_only : Shape.t -> input

@@ -12,6 +12,26 @@ type vmfunc = {
   code : Isa.t array;
 }
 
+(** One per-dimension residual check of a gradual-typing entry guard
+    (paper §4.1): [Check_any] accepts any extent, [Check_exact n] requires
+    exactly [n], and [Check_eq s] requires the extent to equal every other
+    dimension guarded with the same symbol [s] in the same call — the
+    "identical Any" cross-argument equality that inference proved but
+    could not resolve to a constant. *)
+type dim_check = Check_any | Check_exact of int | Check_eq of int
+
+(** An entry guard for one argument of a VM function: the declared rank,
+    per-dimension checks and (optionally) the declared element type of
+    parameter [g_name] at position [g_arg]. Emitted by the compiler from
+    the resolved parameter types; enforced by the interpreter at the API
+    boundary (depth-0 invocations only). *)
+type guard = {
+  g_arg : int;  (** argument position *)
+  g_name : string;  (** source parameter name, for diagnostics *)
+  g_dims : dim_check array;  (** one check per declared dimension *)
+  g_dtype : Dtype.t option;  (** declared element type, when known *)
+}
+
 (** A packed function: a compiled kernel or a compiled shape function.
     [run] takes input tensors and freshly computes outputs; the interpreter
     blits them into the pre-allocated destinations of [InvokePacked]. *)
@@ -29,6 +49,9 @@ type t = {
   constants : Tensor.t array;
   packed_names : (string * [ `Kernel | `Shape_func ]) array;
   mutable packed : packed option array;  (** linked implementations *)
+  mutable guards : guard array array;
+      (** entry guards per function, indexed like [funcs]; [[||]] means the
+          function was compiled unguarded *)
 }
 
 let create ~funcs ~constants ~packed_names =
@@ -37,7 +60,18 @@ let create ~funcs ~constants ~packed_names =
     constants;
     packed_names;
     packed = Array.make (Array.length packed_names) None;
+    guards = Array.make (Array.length funcs) [||];
   }
+
+(** Attach compiler-emitted entry guards, one (possibly empty) array per
+    function in [funcs] order. *)
+let set_guards t guards =
+  if Array.length guards <> Array.length t.funcs then
+    Fmt.invalid_arg "Exe.set_guards: %d guard entries for %d functions"
+      (Array.length guards) (Array.length t.funcs);
+  t.guards <- guards
+
+let guards t = t.guards
 
 let func_index t name =
   let found = ref None in
@@ -163,6 +197,13 @@ let validate (t : t) : string list =
               check_reg pc dst "dst"
           | Isa.Fatal _ -> ())
         f.code;
+      (* entry guards must name real argument positions *)
+      Array.iter
+        (fun g ->
+          if g.g_arg < 0 || g.g_arg >= f.arity then
+            bad "fn%d %s: guard on argument %d outside arity %d" fi f.name g.g_arg
+              f.arity)
+        (if fi < Array.length t.guards then t.guards.(fi) else [||]);
       (* the last instruction must not fall off the end *)
       if n > 0 then
         match f.code.(n - 1) with

@@ -14,6 +14,25 @@ type vmfunc = {
   code : Isa.t array;
 }
 
+(** One per-dimension residual check of a gradual-typing entry guard
+    (paper §4.1): [Check_any] accepts any extent, [Check_exact n] requires
+    exactly [n], and [Check_eq s] requires the extent to equal every other
+    dimension guarded with symbol [s] in the same call (the "identical
+    Any" cross-argument equality). *)
+type dim_check = Check_any | Check_exact of int | Check_eq of int
+
+(** An entry guard for one argument of a VM function: declared rank,
+    per-dimension checks, and optionally the declared element type of
+    parameter [g_name] at position [g_arg]. Emitted by the compiler from
+    resolved parameter types; enforced by {!Interp} at the API boundary.
+    See [docs/ROBUSTNESS.md]. *)
+type guard = {
+  g_arg : int;  (** argument position *)
+  g_name : string;  (** source parameter name, for diagnostics *)
+  g_dims : dim_check array;  (** one check per declared dimension *)
+  g_dtype : Dtype.t option;  (** declared element type, when known *)
+}
+
 (** A packed function: a compiled kernel or a compiled shape function.
     [run] computes fresh outputs; the interpreter blits them into the
     pre-allocated destinations of [InvokePacked]. Packed implementations
@@ -37,6 +56,9 @@ type t = {
   constants : Tensor.t array;
   packed_names : (string * [ `Kernel | `Shape_func ]) array;
   mutable packed : packed option array;  (** linked implementations *)
+  mutable guards : guard array array;
+      (** entry guards per function, indexed like [funcs]; [[||]] = the
+          function was compiled unguarded *)
 }
 
 (** Assemble an executable with every packed slot unlinked; call {!link}
@@ -46,6 +68,14 @@ val create :
   constants:Tensor.t array ->
   packed_names:(string * [ `Kernel | `Shape_func ]) array ->
   t
+
+(** Attach compiler-emitted entry guards, one (possibly empty) array per
+    function in [funcs] order.
+    @raise Invalid_argument when the array length disagrees with [funcs]. *)
+val set_guards : t -> guard array array -> unit
+
+(** The executable's entry guards, indexed like [funcs]. *)
+val guards : t -> guard array array
 
 (** Index of a VM function by name. @raise Invalid_argument if absent. *)
 val func_index : t -> string -> int

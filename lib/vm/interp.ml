@@ -6,10 +6,50 @@
     separates out (Table 4). *)
 
 open Nimble_tensor
+module Fault = Nimble_fault.Fault
 
 exception Vm_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Vm_error s)) fmt
+
+(* ------------------------- typed failures ------------------------- *)
+
+type failure_kind = Shape_guard | Alloc | Kernel_trap | Shape_func | Internal
+
+type failure = {
+  fail_kind : failure_kind;
+  fail_func : string;  (** VM function that was executing *)
+  fail_pc : int;  (** program counter, [-1] for entry (guards, arity) *)
+  fail_instr : string;  (** faulting instruction summary, [""] at entry *)
+  fail_msg : string;
+  fail_transient : bool;
+      (** the fault was injected in transient mode: a retry may succeed *)
+}
+
+exception Vm_failure of failure
+
+let kind_name = function
+  | Shape_guard -> "shape_guard"
+  | Alloc -> "alloc"
+  | Kernel_trap -> "kernel_trap"
+  | Shape_func -> "shape_func"
+  | Internal -> "internal"
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s failure in %s%s: %s" (kind_name f.fail_kind) f.fail_func
+    (if f.fail_pc < 0 then " at entry"
+     else Fmt.str " at pc %d (%s)" f.fail_pc f.fail_instr)
+    f.fail_msg
+
+let internal_failure ~func msg =
+  {
+    fail_kind = Internal;
+    fail_func = func;
+    fail_pc = -1;
+    fail_instr = "";
+    fail_msg = msg;
+    fail_transient = false;
+  }
 
 type t = {
   exe : Exe.t;
@@ -30,11 +70,19 @@ type t = {
   mutable trace : Trace.t option;
       (** event recorder; when set, the dispatch loop emits spans for every
           instruction, kernel, shape function, allocation and device copy *)
+  guards_on : bool;
+      (** run the compiler-emitted gradual-typing entry guards (paper §4.1)
+          on depth-0 invocations *)
+  max_pool_bytes : int option;
+      (** byte cap on pooled storage retained across invocations; exceeding
+          it is an [Alloc] failure rather than an abort *)
+  mutable pool_bytes : int;  (** bytes currently retained in [arenas] *)
 }
 
 exception Preempted
 
-let create ?(max_depth = 100_000) ?(pooling = true) exe =
+let create ?(max_depth = 100_000) ?(pooling = true) ?(guards = true)
+    ?max_pool_bytes exe =
   if not (Exe.linked exe) then err "executable has unlinked packed functions";
   {
     exe;
@@ -44,6 +92,9 @@ let create ?(max_depth = 100_000) ?(pooling = true) exe =
     arenas = Hashtbl.create 4;
     on_instruction = None;
     trace = None;
+    guards_on = guards;
+    max_pool_bytes;
+    pool_bytes = 0;
   }
 
 (** Install (or clear) the QoS instruction hook. *)
@@ -119,12 +170,80 @@ let context () = { frames = Hashtbl.create 2; frame_reuses = 0 }
 
 let frame_reuses c = c.frame_reuses
 
+(* -------------------- gradual-typing entry guards -------------------- *)
+
+(* Residual runtime checks for what static inference could not resolve
+   (paper §4.1): concrete dims must match exactly, [Any] dims pass, and
+   identical-[Any] dims ([Check_eq s]) must agree across every argument
+   that shares symbol [s]. Violations surface as [Shape_guard] failures
+   naming the argument and dimension. Only depth-0 (API-boundary)
+   invocations are guarded: internal calls were checked by the compiler. *)
+let check_guards (f : Exe.vmfunc) (gs : Exe.guard array) (args : Obj.t array) =
+  (* symbol -> first observed (extent, parameter name, dim index) *)
+  let syms : (int, int * string * int) Hashtbl.t = Hashtbl.create 4 in
+  let guard_fail fmt =
+    Fmt.kstr
+      (fun msg ->
+        raise
+          (Vm_failure
+             {
+               fail_kind = Shape_guard;
+               fail_func = f.Exe.name;
+               fail_pc = -1;
+               fail_instr = "entry";
+               fail_msg = msg;
+               fail_transient = false;
+             }))
+      fmt
+  in
+  Array.iter
+    (fun (g : Exe.guard) ->
+      match args.(g.Exe.g_arg) with
+      | Obj.Tensor p ->
+          let shape = Tensor.shape p.Obj.data in
+          let declared = Array.length g.Exe.g_dims in
+          if Array.length shape <> declared then
+            guard_fail "argument %d (%s): rank %d where %d was declared"
+              g.Exe.g_arg g.Exe.g_name (Array.length shape) declared;
+          (match g.Exe.g_dtype with
+          | Some dt when not (Dtype.equal dt (Tensor.dtype p.Obj.data)) ->
+              guard_fail "argument %d (%s): dtype %a where %a was declared"
+                g.Exe.g_arg g.Exe.g_name Dtype.pp
+                (Tensor.dtype p.Obj.data)
+                Dtype.pp dt
+          | _ -> ());
+          Array.iteri
+            (fun i check ->
+              let n = shape.(i) in
+              match check with
+              | Exe.Check_any -> ()
+              | Exe.Check_exact m ->
+                  if n <> m then
+                    guard_fail "argument %d (%s): dim %d is %d where %d was declared"
+                      g.Exe.g_arg g.Exe.g_name i n m
+              | Exe.Check_eq s -> (
+                  match Hashtbl.find_opt syms s with
+                  | None -> Hashtbl.replace syms s (n, g.Exe.g_name, i)
+                  | Some (m, name0, i0) ->
+                      if n <> m then
+                        guard_fail
+                          "argument %d (%s): dim %d is %d but must equal dim %d \
+                           of %s (= %d)"
+                          g.Exe.g_arg g.Exe.g_name i n i0 name0 m))
+            g.Exe.g_dims
+      | _ -> () (* non-tensor arguments (ADTs, closures) are not guarded *))
+    gs
+
 let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
   if depth > vm.max_depth then err "VM recursion limit exceeded";
   let f = vm.exe.Exe.funcs.(fi) in
   if Array.length args <> f.Exe.arity then
     err "fn %s: expected %d arguments, got %d" f.Exe.name f.Exe.arity
       (Array.length args);
+  (if depth = 0 && vm.guards_on then
+     let gs = vm.exe.Exe.guards in
+     if fi < Array.length gs && Array.length gs.(fi) > 0 then
+       check_guards f gs.(fi) args);
   let nregs = Stdlib.max f.Exe.register_count (f.Exe.arity + 1) in
   let regs =
     match ctx with
@@ -165,7 +284,33 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
     (match vm.on_instruction with Some hook -> hook instr | None -> ());
     Profiler.count prof instr;
     let instr_ts = match vm.trace with Some tr -> Trace.now_us tr | None -> 0.0 in
-    (match instr with
+    (* classify anything the current instruction throws into a typed
+       [failure]; the QoS hook above runs outside this so [Preempted]
+       (and hook exceptions) propagate unwrapped, per the hook contract *)
+    let fail_here ?(transient = false) kind msg =
+      raise
+        (Vm_failure
+           {
+             fail_kind = kind;
+             fail_func = f.Exe.name;
+             fail_pc = !pc;
+             fail_instr = Fmt.str "%a" Isa.pp instr;
+             fail_msg = msg;
+             fail_transient = transient;
+           })
+    in
+    let instr_kind () =
+      match instr with
+      | Isa.InvokePacked { packed_index; _ } -> (
+          match (Exe.get_packed vm.exe packed_index).Exe.kind with
+          | `Kernel -> Kernel_trap
+          | `Shape_func -> Shape_func
+          | exception _ -> Internal)
+      | Isa.AllocStorage _ | Isa.AllocTensor _ | Isa.AllocTensorReg _ -> Alloc
+      | _ -> Internal
+    in
+    (try
+       match instr with
     | Isa.Move { src; dst } ->
         regs.(dst) <- get src;
         incr pc
@@ -181,6 +326,10 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
         incr pc
     | Isa.InvokePacked { packed_index; args; outs; upper_bound } ->
         let packed = Exe.get_packed vm.exe packed_index in
+        Fault.check
+          (match packed.Exe.kind with
+          | `Kernel -> "kernel_launch"
+          | `Shape_func -> "shape_func");
         let placed_ins = Array.map (fun r -> Obj.to_placed (get r)) args in
         let placed_outs = Array.map (fun r -> Obj.to_placed (get r)) outs in
         (* all operands of a packed call share one device (paper §4.4) *)
@@ -261,6 +410,7 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
         incr pc
     | Isa.AllocStorage { size; alignment; dtype; device_id; arena; dst } ->
         let t0 = now () in
+        Fault.check "storage_alloc";
         let shape_t = Obj.to_tensor (get size) in
         let bytes = storage_bytes shape_t dtype ~alignment in
         let device = Nimble_device.Device.of_id device_id in
@@ -272,7 +422,13 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
             match Hashtbl.find_opt vm.arenas key with
             | Some cached -> (cached, true)
             | None ->
+                (match vm.max_pool_bytes with
+                | Some cap when vm.pool_bytes + bytes > cap ->
+                    err "storage pool byte cap exceeded: %d retained + %d > %d"
+                      vm.pool_bytes bytes cap
+                | _ -> ());
                 let fresh = Storage.create ~device ~bytes ~is_arena:arena in
+                vm.pool_bytes <- vm.pool_bytes + bytes;
                 Hashtbl.replace vm.arenas key fresh;
                 (fresh, false)
           end
@@ -388,7 +544,22 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
         let dims = Tensor.to_shape (Obj.to_tensor (get shape)) in
         set_reg dst (Obj.Tensor { Obj.data = Tensor.reshape p.Obj.data dims; device = p.Obj.device });
         incr pc
-    | Isa.Fatal msg -> err "fatal: %s" msg);
+    | Isa.Fatal msg -> err "fatal: %s" msg
+     with
+     | (Vm_failure _ | Preempted) as e -> raise e
+     | Fault.Injected { point; mode } ->
+         fail_here
+           ~transient:(mode = Fault.Transient)
+           (instr_kind ())
+           (Fmt.str "injected fault at %s" point)
+     | Nimble_shape.Shape_func.Shape_func_error msg ->
+         fail_here Shape_func msg
+     | Vm_error msg -> fail_here (instr_kind ()) msg
+     | Obj.Object_error msg -> fail_here Internal msg
+     | (Stack_overflow | Out_of_memory) as e ->
+         (* resource exhaustion stays fatal *)
+         raise e
+     | e -> fail_here (instr_kind ()) (Printexc.to_string e));
     (match vm.trace with
     | Some tr ->
         Trace.record tr
@@ -408,23 +579,70 @@ let rec escape_pool (o : Obj.t) : Obj.t =
   | Obj.Adt { tag; fields } -> Obj.Adt { tag; fields = Array.map escape_pool fields }
   | Obj.Storage _ | Obj.Closure _ | Obj.Int _ -> o
 
-(** Invoke a VM function by name. *)
-let invoke ?(func = "main") ?ctx vm (args : Obj.t list) : Obj.t =
+(** Invoke a VM function by name, surfacing failures as typed values:
+    [Error failure] instead of an exception. Anything that escapes the
+    dispatch loop (including pre-loop arity / recursion errors) is
+    classified; [Preempted] and caller API misuse (unknown function name)
+    still raise. Records a [vm.fail] trace span on the error path. *)
+let invoke_result ?(func = "main") ?ctx vm (args : Obj.t list) :
+    (Obj.t, failure) result =
   let fi = Exe.func_index vm.exe func in
   let ts_us = match vm.trace with Some tr -> Trace.now_us tr | None -> 0.0 in
   let t0 = now () in
-  let result = exec_func vm ?ctx ~depth:0 fi (Array.of_list args) in
-  let result = if vm.pooling then escape_pool result else result in
-  let dt = now () -. t0 in
-  vm.profiler.Profiler.total_seconds <- vm.profiler.Profiler.total_seconds +. dt;
-  (match vm.trace with
-  | Some tr ->
-      Trace.record tr ~name:("invoke:" ^ func) ~cat:Trace.cat_invoke ~ts_us
-        ~dur_us:(dt *. 1e6) []
-  | None -> ());
-  result
+  let finish_failure fl =
+    let dt = now () -. t0 in
+    vm.profiler.Profiler.total_seconds <-
+      vm.profiler.Profiler.total_seconds +. dt;
+    (match vm.trace with
+    | Some tr ->
+        Trace.record tr ~name:"vm.fail" ~cat:Trace.cat_invoke ~ts_us
+          ~dur_us:(dt *. 1e6)
+          [
+            ("kind", Trace.Str (kind_name fl.fail_kind));
+            ("func", Trace.Str fl.fail_func);
+            ("pc", Trace.Int fl.fail_pc);
+            ("instr", Trace.Str fl.fail_instr);
+            ("transient", Trace.Bool fl.fail_transient);
+            ("msg", Trace.Str fl.fail_msg);
+          ]
+    | None -> ());
+    Error fl
+  in
+  match exec_func vm ?ctx ~depth:0 fi (Array.of_list args) with
+  | result ->
+      let result = if vm.pooling then escape_pool result else result in
+      let dt = now () -. t0 in
+      vm.profiler.Profiler.total_seconds <-
+        vm.profiler.Profiler.total_seconds +. dt;
+      (match vm.trace with
+      | Some tr ->
+          Trace.record tr ~name:("invoke:" ^ func) ~cat:Trace.cat_invoke ~ts_us
+            ~dur_us:(dt *. 1e6) []
+      | None -> ());
+      Ok result
+  | exception Vm_failure fl -> finish_failure fl
+  | exception Vm_error msg ->
+      (* pre-loop entry errors: bad arity, recursion limit at depth 0 *)
+      finish_failure (internal_failure ~func msg)
 
-(** Convenience: tensor inputs, tensor output. *)
+(** Invoke a VM function by name.
+    @raise Vm_error on any execution failure (the [fail_msg] of the
+    underlying typed failure, verbatim); use {!invoke_result} for the
+    structured channel. *)
+let invoke ?func ?ctx vm (args : Obj.t list) : Obj.t =
+  match invoke_result ?func ?ctx vm args with
+  | Ok result -> result
+  | Error fl -> raise (Vm_error fl.fail_msg)
+
+(** Convenience: tensor inputs, tensor output, typed failures. *)
+let run_tensors_result ?func ?ctx vm inputs :
+    (Tensor.t, failure) result =
+  let args = List.map (fun t -> Obj.tensor t) inputs in
+  match invoke_result ?func ?ctx vm args with
+  | Ok o -> Ok (Obj.to_tensor o)
+  | Error fl -> Error fl
+
+(** Convenience: tensor inputs, tensor output. @raise Vm_error on failure. *)
 let run_tensors ?func ?ctx vm inputs =
   let args = List.map (fun t -> Obj.tensor t) inputs in
   Obj.to_tensor (invoke ?func ?ctx vm args)

@@ -3,6 +3,39 @@
 
 exception Vm_error of string
 
+(** What went wrong, at the granularity the serving layer routes on:
+    [Shape_guard] — a gradual-typing entry guard rejected an input
+    (paper §4.1); [Alloc] — storage allocation failed or exceeded the
+    pool byte cap; [Kernel_trap] — a kernel invocation trapped;
+    [Shape_func] — a shape function failed; [Internal] — anything else
+    (bad operands, recursion overflow, malformed bytecode). *)
+type failure_kind = Shape_guard | Alloc | Kernel_trap | Shape_func | Internal
+
+(** A typed execution failure: what happened, where (function, program
+    counter, instruction), and whether a retry may succeed. Entry-level
+    failures (guards, arity) carry [fail_pc = -1]. *)
+type failure = {
+  fail_kind : failure_kind;
+  fail_func : string;  (** VM function that was executing *)
+  fail_pc : int;  (** program counter, [-1] for entry (guards, arity) *)
+  fail_instr : string;  (** faulting instruction summary, [""] at entry *)
+  fail_msg : string;
+  fail_transient : bool;
+      (** the fault was injected in transient mode: a retry may succeed *)
+}
+
+(** Stable lower-case name of a {!failure_kind} (["shape_guard"],
+    ["alloc"], ...), used in trace spans and stats JSON. *)
+val kind_name : failure_kind -> string
+
+(** One-line human rendering of a {!failure}. *)
+val pp_failure : Format.formatter -> failure -> unit
+
+(** A synthetic [Internal] failure at entry of [func] — for layers above
+    the VM (the serving engine's worker supervisor) that must convert a
+    non-VM exception into the typed channel. *)
+val internal_failure : func:string -> string -> failure
+
 type t
 
 (** Raised out of {!set_instruction_hook} callbacks to abort the current
@@ -15,8 +48,15 @@ exception Preempted
     @param pooling reuse already-allocated storage chunks across top-level
     invocations — the runtime half of memory planning (default true).
     Result tensors are copied out of the pool at the API boundary.
+    @param guards run the compiler-emitted gradual-typing entry guards on
+    depth-0 invocations (default true; see [docs/ROBUSTNESS.md]).
+    @param max_pool_bytes cap on storage bytes retained in the pool across
+    invocations; an allocation that would exceed it fails with an [Alloc]
+    {!failure} instead of growing the pool (default: unlimited).
     @raise Vm_error if the executable has unlinked packed functions. *)
-val create : ?max_depth:int -> ?pooling:bool -> Exe.t -> t
+val create :
+  ?max_depth:int -> ?pooling:bool -> ?guards:bool -> ?max_pool_bytes:int ->
+  Exe.t -> t
 
 (** Install (or clear, with [None]) the QoS preemption hook (paper §5.3).
 
@@ -71,12 +111,29 @@ val context : unit -> ctx
 (** Invocations that reused a cached frame instead of allocating one. *)
 val frame_reuses : ctx -> int
 
+(** Invoke a VM function (default ["main"]) with the given arguments,
+    surfacing execution failures as typed [Error] values. Guard
+    rejections, allocation failures, kernel traps, shape-function errors
+    and internal faults all land in the {!failure}; {!Preempted} (the QoS
+    abort) and API misuse (unknown function name: [Invalid_argument])
+    still raise. Records a [vm.fail] trace span on the error path.
+    @param ctx reuse this execution context's cached register frame
+    (see {!ctx}). *)
+val invoke_result :
+  ?func:string -> ?ctx:ctx -> t -> Obj.t list -> (Obj.t, failure) result
+
 (** Invoke a VM function (default ["main"]) with the given arguments.
     @param ctx reuse this execution context's cached register frame
     (see {!ctx}).
     @raise Vm_error on any runtime fault (bad operands, device mismatch,
-    shape-check failure, recursion overflow). *)
+    shape-check failure, recursion overflow) — the [fail_msg] of the
+    underlying typed failure, verbatim. *)
 val invoke : ?func:string -> ?ctx:ctx -> t -> Obj.t list -> Obj.t
+
+(** {!invoke_result} for tensor inputs and a tensor output. *)
+val run_tensors_result :
+  ?func:string -> ?ctx:ctx -> t -> Nimble_tensor.Tensor.t list ->
+  (Nimble_tensor.Tensor.t, failure) result
 
 (** Convenience wrapper: tensor inputs, tensor output. *)
 val run_tensors :

@@ -269,6 +269,31 @@ let report_to_json ?server (r : report) : Json.t =
   let server_member =
     match server with Some s -> [ ("server", s) ] | None -> []
   in
+  (* fault-injection accounting is embedded only when a spec is active,
+     so reports from normal runs are byte-identical to pre-fault builds *)
+  let fault_member =
+    if not (Nimble_fault.Fault.enabled ()) then []
+    else
+      let point_objs =
+        let hits = Nimble_fault.Fault.hits () in
+        List.map
+          (fun (point, att) ->
+            let h =
+              match List.assoc_opt point hits with Some h -> h | None -> 0
+            in
+            ( point,
+              Json.Obj [ ("attempts", Json.Int att); ("hits", Json.Int h) ] ))
+          (Nimble_fault.Fault.attempts ())
+      in
+      [
+        ( "faults",
+          Json.Obj
+            (("spec",
+              Json.String
+                (Option.value ~default:"" (Nimble_fault.Fault.spec ())))
+            :: point_objs) );
+      ]
+  in
   Json.Obj
     ([
       ("schema", Json.String "nimble-profile/v1");
@@ -324,7 +349,7 @@ let report_to_json ?server (r : report) : Json.t =
              r.r_devices) );
       ("dispatch", Json.List (List.map json_of_dispatch r.r_dispatch));
     ]
-    @ server_member)
+    @ fault_member @ server_member)
 
 (** [report] and [report_to_json] composed: the one-call JSON snapshot. *)
 let to_json ?dispatch ?server t = report_to_json ?server (report ?dispatch t)

@@ -140,7 +140,10 @@ type report = {
     process created — pass an explicit list to narrow the scope). *)
 val report : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> report
 
-(** Render a report as the [nimble-profile/v1] JSON document.
+(** Render a report as the [nimble-profile/v1] JSON document. When fault
+    injection is configured ([Nimble_fault.Fault.enabled]), a [faults]
+    member carries the active spec and per-point attempt/hit counters;
+    without a spec the document is unchanged from earlier builds.
     @param server a serving-engine statistics object
     ([Nimble_serve.Stats.summary_to_json]) embedded as the document's
     [server] member; absent for non-serving runs

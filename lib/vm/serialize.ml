@@ -7,12 +7,14 @@
     one opcode byte followed by operand fields. *)
 
 open Nimble_tensor
+module Fault = Nimble_fault.Fault
 
 exception Format_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 
-let magic = "NMBLEXE1"
+(* version 2 appends the entry-guard tables after each function's code *)
+let magic = "NMBLEXE2"
 
 (* ---------------- writer ---------------- *)
 
@@ -150,6 +152,27 @@ let w_instr b (i : Isa.t) =
       w_i32 b dst
   | Isa.Fatal msg -> w_string b msg
 
+let w_guard b (g : Exe.guard) =
+  w_i32 b g.Exe.g_arg;
+  w_string b g.Exe.g_name;
+  (match g.Exe.g_dtype with
+  | None -> w_u8 b 0
+  | Some dt ->
+      w_u8 b 1;
+      w_u8 b (dtype_code dt));
+  w_i32 b (Array.length g.Exe.g_dims);
+  Array.iter
+    (fun check ->
+      match check with
+      | Exe.Check_any -> w_u8 b 0
+      | Exe.Check_exact n ->
+          w_u8 b 1;
+          w_i32 b n
+      | Exe.Check_eq s ->
+          w_u8 b 2;
+          w_i32 b s)
+    g.Exe.g_dims
+
 let to_bytes (exe : Exe.t) : string =
   let b = Buffer.create 4096 in
   Buffer.add_string b magic;
@@ -161,14 +184,18 @@ let to_bytes (exe : Exe.t) : string =
       w_string b name;
       w_u8 b (match kind with `Kernel -> 0 | `Shape_func -> 1))
     exe.Exe.packed_names;
+  let guards = Exe.guards exe in
   w_i32 b (Array.length exe.Exe.funcs);
-  Array.iter
-    (fun (f : Exe.vmfunc) ->
+  Array.iteri
+    (fun fi (f : Exe.vmfunc) ->
       w_string b f.Exe.name;
       w_i32 b f.Exe.arity;
       w_i32 b f.Exe.register_count;
       w_i32 b (Array.length f.Exe.code);
-      Array.iter (w_instr b) f.Exe.code)
+      Array.iter (w_instr b) f.Exe.code;
+      let gs = if fi < Array.length guards then guards.(fi) else [||] in
+      w_i32 b (Array.length gs);
+      Array.iter (w_guard b) gs)
     exe.Exe.funcs;
   Buffer.contents b
 
@@ -338,7 +365,29 @@ let check_count what n =
   if n < 0 || n > 10_000_000 then err "implausible %s count %d" what n;
   n
 
+let r_guard r : Exe.guard =
+  let g_arg = r_i32 r in
+  let g_name = r_string r in
+  let g_dtype =
+    match r_u8 r with
+    | 0 -> None
+    | 1 -> Some (dtype_of_code (r_u8 r))
+    | c -> err "bad guard dtype tag %d" c
+  in
+  let ndims = r_i32 r in
+  if ndims < 0 || ndims > 32 then err "bad guard rank %d" ndims;
+  let g_dims =
+    Array.init ndims (fun _ ->
+        match r_u8 r with
+        | 0 -> Exe.Check_any
+        | 1 -> Exe.Check_exact (r_i32 r)
+        | 2 -> Exe.Check_eq (r_i32 r)
+        | c -> err "bad guard dim tag %d" c)
+  in
+  { Exe.g_arg; g_name; g_dims; g_dtype }
+
 let of_bytes (s : string) : Exe.t =
+  Fault.check "deserialize";
   let r = { buf = s; pos = 0 } in
   let m = String.sub s 0 (min (String.length magic) (String.length s)) in
   if not (String.equal m magic) then err "bad magic %S" m;
@@ -353,16 +402,21 @@ let of_bytes (s : string) : Exe.t =
         (name, kind))
   in
   let nfuncs = check_count "function" (r_i32 r) in
+  let guards = Array.make nfuncs [||] in
   let funcs =
-    Array.init nfuncs (fun _ ->
+    Array.init nfuncs (fun fi ->
         let name = r_string r in
         let arity = r_i32 r in
         let register_count = r_i32 r in
         let ninstr = check_count "instruction" (r_i32 r) in
         let code = Array.init ninstr (fun _ -> r_instr r) in
+        let nguards = check_count "guard" (r_i32 r) in
+        guards.(fi) <- Array.init nguards (fun _ -> r_guard r);
         { Exe.name; arity; register_count; code })
   in
-  Exe.create ~funcs ~constants ~packed_names
+  let exe = Exe.create ~funcs ~constants ~packed_names in
+  Exe.set_guards exe guards;
+  exe
 
 let save_file exe path =
   let oc = open_out_bin path in

@@ -1,9 +1,10 @@
 (** Binary (de)serialization of VM executables.
 
     Only the platform-independent part is stored (bytecode in a
-    variable-length instruction encoding, constants, packed-function names);
-    kernel implementations are relinked by name on load, mirroring the
-    paper's split between portable bytecode and platform-dependent kernels. *)
+    variable-length instruction encoding, constants, packed-function names,
+    and the per-function gradual-typing entry guards); kernel
+    implementations are relinked by name on load, mirroring the paper's
+    split between portable bytecode and platform-dependent kernels. *)
 
 (** Raised by {!of_bytes}/{!load_file} when the input is not a valid
     serialized executable (bad magic, truncated stream, implausible
@@ -19,7 +20,8 @@ val magic : string
     on load. *)
 val to_bytes : Exe.t -> string
 
-(** Decode an executable; packed functions come back unlinked.
+(** Decode an executable; packed functions come back unlinked. Evaluates
+    the ["deserialize"] fault-injection point (see [Nimble_fault.Fault]).
     @raise Format_error on bad magic, truncation, or implausible counts. *)
 val of_bytes : string -> Exe.t
 

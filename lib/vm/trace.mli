@@ -34,7 +34,9 @@ type span = {
 (** Per-instruction spans, named by opcode. *)
 val cat_instr : string
 
-(** Top-level VM invocations ([invoke:<func>] root spans). *)
+(** Top-level VM invocations ([invoke:<func>] root spans), plus one
+    [vm.fail] span per typed execution failure (args [kind], [func],
+    [pc], [instr], [transient], [msg]). *)
 val cat_invoke : string
 
 (** Packed kernel invocations (shapes + residue-dispatch selection). *)
@@ -51,8 +53,14 @@ val cat_alloc : string
 val cat_device_copy : string
 
 (** Serving-engine events ([Nimble_serve]): request admission, batch
-    formation ([serve.batch], with [bucket]/[size] args) and per-request
-    execution ([serve.exec], with [bucket]/[outcome]/[worker] args). *)
+    formation ([serve.batch], with [bucket]/[size] args), per-request
+    execution ([serve.exec], with [bucket]/[outcome]/[worker] args), and
+    the resilience path — [serve.retry] (a transient failure about to be
+    retried; [bucket]/[worker]/[attempt]/[kind]), [serve.fail] (a request
+    completing with a typed failure; [bucket]/[worker]/[kind]/
+    [transient]/[msg]) and [serve.worker_restart] (a worker rebuilding
+    its interpreter after an escape from the typed channel;
+    [worker]/[reason]). *)
 val cat_serve : string
 
 type t

@@ -140,13 +140,13 @@ let test_corrupt_input_rejected () =
      with Serialize.Format_error _ -> true);
   Alcotest.(check bool) "truncated" true
     (try
-       ignore (Serialize.of_bytes "NMBLEXE1\x05");
+       ignore (Serialize.of_bytes "NMBLEXE2\x05");
        false
      with Serialize.Format_error _ -> true);
   (* valid header, garbage body *)
   Alcotest.(check bool) "garbage body" true
     (try
-       ignore (Serialize.of_bytes ("NMBLEXE1" ^ String.make 40 '\xff'));
+       ignore (Serialize.of_bytes ("NMBLEXE2" ^ String.make 40 '\xff'));
        false
      with Serialize.Format_error _ -> true)
 

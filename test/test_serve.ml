@@ -61,6 +61,45 @@ let test_squeue_backpressure () =
   Alcotest.(check (option int)) "drains 2" (Some 2) (Squeue.pop q);
   Alcotest.(check (option int)) "then None" None (Squeue.pop q)
 
+(* Close semantics under concurrent producers: domains race try_push
+   against a close landing mid-stream. Every element a producer saw
+   accepted must be drained by the consumer — close refuses new pushes
+   but never drops accepted ones — and nothing deadlocks. *)
+let test_squeue_close_race () =
+  let producers = 4 and per_producer = 200 in
+  let q = Squeue.create ~capacity:32 in
+  let accepted = Atomic.make 0 in
+  let producer _ =
+    Domain.spawn (fun () ->
+        for i = 1 to per_producer do
+          if Squeue.try_push q i then ignore (Atomic.fetch_and_add accepted 1)
+        done)
+  in
+  let drained = ref 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Squeue.pop q with
+          | Some _ ->
+              incr drained;
+              loop ()
+          | None -> ()
+        in
+        loop ())
+  in
+  let doms = List.init producers producer in
+  (* close races the producers mid-stream *)
+  Unix.sleepf 0.002;
+  Squeue.close q;
+  List.iter Domain.join doms;
+  Domain.join consumer;
+  Alcotest.(check bool) "closed" true (Squeue.closed q);
+  Alcotest.(check int) "accepted == drained" (Atomic.get accepted) !drained;
+  Alcotest.(check int) "queue empty after drain" 0 (Squeue.length q);
+  (* closed queue keeps refusing; pop keeps returning None *)
+  Alcotest.(check bool) "closed rejects" false (Squeue.try_push q 0);
+  Alcotest.(check (option int)) "closed pop" None (Squeue.pop q)
+
 (* --------------------------- warm exe cache --------------------------- *)
 
 let test_cache_roundtrip () =
@@ -306,7 +345,11 @@ let () =
           Alcotest.test_case "pad rounds up" `Quick test_bucket_pad;
           Alcotest.test_case "cap falls back" `Quick test_bucket_cap;
         ] );
-      ("squeue", [ Alcotest.test_case "backpressure + drain" `Quick test_squeue_backpressure ]);
+      ( "squeue",
+        [
+          Alcotest.test_case "backpressure + drain" `Quick test_squeue_backpressure;
+          Alcotest.test_case "close race with producers" `Quick test_squeue_close_race;
+        ] );
       ("cache", [ Alcotest.test_case "serialize->link round trip" `Quick test_cache_roundtrip ]);
       ( "engine",
         [

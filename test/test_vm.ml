@@ -251,6 +251,129 @@ let test_profiler_counts () =
 let test_isa_has_twenty_opcodes () =
   Alcotest.(check int) "20 instructions (Table A.1)" 20 Isa.num_opcodes
 
+(* ---------------------------- entry guards ---------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let expect_guard_failure vm args substrings =
+  match Interp.invoke_result vm args with
+  | Ok _ -> Alcotest.fail "ill-typed call passed the entry guard"
+  | Error fl ->
+      Alcotest.(check string) "failure kind" "shape_guard"
+        (Interp.kind_name fl.Interp.fail_kind);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S mentions %S" fl.Interp.fail_msg s)
+            true
+            (contains fl.Interp.fail_msg s))
+        substrings
+
+(* main(x) = x with x declared as a [3] f32 tensor *)
+let guarded_identity ~guards =
+  let exe = assemble ~arity:1 ~regs:1 [| Isa.Ret { result = 0 } |] in
+  Exe.set_guards exe
+    [|
+      [|
+        {
+          Exe.g_arg = 0;
+          g_name = "x";
+          g_dims = [| Exe.Check_exact 3 |];
+          g_dtype = Some Dtype.F32;
+        };
+      |];
+    |];
+  Interp.create ~guards exe
+
+let test_guard_exact_dim () =
+  let vm = guarded_identity ~guards:true in
+  (match Interp.invoke_result vm [ Obj.tensor (Tensor.ones [| 3 |]) ] with
+  | Ok _ -> ()
+  | Error fl -> Alcotest.failf "well-typed call failed: %a" Interp.pp_failure fl);
+  expect_guard_failure vm
+    [ Obj.tensor (Tensor.ones [| 4 |]) ]
+    [ "argument 0 (x)"; "dim 0 is 4 where 3 was declared" ];
+  expect_guard_failure vm
+    [ Obj.tensor (Tensor.ones [| 3; 1 |]) ]
+    [ "argument 0 (x)"; "rank 2 where 1 was declared" ]
+
+let test_guard_dtype () =
+  let vm = guarded_identity ~guards:true in
+  expect_guard_failure vm
+    [ Obj.tensor (Tensor.of_int_array ~dtype:Dtype.I64 [| 3 |] [| 1; 2; 3 |]) ]
+    [ "argument 0 (x)"; "dtype" ]
+
+let test_guard_disabled () =
+  (* the same ill-typed calls pass when guards are compiled out of the
+     interpreter: identity never inspects the tensor *)
+  let vm = guarded_identity ~guards:false in
+  List.iter
+    (fun x ->
+      match Interp.invoke_result vm [ x ] with
+      | Ok _ -> ()
+      | Error fl -> Alcotest.failf "guards off still failed: %a" Interp.pp_failure fl)
+    [
+      Obj.tensor (Tensor.ones [| 4 |]);
+      Obj.tensor (Tensor.of_int_array ~dtype:Dtype.I64 [| 3 |] [| 1; 2; 3 |]);
+    ]
+
+(* main(a, b) = a with both leading dims declared as the same symbolic
+   Any — the cross-argument equality of Nimble's gradual typing *)
+let test_guard_sym_eq () =
+  let exe = assemble ~arity:2 ~regs:2 [| Isa.Ret { result = 0 } |] in
+  let guard arg name =
+    { Exe.g_arg = arg; g_name = name; g_dims = [| Exe.Check_eq 7 |]; g_dtype = None }
+  in
+  Exe.set_guards exe [| [| guard 0 "a"; guard 1 "b" |] |];
+  let vm = Interp.create exe in
+  (match
+     Interp.invoke_result vm
+       [ Obj.tensor (Tensor.ones [| 5 |]); Obj.tensor (Tensor.ones [| 5 |]) ]
+   with
+  | Ok _ -> ()
+  | Error fl -> Alcotest.failf "equal extents rejected: %a" Interp.pp_failure fl);
+  expect_guard_failure vm
+    [ Obj.tensor (Tensor.ones [| 5 |]); Obj.tensor (Tensor.ones [| 6 |]) ]
+    [ "argument 1 (b)"; "dim 0 is 6 but must equal dim 0 of a (= 5)" ]
+
+(* guards emitted by the compiler from declared parameter types *)
+let test_guard_compiled () =
+  let module Nimble = Nimble_compiler.Nimble in
+  let open Nimble_ir in
+  let mk () =
+    let x =
+      Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 6 ]) "x"
+    in
+    let w = Tensor.ones [| 4; 6 |] in
+    Irmod.of_main
+      (Expr.fn_def [ x ] (Expr.op_call "dense" [ Expr.Var x; Expr.Const w ]))
+  in
+  let vm = Interp.create (Nimble.compile (mk ())) in
+  (match Interp.invoke_result vm [ Obj.tensor (Tensor.ones [| 5; 6 |]) ] with
+  | Ok _ -> ()
+  | Error fl -> Alcotest.failf "well-typed call failed: %a" Interp.pp_failure fl);
+  expect_guard_failure vm
+    [ Obj.tensor (Tensor.ones [| 5; 7 |]) ]
+    [ "(x)"; "dim 1 is 7 where 6 was declared" ];
+  (* compiled with guards off, the ill-typed call reaches the kernel: the
+     failure (if any) is no longer a shape_guard at entry *)
+  let off =
+    Interp.create
+      (Nimble.compile
+         ~options:{ Nimble.default_options with Nimble.runtime_guards = false }
+         (mk ()))
+  in
+  match Interp.invoke_result off [ Obj.tensor (Tensor.ones [| 5; 7 |]) ] with
+  | Ok _ -> ()
+  | Error fl ->
+      Alcotest.(check bool)
+        (Printf.sprintf "not a guard failure: %s" fl.Interp.fail_msg)
+        true
+        (fl.Interp.fail_kind <> Interp.Shape_guard)
+
 let () =
   Alcotest.run "vm"
     [
@@ -275,6 +398,14 @@ let () =
           Alcotest.test_case "upper bound sliced" `Quick test_upper_bound_sliced;
           Alcotest.test_case "shape_of / reshape" `Quick test_shape_of_reshape;
           Alcotest.test_case "device copy" `Quick test_device_copy_instruction;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "exact dim + rank" `Quick test_guard_exact_dim;
+          Alcotest.test_case "dtype" `Quick test_guard_dtype;
+          Alcotest.test_case "disabled" `Quick test_guard_disabled;
+          Alcotest.test_case "symbolic cross-argument equality" `Quick test_guard_sym_eq;
+          Alcotest.test_case "compiler-emitted" `Quick test_guard_compiled;
         ] );
       ( "profiler",
         [

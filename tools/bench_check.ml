@@ -1,8 +1,9 @@
 (* Schema gate for committed benchmark baselines: every non-empty line of
-   each argument file must parse as a [nimble-bench/v1] table or a
-   [nimble-serve/v1] serving-benchmark document (the [schema] member picks
-   the check). Exits 1 on any drift so `dune runtest` catches accidental
-   format changes before a downstream scraper does.
+   each argument file must parse as a [nimble-bench/v1] table, a
+   [nimble-serve/v1] serving-benchmark document, or a [nimble-chaos/v1]
+   fault-injection document (the [schema] member picks the check). Exits
+   1 on any drift so `dune runtest` catches accidental format changes
+   before a downstream scraper does.
 
    Checked per bench table: the exact [schema] tag; [title]/[unit]
    strings; [columns] a non-empty list of strings; [rows] a non-empty list
@@ -13,7 +14,15 @@
    list of at least three (arrival rate x shape mix) measurements, each
    with numeric [throughput_rps]/[p50_ms]/[p99_ms], integer
    [rejected]/[timeouts]/[queue_depth_hwm], and a non-empty [batch_hist]
-   object of integer counts. *)
+   object of integer counts.
+
+   Checked per chaos document: [title]/[model]/[spec] strings; integer
+   [requests]/[completed]/[failed]/[rejected]/[retries]/[worker_restarts]
+   with the drain invariant completed + failed + rejected = requests; a
+   boolean [bitwise_ok] that must be true (successful responses stay
+   bitwise-equal to the fault-free reference); [failure_kinds] an object
+   of integer tallies; and a non-empty [fault_points] object whose
+   entries carry integer [attempts]/[hits] with hits <= attempts. *)
 
 module Json = Nimble_vm.Json
 
@@ -85,6 +94,58 @@ let check_serve file lineno json =
         points
   | Some _ | None -> fail file lineno "missing \"points\" list"
 
+(* a [nimble-chaos/v1] line: the BENCH_chaos.json baseline *)
+let check_chaos file lineno json =
+  let str_member = str_member file lineno json in
+  ignore (str_member "title");
+  ignore (str_member "model");
+  ignore (str_member "spec");
+  let int_ json key =
+    match Json.member key json with
+    | Some (Json.Int n) -> Some n
+    | _ ->
+        fail file lineno "missing integer %S" key;
+        None
+  in
+  let requests = int_ json "requests" in
+  let completed = int_ json "completed" in
+  let failed = int_ json "failed" in
+  let rejected = int_ json "rejected" in
+  ignore (int_ json "retries");
+  ignore (int_ json "worker_restarts");
+  (match (requests, completed, failed, rejected) with
+  | Some r, Some c, Some f, Some j ->
+      if c + f + j <> r then
+        fail file lineno "drain violated: %d completed + %d failed + %d rejected <> %d"
+          c f j r
+  | _ -> ());
+  (match Json.member "bitwise_ok" json with
+  | Some (Json.Bool true) -> ()
+  | Some (Json.Bool false) ->
+      fail file lineno "bitwise_ok is false: served results drifted from the reference"
+  | _ -> fail file lineno "missing boolean \"bitwise_ok\"");
+  (match Json.member "failure_kinds" json with
+  | Some (Json.Obj entries) ->
+      List.iter
+        (fun (kind, count) ->
+          match count with
+          | Json.Int _ -> ()
+          | _ -> fail file lineno "failure_kinds[%s] is not an integer" kind)
+        entries
+  | _ -> fail file lineno "missing \"failure_kinds\" object");
+  match Json.member "fault_points" json with
+  | Some (Json.Obj ((_ :: _) as entries)) ->
+      List.iter
+        (fun (point, stats) ->
+          match (Json.member "attempts" stats, Json.member "hits" stats) with
+          | Some (Json.Int a), Some (Json.Int h) ->
+              if h > a then
+                fail file lineno "fault_points[%s]: %d hits > %d attempts" point h a
+          | _ ->
+              fail file lineno "fault_points[%s]: missing integer attempts/hits" point)
+        entries
+  | _ -> fail file lineno "missing non-empty \"fault_points\" object"
+
 let check_table file lineno json =
   let str_member = str_member file lineno json in
   ignore (str_member "title");
@@ -138,9 +199,12 @@ let check_file file =
              match Json.member "schema" json with
              | Some (Json.String "nimble-bench/v1") -> check_table file !lineno json
              | Some (Json.String "nimble-serve/v1") -> check_serve file !lineno json
+             | Some (Json.String "nimble-chaos/v1") -> check_chaos file !lineno json
              | Some (Json.String other) ->
                  fail file !lineno
-                   "schema is %S, want \"nimble-bench/v1\" or \"nimble-serve/v1\"" other
+                   "schema is %S, want \"nimble-bench/v1\", \"nimble-serve/v1\" or \
+                    \"nimble-chaos/v1\""
+                   other
              | Some _ | None -> fail file !lineno "missing string \"schema\"")
          | exception Json.Parse_error msg ->
              fail file !lineno "JSON parse error: %s" msg
