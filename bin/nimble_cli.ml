@@ -189,10 +189,18 @@ let disasm_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Executable file")
   in
   let run path =
-    let exe = Nimble_vm.Serialize.load_file path in
+    let exe =
+      match Nimble_analysis.Verifier.load_file path with
+      | exe -> exe
+      | exception Nimble_analysis.Verifier.Verify_error ds ->
+          List.iter (fun d -> Fmt.epr "%a@." Nimble_analysis.Diag.pp d) ds;
+          die "%s failed bytecode verification (%d violations)" path (List.length ds)
+    in
     Nimble_vm.Exe.disassemble Fmt.stdout exe
   in
-  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a serialized executable") Term.(const run $ path)
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Verify and disassemble a serialized executable")
+    Term.(const run $ path)
 
 let seq_arg =
   Arg.(value & opt int 12 & info [ "seq" ] ~doc:"Sequence length / token count")
@@ -713,6 +721,120 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --------------------------- lint --------------------------- *)
+
+(** The example programs' IR modules, replicated here so [lint all] covers
+    the same programs the [examples/] executables (and [dune runtest])
+    run: the quickstart dense/bias_add/tanh chain, the detection
+    post-processing nms/strided_slice/sqrt pipeline, and the
+    data-dependent [arange]. *)
+let example_modules () : (string * Nimble_ir.Irmod.t) list =
+  let open Nimble_ir in
+  let rng = Rng.create ~seed:42 in
+  let quickstart =
+    let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 16 ]) "x" in
+    let w = Tensor.randn ~scale:0.2 rng [| 8; 16 |] in
+    let b = Tensor.randn ~scale:0.2 rng [| 8 |] in
+    Irmod.of_main
+      (Expr.fn_def [ x ]
+         (Expr.op_call "tanh"
+            [
+              Expr.op_call "bias_add"
+                [ Expr.op_call "dense" [ Expr.Var x; Expr.Const w ]; Expr.Const b ];
+            ]))
+  in
+  let detection =
+    let boxes = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 5 ]) "boxes" in
+    let kept = Expr.fresh_var "kept" in
+    let scores = Expr.fresh_var "scores" in
+    Irmod.of_main
+      (Expr.fn_def [ boxes ]
+         (Expr.Let
+            ( kept,
+              Expr.op_call ~attrs:[ ("iou", Attrs.Float 0.45) ] "nms"
+                [ Expr.Var boxes ],
+              Expr.Let
+                ( scores,
+                  Expr.op_call
+                    ~attrs:
+                      [
+                        ("begins", Attrs.Ints [ 0; 0 ]);
+                        ("ends", Attrs.Ints [ 1000000; 1 ]);
+                      ]
+                    "strided_slice" [ Expr.Var kept ],
+                  Expr.op_call "sqrt" [ Expr.Var scores ] ) )))
+  in
+  let arange =
+    let s = Expr.fresh_var ~ty:(Ty.scalar ()) "stop" in
+    Irmod.of_main
+      (Expr.fn_def [ s ]
+         (Expr.op_call "arange"
+            [ Expr.const_scalar 0.0; Expr.Var s; Expr.const_scalar 1.0 ]))
+  in
+  [
+    ("ex:quickstart", quickstart);
+    ("ex:detection", detection);
+    ("ex:arange", arange);
+  ]
+
+let lint_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A zoo model, $(b,all) (every zoo model plus the example \
+             programs), or a path to a serialized $(i,.nimble) executable")
+  in
+  let run target =
+    let failures = ref 0 in
+    let print_diags name ds =
+      incr failures;
+      List.iter (fun d -> Fmt.pr "%-14s %a@." name Nimble_analysis.Diag.pp d) ds
+    in
+    (* compile with verification on and report every violation the pipeline
+       checks found (dialect lints + bytecode verifier) *)
+    let lint_module name m =
+      let options = { Nimble.default_options with Nimble.verify_passes = true } in
+      let _exe, report = Nimble.compile_with_report ~options m in
+      match report.Nimble.verify_diags with
+      | [] ->
+          Fmt.pr "%-14s ok (%s)@." name
+            (String.concat ", "
+               (List.map
+                  (fun (v : Nimble.verify_stat) -> v.Nimble.verify_name)
+                  report.Nimble.verify))
+      | ds -> print_diags name ds
+    in
+    let lint_file path =
+      match Nimble_analysis.Verifier.load_file path with
+      | _exe -> Fmt.pr "%-14s ok (bytecode)@." path
+      | exception Nimble_analysis.Verifier.Verify_error ds -> print_diags path ds
+      | exception Nimble_vm.Serialize.Format_error msg ->
+          incr failures;
+          Fmt.pr "%-14s undecodable: %s@." path msg
+    in
+    (if target = "all" then begin
+       List.iter (fun (n, e) -> lint_module n (e.build ())) (zoo ());
+       List.iter (fun (n, m) -> lint_module n m) (example_modules ())
+     end
+     else if List.mem_assoc target (zoo ()) then
+       lint_module target ((lookup target).build ())
+     else if Sys.file_exists target then lint_file target
+     else
+       die "unknown lint target %s (expected a zoo model, 'all', or a file)"
+         target);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the compile-pipeline dialect lints and the bytecode verifier \
+          and print every violation (exit 1 if any); on a $(i,.nimble) file, \
+          verify the stored bytecode")
+    Term.(const run $ target)
+
 let parse_cmd =
   let path =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Textual IR file")
@@ -724,9 +846,10 @@ let parse_cmd =
     let m = Nimble_ir.Text_format.parse_module (read_file path) in
     let exe, report = Nimble.compile_with_report m in
     Fmt.pr "parsed and compiled %s@.%a@." path Nimble.pp_report report;
-    (match Nimble_vm.Exe.validate exe with
-    | [] -> Fmt.pr "bytecode validates@."
-    | problems -> List.iter (Fmt.pr "VALIDATION: %s@.") problems);
+    (match Nimble_analysis.Verifier.verify exe with
+    | [] -> Fmt.pr "bytecode verifies@."
+    | ds ->
+        List.iter (fun d -> Fmt.pr "VERIFY: %a@." Nimble_analysis.Diag.pp d) ds);
     match output with
     | Some out ->
         Nimble_vm.Serialize.save_file exe out;
@@ -750,5 +873,6 @@ let () =
             profile_cmd;
             serve_cmd;
             loadgen_cmd;
+            lint_cmd;
             parse_cmd;
           ]))

@@ -1,0 +1,18 @@
+(** Located diagnostics for the verifier and lints (see [diag.mli]). *)
+
+type t = {
+  d_check : string;
+  d_where : string;
+  d_pc : int;
+  d_reason : string;
+}
+
+let v ~check ~where_ ?(pc = -1) reason =
+  { d_check = check; d_where = where_; d_pc = pc; d_reason = reason }
+
+let pp ppf d =
+  if d.d_pc >= 0 then
+    Fmt.pf ppf "%s:%s@%d: %s" d.d_check d.d_where d.d_pc d.d_reason
+  else Fmt.pf ppf "%s:%s: %s" d.d_check d.d_where d.d_reason
+
+let to_string d = Fmt.str "%a" pp d

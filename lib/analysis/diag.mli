@@ -1,0 +1,25 @@
+(** Located diagnostics shared by the bytecode verifier and the IR-dialect
+    lints: every violation names the check that produced it, the function
+    (or IR path) it was found in, and — for bytecode — the program counter,
+    so a report reads like [bytecode:main@7: read of undefined register $3].
+    See [docs/ANALYSIS.md] for how to read (and provoke) them. *)
+
+(** One violation. [d_pc] is an instruction index for bytecode diagnostics
+    and [-1] for IR-level ones, mirroring the [-1]-at-entry convention of
+    [Nimble_vm.Interp.failure]. *)
+type t = {
+  d_check : string;  (** producing check: ["bytecode"], ["memory"], ... *)
+  d_where : string;  (** function name, possibly with an IR path suffix *)
+  d_pc : int;  (** instruction index, [-1] for IR-level diagnostics *)
+  d_reason : string;  (** human-readable description of the violation *)
+}
+
+(** Build a diagnostic; [pc] defaults to [-1] (IR-level). *)
+val v : check:string -> where_:string -> ?pc:int -> string -> t
+
+(** One-line rendering: [check:where@pc: reason] (the [@pc] part is
+    omitted for IR-level diagnostics). *)
+val pp : Format.formatter -> t -> unit
+
+(** {!pp} as a string, for error payloads and tests. *)
+val to_string : t -> string

@@ -1,0 +1,298 @@
+(** Bytecode verifier (see [verifier.mli]): structural index checks plus a
+    worklist dataflow over the [If]/[Goto] CFG proving def-before-use and
+    alloc-backed kernel destinations on every path. *)
+
+open Nimble_vm
+
+exception Verify_error of Diag.t list
+
+(* Abstract register value for the must-analysis. [Unset] = not defined on
+   every path reaching this point; the join of two different defined values
+   degrades to the generic [Val]. [Adt] tracks the field count of a locally
+   visible allocation site so [GetField] indices can be bounds-checked. *)
+type aval = Unset | Val | Storage | Talloc | Adt of int
+
+let join a b =
+  match (a, b) with
+  | Unset, _ | _, Unset -> Unset
+  | Val, Val -> Val
+  | Storage, Storage -> Storage
+  | Talloc, Talloc -> Talloc
+  | Adt n, Adt m when n = m -> Adt n
+  | _ -> Val
+
+(* Keep in sync with the [Isa.t] constructor count; the exhaustiveness pin
+   in [test/test_analysis.ml] fails the suite when they drift. *)
+let handled_opcodes = 20
+
+let num_devices = List.length Nimble_device.Device.all
+
+(* Registers an instruction reads / writes, for bounds and liveness. *)
+let reads : Isa.t -> int list = function
+  | Isa.Move { src; _ } -> [ src ]
+  | Isa.Ret { result } -> [ result ]
+  | Isa.Invoke { args; _ } -> Array.to_list args
+  | Isa.InvokeClosure { closure; args; _ } -> closure :: Array.to_list args
+  | Isa.InvokePacked { args; outs; _ } -> Array.to_list args @ Array.to_list outs
+  | Isa.AllocStorage { size; _ } -> [ size ]
+  | Isa.AllocTensor { storage; _ } -> [ storage ]
+  | Isa.AllocTensorReg { storage; shape; _ } -> [ storage; shape ]
+  | Isa.AllocADT { fields; _ } -> Array.to_list fields
+  | Isa.AllocClosure { captured; _ } -> Array.to_list captured
+  | Isa.GetField { obj; _ } -> [ obj ]
+  | Isa.GetTag { obj; _ } -> [ obj ]
+  | Isa.If { test; target; _ } -> [ test; target ]
+  | Isa.Goto _ -> []
+  | Isa.LoadConst _ -> []
+  | Isa.LoadConsti _ -> []
+  | Isa.DeviceCopy { src; _ } -> [ src ]
+  | Isa.ShapeOf { tensor; _ } -> [ tensor ]
+  | Isa.ReshapeTensor { tensor; shape; _ } -> [ tensor; shape ]
+  | Isa.Fatal _ -> []
+
+let writes : Isa.t -> int list = function
+  | Isa.Move { dst; _ }
+  | Isa.Invoke { dst; _ }
+  | Isa.InvokeClosure { dst; _ }
+  | Isa.AllocStorage { dst; _ }
+  | Isa.AllocTensor { dst; _ }
+  | Isa.AllocTensorReg { dst; _ }
+  | Isa.AllocADT { dst; _ }
+  | Isa.AllocClosure { dst; _ }
+  | Isa.GetField { dst; _ }
+  | Isa.GetTag { dst; _ }
+  | Isa.LoadConst { dst; _ }
+  | Isa.LoadConsti { dst; _ }
+  | Isa.DeviceCopy { dst; _ }
+  | Isa.ShapeOf { dst; _ } ->
+      [ dst ]
+  | Isa.ReshapeTensor { dst; _ } -> [ dst ]
+  | Isa.Ret _ | Isa.InvokePacked _ | Isa.If _ | Isa.Goto _ | Isa.Fatal _ -> []
+
+(* Relative successors; [None] entries mean fallthrough to [pc + 1]. *)
+let successors pc : Isa.t -> int list = function
+  | Isa.Ret _ | Isa.Fatal _ -> []
+  | Isa.Goto off -> [ pc + off ]
+  | Isa.If { true_offset; false_offset; _ } ->
+      [ pc + true_offset; pc + false_offset ]
+  | _ -> [ pc + 1 ]
+
+(* ------------------------------------------------------------------ *)
+
+let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
+  let f = exe.Exe.funcs.(fi) in
+  let code = f.Exe.code in
+  let len = Array.length code in
+  let nregs = f.Exe.register_count in
+  let diags = ref [] in
+  let report pc fmt =
+    Fmt.kstr
+      (fun reason ->
+        diags := Diag.v ~check:"bytecode" ~where_:f.Exe.name ~pc reason :: !diags)
+      fmt
+  in
+  if len = 0 then report (-1) "empty function body (no terminating Ret)";
+  if f.Exe.arity > nregs then
+    report (-1) "arity %d exceeds register count %d" f.Exe.arity nregs;
+  (* ---- structural checks: operand bounds, jump targets, indices ---- *)
+  Array.iteri
+    (fun pc instr ->
+      List.iter
+        (fun r ->
+          if r < 0 || r >= nregs then
+            report pc "register $%d out of bounds (register_count %d) in %a" r
+              nregs Isa.pp instr)
+        (reads instr @ writes instr);
+      List.iter
+        (fun t ->
+          if t < 0 || t >= len then
+            report pc "jump target %d out of bounds (code length %d)" t len)
+        (successors pc instr);
+      (match instr with
+      | _ when successors pc instr = [ pc + 1 ] && pc + 1 >= len ->
+          report pc "falls through the end of the function (%a)" Isa.pp instr
+      | _ -> ());
+      match instr with
+      | Isa.Invoke { func_index; args; _ } ->
+          if func_index < 0 || func_index >= Array.length exe.Exe.funcs then
+            report pc "function index %d out of bounds (%d functions)"
+              func_index (Array.length exe.Exe.funcs)
+          else begin
+            let callee = exe.Exe.funcs.(func_index) in
+            if Array.length args <> callee.Exe.arity then
+              report pc "calls %s with %d arguments (arity %d)" callee.Exe.name
+                (Array.length args) callee.Exe.arity
+          end
+      | Isa.AllocClosure { func_index; captured; _ } ->
+          if func_index < 0 || func_index >= Array.length exe.Exe.funcs then
+            report pc "closure function index %d out of bounds (%d functions)"
+              func_index (Array.length exe.Exe.funcs)
+          else begin
+            let callee = exe.Exe.funcs.(func_index) in
+            if Array.length captured > callee.Exe.arity then
+              report pc "closure captures %d values but %s has arity %d"
+                (Array.length captured) callee.Exe.name callee.Exe.arity
+          end
+      | Isa.InvokePacked { packed_index; _ } ->
+          if packed_index < 0 || packed_index >= Array.length exe.Exe.packed_names
+          then
+            report pc "packed index %d out of bounds (%d packed functions)"
+              packed_index
+              (Array.length exe.Exe.packed_names)
+      | Isa.LoadConst { index; _ } ->
+          if index < 0 || index >= Array.length exe.Exe.constants then
+            report pc "constant index %d out of bounds (%d constants)" index
+              (Array.length exe.Exe.constants)
+      | Isa.AllocStorage { device_id; _ } ->
+          if device_id < 0 || device_id >= num_devices then
+            report pc "device id %d out of bounds (%d devices)" device_id
+              num_devices
+      | Isa.DeviceCopy { dst_device_id; _ } ->
+          if dst_device_id < 0 || dst_device_id >= num_devices then
+            report pc "device id %d out of bounds (%d devices)" dst_device_id
+              num_devices
+      | Isa.GetField { index; _ } ->
+          if index < 0 then report pc "negative field index %d" index
+      | _ -> ())
+    code;
+  (* ---- dataflow: def-before-use and alloc-backing on every path ---- *)
+  let in_states : aval array option array = Array.make (max len 1) None in
+  let entry = Array.make (max nregs 1) Unset in
+  for r = 0 to min f.Exe.arity nregs - 1 do
+    entry.(r) <- Val
+  done;
+  let in_bounds r = r >= 0 && r < nregs in
+  let transfer instr (st : aval array) : aval array =
+    let st = Array.copy st in
+    let set r v = if in_bounds r then st.(r) <- v in
+    (match instr with
+    | Isa.Move { src; dst } -> set dst (if in_bounds src then st.(src) else Val)
+    | Isa.AllocStorage { dst; _ } -> set dst Storage
+    | Isa.AllocTensor { dst; _ } | Isa.AllocTensorReg { dst; _ } -> set dst Talloc
+    | Isa.AllocADT { fields; dst; _ } -> set dst (Adt (Array.length fields))
+    | Isa.GetTag { obj; dst } ->
+        (* the tag is being dispatched on: downstream field reads are
+           guarded by a tag test this analysis cannot see, so forget the
+           allocation-site field count to avoid false positives *)
+        (if in_bounds obj then match st.(obj) with Adt _ -> st.(obj) <- Val | _ -> ());
+        set dst Val
+    | _ -> List.iter (fun r -> set r Val) (writes instr));
+    st
+  in
+  if len > 0 && nregs >= 0 then begin
+    in_states.(0) <- Some entry;
+    let work = Queue.create () in
+    Queue.add 0 work;
+    while not (Queue.is_empty work) do
+      let pc = Queue.pop work in
+      match in_states.(pc) with
+      | None -> ()
+      | Some st ->
+          let out = transfer code.(pc) st in
+          List.iter
+            (fun succ ->
+              if succ >= 0 && succ < len then
+                match in_states.(succ) with
+                | None ->
+                    in_states.(succ) <- Some (Array.copy out);
+                    Queue.add succ work
+                | Some old ->
+                    let changed = ref false in
+                    Array.iteri
+                      (fun r v ->
+                        let j = join v out.(r) in
+                        if j <> v then begin
+                          old.(r) <- j;
+                          changed := true
+                        end)
+                      old;
+                    if !changed then Queue.add succ work)
+            (successors pc code.(pc))
+    done;
+    (* final pass over reachable instructions with their fixpoint states *)
+    Array.iteri
+      (fun pc instr ->
+        match in_states.(pc) with
+        | None -> () (* unreachable: nothing can go wrong at runtime *)
+        | Some st ->
+            List.iter
+              (fun r ->
+                if in_bounds r && st.(r) = Unset then
+                  report pc "read of register $%d not defined on every path (%a)"
+                    r Isa.pp instr)
+              (reads instr);
+            (match instr with
+            | Isa.InvokePacked { outs; _ } ->
+                Array.iter
+                  (fun r ->
+                    if in_bounds r && st.(r) <> Unset && st.(r) <> Talloc then
+                      report pc
+                        "out register $%d is not backed by a prior tensor \
+                         allocation"
+                        r)
+                  outs
+            | Isa.AllocTensor { storage; _ } | Isa.AllocTensorReg { storage; _ }
+              ->
+                if
+                  in_bounds storage
+                  && (match st.(storage) with
+                     | Talloc | Adt _ -> true
+                     | _ -> false)
+                then
+                  report pc "storage operand $%d does not hold a storage" storage
+            | Isa.GetField { obj; index; _ } -> (
+                if in_bounds obj then
+                  match st.(obj) with
+                  | Adt n when index >= n ->
+                      report pc "field index %d out of bounds for a %d-field ADT"
+                        index n
+                  | _ -> ())
+            | _ -> ()))
+      code
+  end;
+  (* ---- entry guards must name real argument positions ---- *)
+  let gs = Exe.guards exe in
+  if fi < Array.length gs then
+    Array.iter
+      (fun (g : Exe.guard) ->
+        if g.Exe.g_arg < 0 || g.Exe.g_arg >= f.Exe.arity then
+          report (-1) "guard on %s names argument %d (arity %d)" g.Exe.g_name
+            g.Exe.g_arg f.Exe.arity)
+      gs.(fi);
+  List.rev !diags
+
+let verify (exe : Exe.t) : Diag.t list =
+  List.concat
+    (List.init (Array.length exe.Exe.funcs) (fun fi -> verify_func exe fi))
+
+let verify_exn exe =
+  match verify exe with [] -> () | diags -> raise (Verify_error diags)
+
+let of_bytes bytes =
+  let exe = Serialize.of_bytes bytes in
+  verify_exn exe;
+  exe
+
+let load_file path =
+  let ic = open_in_bin path in
+  let bytes =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_bytes bytes
+
+let to_failure (diags : Diag.t list) : Interp.failure =
+  match diags with
+  | [] -> Interp.internal_failure ~func:"?" "verifier reported no diagnostics"
+  | d :: rest ->
+      {
+        Interp.fail_kind = Interp.Internal;
+        fail_func = d.Diag.d_where;
+        fail_pc = d.Diag.d_pc;
+        fail_instr = "";
+        fail_msg =
+          (if rest = [] then Diag.to_string d
+           else Fmt.str "%a (+%d more)" Diag.pp d (List.length rest));
+        fail_transient = false;
+      }

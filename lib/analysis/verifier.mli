@@ -1,0 +1,59 @@
+(** Bytecode verifier: a classic dataflow verification pass over the VM's
+    20-instruction ISA, run on every compiler-emitted executable (when
+    [Nimble.options.verify_passes] is on) and on every deserialized one
+    (via {!of_bytes} / {!load_file}, the loading path [Serve.Cache] and
+    the CLI use).
+
+    Per function it proves, over the control-flow graph formed by the
+    [If]/[Goto] relative jumps:
+
+    - every register read is {e defined on every path} reaching the read
+      (must-analysis: the defined-register set at a join is the
+      intersection of the incoming sets; the first [arity] registers are
+      defined at entry);
+    - every jump target is in bounds and no path falls off the end of the
+      code — every path terminates in [Ret] or [Fatal];
+    - every embedded index is valid: [func_index] (with [Invoke] arity
+      agreement and [AllocClosure] capture counts), [packed_index],
+      constant-pool indices, [device_id]s against the device registry, and
+      [GetField] indices against the field count where the object's
+      allocation site is statically known;
+    - [InvokePacked] out-registers hold tensors defined by a prior
+      [AllocTensor]/[AllocTensorReg] on every path (the §4.3 invariant
+      that kernels write only into manifestly-allocated destinations), and
+      [AllocTensor] storage operands come from a prior [AllocStorage].
+
+    This subsumes the structural checks of [Nimble_vm.Exe.validate] with
+    path-sensitive ones; see [docs/ANALYSIS.md]. *)
+
+(** Raised by {!verify_exn} (and the loading wrappers) with the full list
+    of located violations — the typed rejection the loader surfaces
+    instead of letting a corrupt executable reach the interpreter. *)
+exception Verify_error of Diag.t list
+
+(** All violations in an executable, in (function, pc) order; [[]] means
+    the executable verifies. Runs on the platform-independent part only,
+    so it works on unlinked (freshly deserialized) executables. *)
+val verify : Nimble_vm.Exe.t -> Diag.t list
+
+(** @raise Verify_error when {!verify} finds any violation. *)
+val verify_exn : Nimble_vm.Exe.t -> unit
+
+(** [Nimble_vm.Serialize.of_bytes] followed by {!verify_exn}: the verified
+    load path. @raise Verify_error on a decodable-but-invalid executable;
+    [Nimble_vm.Serialize.Format_error] propagates for undecodable bytes. *)
+val of_bytes : string -> Nimble_vm.Exe.t
+
+(** {!of_bytes} over a file's contents.
+    @raise Verify_error as {!of_bytes}; I/O errors raise [Sys_error]. *)
+val load_file : string -> Nimble_vm.Exe.t
+
+(** Convert verifier violations into the typed VM failure channel
+    (an [Internal] failure located at the first diagnostic), for layers
+    that report load failures alongside execution failures. *)
+val to_failure : Diag.t list -> Nimble_vm.Interp.failure
+
+(** Number of opcodes the verifier's transfer function handles; pinned to
+    [Nimble_vm.Isa.num_opcodes] by [test/test_analysis.ml] so adding an
+    instruction without teaching the verifier about it fails the suite. *)
+val handled_opcodes : int

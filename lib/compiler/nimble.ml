@@ -23,6 +23,9 @@ type options = {
   runtime_guards : bool;
       (** emit gradual-typing entry guards: the §4.1 residual checks on
           entry-function tensor parameters, enforced by the VM *)
+  verify_passes : bool;
+      (** run the dialect lints after each lowering pass and the bytecode
+          verifier on the emitted executable (see [docs/ANALYSIS.md]) *)
 }
 
 let default_options =
@@ -34,6 +37,7 @@ let default_options =
     dense_dispatch = Some 8;
     profile_extern = false;
     runtime_guards = true;
+    verify_passes = true;
   }
 
 (** One pipeline stage's contribution to the compile report: wall time and
@@ -44,6 +48,14 @@ type pass_stat = {
   pass_seconds : float;
   nodes_before : int;
   nodes_after : int;
+}
+
+(** One verification check's contribution: which check ran, its wall time
+    and how many violations it reported (zero on a healthy pipeline). *)
+type verify_stat = {
+  verify_name : string;
+  verify_seconds : float;
+  violations : int;
 }
 
 type report = {
@@ -57,6 +69,8 @@ type report = {
   device_copies : int;
   instructions : int;
   passes : pass_stat list;  (** per-pass timings and deltas, pipeline order *)
+  verify : verify_stat list;  (** per-check verification stats, run order *)
+  verify_diags : Nimble_analysis.Diag.t list;  (** the violations themselves *)
 }
 
 (** Total expression nodes across a module's functions — the "IR size" the
@@ -74,6 +88,24 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
     passes :=
       { pass_name = name; pass_seconds = seconds; nodes_before = before; nodes_after = after }
       :: !passes
+  in
+  let verify_stats = ref [] in
+  let verify_diags = ref [] in
+  (* run one dialect lint (when verification is on), timing it and folding
+     its violations into the report *)
+  let lint name check m =
+    if options.verify_passes then begin
+      let t0 = Unix.gettimeofday () in
+      let ds = check m in
+      verify_stats :=
+        {
+          verify_name = name;
+          verify_seconds = Unix.gettimeofday () -. t0;
+          violations = List.length ds;
+        }
+        :: !verify_stats;
+      verify_diags := !verify_diags @ ds
+    end
   in
   (* time a transform returning a new module *)
   let timed name f m =
@@ -106,6 +138,7 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
       m
   in
   let m = timed "fusion" (Fusion.run ~merge:options.fuse) m in
+  lint "fusion" Nimble_analysis.Lint.fusion m;
   let primitives =
     List.fold_left
       (fun acc (_, (fn : Nimble_ir.Expr.fn)) ->
@@ -113,13 +146,21 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
       0 (Irmod.functions m)
   in
   let m = timed "manifest_alloc" (Manifest_alloc.run ~device:options.target_device) m in
+  lint "memory" (Nimble_analysis.Lint.memory ~planned:false) m;
   let dp_stats =
-    if options.device_placement then
-      timed_stats "device_place" (fun m -> Device_place.run m) m
+    if options.device_placement then begin
+      let s = timed_stats "device_place" (fun m -> Device_place.run m) m in
+      lint "device" (Nimble_analysis.Lint.device ~shape_func_device:0) m;
+      s
+    end
     else { Device_place.copies_inserted = 0 }
   in
   let mp_stats =
-    if options.memory_plan then timed_stats "memory_plan" Memory_plan.run m
+    if options.memory_plan then begin
+      let s = timed_stats "memory_plan" Memory_plan.run m in
+      lint "memory_planned" (Nimble_analysis.Lint.memory ~planned:true) m;
+      s
+    end
     else Memory_plan.fresh_stats ()
   in
   let m = timed "dce" Dce.run m in
@@ -135,6 +176,8 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
       device_copies = dp_stats.Device_place.copies_inserted;
       instructions = 0;
       passes = List.rev !passes;
+      verify = List.rev !verify_stats;
+      verify_diags = !verify_diags;
     } )
 
 (** Compile a module to a linked VM executable. *)
@@ -150,6 +193,26 @@ let compile_with_report ?(options = default_options) (m : Irmod.t) :
           guards = options.runtime_guards;
         }
       m
+  in
+  let report =
+    if options.verify_passes then begin
+      let t0 = Unix.gettimeofday () in
+      let ds = Nimble_analysis.Verifier.verify exe in
+      {
+        report with
+        verify =
+          report.verify
+          @ [
+              {
+                verify_name = "bytecode";
+                verify_seconds = Unix.gettimeofday () -. t0;
+                violations = List.length ds;
+              };
+            ];
+        verify_diags = report.verify_diags @ ds;
+      }
+    end
+    else report
   in
   (exe, { report with instructions = Nimble_vm.Exe.instruction_count exe })
 
@@ -177,10 +240,11 @@ let compile_static (m : Irmod.t) : Static_exec.t =
 let pp_report ppf (r : report) =
   Fmt.pf ppf
     "residual_checks=%d primitives=%d storages=%d->%d arena=%dB (vs %dB) kills=%d \
-     copies=%d instrs=%d"
+     copies=%d instrs=%d violations=%d"
     r.residual_checks r.primitives r.storages_before_planning
     r.storages_after_planning r.arena_bytes r.unplanned_bytes r.kills_inserted
     r.device_copies r.instructions
+    (List.length r.verify_diags)
 
 let pp_passes ppf (r : report) =
   Fmt.pf ppf "%-14s %9s %8s %8s@." "pass" "ms" "nodes" "delta";
@@ -217,4 +281,15 @@ let report_to_json (r : report) : Nimble_vm.Json.t =
                    ("nodes_after", Int p.nodes_after);
                  ])
              r.passes) );
+      ( "verify",
+        List
+          (List.map
+             (fun v ->
+               Obj
+                 [
+                   ("name", String v.verify_name);
+                   ("seconds", Float v.verify_seconds);
+                   ("violations", Int v.violations);
+                 ])
+             r.verify) );
     ]

@@ -24,6 +24,12 @@ type options = {
           entry functions' tensor parameters — concrete dims, identical-Any
           equalities, dtypes — enforced by the VM at the API boundary and
           surfaced as [Shape_guard] failures (see [docs/ROBUSTNESS.md]) *)
+  verify_passes : bool;
+      (** run the [Nimble_analysis] dialect lints after each lowering pass
+          (fusion policy, memory dialect, device placement) and the
+          bytecode verifier on the emitted executable; violations land in
+          {!report.verify} / {!report.verify_diags}. On by default; see
+          [docs/ANALYSIS.md] *)
 }
 
 val default_options : options
@@ -40,6 +46,16 @@ type pass_stat = {
   nodes_after : int;
 }
 
+(** One verification check's contribution to the report: the check name
+    (["fusion"], ["memory"], ["device"], ["memory_planned"], ["bytecode"]),
+    its wall time, and how many violations it found — zero everywhere on a
+    healthy pipeline. *)
+type verify_stat = {
+  verify_name : string;
+  verify_seconds : float;
+  violations : int;
+}
+
 (** Per-compile statistics surfaced for tests, benches and the CLI. *)
 type report = {
   residual_checks : int;  (** runtime type checks deferred by gradual typing *)
@@ -52,6 +68,11 @@ type report = {
   device_copies : int;
   instructions : int;  (** emitted bytecode size *)
   passes : pass_stat list;  (** per-pass timings and deltas, pipeline order *)
+  verify : verify_stat list;
+      (** per-check verification stats in run order; empty when
+          [verify_passes] is off *)
+  verify_diags : Nimble_analysis.Diag.t list;
+      (** every violation the checks found, for diagnostics printing *)
 }
 
 (** Total expression nodes across the module's functions — the "IR size"
@@ -88,6 +109,7 @@ val pp_passes : Format.formatter -> report -> unit
 
 (** The compile report as [nimble-compile/v1] JSON: the scalar fields of
     {!report} plus a [passes] array of
-    [{name, seconds, nodes_before, nodes_after}] objects. See
+    [{name, seconds, nodes_before, nodes_after}] objects and a [verify]
+    array of [{name, seconds, violations}] objects. See
     [docs/OBSERVABILITY.md]. *)
 val report_to_json : report -> Nimble_vm.Json.t

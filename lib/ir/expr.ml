@@ -73,6 +73,13 @@ let rec iter f e =
   f e;
   List.iter (iter f) (children e)
 
+(** Whether variable [vid] occurs as a use anywhere in [e] (including
+    nested functions and branches). *)
+let uses_var vid e =
+  let found = ref false in
+  iter (function Var v when v.vid = vid -> found := true | _ -> ()) e;
+  !found
+
 (** Rebuild an expression, applying [f] bottom-up to every node. *)
 let rec map_bottom_up f e =
   let recur = map_bottom_up f in

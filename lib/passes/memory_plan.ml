@@ -53,10 +53,7 @@ type static_alloc = {
   mutable offset : int;
 }
 
-let uses_var vid e =
-  let found = ref false in
-  Expr.iter (function Expr.Var v when v.Expr.vid = vid -> found := true | _ -> ()) e;
-  !found
+let uses_var = Expr.uses_var
 
 module Int_set = Set.Make (Int)
 

@@ -18,6 +18,11 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+(** Aligned byte size of a storage holding [shape] elements of the
+    [dtype]/[alignment] named in [attrs] (defaults: f32, 64) — the sizing
+    rule both the planner and the memory lint use. *)
+val storage_size_bytes : attrs:Attrs.t -> int array -> int
+
 (** Plan one expression (exposed for tests); branches are planned
     recursively as separate regions. *)
 val plan_expr : stats -> Expr.t -> Expr.t

@@ -29,12 +29,14 @@ let locked t f =
   Mutex.lock t.mux;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
 
-(** Decode with a bounded retry of {e transient} injected faults: the
-    ["deserialize"] fault point models a flaky artifact read (a torn NFS
-    page, a racing writer), which a loader should retry a few times
-    before giving up. Persistent faults propagate immediately. *)
+(** Decode-and-verify with a bounded retry of {e transient} injected
+    faults: the ["deserialize"] fault point models a flaky artifact read
+    (a torn NFS page, a racing writer), which a loader should retry a few
+    times before giving up. Persistent faults propagate immediately, as
+    does [Nimble_analysis.Verifier.Verify_error] — a decodable executable
+    that fails bytecode verification is corrupt, not flaky. *)
 let rec of_bytes_retrying ?(attempt = 0) bytes =
-  try Nimble_vm.Serialize.of_bytes bytes with
+  try Nimble_analysis.Verifier.of_bytes bytes with
   | Nimble_fault.Fault.Injected { mode = Nimble_fault.Fault.Transient; _ }
     when attempt < 3 ->
       of_bytes_retrying ~attempt:(attempt + 1) bytes

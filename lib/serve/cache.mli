@@ -8,10 +8,13 @@ type t
 val create : unit -> t
 
 (** The linked executable for [name]; [build] is compiled and
-    round-tripped on the first request only. Transient injected faults
-    at the ["deserialize"] point are retried a bounded number of times
-    (a loader should survive a flaky artifact read); persistent ones
-    propagate.
+    round-tripped on the first request only. The decoded executable is
+    bytecode-verified before linking
+    ([Nimble_analysis.Verifier.of_bytes]), so a corrupt artifact raises
+    [Nimble_analysis.Verifier.Verify_error] here instead of reaching a
+    worker VM. Transient injected faults at the ["deserialize"] point
+    are retried a bounded number of times (a loader should survive a
+    flaky artifact read); persistent ones propagate.
     @param options compiler options for the cold build; ignored on warm
     hits. *)
 val load :

@@ -1,0 +1,616 @@
+(* Static-analysis tests: the opcode-exhaustiveness pin, the bytecode
+   verifier (positive: every compiler-emitted executable is clean; negative:
+   seeded mutations are rejected with located diagnostics), the IR-dialect
+   lints on hand-built violating modules, and byte-flip/truncation fuzz over
+   the serialized format (outcome is always clean / Format_error /
+   Verify_error, never a crash). *)
+
+open Nimble_tensor
+open Nimble_ir
+open Nimble_vm
+module Nimble = Nimble_compiler.Nimble
+module Diag = Nimble_analysis.Diag
+module Verifier = Nimble_analysis.Verifier
+module Lint = Nimble_analysis.Lint
+
+(* ------------------------------------------------------------------ *)
+(* Opcode-exhaustiveness pin                                           *)
+(* ------------------------------------------------------------------ *)
+
+type reg = int
+
+(* This re-declaration is checked for equality against [Isa.t] by the
+   compiler: adding, removing or changing a constructor of the VM ISA makes
+   this file fail to build, forcing whoever extends the ISA to extend the
+   verifier ([Verifier.handled_opcodes] below pins the count at runtime
+   too). *)
+type pin = Isa.t =
+  | Move of { src : reg; dst : reg }
+  | Ret of { result : reg }
+  | Invoke of { func_index : int; args : reg array; dst : reg }
+  | InvokeClosure of { closure : reg; args : reg array; dst : reg }
+  | InvokePacked of {
+      packed_index : int;
+      args : reg array;
+      outs : reg array;
+      upper_bound : bool;
+    }
+  | AllocStorage of {
+      size : reg;
+      alignment : int;
+      dtype : Dtype.t;
+      device_id : int;
+      arena : bool;
+      dst : reg;
+    }
+  | AllocTensor of {
+      storage : reg;
+      offset : int;
+      shape : int array;
+      dtype : Dtype.t;
+      dst : reg;
+    }
+  | AllocTensorReg of {
+      storage : reg;
+      offset : int;
+      shape : reg;
+      dtype : Dtype.t;
+      dst : reg;
+    }
+  | AllocADT of { tag : int; fields : reg array; dst : reg }
+  | AllocClosure of { func_index : int; captured : reg array; dst : reg }
+  | GetField of { obj : reg; index : int; dst : reg }
+  | GetTag of { obj : reg; dst : reg }
+  | If of { test : reg; target : reg; true_offset : int; false_offset : int }
+  | Goto of int
+  | LoadConst of { index : int; dst : reg }
+  | LoadConsti of { value : int64; dst : reg }
+  | DeviceCopy of { src : reg; dst_device_id : int; dst : reg }
+  | ShapeOf of { tensor : reg; dst : reg }
+  | ReshapeTensor of { tensor : reg; shape : reg; dst : reg }
+  | Fatal of string
+
+let _pin_is_isa (i : pin) : Isa.t = i
+
+let test_opcode_pin () =
+  Alcotest.(check int)
+    "verifier handles every opcode" Isa.num_opcodes Verifier.handled_opcodes
+
+(* A hand-assembled two-function executable that uses all 20 instructions
+   and satisfies every verifier rule. *)
+let all_opcode_exe () =
+  let helper =
+    { Exe.name = "helper"; arity = 1; register_count = 1; code = [| Isa.Ret { result = 0 } |] }
+  in
+  let code =
+    [|
+      Isa.LoadConsti { value = 1L; dst = 1 };
+      Isa.Move { src = 0; dst = 2 };
+      Isa.LoadConst { index = 0; dst = 3 };
+      Isa.AllocStorage
+        { size = 3; alignment = 64; dtype = Dtype.F32; device_id = 0; arena = false; dst = 4 };
+      Isa.AllocTensor { storage = 4; offset = 0; shape = [| 1 |]; dtype = Dtype.F32; dst = 5 };
+      Isa.AllocTensorReg { storage = 4; offset = 0; shape = 3; dtype = Dtype.F32; dst = 6 };
+      Isa.InvokePacked { packed_index = 0; args = [| 0 |]; outs = [| 5 |]; upper_bound = false };
+      Isa.AllocADT { tag = 0; fields = [| 1; 2 |]; dst = 7 };
+      Isa.GetTag { obj = 7; dst = 8 };
+      Isa.GetField { obj = 7; index = 1; dst = 9 };
+      Isa.AllocClosure { func_index = 0; captured = [||]; dst = 10 };
+      Isa.InvokeClosure { closure = 10; args = [| 2 |]; dst = 11 };
+      Isa.Invoke { func_index = 0; args = [| 2 |]; dst = 12 };
+      Isa.DeviceCopy { src = 5; dst_device_id = 1; dst = 13 };
+      Isa.ShapeOf { tensor = 5; dst = 14 };
+      Isa.ReshapeTensor { tensor = 5; shape = 14; dst = 15 };
+      Isa.If { test = 1; target = 1; true_offset = 1; false_offset = 2 };
+      Isa.Goto 2;
+      Isa.Fatal "dispatch failure";
+      Isa.Ret { result = 12 };
+    |]
+  in
+  let main = { Exe.name = "main"; arity = 1; register_count = 16; code } in
+  Exe.create ~funcs:[| helper; main |]
+    ~constants:[| Tensor.ones [| 1 |] |]
+    ~packed_names:[| ("k", `Kernel) |]
+
+let test_all_opcodes_verify () =
+  let exe = all_opcode_exe () in
+  let opcodes =
+    Array.to_list exe.Exe.funcs.(1).Exe.code
+    |> List.map Isa.opcode |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check int) "sample covers every opcode" Isa.num_opcodes opcodes;
+  Alcotest.(check (list string)) "verifier accepts" []
+    (List.map Diag.to_string (Verifier.verify exe));
+  (* ... and still accepts after a serialization round trip *)
+  let back = Verifier.of_bytes (Serialize.to_bytes exe) in
+  Alcotest.(check int) "instructions preserved"
+    (Exe.instruction_count exe) (Exe.instruction_count back)
+
+(* ------------------------------------------------------------------ *)
+(* Negative cases: seeded bytecode mutations                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_exe ?(arity = 1) ?(nregs = 8) ?(constants = [||]) ?(packed = [||]) code =
+  Exe.create
+    ~funcs:[| { Exe.name = "f"; arity; register_count = nregs; code } |]
+    ~constants ~packed_names:packed
+
+(* The serializer happily round-trips these (it checks format, not
+   semantics), so each must be caught by the verifier at load time with a
+   diagnostic locating function "f" at the seeded pc. *)
+let expect_reject name ~pc exe =
+  let bytes = Serialize.to_bytes exe in
+  (* the decoder itself must accept: these are semantic, not format, bugs *)
+  ignore (Serialize.of_bytes bytes);
+  match Verifier.of_bytes bytes with
+  | _ -> Alcotest.failf "%s: verifier accepted a corrupt executable" name
+  | exception Verifier.Verify_error ds ->
+      Alcotest.(check bool)
+        (name ^ ": diagnostic located at f@" ^ string_of_int pc)
+        true
+        (List.exists (fun d -> d.Diag.d_where = "f" && d.Diag.d_pc = pc) ds)
+
+let test_rejects_use_before_def () =
+  expect_reject "use before def" ~pc:0
+    (mk_exe ~arity:0 ~nregs:4 [| Isa.Move { src = 3; dst = 0 }; Isa.Ret { result = 0 } |])
+
+let test_rejects_register_out_of_bounds () =
+  expect_reject "register out of bounds" ~pc:0
+    (mk_exe ~nregs:4 [| Isa.Ret { result = 9 } |])
+
+let test_rejects_jump_out_of_bounds () =
+  expect_reject "jump out of bounds" ~pc:0
+    (mk_exe [| Isa.Goto 5; Isa.Ret { result = 0 } |])
+
+let test_rejects_bad_constant_index () =
+  expect_reject "constant index" ~pc:0
+    (mk_exe [| Isa.LoadConst { index = 3; dst = 1 }; Isa.Ret { result = 1 } |])
+
+let test_rejects_bad_device_id () =
+  expect_reject "device id" ~pc:0
+    (mk_exe
+       [|
+         Isa.AllocStorage
+           { size = 0; alignment = 64; dtype = Dtype.F32; device_id = 7; arena = false; dst = 1 };
+         Isa.Ret { result = 1 };
+       |])
+
+let test_rejects_bad_packed_index () =
+  expect_reject "packed index" ~pc:0
+    (mk_exe
+       [|
+         Isa.InvokePacked { packed_index = 2; args = [| 0 |]; outs = [| 0 |]; upper_bound = false };
+         Isa.Ret { result = 0 };
+       |])
+
+let test_rejects_unallocated_out_register () =
+  expect_reject "kernel out not alloc-backed" ~pc:0
+    (mk_exe
+       ~packed:[| ("k", `Kernel) |]
+       [|
+         Isa.InvokePacked { packed_index = 0; args = [| 0 |]; outs = [| 0 |]; upper_bound = false };
+         Isa.Ret { result = 0 };
+       |])
+
+let test_rejects_fallthrough () =
+  expect_reject "fallthrough" ~pc:0 (mk_exe [| Isa.Move { src = 0; dst = 1 } |])
+
+let test_rejects_def_not_on_all_paths () =
+  (* r2 is defined on the true path only; the join at the Ret is Unset *)
+  expect_reject "def on one path only" ~pc:2
+    (mk_exe ~nregs:4
+       [|
+         Isa.If { test = 0; target = 0; true_offset = 1; false_offset = 2 };
+         Isa.LoadConsti { value = 5L; dst = 2 };
+         Isa.Ret { result = 2 };
+       |])
+
+let test_rejects_getfield_out_of_arity () =
+  expect_reject "field index vs ADT arity" ~pc:1
+    (mk_exe ~nregs:4
+       [|
+         Isa.AllocADT { tag = 0; fields = [| 0; 0 |]; dst = 1 };
+         Isa.GetField { obj = 1; index = 5; dst = 2 };
+         Isa.Ret { result = 2 };
+       |])
+
+let test_rejects_tensor_as_storage () =
+  expect_reject "tensor used as storage" ~pc:1
+    (mk_exe ~nregs:4
+       [|
+         Isa.AllocADT { tag = 0; fields = [||]; dst = 1 };
+         Isa.AllocTensor { storage = 1; offset = 0; shape = [| 1 |]; dtype = Dtype.F32; dst = 2 };
+         Isa.Ret { result = 2 };
+       |])
+
+let test_rejects_empty_function () =
+  expect_reject "empty function" ~pc:(-1) (mk_exe [||])
+
+let test_rejects_bad_guard_argument () =
+  (* guards are attached post-assembly, so verify directly *)
+  let exe = mk_exe [| Isa.Ret { result = 0 } |] in
+  Exe.set_guards exe
+    [| [| { Exe.g_arg = 3; g_name = "x"; g_dims = [||]; g_dtype = None } |] |];
+  match Verifier.verify exe with
+  | [] -> Alcotest.fail "guard on argument 3 of an arity-1 function accepted"
+  | d :: _ ->
+      Alcotest.(check string) "located in f" "f" d.Diag.d_where;
+      Alcotest.(check int) "no pc (entry guard)" (-1) d.Diag.d_pc
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline invariant: everything the compiler emits verifies clean    *)
+(* ------------------------------------------------------------------ *)
+
+let example_modules () : (string * Irmod.t) list =
+  (* the same three modules the CLI's `lint all` covers (examples/) *)
+  let rng = Rng.create ~seed:42 in
+  let quickstart =
+    let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 16 ]) "x" in
+    let w = Tensor.randn ~scale:0.2 rng [| 8; 16 |] in
+    let b = Tensor.randn ~scale:0.2 rng [| 8 |] in
+    Irmod.of_main
+      (Expr.fn_def [ x ]
+         (Expr.op_call "tanh"
+            [
+              Expr.op_call "bias_add"
+                [ Expr.op_call "dense" [ Expr.Var x; Expr.Const w ]; Expr.Const b ];
+            ]))
+  in
+  let detection =
+    let boxes = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 5 ]) "boxes" in
+    let kept = Expr.fresh_var "kept" in
+    let scores = Expr.fresh_var "scores" in
+    Irmod.of_main
+      (Expr.fn_def [ boxes ]
+         (Expr.Let
+            ( kept,
+              Expr.op_call ~attrs:[ ("iou", Attrs.Float 0.45) ] "nms" [ Expr.Var boxes ],
+              Expr.Let
+                ( scores,
+                  Expr.op_call
+                    ~attrs:[ ("begins", Attrs.Ints [ 0; 0 ]); ("ends", Attrs.Ints [ 1000000; 1 ]) ]
+                    "strided_slice" [ Expr.Var kept ],
+                  Expr.op_call "sqrt" [ Expr.Var scores ] ) )))
+  in
+  let arange =
+    let s = Expr.fresh_var ~ty:(Ty.scalar ()) "stop" in
+    Irmod.of_main
+      (Expr.fn_def [ s ]
+         (Expr.op_call "arange"
+            [ Expr.const_scalar 0.0; Expr.Var s; Expr.const_scalar 1.0 ]))
+  in
+  [ ("ex:quickstart", quickstart); ("ex:detection", detection); ("ex:arange", arange) ]
+
+let zoo_modules () : (string * Irmod.t) list =
+  let open Nimble_models in
+  [
+    ("lstm", Lstm.ir_module (Lstm.init_weights Lstm.small_config));
+    ("gru", Gru.ir_module (Gru.init_weights Gru.small_config));
+    ("treelstm", Tree_lstm.ir_module (Tree_lstm.init_weights Tree_lstm.small_config));
+    ("bert", Bert.ir_module (Bert.init_weights Bert.small_config));
+    ("decoder", Decoder.ir_module (Decoder.init_weights Decoder.default_config));
+    ("seq2seq", Seq2seq.ir_module (Seq2seq.init_weights Seq2seq.default_config));
+  ]
+  @ List.map (fun (n, build) -> (n, build ())) Vision.all
+
+let assert_clean name options m =
+  let exe, report = Nimble.compile_with_report ~options m in
+  Alcotest.(check bool)
+    (name ^ ": verify stats recorded") true
+    (List.exists (fun s -> s.Nimble.verify_name = "bytecode") report.Nimble.verify);
+  List.iter
+    (fun (s : Nimble.verify_stat) ->
+      Alcotest.(check int)
+        (Fmt.str "%s: %s violations" name s.Nimble.verify_name)
+        0 s.Nimble.violations)
+    report.Nimble.verify;
+  Alcotest.(check (list string))
+    (name ^ ": no diagnostics") []
+    (List.map Diag.to_string report.Nimble.verify_diags);
+  Alcotest.(check (list string))
+    (name ^ ": emitted executable re-verifies") []
+    (List.map Diag.to_string (Verifier.verify exe))
+
+let test_pipeline_clean_zoo () =
+  List.iter (fun (n, m) -> assert_clean n Nimble.default_options m) (zoo_modules ())
+
+let test_pipeline_clean_examples () =
+  List.iter
+    (fun (n, m) -> assert_clean n Nimble.default_options m)
+    (example_modules ())
+
+let test_pipeline_clean_gpu () =
+  (* heterogeneous placement inserts device copies; the device lint and the
+     bytecode verifier must accept the result too *)
+  List.iter
+    (fun (n, m) ->
+      assert_clean (n ^ "@gpu") { Nimble.default_options with Nimble.target_device = 1 } m)
+    [
+      ( "lstm",
+        Nimble_models.Lstm.ir_module
+          (Nimble_models.Lstm.init_weights Nimble_models.Lstm.small_config) );
+    ]
+
+let test_verify_passes_off () =
+  let _, report =
+    Nimble.compile_with_report
+      ~options:{ Nimble.default_options with Nimble.verify_passes = false }
+      (snd (List.hd (example_modules ())))
+  in
+  Alcotest.(check int) "no verify stats when disabled" 0
+    (List.length report.Nimble.verify)
+
+(* ------------------------------------------------------------------ *)
+(* IR-dialect lints on hand-built violating modules                    *)
+(* ------------------------------------------------------------------ *)
+
+let dv = Expr.fresh_var
+
+let contains_diag ~check ~substr diags =
+  List.exists
+    (fun d ->
+      d.Diag.d_check = check
+      &&
+      let s = Diag.to_string d in
+      let n = String.length substr in
+      let found = ref false in
+      for i = 0 to String.length s - n do
+        if String.sub s i n = substr then found := true
+      done;
+      !found)
+    diags
+
+let check_lint name diags ~check ~substr =
+  if not (contains_diag ~check ~substr diags) then
+    Alcotest.failf "%s: expected a %S diagnostic mentioning %S, got [%s]" name
+      check substr
+      (String.concat "; " (List.map Diag.to_string diags))
+
+let test_lint_use_after_kill () =
+  let s = dv "s" and t = dv "t" and k = dv "k" and u = dv "u" in
+  let body =
+    Expr.lets
+      [
+        (s, Expr.op_call "memory.alloc_storage" [ Expr.const_int 4 ]);
+        (t, Expr.op_call "memory.alloc_tensor" [ Expr.Var s; Expr.const_int 4 ]);
+        (k, Expr.op_call "memory.kill" [ Expr.Var t ]);
+        (u, Expr.Var t);
+      ]
+      (Expr.Var u)
+  in
+  let m = Irmod.of_main (Expr.fn_def [] body) in
+  check_lint "use after kill" (Lint.memory m) ~check:"memory"
+    ~substr:"after memory.kill"
+
+let test_lint_double_kill () =
+  let s = dv "s" and t = dv "t" and k1 = dv "k1" and k2 = dv "k2" in
+  let body =
+    Expr.lets
+      [
+        (s, Expr.op_call "memory.alloc_storage" [ Expr.const_int 4 ]);
+        (t, Expr.op_call "memory.alloc_tensor" [ Expr.Var s; Expr.const_int 4 ]);
+        (k1, Expr.op_call "memory.kill" [ Expr.Var t ]);
+        (k2, Expr.op_call "memory.kill" [ Expr.Var t ]);
+      ]
+      (Expr.const_int 0)
+  in
+  let m = Irmod.of_main (Expr.fn_def [] body) in
+  check_lint "double kill" (Lint.memory m) ~check:"memory"
+    ~substr:"double memory.kill"
+
+let test_lint_tensor_as_storage () =
+  let s = dv "s" and t = dv "t" and t2 = dv "t2" in
+  let body =
+    Expr.lets
+      [
+        (s, Expr.op_call "memory.alloc_storage" [ Expr.const_int 4 ]);
+        (t, Expr.op_call "memory.alloc_tensor" [ Expr.Var s; Expr.const_int 4 ]);
+        (t2, Expr.op_call "memory.alloc_tensor" [ Expr.Var t; Expr.const_int 4 ]);
+      ]
+      (Expr.Var t2)
+  in
+  let m = Irmod.of_main (Expr.fn_def [] body) in
+  check_lint "tensor as storage" (Lint.memory m) ~check:"memory"
+    ~substr:"not a memory.alloc_storage result"
+
+let test_lint_unallocated_destination () =
+  let x = dv "x" and y = dv "y" and u = dv "u" in
+  let body =
+    Expr.lets
+      [
+        ( u,
+          Expr.op_call
+            ~attrs:[ ("num_inputs", Attrs.Int 1) ]
+            "memory.invoke_mut"
+            [ Expr.Op "k"; Expr.Var x; Expr.Var y ] );
+      ]
+      (Expr.Var y)
+  in
+  let m = Irmod.of_main (Expr.fn_def [ x; y ] body) in
+  check_lint "unallocated destination" (Lint.memory m) ~check:"memory"
+    ~substr:"not a manifestly allocated tensor"
+
+let test_lint_leak () =
+  let s = dv "s" and t = dv "t" in
+  let bindings =
+    [
+      (s, Expr.op_call "memory.alloc_storage" [ Expr.const_int 4 ]);
+      (t, Expr.op_call "memory.alloc_tensor" [ Expr.Var s; Expr.const_int 4 ]);
+    ]
+  in
+  let m = Irmod.of_main (Expr.fn_def [] (Expr.lets bindings (Expr.const_int 0))) in
+  (* the leak rule is part of the planner's contract: only checked planned *)
+  Alcotest.(check (list string)) "unplanned: no leak rule" []
+    (List.map Diag.to_string (Lint.memory ~planned:false m));
+  check_lint "leak" (Lint.memory ~planned:true m) ~check:"memory" ~substr:"leak"
+
+let test_lint_arena_overlap () =
+  let a = dv "a" and t1 = dv "t1" and t2 = dv "t2" and u = dv "u" in
+  let alloc v off =
+    ( v,
+      Expr.op_call
+        ~attrs:[ ("offset", Attrs.Int off); ("const_shape", Attrs.Ints [ 4 ]) ]
+        "memory.alloc_tensor"
+        [ Expr.Var a; Expr.const_int 4 ] )
+  in
+  let body off2 =
+    Expr.lets
+      [
+        ( a,
+          Expr.op_call
+            ~attrs:[ ("arena", Attrs.Bool true) ]
+            "memory.alloc_storage" [ Expr.const_int 32 ] );
+        alloc t1 0;
+        alloc t2 off2;
+        ( u,
+          Expr.op_call
+            ~attrs:[ ("num_inputs", Attrs.Int 0) ]
+            "memory.invoke_mut"
+            [ Expr.Op "k"; Expr.Var t1; Expr.Var t2 ] );
+      ]
+      (Expr.Var u)
+  in
+  let overlapping = Irmod.of_main (Expr.fn_def [] (body 0)) in
+  check_lint "arena overlap" (Lint.memory ~planned:true overlapping)
+    ~check:"memory" ~substr:"overlap";
+  (* disjoint offsets for the same live ranges are fine *)
+  let disjoint = Irmod.of_main (Expr.fn_def [] (body 4096)) in
+  Alcotest.(check (list string)) "disjoint offsets accepted" []
+    (List.map Diag.to_string (Lint.memory ~planned:true disjoint))
+
+let test_lint_device_conflict () =
+  let x = dv "x" and s = dv "s" and t = dv "t" and u = dv "u" in
+  let body =
+    Expr.lets
+      [
+        ( s,
+          Expr.op_call
+            ~attrs:[ ("device", Attrs.Int 1) ]
+            "memory.alloc_storage" [ Expr.const_int 4 ] );
+        (t, Expr.op_call "memory.alloc_tensor" [ Expr.Var s; Expr.const_int 4 ]);
+        ( u,
+          Expr.op_call
+            ~attrs:[ ("device", Attrs.Int 0); ("num_inputs", Attrs.Int 1) ]
+            "memory.invoke_mut"
+            [ Expr.Op "k"; Expr.Var t; Expr.Var t ] );
+      ]
+      (Expr.Var u)
+  in
+  let m = Irmod.of_main (Expr.fn_def [ x ] body) in
+  check_lint "device conflict" (Lint.device m) ~check:"device"
+    ~substr:"without a device_copy"
+
+let test_lint_fusion_policy () =
+  (* a fused group containing nms (upper-bound shape function) violates the
+     §4.2 policy: only data-independent ops may be fused *)
+  let p = dv "p" in
+  let prim =
+    Expr.fn_def
+      ~attrs:
+        [
+          ("Primitive", Attrs.Int 1);
+          ("name", Attrs.Str "bad_fused");
+          ("ops", Attrs.Str "relu,nms");
+        ]
+      [ p ] (Expr.Var p)
+  in
+  let x = dv "x" in
+  let m = Irmod.of_main (Expr.fn_def [ x ] (Expr.call (Expr.Fn prim) [ Expr.Var x ])) in
+  check_lint "fusion policy" (Lint.fusion m) ~check:"fusion"
+    ~substr:"not data-independent"
+
+(* ------------------------------------------------------------------ *)
+(* Byte-flip / truncation fuzz over the serialized format              *)
+(* ------------------------------------------------------------------ *)
+
+let classify bytes =
+  match Verifier.of_bytes bytes with
+  | _ -> `Clean
+  | exception Serialize.Format_error _ -> `Rejected
+  | exception Verifier.Verify_error _ -> `Rejected
+  | exception e ->
+      Alcotest.failf "loader crashed instead of rejecting: %s"
+        (Printexc.to_string e)
+
+let test_byte_flips_never_crash () =
+  let exe = Nimble.compile (snd (List.hd (example_modules ()))) in
+  let bytes = Serialize.to_bytes exe in
+  let len = String.length bytes in
+  let rejected = ref 0 in
+  for i = 0 to 199 do
+    let pos = i * 131 mod min len 4096 in
+    let b = Bytes.of_string bytes in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (i mod 8))));
+    match classify (Bytes.to_string b) with
+    | `Rejected -> incr rejected
+    | `Clean -> () (* flips in constant payloads decode fine *)
+  done;
+  Alcotest.(check bool) "some flips detected" true (!rejected > 0)
+
+let test_truncations_never_crash () =
+  let exe = Nimble.compile (snd (List.hd (example_modules ()))) in
+  let bytes = Serialize.to_bytes exe in
+  let len = String.length bytes in
+  for k = 0 to 40 do
+    match classify (String.sub bytes 0 (k * len / 41)) with
+    | `Rejected | `Clean -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let test_to_failure () =
+  let d = Diag.v ~check:"bytecode" ~where_:"main" ~pc:7 "boom" in
+  let f = Verifier.to_failure [ d; d ] in
+  Alcotest.(check string) "function" "main" f.Interp.fail_func;
+  Alcotest.(check int) "pc" 7 f.Interp.fail_pc
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "pin",
+        [
+          Alcotest.test_case "opcode count" `Quick test_opcode_pin;
+          Alcotest.test_case "all opcodes verify + roundtrip" `Quick
+            test_all_opcodes_verify;
+        ] );
+      ( "verifier-rejects",
+        [
+          Alcotest.test_case "use before def" `Quick test_rejects_use_before_def;
+          Alcotest.test_case "register bounds" `Quick test_rejects_register_out_of_bounds;
+          Alcotest.test_case "jump bounds" `Quick test_rejects_jump_out_of_bounds;
+          Alcotest.test_case "constant index" `Quick test_rejects_bad_constant_index;
+          Alcotest.test_case "device id" `Quick test_rejects_bad_device_id;
+          Alcotest.test_case "packed index" `Quick test_rejects_bad_packed_index;
+          Alcotest.test_case "unallocated out" `Quick test_rejects_unallocated_out_register;
+          Alcotest.test_case "fallthrough" `Quick test_rejects_fallthrough;
+          Alcotest.test_case "def on one path" `Quick test_rejects_def_not_on_all_paths;
+          Alcotest.test_case "getfield arity" `Quick test_rejects_getfield_out_of_arity;
+          Alcotest.test_case "tensor as storage" `Quick test_rejects_tensor_as_storage;
+          Alcotest.test_case "empty function" `Quick test_rejects_empty_function;
+          Alcotest.test_case "guard argument" `Quick test_rejects_bad_guard_argument;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "zoo models verify clean" `Quick test_pipeline_clean_zoo;
+          Alcotest.test_case "examples verify clean" `Quick test_pipeline_clean_examples;
+          Alcotest.test_case "gpu placement verifies clean" `Quick test_pipeline_clean_gpu;
+          Alcotest.test_case "verify_passes off" `Quick test_verify_passes_off;
+        ] );
+      ( "lints",
+        [
+          Alcotest.test_case "use after kill" `Quick test_lint_use_after_kill;
+          Alcotest.test_case "double kill" `Quick test_lint_double_kill;
+          Alcotest.test_case "tensor as storage" `Quick test_lint_tensor_as_storage;
+          Alcotest.test_case "unallocated destination" `Quick test_lint_unallocated_destination;
+          Alcotest.test_case "leak" `Quick test_lint_leak;
+          Alcotest.test_case "arena overlap" `Quick test_lint_arena_overlap;
+          Alcotest.test_case "device conflict" `Quick test_lint_device_conflict;
+          Alcotest.test_case "fusion policy" `Quick test_lint_fusion_policy;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "byte flips" `Quick test_byte_flips_never_crash;
+          Alcotest.test_case "truncations" `Quick test_truncations_never_crash;
+        ] );
+      ("failure", [ Alcotest.test_case "to_failure" `Quick test_to_failure ]);
+    ]

@@ -150,6 +150,36 @@ let test_corrupt_input_rejected () =
        false
      with Serialize.Format_error _ -> true)
 
+(* The decoder only checks the wire format; a semantically corrupt
+   executable (here: a register index past register_count, as a splicing
+   attacker or a bit flip in the register field would produce) decodes fine
+   and must be caught by the bytecode verifier layered on top. *)
+let test_verifier_catches_what_decoder_accepts () =
+  let exe =
+    Exe.create
+      ~funcs:
+        [|
+          {
+            Exe.name = "spliced";
+            arity = 1;
+            register_count = 2;
+            code = [| Isa.Move { src = 0; dst = 99 }; Isa.Ret { result = 0 } |];
+          };
+        |]
+      ~constants:[||] ~packed_names:[||]
+  in
+  let bytes = Serialize.to_bytes exe in
+  ignore (Serialize.of_bytes bytes);
+  (* format fine *)
+  match Nimble_analysis.Verifier.of_bytes bytes with
+  | _ -> Alcotest.fail "verifier accepted an out-of-range register"
+  | exception Nimble_analysis.Verifier.Verify_error (d :: _) ->
+      Alcotest.(check string) "located function" "spliced"
+        d.Nimble_analysis.Diag.d_where;
+      Alcotest.(check int) "located pc" 0 d.Nimble_analysis.Diag.d_pc
+  | exception Nimble_analysis.Verifier.Verify_error [] ->
+      Alcotest.fail "empty diagnostic list"
+
 let prop_lstm_exe_roundtrip_stable =
   QCheck.Test.make ~name:"serialized size deterministic" ~count:5 QCheck.unit (fun () ->
       let w = Nimble_models.Lstm.init_weights Nimble_models.Lstm.small_config in
@@ -171,5 +201,10 @@ let () =
           Alcotest.test_case "file io" `Quick test_file_roundtrip;
           QCheck_alcotest.to_alcotest prop_lstm_exe_roundtrip_stable;
         ] );
-      ("robustness", [ Alcotest.test_case "corrupt input" `Quick test_corrupt_input_rejected ]);
+      ( "robustness",
+        [
+          Alcotest.test_case "corrupt input" `Quick test_corrupt_input_rejected;
+          Alcotest.test_case "verifier catches what decoder accepts" `Quick
+            test_verifier_catches_what_decoder_accepts;
+        ] );
     ]

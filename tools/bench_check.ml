@@ -1,9 +1,10 @@
 (* Schema gate for committed benchmark baselines: every non-empty line of
    each argument file must parse as a [nimble-bench/v1] table, a
-   [nimble-serve/v1] serving-benchmark document, or a [nimble-chaos/v1]
-   fault-injection document (the [schema] member picks the check). Exits
-   1 on any drift so `dune runtest` catches accidental format changes
-   before a downstream scraper does.
+   [nimble-serve/v1] serving-benchmark document, a [nimble-chaos/v1]
+   fault-injection document, or a [nimble-compile/v1] compile report (the
+   [schema] member picks the check). Exits 1 on any drift so
+   `dune runtest` catches accidental format changes before a downstream
+   scraper does.
 
    Checked per bench table: the exact [schema] tag; [title]/[unit]
    strings; [columns] a non-empty list of strings; [rows] a non-empty list
@@ -22,7 +23,13 @@
    boolean [bitwise_ok] that must be true (successful responses stay
    bitwise-equal to the fault-free reference); [failure_kinds] an object
    of integer tallies; and a non-empty [fault_points] object whose
-   entries carry integer [attempts]/[hits] with hits <= attempts. *)
+   entries carry integer [attempts]/[hits] with hits <= attempts.
+
+   Checked per compile report: integer [instructions]; a non-empty
+   [passes] list of [{name, seconds, nodes_before, nodes_after}]; and a
+   non-empty [verify] list of [{name, seconds, violations}] whose
+   [violations] are all zero — a committed baseline must come from a
+   pipeline the verifier and dialect lints accept (docs/ANALYSIS.md). *)
 
 module Json = Nimble_vm.Json
 
@@ -146,6 +153,54 @@ let check_chaos file lineno json =
         entries
   | _ -> fail file lineno "missing non-empty \"fault_points\" object"
 
+(* a [nimble-compile/v1] line: the BENCH_compile.json baseline *)
+let check_compile file lineno json =
+  (match Json.member "instructions" json with
+  | Some (Json.Int n) when n > 0 -> ()
+  | Some (Json.Int _) -> fail file lineno "\"instructions\" is not positive"
+  | _ -> fail file lineno "missing integer \"instructions\"");
+  let num ctx entry key =
+    match Json.member key entry with
+    | Some (Json.Float _) | Some (Json.Int _) -> ()
+    | _ -> fail file lineno "%s: missing numeric %S" ctx key
+  in
+  (match Json.member "passes" json with
+  | Some (Json.List ((_ :: _) as passes)) ->
+      List.iteri
+        (fun i p ->
+          let ctx = Fmt.str "pass %d" i in
+          (match Json.member "name" p with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "%s: missing string \"name\"" ctx);
+          num ctx p "seconds";
+          (match Json.member "nodes_before" p with
+          | Some (Json.Int _) -> ()
+          | _ -> fail file lineno "%s: missing integer \"nodes_before\"" ctx);
+          match Json.member "nodes_after" p with
+          | Some (Json.Int _) -> ()
+          | _ -> fail file lineno "%s: missing integer \"nodes_after\"" ctx)
+        passes
+  | _ -> fail file lineno "missing non-empty \"passes\" list");
+  match Json.member "verify" json with
+  | Some (Json.List ((_ :: _) as checks)) ->
+      List.iteri
+        (fun i v ->
+          let ctx = Fmt.str "verify %d" i in
+          (match Json.member "name" v with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "%s: missing string \"name\"" ctx);
+          num ctx v "seconds";
+          match Json.member "violations" v with
+          | Some (Json.Int 0) -> ()
+          | Some (Json.Int n) ->
+              fail file lineno
+                "%s: %d violations (a committed baseline must verify clean)" ctx n
+          | _ -> fail file lineno "%s: missing integer \"violations\"" ctx)
+        checks
+  | _ ->
+      fail file lineno
+        "missing non-empty \"verify\" list (compile with verify_passes on)"
+
 let check_table file lineno json =
   let str_member = str_member file lineno json in
   ignore (str_member "title");
@@ -200,10 +255,11 @@ let check_file file =
              | Some (Json.String "nimble-bench/v1") -> check_table file !lineno json
              | Some (Json.String "nimble-serve/v1") -> check_serve file !lineno json
              | Some (Json.String "nimble-chaos/v1") -> check_chaos file !lineno json
+             | Some (Json.String "nimble-compile/v1") -> check_compile file !lineno json
              | Some (Json.String other) ->
                  fail file !lineno
-                   "schema is %S, want \"nimble-bench/v1\", \"nimble-serve/v1\" or \
-                    \"nimble-chaos/v1\""
+                   "schema is %S, want \"nimble-bench/v1\", \"nimble-serve/v1\", \
+                    \"nimble-chaos/v1\" or \"nimble-compile/v1\""
                    other
              | Some _ | None -> fail file !lineno "missing string \"schema\"")
          | exception Json.Parse_error msg ->

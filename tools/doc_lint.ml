@@ -8,10 +8,11 @@
       balanced [[]] code spans (contents of [{[ ... ]}] and [{v ... v}]
       blocks are treated as opaque code);
     - [@param]/[@raise]/[@see] tags name their subject;
-    - every [.mli] under [lib/vm] opens with a module doc comment and
-      documents every [val] (doc above, or trailing on the same line) —
-      the VM is the repo's public telemetry surface, so its interfaces
-      must stay fully documented.
+    - every [.mli] under [lib/vm] and [lib/analysis] opens with a module
+      doc comment and documents every [val] (doc above, or trailing on the
+      same line) — the VM is the repo's public telemetry surface and the
+      analysis layer its safety surface, so those interfaces must stay
+      fully documented.
 
     Exit status 0 when clean, 1 when any check fails (one line per
     finding, [file:line: message]). Run via [dune build @doc]. *)
@@ -260,10 +261,14 @@ let rec walk dir acc =
       acc (Sys.readdir dir)
 
 let covered path =
-  (* full doc coverage is enforced on the VM's public interfaces *)
-  Filename.check_suffix path ".mli"
-  && String.length path >= 7
-  && String.sub path 0 7 = "lib/vm/"
+  (* full doc coverage is enforced on the VM's public interfaces and on
+     the analysis layer (the verifier/lints are the repo's safety
+     surface; see docs/ANALYSIS.md) *)
+  let under prefix =
+    String.length path >= String.length prefix
+    && String.sub path 0 (String.length prefix) = prefix
+  in
+  Filename.check_suffix path ".mli" && (under "lib/vm/" || under "lib/analysis/")
 
 let () =
   let roots =
