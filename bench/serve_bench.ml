@@ -15,6 +15,7 @@ open Nimble_tensor
 open Nimble_ir
 module Serve = Nimble_serve
 module Json = Nimble_vm.Json
+module Nimble = Nimble_compiler.Nimble
 
 (* dense(x: Any x feat, w) |> relu — a small dynamic-shape model whose
    leading dimension varies per request, so bucketing has work to do *)
@@ -87,8 +88,15 @@ let run_point exe p =
   Serve.Engine.shutdown engine;
   result
 
-let point_json p (r : Serve.Loadgen.result) : Json.t =
+(* each point is driven twice: once with the symbolic memory plan (the
+   served configuration, [r]) and once with it disabled ([r_unplanned]),
+   so the committed baseline records the allocation collapse the plan
+   buys — compare [allocs_per_request] against
+   [allocs_per_request_unplanned] *)
+let point_json p (r : Serve.Loadgen.result) (r_unplanned : Serve.Loadgen.result)
+    : Json.t =
   let s = r.Serve.Loadgen.summary in
+  let su = r_unplanned.Serve.Loadgen.summary in
   Json.Obj
     [
       ("label", Json.String (Fmt.str "%.0frps/%s" p.p_rate p.p_mix_name));
@@ -108,6 +116,10 @@ let point_json p (r : Serve.Loadgen.result) : Json.t =
       ("rejected", Json.Int s.Serve.Stats.s_rejected);
       ("timeouts", Json.Int s.Serve.Stats.s_timeouts);
       ("queue_depth_hwm", Json.Int s.Serve.Stats.s_queue_depth_hwm);
+      ("allocs_per_request", Json.Float s.Serve.Stats.s_allocs_per_request);
+      ("arena_reuses", Json.Int s.Serve.Stats.s_arena_reuses);
+      ( "allocs_per_request_unplanned",
+        Json.Float su.Serve.Stats.s_allocs_per_request );
     ]
 
 let doc_json results : Json.t =
@@ -124,13 +136,21 @@ let doc_json results : Json.t =
             ("max_wait_us", Json.Float engine_config.Serve.Engine.max_wait_us);
             ("queue_capacity", Json.Int engine_config.Serve.Engine.queue_capacity);
           ] );
-      ("points", Json.List (List.map (fun (p, r) -> point_json p r) results));
+      ( "points",
+        Json.List (List.map (fun (p, r, ru) -> point_json p r ru) results) );
     ]
 
 let run () =
   let cache = Serve.Cache.create () in
   let exe = Serve.Cache.load cache ~name:"dense_relu" ~build:build_module in
-  let results = List.map (fun p -> (p, run_point exe p)) points in
+  let exe_unplanned =
+    Serve.Cache.load cache ~name:"dense_relu_unplanned"
+      ~options:{ Nimble.default_options with Nimble.symbolic_plan = false }
+      ~build:build_module
+  in
+  let results =
+    List.map (fun p -> (p, run_point exe p, run_point exe_unplanned p)) points
+  in
   if !Bench_util.json_mode then print_endline (Json.to_string (doc_json results))
   else begin
     Bench_util.print_table
@@ -139,9 +159,9 @@ let run () =
            feature_dim out_dim engine_config.Serve.Engine.workers
            engine_config.Serve.Engine.max_batch)
       ~unit:"offered rps / mix"
-      ~columns:[ "achieved"; "p50 ms"; "p99 ms"; "mean batch" ]
+      ~columns:[ "achieved"; "p50 ms"; "p99 ms"; "mean batch"; "allocs/req" ]
       (List.map
-         (fun (p, (r : Serve.Loadgen.result)) ->
+         (fun (p, (r : Serve.Loadgen.result), _) ->
            let s = r.Serve.Loadgen.summary in
            ( Fmt.str "%.0f %s" p.p_rate p.p_mix_name,
              [
@@ -149,11 +169,13 @@ let run () =
                Some s.Serve.Stats.s_p50_ms;
                Some s.Serve.Stats.s_p99_ms;
                Some s.Serve.Stats.s_mean_batch;
+               Some s.Serve.Stats.s_allocs_per_request;
              ] ))
          results);
     List.iter
-      (fun (p, (r : Serve.Loadgen.result)) ->
-        Fmt.pr "@.%.0f rps, %s:@.%a@." p.p_rate p.p_mix_name Serve.Stats.pp_summary
-          r.Serve.Loadgen.summary)
+      (fun (p, (r : Serve.Loadgen.result), (ru : Serve.Loadgen.result)) ->
+        Fmt.pr "@.%.0f rps, %s:@.%a@.(unplanned allocs/request %.3f)@."
+          p.p_rate p.p_mix_name Serve.Stats.pp_summary r.Serve.Loadgen.summary
+          ru.Serve.Loadgen.summary.Serve.Stats.s_allocs_per_request)
       results
   end

@@ -243,8 +243,21 @@ let no_guards_arg =
            each call's tensor arguments against the function's declared types; \
            see docs/ROBUSTNESS.md)")
 
-let compile_options ~no_guards =
-  { Nimble.default_options with Nimble.runtime_guards = not no_guards }
+let no_symbolic_plan_arg =
+  Arg.(
+    value & flag
+    & info [ "no-symbolic-plan" ]
+        ~doc:
+          "Compile without symbolic memory planning: dynamic allocations stay \
+           per-request storage allocs instead of slots in a per-request-bound \
+           reusable arena (the legacy behaviour; see docs/MEMORY.md)")
+
+let compile_options ~no_guards ~no_symbolic_plan =
+  {
+    Nimble.default_options with
+    Nimble.runtime_guards = not no_guards;
+    Nimble.symbolic_plan = not no_symbolic_plan;
+  }
 
 let fault_arg =
   Arg.(
@@ -285,12 +298,14 @@ let save_report ~model ~seq ~creport vm path =
   Fmt.pr "report: %s@." path
 
 let run_cmd =
-  let run model seq domains no_guards fault trace_out report_out =
+  let run model seq domains no_guards no_symbolic_plan fault trace_out report_out =
     apply_domains domains;
     apply_fault fault;
     let entry = lookup model in
     let exe, creport =
-      Nimble.compile_with_report ~options:(compile_options ~no_guards) (entry.build ())
+      Nimble.compile_with_report
+        ~options:(compile_options ~no_guards ~no_symbolic_plan)
+        (entry.build ())
     in
     let vm = Nimble.vm exe in
     let tr =
@@ -319,8 +334,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and run a zoo model with profiling")
     Term.(
-      const run $ model_arg $ seq_arg $ domains_arg $ no_guards_arg $ fault_arg
-      $ trace_arg $ report_arg)
+      const run $ model_arg $ seq_arg $ domains_arg $ no_guards_arg
+      $ no_symbolic_plan_arg $ fault_arg $ trace_arg $ report_arg)
 
 let profile_cmd =
   let runs =
@@ -332,11 +347,14 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Print the $(i,nimble-report/v1) JSON to stdout instead of tables")
   in
-  let run model seq domains runs json no_guards trace_out report_out =
+  let run model seq domains runs json no_guards no_symbolic_plan trace_out
+      report_out =
     apply_domains domains;
     let entry = lookup model in
     let exe, creport =
-      Nimble.compile_with_report ~options:(compile_options ~no_guards) (entry.build ())
+      Nimble.compile_with_report
+        ~options:(compile_options ~no_guards ~no_symbolic_plan)
+        (entry.build ())
     in
     let vm = Nimble.vm exe in
     let tr =
@@ -377,7 +395,7 @@ let profile_cmd =
           the runtime profile (or the JSON report with $(b,--json))")
     Term.(
       const run $ model_arg $ seq_arg $ domains_arg $ runs $ json $ no_guards_arg
-      $ trace_arg $ report_arg)
+      $ no_symbolic_plan_arg $ trace_arg $ report_arg)
 
 (* ------------------------- serving ------------------------- *)
 
@@ -518,8 +536,8 @@ let serve_cmd =
   let seq_max =
     Arg.(value & opt int 16 & info [ "seq-max" ] ~doc:"Largest sequence length served")
   in
-  let run model domains cfg requests seq_min seq_max no_guards fault trace_out
-      report_out =
+  let run model domains cfg requests seq_min seq_max no_guards no_symbolic_plan
+      fault trace_out report_out =
     apply_domains domains;
     apply_fault fault;
     if requests < 1 then die "--requests must be >= 1 (got %d)" requests;
@@ -527,7 +545,9 @@ let serve_cmd =
     if seq_max < seq_min then
       die "--seq-max (%d) must be >= --seq-min (%d)" seq_max seq_min;
     let entry = lookup model in
-    let exe = cache_load ~options:(compile_options ~no_guards) ~model entry in
+    let exe =
+      cache_load ~options:(compile_options ~no_guards ~no_symbolic_plan) ~model entry
+    in
     let tr =
       match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
     in
@@ -599,7 +619,8 @@ let serve_cmd =
           sequential reference run")
     Term.(
       const run $ model_arg $ domains_arg $ engine_config_term $ requests $ seq_min
-      $ seq_max $ no_guards_arg $ fault_arg $ trace_arg $ report_arg)
+      $ seq_max $ no_guards_arg $ no_symbolic_plan_arg $ fault_arg $ trace_arg
+      $ report_arg)
 
 let loadgen_cmd =
   let rate =
@@ -651,7 +672,7 @@ let loadgen_cmd =
            | _ -> bad ())
   in
   let run model domains cfg rate duration clients mix steady seed json no_guards
-      fault trace_out report_out =
+      no_symbolic_plan fault trace_out report_out =
     apply_domains domains;
     apply_fault fault;
     if rate <= 0.0 then die "--rate must be > 0 (got %g)" rate;
@@ -666,7 +687,9 @@ let loadgen_cmd =
       mix_parsed;
     let entry = lookup model in
     let exe =
-      cache_load ~quiet:json ~options:(compile_options ~no_guards) ~model entry
+      cache_load ~quiet:json
+        ~options:(compile_options ~no_guards ~no_symbolic_plan)
+        ~model entry
     in
     let tr =
       match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
@@ -712,8 +735,8 @@ let loadgen_cmd =
           throughput, latency percentiles and the batch-size histogram")
     Term.(
       const run $ model_arg $ domains_arg $ engine_config_term $ rate $ duration
-      $ clients $ mix $ steady $ seed $ json $ no_guards_arg $ fault_arg
-      $ trace_arg $ report_arg)
+      $ clients $ mix $ steady $ seed $ json $ no_guards_arg
+      $ no_symbolic_plan_arg $ fault_arg $ trace_arg $ report_arg)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -23,7 +23,7 @@ let join a b =
 
 (* Keep in sync with the [Isa.t] constructor count; the exhaustiveness pin
    in [test/test_analysis.ml] fails the suite when they drift. *)
-let handled_opcodes = 20
+let handled_opcodes = 21
 
 let num_devices = List.length Nimble_device.Device.all
 
@@ -49,6 +49,7 @@ let reads : Isa.t -> int list = function
   | Isa.ShapeOf { tensor; _ } -> [ tensor ]
   | Isa.ReshapeTensor { tensor; shape; _ } -> [ tensor; shape ]
   | Isa.Fatal _ -> []
+  | Isa.BindArena _ -> []
 
 let writes : Isa.t -> int list = function
   | Isa.Move { dst; _ }
@@ -64,7 +65,8 @@ let writes : Isa.t -> int list = function
   | Isa.LoadConst { dst; _ }
   | Isa.LoadConsti { dst; _ }
   | Isa.DeviceCopy { dst; _ }
-  | Isa.ShapeOf { dst; _ } ->
+  | Isa.ShapeOf { dst; _ }
+  | Isa.BindArena { dst; _ } ->
       [ dst ]
   | Isa.ReshapeTensor { dst; _ } -> [ dst ]
   | Isa.Ret _ | Isa.InvokePacked _ | Isa.If _ | Isa.Goto _ | Isa.Fatal _ -> []
@@ -153,6 +155,35 @@ let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
               num_devices
       | Isa.GetField { index; _ } ->
           if index < 0 then report pc "negative field index %d" index
+      | Isa.AllocTensorReg { plan; slot; _ } ->
+          if plan >= 0 then begin
+            if plan >= Array.length exe.Exe.plans then
+              report pc "plan index %d out of bounds (%d plans)" plan
+                (Array.length exe.Exe.plans)
+            else if slot < 0 || slot >= Array.length exe.Exe.plans.(plan).Exe.p_slots
+            then
+              report pc "slot %d out of bounds (plan%d has %d slots)" slot plan
+                (Array.length exe.Exe.plans.(plan).Exe.p_slots)
+          end
+          else if slot >= 0 then report pc "slot %d without a plan" slot
+      | Isa.BindArena { plan_index; _ } ->
+          if plan_index < 0 || plan_index >= Array.length exe.Exe.plans then
+            report pc "plan index %d out of bounds (%d plans)" plan_index
+              (Array.length exe.Exe.plans)
+          else begin
+            let p = exe.Exe.plans.(plan_index) in
+            if p.Exe.p_func <> fi then
+              report pc "plan%d belongs to fn%d" plan_index p.Exe.p_func;
+            Array.iter
+              (fun (b : Exe.binder) ->
+                if b.Exe.b_arg < 0 || b.Exe.b_arg >= f.Exe.arity then
+                  report pc "plan%d binder reads argument %d (arity %d)"
+                    plan_index b.Exe.b_arg f.Exe.arity
+                else if b.Exe.b_dim < 0 then
+                  report pc "plan%d binder reads negative dim %d" plan_index
+                    b.Exe.b_dim)
+              p.Exe.p_binders
+          end
       | _ -> ())
     code;
   (* ---- dataflow: def-before-use and alloc-backing on every path ---- *)
@@ -167,7 +198,7 @@ let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
     let set r v = if in_bounds r then st.(r) <- v in
     (match instr with
     | Isa.Move { src; dst } -> set dst (if in_bounds src then st.(src) else Val)
-    | Isa.AllocStorage { dst; _ } -> set dst Storage
+    | Isa.AllocStorage { dst; _ } | Isa.BindArena { dst; _ } -> set dst Storage
     | Isa.AllocTensor { dst; _ } | Isa.AllocTensorReg { dst; _ } -> set dst Talloc
     | Isa.AllocADT { fields; dst; _ } -> set dst (Adt (Array.length fields))
     | Isa.GetTag { obj; dst } ->
@@ -261,9 +292,115 @@ let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
       gs.(fi);
   List.rev !diags
 
+(* ---- symbolic memory plans: the dialect's soundness obligations ---- *)
+
+module Sym_expr = Nimble_shape.Sym_expr
+
+(* Admissible-binding samples for the plan checks. Exhaustive proof over
+   all dims is undecidable in general; the planner only emits products and
+   alignments of dims (monotone by construction), for which this grid —
+   zero, the units, a small prime, a large power of two — exercises every
+   interesting regime (empty tensors, aliasing at equal sizes, alignment
+   boundaries). *)
+let dim_grid = [ 0; 1; 2; 7; 64 ]
+
+let rec grid_product = function
+  | [] -> [ [] ]
+  | d :: rest ->
+      let tails = grid_product rest in
+      List.concat_map (fun v -> List.map (fun tl -> (d, v) :: tl) tails) dim_grid
+
+let pp_asn ppf asn =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") (fun ppf (d, v) -> pf ppf "s%d=%d" d v))
+    asn
+
+let verify_plans (exe : Exe.t) : Diag.t list =
+  let diags = ref [] in
+  Array.iteri
+    (fun pi (p : Exe.plan) ->
+      let report fmt =
+        Fmt.kstr
+          (fun reason ->
+            diags :=
+              Diag.v ~check:"memory_plan" ~where_:(Fmt.str "plan%d" pi) ~pc:(-1)
+                reason
+              :: !diags)
+          fmt
+      in
+      if p.Exe.p_func < 0 || p.Exe.p_func >= Array.length exe.Exe.funcs then
+        report "function index %d out of bounds (%d functions)" p.Exe.p_func
+          (Array.length exe.Exe.funcs);
+      if p.Exe.p_device < 0 || p.Exe.p_device >= num_devices then
+        report "device %d out of bounds (%d devices)" p.Exe.p_device num_devices;
+      if p.Exe.p_align < 1 then report "alignment %d is not positive" p.Exe.p_align;
+      let slots = Array.to_list p.Exe.p_slots in
+      let free =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (s : Exe.slot) ->
+               Sym_expr.free_dims s.Exe.s_offset @ Sym_expr.free_dims s.Exe.s_size)
+             slots
+          @ Sym_expr.free_dims p.Exe.p_total)
+      in
+      let bound =
+        Array.to_list (Array.map (fun (b : Exe.binder) -> b.Exe.b_sym) p.Exe.p_binders)
+      in
+      List.iter
+        (fun s ->
+          if not (List.mem s bound) then
+            report "symbolic dim s%d has no binder" s)
+        free;
+      List.iteri
+        (fun si (s : Exe.slot) ->
+          if not (Sym_expr.monotone s.Exe.s_size) then
+            report "slot %d size %s is not monotone in its dims" si
+              (Sym_expr.to_string s.Exe.s_size))
+        slots;
+      if not (Sym_expr.monotone p.Exe.p_total) then
+        report "total %s is not monotone in its dims"
+          (Sym_expr.to_string p.Exe.p_total);
+      (* no overlap (and no escape past the arena total) under sampled
+         admissible bindings: full grid up to 3 dims, diagonal beyond *)
+      let assignments =
+        if List.length free <= 3 then grid_product free
+        else List.map (fun v -> List.map (fun d -> (d, v)) free) dim_grid
+      in
+      List.iter
+        (fun asn ->
+          let env s = match List.assoc_opt s asn with Some v -> v | None -> 0 in
+          let total = Sym_expr.eval env p.Exe.p_total in
+          let evaled =
+            List.mapi
+              (fun si (s : Exe.slot) ->
+                (si, Sym_expr.eval env s.Exe.s_offset, Sym_expr.eval env s.Exe.s_size))
+              slots
+          in
+          List.iter
+            (fun (si, off, size) ->
+              if size < 0 then report "slot %d has negative size under %a" si pp_asn asn;
+              if off < 0 || off + size > total then
+                report "slot %d [%d, %d) escapes the arena total %d under %a" si
+                  off (off + size) total pp_asn asn)
+            evaled;
+          List.iteri
+            (fun i (si, oi, zi) ->
+              List.iteri
+                (fun j (sj, oj, zj) ->
+                  if j > i && zi > 0 && zj > 0 && oi < oj + zj && oj < oi + zi
+                  then
+                    report "slots %d and %d overlap ([%d,%d) vs [%d,%d)) under %a"
+                      si sj oi (oi + zi) oj (oj + zj) pp_asn asn)
+                evaled)
+            evaled)
+        assignments)
+    exe.Exe.plans;
+  List.rev !diags
+
 let verify (exe : Exe.t) : Diag.t list =
   List.concat
     (List.init (Array.length exe.Exe.funcs) (fun fi -> verify_func exe fi))
+  @ verify_plans exe
 
 let verify_exn exe =
   match verify exe with [] -> () | diags -> raise (Verify_error diags)

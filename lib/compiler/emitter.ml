@@ -42,6 +42,8 @@ type state = {
       (** function slots, in index order; [None] = being compiled *)
   compiled : (string, Exe.vmfunc) Hashtbl.t;
   mutable closure_counter : int;
+  mutable plans : Exe.plan list;  (** symbolic memory plans, reversed *)
+  mutable n_plans : int;
 }
 
 let create_state opts =
@@ -55,6 +57,8 @@ let create_state opts =
     funcs = [];
     compiled = Hashtbl.create 8;
     closure_counter = 0;
+    plans = [];
+    n_plans = 0;
   }
 
 (* Constants are deduplicated by physical identity: model builders share
@@ -164,6 +168,9 @@ type fctx = {
   regs : (int, int) Hashtbl.t;  (** vid -> register *)
   mutable next_reg : int;
   code : Isa.t Vec.t;
+  mutable plan_regs : (int * int) list;
+      (** register holding a [BindArena] result -> its plan index, so
+          [plan_slot] tensor allocations can name their plan *)
 }
 
 let fresh_reg ctx =
@@ -369,6 +376,16 @@ and compile_op ctx name args attrs : int =
               r
           | None ->
               let rshape = compile_expr ctx shape in
+              let slot = Attrs.get_int ~default:(-1) attrs "plan_slot" in
+              let plan =
+                if slot < 0 then -1
+                else
+                  match List.assoc_opt rstorage ctx.plan_regs with
+                  | Some p -> p
+                  | None ->
+                      err "%s: plan_slot %d on a storage that is not a bind_arena result"
+                        ctx.fname slot
+              in
               emit ctx
                 (Isa.AllocTensorReg
                    {
@@ -376,10 +393,71 @@ and compile_op ctx name args attrs : int =
                      offset = Attrs.get_int ~default:0 attrs "offset";
                      shape = rshape;
                      dtype = dtype_attr attrs;
+                     plan;
+                     slot;
                      dst = r;
                    });
               r)
       | _ -> err "alloc_tensor: expected 2 arguments")
+  | "memory.bind_arena" -> (
+      match args with
+      | [] ->
+          let parse_expr what s =
+            try Nimble_shape.Sym_expr.of_string s
+            with Nimble_shape.Sym_expr.Parse_error msg ->
+              err "%s: bind_arena %s: %s" ctx.fname what msg
+          in
+          let rec triples = function
+            | [] -> []
+            | a :: d :: s :: rest ->
+                { Exe.b_arg = a; b_dim = d; b_sym = s } :: triples rest
+            | _ -> err "%s: bind_arena binders are not (arg, dim, sym) triples" ctx.fname
+          in
+          let binders =
+            triples (Option.value ~default:[] (Attrs.find_ints attrs "binders"))
+          in
+          let slots =
+            match Attrs.find_str attrs "slots" with
+            | None | Some "" -> err "%s: bind_arena without slots" ctx.fname
+            | Some s ->
+                String.split_on_char ';' s
+                |> List.map (fun pair ->
+                       match String.index_opt pair '|' with
+                       | Some i ->
+                           {
+                             Exe.s_offset =
+                               parse_expr "slot offset"
+                                 (String.sub pair 0 i);
+                             s_size =
+                               parse_expr "slot size"
+                                 (String.sub pair (i + 1)
+                                    (String.length pair - i - 1));
+                           }
+                       | None -> err "%s: bind_arena slot %S" ctx.fname pair)
+          in
+          let total =
+            match Attrs.find_str attrs "total" with
+            | Some s -> parse_expr "total" s
+            | None -> err "%s: bind_arena without total" ctx.fname
+          in
+          let plan =
+            {
+              Exe.p_func = func_index ctx.st ctx.fname;
+              p_device = Attrs.get_int ~default:0 attrs "device";
+              p_align = Attrs.get_int ~default:64 attrs "alignment";
+              p_binders = Array.of_list binders;
+              p_slots = Array.of_list slots;
+              p_total = total;
+            }
+          in
+          let plan_index = ctx.st.n_plans in
+          ctx.st.plans <- plan :: ctx.st.plans;
+          ctx.st.n_plans <- ctx.st.n_plans + 1;
+          let r = fresh_reg ctx in
+          emit ctx (Isa.BindArena { plan_index; dst = r });
+          ctx.plan_regs <- (r, plan_index) :: ctx.plan_regs;
+          r
+      | _ -> err "bind_arena: expected no arguments")
   | "memory.invoke_mut" -> (
       match args with
       | Expr.Fn prim :: rest when Fusion.is_primitive prim ->
@@ -482,7 +560,14 @@ and compile_function st name (fn : Expr.fn) : unit =
   if Hashtbl.mem st.compiled name then ()
   else begin
     let ctx =
-      { st; fname = name; regs = Hashtbl.create 32; next_reg = 0; code = Vec.create () }
+      {
+        st;
+        fname = name;
+        regs = Hashtbl.create 32;
+        next_reg = 0;
+        code = Vec.create ();
+        plan_regs = [];
+      }
     in
     List.iter
       (fun (p : Expr.var) ->
@@ -563,6 +648,7 @@ let emit_module ?(options = default_options) (m : Irmod.t) : Exe.t =
             st.funcs)
      in
      Exe.set_guards exe guards);
+  Exe.set_plans exe (Array.of_list (List.rev st.plans));
   Hashtbl.iter (fun _ p -> Exe.link exe p) st.packed_impls;
   exe
 

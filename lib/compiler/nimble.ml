@@ -17,6 +17,10 @@ type options = {
   target_device : int;  (** 0 = host CPU, 1 = simulated GPU *)
   fuse : bool;
   memory_plan : bool;
+  symbolic_plan : bool;
+      (** fold bindable dynamic allocations into per-device symbolic memory
+          plans bound per request by [BindArena] (see [docs/MEMORY.md]);
+          only meaningful with [memory_plan] on *)
   device_placement : bool;
   dense_dispatch : int option;  (** residue-dispatch kernel count for dense *)
   profile_extern : bool;  (** route dense to a profiled library kernel when faster *)
@@ -33,6 +37,7 @@ let default_options =
     target_device = 0;
     fuse = true;
     memory_plan = true;
+    symbolic_plan = true;
     device_placement = true;
     dense_dispatch = Some 8;
     profile_extern = false;
@@ -157,7 +162,11 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
   in
   let mp_stats =
     if options.memory_plan then begin
-      let s = timed_stats "memory_plan" Memory_plan.run m in
+      let s =
+        timed_stats "memory_plan"
+          (Memory_plan.run ~symbolic:options.symbolic_plan)
+          m
+      in
       lint "memory_planned" (Nimble_analysis.Lint.memory ~planned:true) m;
       s
     end

@@ -12,6 +12,12 @@ type options = {
   target_device : int;  (** 0 = host CPU, 1 = simulated GPU *)
   fuse : bool;  (** operator fusion (dynamic policy, §4.2) *)
   memory_plan : bool;  (** storage coalescing + kill insertion (§4.3) *)
+  symbolic_plan : bool;
+      (** fold bindable dynamic allocations into per-device symbolic memory
+          plans — offsets/sizes as expressions over the function's symbolic
+          dims, bound once per request by the VM's [BindArena] and reused
+          via a persistent arena when serving (see [docs/MEMORY.md]); only
+          meaningful with [memory_plan] on *)
   device_placement : bool;  (** heterogeneous placement (§4.4) *)
   dense_dispatch : int option;
       (** residue-dispatch kernel count for dense (§4.5); [None] = reference

@@ -8,6 +8,8 @@
 
 open Nimble_ir
 
+(** Default body-size ceiling (expression nodes) above which a callee is
+    not inlined; {!run}'s [max_size] overrides it. *)
 val default_max_size : int
 
 type stats = { mutable inlined : int; mutable pruned : int }

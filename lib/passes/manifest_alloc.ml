@@ -88,9 +88,13 @@ let alloc_static ~device (dtype : Dtype.t) (s : int array) (k : Expr.t -> Expr.t
   in
   Expr.Let (storage_v, alloc_storage, Expr.Let (out_v, alloc_tensor, k (Expr.Var out_v)))
 
-(* Allocate one output whose shape is the runtime tensor [shape_e]. *)
-let alloc_dynamic ~device ~rank (dtype : Dtype.t) (shape_e0 : Expr.t) (k : Expr.t -> Expr.t) :
-    Expr.t =
+(* Allocate one output whose shape is the runtime tensor [shape_e].
+   [out_ty] is the resolved output type; keeping its symbolic ([Dim.Sym])
+   dims on the tensor (instead of erasing to [Any]) is what lets the
+   symbolic memory planner express this allocation's size as an expression
+   over the function's dims. *)
+let alloc_dynamic ~device ~rank ~mode (out_ty : Ty.t) (shape_e0 : Expr.t)
+    (k : Expr.t -> Expr.t) : Expr.t =
   (* keep ANF: bind a compound shape expression (e.g. a tuple projection) *)
   let bind_shape k2 =
     match shape_e0 with
@@ -100,8 +104,8 @@ let alloc_dynamic ~device ~rank (dtype : Dtype.t) (shape_e0 : Expr.t) (k : Expr.
         Expr.Let (sv, shape_e0, k2 (Expr.Var sv))
   in
   bind_shape @@ fun shape_e ->
+  let dtype = dtype_of_ty out_ty in
   let storage_v = Expr.fresh_var ~ty:Ty.Storage "storage" in
-  let out_ty = Ty.Tensor { dims = Array.make rank Dim.Any; dtype } in
   let out_v = Expr.fresh_var ~ty:out_ty "out" in
   let alloc_storage =
     Expr.op_call
@@ -115,7 +119,13 @@ let alloc_dynamic ~device ~rank (dtype : Dtype.t) (shape_e0 : Expr.t) (k : Expr.
   in
   let alloc_tensor =
     Expr.op_call
-      ~attrs:[ ("offset", Attrs.Int 0); ("dtype", Attrs.Str (Dtype.to_string dtype)); ("rank", Attrs.Int rank) ]
+      ~attrs:
+        [
+          ("offset", Attrs.Int 0);
+          ("dtype", Attrs.Str (Dtype.to_string dtype));
+          ("rank", Attrs.Int rank);
+          ("mode", Attrs.Str mode);
+        ]
       "memory.alloc_tensor"
       [ Expr.Var storage_v; shape_e ]
   in
@@ -221,7 +231,7 @@ let rewrite_call ~device (v : Expr.var) (prim : Expr.fn) (prim_expr : Expr.t)
               List.mapi
                 (fun i ty ->
                   let rank = List.nth out_ranks i in
-                  alloc_dynamic ~device ~rank (dtype_of_ty ty) (List.nth sh_outs i))
+                  alloc_dynamic ~device ~rank ~mode:mode_str ty (List.nth sh_outs i))
                 out_tys
             in
             Expr.Let (unit_v, invoke_sf, alloc_many allocs finish)))

@@ -8,14 +8,26 @@
        offset into the arena. Offsets are assigned first-fit using liveness
        intervals, so storage is *reused* across tensors whose lifetimes do
        not overlap — this is what cuts both allocation count and footprint;
-    2. inserts [memory.kill] after the last use of dynamically-allocated
+    2. {b symbolically plans} dynamic allocations whose output dims are
+       expressions over the function's symbolic parameter dims
+       (BladeDISC++-style): each such site becomes a slot in the device
+       arena whose offset/size are {!Nimble_shape.Sym_expr} expressions,
+       and the per-device arena allocation becomes a [memory.bind_arena]
+       op carrying the whole plan — evaluated once per request by the VM
+       against the dims bound from the actual argument shapes. Sites whose
+       shape function is data-dependent (or whose dims cannot be bound
+       from the parameters) keep the per-site allocation — the upper-bound
+       fallback path;
+    3. inserts [memory.kill] after the last use of dynamically-allocated
        tensors so the VM can release them before frame exit.
 
-    Conditional branches are planned recursively as separate regions
-    (conservative but sound). *)
+    Symbolic planning applies to each function's top-level region only;
+    conditional branches are planned recursively as separate static
+    regions (conservative but sound). See [docs/MEMORY.md]. *)
 
 open Nimble_tensor
 open Nimble_ir
+module Sym_expr = Nimble_shape.Sym_expr
 
 type stats = {
   mutable storages_before : int;
@@ -23,10 +35,18 @@ type stats = {
   mutable arena_bytes : int;  (** total coalesced arena size *)
   mutable sum_bytes : int;  (** what the un-coalesced storages added up to *)
   mutable kills_inserted : int;
+  mutable symbolic_slots : int;  (** dynamic sites folded into a symbolic plan *)
 }
 
 let fresh_stats () =
-  { storages_before = 0; storages_after = 0; arena_bytes = 0; sum_bytes = 0; kills_inserted = 0 }
+  {
+    storages_before = 0;
+    storages_after = 0;
+    arena_bytes = 0;
+    sum_bytes = 0;
+    kills_inserted = 0;
+    symbolic_slots = 0;
+  }
 
 (* A straight-line let chain: bindings plus terminal expression. *)
 let rec chain_of (e : Expr.t) =
@@ -52,6 +72,40 @@ type static_alloc = {
   device : int;
   mutable offset : int;
 }
+
+(* A dynamic allocation site folded into the symbolic plan: its size is an
+   expression over the function's bindable symbolic dims. *)
+type dyn_site = {
+  d_storage_var : int;
+  d_tensor_var : int;
+  d_alloc_index : int;
+  mutable d_last_use : int;
+  d_size : Sym_expr.t;  (** aligned bytes, symbolic *)
+  d_device : int;
+  mutable d_slot : int;  (** arena slot index, assigned during layout *)
+}
+
+(* [Some e] when every dim is static or a symbolic dim bindable from the
+   function's parameters ([binders] maps sym id -> (param, dim index)). *)
+let size_expr_of_ty binders ~alignment (ty : Ty.t) : Sym_expr.t option =
+  match ty with
+  | Ty.Tensor { dims; dtype } ->
+      let rec go acc i =
+        if i = Array.length dims then Some acc
+        else
+          match dims.(i) with
+          | Dim.Static d -> go (Sym_expr.mul acc (Sym_expr.const d)) (i + 1)
+          | Dim.Sym s when List.mem_assoc s binders ->
+              go (Sym_expr.mul acc (Sym_expr.dim s)) (i + 1)
+          | _ -> None
+      in
+      Option.map
+        (fun e ->
+          Sym_expr.align
+            (Sym_expr.mul e (Sym_expr.const (Dtype.size_in_bytes dtype)))
+            alignment)
+        (go (Sym_expr.const 1) 0)
+  | _ -> None
 
 let uses_var = Expr.uses_var
 
@@ -118,23 +172,25 @@ let storage_size_bytes ~attrs (shape : int array) =
 
 (* ------------------------------------------------------------------ *)
 
-let rec plan_expr stats (e : Expr.t) : Expr.t =
+let rec plan_expr stats ~binders (e : Expr.t) : Expr.t =
   let bindings, term = chain_of e in
   let bindings =
-    (* recurse into nested regions first *)
+    (* recurse into nested regions first; branch sub-regions are planned
+       as separate static regions (no symbolic binders) *)
     List.map
       (fun (v, bound) ->
         let bound =
           match bound with
-          | Expr.If (c, t, f) -> Expr.If (c, plan_expr stats t, plan_expr stats f)
+          | Expr.If (c, t, f) ->
+              Expr.If (c, plan_expr stats ~binders:[] t, plan_expr stats ~binders:[] f)
           | Expr.Match (s, clauses) ->
               Expr.Match
                 ( s,
                   List.map
-                    (fun cl -> { cl with Expr.rhs = plan_expr stats cl.Expr.rhs })
+                    (fun cl -> { cl with Expr.rhs = plan_expr stats ~binders:[] cl.Expr.rhs })
                     clauses )
           | Expr.Fn fn when not (Fusion.is_primitive fn) ->
-              Expr.Fn { fn with Expr.body = plan_expr stats fn.Expr.body }
+              Expr.Fn { fn with Expr.body = plan_expr stats ~binders:[] fn.Expr.body }
           | _ -> bound
         in
         (v, bound))
@@ -192,14 +248,82 @@ let rec plan_expr stats (e : Expr.t) : Expr.t =
         barr;
       if uses_any aliases term then a.last_use <- n (* escapes: live to end *))
     allocs;
+  (* -------- symbolic dynamic sites ----------------------------------- *)
+  (* A plannable site is [storage = memory.alloc_storage(%sh)] followed by
+     [out = memory.alloc_tensor(storage, %sh)] whose shape function is
+     data-independent and whose output dims are all static or bindable
+     symbolic dims. Everything else (data-dependent, upper-bound, unbound
+     dims) keeps the per-site allocation: the upper-bound fallback. *)
+  let dyn_sites = ref [] in
+  if binders <> [] then
+    Array.iteri
+      (fun i ((v : Expr.var), bound) ->
+        match bound with
+        | Expr.Call
+            { callee = Expr.Op "memory.alloc_storage"; args = [ Expr.Var _ ]; attrs }
+          when not (Attrs.get_bool attrs "arena") -> (
+            let device = Attrs.get_int ~default:0 attrs "device" in
+            let alignment = Attrs.get_int ~default:64 attrs "alignment" in
+            let tensor = ref None in
+            Array.iteri
+              (fun j ((tv : Expr.var), tb) ->
+                if j > i then
+                  match tb with
+                  | Expr.Call
+                      {
+                        callee = Expr.Op "memory.alloc_tensor";
+                        args = Expr.Var sv :: _;
+                        attrs = tattrs;
+                      }
+                    when sv.Expr.vid = v.Expr.vid ->
+                      tensor := Some (tv, tattrs)
+                  | _ -> ())
+              barr;
+            match !tensor with
+            | Some (tv, tattrs) when Attrs.find_str tattrs "mode" = Some "data_indep" -> (
+                match
+                  Option.bind tv.Expr.vty (size_expr_of_ty binders ~alignment)
+                with
+                | Some size when Sym_expr.monotone size ->
+                    stats.storages_before <- stats.storages_before + 1;
+                    dyn_sites :=
+                      {
+                        d_storage_var = v.Expr.vid;
+                        d_tensor_var = tv.Expr.vid;
+                        d_alloc_index = i;
+                        d_last_use = i;
+                        d_size = size;
+                        d_device = device;
+                        d_slot = -1;
+                      }
+                      :: !dyn_sites
+                | _ -> ())
+            | _ -> ())
+        | _ -> ())
+      barr;
+  let dyn_sites = List.rev !dyn_sites in
+  List.iter
+    (fun d ->
+      let aliases = alias_closure barr d.d_tensor_var in
+      Array.iteri
+        (fun j (_, bound) ->
+          if uses_any aliases bound then d.d_last_use <- Stdlib.max d.d_last_use j)
+        barr;
+      if uses_any aliases term then d.d_last_use <- n)
+    dyn_sites;
   (* -------- coalesce per device ------------------------------------- *)
-  let devices = List.sort_uniq compare (List.map (fun a -> a.device) allocs) in
+  let devices =
+    List.sort_uniq compare
+      (List.map (fun a -> a.device) allocs
+      @ List.map (fun d -> d.d_device) dyn_sites)
+  in
   let arena_vars = Hashtbl.create 4 in
   let arena_lets = ref [] in
   List.iter
     (fun dev ->
       let dev_allocs = List.filter (fun a -> a.device = dev) allocs in
-      if dev_allocs <> [] then begin
+      let dev_dyn = List.filter (fun d -> d.d_device = dev) dyn_sites in
+      if dev_allocs <> [] || dev_dyn <> [] then begin
         let total = assign_offsets dev_allocs in
         stats.arena_bytes <- stats.arena_bytes + total;
         stats.sum_bytes <-
@@ -208,16 +332,84 @@ let rec plan_expr stats (e : Expr.t) : Expr.t =
         let arena_v = Expr.fresh_var ~ty:Ty.Storage "arena" in
         Hashtbl.replace arena_vars dev arena_v;
         let alloc =
-          Expr.op_call
-            ~attrs:
-              [
-                ("alignment", Attrs.Int 64);
-                ("device", Attrs.Int dev);
-                ("dtype", Attrs.Str "uint8");
-                ("arena", Attrs.Bool true);
-              ]
-            "memory.alloc_storage"
-            [ Expr.Const (Tensor.of_int_array ~dtype:Dtype.I64 [| 1 |] [| total |]) ]
+          if dev_dyn = [] then
+            (* static-only device: a plain constant-size arena *)
+            Expr.op_call
+              ~attrs:
+                [
+                  ("alignment", Attrs.Int 64);
+                  ("device", Attrs.Int dev);
+                  ("dtype", Attrs.Str "uint8");
+                  ("arena", Attrs.Bool true);
+                ]
+              "memory.alloc_storage"
+              [ Expr.Const (Tensor.of_int_array ~dtype:Dtype.I64 [| 1 |] [| total |]) ]
+          else begin
+            (* Symbolic slot layout after the static prefix [0, total):
+               sites with equal size expressions and disjoint lifetimes
+               share a slot; every fresh slot extends the running total.
+               Offsets stay 64-aligned because every size is. *)
+            let slots = ref [] in
+            (* reversed (offset, size, intervals ref) *)
+            let running = ref (Sym_expr.const total) in
+            let disjoint (a1, l1) (a2, l2) = l1 < a2 || l2 < a1 in
+            List.iter
+              (fun d ->
+                let interval = (d.d_alloc_index, d.d_last_use) in
+                let rec find idx = function
+                  | [] -> None
+                  | (_, size, ivals) :: rest ->
+                      if
+                        Sym_expr.equal size d.d_size
+                        && List.for_all (disjoint interval) !ivals
+                      then Some (idx, ivals)
+                      else find (idx + 1) rest
+                in
+                match find 0 (List.rev !slots) with
+                | Some (idx, ivals) ->
+                    d.d_slot <- idx;
+                    ivals := interval :: !ivals
+                | None ->
+                    d.d_slot <- List.length !slots;
+                    slots := (!running, d.d_size, ref [ interval ]) :: !slots;
+                    running := Sym_expr.add !running d.d_size)
+              dev_dyn;
+            stats.symbolic_slots <- stats.symbolic_slots + List.length dev_dyn;
+            let slot_list = List.rev !slots in
+            let syms =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun (o, s, _) -> Sym_expr.free_dims o @ Sym_expr.free_dims s)
+                   slot_list
+                @ Sym_expr.free_dims !running)
+            in
+            let binder_ints =
+              List.concat_map
+                (fun s ->
+                  let arg, dim = List.assoc s binders in
+                  [ arg; dim; s ])
+                syms
+            in
+            let slots_str =
+              String.concat ";"
+                (List.map
+                   (fun (o, s, _) ->
+                     Sym_expr.to_string o ^ "|" ^ Sym_expr.to_string s)
+                   slot_list)
+            in
+            Expr.op_call
+              ~attrs:
+                [
+                  ("alignment", Attrs.Int 64);
+                  ("device", Attrs.Int dev);
+                  ("dtype", Attrs.Str "uint8");
+                  ("arena", Attrs.Bool true);
+                  ("binders", Attrs.Ints binder_ints);
+                  ("slots", Attrs.Str slots_str);
+                  ("total", Attrs.Str (Sym_expr.to_string !running));
+                ]
+              "memory.bind_arena" []
+          end
         in
         arena_lets := (arena_v, alloc) :: !arena_lets
       end)
@@ -225,13 +417,17 @@ let rec plan_expr stats (e : Expr.t) : Expr.t =
   let by_storage_var =
     List.fold_left (fun acc a -> (a.storage_var, a) :: acc) [] allocs
   in
+  let by_dyn_storage =
+    List.fold_left (fun acc d -> (d.d_storage_var, d) :: acc) [] dyn_sites
+  in
   (* -------- rewrite bindings ---------------------------------------- *)
   let rewritten =
     Array.to_list barr
     |> List.filter_map (fun ((v : Expr.var), bound) ->
            match bound with
            | Expr.Call { callee = Expr.Op "memory.alloc_storage"; _ }
-             when List.mem_assoc v.Expr.vid by_storage_var ->
+             when List.mem_assoc v.Expr.vid by_storage_var
+                  || List.mem_assoc v.Expr.vid by_dyn_storage ->
                None (* replaced by the arena *)
            | Expr.Call
                { callee = Expr.Op "memory.alloc_tensor"; args = Expr.Var sv :: more; attrs }
@@ -247,10 +443,29 @@ let rec plan_expr stats (e : Expr.t) : Expr.t =
                        args = Expr.Var arena_v :: more;
                        attrs;
                      } )
+           | Expr.Call
+               { callee = Expr.Op "memory.alloc_tensor"; args = Expr.Var sv :: more; attrs }
+             when List.mem_assoc sv.Expr.vid by_dyn_storage ->
+               (* a symbolic slot: the VM resolves the offset from the plan
+                  bound by the enclosing [memory.bind_arena] *)
+               let d = List.assoc sv.Expr.vid by_dyn_storage in
+               let arena_v = Hashtbl.find arena_vars d.d_device in
+               let attrs = Attrs.set attrs "plan_slot" (Attrs.Int d.d_slot) in
+               Some
+                 ( v,
+                   Expr.Call
+                     {
+                       callee = Expr.Op "memory.alloc_tensor";
+                       args = Expr.Var arena_v :: more;
+                       attrs;
+                     } )
            | _ -> Some (v, bound))
   in
   (* -------- kill insertion for dynamic tensors ----------------------- *)
-  let coalesced_tensor_vids = List.map (fun a -> a.tensor_var) allocs in
+  let coalesced_tensor_vids =
+    List.map (fun a -> a.tensor_var) allocs
+    @ List.map (fun d -> d.d_tensor_var) dyn_sites
+  in
   let dynamic_tensors = ref [] in
   Array.iteri
     (fun i ((v : Expr.var), bound) ->
@@ -293,8 +508,32 @@ let rec plan_expr stats (e : Expr.t) : Expr.t =
   in
   rebuild (List.rev !arena_lets @ with_kills) term
 
-(** Run the planner; returns per-module statistics. *)
-let run (m : Irmod.t) : stats =
+(** Symbolic binders of a function: maps each parameter-level [Dim.Sym] id
+    to the (parameter index, dim index) the VM reads it from at runtime
+    (first occurrence wins). *)
+let binders_of_params (params : Expr.var list) : (int * (int * int)) list =
+  let bs = ref [] in
+  List.iteri
+    (fun pi (p : Expr.var) ->
+      match p.Expr.vty with
+      | Some (Ty.Tensor { dims; _ }) ->
+          Array.iteri
+            (fun di dim ->
+              match dim with
+              | Dim.Sym s when not (List.mem_assoc s !bs) -> bs := (s, (pi, di)) :: !bs
+              | _ -> ())
+            dims
+      | _ -> ())
+    params;
+  List.rev !bs
+
+(** Run the planner; returns per-module statistics. [symbolic] (default on)
+    enables the symbolic phase that folds bindable dynamic allocations into
+    a per-device [memory.bind_arena] plan; with it off, only static
+    coalescing and kill insertion run (the pre-symbolic behaviour). *)
+let run ?(symbolic = true) (m : Irmod.t) : stats =
   let stats = fresh_stats () in
-  Irmod.map_funcs m (fun _name fn -> { fn with Expr.body = plan_expr stats fn.Expr.body });
+  Irmod.map_funcs m (fun _name fn ->
+      let binders = if symbolic then binders_of_params fn.Expr.params else [] in
+      { fn with Expr.body = plan_expr stats ~binders fn.Expr.body });
   stats

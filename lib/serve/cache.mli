@@ -5,6 +5,7 @@
 
 type t
 
+(** An empty cache (no compiled entries, zeroed hit/miss counters). *)
 val create : unit -> t
 
 (** The linked executable for [name]; [build] is compiled and

@@ -278,16 +278,50 @@ let worker_main t worker_id () =
   in
   let state = ref (fresh_state ()) in
   let pin = t.cfg.workers > 1 in
+  (* the bucket key string ("8x64") is the bucket's upper-bound shape;
+     parse it back so the worker can warm its persistent plan arenas at
+     that bound before the batch runs *)
+  let bucket_dims key =
+    match
+      List.map int_of_string (String.split_on_char 'x' key)
+    with
+    | dims -> Some (Array.of_list dims)
+    | exception _ -> None
+  in
+  let warm_bucket vm (b : batch) =
+    match bucket_dims b.b_bucket with
+    | None -> ()
+    | Some dims ->
+        let ts_us = trace_now t in
+        let bound =
+          Interp.warm_arenas ~func:t.func vm (fun i ->
+              if i = 0 then Some dims else None)
+        in
+        if bound > 0 then
+          record_span t ~name:"serve.arena_bind" ~ts_us
+            ~dur_us:(trace_now t -. ts_us)
+            [
+              ("bucket", Trace.Str b.b_bucket);
+              ("worker", Trace.Int worker_id);
+              ("plans", Trace.Int bound);
+            ]
+  in
   let run_batch (b : batch) =
     Fault.check "worker_loop";
     let vm, ctx = !state in
     let ts_us = trace_now t in
     let frames0 = Interp.frame_reuses ctx in
-    let hits0 = (Interp.profiler vm).Nimble_vm.Profiler.pool_hits in
+    let prof = Interp.profiler vm in
+    let hits0 = prof.Nimble_vm.Profiler.pool_hits in
+    let allocs0 = Nimble_vm.Profiler.allocs prof in
+    let rebinds0 = prof.Nimble_vm.Profiler.arena_rebinds in
+    warm_bucket vm b;
     List.iter (exec_request t vm ctx ~worker_id) b.b_reqs;
     Stats.record_reuse t.stats
       ~frame_reuses:(Interp.frame_reuses ctx - frames0)
-      ~arena_hits:((Interp.profiler vm).Nimble_vm.Profiler.pool_hits - hits0);
+      ~arena_hits:(prof.Nimble_vm.Profiler.pool_hits - hits0)
+      ~allocs:(Nimble_vm.Profiler.allocs prof - allocs0)
+      ~arena_reuses:(prof.Nimble_vm.Profiler.arena_rebinds - rebinds0);
     record_span t ~name:"serve.batch_exec" ~ts_us ~dur_us:(trace_now t -. ts_us)
       [
         ("bucket", Trace.Str b.b_bucket);

@@ -21,6 +21,10 @@ type t = {
   mutable n_latencies : int;
   mutable frame_reuses : int;  (** VM register-frame reuses across workers *)
   mutable arena_hits : int;  (** storage-pool hits across workers *)
+  mutable allocs : int;  (** storage allocations performed across workers *)
+  mutable arena_reuses : int;
+      (** symbolic-plan arena rebinds (persistent arena reused instead of
+          allocated) across workers *)
   mutable retries : int;  (** transient failures retried by workers *)
   mutable worker_restarts : int;  (** worker domains resurrected after dying *)
   failure_kinds : (string, int) Hashtbl.t;
@@ -42,6 +46,8 @@ let create () =
     n_latencies = 0;
     frame_reuses = 0;
     arena_hits = 0;
+    allocs = 0;
+    arena_reuses = 0;
     retries = 0;
     worker_restarts = 0;
     failure_kinds = Hashtbl.create 8;
@@ -91,11 +97,15 @@ let record_batch t ~size =
 let observe_queue_depth t depth =
   locked t (fun () -> t.queue_depth_hwm <- Stdlib.max t.queue_depth_hwm depth)
 
-(** Accumulate a worker's per-request VM reuse counters. *)
-let record_reuse t ~frame_reuses ~arena_hits =
+(** Accumulate a worker's per-batch VM reuse counters: frame reuses,
+    pool hits, storage allocations performed, and symbolic-plan arena
+    rebinds (all deltas over the batch). *)
+let record_reuse t ~frame_reuses ~arena_hits ~allocs ~arena_reuses =
   locked t (fun () ->
       t.frame_reuses <- t.frame_reuses + frame_reuses;
-      t.arena_hits <- t.arena_hits + arena_hits)
+      t.arena_hits <- t.arena_hits + arena_hits;
+      t.allocs <- t.allocs + allocs;
+      t.arena_reuses <- t.arena_reuses + arena_reuses)
 
 (* ------------------------------ summary ------------------------------ *)
 
@@ -114,6 +124,8 @@ type summary = {
   s_mean_ms : float;
   s_frame_reuses : int;
   s_arena_hits : int;
+  s_allocs_per_request : float;  (** storage allocations / completed request *)
+  s_arena_reuses : int;  (** symbolic-plan arena rebinds across workers *)
   s_retries : int;
   s_worker_restarts : int;
   s_failure_kinds : (string * int) list;  (** (kind, count), sorted by kind *)
@@ -158,6 +170,9 @@ let summary t : summary =
         s_mean_ms = mean_lat /. 1e3;
         s_frame_reuses = t.frame_reuses;
         s_arena_hits = t.arena_hits;
+        s_allocs_per_request =
+          float_of_int t.allocs /. float_of_int (Stdlib.max 1 t.completed);
+        s_arena_reuses = t.arena_reuses;
         s_retries = t.retries;
         s_worker_restarts = t.worker_restarts;
         s_failure_kinds =
@@ -187,6 +202,8 @@ let summary_to_json (s : summary) : Nimble_vm.Json.t =
       ("mean_ms", Float s.s_mean_ms);
       ("frame_reuses", Int s.s_frame_reuses);
       ("arena_hits", Int s.s_arena_hits);
+      ("allocs_per_request", Float s.s_allocs_per_request);
+      ("arena_reuses", Int s.s_arena_reuses);
       ("retries", Int s.s_retries);
       ("worker_restarts", Int s.s_worker_restarts);
       ( "failure_kinds",
@@ -198,11 +215,13 @@ let pp_summary ppf (s : summary) =
     "@[<v>submitted %d  completed %d  rejected %d  timeouts %d  errors %d@,\
      batches %d (mean size %.2f)  queue hwm %d@,\
      latency ms: p50 %.3f  p99 %.3f  mean %.3f@,\
-     warm state: frame reuses %d, arena hits %d@,\
+     warm state: frame reuses %d, arena hits %d, arena rebinds %d, \
+     allocs/request %.3f@,\
      resilience: retries %d, worker restarts %d%a@]"
     s.s_submitted s.s_completed s.s_rejected s.s_timeouts s.s_errors s.s_batches
     s.s_mean_batch s.s_queue_depth_hwm s.s_p50_ms s.s_p99_ms s.s_mean_ms
-    s.s_frame_reuses s.s_arena_hits s.s_retries s.s_worker_restarts
+    s.s_frame_reuses s.s_arena_hits s.s_arena_reuses s.s_allocs_per_request
+    s.s_retries s.s_worker_restarts
     (fun ppf kinds ->
       if kinds <> [] then
         Fmt.pf ppf ", failures:%a"

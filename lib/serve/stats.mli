@@ -5,11 +5,19 @@
 
 type t
 
+(** A zeroed recorder with its own mutex. *)
 val create : unit -> t
 
+(** One request submitted (counted whether or not it is admitted). *)
 val record_submit : t -> unit
+
+(** One request refused at admission (pending queue full). *)
 val record_reject : t -> unit
+
+(** One request whose deadline passed before execution started. *)
 val record_timeout : t -> unit
+
+(** One request completed with a non-VM error (no typed failure). *)
 val record_error : t -> unit
 
 (** One transient failure retried by a worker (with backoff). *)
@@ -31,9 +39,13 @@ val record_batch : t -> size:int -> unit
 (** Fold a submission-queue depth observation into the high-water mark. *)
 val observe_queue_depth : t -> int -> unit
 
-(** Accumulate a worker's VM warm-state counters (register-frame reuses,
-    storage-arena hits). *)
-val record_reuse : t -> frame_reuses:int -> arena_hits:int -> unit
+(** Accumulate a worker's per-batch VM warm-state counters:
+    register-frame reuses, storage-pool hits, storage allocations
+    actually performed, and symbolic-plan arena rebinds (persistent
+    arenas reused instead of allocated). All arguments are deltas over
+    one batch. *)
+val record_reuse :
+  t -> frame_reuses:int -> arena_hits:int -> allocs:int -> arena_reuses:int -> unit
 
 type summary = {
   s_submitted : int;
@@ -50,6 +62,14 @@ type summary = {
   s_mean_ms : float;
   s_frame_reuses : int;  (** VM register-frame reuses across workers *)
   s_arena_hits : int;  (** storage-pool hits across workers *)
+  s_allocs_per_request : float;
+      (** storage allocations per completed request across workers — the
+          headline number symbolic planning collapses (near zero once the
+          persistent arenas are warm) *)
+  s_arena_reuses : int;
+      (** symbolic-plan arena rebinds across workers: [BindArena]
+          executions that reused a persistent arena instead of
+          allocating one (see [docs/MEMORY.md]) *)
   s_retries : int;  (** transient failures retried by workers *)
   s_worker_restarts : int;  (** worker domains resurrected after dying *)
   s_failure_kinds : (string * int) list;

@@ -1,0 +1,148 @@
+(** Symbolic size/offset expressions for memory planning (paper §4.3,
+    BladeDISC++-style symbolic arena layout).
+
+    A [t] is an integer expression over symbolic dimensions ([Dim.Sym]
+    identifiers): constants, dimension references, sums, products and
+    alignment round-ups. The memory planner emits arena slot offsets and
+    sizes as these expressions; the VM evaluates them once per request
+    against the dims bound by the actual argument shapes, so one plan
+    serves every shape in a serve bucket. *)
+
+type t =
+  | Const of int  (** a concrete byte count or element count *)
+  | Dim of int  (** the value of symbolic dimension [Sym id] *)
+  | Add of t * t
+  | Mul of t * t
+  | Align of t * int  (** round the operand up to a multiple of [n] (n >= 1) *)
+
+let const n = Const n
+let dim s = Dim s
+let add a b =
+  match (a, b) with
+  | Const 0, e | e, Const 0 -> e
+  | Const x, Const y -> Const (x + y)
+  | _ -> Add (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Const 1, e | e, Const 1 -> e
+  | Const 0, _ | _, Const 0 -> Const 0
+  | Const x, Const y -> Const (x * y)
+  | _ -> Mul (a, b)
+
+let align e n =
+  if n <= 1 then e
+  else
+    match e with
+    | Const x -> Const ((x + n - 1) / n * n)
+    | Align (_, m) when m mod n = 0 -> e
+    | _ -> Align (e, n)
+
+let rec eval (env : int -> int) = function
+  | Const n -> n
+  | Dim s -> env s
+  | Add (a, b) -> eval env a + eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Align (e, n) -> (eval env e + n - 1) / n * n
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Dim x, Dim y -> x = y
+  | Add (a1, a2), Add (b1, b2) | Mul (a1, a2), Mul (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Align (e1, n1), Align (e2, n2) -> n1 = n2 && equal e1 e2
+  | _ -> false
+
+let free_dims e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Dim s -> if List.mem s acc then acc else s :: acc
+    | Add (a, b) | Mul (a, b) -> go (go acc a) b
+    | Align (e, _) -> go acc e
+  in
+  List.sort compare (go [] e)
+
+(* Structural monotonicity: with only non-negative constants,
+   multiplication and alignment, the expression is nondecreasing in every
+   dimension (dims themselves are shape extents, hence >= 0). *)
+let rec monotone = function
+  | Const n -> n >= 0
+  | Dim _ -> true
+  | Add (a, b) | Mul (a, b) -> monotone a && monotone b
+  | Align (e, n) -> n >= 1 && monotone e
+
+(* ------------------------- concrete syntax -------------------------
+   A compact prefix s-expression, used by the executable serializer:
+   "42" is Const 42, "s3" is Dim 3, "(+ a b)" is Add, "(* a b)" is Mul,
+   "(^ 64 e)" is Align (e, 64). *)
+
+let rec to_string = function
+  | Const n -> string_of_int n
+  | Dim s -> "s" ^ string_of_int s
+  | Add (a, b) -> "(+ " ^ to_string a ^ " " ^ to_string b ^ ")"
+  | Mul (a, b) -> "(* " ^ to_string a ^ " " ^ to_string b ^ ")"
+  | Align (e, n) -> "(^ " ^ string_of_int n ^ " " ^ to_string e ^ ")"
+
+exception Parse_error of string
+
+let of_string s : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d in %S" msg !pos s)) in
+  let skip () = while !pos < n && s.[!pos] = ' ' do incr pos done in
+  let int_lit () =
+    let start = !pos in
+    if !pos < n && s.[!pos] = '-' then incr pos;
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do incr pos done;
+    if !pos = start then fail "expected integer";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec expr () =
+    skip ();
+    if !pos >= n then fail "unexpected end"
+    else if s.[!pos] = '(' then begin
+      incr pos;
+      skip ();
+      if !pos >= n then fail "unexpected end";
+      let op = s.[!pos] in
+      incr pos;
+      let e =
+        match op with
+        | '+' ->
+            let a = expr () in
+            let b = expr () in
+            Add (a, b)
+        | '*' ->
+            let a = expr () in
+            let b = expr () in
+            Mul (a, b)
+        | '^' ->
+            skip ();
+            let align_to = int_lit () in
+            let e = expr () in
+            Align (e, align_to)
+        | c -> fail (Printf.sprintf "unknown operator %c" c)
+      in
+      skip ();
+      if !pos >= n || s.[!pos] <> ')' then fail "expected ')'";
+      incr pos;
+      e
+    end
+    else if s.[!pos] = 's' then begin
+      incr pos;
+      Dim (int_lit ())
+    end
+    else Const (int_lit ())
+  in
+  let e = expr () in
+  skip ();
+  if !pos <> n then fail "trailing input";
+  e
+
+let rec pp ppf = function
+  | Const n -> Fmt.int ppf n
+  | Dim s -> Fmt.pf ppf "s%d" s
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Align (e, n) -> Fmt.pf ppf "align(%a, %d)" pp e n

@@ -1,0 +1,66 @@
+(** Symbolic size/offset expressions for memory planning (paper §4.3,
+    BladeDISC++-style symbolic arena layout).
+
+    A [t] is an integer expression over symbolic dimensions ([Dim.Sym]
+    identifiers). The memory planner emits arena slot offsets and sizes as
+    these expressions; the VM evaluates them once per request against the
+    dims bound by the actual argument shapes, so one plan serves every
+    shape in a serve bucket (see [docs/MEMORY.md]). *)
+
+(** The expression language: constants, symbolic-dimension references,
+    sums, products, and round-up-to-multiple alignment. *)
+type t =
+  | Const of int  (** a concrete byte count or element count *)
+  | Dim of int  (** the value of symbolic dimension [Sym id] *)
+  | Add of t * t
+  | Mul of t * t
+  | Align of t * int  (** round the operand up to a multiple of [n] (n >= 1) *)
+
+(** [const n] is [Const n]. *)
+val const : int -> t
+
+(** [dim s] references symbolic dimension [s]. *)
+val dim : int -> t
+
+(** Smart sum: folds constants and drops zero operands. *)
+val add : t -> t -> t
+
+(** Smart product: folds constants, absorbs zero, drops unit operands. *)
+val mul : t -> t -> t
+
+(** [align e n] rounds [e] up to a multiple of [n]; identity for [n <= 1]
+    and folded when the operand is constant or already aligned. *)
+val align : t -> int -> t
+
+(** [eval env e] evaluates [e] with [env s] giving the concrete value of
+    symbolic dimension [s].
+    @raise Not_found (or whatever [env] raises) on an unbound dim. *)
+val eval : (int -> int) -> t -> int
+
+(** Structural equality. *)
+val equal : t -> t -> bool
+
+(** The distinct symbolic dimensions appearing in the expression, sorted. *)
+val free_dims : t -> int list
+
+(** Structural monotonicity check: [true] when the expression is
+    nondecreasing in every dimension because it uses only non-negative
+    constants, addition, multiplication and valid alignment — the planner's
+    upper-bound-soundness precondition (sizes evaluated at a bucket's upper
+    bound dominate every admissible shape in the bucket). *)
+val monotone : t -> bool
+
+(** Render to the compact prefix syntax used by the executable format:
+    ["42"], ["s3"], ["(+ a b)"], a star-headed form for products, and
+    ["(^ 64 e)"] for [Align (e, 64)]. *)
+val to_string : t -> string
+
+(** Raised by {!of_string} on malformed input, with position context. *)
+exception Parse_error of string
+
+(** Parse the {!to_string} syntax back.
+    @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+(** Human-readable infix printer for diagnostics. *)
+val pp : Format.formatter -> t -> unit

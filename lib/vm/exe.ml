@@ -44,6 +44,30 @@ type packed = {
   run : Tensor.t list -> Tensor.t list;
 }
 
+(** One symbolic-dim binding of a memory plan: at bind time the VM reads
+    dimension [b_dim] of argument [b_arg]'s shape as the value of symbolic
+    dim [b_sym]. *)
+type binder = { b_arg : int; b_dim : int; b_sym : int }
+
+(** One arena slot of a symbolic memory plan: byte offset and size as
+    expressions over the bound symbolic dims. *)
+type slot = {
+  s_offset : Nimble_shape.Sym_expr.t;
+  s_size : Nimble_shape.Sym_expr.t;
+}
+
+(** A symbolic memory plan (paper §4.3, BladeDISC++-style): emitted by the
+    memory planner for one function x device, bound per request by
+    [BindArena] (see [docs/MEMORY.md]). *)
+type plan = {
+  p_func : int;  (** function the plan belongs to *)
+  p_device : int;  (** device the arena lives on *)
+  p_align : int;  (** arena alignment *)
+  p_binders : binder array;  (** how to bind each free symbolic dim *)
+  p_slots : slot array;  (** slot offsets/sizes, [AllocTensorReg.slot]-indexed *)
+  p_total : Nimble_shape.Sym_expr.t;  (** total arena bytes *)
+}
+
 type t = {
   funcs : vmfunc array;
   constants : Tensor.t array;
@@ -52,6 +76,8 @@ type t = {
   mutable guards : guard array array;
       (** entry guards per function, indexed like [funcs]; [[||]] means the
           function was compiled unguarded *)
+  mutable plans : plan array;
+      (** symbolic memory plans, [BindArena.plan_index]-indexed *)
 }
 
 let create ~funcs ~constants ~packed_names =
@@ -61,7 +87,12 @@ let create ~funcs ~constants ~packed_names =
     packed_names;
     packed = Array.make (Array.length packed_names) None;
     guards = Array.make (Array.length funcs) [||];
+    plans = [||];
   }
+
+(** Attach the compiler-emitted symbolic memory plans ([BindArena] operand
+    table). *)
+let set_plans t plans = t.plans <- plans
 
 (** Attach compiler-emitted entry guards, one (possibly empty) array per
     function in [funcs] order. *)
@@ -159,10 +190,20 @@ let validate (t : t) : string list =
           | Isa.AllocTensor { storage; dst; _ } ->
               check_reg pc storage "storage";
               check_reg pc dst "dst"
-          | Isa.AllocTensorReg { storage; shape; dst; _ } ->
+          | Isa.AllocTensorReg { storage; shape; plan; slot; dst; _ } ->
               check_reg pc storage "storage";
               check_reg pc shape "shape";
-              check_reg pc dst "dst"
+              check_reg pc dst "dst";
+              if plan >= 0 then begin
+                if plan >= Array.length t.plans then
+                  bad "fn%d %s pc=%d: bad plan index %d" fi f.name pc plan
+                else if slot < 0 || slot >= Array.length t.plans.(plan).p_slots then
+                  bad "fn%d %s pc=%d: slot %d outside plan%d's %d slots" fi f.name pc
+                    slot plan
+                    (Array.length t.plans.(plan).p_slots)
+              end
+              else if slot >= 0 then
+                bad "fn%d %s pc=%d: slot %d without a plan" fi f.name pc slot
           | Isa.AllocADT { fields; dst; _ } ->
               check_regs pc fields "field";
               check_reg pc dst "dst"
@@ -195,7 +236,23 @@ let validate (t : t) : string list =
               check_reg pc tensor "tensor";
               check_reg pc shape "shape";
               check_reg pc dst "dst"
-          | Isa.Fatal _ -> ())
+          | Isa.Fatal _ -> ()
+          | Isa.BindArena { plan_index; dst } ->
+              check_reg pc dst "dst";
+              if plan_index < 0 || plan_index >= Array.length t.plans then
+                bad "fn%d %s pc=%d: bad plan index %d" fi f.name pc plan_index
+              else begin
+                let p = t.plans.(plan_index) in
+                if p.p_func <> fi then
+                  bad "fn%d %s pc=%d: plan%d belongs to fn%d" fi f.name pc plan_index
+                    p.p_func;
+                Array.iter
+                  (fun b ->
+                    if b.b_arg < 0 || b.b_arg >= f.arity then
+                      bad "fn%d %s pc=%d: plan%d binder reads argument %d outside arity %d"
+                        fi f.name pc plan_index b.b_arg f.arity)
+                  p.p_binders
+              end)
         f.code;
       (* entry guards must name real argument positions *)
       Array.iter

@@ -48,9 +48,34 @@ type packed = {
   run : Tensor.t list -> Tensor.t list;
 }
 
+(** One symbolic-dim binding of a memory plan: at bind time the VM reads
+    dimension [b_dim] of argument [b_arg]'s shape as the value of symbolic
+    dim [b_sym]. *)
+type binder = { b_arg : int; b_dim : int; b_sym : int }
+
+(** One arena slot of a symbolic memory plan: byte offset and size as
+    expressions over the bound symbolic dims. *)
+type slot = {
+  s_offset : Nimble_shape.Sym_expr.t;
+  s_size : Nimble_shape.Sym_expr.t;
+}
+
+(** A symbolic memory plan (paper §4.3, BladeDISC++-style): emitted by the
+    memory planner for one function x device, bound per request by the
+    [BindArena] instruction, with tensor slots suballocated by
+    [AllocTensorReg]. See [docs/MEMORY.md]. *)
+type plan = {
+  p_func : int;  (** function the plan belongs to *)
+  p_device : int;  (** device the arena lives on *)
+  p_align : int;  (** arena alignment *)
+  p_binders : binder array;  (** how to bind each free symbolic dim *)
+  p_slots : slot array;  (** slot offsets/sizes, [AllocTensorReg.slot]-indexed *)
+  p_total : Nimble_shape.Sym_expr.t;  (** total arena bytes *)
+}
+
 (** An executable: the serializable, platform-independent part (bytecode
-    functions, constant pool, packed-function names) plus the linked-in
-    platform-dependent implementations. *)
+    functions, constant pool, packed-function names, guards, memory plans)
+    plus the linked-in platform-dependent implementations. *)
 type t = {
   funcs : vmfunc array;
   constants : Tensor.t array;
@@ -59,6 +84,8 @@ type t = {
   mutable guards : guard array array;
       (** entry guards per function, indexed like [funcs]; [[||]] = the
           function was compiled unguarded *)
+  mutable plans : plan array;
+      (** symbolic memory plans, [BindArena.plan_index]-indexed *)
 }
 
 (** Assemble an executable with every packed slot unlinked; call {!link}
@@ -76,6 +103,10 @@ val set_guards : t -> guard array array -> unit
 
 (** The executable's entry guards, indexed like [funcs]. *)
 val guards : t -> guard array array
+
+(** Attach the compiler-emitted symbolic memory plans (the [BindArena]
+    operand table). *)
+val set_plans : t -> plan array -> unit
 
 (** Index of a VM function by name. @raise Invalid_argument if absent. *)
 val func_index : t -> string -> int

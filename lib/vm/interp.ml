@@ -63,6 +63,11 @@ type t = {
       (** storages reused across top-level invocations, keyed by allocation
           site; recursive frames always allocate fresh so concurrently-live
           frames never alias *)
+  plan_arenas : (int, Storage.t) Hashtbl.t;
+      (** persistent symbolic-plan arenas, keyed by plan index: [BindArena]
+          reuses the retained storage whenever it is large enough for the
+          request's bound dims, so steady-state serving allocates nothing
+          (see [docs/MEMORY.md]) *)
   mutable on_instruction : (Isa.t -> unit) option;
       (** QoS hook (paper SS5.3): called before every instruction, letting a
           scheduler pause, deprioritize, or abort this inference in favor of
@@ -90,6 +95,7 @@ let create ?(max_depth = 100_000) ?(pooling = true) ?(guards = true)
     max_depth;
     pooling;
     arenas = Hashtbl.create 4;
+    plan_arenas = Hashtbl.create 4;
     on_instruction = None;
     trace = None;
     guards_on = guards;
@@ -153,6 +159,73 @@ let storage_bytes (shape_t : Tensor.t) (dtype : Dtype.t) ~alignment =
   let n = Array.fold_left ( * ) 1 dims in
   let b = n * Dtype.size_in_bytes dtype in
   (b + alignment - 1) / alignment * alignment
+
+(* ------------- symbolic memory plans (docs/MEMORY.md) ------------- *)
+
+(* Evaluate a plan's binders against argument shapes ([shape_of_arg i] is
+   argument [i]'s shape when it is a tensor). Returns a dim lookup for
+   [Sym_expr.eval], or a message naming the binder that could not be
+   satisfied. *)
+let bind_plan_dims (p : Exe.plan) (shape_of_arg : int -> int array option) :
+    (int -> int, string) result =
+  let env = Hashtbl.create 4 in
+  let missing = ref None in
+  Array.iter
+    (fun (b : Exe.binder) ->
+      if !missing = None then
+        match shape_of_arg b.Exe.b_arg with
+        | Some shape when b.Exe.b_dim < Array.length shape ->
+            Hashtbl.replace env b.Exe.b_sym shape.(b.Exe.b_dim)
+        | Some shape ->
+            missing :=
+              Some
+                (Fmt.str "plan binder: argument %d has rank %d, needs dim %d"
+                   b.Exe.b_arg (Array.length shape) b.Exe.b_dim)
+        | None ->
+            missing :=
+              Some (Fmt.str "plan binder: argument %d is not a tensor" b.Exe.b_arg))
+    p.Exe.p_binders;
+  match !missing with
+  | Some msg -> Error msg
+  | None ->
+      Ok
+        (fun s ->
+          match Hashtbl.find_opt env s with
+          | Some v -> v
+          | None -> err "plan references unbound symbolic dim s%d" s)
+
+(* Acquire the arena behind [plan_index]: with [persistent] (pooling,
+   depth 0), reuse the retained per-plan storage whenever it is already
+   large enough — the serve-time fast path that allocates nothing — and
+   grow or create it otherwise; without, allocate fresh. Returns the
+   storage and whether it was a reuse. *)
+let acquire_plan_arena vm ~persistent ~plan_index ~device ~bytes :
+    Storage.t * bool =
+  if persistent then
+    match Hashtbl.find_opt vm.plan_arenas plan_index with
+    | Some cached when cached.Storage.bytes >= bytes -> (cached, true)
+    | prev ->
+        Fault.check "storage_alloc";
+        let retained =
+          match prev with
+          | Some old -> vm.pool_bytes - old.Storage.bytes
+          | None -> vm.pool_bytes
+        in
+        (match vm.max_pool_bytes with
+        | Some cap when retained + bytes > cap ->
+            err "storage pool byte cap exceeded: %d retained + %d > %d" retained
+              bytes cap
+        | _ -> ());
+        Nimble_device.Pool.record_alloc vm.profiler.Profiler.pool device ~bytes;
+        let fresh = Storage.create ~device ~bytes ~is_arena:true in
+        vm.pool_bytes <- retained + bytes;
+        Hashtbl.replace vm.plan_arenas plan_index fresh;
+        (fresh, false)
+  else begin
+    Fault.check "storage_alloc";
+    Nimble_device.Pool.record_alloc vm.profiler.Profiler.pool device ~bytes;
+    (Storage.create ~device ~bytes ~is_arena:true, false)
+  end
 
 (** A reusable execution context: the top-level register frame for each
     entry function, kept across invocations so a steady-state caller (the
@@ -262,6 +335,10 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
     | _ -> Array.make nregs Obj.unit
   in
   Array.blit args 0 regs 0 (Array.length args);
+  (* per-frame slot offsets of bound symbolic plans: filled by [BindArena],
+     read by planned [AllocTensorReg]; frame-local so recursive frames with
+     different bound dims never see each other's offsets *)
+  let plan_offsets : (int, int array) Hashtbl.t Lazy.t = lazy (Hashtbl.create 2) in
   let prof = vm.profiler in
   let set_reg i (o : Obj.t) =
     (* overwriting the last reference releases the old object *)
@@ -306,7 +383,9 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
           | `Kernel -> Kernel_trap
           | `Shape_func -> Shape_func
           | exception _ -> Internal)
-      | Isa.AllocStorage _ | Isa.AllocTensor _ | Isa.AllocTensorReg _ -> Alloc
+      | Isa.AllocStorage _ | Isa.AllocTensor _ | Isa.AllocTensorReg _
+      | Isa.BindArena _ ->
+          Alloc
       | _ -> Internal
     in
     (try
@@ -467,10 +546,20 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
         | None -> ());
         set_reg dst (Obj.Tensor { Obj.data; device = s.Storage.device });
         incr pc
-    | Isa.AllocTensorReg { storage; offset; shape; dtype; dst } ->
+    | Isa.AllocTensorReg { storage; offset; shape; dtype; plan; slot; dst } ->
         let t0 = now () in
         let s = Obj.to_storage (get storage) in
         let dims = Tensor.to_shape (Obj.to_tensor (get shape)) in
+        let offset =
+          if plan < 0 then offset
+          else
+            match Hashtbl.find_opt (Lazy.force plan_offsets) plan with
+            | Some offs when slot >= 0 && slot < Array.length offs -> offs.(slot)
+            | Some offs ->
+                err "AllocTensorReg: slot %d outside plan%d's %d slots" slot plan
+                  (Array.length offs)
+            | None -> err "AllocTensorReg: plan%d used before bind_arena" plan
+        in
         let data = Storage.alloc_tensor s ~offset ~shape:dims ~dtype in
         let dt = now () -. t0 in
         prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. dt;
@@ -545,6 +634,53 @@ let rec exec_func (vm : t) ?ctx ~depth (fi : int) (args : Obj.t array) : Obj.t =
         set_reg dst (Obj.Tensor { Obj.data = Tensor.reshape p.Obj.data dims; device = p.Obj.device });
         incr pc
     | Isa.Fatal msg -> err "fatal: %s" msg
+    | Isa.BindArena { plan_index; dst } ->
+        let t0 = now () in
+        if plan_index < 0 || plan_index >= Array.length vm.exe.Exe.plans then
+          err "BindArena: bad plan index %d" plan_index;
+        let p = vm.exe.Exe.plans.(plan_index) in
+        let shape_of_arg i =
+          if i < 0 || i >= Array.length args then None
+          else
+            match args.(i) with
+            | Obj.Tensor pl -> Some (Tensor.shape pl.Obj.data)
+            | _ -> None
+        in
+        let lookup =
+          match bind_plan_dims p shape_of_arg with
+          | Ok f -> f
+          | Error msg -> err "%s" msg
+        in
+        let bytes = Nimble_shape.Sym_expr.eval lookup p.Exe.p_total in
+        if bytes < 0 then err "BindArena: negative arena size %d" bytes;
+        let offsets =
+          Array.map
+            (fun (s : Exe.slot) -> Nimble_shape.Sym_expr.eval lookup s.Exe.s_offset)
+            p.Exe.p_slots
+        in
+        Hashtbl.replace (Lazy.force plan_offsets) plan_index offsets;
+        let device = Nimble_device.Device.of_id p.Exe.p_device in
+        let persistent = vm.pooling && depth = 0 in
+        let storage, reused =
+          acquire_plan_arena vm ~persistent ~plan_index ~device ~bytes
+        in
+        if reused then
+          prof.Profiler.arena_rebinds <- prof.Profiler.arena_rebinds + 1;
+        let dt = now () -. t0 in
+        prof.Profiler.alloc_seconds <- prof.Profiler.alloc_seconds +. dt;
+        (match vm.trace with
+        | Some tr ->
+            Trace.record tr ~name:"bind_arena" ~cat:Trace.cat_alloc
+              ~ts_us:instr_ts ~dur_us:(dt *. 1e6)
+              [
+                ("bytes", Trace.Int bytes);
+                ("device", Trace.Int p.Exe.p_device);
+                ("reused", Trace.Bool reused);
+                ("plan", Trace.Int plan_index);
+              ]
+        | None -> ());
+        set_reg dst (Obj.Storage storage);
+        incr pc
      with
      | (Vm_failure _ | Preempted) as e -> raise e
      | Fault.Injected { point; mode } ->
@@ -646,5 +782,39 @@ let run_tensors_result ?func ?ctx vm inputs :
 let run_tensors ?func ?ctx vm inputs =
   let args = List.map (fun t -> Obj.tensor t) inputs in
   Obj.to_tensor (invoke ?func ?ctx vm args)
+
+(** Pre-bind the persistent arenas of [func]'s symbolic plans against the
+    shapes [shape_of_arg] yields (e.g. a serve bucket's upper bound), so
+    subsequent invocations whose bound dims fit rebind instead of
+    allocating. Plans whose binders the shapes cannot satisfy are skipped,
+    and warming failures (byte-cap, injected faults) are swallowed — the
+    actual [BindArena] will surface them through the typed channel.
+    Returns the number of arenas bound. No-op (0) when pooling is off. *)
+let warm_arenas ?(func = "main") vm (shape_of_arg : int -> int array option) :
+    int =
+  if not vm.pooling then 0
+  else begin
+    let fi = Exe.func_index vm.exe func in
+    let bound = ref 0 in
+    Array.iteri
+      (fun plan_index (p : Exe.plan) ->
+        if p.Exe.p_func = fi then
+          match bind_plan_dims p shape_of_arg with
+          | Error _ -> ()
+          | Ok lookup -> (
+              try
+                let bytes = Nimble_shape.Sym_expr.eval lookup p.Exe.p_total in
+                if bytes >= 0 then begin
+                  let device = Nimble_device.Device.of_id p.Exe.p_device in
+                  let (_ : Storage.t * bool) =
+                    acquire_plan_arena vm ~persistent:true ~plan_index ~device
+                      ~bytes
+                  in
+                  incr bound
+                end
+              with Vm_error _ | Fault.Injected _ -> ()))
+      vm.exe.Exe.plans;
+    !bound
+  end
 
 let profiler vm = vm.profiler

@@ -1,5 +1,6 @@
-(** The VM interpreter (paper §5.2): a dispatch loop over the 20-instruction
-    ISA with tagged objects, storage pooling, profiling, and QoS hooks. *)
+(** The VM interpreter (paper §5.2): a dispatch loop over the 21-instruction
+    ISA with tagged objects, storage pooling, symbolic-plan arenas,
+    profiling, and QoS hooks. *)
 
 exception Vm_error of string
 
@@ -138,6 +139,18 @@ val run_tensors_result :
 (** Convenience wrapper: tensor inputs, tensor output. *)
 val run_tensors :
   ?func:string -> ?ctx:ctx -> t -> Nimble_tensor.Tensor.t list -> Nimble_tensor.Tensor.t
+
+(** Pre-bind the persistent arenas of [func]'s symbolic memory plans
+    (default ["main"]) against the shapes [shape_of_arg] yields per
+    argument position — typically a serve bucket's upper-bound shapes —
+    so subsequent invocations whose bound dims fit the warmed arenas
+    rebind them instead of allocating (counted by the profiler's
+    [arena_rebinds]). Plans whose binders the shapes cannot satisfy are
+    skipped; warming failures (pool byte cap, injected faults) are
+    swallowed — the invocation's own [BindArena] will surface them through
+    the typed failure channel. Returns the number of arenas bound; [0]
+    without pooling. See [docs/MEMORY.md]. *)
+val warm_arenas : ?func:string -> t -> (int -> int array option) -> int
 
 (** The interpreter's profiler: instruction counts, kernel vs other time,
     allocation time, per-kernel statistics, memory-pool accounting. *)

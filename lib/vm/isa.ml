@@ -1,5 +1,6 @@
-(** The Nimble VM instruction set — exactly the 20 CISC-style instructions
-    of the paper's Table A.1. Registers are frame-local indices into an
+(** The Nimble VM instruction set — the 20 CISC-style instructions of the
+    paper's Table A.1 plus [BindArena], the symbolic-memory-plan binder
+    (see [docs/MEMORY.md]). Registers are frame-local indices into an
     unbounded virtual register file. *)
 
 open Nimble_tensor
@@ -35,8 +36,17 @@ type t =
           the byte size *)
   | AllocTensor of { storage : reg; offset : int; shape : int array; dtype : Dtype.t; dst : reg }
       (** allocates a tensor with a static shape from a storage *)
-  | AllocTensorReg of { storage : reg; offset : int; shape : reg; dtype : Dtype.t; dst : reg }
-      (** allocates a tensor given the shape in a register *)
+  | AllocTensorReg of {
+      storage : reg;
+      offset : int;
+      shape : reg;
+      dtype : Dtype.t;
+      plan : int;  (** symbolic plan index, [-1] when unplanned *)
+      slot : int;
+          (** arena slot whose bound offset overrides [offset]; [-1] when
+              unplanned *)
+      dst : reg;
+    }  (** allocates a tensor given the shape in a register *)
   | AllocADT of { tag : int; fields : reg array; dst : reg }
       (** allocates a data type (tuples use tag 0) *)
   | AllocClosure of { func_index : int; captured : reg array; dst : reg }
@@ -54,6 +64,11 @@ type t =
   | ShapeOf of { tensor : reg; dst : reg }
   | ReshapeTensor of { tensor : reg; shape : reg; dst : reg }
   | Fatal of string
+  | BindArena of { plan_index : int; dst : reg }
+      (** evaluates symbolic plan [plan_index] against the dims bound from
+          the current frame's arguments and produces the arena storage
+          (reusing a persistent arena when pooling); tensor slots are
+          suballocated by [AllocTensorReg] with [plan]/[slot] set *)
 
 let opcode = function
   | Move _ -> 0
@@ -76,8 +91,9 @@ let opcode = function
   | ShapeOf _ -> 17
   | ReshapeTensor _ -> 18
   | Fatal _ -> 19
+  | BindArena _ -> 20
 
-let num_opcodes = 20
+let num_opcodes = 21
 
 let opcode_name = function
   | 0 -> "Move"
@@ -100,6 +116,7 @@ let opcode_name = function
   | 17 -> "ShapeOf"
   | 18 -> "ReshapeTensor"
   | 19 -> "Fatal"
+  | 20 -> "BindArena"
   | n -> Fmt.str "op%d" n
 
 let pp_regs ppf rs = Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") int) rs
@@ -123,9 +140,13 @@ let pp ppf = function
   | AllocTensor { storage; offset; shape; dtype; dst } ->
       Fmt.pf ppf "alloc_tensor $%d+%d %a %a -> $%d" storage offset Shape.pp shape
         Dtype.pp dtype dst
-  | AllocTensorReg { storage; offset; shape; dtype; dst } ->
-      Fmt.pf ppf "alloc_tensor_reg $%d+%d shape=$%d %a -> $%d" storage offset shape
-        Dtype.pp dtype dst
+  | AllocTensorReg { storage; offset; shape; dtype; plan; slot; dst } ->
+      if plan >= 0 then
+        Fmt.pf ppf "alloc_tensor_reg $%d@@plan%d.%d shape=$%d %a -> $%d" storage plan
+          slot shape Dtype.pp dtype dst
+      else
+        Fmt.pf ppf "alloc_tensor_reg $%d+%d shape=$%d %a -> $%d" storage offset shape
+          Dtype.pp dtype dst
   | AllocADT { tag; fields; dst } ->
       Fmt.pf ppf "alloc_adt tag=%d %a -> $%d" tag pp_regs fields dst
   | AllocClosure { func_index; captured; dst } ->
@@ -143,3 +164,4 @@ let pp ppf = function
   | ReshapeTensor { tensor; shape; dst } ->
       Fmt.pf ppf "reshape_tensor $%d shape=$%d -> $%d" tensor shape dst
   | Fatal msg -> Fmt.pf ppf "fatal %S" msg
+  | BindArena { plan_index; dst } -> Fmt.pf ppf "bind_arena plan%d -> $%d" plan_index dst

@@ -16,6 +16,9 @@ type t = {
   mutable shape_func_invocations : int;
   mutable pool_hits : int;
       (** storage requests served by the interpreter's cross-invocation pool *)
+  mutable arena_rebinds : int;
+      (** [BindArena] executions that rebound a persistent symbolic-plan
+          arena instead of allocating one (see [docs/MEMORY.md]) *)
   per_kernel : (string, kernel_stat) Hashtbl.t;
       (** cumulative time and call count per packed function *)
   pool : Nimble_device.Pool.t;
@@ -40,6 +43,7 @@ let create () =
     kernel_invocations = 0;
     shape_func_invocations = 0;
     pool_hits = 0;
+    arena_rebinds = 0;
     per_kernel = Hashtbl.create 32;
     pool = Nimble_device.Pool.create ();
   }
@@ -52,6 +56,7 @@ let reset t =
   t.kernel_invocations <- 0;
   t.shape_func_invocations <- 0;
   t.pool_hits <- 0;
+  t.arena_rebinds <- 0;
   Hashtbl.reset t.per_kernel;
   Nimble_device.Pool.reset t.pool
 
@@ -167,6 +172,7 @@ type report = {
   r_shape_func_invocations : int;
   r_total_instructions : int;
   r_pool_hits : int;
+  r_arena_rebinds : int;  (** persistent symbolic-plan arena reuses *)
   r_instructions : (string * int) list;  (** opcode name -> count, nonzero *)
   r_kernels : kernel_row list;  (** every packed function, hottest first *)
   r_devices : device_row list;  (** per-device pool accounting, by id *)
@@ -239,6 +245,7 @@ let report ?dispatch t : report =
     r_shape_func_invocations = t.shape_func_invocations;
     r_total_instructions = total_instrs t;
     r_pool_hits = t.pool_hits;
+    r_arena_rebinds = t.arena_rebinds;
     r_instructions = instructions;
     r_kernels = kernels;
     r_devices = devices;
@@ -305,6 +312,7 @@ let report_to_json ?server (r : report) : Json.t =
       ("shape_func_invocations", Json.Int r.r_shape_func_invocations);
       ("total_instructions", Json.Int r.r_total_instructions);
       ("pool_hits", Json.Int r.r_pool_hits);
+      ("arena_rebinds", Json.Int r.r_arena_rebinds);
       ( "instructions",
         Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) r.r_instructions) );
       ( "parallel",

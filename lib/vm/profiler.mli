@@ -24,6 +24,10 @@ type t = {
   mutable pool_hits : int;
       (** storage requests served by the interpreter's cross-invocation
           storage pool instead of a fresh allocation *)
+  mutable arena_rebinds : int;
+      (** [BindArena] executions that rebound a persistent symbolic-plan
+          arena instead of allocating one — the serve-time arena-reuse
+          counter (see [docs/MEMORY.md]) *)
   per_kernel : (string, kernel_stat) Hashtbl.t;
       (** cumulative time and call count per packed function *)
   pool : Nimble_device.Pool.t;
@@ -125,6 +129,7 @@ type report = {
   r_shape_func_invocations : int;
   r_total_instructions : int;
   r_pool_hits : int;
+  r_arena_rebinds : int;  (** persistent symbolic-plan arena reuses *)
   r_instructions : (string * int) list;  (** opcode name -> count, nonzero *)
   r_kernels : kernel_row list;  (** every packed function, hottest first *)
   r_devices : device_row list;  (** per-device pool accounting, by id *)

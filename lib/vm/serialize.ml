@@ -13,8 +13,10 @@ exception Format_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 
-(* version 2 appends the entry-guard tables after each function's code *)
-let magic = "NMBLEXE2"
+(* version 2 appended the entry-guard tables after each function's code;
+   version 3 adds the symbolic memory-plan table after the functions and
+   extends AllocTensorReg with plan/slot fields *)
+let magic = "NMBLEXE3"
 
 (* ---------------- writer ---------------- *)
 
@@ -106,11 +108,13 @@ let w_instr b (i : Isa.t) =
       w_regs b shape;
       w_u8 b (dtype_code dtype);
       w_i32 b dst
-  | Isa.AllocTensorReg { storage; offset; shape; dtype; dst } ->
+  | Isa.AllocTensorReg { storage; offset; shape; dtype; plan; slot; dst } ->
       w_i32 b storage;
       w_i32 b offset;
       w_i32 b shape;
       w_u8 b (dtype_code dtype);
+      w_i32 b plan;
+      w_i32 b slot;
       w_i32 b dst
   | Isa.AllocADT { tag; fields; dst } ->
       w_i32 b tag;
@@ -151,6 +155,9 @@ let w_instr b (i : Isa.t) =
       w_i32 b shape;
       w_i32 b dst
   | Isa.Fatal msg -> w_string b msg
+  | Isa.BindArena { plan_index; dst } ->
+      w_i32 b plan_index;
+      w_i32 b dst
 
 let w_guard b (g : Exe.guard) =
   w_i32 b g.Exe.g_arg;
@@ -172,6 +179,28 @@ let w_guard b (g : Exe.guard) =
           w_u8 b 2;
           w_i32 b s)
     g.Exe.g_dims
+
+let w_sym_expr b (e : Nimble_shape.Sym_expr.t) =
+  w_string b (Nimble_shape.Sym_expr.to_string e)
+
+let w_plan b (p : Exe.plan) =
+  w_i32 b p.Exe.p_func;
+  w_i32 b p.Exe.p_device;
+  w_i32 b p.Exe.p_align;
+  w_i32 b (Array.length p.Exe.p_binders);
+  Array.iter
+    (fun (bd : Exe.binder) ->
+      w_i32 b bd.Exe.b_arg;
+      w_i32 b bd.Exe.b_dim;
+      w_i32 b bd.Exe.b_sym)
+    p.Exe.p_binders;
+  w_i32 b (Array.length p.Exe.p_slots);
+  Array.iter
+    (fun (s : Exe.slot) ->
+      w_sym_expr b s.Exe.s_offset;
+      w_sym_expr b s.Exe.s_size)
+    p.Exe.p_slots;
+  w_sym_expr b p.Exe.p_total
 
 let to_bytes (exe : Exe.t) : string =
   let b = Buffer.create 4096 in
@@ -197,6 +226,8 @@ let to_bytes (exe : Exe.t) : string =
       w_i32 b (Array.length gs);
       Array.iter (w_guard b) gs)
     exe.Exe.funcs;
+  w_i32 b (Array.length exe.Exe.plans);
+  Array.iter (w_plan b) exe.Exe.plans;
   Buffer.contents b
 
 (* ---------------- reader ---------------- *)
@@ -308,8 +339,10 @@ let r_instr r : Isa.t =
       let offset = r_i32 r in
       let shape = r_i32 r in
       let dtype = dtype_of_code (r_u8 r) in
+      let plan = r_i32 r in
+      let slot = r_i32 r in
       let dst = r_i32 r in
-      Isa.AllocTensorReg { storage; offset; shape; dtype; dst }
+      Isa.AllocTensorReg { storage; offset; shape; dtype; plan; slot; dst }
   | 8 ->
       let tag = r_i32 r in
       let fields = r_regs r in
@@ -359,6 +392,10 @@ let r_instr r : Isa.t =
       let dst = r_i32 r in
       Isa.ReshapeTensor { tensor; shape; dst }
   | 19 -> Isa.Fatal (r_string r)
+  | 20 ->
+      let plan_index = r_i32 r in
+      let dst = r_i32 r in
+      Isa.BindArena { plan_index; dst }
   | op -> err "bad opcode %d" op
 
 let check_count what n =
@@ -385,6 +422,35 @@ let r_guard r : Exe.guard =
         | c -> err "bad guard dim tag %d" c)
   in
   { Exe.g_arg; g_name; g_dims; g_dtype }
+
+let r_sym_expr r : Nimble_shape.Sym_expr.t =
+  let s = r_string r in
+  try Nimble_shape.Sym_expr.of_string s
+  with Nimble_shape.Sym_expr.Parse_error msg -> err "bad plan expression: %s" msg
+
+let r_plan r : Exe.plan =
+  let p_func = r_i32 r in
+  let p_device = r_i32 r in
+  let p_align = r_i32 r in
+  let nbinders = r_i32 r in
+  if nbinders < 0 || nbinders > 1024 then err "bad plan binder count %d" nbinders;
+  let p_binders =
+    Array.init nbinders (fun _ ->
+        let b_arg = r_i32 r in
+        let b_dim = r_i32 r in
+        let b_sym = r_i32 r in
+        { Exe.b_arg; b_dim; b_sym })
+  in
+  let nslots = r_i32 r in
+  if nslots < 0 || nslots > 1_000_000 then err "bad plan slot count %d" nslots;
+  let p_slots =
+    Array.init nslots (fun _ ->
+        let s_offset = r_sym_expr r in
+        let s_size = r_sym_expr r in
+        { Exe.s_offset; s_size })
+  in
+  let p_total = r_sym_expr r in
+  { Exe.p_func; p_device; p_align; p_binders; p_slots; p_total }
 
 let of_bytes (s : string) : Exe.t =
   Fault.check "deserialize";
@@ -414,8 +480,11 @@ let of_bytes (s : string) : Exe.t =
         guards.(fi) <- Array.init nguards (fun _ -> r_guard r);
         { Exe.name; arity; register_count; code })
   in
+  let nplans = check_count "plan" (r_i32 r) in
+  let plans = Array.init nplans (fun _ -> r_plan r) in
   let exe = Exe.create ~funcs ~constants ~packed_names in
   Exe.set_guards exe guards;
+  Exe.set_plans exe plans;
   exe
 
 let save_file exe path =

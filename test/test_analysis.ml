@@ -55,6 +55,8 @@ type pin = Isa.t =
       offset : int;
       shape : reg;
       dtype : Dtype.t;
+      plan : int;
+      slot : int;
       dst : reg;
     }
   | AllocADT of { tag : int; fields : reg array; dst : reg }
@@ -69,6 +71,7 @@ type pin = Isa.t =
   | ShapeOf of { tensor : reg; dst : reg }
   | ReshapeTensor of { tensor : reg; shape : reg; dst : reg }
   | Fatal of string
+  | BindArena of { plan_index : int; dst : reg }
 
 let _pin_is_isa (i : pin) : Isa.t = i
 
@@ -76,7 +79,7 @@ let test_opcode_pin () =
   Alcotest.(check int)
     "verifier handles every opcode" Isa.num_opcodes Verifier.handled_opcodes
 
-(* A hand-assembled two-function executable that uses all 20 instructions
+(* A hand-assembled two-function executable that uses all 21 instructions
    and satisfies every verifier rule. *)
 let all_opcode_exe () =
   let helper =
@@ -90,7 +93,11 @@ let all_opcode_exe () =
       Isa.AllocStorage
         { size = 3; alignment = 64; dtype = Dtype.F32; device_id = 0; arena = false; dst = 4 };
       Isa.AllocTensor { storage = 4; offset = 0; shape = [| 1 |]; dtype = Dtype.F32; dst = 5 };
-      Isa.AllocTensorReg { storage = 4; offset = 0; shape = 3; dtype = Dtype.F32; dst = 6 };
+      Isa.AllocTensorReg
+        { storage = 4; offset = 0; shape = 3; dtype = Dtype.F32; plan = -1; slot = -1; dst = 6 };
+      Isa.BindArena { plan_index = 0; dst = 16 };
+      Isa.AllocTensorReg
+        { storage = 16; offset = 0; shape = 3; dtype = Dtype.F32; plan = 0; slot = 0; dst = 17 };
       Isa.InvokePacked { packed_index = 0; args = [| 0 |]; outs = [| 5 |]; upper_bound = false };
       Isa.AllocADT { tag = 0; fields = [| 1; 2 |]; dst = 7 };
       Isa.GetTag { obj = 7; dst = 8 };
@@ -107,10 +114,26 @@ let all_opcode_exe () =
       Isa.Ret { result = 12 };
     |]
   in
-  let main = { Exe.name = "main"; arity = 1; register_count = 16; code } in
-  Exe.create ~funcs:[| helper; main |]
-    ~constants:[| Tensor.ones [| 1 |] |]
-    ~packed_names:[| ("k", `Kernel) |]
+  let main = { Exe.name = "main"; arity = 1; register_count = 18; code } in
+  let exe =
+    Exe.create ~funcs:[| helper; main |]
+      ~constants:[| Tensor.ones [| 1 |] |]
+      ~packed_names:[| ("k", `Kernel) |]
+  in
+  let module Sx = Nimble_shape.Sym_expr in
+  let size = Sx.mul (Sx.dim 0) (Sx.const 4) in
+  Exe.set_plans exe
+    [|
+      {
+        Exe.p_func = 1;
+        p_device = 0;
+        p_align = 64;
+        p_binders = [| { Exe.b_arg = 0; b_dim = 0; b_sym = 0 } |];
+        p_slots = [| { Exe.s_offset = Sx.const 0; s_size = size } |];
+        p_total = size;
+      };
+    |];
+  exe
 
 let test_all_opcodes_verify () =
   let exe = all_opcode_exe () in

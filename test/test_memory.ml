@@ -95,16 +95,25 @@ let test_pooling_off_allocates_fresh () =
 
 let test_kills_emitted_and_executed () =
   (* kills target dynamically-allocated tensors (static ones are coalesced
-     into the arena), so use a dynamic-shape module *)
-  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 8 ]) "x" in
-  let body =
-    Expr.op_call "softmax"
-      [ Expr.op_call "dense" [ Expr.op_call "relu" [ Expr.Var x ]; Expr.Const (Tensor.randn rng [| 8; 8 |]) ] ]
+     into the arena), so use a dynamic-shape module. With symbolic planning
+     these bindable sites are folded into the arena plan instead (no kill
+     needed — the arena is rebound per request), so pin the legacy path off
+     and check both behaviours. *)
+  let mk () =
+    let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static 8 ]) "x" in
+    let body =
+      Expr.op_call "softmax"
+        [ Expr.op_call "dense" [ Expr.op_call "relu" [ Expr.Var x ]; Expr.Const (Tensor.randn rng [| 8; 8 |]) ] ]
+    in
+    Irmod.of_main (Expr.fn_def [ x ] body)
   in
-  let m = Irmod.of_main (Expr.fn_def [ x ] body) in
-  let m', report = Nimble.optimize ~options:(options ~plan:true) m in
+  let legacy = { (options ~plan:true) with Nimble.symbolic_plan = false } in
+  let m', report = Nimble.optimize ~options:legacy (mk ()) in
   ignore m';
-  Alcotest.(check bool) "kills inserted" true (report.Nimble.kills_inserted > 0)
+  Alcotest.(check bool) "kills inserted" true (report.Nimble.kills_inserted > 0);
+  let _, sym_report = Nimble.optimize ~options:(options ~plan:true) (mk ()) in
+  Alcotest.(check int) "symbolic planning supersedes kills" 0
+    sym_report.Nimble.kills_inserted
 
 let test_footprint_accounting_consistent () =
   let _, report = Nimble.compile_with_report ~options:(options ~plan:true) (chain_module ()) in

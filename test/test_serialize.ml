@@ -19,7 +19,8 @@ let sample_instrs : Isa.t list =
     Isa.AllocStorage
       { size = 1; alignment = 64; dtype = Dtype.F32; device_id = 1; arena = true; dst = 2 };
     Isa.AllocTensor { storage = 0; offset = 128; shape = [| 2; 3 |]; dtype = Dtype.I64; dst = 1 };
-    Isa.AllocTensorReg { storage = 0; offset = 0; shape = 5; dtype = Dtype.U8; dst = 6 };
+    Isa.AllocTensorReg
+      { storage = 0; offset = 0; shape = 5; dtype = Dtype.U8; plan = -1; slot = -1; dst = 6 };
     Isa.AllocADT { tag = 4; fields = [| 1; 2; 3 |]; dst = 0 };
     Isa.AllocClosure { func_index = 9; captured = [||]; dst = 1 };
     Isa.GetField { obj = 1; index = 2; dst = 3 };

@@ -249,7 +249,7 @@ let test_profiler_counts () =
   Alcotest.(check int) "moves" 1 p.Profiler.instr_counts.(Isa.opcode (Isa.Move { src = 0; dst = 0 }))
 
 let test_isa_has_twenty_opcodes () =
-  Alcotest.(check int) "20 instructions (Table A.1)" 20 Isa.num_opcodes
+  Alcotest.(check int) "21 instructions (Table A.1 + BindArena)" 21 Isa.num_opcodes
 
 (* ---------------------------- entry guards ---------------------------- *)
 

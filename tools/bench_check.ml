@@ -13,9 +13,9 @@
 
    Checked per serve document: [title]/[model] strings and a [points]
    list of at least three (arrival rate x shape mix) measurements, each
-   with numeric [throughput_rps]/[p50_ms]/[p99_ms], integer
-   [rejected]/[timeouts]/[queue_depth_hwm], and a non-empty [batch_hist]
-   object of integer counts.
+   with numeric [throughput_rps]/[p50_ms]/[p99_ms]/[allocs_per_request],
+   integer [rejected]/[timeouts]/[queue_depth_hwm]/[arena_reuses], and a
+   non-empty [batch_hist] object of integer counts.
 
    Checked per chaos document: [title]/[model]/[spec] strings; integer
    [requests]/[completed]/[failed]/[rejected]/[retries]/[worker_restarts]
@@ -85,6 +85,8 @@ let check_serve file lineno json =
           int_ ctx point "rejected";
           int_ ctx point "timeouts";
           int_ ctx point "queue_depth_hwm";
+          num ctx point "allocs_per_request";
+          int_ ctx point "arena_reuses";
           match Json.member "batch_hist" point with
           | Some (Json.Obj ((_ :: _) as entries)) ->
               List.iter

@@ -8,10 +8,12 @@
       balanced [[]] code spans (contents of [{[ ... ]}] and [{v ... v}]
       blocks are treated as opaque code);
     - [@param]/[@raise]/[@see] tags name their subject;
-    - every [.mli] under [lib/vm] and [lib/analysis] opens with a module
-      doc comment and documents every [val] (doc above, or trailing on the
-      same line) — the VM is the repo's public telemetry surface and the
-      analysis layer its safety surface, so those interfaces must stay
+    - every [.mli] under [lib/vm], [lib/analysis], [lib/passes] and
+      [lib/serve] opens with a module doc comment and documents every
+      [val] (doc above, or trailing on the same line) — the VM is the
+      repo's public telemetry surface, the analysis layer its safety
+      surface, the pass pipeline its compile surface and the serving
+      engine its operational surface, so those interfaces must stay
       fully documented.
 
     Exit status 0 when clean, 1 when any check fails (one line per
@@ -261,14 +263,18 @@ let rec walk dir acc =
       acc (Sys.readdir dir)
 
 let covered path =
-  (* full doc coverage is enforced on the VM's public interfaces and on
-     the analysis layer (the verifier/lints are the repo's safety
-     surface; see docs/ANALYSIS.md) *)
+  (* full doc coverage is enforced on the VM's public interfaces, on the
+     analysis layer (the verifier/lints are the repo's safety surface;
+     see docs/ANALYSIS.md), on the pass pipeline (the compile surface the
+     memory dialect flows through; see docs/MEMORY.md) and on the serving
+     engine (docs/SERVING.md) *)
   let under prefix =
     String.length path >= String.length prefix
     && String.sub path 0 (String.length prefix) = prefix
   in
-  Filename.check_suffix path ".mli" && (under "lib/vm/" || under "lib/analysis/")
+  Filename.check_suffix path ".mli"
+  && (under "lib/vm/" || under "lib/analysis/" || under "lib/passes/"
+     || under "lib/serve/")
 
 let () =
   let roots =
