@@ -252,12 +252,96 @@ let no_symbolic_plan_arg =
            per-request storage allocs instead of slots in a per-request-bound \
            reusable arena (the legacy behaviour; see docs/MEMORY.md)")
 
-let compile_options ~no_guards ~no_symbolic_plan =
+let compile_options ?(autotune = false) ?autotune_threshold ?autotune_interval
+    ~no_guards ~no_symbolic_plan () =
+  let d = Nimble.default_options in
   {
-    Nimble.default_options with
+    d with
     Nimble.runtime_guards = not no_guards;
     Nimble.symbolic_plan = not no_symbolic_plan;
+    Nimble.autotune;
+    Nimble.autotune_threshold =
+      Option.value autotune_threshold ~default:d.Nimble.autotune_threshold;
+    Nimble.autotune_interval =
+      Option.value autotune_interval ~default:d.Nimble.autotune_interval;
   }
+
+(* ------------------------- autotuning ------------------------- *)
+
+let autotune_flag_arg =
+  Arg.(
+    value
+    & vflag None
+        [
+          ( Some true,
+            info [ "autotune" ]
+              ~doc:
+                "Attach the online shape specializer while serving: hot \
+                 dispatch extents are re-tuned in the background and the \
+                 winners installed into the live dispatch tables (see \
+                 docs/TUNING.md)" );
+          ( Some false,
+            info [ "no-autotune" ]
+              ~doc:"Serve without online shape specialization (the default)" );
+        ])
+
+let autotune_threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "autotune-threshold" ] ~docv:"N"
+        ~doc:
+          "Dispatch count at which an extent counts as hot (default from \
+           the tuner policy)")
+
+let autotune_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "autotune-interval" ] ~docv:"N"
+        ~doc:"Served batches between hotness scans (default from the tuner policy)")
+
+(** Fold the three flags into the compile-options fields, validating the
+    knobs. Returns [(enabled, threshold option, interval option)]. *)
+let autotune_term =
+  let mk flag threshold interval =
+    Option.iter
+      (fun n -> if n < 1 then die "--autotune-threshold must be >= 1 (got %d)" n)
+      threshold;
+    Option.iter
+      (fun n -> if n < 1 then die "--autotune-interval must be >= 1 (got %d)" n)
+      interval;
+    (Option.value flag ~default:false, threshold, interval)
+  in
+  Term.(const mk $ autotune_flag_arg $ autotune_threshold_arg $ autotune_interval_arg)
+
+(** An {!Nimble_codegen.Autotune.t} for serving when the compiled options
+    ask for one, with the policy knobs taken from the options record. *)
+let make_autotuner (options : Nimble.options) =
+  if not options.Nimble.autotune then None
+  else
+    Some
+      (Nimble_codegen.Autotune.create
+         ~config:
+           {
+             Nimble_codegen.Autotune.default_config with
+             Nimble_codegen.Autotune.hot_threshold = options.Nimble.autotune_threshold;
+             scan_interval = options.Nimble.autotune_interval;
+           }
+         ())
+
+(** Finish the specializer after the engine drained: wait for in-flight
+    tuning, stop the tuning domain, and print a one-line summary. *)
+let finish_autotuner ?(quiet = false) au =
+  Nimble_codegen.Autotune.drain au;
+  Nimble_codegen.Autotune.shutdown au;
+  let s = Nimble_codegen.Autotune.summary au in
+  if not quiet then
+    Fmt.pr "autotune: %d observations, %d scans, %d installs, %d evictions@."
+      s.Nimble_codegen.Autotune.au_observations s.Nimble_codegen.Autotune.au_scans
+      (List.length s.Nimble_codegen.Autotune.au_installs)
+      s.Nimble_codegen.Autotune.au_evictions;
+  s
 
 let fault_arg =
   Arg.(
@@ -304,7 +388,7 @@ let run_cmd =
     let entry = lookup model in
     let exe, creport =
       Nimble.compile_with_report
-        ~options:(compile_options ~no_guards ~no_symbolic_plan)
+        ~options:(compile_options ~no_guards ~no_symbolic_plan ())
         (entry.build ())
     in
     let vm = Nimble.vm exe in
@@ -353,7 +437,7 @@ let profile_cmd =
     let entry = lookup model in
     let exe, creport =
       Nimble.compile_with_report
-        ~options:(compile_options ~no_guards ~no_symbolic_plan)
+        ~options:(compile_options ~no_guards ~no_symbolic_plan ())
         (entry.build ())
     in
     let vm = Nimble.vm exe in
@@ -518,11 +602,12 @@ let save_serve_trace ~model tr path =
     (Nimble_vm.Trace.dropped tr)
 
 (** The serving report: [nimble-profile/v1] from a sequential reference
-    VM, with the engine's statistics embedded as the [server] section. *)
-let save_serve_report ~ref_vm engine path =
+    VM, with the engine's statistics embedded as the [server] section
+    (and, when specialization ran, the tuner's as [autotune]). *)
+let save_serve_report ?autotune ~ref_vm engine path =
   let server = Serve.Engine.server_json engine in
   Nimble_vm.Json.save_file
-    (Nimble_vm.Profiler.to_json ~server (Interp.profiler ref_vm))
+    (Nimble_vm.Profiler.to_json ~server ?autotune (Interp.profiler ref_vm))
     path;
   Fmt.pr "report: %s@." path
 
@@ -536,8 +621,8 @@ let serve_cmd =
   let seq_max =
     Arg.(value & opt int 16 & info [ "seq-max" ] ~doc:"Largest sequence length served")
   in
-  let run model domains cfg requests seq_min seq_max no_guards no_symbolic_plan
-      fault trace_out report_out =
+  let run model domains cfg (au_on, au_threshold, au_interval) requests seq_min
+      seq_max no_guards no_symbolic_plan fault trace_out report_out =
     apply_domains domains;
     apply_fault fault;
     if requests < 1 then die "--requests must be >= 1 (got %d)" requests;
@@ -545,13 +630,16 @@ let serve_cmd =
     if seq_max < seq_min then
       die "--seq-max (%d) must be >= --seq-min (%d)" seq_max seq_min;
     let entry = lookup model in
-    let exe =
-      cache_load ~options:(compile_options ~no_guards ~no_symbolic_plan) ~model entry
+    let options =
+      compile_options ~autotune:au_on ?autotune_threshold:au_threshold
+        ?autotune_interval:au_interval ~no_guards ~no_symbolic_plan ()
     in
+    let exe = cache_load ~options ~model entry in
     let tr =
       match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
     in
-    let engine = Serve.Engine.create ~config:cfg ?trace:tr exe in
+    let autotuner = make_autotuner options in
+    let engine = Serve.Engine.create ~config:cfg ?trace:tr ?autotune:autotuner exe in
     let span = seq_max - seq_min + 1 in
     (* round-robin over the seq range: distinct shapes exercise bucketing *)
     let jobs =
@@ -601,6 +689,7 @@ let serve_cmd =
             ignore (Interp.invoke ref_vm [ input ])
         | None -> ());
     Serve.Engine.shutdown engine;
+    let au_summary = Option.map (fun au -> finish_autotuner au) autotuner in
     Fmt.pr "served %d/%d in %.1f ms (%.0f req/s); rejected %d, timed out %d, failed %d@."
       !ok requests (1e3 *. wall_s)
       (float_of_int !ok /. Float.max 1e-9 wall_s)
@@ -609,7 +698,7 @@ let serve_cmd =
     (match (tr, trace_out) with
     | Some tr, Some path -> save_serve_trace ~model tr path
     | _ -> ());
-    Option.iter (save_serve_report ~ref_vm engine) report_out
+    Option.iter (save_serve_report ?autotune:au_summary ~ref_vm engine) report_out
   in
   Cmd.v
     (Cmd.info "serve"
@@ -618,9 +707,9 @@ let serve_cmd =
           batches over a VM worker pool, with a bitwise check against a \
           sequential reference run")
     Term.(
-      const run $ model_arg $ domains_arg $ engine_config_term $ requests $ seq_min
-      $ seq_max $ no_guards_arg $ no_symbolic_plan_arg $ fault_arg $ trace_arg
-      $ report_arg)
+      const run $ model_arg $ domains_arg $ engine_config_term $ autotune_term
+      $ requests $ seq_min $ seq_max $ no_guards_arg $ no_symbolic_plan_arg
+      $ fault_arg $ trace_arg $ report_arg)
 
 let loadgen_cmd =
   let rate =
@@ -671,8 +760,9 @@ let loadgen_cmd =
                | _ -> bad ())
            | _ -> bad ())
   in
-  let run model domains cfg rate duration clients mix steady seed json no_guards
-      no_symbolic_plan fault trace_out report_out =
+  let run model domains cfg (au_on, au_threshold, au_interval) rate duration
+      clients mix steady seed json no_guards no_symbolic_plan fault trace_out
+      report_out =
     apply_domains domains;
     apply_fault fault;
     if rate <= 0.0 then die "--rate must be > 0 (got %g)" rate;
@@ -686,15 +776,16 @@ let loadgen_cmd =
         if w <= 0.0 then die "--mix weights must be > 0 (got %g)" w)
       mix_parsed;
     let entry = lookup model in
-    let exe =
-      cache_load ~quiet:json
-        ~options:(compile_options ~no_guards ~no_symbolic_plan)
-        ~model entry
+    let options =
+      compile_options ~autotune:au_on ?autotune_threshold:au_threshold
+        ?autotune_interval:au_interval ~no_guards ~no_symbolic_plan ()
     in
+    let exe = cache_load ~quiet:json ~options ~model entry in
     let tr =
       match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
     in
-    let engine = Serve.Engine.create ~config:cfg ?trace:tr exe in
+    let autotuner = make_autotuner options in
+    let engine = Serve.Engine.create ~config:cfg ?trace:tr ?autotune:autotuner exe in
     let lcfg =
       {
         Serve.Loadgen.rate_rps = rate;
@@ -711,6 +802,7 @@ let loadgen_cmd =
           entry.sample_input ~seq:shape.(0))
     in
     Serve.Engine.shutdown engine;
+    ignore (Option.map (finish_autotuner ~quiet:json) autotuner);
     if json then
       print_string (Nimble_vm.Json.to_string_pretty (Serve.Engine.server_json engine))
     else begin
@@ -734,8 +826,8 @@ let loadgen_cmd =
           Poisson or steady arrivals over a weighted shape mix) and report \
           throughput, latency percentiles and the batch-size histogram")
     Term.(
-      const run $ model_arg $ domains_arg $ engine_config_term $ rate $ duration
-      $ clients $ mix $ steady $ seed $ json $ no_guards_arg
+      const run $ model_arg $ domains_arg $ engine_config_term $ autotune_term
+      $ rate $ duration $ clients $ mix $ steady $ seed $ json $ no_guards_arg
       $ no_symbolic_plan_arg $ fault_arg $ trace_arg $ report_arg)
 
 let read_file path =

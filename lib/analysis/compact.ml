@@ -1,0 +1,161 @@
+(** Verifier-driven dead-register compaction (see [compact.mli]):
+    backward liveness over the [If]/[Goto] CFG, an interference graph from
+    live-across-definition pairs, greedy coloring with arguments precolored
+    to their calling-convention slots, then an in-place register rename. *)
+
+open Nimble_vm
+
+(* Backward liveness to fixpoint: live_in[pc] = reads ∪ (live_out \ writes),
+   live_out[pc] = ∪ live_in[succ]. Registers out of [0, nregs) are ignored
+   (malformed code is the verifier's business, not ours). *)
+let liveness (f : Exe.vmfunc) : bool array array =
+  let code = f.Exe.code in
+  let len = Array.length code in
+  let nregs = f.Exe.register_count in
+  let live_in = Array.init len (fun _ -> Array.make nregs false) in
+  let in_bounds r = r >= 0 && r < nregs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pc = len - 1 downto 0 do
+      let out = Array.make nregs false in
+      List.iter
+        (fun succ ->
+          if succ >= 0 && succ < len then
+            Array.iteri (fun r v -> if v then out.(r) <- true) live_in.(succ))
+        (Verifier.successors pc code.(pc));
+      List.iter (fun r -> if in_bounds r then out.(r) <- false) (Verifier.writes code.(pc));
+      List.iter (fun r -> if in_bounds r then out.(r) <- true) (Verifier.reads code.(pc));
+      Array.iteri
+        (fun r v ->
+          if v && not live_in.(pc).(r) then begin
+            live_in.(pc).(r) <- true;
+            changed := true
+          end)
+        out
+    done
+  done;
+  live_in
+
+(* live_out[pc] recomputed from the fixpoint live_in sets. *)
+let live_out_at (f : Exe.vmfunc) live_in pc =
+  let nregs = f.Exe.register_count in
+  let out = Array.make nregs false in
+  List.iter
+    (fun succ ->
+      if succ >= 0 && succ < Array.length f.Exe.code then
+        Array.iteri (fun r v -> if v then out.(r) <- true) live_in.(succ))
+    (Verifier.successors pc f.Exe.code.(pc));
+  out
+
+let map_regs (m : int -> int) : Isa.t -> Isa.t =
+  let ma = Array.map m in
+  function
+  | Isa.Move { src; dst } -> Isa.Move { src = m src; dst = m dst }
+  | Isa.Ret { result } -> Isa.Ret { result = m result }
+  | Isa.Invoke { func_index; args; dst } ->
+      Isa.Invoke { func_index; args = ma args; dst = m dst }
+  | Isa.InvokeClosure { closure; args; dst } ->
+      Isa.InvokeClosure { closure = m closure; args = ma args; dst = m dst }
+  | Isa.InvokePacked { packed_index; args; outs; upper_bound } ->
+      Isa.InvokePacked { packed_index; args = ma args; outs = ma outs; upper_bound }
+  | Isa.AllocStorage { size; alignment; dtype; device_id; arena; dst } ->
+      Isa.AllocStorage { size = m size; alignment; dtype; device_id; arena; dst = m dst }
+  | Isa.AllocTensor { storage; offset; shape; dtype; dst } ->
+      Isa.AllocTensor { storage = m storage; offset; shape; dtype; dst = m dst }
+  | Isa.AllocTensorReg { storage; offset; shape; dtype; plan; slot; dst } ->
+      Isa.AllocTensorReg
+        { storage = m storage; offset; shape = m shape; dtype; plan; slot; dst = m dst }
+  | Isa.AllocADT { tag; fields; dst } -> Isa.AllocADT { tag; fields = ma fields; dst = m dst }
+  | Isa.AllocClosure { func_index; captured; dst } ->
+      Isa.AllocClosure { func_index; captured = ma captured; dst = m dst }
+  | Isa.GetField { obj; index; dst } -> Isa.GetField { obj = m obj; index; dst = m dst }
+  | Isa.GetTag { obj; dst } -> Isa.GetTag { obj = m obj; dst = m dst }
+  | Isa.If { test; target; true_offset; false_offset } ->
+      Isa.If { test = m test; target = m target; true_offset; false_offset }
+  | Isa.Goto off -> Isa.Goto off
+  | Isa.LoadConst { index; dst } -> Isa.LoadConst { index; dst = m dst }
+  | Isa.LoadConsti { value; dst } -> Isa.LoadConsti { value; dst = m dst }
+  | Isa.DeviceCopy { src; dst_device_id; dst } ->
+      Isa.DeviceCopy { src = m src; dst_device_id; dst = m dst }
+  | Isa.ShapeOf { tensor; dst } -> Isa.ShapeOf { tensor = m tensor; dst = m dst }
+  | Isa.ReshapeTensor { tensor; shape; dst } ->
+      Isa.ReshapeTensor { tensor = m tensor; shape = m shape; dst = m dst }
+  | Isa.Fatal msg -> Isa.Fatal msg
+  | Isa.BindArena { plan_index; dst } -> Isa.BindArena { plan_index; dst = m dst }
+
+(** Compact one function: returns the renamed function, or [None] when
+    nothing shrinks. *)
+let compact_func (f : Exe.vmfunc) : Exe.vmfunc option =
+  let code = f.Exe.code in
+  let len = Array.length code in
+  let nregs = f.Exe.register_count in
+  let arity = f.Exe.arity in
+  if len = 0 || nregs <= arity then None
+  else begin
+    let live_in = liveness f in
+    (* Interference: a definition clobbers its slot, so the defined register
+       must not share a slot with anything live across the instruction. The
+       entry "instruction" defines the argument registers with live_in[0]
+       live across it. *)
+    let interf = Array.init nregs (fun _ -> Array.make nregs false) in
+    let edge a b =
+      if a <> b && a >= 0 && b >= 0 && a < nregs && b < nregs then begin
+        interf.(a).(b) <- true;
+        interf.(b).(a) <- true
+      end
+    in
+    for p = 0 to arity - 1 do
+      Array.iteri (fun r v -> if v then edge p r) live_in.(0)
+    done;
+    for pc = 0 to len - 1 do
+      let out = live_out_at f live_in pc in
+      List.iter
+        (fun d -> Array.iteri (fun r v -> if v then edge d r) out)
+        (Verifier.writes code.(pc))
+    done;
+    (* Greedy coloring, arguments precolored to their entry slots. *)
+    let color = Array.make nregs (-1) in
+    for p = 0 to arity - 1 do
+      color.(p) <- p
+    done;
+    for r = arity to nregs - 1 do
+      let taken = Array.make nregs false in
+      for o = 0 to nregs - 1 do
+        if interf.(r).(o) && color.(o) >= 0 then taken.(color.(o)) <- true
+      done;
+      let c = ref 0 in
+      while taken.(!c) do incr c done;
+      color.(r) <- !c
+    done;
+    let new_count =
+      Array.fold_left (fun acc c -> max acc (c + 1)) arity color
+    in
+    if new_count >= nregs then None
+    else
+      Some
+        {
+          f with
+          Exe.register_count = new_count;
+          code = Array.map (map_regs (fun r -> if r >= 0 && r < nregs then color.(r) else r)) code;
+        }
+  end
+
+(** Compact every function of [exe] in place; returns the total number of
+    register slots removed. *)
+let run (exe : Exe.t) : int =
+  let removed = ref 0 in
+  Array.iteri
+    (fun i f ->
+      match compact_func f with
+      | None -> ()
+      | Some f' ->
+          removed := !removed + (f.Exe.register_count - f'.Exe.register_count);
+          exe.Exe.funcs.(i) <- f')
+    exe.Exe.funcs;
+  !removed
+
+(** Total register slots across all functions (the before/after metric of
+    the compile report). *)
+let register_count (exe : Exe.t) : int =
+  Array.fold_left (fun acc f -> acc + f.Exe.register_count) 0 exe.Exe.funcs

@@ -1,0 +1,28 @@
+(** Verifier-driven dead-register compaction (the ROADMAP's PR 5
+    follow-up): a post-emission pass shrinking each function's virtual
+    register file so frames — including the specialized frames the online
+    tuner re-links — carry no dead slots.
+
+    Per function it runs a backward liveness analysis over the same
+    [If]/[Goto] CFG facts as {!Verifier} ([reads]/[writes]/[successors]),
+    builds an interference graph (a definition interferes with everything
+    live across it, and the entry point defines the argument registers),
+    and greedily colors it with arguments precolored to their
+    calling-convention slots [0 .. arity-1]. Renaming never reorders or
+    removes instructions, so compacted code is observationally identical —
+    the verifier is re-run on the compacted executable by
+    [Nimble.compile_with_report], and the register delta is reported in
+    [nimble-compile/v1] ([registers_before]/[registers_after]). *)
+
+(** Compact one function: [Some f'] with renamed registers and a smaller
+    [register_count], or [None] when nothing shrinks. *)
+val compact_func : Nimble_vm.Exe.vmfunc -> Nimble_vm.Exe.vmfunc option
+
+(** Compact every function of the executable in place (function bodies are
+    replaced; constants, guards, plans and tune table are untouched).
+    Returns the total number of register slots removed. *)
+val run : Nimble_vm.Exe.t -> int
+
+(** Total register slots across all functions — the
+    [registers_before]/[registers_after] metric of the compile report. *)
+val register_count : Nimble_vm.Exe.t -> int

@@ -397,10 +397,47 @@ let verify_plans (exe : Exe.t) : Diag.t list =
     exe.Exe.plans;
   List.rev !diags
 
+(* ---- persisted autotune decisions (NMBLEXE4 tune table) ---- *)
+
+let verify_tunes (exe : Exe.t) : Diag.t list =
+  let diags = ref [] in
+  let seen = Hashtbl.create 8 in
+  Array.iteri
+    (fun ti (tn : Exe.tune) ->
+      let report fmt =
+        Fmt.kstr
+          (fun reason ->
+            diags :=
+              Diag.v ~check:"tune_table" ~where_:(Fmt.str "tune%d" ti) ~pc:(-1)
+                reason
+              :: !diags)
+          fmt
+      in
+      (match
+         Array.find_opt
+           (fun (n, _) -> String.equal n tn.Exe.tn_kernel)
+           exe.Exe.packed_names
+       with
+      | Some (_, `Kernel) -> ()
+      | Some (_, `Shape_func) ->
+          report "%s is a shape function, not a kernel" tn.Exe.tn_kernel
+      | None -> report "no packed kernel named %s" tn.Exe.tn_kernel);
+      if tn.Exe.tn_extent <= 0 then
+        report "extent %d is not positive" tn.Exe.tn_extent;
+      if tn.Exe.tn_tile_m <= 0 || tn.Exe.tn_tile_m > 256 then
+        report "tile_m %d out of [1, 256]" tn.Exe.tn_tile_m;
+      let key = (tn.Exe.tn_kernel, tn.Exe.tn_extent) in
+      if Hashtbl.mem seen key then
+        report "duplicate decision for %s extent %d" tn.Exe.tn_kernel
+          tn.Exe.tn_extent
+      else Hashtbl.replace seen key ())
+    exe.Exe.tunes;
+  List.rev !diags
+
 let verify (exe : Exe.t) : Diag.t list =
   List.concat
     (List.init (Array.length exe.Exe.funcs) (fun fi -> verify_func exe fi))
-  @ verify_plans exe
+  @ verify_plans exe @ verify_tunes exe
 
 let verify_exn exe =
   match verify exe with [] -> () | diags -> raise (Verify_error diags)

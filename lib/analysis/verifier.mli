@@ -23,6 +23,13 @@
       that kernels write only into manifestly-allocated destinations), and
       [AllocTensor] storage operands come from a prior [AllocStorage].
 
+    Beyond the per-function checks it validates the executable's symbolic
+    memory plans and its persisted tune table (NMBLEXE4): every decision
+    must target a declared packed {e kernel} with a positive extent, a
+    tile width in [1, 256], and no duplicate (kernel, extent) rows — a
+    corrupt tune table is rejected at load instead of silently steering
+    live dispatch.
+
     This subsumes the structural checks of [Nimble_vm.Exe.validate] with
     path-sensitive ones; see [docs/ANALYSIS.md]. *)
 
@@ -57,3 +64,19 @@ val to_failure : Diag.t list -> Nimble_vm.Interp.failure
     [Nimble_vm.Isa.num_opcodes] by [test/test_analysis.ml] so adding an
     instruction without teaching the verifier about it fails the suite. *)
 val handled_opcodes : int
+
+(** {2 Instruction facts}
+
+    The register/control facts the dataflow runs on, shared with
+    {!Compact}'s liveness analysis so the two passes can never disagree
+    about what an instruction touches. *)
+
+(** Registers an instruction reads ([InvokePacked] outs count as reads:
+    they carry pre-allocated destination tensors). *)
+val reads : Nimble_vm.Isa.t -> int list
+
+(** Registers an instruction writes. *)
+val writes : Nimble_vm.Isa.t -> int list
+
+(** Absolute successor pcs of the instruction at [pc]. *)
+val successors : int -> Nimble_vm.Isa.t -> int list

@@ -5,22 +5,27 @@
     one from [m mod tile], falling back to the boundary-guarded kernel for
     uncovered residues — trading code size against the boundary-check cost
     Figure 3 measures. It can also route to a profiled third-party library
-    kernel.
+    kernel, and to exact-extent tuned kernels installed while serving by the
+    online tuner ({!Autotune}) — see [docs/TUNING.md].
 
     Dispatchers also feed the observability layer: each keeps hit/miss
-    counters (total and per residue class) and registers itself in a
-    process-wide table read by {!snapshots}, and {!last_selection} exposes
-    the most recent routing decision so the VM trace can attribute a kernel
-    invocation to the specialization that fired. *)
+    counters (total and per residue class) plus an exact-extent histogram,
+    and registers itself in a process-wide table read by {!snapshots};
+    {!last_selection} exposes the most recent routing decision so the VM
+    trace can attribute a kernel invocation to the specialization that
+    fired. All shared state is domain-safe: counters are atomic, routing
+    tables swap by CAS (readers never block), and the last-selection slot is
+    domain-local. *)
 
 open Nimble_tensor
 
 type dense_fn = Tensor.t -> Tensor.t -> Tensor.t
 
 (** The routing decision for one call: a residue-specialized kernel
-    ([Hit r]), the guarded fallback on an uncovered residue ([Miss r]), or
-    the extern library kernel. *)
-type selection = Hit of int | Miss of int | Extern
+    ([Hit r]), the guarded fallback on an uncovered residue ([Miss r]), the
+    extern library kernel, or an exact-extent tuned kernel installed online
+    ([Tuned m]). *)
+type selection = Hit of int | Miss of int | Extern | Tuned of int
 
 type t
 
@@ -31,31 +36,72 @@ type t
     @param name label used in reports and traces (default ["dense"]). *)
 val create : ?name:string -> ?tile:int -> num_kernels:int -> unit -> t
 
+(** The dispatcher's report/trace label (the packed kernel name when created
+    by the emitter). *)
+val name : t -> string
+
 (** Route every call to a third-party library kernel (the §4.5 extension for
     profiling-selected extern kernels). *)
 val set_extern : t -> dense_fn -> unit
 
-(** Select the kernel for runtime extent [m], recording the selection. *)
+(** Select the kernel for runtime extent [m], recording the selection.
+    Routing order: exact-extent tuned entry, then extern, then residue
+    kernel, then guarded fallback. *)
 val select : t -> m:int -> dense_fn
 
 (** Run a dense call through the dispatcher. *)
 val run : t -> Tensor.t -> Tensor.t -> Tensor.t
 
-(** [(hits, misses)]: calls served by a specialized kernel vs the fallback. *)
+(** [(hits, misses)]: calls served by a residue-specialized kernel vs the
+    fallback (tuned and extern calls are counted separately). *)
 val stats : t -> int * int
 
-(** Number of generated kernel bodies — the code-size cost of dispatch. *)
+(** Calls served by an exact-extent tuned kernel since the last reset. *)
+val tuned_calls : t -> int
+
+(** Number of generated kernel bodies — the code-size cost of dispatch —
+    including currently installed tuned entries. *)
 val code_size : t -> int
+
+(** {2 Online specialization} *)
+
+(** [install_tuned t ~extent ~tile_m] publishes a [tile_m]-tiled kernel for
+    exact extent [extent] into the live table with one CAS — calls mid-way
+    through {!select} keep the table they loaded, so installs never pause or
+    corrupt routing (and every kernel computes bitwise-identical results, so
+    the swap is invisible in outputs). Re-installing an extent replaces its
+    entry; past [max_exact] entries (default 16) the oldest is evicted.
+    Raises [Invalid_argument] on non-positive [extent]/[tile_m]. *)
+val install_tuned : ?max_exact:int -> t -> extent:int -> tile_m:int -> unit
+
+(** [tile_m] of the tuned kernel installed for [extent], if any — lets the
+    hotness scanner and warm restarts skip already-specialized extents. *)
+val pretuned : t -> extent:int -> int option
+
+(** Installed (extent, tile_m) decisions sorted by extent — the rows
+    [Serve.Cache.persist_tunes] writes into the NMBLEXE4 tune table. *)
+val tuned_decisions : t -> (int * int) list
+
+(** Exact-extent dispatch counts since the last reset, sorted by extent —
+    the hotness signal the autotune scan reads. *)
+val extent_histogram : t -> (int * int) list
+
+(** The [(n, k)] weight dimensions of the most recent {!run} call, telling
+    the background tuner what problem size to tune for; [None] until the
+    dispatcher has run. *)
+val observed_dims : t -> (int * int) option
 
 (** {2 Observability} *)
 
-(** The most recent routing decision in this process, as
+(** The calling domain's most recent routing decision, as
     [(dispatcher name, selection)] — read (and cleared with
     {!clear_last_selection}) by the VM interpreter around each
-    packed-kernel call to tag the kernel's trace span. When several dense
-    calls are fused into one kernel, the last call wins. *)
+    packed-kernel call to tag the kernel's trace span. Domain-local: a
+    serve worker never observes selections made on other domains. When
+    several dense calls are fused into one kernel, the last call wins. *)
 val last_selection : unit -> (string * selection) option
 
+(** Clear the calling domain's {!last_selection} slot. *)
 val clear_last_selection : unit -> unit
 
 (** Counters of one dispatcher at one instant (the [dispatch] rows of the
@@ -67,15 +113,29 @@ type snapshot = {
   snap_hits : int;
   snap_misses : int;
   snap_extern_calls : int;
+  snap_tuned_calls : int;
+  snap_installs : int;
+  snap_evictions : int;
   snap_residue_hits : (int * int) list;  (** residue -> hits, nonzero only *)
+  snap_tuned : (int * int) list;  (** extent -> tile_m installed *)
 }
 
+(** One dispatcher's counters at this instant. *)
 val snapshot_of : t -> snapshot
+
+(** Every dispatcher created in this process, oldest first — the autotune
+    scan walks this. *)
+val registered : unit -> t list
+
+(** The most recently created dispatcher named [name] (relinks re-emit
+    dispatchers; newest wins), if any. *)
+val find : name:string -> t option
 
 (** Per-dispatcher counters for every dispatcher created in this process,
     oldest first; dispatchers that never fired are excluded. *)
 val snapshots : unit -> snapshot list
 
-(** Zero every registered dispatcher's counters, scoping the next
-    {!snapshots} to one measurement window. *)
+(** Zero every registered dispatcher's counters and extent histograms,
+    scoping the next {!snapshots} to one measurement window; installed
+    tuned entries survive. *)
 val reset_counters : unit -> unit

@@ -22,13 +22,19 @@ type event =
 
 type listener = event -> unit
 
+(** Install [l] as the process-wide trace listener (replacing any). *)
 val install : listener -> unit
+
+(** Uninstall the current listener; event sites go back to one ref read. *)
 val remove : unit -> unit
 
 (** Run [f] with [l] installed, restoring the previous listener after. *)
 val with_listener : listener -> (unit -> 'a) -> 'a
 
+(** Whether a listener is currently installed. *)
 val enabled : unit -> bool
+
+(** Send one event to the installed listener, if any. *)
 val emit : event -> unit
 
 (** Record execution of operator [op] on concrete tensors (flops and bytes
@@ -36,6 +42,7 @@ val emit : event -> unit
 val record_op :
   string -> attrs:Nimble_ir.Attrs.t -> Tensor.t list -> Tensor.t list -> unit
 
+(** Record a framework-side action ([kind], default [amount] 1). *)
 val record_framework : string -> ?amount:int -> unit -> unit
 
 (** Run an operator through {!Op_eval} and trace it — the standard entry

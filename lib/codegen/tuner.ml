@@ -9,7 +9,9 @@
        other extents (powers of two up to 256);
     3. pick the configuration with the best average performance.
 
-    Measurements are real wall-clock runs of the candidate kernels. *)
+    Measurements are real runs of the candidate kernels, timed on the
+    monotonic clock (wall clock skews mid-measurement under NTP) with an
+    explicit warmup/repeat protocol surfaced in the result record. *)
 
 open Nimble_tensor
 
@@ -22,22 +24,31 @@ type result = {
   tuned_on : int;  (** the static stand-in extent *)
   top_k : config list;
   cross_eval : measurement list;
+  repeats : int;  (** timed runs per (config, extent) point *)
+  warmup : int;  (** untimed priming runs before the timed ones *)
 }
 
 let default_space = [ { tile_m = 1 }; { tile_m = 2 }; { tile_m = 4 }; { tile_m = 8 }; { tile_m = 16 } ]
 
-let now () = Unix.gettimeofday ()
+(* Monotonic nanoseconds (bechamel's clock_gettime(CLOCK_MONOTONIC) stub). *)
+let now_ns () = Monotonic_clock.now ()
 
-(** Median-of-runs wall time of one (config, m) point. *)
-let measure ?(repeats = 3) ~n ~k config m =
+let seconds_since t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+
+(** Median of [repeats] monotonic-clock timings of one (config, m) point,
+    after [warmup] untimed priming runs. *)
+let measure ?(repeats = 3) ?(warmup = 1) ~n ~k config m =
   let rng = Rng.create ~seed:(m + (config.tile_m * 7919)) in
   let a = Tensor.randn rng [| m; k |] in
   let w = Tensor.randn rng [| n; k |] in
+  for _ = 1 to warmup do
+    ignore (Dense_kernels.tiled_kernel ~tile_m:config.tile_m a w)
+  done;
   let times =
     List.init repeats (fun _ ->
-        let t0 = now () in
+        let t0 = now_ns () in
         ignore (Dense_kernels.tiled_kernel ~tile_m:config.tile_m a w);
-        now () -. t0)
+        seconds_since t0)
   in
   let sorted = List.sort Float.compare times in
   List.nth sorted (repeats / 2)
@@ -47,12 +58,14 @@ let measure ?(repeats = 3) ~n ~k config m =
     [shape_weights] implements the paper's extension for known workload
     distributions: "if the workload distribution is known, we could adjust
     the weighting of known shapes when picking the best configuration" — a
-    weight per evaluated extent biases the step-3 average. *)
+    weight per evaluated extent biases the step-3 average. The online tuner
+    ({!Autotune}) derives these weights from the live extent histogram. *)
 let tune ?(space = default_space) ?(static_stand_in = 64) ?(top_k = 2)
-    ?(eval_extents = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) ?shape_weights ~n ~k () =
+    ?(eval_extents = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]) ?shape_weights
+    ?(repeats = 3) ?(warmup = 1) ~n ~k () =
   (* Step 1: search on the static stand-in shape. *)
   let scored =
-    List.map (fun c -> (c, measure ~n ~k c static_stand_in)) space
+    List.map (fun c -> (c, measure ~repeats ~warmup ~n ~k c static_stand_in)) space
     |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
   in
   let top = List.filteri (fun i _ -> i < top_k) scored |> List.map fst in
@@ -61,7 +74,8 @@ let tune ?(space = default_space) ?(static_stand_in = 64) ?(top_k = 2)
     List.concat_map
       (fun config ->
         List.map
-          (fun m -> { config; shape_m = m; seconds = measure ~n ~k config m })
+          (fun m ->
+            { config; shape_m = m; seconds = measure ~repeats ~warmup ~n ~k config m })
           eval_extents)
       top
   in
@@ -84,7 +98,7 @@ let tune ?(space = default_space) ?(static_stand_in = 64) ?(top_k = 2)
     | best :: _ -> best
     | [] -> { tile_m = Dense_kernels.tile }
   in
-  { best; tuned_on = static_stand_in; top_k = top; cross_eval }
+  { best; tuned_on = static_stand_in; top_k = top; cross_eval; repeats; warmup }
 
 (** Decide between the generated kernel and the extern library kernel from
     profiling, as the dispatch function does in the paper. *)
@@ -93,9 +107,10 @@ let profile_extern ?(m = 64) ~n ~k () =
   let a = Tensor.randn rng [| m; k |] in
   let w = Tensor.randn rng [| n; k |] in
   let time f =
-    let t0 = now () in
     ignore (f a w);
-    now () -. t0
+    let t0 = now_ns () in
+    ignore (f a w);
+    seconds_since t0
   in
   let generated = time (fun a w -> Dense_kernels.residue_kernel ~residue:(m mod 8) a w) in
   let extern = time Dense_kernels.extern_library_kernel in

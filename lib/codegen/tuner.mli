@@ -1,0 +1,57 @@
+(** Template-based kernel tuning extended to symbolic shapes (paper §4.5):
+    search the tile-width space on a static stand-in extent, cross-evaluate
+    the top-k on other extents, pick the best (optionally workload-weighted)
+    average. Timings use the monotonic clock with an explicit warmup/repeat
+    protocol; see [docs/TUNING.md]. *)
+
+(** A point in the dense template's configuration space: the row-tile
+    width. *)
+type config = { tile_m : int }
+
+(** One timed evaluation of [config] at extent [shape_m]. *)
+type measurement = { config : config; shape_m : int; seconds : float }
+
+(** The tuning outcome, including the measurement protocol that produced
+    it. *)
+type result = {
+  best : config;
+  tuned_on : int;  (** the static stand-in extent *)
+  top_k : config list;
+  cross_eval : measurement list;
+  repeats : int;  (** timed runs per (config, extent) point *)
+  warmup : int;  (** untimed priming runs before the timed ones *)
+}
+
+(** The tile widths searched by default: 1, 2, 4, 8, 16. *)
+val default_space : config list
+
+(** Median of [repeats] (default 3) monotonic-clock timings of running
+    [config] at extent [m] with weight dims [n]×[k], after [warmup]
+    (default 1) untimed priming runs. *)
+val measure : ?repeats:int -> ?warmup:int -> n:int -> k:int -> config -> int -> float
+
+(** Tune the dense template for a symbolic [m] with fixed weight dims
+    [n]/[k] via the paper's three-step protocol.
+    @param static_stand_in extent substituted for the symbolic dim in step 1
+    (default 64)
+    @param shape_weights per-extent weights biasing the step-3 average when
+    the workload distribution is known (the §4.5 extension); extents absent
+    from the list get weight 0
+    @param repeats,warmup the {!measure} protocol, surfaced in the result. *)
+val tune :
+  ?space:config list ->
+  ?static_stand_in:int ->
+  ?top_k:int ->
+  ?eval_extents:int list ->
+  ?shape_weights:(int * float) list ->
+  ?repeats:int ->
+  ?warmup:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  result
+
+(** Decide between the generated kernel and the extern library kernel by
+    profiling both at extent [m] (default 64), as the paper's dispatch
+    function does. *)
+val profile_extern : ?m:int -> n:int -> k:int -> unit -> [ `Extern | `Generated ]

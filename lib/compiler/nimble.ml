@@ -30,6 +30,16 @@ type options = {
   verify_passes : bool;
       (** run the dialect lints after each lowering pass and the bytecode
           verifier on the emitted executable (see [docs/ANALYSIS.md]) *)
+  compact_registers : bool;
+      (** run verifier-driven dead-register compaction after emission so
+          frames carry no dead slots ([Nimble_analysis.Compact]) *)
+  autotune : bool;
+      (** serve-time online shape specialization: track hot extents and
+          re-tune live dispatch tables in the background
+          (see [docs/TUNING.md]) *)
+  autotune_threshold : int;
+      (** dispatch count at which an extent counts as hot *)
+  autotune_interval : int;  (** serve batches between hotness scans *)
 }
 
 let default_options =
@@ -43,6 +53,10 @@ let default_options =
     profile_extern = false;
     runtime_guards = true;
     verify_passes = true;
+    compact_registers = true;
+    autotune = false;
+    autotune_threshold = Nimble_codegen.Autotune.default_config.hot_threshold;
+    autotune_interval = Nimble_codegen.Autotune.default_config.scan_interval;
   }
 
 (** One pipeline stage's contribution to the compile report: wall time and
@@ -73,6 +87,8 @@ type report = {
   kills_inserted : int;
   device_copies : int;
   instructions : int;
+  registers_before : int;  (** register slots as emitted, all functions *)
+  registers_after : int;  (** register slots after dead-register compaction *)
   passes : pass_stat list;  (** per-pass timings and deltas, pipeline order *)
   verify : verify_stat list;  (** per-check verification stats, run order *)
   verify_diags : Nimble_analysis.Diag.t list;  (** the violations themselves *)
@@ -184,6 +200,8 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
       kills_inserted = mp_stats.Memory_plan.kills_inserted;
       device_copies = dp_stats.Device_place.copies_inserted;
       instructions = 0;
+      registers_before = 0;
+      registers_after = 0;
       passes = List.rev !passes;
       verify = List.rev !verify_stats;
       verify_diags = !verify_diags;
@@ -203,6 +221,30 @@ let compile_with_report ?(options = default_options) (m : Irmod.t) :
         }
       m
   in
+  (* dead-register compaction: rename away dead frame slots before the
+     verifier sees the final bytecode *)
+  let registers_before = Nimble_analysis.Compact.register_count exe in
+  let report =
+    if options.compact_registers then begin
+      let t0 = Unix.gettimeofday () in
+      ignore (Nimble_analysis.Compact.run exe);
+      {
+        report with
+        passes =
+          report.passes
+          @ [
+              {
+                pass_name = "compact_regs";
+                pass_seconds = Unix.gettimeofday () -. t0;
+                nodes_before = registers_before;
+                nodes_after = Nimble_analysis.Compact.register_count exe;
+              };
+            ];
+      }
+    end
+    else report
+  in
+  let registers_after = Nimble_analysis.Compact.register_count exe in
   let report =
     if options.verify_passes then begin
       let t0 = Unix.gettimeofday () in
@@ -223,7 +265,13 @@ let compile_with_report ?(options = default_options) (m : Irmod.t) :
     end
     else report
   in
-  (exe, { report with instructions = Nimble_vm.Exe.instruction_count exe })
+  ( exe,
+    {
+      report with
+      instructions = Nimble_vm.Exe.instruction_count exe;
+      registers_before;
+      registers_after;
+    } )
 
 let compile ?options m = fst (compile_with_report ?options m)
 
@@ -278,6 +326,8 @@ let report_to_json (r : report) : Nimble_vm.Json.t =
       ("kills_inserted", Int r.kills_inserted);
       ("device_copies", Int r.device_copies);
       ("instructions", Int r.instructions);
+      ("registers_before", Int r.registers_before);
+      ("registers_after", Int r.registers_after);
       ( "passes",
         List
           (List.map

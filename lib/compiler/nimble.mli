@@ -36,6 +36,20 @@ type options = {
           bytecode verifier on the emitted executable; violations land in
           {!report.verify} / {!report.verify_diags}. On by default; see
           [docs/ANALYSIS.md] *)
+  compact_registers : bool;
+      (** run verifier-driven dead-register compaction after emission
+          ([Nimble_analysis.Compact]) so frames carry no dead slots; the
+          removed-slot delta lands in {!report.registers_before} /
+          {!report.registers_after}. On by default *)
+  autotune : bool;
+      (** serve-time online shape specialization: track hot extents while
+          serving and re-tune live dispatch tables in the background
+          ([Nimble_codegen.Autotune]; see [docs/TUNING.md]). Off by
+          default — it is a serving policy, not a compile pass; the serve
+          layer and CLI read it to decide whether to attach a tuner *)
+  autotune_threshold : int;
+      (** dispatch count at which an extent counts as hot *)
+  autotune_interval : int;  (** serve batches between hotness scans *)
 }
 
 val default_options : options
@@ -73,6 +87,12 @@ type report = {
   kills_inserted : int;
   device_copies : int;
   instructions : int;  (** emitted bytecode size *)
+  registers_before : int;
+      (** register slots across all functions as emitted, before
+          dead-register compaction *)
+  registers_after : int;
+      (** register slots after compaction; equals [registers_before] when
+          [compact_registers] is off or nothing shrank *)
   passes : pass_stat list;  (** per-pass timings and deltas, pipeline order *)
   verify : verify_stat list;
       (** per-check verification stats in run order; empty when

@@ -41,6 +41,46 @@ let rec of_bytes_retrying ?(attempt = 0) bytes =
     when attempt < 3 ->
       of_bytes_retrying ~attempt:(attempt + 1) bytes
 
+(** Replay the executable's persisted tune table (NMBLEXE4) into the live
+    dispatch tables: each decision re-installs its tuned kernel via
+    {!Nimble_codegen.Dispatch.install_tuned}, so a warm restart relinks
+    pre-specialized and the hotness scanner (which skips already-tuned
+    extents) never re-tunes them. Decisions naming kernels with no
+    registered dispatcher (e.g. dispatch compiled off) are ignored — the
+    table is advice, not an obligation. *)
+let apply_tunes (exe : Nimble_vm.Exe.t) : int =
+  Array.fold_left
+    (fun applied (tn : Nimble_vm.Exe.tune) ->
+      match Nimble_codegen.Dispatch.find ~name:tn.Nimble_vm.Exe.tn_kernel with
+      | Some d ->
+          Nimble_codegen.Dispatch.install_tuned d ~extent:tn.Nimble_vm.Exe.tn_extent
+            ~tile_m:tn.Nimble_vm.Exe.tn_tile_m;
+          applied + 1
+      | None -> applied)
+    0 exe.Nimble_vm.Exe.tunes
+
+(** Capture the live dispatch tables' installed tune decisions into the
+    executable's tune table, so the next {!Nimble_vm.Serialize.to_bytes}
+    persists them (the checkpoint half of the warm-restart loop). *)
+let persist_tunes (exe : Nimble_vm.Exe.t) : int =
+  let tunes =
+    Array.to_list exe.Nimble_vm.Exe.packed_names
+    |> List.concat_map (fun (name, kind) ->
+           match kind with
+           | `Shape_func -> []
+           | `Kernel -> (
+               match Nimble_codegen.Dispatch.find ~name with
+               | None -> []
+               | Some d ->
+                   List.map
+                     (fun (extent, tile_m) ->
+                       { Nimble_vm.Exe.tn_kernel = name; tn_extent = extent;
+                         tn_tile_m = tile_m })
+                     (Nimble_codegen.Dispatch.tuned_decisions d)))
+  in
+  Nimble_vm.Exe.set_tunes exe (Array.of_list tunes);
+  List.length tunes
+
 (** [load t ~name ~build] returns the linked executable for [name],
     compiling (and serialize/deserialize round-tripping) [build ()] on
     the first request only. The build runs under the cache lock, so
@@ -59,10 +99,25 @@ let load ?options t ~name ~(build : unit -> Nimble_ir.Irmod.t) :
           let m = build () in
           let compiled = Nimble.compile ?options m in
           (* the deployment round trip: portable bytes, then relink the
-             platform kernels by name *)
+             platform kernels by name (with the same codegen options, so
+             relinked dispatch tables match the compiled ones) *)
           let bytes = Nimble_vm.Serialize.to_bytes compiled in
           let exe = of_bytes_retrying bytes in
-          List.iter (Nimble_vm.Exe.link exe) (Nimble_compiler.Emitter.link_table m);
+          let link_options =
+            Option.map
+              (fun (o : Nimble.options) ->
+                {
+                  Nimble_compiler.Emitter.dense_dispatch = o.Nimble.dense_dispatch;
+                  profile_extern = o.Nimble.profile_extern;
+                  guards = o.Nimble.runtime_guards;
+                })
+              options
+          in
+          List.iter (Nimble_vm.Exe.link exe)
+            (Nimble_compiler.Emitter.link_table ?options:link_options m);
+          (* warm-restart the persisted tune decisions into the freshly
+             linked dispatch tables *)
+          ignore (apply_tunes exe);
           Hashtbl.replace t.entries name { exe; bytes = String.length bytes };
           exe)
 

@@ -22,6 +22,20 @@ val load :
   ?options:Nimble_compiler.Nimble.options ->
   t -> name:string -> build:(unit -> Nimble_ir.Irmod.t) -> Nimble_vm.Exe.t
 
+(** Replay the executable's persisted tune table (the NMBLEXE4 section)
+    into the live dispatch tables via
+    {!Nimble_codegen.Dispatch.install_tuned}, so a warm restart serves
+    pre-specialized without re-tuning. Decisions naming kernels with no
+    registered dispatcher are ignored. Returns how many decisions were
+    applied. {!load} calls this automatically after relinking. *)
+val apply_tunes : Nimble_vm.Exe.t -> int
+
+(** Capture the live dispatch tables' installed tune decisions into the
+    executable's tune table so the next {!Nimble_vm.Serialize.to_bytes}
+    persists them — the checkpoint half of the warm-restart loop.
+    Returns how many decisions were persisted. *)
+val persist_tunes : Nimble_vm.Exe.t -> int
+
 (** Warm loads served since creation. *)
 val hits : t -> int
 

@@ -122,6 +122,8 @@ type t = {
   stats : Stats.t;
   trace : Trace.t option;
   trace_mux : Mutex.t;  (** Trace.t is single-writer; serialize serve spans *)
+  autotune : Nimble_codegen.Autotune.t option;
+      (** online shape specializer; observed once per executed batch *)
   pending : request Squeue.t;
   batches : batch Squeue.t;
   paused : bool Atomic.t;
@@ -317,6 +319,10 @@ let worker_main t worker_id () =
     let rebinds0 = prof.Nimble_vm.Profiler.arena_rebinds in
     warm_bucket vm b;
     List.iter (exec_request t vm ctx ~worker_id) b.b_reqs;
+    (* one hotness observation per executed batch: cheap (an atomic
+       increment), and every [scan_interval]-th call walks the dispatch
+       registry for hot extents to re-tune in the background *)
+    Option.iter Nimble_codegen.Autotune.observe t.autotune;
     Stats.record_reuse t.stats
       ~frame_reuses:(Interp.frame_reuses ctx - frames0)
       ~arena_hits:(prof.Nimble_vm.Profiler.pool_hits - hits0)
@@ -453,8 +459,11 @@ let batcher_main t () =
     and [config.workers] VM worker domains. @param func the VM function
     served (default ["main"]). @param trace record [serve.*] spans into
     this recorder (shared with nothing else; the engine serializes its
-    own writes). *)
-let create ?(config = default_config) ?trace ?(func = "main") exe =
+    own writes). @param autotune attach an online shape specializer: the
+    engine observes it once per executed batch (driving its hotness
+    scans) and records a [vm.retune] span for every live install. The
+    caller keeps ownership — drain/shutdown it after {!shutdown}. *)
+let create ?(config = default_config) ?trace ?autotune ?(func = "main") exe =
   if config.workers < 1 then Fmt.invalid_arg "Engine.create: workers %d" config.workers;
   if config.max_batch < 1 then Fmt.invalid_arg "Engine.create: max_batch %d" config.max_batch;
   let t =
@@ -465,6 +474,7 @@ let create ?(config = default_config) ?trace ?(func = "main") exe =
       stats = Stats.create ();
       trace;
       trace_mux = Mutex.create ();
+      autotune;
       pending = Squeue.create ~capacity:config.queue_capacity;
       batches = Squeue.create ~capacity:(Stdlib.max config.workers (config.queue_capacity / Stdlib.max 1 config.max_batch) + 1);
       paused = Atomic.make false;
@@ -474,6 +484,23 @@ let create ?(config = default_config) ?trace ?(func = "main") exe =
       stop_mux = Mutex.create ();
     }
   in
+  (* every completed install becomes a [vm.retune] span: the swap itself
+     is invisible to clients (outputs are bitwise-equal), so the trace is
+     the only place a re-tune shows up *)
+  Option.iter
+    (fun au ->
+      Nimble_codegen.Autotune.set_notify au (fun (i : Nimble_codegen.Autotune.install) ->
+          record_span t ~name:"vm.retune" ~ts_us:(trace_now t)
+            ~dur_us:(i.Nimble_codegen.Autotune.in_seconds *. 1e6)
+            [
+              ("kernel", Trace.Str i.Nimble_codegen.Autotune.in_kernel);
+              ("extent", Trace.Int i.Nimble_codegen.Autotune.in_extent);
+              ("tile_m", Trace.Int i.Nimble_codegen.Autotune.in_tile_m);
+              ( "hit_rate_before",
+                Trace.Str
+                  (Fmt.str "%.3f" i.Nimble_codegen.Autotune.in_hit_rate_before) );
+            ]))
+    autotune;
   t.batcher <- Some (Domain.spawn (batcher_main t));
   t.workers <-
     List.init config.workers (fun i -> Domain.spawn (worker_main t i));

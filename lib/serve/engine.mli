@@ -61,9 +61,15 @@ type ticket
     [config.workers] VM worker domains.
     @param func the VM function served (default ["main"]).
     @param trace record [serve.*] spans into this recorder.
+    @param autotune attach an online shape specializer
+    ([Nimble_codegen.Autotune]): the engine observes it once per executed
+    batch — driving its hotness scans — and records a [vm.retune] span
+    for every live install. The caller keeps ownership and should
+    drain/shutdown it after {!shutdown}.
     @raise Invalid_argument on a non-positive worker or batch count. *)
 val create :
-  ?config:config -> ?trace:Nimble_vm.Trace.t -> ?func:string -> Nimble_vm.Exe.t -> t
+  ?config:config -> ?trace:Nimble_vm.Trace.t ->
+  ?autotune:Nimble_codegen.Autotune.t -> ?func:string -> Nimble_vm.Exe.t -> t
 
 (** Submit one request: [shape] is the bucketing shape, [input] the VM
     argument (executed as-is, never padded). [Error Rejected] when the

@@ -68,6 +68,14 @@ type plan = {
   p_total : Nimble_shape.Sym_expr.t;  (** total arena bytes *)
 }
 
+(** One persisted tune decision (paper §4.5 online specialization): install
+    a [tn_tile_m]-tiled kernel for exact extent [tn_extent] into the
+    dispatcher of packed kernel [tn_kernel]. Written by
+    [Serve.Cache.persist_tunes] from the live dispatch tables, applied after
+    relink on warm restart so the executable starts pre-specialized (see
+    [docs/TUNING.md]). *)
+type tune = { tn_kernel : string; tn_extent : int; tn_tile_m : int }
+
 type t = {
   funcs : vmfunc array;
   constants : Tensor.t array;
@@ -78,6 +86,8 @@ type t = {
           function was compiled unguarded *)
   mutable plans : plan array;
       (** symbolic memory plans, [BindArena.plan_index]-indexed *)
+  mutable tunes : tune array;
+      (** persisted autotune decisions (NMBLEXE4 tune table) *)
 }
 
 let create ~funcs ~constants ~packed_names =
@@ -88,11 +98,15 @@ let create ~funcs ~constants ~packed_names =
     packed = Array.make (Array.length packed_names) None;
     guards = Array.make (Array.length funcs) [||];
     plans = [||];
+    tunes = [||];
   }
 
 (** Attach the compiler-emitted symbolic memory plans ([BindArena] operand
     table). *)
 let set_plans t plans = t.plans <- plans
+
+(** Attach persisted autotune decisions (the NMBLEXE4 tune table). *)
+let set_tunes t tunes = t.tunes <- tunes
 
 (** Attach compiler-emitted entry guards, one (possibly empty) array per
     function in [funcs] order. *)
@@ -267,6 +281,26 @@ let validate (t : t) : string list =
         | Isa.Ret _ | Isa.Goto _ | Isa.Fatal _ | Isa.If _ -> ()
         | _ -> bad "fn%d %s: falls off the end of the code" fi f.name)
     t.funcs;
+  (* tune-table rows must target real packed kernels with sane parameters
+     and no duplicate (kernel, extent) decisions *)
+  let seen_tunes = Hashtbl.create 8 in
+  Array.iteri
+    (fun i tn ->
+      (match
+         Array.find_opt (fun (n, _) -> String.equal n tn.tn_kernel) t.packed_names
+       with
+      | Some (_, `Kernel) -> ()
+      | Some (_, `Shape_func) ->
+          bad "tune%d: %s is a shape function, not a kernel" i tn.tn_kernel
+      | None -> bad "tune%d: no packed kernel named %s" i tn.tn_kernel);
+      if tn.tn_extent <= 0 then bad "tune%d: extent %d not positive" i tn.tn_extent;
+      if tn.tn_tile_m <= 0 || tn.tn_tile_m > 256 then
+        bad "tune%d: tile_m %d out of [1,256]" i tn.tn_tile_m;
+      let key = (tn.tn_kernel, tn.tn_extent) in
+      if Hashtbl.mem seen_tunes key then
+        bad "tune%d: duplicate decision for %s extent %d" i tn.tn_kernel tn.tn_extent
+      else Hashtbl.replace seen_tunes key ())
+    t.tunes;
   List.rev !problems
 
 (** Human-readable disassembly. *)

@@ -73,9 +73,17 @@ type plan = {
   p_total : Nimble_shape.Sym_expr.t;  (** total arena bytes *)
 }
 
+(** One persisted tune decision (paper §4.5 online specialization): install
+    a [tn_tile_m]-tiled kernel for exact extent [tn_extent] into the
+    dispatcher of packed kernel [tn_kernel]. Written by
+    [Serve.Cache.persist_tunes] from the live dispatch tables and applied
+    after relink on warm restart, so the executable starts pre-specialized.
+    See [docs/TUNING.md]. *)
+type tune = { tn_kernel : string; tn_extent : int; tn_tile_m : int }
+
 (** An executable: the serializable, platform-independent part (bytecode
-    functions, constant pool, packed-function names, guards, memory plans)
-    plus the linked-in platform-dependent implementations. *)
+    functions, constant pool, packed-function names, guards, memory plans,
+    tune decisions) plus the linked-in platform-dependent implementations. *)
 type t = {
   funcs : vmfunc array;
   constants : Tensor.t array;
@@ -86,6 +94,8 @@ type t = {
           function was compiled unguarded *)
   mutable plans : plan array;
       (** symbolic memory plans, [BindArena.plan_index]-indexed *)
+  mutable tunes : tune array;
+      (** persisted autotune decisions (NMBLEXE4 tune table) *)
 }
 
 (** Assemble an executable with every packed slot unlinked; call {!link}
@@ -107,6 +117,9 @@ val guards : t -> guard array array
 (** Attach the compiler-emitted symbolic memory plans (the [BindArena]
     operand table). *)
 val set_plans : t -> plan array -> unit
+
+(** Attach persisted autotune decisions (the NMBLEXE4 tune table). *)
+val set_tunes : t -> tune array -> unit
 
 (** Index of a VM function by name. @raise Invalid_argument if absent. *)
 val func_index : t -> string -> int

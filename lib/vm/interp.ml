@@ -123,15 +123,17 @@ let dispatch_args () =
   match Nimble_codegen.Dispatch.last_selection () with
   | None -> []
   | Some (dname, sel) ->
-      let which, residue =
+      let which, residue, extent =
         match sel with
-        | Nimble_codegen.Dispatch.Hit r -> ("hit", Some r)
-        | Nimble_codegen.Dispatch.Miss r -> ("miss", Some r)
-        | Nimble_codegen.Dispatch.Extern -> ("extern", None)
+        | Nimble_codegen.Dispatch.Hit r -> ("hit", Some r, None)
+        | Nimble_codegen.Dispatch.Miss r -> ("miss", Some r, None)
+        | Nimble_codegen.Dispatch.Extern -> ("extern", None, None)
+        | Nimble_codegen.Dispatch.Tuned m -> ("tuned", None, Some m)
       in
       ("dispatch", Trace.Str which)
       :: ("dispatch_table", Trace.Str dname)
-      :: (match residue with Some r -> [ ("residue", Trace.Int r) ] | None -> [])
+      :: ((match residue with Some r -> [ ("residue", Trace.Int r) ] | None -> [])
+         @ match extent with Some m -> [ ("extent", Trace.Int m) ] | None -> [])
 
 let now () = Unix.gettimeofday ()
 

@@ -262,19 +262,58 @@ let json_of_dispatch (d : Nimble_codegen.Dispatch.snapshot) =
       ("hits", Json.Int d.snap_hits);
       ("misses", Json.Int d.snap_misses);
       ("extern_calls", Json.Int d.snap_extern_calls);
+      ("tuned_calls", Json.Int d.snap_tuned_calls);
+      ("installs", Json.Int d.snap_installs);
+      ("evictions", Json.Int d.snap_evictions);
       ( "residue_hits",
         Json.Obj
           (List.map
              (fun (r, n) -> (string_of_int r, Json.Int n))
              d.snap_residue_hits) );
+      ( "tuned",
+        Json.Obj
+          (List.map (fun (m, tile) -> (string_of_int m, Json.Int tile)) d.snap_tuned)
+      );
+    ]
+
+(** The [autotune] report member: online-specialization activity from an
+    [Autotune.summary] (see [docs/TUNING.md]). *)
+let json_of_autotune (s : Nimble_codegen.Autotune.summary) : Json.t =
+  Json.Obj
+    [
+      ("observations", Json.Int s.Nimble_codegen.Autotune.au_observations);
+      ("scans", Json.Int s.au_scans);
+      ("queued", Json.Int s.au_queued);
+      ("evictions", Json.Int s.au_evictions);
+      ("pending", Json.Int s.au_pending);
+      ( "installs",
+        Json.List
+          (List.map
+             (fun (i : Nimble_codegen.Autotune.install) ->
+               Json.Obj
+                 [
+                   ("kernel", Json.String i.Nimble_codegen.Autotune.in_kernel);
+                   ("extent", Json.Int i.in_extent);
+                   ("tile_m", Json.Int i.in_tile_m);
+                   ("hit_rate_before", Json.Float i.in_hit_rate_before);
+                   ("seconds", Json.Float i.in_seconds);
+                 ])
+             s.au_installs) );
     ]
 
 (** Render a report as the [nimble-profile/v1] JSON document.
     @param server serving-engine statistics ([Nimble_serve.Stats]) to embed
-    as the document's [server] member — present only when serving. *)
-let report_to_json ?server (r : report) : Json.t =
+    as the document's [server] member — present only when serving.
+    @param autotune online-specialization summary to embed as the
+    document's [autotune] member — present only when autotuning. *)
+let report_to_json ?server ?autotune (r : report) : Json.t =
   let server_member =
     match server with Some s -> [ ("server", s) ] | None -> []
+  in
+  let autotune_member =
+    match autotune with
+    | Some s -> [ ("autotune", json_of_autotune s) ]
+    | None -> []
   in
   (* fault-injection accounting is embedded only when a spec is active,
      so reports from normal runs are byte-identical to pre-fault builds *)
@@ -357,7 +396,8 @@ let report_to_json ?server (r : report) : Json.t =
              r.r_devices) );
       ("dispatch", Json.List (List.map json_of_dispatch r.r_dispatch));
     ]
-    @ fault_member @ server_member)
+    @ fault_member @ server_member @ autotune_member)
 
 (** [report] and [report_to_json] composed: the one-call JSON snapshot. *)
-let to_json ?dispatch ?server t = report_to_json ?server (report ?dispatch t)
+let to_json ?dispatch ?server ?autotune t =
+  report_to_json ?server ?autotune (report ?dispatch t)

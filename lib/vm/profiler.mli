@@ -145,6 +145,10 @@ type report = {
     process created — pass an explicit list to narrow the scope). *)
 val report : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> report
 
+(** The [autotune] member of the profile document, rendered from an
+    online-specialization summary (see [docs/TUNING.md]). *)
+val json_of_autotune : Nimble_codegen.Autotune.summary -> Json.t
+
 (** Render a report as the [nimble-profile/v1] JSON document. When fault
     injection is configured ([Nimble_fault.Fault.enabled]), a [faults]
     member carries the active spec and per-point attempt/hit counters;
@@ -152,9 +156,16 @@ val report : ?dispatch:Nimble_codegen.Dispatch.snapshot list -> t -> report
     @param server a serving-engine statistics object
     ([Nimble_serve.Stats.summary_to_json]) embedded as the document's
     [server] member; absent for non-serving runs
-    (schema: [docs/OBSERVABILITY.md]). *)
-val report_to_json : ?server:Json.t -> report -> Json.t
+    (schema: [docs/OBSERVABILITY.md])
+    @param autotune an online-specialization summary embedded as the
+    document's [autotune] member; absent when autotuning is off. *)
+val report_to_json :
+  ?server:Json.t -> ?autotune:Nimble_codegen.Autotune.summary -> report -> Json.t
 
 (** {!report} and {!report_to_json} composed: one-call JSON snapshot. *)
 val to_json :
-  ?dispatch:Nimble_codegen.Dispatch.snapshot list -> ?server:Json.t -> t -> Json.t
+  ?dispatch:Nimble_codegen.Dispatch.snapshot list ->
+  ?server:Json.t ->
+  ?autotune:Nimble_codegen.Autotune.summary ->
+  t ->
+  Json.t

@@ -15,8 +15,10 @@ let err fmt = Fmt.kstr (fun s -> raise (Format_error s)) fmt
 
 (* version 2 appended the entry-guard tables after each function's code;
    version 3 adds the symbolic memory-plan table after the functions and
-   extends AllocTensorReg with plan/slot fields *)
-let magic = "NMBLEXE3"
+   extends AllocTensorReg with plan/slot fields; version 4 appends the
+   autotune tune table (persisted online-specialization decisions) after
+   the plans *)
+let magic = "NMBLEXE4"
 
 (* ---------------- writer ---------------- *)
 
@@ -228,6 +230,13 @@ let to_bytes (exe : Exe.t) : string =
     exe.Exe.funcs;
   w_i32 b (Array.length exe.Exe.plans);
   Array.iter (w_plan b) exe.Exe.plans;
+  w_i32 b (Array.length exe.Exe.tunes);
+  Array.iter
+    (fun (tn : Exe.tune) ->
+      w_string b tn.Exe.tn_kernel;
+      w_i32 b tn.Exe.tn_extent;
+      w_i32 b tn.Exe.tn_tile_m)
+    exe.Exe.tunes;
   Buffer.contents b
 
 (* ---------------- reader ---------------- *)
@@ -482,9 +491,18 @@ let of_bytes (s : string) : Exe.t =
   in
   let nplans = check_count "plan" (r_i32 r) in
   let plans = Array.init nplans (fun _ -> r_plan r) in
+  let ntunes = check_count "tune" (r_i32 r) in
+  let tunes =
+    Array.init ntunes (fun _ ->
+        let tn_kernel = r_string r in
+        let tn_extent = r_i32 r in
+        let tn_tile_m = r_i32 r in
+        { Exe.tn_kernel; tn_extent; tn_tile_m })
+  in
   let exe = Exe.create ~funcs ~constants ~packed_names in
   Exe.set_guards exe guards;
   Exe.set_plans exe plans;
+  Exe.set_tunes exe tunes;
   exe
 
 let save_file exe path =

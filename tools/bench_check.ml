@@ -25,11 +25,24 @@
    of integer tallies; and a non-empty [fault_points] object whose
    entries carry integer [attempts]/[hits] with hits <= attempts.
 
-   Checked per compile report: integer [instructions]; a non-empty
-   [passes] list of [{name, seconds, nodes_before, nodes_after}]; and a
-   non-empty [verify] list of [{name, seconds, violations}] whose
-   [violations] are all zero — a committed baseline must come from a
-   pipeline the verifier and dialect lints accept (docs/ANALYSIS.md). *)
+   Checked per compile report: integer [instructions]; integer
+   [registers_before]/[registers_after] with after <= before (dead-register
+   compaction never grows a frame); a non-empty [passes] list of
+   [{name, seconds, nodes_before, nodes_after}]; and a non-empty [verify]
+   list of [{name, seconds, violations}] whose [violations] are all zero —
+   a committed baseline must come from a pipeline the verifier and dialect
+   lints accept (docs/ANALYSIS.md).
+
+   Checked per tune document ([nimble-tune/v1], the BENCH_tune.json
+   baseline from the online-specialization bench): [title]/[model]
+   strings; a [points] list of at least two phases, each with a string
+   [phase], numeric [hit_rate]/[p50_ms]/[p99_ms]/[throughput_rps] and
+   integer [hits]/[misses]/[tuned_calls]/[installs]; at least one
+   [before] and one [after] phase, with every [after] hit rate >= every
+   [before] hit rate (specialization must not lose ground); a [bitwise_ok]
+   boolean that must be true (live installs never change outputs); and a
+   [warm_restart_pretuned] boolean that must be true (the persisted tune
+   table relinks pre-specialized — docs/TUNING.md). *)
 
 module Json = Nimble_vm.Json
 
@@ -155,12 +168,101 @@ let check_chaos file lineno json =
         entries
   | _ -> fail file lineno "missing non-empty \"fault_points\" object"
 
+(* a [nimble-tune/v1] line: the BENCH_tune.json baseline *)
+let check_tune file lineno json =
+  let str_member = str_member file lineno json in
+  ignore (str_member "title");
+  ignore (str_member "model");
+  let num ctx point key =
+    match Json.member key point with
+    | Some (Json.Float _) | Some (Json.Int _) -> ()
+    | _ -> fail file lineno "%s: missing numeric %S" ctx key
+  in
+  let int_ ctx point key =
+    match Json.member key point with
+    | Some (Json.Int _) -> ()
+    | _ -> fail file lineno "%s: missing integer %S" ctx key
+  in
+  let hit_rate point =
+    match Json.member "hit_rate" point with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | _ -> None
+  in
+  (match Json.member "points" json with
+  | Some (Json.List points) ->
+      if List.length points < 2 then
+        fail file lineno "%d points, want at least 2 (a before and an after phase)"
+          (List.length points);
+      List.iteri
+        (fun i point ->
+          let ctx = Fmt.str "point %d" i in
+          (match Json.member "phase" point with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "%s: missing string \"phase\"" ctx);
+          num ctx point "hit_rate";
+          num ctx point "p50_ms";
+          num ctx point "p99_ms";
+          num ctx point "throughput_rps";
+          int_ ctx point "hits";
+          int_ ctx point "misses";
+          int_ ctx point "tuned_calls";
+          int_ ctx point "installs")
+        points;
+      let phase name =
+        List.filter
+          (fun p -> Json.member "phase" p = Some (Json.String name))
+          points
+      in
+      let before = phase "before" and after = phase "after" in
+      if before = [] then fail file lineno "no \"before\" phase point";
+      if after = [] then fail file lineno "no \"after\" phase point";
+      List.iter
+        (fun b ->
+          List.iter
+            (fun a ->
+              match (hit_rate b, hit_rate a) with
+              | Some hb, Some ha when ha < hb ->
+                  fail file lineno
+                    "hit rate regressed: after %.3f < before %.3f (re-tuning \
+                     must not lose ground)"
+                    ha hb
+              | _ -> ())
+            after)
+        before
+  | Some _ | None -> fail file lineno "missing \"points\" list");
+  (match Json.member "bitwise_ok" json with
+  | Some (Json.Bool true) -> ()
+  | Some (Json.Bool false) ->
+      fail file lineno "bitwise_ok is false: a live install changed outputs"
+  | _ -> fail file lineno "missing boolean \"bitwise_ok\"");
+  match Json.member "warm_restart_pretuned" json with
+  | Some (Json.Bool true) -> ()
+  | Some (Json.Bool false) ->
+      fail file lineno
+        "warm_restart_pretuned is false: the persisted tune table did not relink"
+  | _ -> fail file lineno "missing boolean \"warm_restart_pretuned\""
+
 (* a [nimble-compile/v1] line: the BENCH_compile.json baseline *)
 let check_compile file lineno json =
   (match Json.member "instructions" json with
   | Some (Json.Int n) when n > 0 -> ()
   | Some (Json.Int _) -> fail file lineno "\"instructions\" is not positive"
   | _ -> fail file lineno "missing integer \"instructions\"");
+  (let regs key =
+     match Json.member key json with
+     | Some (Json.Int n) -> Some n
+     | _ ->
+         fail file lineno "missing integer %S" key;
+         None
+   in
+   match (regs "registers_before", regs "registers_after") with
+   | Some before, Some after ->
+       if after > before then
+         fail file lineno
+           "registers_after %d > registers_before %d (compaction never grows a frame)"
+           after before
+   | _ -> ());
   let num ctx entry key =
     match Json.member key entry with
     | Some (Json.Float _) | Some (Json.Int _) -> ()
@@ -258,10 +360,12 @@ let check_file file =
              | Some (Json.String "nimble-serve/v1") -> check_serve file !lineno json
              | Some (Json.String "nimble-chaos/v1") -> check_chaos file !lineno json
              | Some (Json.String "nimble-compile/v1") -> check_compile file !lineno json
+             | Some (Json.String "nimble-tune/v1") -> check_tune file !lineno json
              | Some (Json.String other) ->
                  fail file !lineno
                    "schema is %S, want \"nimble-bench/v1\", \"nimble-serve/v1\", \
-                    \"nimble-chaos/v1\" or \"nimble-compile/v1\""
+                    \"nimble-chaos/v1\", \"nimble-compile/v1\" or \
+                    \"nimble-tune/v1\""
                    other
              | Some _ | None -> fail file !lineno "missing string \"schema\"")
          | exception Json.Parse_error msg ->

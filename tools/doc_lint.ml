@@ -8,13 +8,14 @@
       balanced [[]] code spans (contents of [{[ ... ]}] and [{v ... v}]
       blocks are treated as opaque code);
     - [@param]/[@raise]/[@see] tags name their subject;
-    - every [.mli] under [lib/vm], [lib/analysis], [lib/passes] and
-      [lib/serve] opens with a module doc comment and documents every
-      [val] (doc above, or trailing on the same line) — the VM is the
-      repo's public telemetry surface, the analysis layer its safety
-      surface, the pass pipeline its compile surface and the serving
-      engine its operational surface, so those interfaces must stay
-      fully documented.
+    - every [.mli] under [lib/vm], [lib/analysis], [lib/passes],
+      [lib/serve] and [lib/codegen] opens with a module doc comment and
+      documents every [val] (doc above, or trailing on the same line) —
+      the VM is the repo's public telemetry surface, the analysis layer
+      its safety surface, the pass pipeline its compile surface, the
+      serving engine its operational surface and codegen its
+      dispatch/tuning surface, so those interfaces must stay fully
+      documented.
 
     Exit status 0 when clean, 1 when any check fails (one line per
     finding, [file:line: message]). Run via [dune build @doc]. *)
@@ -266,15 +267,16 @@ let covered path =
   (* full doc coverage is enforced on the VM's public interfaces, on the
      analysis layer (the verifier/lints are the repo's safety surface;
      see docs/ANALYSIS.md), on the pass pipeline (the compile surface the
-     memory dialect flows through; see docs/MEMORY.md) and on the serving
-     engine (docs/SERVING.md) *)
+     memory dialect flows through; see docs/MEMORY.md), on the serving
+     engine (docs/SERVING.md) and on codegen (the dispatch/tuning surface
+     the online specializer re-wires while serving; see docs/TUNING.md) *)
   let under prefix =
     String.length path >= String.length prefix
     && String.sub path 0 (String.length prefix) = prefix
   in
   Filename.check_suffix path ".mli"
   && (under "lib/vm/" || under "lib/analysis/" || under "lib/passes/"
-     || under "lib/serve/")
+     || under "lib/serve/" || under "lib/codegen/")
 
 let () =
   let roots =
