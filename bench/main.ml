@@ -3,7 +3,7 @@
     [dune exec bench/main.exe] regenerates every table and figure of the
     paper's evaluation (Section 6); a subcommand selects one:
 
-    {[ dune exec bench/main.exe -- table1|table2|table3|table4|figure3|memplan|ablations|par_scaling|serve|autotune|chaos|micro|all ]} *)
+    {[ dune exec bench/main.exe -- table1|table2|table3|table4|figure3|memplan|ablations|par_scaling|serve|autotune|chaos|fleet|micro|all ]} *)
 
 let micro () =
   (* Bechamel micro-benchmarks: one per experiment area, measuring the
@@ -52,6 +52,7 @@ let sections : (string * (unit -> unit)) list =
     ("serve", Serve_bench.run);
     ("autotune", Autotune_bench.run);
     ("chaos", Chaos_bench.run);
+    ("fleet", Fleet_bench.run);
     ("micro", micro);
   ]
 

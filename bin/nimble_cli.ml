@@ -572,11 +572,152 @@ let engine_config_term =
       max_retries;
       retry_backoff_us;
       pool_cap_bytes;
+      warm_hints = [];
     }
   in
   Term.(
     const mk $ workers $ queue $ max_batch $ max_wait $ bucket $ timeout
     $ max_retries $ retry_backoff $ pool_cap)
+
+(* ------------------------- fleet options ------------------------- *)
+
+let models_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "models" ] ~docv:"NAME[:w=N],..."
+        ~doc:
+          "Serve several zoo models as a fleet with weighted worker shares, \
+           e.g. $(b,mlp:w=3,rnn:w=1) (default weight 1)")
+
+(** Parse a [--models] spec into (name, zoo entry, weight) triples; any
+    malformed entry, unknown model, bad weight or duplicate exits 1 with
+    a one-line diagnostic. *)
+let parse_models spec : (string * zoo_entry * int) list =
+  let entries =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun e -> e <> "")
+  in
+  if entries = [] then die "--models: no models in %S" spec;
+  let parsed =
+    List.map
+      (fun entry ->
+        match String.split_on_char ':' entry with
+        | [ name ] -> (name, 1)
+        | [ name; w ] -> (
+            let weight =
+              if String.length w > 2 && String.sub w 0 2 = "w=" then
+                int_of_string_opt (String.sub w 2 (String.length w - 2))
+              else None
+            in
+            match weight with
+            | Some n when n >= 1 -> (name, n)
+            | Some n -> die "--models: weight %d for %s must be >= 1" n name
+            | None -> die "--models: bad entry %S (want NAME or NAME:w=N)" entry)
+        | _ -> die "--models: bad entry %S (want NAME or NAME:w=N)" entry)
+      entries
+  in
+  List.iteri
+    (fun i (name, _) ->
+      List.iteri
+        (fun j (n2, _) ->
+          if i < j && name = n2 then die "--models: duplicate model %s" name)
+        parsed)
+    parsed;
+  List.map (fun (name, w) -> (name, lookup name, w)) parsed
+
+(** Breaker / admission / snapshot knobs for the fleet tier, validated
+    to one-line exit-1 diagnostics. Produces
+    [(breaker config option, admission config option, snapshot dir)]. *)
+let fleet_knobs_term =
+  let breaker_window =
+    Arg.(
+      value & opt int 16
+      & info [ "breaker-window" ] ~docv:"N"
+          ~doc:"Circuit-breaker sliding outcome window (requests)")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "breaker-threshold" ] ~docv:"F"
+          ~doc:"Trip when the window's failure fraction reaches $(docv)")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt int 8
+      & info [ "breaker-cooldown" ] ~docv:"N"
+          ~doc:"Admissions shed while Open before a HalfOpen probe")
+  in
+  let breaker_probes =
+    Arg.(
+      value & opt int 2
+      & info [ "breaker-probes" ] ~docv:"N"
+          ~doc:"HalfOpen trial budget; all must succeed to re-close")
+  in
+  let no_breaker =
+    Arg.(value & flag & info [ "no-breaker" ] ~doc:"Disable circuit breakers")
+  in
+  let admission_alpha =
+    Arg.(
+      value & opt float 0.2
+      & info [ "admission-alpha" ] ~docv:"F"
+          ~doc:"SLO admission EWMA smoothing factor in (0, 1]")
+  in
+  let admission_margin =
+    Arg.(
+      value & opt float 1.0
+      & info [ "admission-margin" ] ~docv:"F"
+          ~doc:"Safety multiplier on the admission wait estimate")
+  in
+  let no_admission =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ] ~doc:"Disable SLO-aware admission shedding")
+  in
+  let snapshot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Warm-restart from $(docv) when it holds a snapshot manifest, and \
+             checkpoint the fleet there after serving")
+  in
+  let mk w th cd pr nb alpha margin na snap =
+    if w < 1 then die "--breaker-window must be >= 1 (got %d)" w;
+    if not (th > 0.0 && th <= 1.0) then
+      die "--breaker-threshold must be in (0, 1] (got %g)" th;
+    if cd < 1 then die "--breaker-cooldown must be >= 1 (got %d)" cd;
+    if pr < 1 then die "--breaker-probes must be >= 1 (got %d)" pr;
+    if not (alpha > 0.0 && alpha <= 1.0) then
+      die "--admission-alpha must be in (0, 1] (got %g)" alpha;
+    if margin <= 0.0 then die "--admission-margin must be > 0 (got %g)" margin;
+    Option.iter
+      (fun d ->
+        if String.trim d = "" then die "--snapshot-dir must not be empty";
+        if Sys.file_exists d && not (Sys.is_directory d) then
+          die "--snapshot-dir %s exists and is not a directory" d)
+      snap;
+    let breaker =
+      if nb then None
+      else
+        Some
+          {
+            Serve.Breaker.window = w;
+            failure_threshold = th;
+            cooldown = cd;
+            probes = pr;
+          }
+    in
+    let admission =
+      if na then None else Some { Serve.Admission.alpha; margin }
+    in
+    (breaker, admission, snap)
+  in
+  Term.(
+    const mk $ breaker_window $ breaker_threshold $ breaker_cooldown
+    $ breaker_probes $ no_breaker $ admission_alpha $ admission_margin
+    $ no_admission $ snapshot_dir)
 
 (** Cold-load through the warm cache (serialize → deserialize → relink),
     then load again to show the warm path. *)
@@ -612,6 +753,12 @@ let save_serve_report ?autotune ~ref_vm engine path =
   Fmt.pr "report: %s@." path
 
 let serve_cmd =
+  let model_pos =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"Model from the zoo (omit with --models)")
+  in
   let requests =
     Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc:"Requests to serve")
   in
@@ -621,24 +768,10 @@ let serve_cmd =
   let seq_max =
     Arg.(value & opt int 16 & info [ "seq-max" ] ~doc:"Largest sequence length served")
   in
-  let run model domains cfg (au_on, au_threshold, au_interval) requests seq_min
-      seq_max no_guards no_symbolic_plan fault trace_out report_out =
-    apply_domains domains;
-    apply_fault fault;
-    if requests < 1 then die "--requests must be >= 1 (got %d)" requests;
-    if seq_min < 1 then die "--seq-min must be >= 1 (got %d)" seq_min;
-    if seq_max < seq_min then
-      die "--seq-max (%d) must be >= --seq-min (%d)" seq_max seq_min;
+  let serve_one model cfg options autotuner tr requests seq_min seq_max
+      trace_out report_out =
     let entry = lookup model in
-    let options =
-      compile_options ~autotune:au_on ?autotune_threshold:au_threshold
-        ?autotune_interval:au_interval ~no_guards ~no_symbolic_plan ()
-    in
     let exe = cache_load ~options ~model entry in
-    let tr =
-      match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
-    in
-    let autotuner = make_autotuner options in
     let engine = Serve.Engine.create ~config:cfg ?trace:tr ?autotune:autotuner exe in
     let span = seq_max - seq_min + 1 in
     (* round-robin over the seq range: distinct shapes exercise bucketing *)
@@ -662,7 +795,10 @@ let serve_cmd =
             | Ok out ->
                 incr ok;
                 if !first_ok = None then first_ok := Some (i, out)
-            | Error Serve.Engine.Rejected -> incr rejected
+            | Error (Serve.Engine.Rejected | Serve.Engine.Shed | Serve.Engine.Tripped) ->
+                (* Shed/Tripped need a fleet-tier controller; grouped with
+                   rejects so the single-engine tally stays total *)
+                incr rejected
             | Error Serve.Engine.Timed_out -> incr timed_out
             | Error (Serve.Engine.Failed fl) ->
                 incr failed;
@@ -700,16 +836,177 @@ let serve_cmd =
     | _ -> ());
     Option.iter (save_serve_report ?autotune:au_summary ~ref_vm engine) report_out
   in
+  let serve_fleet spec (breaker, admission, snapshot_dir) cfg options tr
+      requests seq_min seq_max trace_out report_out =
+    let specs = parse_models spec in
+    let fleet_cfg =
+      {
+        Serve.Fleet.total_workers = cfg.Serve.Engine.workers;
+        engine = cfg;
+        admission;
+        breaker;
+      }
+    in
+    let fleet =
+      Serve.Fleet.create ~options ?trace:tr ~config:fleet_cfg
+        (List.map
+           (fun (name, (entry : zoo_entry), weight) ->
+             { Serve.Fleet.name; build = entry.build; weight })
+           specs)
+    in
+    (* a manifest in the snapshot dir means a previous run checkpointed:
+       warm-restart every model from it (relink-only, tunes replayed,
+       arenas pre-warmed) before taking traffic *)
+    (match snapshot_dir with
+    | Some dir when Sys.file_exists (Filename.concat dir "MANIFEST.json") ->
+        List.iter
+          (fun (name, _, _) ->
+            try
+              let r = Serve.Fleet.warm_restart fleet ~dir ~model:name in
+              Fmt.pr "warm-restarted %s from %s: %d tunes, %d arena hints@."
+                name dir r.Serve.Cache.r_tunes_applied
+                (List.length r.Serve.Cache.r_arena_hints)
+            with Failure msg -> die "snapshot restore failed: %s" msg)
+          specs
+    | _ -> ());
+    let names = Array.of_list (List.map (fun (n, _, _) -> n) specs) in
+    let entries = Array.of_list (List.map (fun (_, e, _) -> e) specs) in
+    let span = seq_max - seq_min + 1 in
+    (* round-robin over models and the seq range *)
+    let jobs =
+      Array.init requests (fun i ->
+          let mi = i mod Array.length names in
+          let seq = seq_min + (i mod span) in
+          (mi, seq, entries.(mi).sample_input ~seq))
+    in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      Array.map
+        (fun (mi, seq, input) ->
+          (mi, Serve.Fleet.submit fleet ~model:names.(mi) ~shape:[| seq |] input))
+        jobs
+    in
+    let ok = ref 0 and rejected = ref 0 and shed = ref 0 and tripped = ref 0 in
+    let timed_out = ref 0 and failed = ref 0 in
+    let first_ok = ref None in
+    Array.iteri
+      (fun i (mi, tk) ->
+        let outcome =
+          match tk with Ok tk -> Serve.Fleet.wait tk | Error e -> Error e
+        in
+        match outcome with
+        | Ok out ->
+            incr ok;
+            if !first_ok = None then first_ok := Some (i, mi, out)
+        | Error Serve.Engine.Rejected -> incr rejected
+        | Error Serve.Engine.Shed -> incr shed
+        | Error Serve.Engine.Tripped -> incr tripped
+        | Error Serve.Engine.Timed_out -> incr timed_out
+        | Error (Serve.Engine.Failed fl) ->
+            incr failed;
+            Fmt.epr "request failed: %a@." Interp.pp_failure fl)
+      tickets;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* bitwise check of one served request against a sequential reference
+       VM of the same model (fault injection suspended) *)
+    let ref_vm = ref None in
+    Fault.with_suspended (fun () ->
+        match !first_ok with
+        | Some (i, mi, out) -> (
+            let _, _, input = jobs.(i) in
+            let exe =
+              Serve.Cache.load ~options (Serve.Fleet.cache fleet)
+                ~name:names.(mi) ~build:entries.(mi).build
+            in
+            let vm = Nimble.vm exe in
+            ref_vm := Some vm;
+            match (out, Interp.invoke vm [ input ]) with
+            | Nimble_vm.Obj.Tensor served, Nimble_vm.Obj.Tensor reference ->
+                Fmt.pr "bitwise vs sequential reference (%s): %b@." names.(mi)
+                  (Tensor.equal served.Nimble_vm.Obj.data reference.Nimble_vm.Obj.data)
+            | _ -> ())
+        | None -> ());
+    (match snapshot_dir with
+    | Some dir ->
+        let n = Serve.Fleet.snapshot fleet ~dir in
+        Fmt.pr "snapshot: %d models -> %s@." n dir
+    | None -> ());
+    Fmt.pr
+      "served %d/%d in %.1f ms (%.0f req/s); rejected %d, shed %d, tripped \
+       %d, timed out %d, failed %d@."
+      !ok requests (1e3 *. wall_s)
+      (float_of_int !ok /. Float.max 1e-9 wall_s)
+      !rejected !shed !tripped !timed_out !failed;
+    List.iter
+      (fun (name, summary) ->
+        let c, lanes, open_lanes = Serve.Fleet.breaker_totals fleet ~model:name in
+        let weight, workers = Serve.Fleet.share fleet ~model:name in
+        Fmt.pr
+          "@.[%s] weight %d, workers %d; breakers: %d lanes (%d open), %d \
+           trips, %d shed@.%a@."
+          name weight workers lanes open_lanes c.Serve.Breaker.c_trips
+          c.Serve.Breaker.c_shed Serve.Stats.pp_summary summary)
+      (Serve.Fleet.model_stats fleet);
+    (match (tr, trace_out) with
+    | Some tr, Some path -> save_serve_trace ~model:spec tr path
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        let prof =
+          match !ref_vm with
+          | Some vm -> Interp.profiler vm
+          | None ->
+              Interp.profiler
+                (Nimble.vm
+                   (Serve.Cache.load ~options (Serve.Fleet.cache fleet)
+                      ~name:names.(0) ~build:entries.(0).build))
+        in
+        Nimble_vm.Json.save_file
+          (Nimble_vm.Profiler.to_json ~fleet:(Serve.Fleet.fleet_json fleet) prof)
+          path;
+        Fmt.pr "report: %s@." path)
+      report_out;
+    Serve.Fleet.shutdown fleet
+  in
+  let run model_opt models_spec knobs domains cfg
+      (au_on, au_threshold, au_interval) requests seq_min seq_max no_guards
+      no_symbolic_plan fault trace_out report_out =
+    apply_domains domains;
+    apply_fault fault;
+    if requests < 1 then die "--requests must be >= 1 (got %d)" requests;
+    if seq_min < 1 then die "--seq-min must be >= 1 (got %d)" seq_min;
+    if seq_max < seq_min then
+      die "--seq-max (%d) must be >= --seq-min (%d)" seq_max seq_min;
+    let options =
+      compile_options ~autotune:au_on ?autotune_threshold:au_threshold
+        ?autotune_interval:au_interval ~no_guards ~no_symbolic_plan ()
+    in
+    let tr =
+      match trace_out with Some _ -> Some (Nimble_vm.Trace.create ()) | None -> None
+    in
+    match (model_opt, models_spec) with
+    | Some _, Some _ -> die "pass either MODEL or --models, not both"
+    | None, None -> die "name a MODEL or pass --models NAME[:w=N],..."
+    | Some model, None ->
+        let autotuner = make_autotuner options in
+        serve_one model cfg options autotuner tr requests seq_min seq_max
+          trace_out report_out
+    | None, Some spec ->
+        serve_fleet spec knobs cfg options tr requests seq_min seq_max
+          trace_out report_out
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve a zoo model through the batching engine: shape-bucketed dynamic \
-          batches over a VM worker pool, with a bitwise check against a \
-          sequential reference run")
+         "Serve one zoo model through the batching engine — or a whole fleet \
+          of weighted models with SLO admission, circuit breakers and \
+          snapshot/warm-restart ($(b,--models)) — with a bitwise check \
+          against a sequential reference run")
     Term.(
-      const run $ model_arg $ domains_arg $ engine_config_term $ autotune_term
-      $ requests $ seq_min $ seq_max $ no_guards_arg $ no_symbolic_plan_arg
-      $ fault_arg $ trace_arg $ report_arg)
+      const run $ model_pos $ models_arg $ fleet_knobs_term $ domains_arg
+      $ engine_config_term $ autotune_term $ requests $ seq_min $ seq_max
+      $ no_guards_arg $ no_symbolic_plan_arg $ fault_arg $ trace_arg
+      $ report_arg)
 
 let loadgen_cmd =
   let rate =
@@ -733,6 +1030,16 @@ let loadgen_cmd =
     Arg.(
       value & flag
       & info [ "steady" ] ~doc:"Fixed inter-arrival gaps instead of Poisson")
+  in
+  let process =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "process" ] ~docv:"P"
+          ~doc:
+            "Arrival process: $(b,poisson), $(b,steady), $(b,bursty=N) (bursts \
+             of N back-to-back arrivals), or $(b,diurnal=CxD) (C sinusoidal \
+             cycles of depth D over the window)")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Arrival/mix RNG seed") in
   let json =
@@ -760,14 +1067,47 @@ let loadgen_cmd =
                | _ -> bad ())
            | _ -> bad ())
   in
+  (* malformed --process values exit 1 with a one-line diagnostic *)
+  let parse_process s : Serve.Loadgen.process =
+    let bad () =
+      die "bad --process %S (want poisson, steady, bursty=N, or diurnal=CxD)" s
+    in
+    match String.split_on_char '=' (String.lowercase_ascii (String.trim s)) with
+    | [ "poisson" ] -> Serve.Loadgen.Poisson
+    | [ "steady" ] -> Serve.Loadgen.Steady
+    | [ "bursty"; n ] -> (
+        match int_of_string_opt n with
+        | Some burst when burst >= 1 -> Serve.Loadgen.Bursty { burst }
+        | Some burst -> die "--process bursty=%d: burst must be >= 1" burst
+        | None -> bad ())
+    | [ "diurnal"; cd ] -> (
+        match String.split_on_char 'x' cd with
+        | [ c; d ] -> (
+            match (float_of_string_opt c, float_of_string_opt d) with
+            | Some cycles, Some depth when cycles > 0.0 && depth >= 0.0 && depth < 1.0
+              ->
+                Serve.Loadgen.Diurnal { cycles; depth }
+            | Some _, Some _ ->
+                die "--process diurnal=%s: want cycles > 0 and depth in [0, 1)" cd
+            | _ -> bad ())
+        | _ -> bad ())
+    | _ -> bad ()
+  in
   let run model domains cfg (au_on, au_threshold, au_interval) rate duration
-      clients mix steady seed json no_guards no_symbolic_plan fault trace_out
-      report_out =
+      clients mix steady process seed json no_guards no_symbolic_plan fault
+      trace_out report_out =
     apply_domains domains;
     apply_fault fault;
     if rate <= 0.0 then die "--rate must be > 0 (got %g)" rate;
     if duration <= 0.0 then die "--duration must be > 0 (got %g)" duration;
     if clients < 1 then die "--clients must be >= 1 (got %d)" clients;
+    let process =
+      match process with
+      | Some p ->
+          if steady then die "pass either --steady or --process, not both";
+          parse_process p
+      | None -> if steady then Serve.Loadgen.Steady else Serve.Loadgen.Poisson
+    in
     let mix_parsed = parse_mix mix in
     if mix_parsed = [] then die "--mix must name at least one SEQ:WEIGHT entry";
     List.iter
@@ -792,7 +1132,7 @@ let loadgen_cmd =
         duration_s = duration;
         clients;
         mix = mix_parsed;
-        process = (if steady then Serve.Loadgen.Steady else Serve.Loadgen.Poisson);
+        process;
         seed;
         timeout_us = cfg.Serve.Engine.default_timeout_us;
       }
@@ -827,8 +1167,9 @@ let loadgen_cmd =
           throughput, latency percentiles and the batch-size histogram")
     Term.(
       const run $ model_arg $ domains_arg $ engine_config_term $ autotune_term
-      $ rate $ duration $ clients $ mix $ steady $ seed $ json $ no_guards_arg
-      $ no_symbolic_plan_arg $ fault_arg $ trace_arg $ report_arg)
+      $ rate $ duration $ clients $ mix $ steady $ process $ seed $ json
+      $ no_guards_arg $ no_symbolic_plan_arg $ fault_arg $ trace_arg
+      $ report_arg)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -45,6 +45,8 @@ let well_known_points =
     "queue_push" (* serving-engine admission ([Squeue.try_push]) *);
     "deserialize" (* [Serialize.of_bytes] *);
     "worker_loop" (* serving-engine worker batch loop *);
+    "breaker_probe" (* circuit-breaker half-open trial dispatch ([Breaker]) *);
+    "snapshot_io" (* fleet snapshot read/write ([Serve.Cache]) *);
   ]
 
 type rule = { rate : float; rule_mode : mode }

@@ -24,7 +24,8 @@ exception Spec_error of string
 
 (** Every injection point wired into the runtime ([storage_alloc],
     [kernel_launch], [shape_func], [queue_push], [deserialize],
-    [worker_loop]); ["*"] in a spec expands to this list. *)
+    [worker_loop], [breaker_probe], [snapshot_io]); ["*"] in a spec
+    expands to this list. *)
 val well_known_points : string list
 
 (** Install a spec such as ["seed=11;*=0.05"] or

@@ -1,0 +1,91 @@
+(** SLO-aware admission control: shed work that provably cannot meet its
+    deadline, at the door instead of after wasted execution.
+
+    The controller keeps an exponentially-weighted moving average of
+    observed per-request service time. At submission, the expected
+    sojourn of a new request behind [queue_depth] queued ones across
+    [workers] shards is
+
+    {v  wait ~= (queue_depth / workers + 1) * ewma_service_us  v}
+
+    and a request whose deadline budget is below [margin * wait] is
+    refused with a [Shed] outcome — the engine never spends a worker on
+    it, and the client learns immediately instead of at its deadline
+    (admission math: [docs/SERVING.md]). Before any observation the
+    estimate is zero and everything is admitted, so an idle server never
+    sheds; decisions are deterministic given the observation sequence. *)
+
+type config = {
+  alpha : float;  (** EWMA smoothing factor, above 0 and at most 1; higher = jumpier *)
+  margin : float;
+      (** safety multiplier on the wait estimate; below 1.0 admits
+          optimistically, above sheds conservatively *)
+}
+
+(** Smooth over ~10 recent requests, shed at 1x the estimate. *)
+let default_config = { alpha = 0.2; margin = 1.0 }
+
+type t = {
+  cfg : config;
+  mux : Mutex.t;
+  mutable ewma_us : float;  (** 0 until the first observation *)
+  mutable observations : int;
+  mutable shed : int;
+}
+
+(** A controller with no observations (admits everything).
+    @raise Invalid_argument on an alpha outside its range or a
+    non-positive margin. *)
+let create ?(config = default_config) () =
+  if config.alpha <= 0.0 || config.alpha > 1.0 then
+    Fmt.invalid_arg "Admission.create: alpha %g" config.alpha;
+  if config.margin <= 0.0 then
+    Fmt.invalid_arg "Admission.create: margin %g" config.margin;
+  { cfg = config; mux = Mutex.create (); ewma_us = 0.0; observations = 0; shed = 0 }
+
+let locked t f =
+  Mutex.lock t.mux;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
+
+(** Fold one completed request's service time (µs) into the EWMA. *)
+let observe t ~service_us =
+  if service_us >= 0.0 then
+    locked t (fun () ->
+        t.ewma_us <-
+          (if t.observations = 0 then service_us
+           else
+             (t.cfg.alpha *. service_us)
+             +. ((1.0 -. t.cfg.alpha) *. t.ewma_us));
+        t.observations <- t.observations + 1)
+
+(** Decide one submission: [true] = admit. [deadline_us] is the
+    request's remaining budget ([None] = no deadline, always admitted);
+    [queue_depth] the pending requests ahead of it; [workers] the shard
+    pool draining that queue. *)
+let admit t ~queue_depth ~workers ~deadline_us =
+  match deadline_us with
+  | None -> true
+  | Some budget_us ->
+      let est =
+        locked t (fun () ->
+            if t.observations = 0 then 0.0
+            else
+              (float_of_int queue_depth /. float_of_int (Stdlib.max 1 workers)
+              +. 1.0)
+              *. t.ewma_us)
+      in
+      let ok = budget_us >= t.cfg.margin *. est in
+      if not ok then locked t (fun () -> t.shed <- t.shed + 1);
+      ok
+
+(** The current service-time estimate in µs (0 before any observation). *)
+let estimate_us t = locked t (fun () -> t.ewma_us)
+
+(** Completed-request observations folded in so far. *)
+let observations t = locked t (fun () -> t.observations)
+
+(** Submissions this controller has refused. *)
+let shed t = locked t (fun () -> t.shed)
+
+(** The controller's configuration (as given to {!create}). *)
+let config t = t.cfg

@@ -1,0 +1,46 @@
+(** SLO-aware admission control: refuse a request at the door when its
+    deadline provably cannot be met given current queue depth and the
+    observed service-time EWMA — shedding before execution instead of
+    timing out after it (admission math: [docs/SERVING.md]).
+
+    With no observations yet the estimate is zero and everything is
+    admitted; decisions are deterministic given the observation
+    sequence. *)
+
+type config = {
+  alpha : float;  (** EWMA smoothing factor, above 0 and at most 1; higher = jumpier *)
+  margin : float;
+      (** safety multiplier on the wait estimate; below 1.0 admits
+          optimistically, above sheds conservatively *)
+}
+
+(** Smooth over ~10 recent requests, shed at 1x the estimate. *)
+val default_config : config
+
+type t
+
+(** A controller with no observations (admits everything).
+    @raise Invalid_argument on an alpha outside its range or a
+    non-positive margin. *)
+val create : ?config:config -> unit -> t
+
+(** Fold one completed request's service time (µs) into the EWMA. *)
+val observe : t -> service_us:float -> unit
+
+(** Decide one submission: [true] = admit. [deadline_us] is the
+    request's remaining budget ([None] = no deadline, always admitted);
+    [queue_depth] the pending requests ahead of it; [workers] the shard
+    pool draining that queue. *)
+val admit : t -> queue_depth:int -> workers:int -> deadline_us:float option -> bool
+
+(** The current service-time estimate in µs (0 before any observation). *)
+val estimate_us : t -> float
+
+(** Completed-request observations folded in so far. *)
+val observations : t -> int
+
+(** Submissions this controller has refused. *)
+val shed : t -> int
+
+(** The controller's configuration (as given to {!create}). *)
+val config : t -> config

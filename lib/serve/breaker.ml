@@ -1,0 +1,223 @@
+(** Per-(model, bucket) circuit breaker: Closed / Open / HalfOpen.
+
+    The breaker watches a sliding window of request outcomes and cuts a
+    (model, bucket) lane off before a failing shard burns worker time on
+    requests that will fail anyway:
+
+    {v
+                 failure rate over full window >= threshold
+        Closed ---------------------------------------------> Open
+          ^                                                    |
+          | every HalfOpen probe succeeded                     | cooldown
+          |                                                    | admissions shed
+        HalfOpen <---------------------------------------------+
+          |   ^
+          +---+--- any probe fails (or an injected breaker_probe
+                   fault refuses the trial) -> back to Open
+    v}
+
+    Every transition is a pure function of the order of {!admit} /
+    {!record} calls — there is no wall clock anywhere — so a chaos test
+    with a fixed {!Nimble_fault.Fault} seed replays the exact state
+    sequence. The Open cooldown counts {e shed admissions} (not
+    seconds): after [cooldown] requests have bounced off the open
+    breaker, the next one is allowed through as a HalfOpen probe. In
+    HalfOpen at most [probes] requests are in flight; each probe passes
+    the ["breaker_probe"] fault point, so injected chaos can refuse the
+    trial itself (counted as a probe failure). All [probes] must succeed
+    to re-close; one failure re-opens (and re-arms the cooldown). *)
+
+module Fault = Nimble_fault.Fault
+
+type state = Closed | Open | Half_open
+
+type config = {
+  window : int;  (** sliding outcome window (requests) in Closed *)
+  failure_threshold : float;
+      (** trip when the window is full and its failure fraction reaches
+          this *)
+  cooldown : int;  (** admissions shed while Open before probing *)
+  probes : int;  (** HalfOpen trial budget; all must succeed to close *)
+}
+
+(** Window of 16, trip at half failing, probe after 8 shed, 2 probes. *)
+let default_config =
+  { window = 16; failure_threshold = 0.5; cooldown = 8; probes = 2 }
+
+type t = {
+  cfg : config;
+  mux : Mutex.t;
+  ring : bool array;  (** outcome window; [true] = failure *)
+  mutable ring_n : int;  (** outcomes recorded (saturates at window) *)
+  mutable ring_at : int;  (** next write position *)
+  mutable st : state;
+  mutable shed_count : int;  (** admissions shed this Open period *)
+  mutable probes_inflight : int;
+  mutable probe_successes : int;
+  (* cumulative counters for stats *)
+  mutable trips : int;  (** Closed|HalfOpen -> Open transitions *)
+  mutable total_shed : int;
+  mutable reopens : int;  (** HalfOpen -> Open transitions (subset of trips) *)
+  mutable closes : int;  (** HalfOpen -> Closed transitions *)
+}
+
+(** A fresh breaker in [Closed] with an empty outcome window.
+    @raise Invalid_argument on a non-positive window, cooldown or probe
+    budget, or a threshold that is not above 0 and at most 1. *)
+let create ?(config = default_config) () =
+  if config.window < 1 then Fmt.invalid_arg "Breaker.create: window %d" config.window;
+  if config.cooldown < 1 then
+    Fmt.invalid_arg "Breaker.create: cooldown %d" config.cooldown;
+  if config.probes < 1 then Fmt.invalid_arg "Breaker.create: probes %d" config.probes;
+  if config.failure_threshold <= 0.0 || config.failure_threshold > 1.0 then
+    Fmt.invalid_arg "Breaker.create: failure_threshold %g" config.failure_threshold;
+  {
+    cfg = config;
+    mux = Mutex.create ();
+    ring = Array.make config.window false;
+    ring_n = 0;
+    ring_at = 0;
+    st = Closed;
+    shed_count = 0;
+    probes_inflight = 0;
+    probe_successes = 0;
+    trips = 0;
+    total_shed = 0;
+    reopens = 0;
+    closes = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mux;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mux) f
+
+let reset_window t =
+  Array.fill t.ring 0 (Array.length t.ring) false;
+  t.ring_n <- 0;
+  t.ring_at <- 0
+
+let trip t =
+  (match t.st with Half_open -> t.reopens <- t.reopens + 1 | _ -> ());
+  t.st <- Open;
+  t.trips <- t.trips + 1;
+  t.shed_count <- 0;
+  t.probes_inflight <- 0;
+  t.probe_successes <- 0;
+  reset_window t
+
+(** An {!admit} decision: run the request normally, run it as a HalfOpen
+    trial (complete it with {!record} [~probe:true]), or shed it. *)
+type decision = Allow | Probe | Shed
+
+(** Ask the breaker whether to admit one request. [Shed] costs nothing
+    and advances the Open cooldown; [Probe] means the caller must
+    {!record} the outcome with [~probe:true]. An injected
+    ["breaker_probe"] fault refuses the trial dispatch itself: the
+    breaker counts it as a failed probe (re-opening) and the caller sees
+    [Shed]. *)
+let admit t : decision =
+  locked t (fun () ->
+      match t.st with
+      | Closed -> Allow
+      | Open ->
+          if t.shed_count >= t.cfg.cooldown then begin
+            (* cooldown spent: next admission becomes the first probe *)
+            t.st <- Half_open;
+            t.probes_inflight <- 0;
+            t.probe_successes <- 0;
+            match Fault.check "breaker_probe" with
+            | () ->
+                t.probes_inflight <- t.probes_inflight + 1;
+                Probe
+            | exception Fault.Injected _ ->
+                (* the probe dispatch itself faulted: treat as a failed
+                   trial — back to Open, cooldown re-armed *)
+                trip t;
+                t.total_shed <- t.total_shed + 1;
+                Shed
+          end
+          else begin
+            t.shed_count <- t.shed_count + 1;
+            t.total_shed <- t.total_shed + 1;
+            Shed
+          end
+      | Half_open ->
+          if t.probes_inflight < t.cfg.probes then (
+            match Fault.check "breaker_probe" with
+            | () ->
+                t.probes_inflight <- t.probes_inflight + 1;
+                Probe
+            | exception Fault.Injected _ ->
+                trip t;
+                t.total_shed <- t.total_shed + 1;
+                Shed)
+          else begin
+            t.total_shed <- t.total_shed + 1;
+            Shed
+          end)
+
+(** Record one admitted request's outcome. In [Closed], failures
+    accumulate in the window and can trip the breaker. With
+    [~probe:true] (a {!decision} of [Probe]), a failure re-opens
+    immediately; once all [probes] trials have succeeded the breaker
+    closes with a fresh window. *)
+let record ?(probe = false) t ~ok =
+  locked t (fun () ->
+      match t.st with
+      | Open -> () (* a straggler from before the trip; nothing to learn *)
+      | Half_open when probe ->
+          if not ok then trip t
+          else begin
+            t.probe_successes <- t.probe_successes + 1;
+            if t.probe_successes >= t.cfg.probes then begin
+              t.st <- Closed;
+              t.closes <- t.closes + 1;
+              t.probes_inflight <- 0;
+              t.probe_successes <- 0;
+              reset_window t
+            end
+          end
+      | Half_open -> () (* non-probe straggler *)
+      | Closed ->
+          t.ring.(t.ring_at) <- not ok;
+          t.ring_at <- (t.ring_at + 1) mod t.cfg.window;
+          if t.ring_n < t.cfg.window then t.ring_n <- t.ring_n + 1;
+          if t.ring_n >= t.cfg.window then begin
+            let failures =
+              Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 t.ring
+            in
+            if
+              float_of_int failures /. float_of_int t.cfg.window
+              >= t.cfg.failure_threshold
+            then trip t
+          end)
+
+(** The current state (racy under concurrency; exact in seeded tests). *)
+let state t = locked t (fun () -> t.st)
+
+(** Cumulative counters for stats and the fleet bench. *)
+type counters = {
+  c_trips : int;  (** transitions into Open (includes re-opens) *)
+  c_shed : int;  (** admissions shed while Open / over probe budget *)
+  c_reopens : int;  (** HalfOpen probes that failed and re-opened *)
+  c_closes : int;  (** successful HalfOpen -> Closed recoveries *)
+}
+
+(** Snapshot the cumulative trip/shed/reopen/close counters. *)
+let counters t =
+  locked t (fun () ->
+      {
+        c_trips = t.trips;
+        c_shed = t.total_shed;
+        c_reopens = t.reopens;
+        c_closes = t.closes;
+      })
+
+(** The breaker's configuration (as given to {!create}). *)
+let config t = t.cfg
+
+(** Render a {!state} as ["closed"] / ["open"] / ["half_open"]. *)
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"

@@ -1,0 +1,69 @@
+(** Per-(model, bucket) circuit breaker with Closed / Open / HalfOpen
+    states (state machine and tuning: [docs/SERVING.md]; failure model:
+    [docs/ROBUSTNESS.md]).
+
+    Trips when the failure fraction of a sliding outcome window reaches
+    a threshold; sheds while Open; after [cooldown] shed admissions lets
+    a bounded trickle of HalfOpen probes through (each passing the
+    ["breaker_probe"] fault point); re-closes only when every probe
+    succeeds. No wall clock anywhere: transitions are a pure function of
+    the {!admit}/{!record} call order, so seeded chaos tests replay the
+    exact state sequence. *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  window : int;  (** sliding outcome window (requests) in Closed *)
+  failure_threshold : float;
+      (** trip when the window is full and its failure fraction reaches
+          this *)
+  cooldown : int;  (** admissions shed while Open before probing *)
+  probes : int;  (** HalfOpen trial budget; all must succeed to close *)
+}
+
+(** Window of 16, trip at half failing, probe after 8 shed, 2 probes. *)
+val default_config : config
+
+type t
+
+(** A fresh breaker in [Closed] with an empty outcome window.
+    @raise Invalid_argument on a non-positive window, cooldown or probe
+    budget, or a threshold that is not above 0 and at most 1. *)
+val create : ?config:config -> unit -> t
+
+(** An {!admit} decision: run the request normally, run it as a HalfOpen
+    trial (complete it with {!record} [~probe:true]), or shed it. *)
+type decision = Allow | Probe | Shed
+
+(** Ask the breaker whether to admit one request. [Shed] costs nothing
+    and advances the Open cooldown; [Probe] obliges the caller to
+    {!record} the outcome with [~probe:true]. An injected
+    ["breaker_probe"] fault refuses the trial dispatch itself (counted
+    as a failed probe; the caller sees [Shed]). *)
+val admit : t -> decision
+
+(** Record one admitted request's outcome ([ok] = served successfully).
+    In [Closed], failures accumulate in the window and can trip the
+    breaker; with [~probe:true] a failure re-opens immediately and the
+    last needed success closes with a fresh window. *)
+val record : ?probe:bool -> t -> ok:bool -> unit
+
+(** The current state (racy under concurrency; exact in seeded tests). *)
+val state : t -> state
+
+(** Cumulative counters for stats and the fleet bench. *)
+type counters = {
+  c_trips : int;  (** transitions into Open (includes re-opens) *)
+  c_shed : int;  (** admissions shed while Open / over probe budget *)
+  c_reopens : int;  (** HalfOpen probes that failed and re-opened *)
+  c_closes : int;  (** successful HalfOpen -> Closed recoveries *)
+}
+
+(** Snapshot the cumulative trip/shed/reopen/close counters. *)
+val counters : t -> counters
+
+(** The breaker's configuration (as given to {!create}). *)
+val config : t -> config
+
+(** Render a {!state} as ["closed"] / ["open"] / ["half_open"]. *)
+val state_name : state -> string

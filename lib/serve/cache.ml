@@ -18,12 +18,22 @@ type entry = { exe : Nimble_vm.Exe.t; bytes : int  (** serialized size *) }
 type t = {
   mux : Mutex.t;
   entries : (string, entry) Hashtbl.t;
+  impls : (string, Nimble_vm.Exe.packed) Hashtbl.t;
+      (** link registry: packed implementations captured at first link,
+          keyed by packed name — what {!restore} relinks from, so a warm
+          restart never recompiles *)
   mutable hits : int;
   mutable misses : int;
 }
 
 let create () =
-  { mux = Mutex.create (); entries = Hashtbl.create 4; hits = 0; misses = 0 }
+  {
+    mux = Mutex.create ();
+    entries = Hashtbl.create 4;
+    impls = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+  }
 
 let locked t f =
   Mutex.lock t.mux;
@@ -113,8 +123,16 @@ let load ?options t ~name ~(build : unit -> Nimble_ir.Irmod.t) :
                 })
               options
           in
-          List.iter (Nimble_vm.Exe.link exe)
-            (Nimble_compiler.Emitter.link_table ?options:link_options m);
+          let table =
+            Nimble_compiler.Emitter.link_table ?options:link_options m
+          in
+          List.iter (Nimble_vm.Exe.link exe) table;
+          (* capture the platform implementations so a later {!restore}
+             can relink a snapshot without recompiling *)
+          List.iter
+            (fun (p : Nimble_vm.Exe.packed) ->
+              Hashtbl.replace t.impls p.Nimble_vm.Exe.packed_name p)
+            table;
           (* warm-restart the persisted tune decisions into the freshly
              linked dispatch tables *)
           ignore (apply_tunes exe);
@@ -131,3 +149,207 @@ let misses t = locked t (fun () -> t.misses)
 let serialized_bytes t ~name =
   locked t (fun () ->
       Option.map (fun e -> e.bytes) (Hashtbl.find_opt t.entries name))
+
+(** Capture a linked executable's packed implementations into the link
+    registry (what {!restore} relinks from). {!load} does this
+    automatically; call this for executables linked outside the cache.
+    Returns how many implementations were (re)registered. *)
+let register_impls t (exe : Nimble_vm.Exe.t) : int =
+  locked t (fun () ->
+      Array.fold_left
+        (fun n p ->
+          match p with
+          | Some (p : Nimble_vm.Exe.packed) ->
+              Hashtbl.replace t.impls p.Nimble_vm.Exe.packed_name p;
+              n + 1
+          | None -> n)
+        0 exe.Nimble_vm.Exe.packed)
+
+(* --------------------------- snapshots ---------------------------- *)
+
+module Json = Nimble_vm.Json
+
+(** On-disk snapshot format version (the manifest [schema] member). *)
+let snapshot_schema = "nimble-snapshot/v1"
+
+(** Run [f] behind the ["snapshot_io"] fault point, retrying injected
+    {e transient} faults a bounded number of times — snapshot I/O models
+    a flaky disk, and both halves of the warm-restart loop should survive
+    a torn read/write. Persistent faults propagate. *)
+let rec io_retrying ?(attempt = 0) f =
+  match
+    Nimble_fault.Fault.check "snapshot_io";
+    f ()
+  with
+  | v -> v
+  | exception
+      Nimble_fault.Fault.Injected { mode = Nimble_fault.Fault.Transient; _ }
+    when attempt < 3 ->
+      io_retrying ~attempt:(attempt + 1) f
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ())
+    end
+  in
+  go dir
+
+(** [model.nmblexe] file name for a model, with anything outside
+    [A-Za-z0-9._-] mapped to [_] so model names cannot escape [dir]. *)
+let snapshot_file name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    name
+  ^ ".nmblexe"
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc contents);
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+(** Checkpoint every cached model to [dir]: for each entry, capture the
+    live tune decisions ({!persist_tunes}), serialize to
+    [<name>.nmblexe], and record it (with its [hints] arena-bound dims,
+    if any) in a versioned [MANIFEST.json]. Each file is written to a
+    temp name and renamed, so a crashed snapshot never leaves a torn
+    manifest. All I/O passes the ["snapshot_io"] fault point (transient
+    faults retried). Returns how many models were written. *)
+let snapshot ?(hints = []) t ~dir : int =
+  locked t (fun () ->
+      mkdir_p dir;
+      let models =
+        Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let entries =
+        List.map
+          (fun (name, e) ->
+            let tunes = persist_tunes e.exe in
+            let bytes = Nimble_vm.Serialize.to_bytes e.exe in
+            let file = snapshot_file name in
+            io_retrying (fun () ->
+                write_file_atomic (Filename.concat dir file) bytes);
+            let arena_hints =
+              match List.assoc_opt name hints with
+              | None -> []
+              | Some dims ->
+                  List.map
+                    (fun d ->
+                      Json.List
+                        (Array.to_list (Array.map (fun i -> Json.Int i) d)))
+                    dims
+            in
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("file", Json.String file);
+                ("bytes", Json.Int (String.length bytes));
+                ("tunes", Json.Int tunes);
+                ("arena_hints", Json.List arena_hints);
+              ])
+          models
+      in
+      let manifest =
+        Json.Obj
+          [
+            ("schema", Json.String snapshot_schema);
+            ("models", Json.List entries);
+          ]
+      in
+      io_retrying (fun () ->
+          write_file_atomic
+            (Filename.concat dir "MANIFEST.json")
+            (Json.to_string_pretty manifest));
+      List.length models)
+
+(** One model brought back by {!restore}. *)
+type restored = {
+  r_name : string;
+  r_exe : Nimble_vm.Exe.t;  (** decoded, verified, relinked, tunes applied *)
+  r_bytes : int;  (** on-disk serialized size *)
+  r_tunes_applied : int;  (** tune decisions replayed into dispatch *)
+  r_arena_hints : int array list;
+      (** arena-bound dims recorded at snapshot time — feed these to the
+          engine's [warm_hints] to pre-warm arenas before traffic *)
+}
+
+(** Warm-restart every model recorded in [dir]'s manifest: read and
+    decode each [.nmblexe] (bytecode-verified; transient ["snapshot_io"] /
+    ["deserialize"] faults retried), relink its packed functions from the
+    in-process link registry — {e no recompilation} — replay its tune
+    table, and replace the cache entry. The registry must already hold
+    every implementation the snapshot names (populate it with {!load} or
+    {!register_impls}).
+    @raise Failure on a missing/ill-versioned manifest or an
+    implementation absent from the registry; [Sys_error] /
+    [Json.Parse_error] / verifier errors propagate. *)
+let restore t ~dir : restored list =
+  locked t (fun () ->
+      let manifest_path = Filename.concat dir "MANIFEST.json" in
+      if not (Sys.file_exists manifest_path) then
+        failwith ("no snapshot manifest at " ^ manifest_path);
+      let manifest =
+        Json.of_string (io_retrying (fun () -> read_file manifest_path))
+      in
+      (match Json.member "schema" manifest with
+      | Some (Json.String s) when s = snapshot_schema -> ()
+      | Some (Json.String s) ->
+          failwith
+            (Printf.sprintf "snapshot schema %S (expected %S)" s
+               snapshot_schema)
+      | _ -> failwith "snapshot manifest has no schema member");
+      let models =
+        Json.to_list_exn (Json.member_exn "models" manifest)
+      in
+      List.map
+        (fun m ->
+          let name = Json.to_string_exn (Json.member_exn "name" m) in
+          let file = Json.to_string_exn (Json.member_exn "file" m) in
+          let bytes =
+            io_retrying (fun () -> read_file (Filename.concat dir file))
+          in
+          let exe = of_bytes_retrying bytes in
+          Array.iter
+            (fun (pname, _kind) ->
+              match Hashtbl.find_opt t.impls pname with
+              | Some impl -> Nimble_vm.Exe.link exe impl
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "snapshot restore of %s: no registered implementation \
+                        for %s (load the model once, or register_impls)"
+                       name pname))
+            exe.Nimble_vm.Exe.packed_names;
+          let applied = apply_tunes exe in
+          let arena_hints =
+            match Json.member "arena_hints" m with
+            | Some (Json.List hs) ->
+                List.map
+                  (fun h ->
+                    Json.to_list_exn h |> List.map Json.to_int_exn
+                    |> Array.of_list)
+                  hs
+            | _ -> []
+          in
+          Hashtbl.replace t.entries name
+            { exe; bytes = String.length bytes };
+          {
+            r_name = name;
+            r_exe = exe;
+            r_bytes = String.length bytes;
+            r_tunes_applied = applied;
+            r_arena_hints = arena_hints;
+          })
+        models)

@@ -44,3 +44,42 @@ val misses : t -> int
 
 (** Serialized size in bytes of a cached model, if present. *)
 val serialized_bytes : t -> name:string -> int option
+
+(** Capture a linked executable's packed implementations into the link
+    registry that {!restore} relinks from ({!load} populates it
+    automatically). Returns how many implementations were registered. *)
+val register_impls : t -> Nimble_vm.Exe.t -> int
+
+(** The snapshot manifest's [schema] member: ["nimble-snapshot/v1"]. *)
+val snapshot_schema : string
+
+(** Checkpoint every cached model to [dir]: persist live tune decisions,
+    serialize each executable to [<name>.nmblexe] (temp-write + rename,
+    so a crash never leaves a torn file), and record the set — with the
+    given per-model [hints] arena-bound dims — in a versioned
+    [MANIFEST.json]. All I/O passes the ["snapshot_io"] fault point
+    (transient faults retried, persistent propagate). Returns how many
+    models were written. *)
+val snapshot : ?hints:(string * int array list) list -> t -> dir:string -> int
+
+(** One model brought back by {!restore}. *)
+type restored = {
+  r_name : string;
+  r_exe : Nimble_vm.Exe.t;  (** decoded, verified, relinked, tunes applied *)
+  r_bytes : int;  (** on-disk serialized size *)
+  r_tunes_applied : int;  (** tune decisions replayed into dispatch *)
+  r_arena_hints : int array list;
+      (** arena-bound dims recorded at snapshot time — feed these to the
+          engine's [warm_hints] to pre-warm arenas before traffic *)
+}
+
+(** Warm-restart every model in [dir]'s manifest: decode each
+    [.nmblexe] (bytecode-verified; transient ["snapshot_io"] and
+    ["deserialize"] faults retried), relink packed functions from the
+    in-process link registry without recompiling, replay the persisted
+    tune table, and replace the cache entries. The registry must already
+    hold every implementation the snapshot names (populate via {!load}
+    or {!register_impls}).
+    @raise Failure on a missing or ill-versioned manifest, or an
+    implementation absent from the registry. *)
+val restore : t -> dir:string -> restored list

@@ -56,6 +56,14 @@ module Fault = Nimble_fault.Fault
 type error =
   | Rejected  (** admission refused: the submission queue was full *)
   | Timed_out  (** the deadline passed before execution started *)
+  | Shed
+      (** SLO-aware admission refused the request: given the current
+          queue depth and the observed service-time estimate, its
+          deadline provably could not be met (see {!Admission}) *)
+  | Tripped
+      (** the (model, bucket) circuit breaker is open: the fleet is
+          shedding this lane while it recovers (see {!Breaker}; never
+          produced by a bare engine) *)
   | Failed of Interp.failure
       (** the VM failed; the typed failure says what, where, and whether
           it was transient (retries, if any, were already spent) *)
@@ -80,6 +88,11 @@ type config = {
       (** per-worker cap on VM storage retained across requests; an
           allocation that would exceed it fails as [Alloc] (see
           [Interp.create]'s [max_pool_bytes]) *)
+  warm_hints : int array list;
+      (** bucket-bound shapes each worker pre-binds its plan arenas at
+          before serving (a restored snapshot's arena hints, so a warm
+          restart reaches steady-state memory behaviour on its first
+          batch; see [docs/SERVING.md]) *)
 }
 
 let default_config =
@@ -93,6 +106,7 @@ let default_config =
     max_retries = 3;
     retry_backoff_us = 200.0;
     pool_cap_bytes = None;
+    warm_hints = [];
   }
 
 (* A one-shot result cell (ivar): filled exactly once by the engine,
@@ -124,6 +138,9 @@ type t = {
   trace_mux : Mutex.t;  (** Trace.t is single-writer; serialize serve spans *)
   autotune : Nimble_codegen.Autotune.t option;
       (** online shape specializer; observed once per executed batch *)
+  admission : Admission.t option;
+      (** SLO-aware admission controller: consulted (and fed service
+          observations) only when the caller attached one *)
   pending : request Squeue.t;
   batches : batch Squeue.t;
   paused : bool Atomic.t;
@@ -248,7 +265,13 @@ let exec_request t vm ctx ~worker_id (r : request) =
     let done_s = now () in
     (match outcome with
     | Ok _ ->
-        Stats.record_complete t.stats ~latency_us:((done_s -. r.submit_s) *. 1e6)
+        Stats.record_complete t.stats ~latency_us:((done_s -. r.submit_s) *. 1e6);
+        (* feed the SLO admission estimator with this request's worker
+           occupancy (execution only, not queueing: the estimator scales
+           it by queue depth itself) *)
+        Option.iter
+          (fun adm -> Admission.observe adm ~service_us:((done_s -. t_now) *. 1e6))
+          t.admission
     | Error (Failed fl) ->
         Stats.record_failure t.stats ~kind:(Interp.kind_name fl.Interp.fail_kind);
         record_span t ~name:"serve.fail" ~ts_us:(trace_now t) ~dur_us:0.0
@@ -280,6 +303,17 @@ let worker_main t worker_id () =
   in
   let state = ref (fresh_state ()) in
   let pin = t.cfg.workers > 1 in
+  (* pre-bind plan arenas at every snapshot-restored bucket bound, so the
+     first served batch already reuses a warm arena instead of growing one *)
+  let warm_from_hints vm =
+    List.iter
+      (fun dims ->
+        ignore
+          (Interp.warm_arenas ~func:t.func vm (fun i ->
+               if i = 0 then Some dims else None)))
+      t.cfg.warm_hints
+  in
+  warm_from_hints (fst !state);
   (* the bucket key string ("8x64") is the bucket's upper-bound shape;
      parse it back so the worker can warm its persistent plan arenas at
      that bound before the batch runs *)
@@ -362,7 +396,8 @@ let worker_main t worker_id () =
       record_span t ~name:"serve.worker_restart" ~ts_us:(trace_now t)
         ~dur_us:0.0
         [ ("worker", Trace.Int worker_id); ("reason", Trace.Str msg) ];
-      state := fresh_state ()
+      state := fresh_state ();
+      warm_from_hints (fst !state)
   in
   let rec loop () =
     match Squeue.pop t.batches with
@@ -390,9 +425,13 @@ let batcher_main t () =
     let live, dead =
       List.partition (fun r -> not (expired r t_now)) (List.rev slot.rev_reqs)
     in
+    (* attribution matters for the fleet bench: a request dying here was
+       shed before any worker touched it, which is cheap; one dying at
+       worker pickup wasted a queue slot. Separate counters, same
+       client-visible outcome. *)
     List.iter
       (fun r ->
-        Stats.record_timeout t.stats;
+        Stats.record_shed_flush t.stats;
         fill r.cell (Error Timed_out))
       dead;
     if live <> [] then begin
@@ -462,8 +501,13 @@ let batcher_main t () =
     own writes). @param autotune attach an online shape specializer: the
     engine observes it once per executed batch (driving its hotness
     scans) and records a [vm.retune] span for every live install. The
-    caller keeps ownership — drain/shutdown it after {!shutdown}. *)
-let create ?(config = default_config) ?trace ?autotune ?(func = "main") exe =
+    caller keeps ownership — drain/shutdown it after {!shutdown}.
+    @param admission attach an SLO-aware admission controller: requests
+    whose deadline provably cannot be met are refused as [Error Shed] at
+    submission, and the engine feeds the controller its per-request
+    service-time observations. *)
+let create ?(config = default_config) ?trace ?autotune ?admission
+    ?(func = "main") exe =
   if config.workers < 1 then Fmt.invalid_arg "Engine.create: workers %d" config.workers;
   if config.max_batch < 1 then Fmt.invalid_arg "Engine.create: max_batch %d" config.max_batch;
   let t =
@@ -475,6 +519,7 @@ let create ?(config = default_config) ?trace ?autotune ?(func = "main") exe =
       trace;
       trace_mux = Mutex.create ();
       autotune;
+      admission;
       pending = Squeue.create ~capacity:config.queue_capacity;
       batches = Squeue.create ~capacity:(Stdlib.max config.workers (config.queue_capacity / Stdlib.max 1 config.max_batch) + 1);
       paused = Atomic.make false;
@@ -518,6 +563,21 @@ let submit ?timeout_us t ~shape (input : Obj.t) : (ticket, error) result =
   let timeout =
     match timeout_us with Some _ -> timeout_us | None -> t.cfg.default_timeout_us
   in
+  (* SLO-aware admission: refuse work that provably cannot meet its
+     deadline given the queue ahead of it and the observed service-time
+     estimate — before it costs a queue slot or a worker pickup *)
+  let slo_ok =
+    match t.admission with
+    | None -> true
+    | Some adm ->
+        Admission.admit adm ~queue_depth:(Squeue.length t.pending)
+          ~workers:t.cfg.workers ~deadline_us:timeout
+  in
+  if not slo_ok then begin
+    Stats.record_shed_admission t.stats;
+    Error Shed
+  end
+  else
   let r =
     {
       input;

@@ -22,6 +22,15 @@ type error =
   | Timed_out
       (** the deadline passed before execution started (checked at worker
           pickup and again when a stashed bucket flushes) *)
+  | Shed
+      (** SLO-aware admission refused the request: given current queue
+          depth and the observed service-time estimate its deadline
+          provably could not be met ({!Admission}; only with an
+          admission controller attached) *)
+  | Tripped
+      (** the (model, bucket) circuit breaker is open and shedding this
+          lane while it recovers ({!Breaker}; produced by {!Fleet},
+          never by a bare engine) *)
   | Failed of Nimble_vm.Interp.failure
       (** the VM failed; the typed failure says what, where, and whether
           it was transient (retries, if any, were already spent) *)
@@ -45,11 +54,16 @@ type config = {
   pool_cap_bytes : int option;
       (** per-worker cap on VM storage retained across requests; an
           allocation that would exceed it fails as [Alloc] *)
+  warm_hints : int array list;
+      (** bucket-bound shapes each worker pre-binds its plan arenas at
+          before serving (a restored snapshot's arena hints, so a warm
+          restart reaches steady-state memory behaviour on its first
+          batch) *)
 }
 
 (** 2 workers, capacity 64, batches of up to 8 formed within 2 ms,
     {!Bucket.default} padding, no default deadline; up to 3 transient
-    retries starting at 200 µs backoff, no pool cap. *)
+    retries starting at 200 µs backoff, no pool cap, no warm hints. *)
 val default_config : config
 
 type t
@@ -66,10 +80,15 @@ type ticket
     batch — driving its hotness scans — and records a [vm.retune] span
     for every live install. The caller keeps ownership and should
     drain/shutdown it after {!shutdown}.
+    @param admission attach an SLO-aware admission controller
+    ({!Admission}): deadline-bearing requests that provably cannot meet
+    their deadline are refused as [Error Shed] at submission, and the
+    engine feeds the controller per-request service observations.
     @raise Invalid_argument on a non-positive worker or batch count. *)
 val create :
   ?config:config -> ?trace:Nimble_vm.Trace.t ->
-  ?autotune:Nimble_codegen.Autotune.t -> ?func:string -> Nimble_vm.Exe.t -> t
+  ?autotune:Nimble_codegen.Autotune.t -> ?admission:Admission.t ->
+  ?func:string -> Nimble_vm.Exe.t -> t
 
 (** Submit one request: [shape] is the bucketing shape, [input] the VM
     argument (executed as-is, never padded). [Error Rejected] when the

@@ -1,20 +1,44 @@
-(** Synthetic load generator: open-loop arrivals against an {!Engine}.
+(** Synthetic load generator: open-loop arrivals against an {!Engine}
+    or a whole {!Fleet}.
 
     Each client domain draws shapes from a weighted mix and submits at
     its share of the aggregate rate with seeded-deterministic
-    inter-arrival gaps (Poisson by default), without waiting for
-    responses in line — an open-loop generator, so queueing delay shows
-    up as latency instead of silently throttling the offered load.
-    Rejected submissions (backpressure) are counted and dropped, as a
-    real client-facing load balancer would. After the generation window
-    every outstanding ticket is awaited, so the returned statistics
-    cover completed work only. *)
+    inter-arrival gaps (Poisson by default; bursty and diurnal variants
+    for multi-tenant realism), without waiting for responses in line —
+    an open-loop generator, so queueing delay shows up as latency
+    instead of silently throttling the offered load. Rejected
+    submissions (backpressure) are counted and dropped, as a real
+    client-facing load balancer would. After the generation window every
+    outstanding ticket is awaited, so the returned statistics cover
+    completed work only. *)
 
 module Rng = Nimble_tensor.Rng
 
 type mix = (int array * float) list
 
-type process = Poisson  (** exponential inter-arrival gaps *) | Steady  (** fixed gaps *)
+(** Validate a weighted distribution before any client domain divides by
+    its weight sum: non-empty, no negative weight, positive total.
+    @raise Invalid_argument (one-line message) otherwise — the CLI turns
+    this into an exit-1 diagnostic instead of a division crash. *)
+let validate_mix ~what (weights : float list) =
+  if weights = [] then Fmt.invalid_arg "Loadgen: empty %s" what;
+  List.iter
+    (fun w ->
+      if w < 0.0 then Fmt.invalid_arg "Loadgen: negative weight %g in %s" w what)
+    weights;
+  if List.fold_left ( +. ) 0.0 weights <= 0.0 then
+    Fmt.invalid_arg "Loadgen: %s weights sum to zero" what
+
+type process =
+  | Poisson  (** exponential inter-arrival gaps *)
+  | Steady  (** fixed gaps *)
+  | Bursty of { burst : int }
+      (** [burst] back-to-back arrivals, then one exponential gap scaled
+          by the burst size (same aggregate rate, spikier queueing) *)
+  | Diurnal of { cycles : float; depth : float }
+      (** Poisson whose instantaneous rate swings sinusoidally by
+          [±depth] over [cycles] periods of the generation window — a
+          compressed day/night traffic curve *)
 
 type config = {
   rate_rps : float;  (** aggregate offered arrival rate, all clients *)
@@ -44,25 +68,54 @@ type result = {
   summary : Stats.summary;  (** the engine's cumulative statistics *)
 }
 
+(** Next inter-arrival gap (seconds) for one client. [elapsed_frac] is
+    the position inside the generation window in [0, 1] (drives the
+    diurnal modulation); [pending_burst] carries burst state across
+    calls. *)
+let next_gap rng process ~mean_gap_s ~elapsed_frac ~pending_burst =
+  match process with
+  | Steady -> mean_gap_s
+  | Poisson -> -.mean_gap_s *. log (Float.max 1e-12 (1.0 -. Rng.float rng))
+  | Bursty { burst } ->
+      let burst = Stdlib.max 1 burst in
+      if !pending_burst > 0 then begin
+        decr pending_burst;
+        0.0
+      end
+      else begin
+        pending_burst := burst - 1;
+        -.(mean_gap_s *. float_of_int burst)
+        *. log (Float.max 1e-12 (1.0 -. Rng.float rng))
+      end
+  | Diurnal { cycles; depth } ->
+      let depth = Float.max 0.0 (Float.min 0.95 depth) in
+      let modulation =
+        1.0 +. (depth *. sin (2.0 *. Float.pi *. cycles *. elapsed_frac))
+      in
+      -.(mean_gap_s /. Float.max 0.05 modulation)
+      *. log (Float.max 1e-12 (1.0 -. Rng.float rng))
+
 let client_main cfg engine ~make_input ~client_id () =
   let rng = Rng.create ~seed:(cfg.seed + (7919 * client_id)) in
   let weights = Array.of_list (List.map snd cfg.mix) in
   let shapes = Array.of_list (List.map fst cfg.mix) in
   let mean_gap_s = float_of_int cfg.clients /. Float.max 1e-6 cfg.rate_rps in
-  let deadline = Unix.gettimeofday () +. cfg.duration_s in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.duration_s in
   let offered = ref 0 in
   let tickets = ref [] in
+  let pending_burst = ref 0 in
   while Unix.gettimeofday () < deadline do
     let shape = shapes.(Rng.categorical rng weights) in
     incr offered;
     (match Engine.submit ?timeout_us:cfg.timeout_us engine ~shape (make_input ~shape) with
     | Ok tk -> tickets := tk :: !tickets
     | Error _ -> () (* rejects are already counted by the engine *));
-    let gap =
-      match cfg.process with
-      | Steady -> mean_gap_s
-      | Poisson -> -.mean_gap_s *. log (Float.max 1e-12 (1.0 -. Rng.float rng))
+    let elapsed_frac =
+      Float.max 0.0
+        (Float.min 1.0 ((Unix.gettimeofday () -. t0) /. Float.max 1e-6 cfg.duration_s))
     in
+    let gap = next_gap rng cfg.process ~mean_gap_s ~elapsed_frac ~pending_burst in
     if gap > 0.0 then Unix.sleepf gap
   done;
   (* drain: wait for everything this client still has in flight *)
@@ -75,7 +128,7 @@ let client_main cfg engine ~make_input ~client_id () =
     point. *)
 let run ?(config = default_config) engine ~(make_input : shape:int array -> Nimble_vm.Obj.t) : result =
   if config.clients < 1 then Fmt.invalid_arg "Loadgen.run: clients %d" config.clients;
-  if config.mix = [] then Fmt.invalid_arg "Loadgen.run: empty mix";
+  validate_mix ~what:"mix" (List.map snd config.mix);
   let t0 = Unix.gettimeofday () in
   let domains =
     List.init config.clients (fun i ->
@@ -90,4 +143,144 @@ let run ?(config = default_config) engine ~(make_input : shape:int array -> Nimb
     achieved_rps =
       (if wall_s > 0.0 then float_of_int summary.Stats.s_completed /. wall_s else 0.0);
     summary;
+  }
+
+(* --------------------------- fleet driver --------------------------- *)
+
+(** One tenant of a multi-tenant run: which model it hits, its share of
+    the aggregate arrivals, and its own shape mix and deadline. *)
+type tenant = {
+  tn_model : string;
+  tn_share : float;  (** fraction of aggregate arrivals (relative weight) *)
+  tn_mix : mix;
+  tn_timeout_us : float option;
+}
+
+(** Client-side outcome tallies of a fleet run. The engines' own stats
+    never see breaker sheds (an open lane refuses before the engine), so
+    the fleet driver counts outcomes where the client observes them. *)
+type fleet_result = {
+  f_offered : int;  (** submission attempts across all clients *)
+  f_wall_s : float;  (** generation window + drain, wall clock *)
+  f_ok : int;  (** requests completed with [Ok] *)
+  f_failed : int;  (** [Error (Failed _)] — VM failures *)
+  f_timed_out : int;  (** [Error Timed_out] *)
+  f_rejected : int;  (** [Error Rejected] — queue full *)
+  f_shed : int;  (** [Error Shed] — SLO admission refusals *)
+  f_tripped : int;  (** [Error Tripped] — breaker refusals *)
+  f_summaries : (string * Stats.summary) list;  (** per-model engine stats *)
+}
+
+type tally = {
+  mutable y_offered : int;
+  mutable y_ok : int;
+  mutable y_failed : int;
+  mutable y_timed_out : int;
+  mutable y_rejected : int;
+  mutable y_shed : int;
+  mutable y_tripped : int;
+}
+
+let tally_outcome y (o : Engine.outcome) =
+  match o with
+  | Ok _ -> y.y_ok <- y.y_ok + 1
+  | Error (Engine.Failed _) -> y.y_failed <- y.y_failed + 1
+  | Error Engine.Timed_out -> y.y_timed_out <- y.y_timed_out + 1
+  | Error Engine.Rejected -> y.y_rejected <- y.y_rejected + 1
+  | Error Engine.Shed -> y.y_shed <- y.y_shed + 1
+  | Error Engine.Tripped -> y.y_tripped <- y.y_tripped + 1
+
+let fleet_client_main cfg fleet (tenants : tenant array) ~make_input
+    ~client_id () =
+  let rng = Rng.create ~seed:(cfg.seed + (7919 * client_id)) in
+  let tenant_weights = Array.map (fun tn -> tn.tn_share) tenants in
+  let mixes =
+    Array.map
+      (fun tn ->
+        ( Array.of_list (List.map fst tn.tn_mix),
+          Array.of_list (List.map snd tn.tn_mix) ))
+      tenants
+  in
+  let mean_gap_s = float_of_int cfg.clients /. Float.max 1e-6 cfg.rate_rps in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. cfg.duration_s in
+  let y =
+    {
+      y_offered = 0;
+      y_ok = 0;
+      y_failed = 0;
+      y_timed_out = 0;
+      y_rejected = 0;
+      y_shed = 0;
+      y_tripped = 0;
+    }
+  in
+  let tickets = ref [] in
+  let pending_burst = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    let ti = Rng.categorical rng tenant_weights in
+    let tn = tenants.(ti) in
+    let shapes, weights = mixes.(ti) in
+    let shape = shapes.(Rng.categorical rng weights) in
+    y.y_offered <- y.y_offered + 1;
+    (match
+       Fleet.submit ?timeout_us:tn.tn_timeout_us fleet ~model:tn.tn_model
+         ~shape
+         (make_input ~model:tn.tn_model ~shape)
+     with
+    | Ok tk -> tickets := tk :: !tickets
+    | Error e -> tally_outcome y (Error e));
+    let elapsed_frac =
+      Float.max 0.0
+        (Float.min 1.0
+           ((Unix.gettimeofday () -. t0) /. Float.max 1e-6 cfg.duration_s))
+    in
+    let gap = next_gap rng cfg.process ~mean_gap_s ~elapsed_frac ~pending_burst in
+    if gap > 0.0 then Unix.sleepf gap
+  done;
+  List.iter (fun tk -> tally_outcome y (Fleet.wait tk)) !tickets;
+  y
+
+(** Drive a whole [fleet] per [config] (whose [mix] field is unused —
+    each tenant carries its own) with seeded multi-tenant arrivals:
+    every client draws a tenant by share, then a shape from that
+    tenant's mix. [make_input] builds the VM argument for a (model,
+    shape) draw. Validates every weighted distribution up front
+    ({!validate_mix}) and that every tenant names a fleet model.
+    @raise Invalid_argument on no tenants, bad weights, or an unknown
+    model. *)
+let run_fleet ?(config = default_config) fleet ~(tenants : tenant list)
+    ~(make_input : model:string -> shape:int array -> Nimble_vm.Obj.t) :
+    fleet_result =
+  if config.clients < 1 then
+    Fmt.invalid_arg "Loadgen.run_fleet: clients %d" config.clients;
+  if tenants = [] then Fmt.invalid_arg "Loadgen.run_fleet: no tenants";
+  validate_mix ~what:"tenant shares" (List.map (fun tn -> tn.tn_share) tenants);
+  let known = Fleet.models fleet in
+  List.iter
+    (fun tn ->
+      if not (List.mem tn.tn_model known) then
+        Fmt.invalid_arg "Loadgen.run_fleet: unknown model %s" tn.tn_model;
+      validate_mix ~what:(tn.tn_model ^ " mix") (List.map snd tn.tn_mix))
+    tenants;
+  let tenant_arr = Array.of_list tenants in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init config.clients (fun i ->
+        Domain.spawn
+          (fleet_client_main config fleet tenant_arr ~make_input ~client_id:i))
+  in
+  let tallies = List.map Domain.join domains in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sum f = List.fold_left (fun acc y -> acc + f y) 0 tallies in
+  {
+    f_offered = sum (fun y -> y.y_offered);
+    f_wall_s = wall_s;
+    f_ok = sum (fun y -> y.y_ok);
+    f_failed = sum (fun y -> y.y_failed);
+    f_timed_out = sum (fun y -> y.y_timed_out);
+    f_rejected = sum (fun y -> y.y_rejected);
+    f_shed = sum (fun y -> y.y_shed);
+    f_tripped = sum (fun y -> y.y_tripped);
+    f_summaries = Fleet.model_stats fleet;
   }

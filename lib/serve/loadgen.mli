@@ -1,10 +1,25 @@
-(** Open-loop synthetic load generator for {!Engine}: weighted shape
-    mix, seeded Poisson (or steady) arrivals across N client domains,
-    full drain before reporting. See [docs/SERVING.md]. *)
+(** Open-loop synthetic load generator for {!Engine} and {!Fleet}:
+    weighted shape mix, seeded arrivals (Poisson, steady, bursty,
+    diurnal) across N client domains, full drain before reporting. See
+    [docs/SERVING.md]. *)
 
 type mix = (int array * float) list
 
-type process = Poisson  (** exponential inter-arrival gaps *) | Steady  (** fixed gaps *)
+(** Validate a weighted distribution (non-empty, no negative weight,
+    positive sum). @raise Invalid_argument with a one-line message
+    otherwise — called by {!run} / {!run_fleet} before any client domain
+    draws from it. *)
+val validate_mix : what:string -> float list -> unit
+
+type process =
+  | Poisson  (** exponential inter-arrival gaps *)
+  | Steady  (** fixed gaps *)
+  | Bursty of { burst : int }
+      (** [burst] back-to-back arrivals, then one exponential gap scaled
+          by the burst size (same aggregate rate, spikier queueing) *)
+  | Diurnal of { cycles : float; depth : float }
+      (** Poisson whose instantaneous rate swings sinusoidally by
+          [±depth] over [cycles] periods of the generation window *)
 
 type config = {
   rate_rps : float;  (** aggregate offered arrival rate, all clients *)
@@ -28,6 +43,41 @@ type result = {
 
 (** Drive [engine] per [config]; [make_input] builds the VM argument for
     a drawn shape (called on the client domain at submit time). Use a
-    fresh engine per measurement point — engine stats are cumulative. *)
+    fresh engine per measurement point — engine stats are cumulative.
+    @raise Invalid_argument on a bad client count or mix. *)
 val run :
   ?config:config -> Engine.t -> make_input:(shape:int array -> Nimble_vm.Obj.t) -> result
+
+(** One tenant of a multi-tenant run: which model it hits, its share of
+    aggregate arrivals, and its own shape mix and deadline. *)
+type tenant = {
+  tn_model : string;
+  tn_share : float;  (** fraction of aggregate arrivals (relative weight) *)
+  tn_mix : mix;
+  tn_timeout_us : float option;
+}
+
+(** Client-side outcome tallies of a fleet run (breaker sheds never
+    reach the engines' own stats, so the driver counts outcomes where
+    the client observes them). *)
+type fleet_result = {
+  f_offered : int;  (** submission attempts across all clients *)
+  f_wall_s : float;  (** generation window + drain, wall clock *)
+  f_ok : int;  (** requests completed with [Ok] *)
+  f_failed : int;  (** [Error (Failed _)] — VM failures *)
+  f_timed_out : int;  (** [Error Timed_out] *)
+  f_rejected : int;  (** [Error Rejected] — queue full *)
+  f_shed : int;  (** [Error Shed] — SLO admission refusals *)
+  f_tripped : int;  (** [Error Tripped] — breaker refusals *)
+  f_summaries : (string * Stats.summary) list;  (** per-model engine stats *)
+}
+
+(** Drive a whole [fleet] per [config] (its [mix] field is unused — each
+    tenant carries its own) with seeded multi-tenant arrivals: every
+    client draws a tenant by share, then a shape from that tenant's mix.
+    @raise Invalid_argument on a bad client count, no tenants, bad
+    weights, or a tenant naming an unknown model. *)
+val run_fleet :
+  ?config:config -> Fleet.t -> tenants:tenant list ->
+  make_input:(model:string -> shape:int array -> Nimble_vm.Obj.t) ->
+  fleet_result

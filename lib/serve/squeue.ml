@@ -104,5 +104,9 @@ let closed t = with_lock t (fun () -> t.closed)
 
 let length t = with_lock t (fun () -> Queue.length t.items)
 
+(** The fixed bound given to {!create} (the admission controller's
+    denominator when estimating sojourn time). *)
+let capacity t = t.capacity
+
 (** Deepest the queue has ever been (not reset by pops). *)
 let high_water t = with_lock t (fun () -> t.high_water)

@@ -36,5 +36,9 @@ val closed : 'a t -> bool
 (** Current depth. *)
 val length : 'a t -> int
 
+(** The fixed bound given to {!create} (the admission controller's
+    denominator when estimating sojourn time). *)
+val capacity : 'a t -> int
+
 (** Deepest the queue has ever been. *)
 val high_water : 'a t -> int

@@ -12,7 +12,15 @@ type t = {
   mutable submitted : int;
   mutable completed : int;
   mutable rejected : int;  (** refused at admission (queue full) *)
-  mutable timeouts : int;  (** deadline passed before execution *)
+  mutable shed_admission : int;
+      (** refused at admission by SLO control: the deadline provably
+          could not be met, so the request never entered the queue *)
+  mutable shed_flush : int;
+      (** deadline passed while stashed in the batch former; shed at
+          flush without ever reaching a worker *)
+  mutable timeouts : int;
+      (** deadline passed between flush and worker pickup; the request
+          reached a worker but was not executed *)
   mutable errors : int;  (** VM faults surfaced to the client *)
   mutable batches : int;
   mutable queue_depth_hwm : int;
@@ -37,6 +45,8 @@ let create () =
     submitted = 0;
     completed = 0;
     rejected = 0;
+    shed_admission = 0;
+    shed_flush = 0;
     timeouts = 0;
     errors = 0;
     batches = 0;
@@ -60,6 +70,16 @@ let locked t f =
 let record_submit t = locked t (fun () -> t.submitted <- t.submitted + 1)
 let record_reject t = locked t (fun () -> t.rejected <- t.rejected + 1)
 let record_timeout t = locked t (fun () -> t.timeouts <- t.timeouts + 1)
+
+(** One request refused by SLO-aware admission control (deadline
+    provably unmeetable; never queued). *)
+let record_shed_admission t =
+  locked t (fun () -> t.shed_admission <- t.shed_admission + 1)
+
+(** One request whose deadline passed while stashed in the batch former,
+    shed at flush time (never reached a worker). *)
+let record_shed_flush t =
+  locked t (fun () -> t.shed_flush <- t.shed_flush + 1)
 let record_error t = locked t (fun () -> t.errors <- t.errors + 1)
 let record_retry t = locked t (fun () -> t.retries <- t.retries + 1)
 
@@ -113,6 +133,8 @@ type summary = {
   s_submitted : int;
   s_completed : int;
   s_rejected : int;
+  s_shed_admission : int;
+  s_shed_flush : int;
   s_timeouts : int;
   s_errors : int;
   s_batches : int;
@@ -157,6 +179,8 @@ let summary t : summary =
         s_submitted = t.submitted;
         s_completed = t.completed;
         s_rejected = t.rejected;
+        s_shed_admission = t.shed_admission;
+        s_shed_flush = t.shed_flush;
         s_timeouts = t.timeouts;
         s_errors = t.errors;
         s_batches = t.batches;
@@ -190,6 +214,8 @@ let summary_to_json (s : summary) : Nimble_vm.Json.t =
       ("submitted", Int s.s_submitted);
       ("completed", Int s.s_completed);
       ("rejected", Int s.s_rejected);
+      ("shed_admission", Int s.s_shed_admission);
+      ("shed_flush", Int s.s_shed_flush);
       ("timeouts", Int s.s_timeouts);
       ("errors", Int s.s_errors);
       ("batches", Int s.s_batches);
@@ -212,13 +238,15 @@ let summary_to_json (s : summary) : Nimble_vm.Json.t =
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
-    "@[<v>submitted %d  completed %d  rejected %d  timeouts %d  errors %d@,\
+    "@[<v>submitted %d  completed %d  rejected %d  shed %d+%d  timeouts %d  \
+     errors %d@,\
      batches %d (mean size %.2f)  queue hwm %d@,\
      latency ms: p50 %.3f  p99 %.3f  mean %.3f@,\
      warm state: frame reuses %d, arena hits %d, arena rebinds %d, \
      allocs/request %.3f@,\
      resilience: retries %d, worker restarts %d%a@]"
-    s.s_submitted s.s_completed s.s_rejected s.s_timeouts s.s_errors s.s_batches
+    s.s_submitted s.s_completed s.s_rejected s.s_shed_admission s.s_shed_flush
+    s.s_timeouts s.s_errors s.s_batches
     s.s_mean_batch s.s_queue_depth_hwm s.s_p50_ms s.s_p99_ms s.s_mean_ms
     s.s_frame_reuses s.s_arena_hits s.s_arena_reuses s.s_allocs_per_request
     s.s_retries s.s_worker_restarts

@@ -14,8 +14,18 @@ val record_submit : t -> unit
 (** One request refused at admission (pending queue full). *)
 val record_reject : t -> unit
 
-(** One request whose deadline passed before execution started. *)
+(** One request whose deadline passed between flush and worker pickup
+    (it reached a worker but was not executed). *)
 val record_timeout : t -> unit
+
+(** One request refused by SLO-aware admission control: its deadline
+    provably could not be met, so it was never queued
+    ([docs/SERVING.md]). *)
+val record_shed_admission : t -> unit
+
+(** One request whose deadline passed while stashed in the batch former,
+    shed at flush time (it never reached a worker). *)
+val record_shed_flush : t -> unit
 
 (** One request completed with a non-VM error (no typed failure). *)
 val record_error : t -> unit
@@ -51,7 +61,14 @@ type summary = {
   s_submitted : int;
   s_completed : int;
   s_rejected : int;  (** refused at admission (queue full) *)
-  s_timeouts : int;  (** deadline passed before execution *)
+  s_shed_admission : int;
+      (** refused by SLO-aware admission control (deadline provably
+          unmeetable; never queued) *)
+  s_shed_flush : int;
+      (** deadline passed while stashed in the batch former; shed at
+          flush, never reached a worker *)
+  s_timeouts : int;
+      (** deadline passed between flush and worker pickup *)
   s_errors : int;  (** VM faults surfaced to clients *)
   s_batches : int;
   s_queue_depth_hwm : int;

@@ -305,10 +305,16 @@ let json_of_autotune (s : Nimble_codegen.Autotune.summary) : Json.t =
     @param server serving-engine statistics ([Nimble_serve.Stats]) to embed
     as the document's [server] member — present only when serving.
     @param autotune online-specialization summary to embed as the
-    document's [autotune] member — present only when autotuning. *)
-let report_to_json ?server ?autotune (r : report) : Json.t =
+    document's [autotune] member — present only when autotuning.
+    @param fleet multi-model fleet statistics ([Nimble_serve.Fleet])
+    embedded as the document's [fleet] member — present only when the
+    fleet tier is serving. *)
+let report_to_json ?server ?fleet ?autotune (r : report) : Json.t =
   let server_member =
     match server with Some s -> [ ("server", s) ] | None -> []
+  in
+  let fleet_member =
+    match fleet with Some f -> [ ("fleet", f) ] | None -> []
   in
   let autotune_member =
     match autotune with
@@ -396,8 +402,8 @@ let report_to_json ?server ?autotune (r : report) : Json.t =
              r.r_devices) );
       ("dispatch", Json.List (List.map json_of_dispatch r.r_dispatch));
     ]
-    @ fault_member @ server_member @ autotune_member)
+    @ fault_member @ server_member @ fleet_member @ autotune_member)
 
 (** [report] and [report_to_json] composed: the one-call JSON snapshot. *)
-let to_json ?dispatch ?server ?autotune t =
-  report_to_json ?server ?autotune (report ?dispatch t)
+let to_json ?dispatch ?server ?fleet ?autotune t =
+  report_to_json ?server ?fleet ?autotune (report ?dispatch t)

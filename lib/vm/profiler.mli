@@ -158,14 +158,20 @@ val json_of_autotune : Nimble_codegen.Autotune.summary -> Json.t
     [server] member; absent for non-serving runs
     (schema: [docs/OBSERVABILITY.md])
     @param autotune an online-specialization summary embedded as the
-    document's [autotune] member; absent when autotuning is off. *)
+    document's [autotune] member; absent when autotuning is off
+    @param fleet a multi-model fleet statistics object
+    ([Nimble_serve.Fleet.fleet_json]: per-model server sections and
+    breaker counters) embedded as the document's [fleet] member; absent
+    outside the fleet tier. *)
 val report_to_json :
-  ?server:Json.t -> ?autotune:Nimble_codegen.Autotune.summary -> report -> Json.t
+  ?server:Json.t -> ?fleet:Json.t ->
+  ?autotune:Nimble_codegen.Autotune.summary -> report -> Json.t
 
 (** {!report} and {!report_to_json} composed: one-call JSON snapshot. *)
 val to_json :
   ?dispatch:Nimble_codegen.Dispatch.snapshot list ->
   ?server:Json.t ->
+  ?fleet:Json.t ->
   ?autotune:Nimble_codegen.Autotune.summary ->
   t ->
   Json.t

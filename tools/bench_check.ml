@@ -42,7 +42,19 @@
    [before] hit rate (specialization must not lose ground); a [bitwise_ok]
    boolean that must be true (live installs never change outputs); and a
    [warm_restart_pretuned] boolean that must be true (the persisted tune
-   table relinks pre-specialized — docs/TUNING.md). *)
+   table relinks pre-specialized — docs/TUNING.md).
+
+   Checked per fleet document ([nimble-fleet/v1], the BENCH_fleet.json
+   baseline from the multi-model fleet bench): a [models] list of at
+   least two weighted entries; a [points] list with at least three
+   offered-rate points past saturation, each carrying numeric
+   [offered_rate_rps]/[goodput_rps] and integer outcome tallies; the
+   no-collapse invariant goodput@2x >= 0.5 x peak; nonzero
+   [shed_total]/[tripped_total]/[trips] (the baseline must actually
+   exercise SLO admission and the breakers); [snapshot_models] >= 1 with
+   numeric cold-start vs warm-restart times; and
+   [warm_restart_relink_only]/[bitwise_ok] booleans that must be true
+   (docs/SERVING.md). *)
 
 module Json = Nimble_vm.Json
 
@@ -243,6 +255,110 @@ let check_tune file lineno json =
         "warm_restart_pretuned is false: the persisted tune table did not relink"
   | _ -> fail file lineno "missing boolean \"warm_restart_pretuned\""
 
+(* a [nimble-fleet/v1] line: the BENCH_fleet.json baseline *)
+let check_fleet file lineno json =
+  let str_member = str_member file lineno json in
+  ignore (str_member "title");
+  let num_of key =
+    match Json.member key json with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | _ ->
+        fail file lineno "missing numeric %S" key;
+        None
+  in
+  let int_of key =
+    match Json.member key json with
+    | Some (Json.Int n) -> Some n
+    | _ ->
+        fail file lineno "missing integer %S" key;
+        None
+  in
+  let bool_true key why =
+    match Json.member key json with
+    | Some (Json.Bool true) -> ()
+    | Some (Json.Bool false) -> fail file lineno "%S is false: %s" key why
+    | _ -> fail file lineno "missing boolean %S" key
+  in
+  (match Json.member "models" json with
+  | Some (Json.List ((_ :: _ :: _) as models)) ->
+      List.iteri
+        (fun i m ->
+          (match Json.member "name" m with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "model %d: missing string \"name\"" i);
+          match Json.member "weight" m with
+          | Some (Json.Int w) when w >= 1 -> ()
+          | _ -> fail file lineno "model %d: missing positive \"weight\"" i)
+        models
+  | _ -> fail file lineno "missing \"models\" list of at least 2 entries");
+  (match Json.member "points" json with
+  | Some (Json.List points) ->
+      let past =
+        List.filter
+          (fun p -> Json.member "past_saturation" p = Some (Json.Bool true))
+          points
+      in
+      if List.length past < 3 then
+        fail file lineno
+          "%d offered-rate points past saturation, want at least 3"
+          (List.length past);
+      List.iteri
+        (fun i point ->
+          let ctx = Fmt.str "point %d" i in
+          (match Json.member "label" point with
+          | Some (Json.String _) -> ()
+          | _ -> fail file lineno "%s: missing string \"label\"" ctx);
+          List.iter
+            (fun key ->
+              match Json.member key point with
+              | Some (Json.Float _) | Some (Json.Int _) -> ()
+              | _ -> fail file lineno "%s: missing numeric %S" ctx key)
+            [ "offered_rate_rps"; "goodput_rps" ];
+          List.iter
+            (fun key ->
+              match Json.member key point with
+              | Some (Json.Int _) -> ()
+              | _ -> fail file lineno "%s: missing integer %S" ctx key)
+            [ "offered"; "ok"; "shed"; "tripped"; "rejected"; "timed_out";
+              "failed" ])
+        points
+  | Some _ | None -> fail file lineno "missing \"points\" list");
+  (* no-collapse: shedding at the door must keep goodput at twice the
+     saturation rate within half of the peak (graceful degradation, not a
+     congestion collapse) *)
+  (match (num_of "peak_goodput_rps", num_of "goodput_at_2x_rps") with
+  | Some peak, Some g2x ->
+      if g2x < 0.5 *. peak then
+        fail file lineno
+          "goodput at 2x saturation (%.0f rps) collapsed below half the peak \
+           (%.0f rps)"
+          g2x peak
+  | _ -> ());
+  (match int_of "shed_total" with
+  | Some n when n >= 1 -> ()
+  | Some _ -> fail file lineno "\"shed_total\" is zero: admission never shed"
+  | None -> ());
+  (match int_of "tripped_total" with
+  | Some n when n >= 1 -> ()
+  | Some _ ->
+      fail file lineno "\"tripped_total\" is zero: no breaker ever refused"
+  | None -> ());
+  (match int_of "trips" with
+  | Some n when n >= 1 -> ()
+  | Some _ -> fail file lineno "\"trips\" is zero: no breaker lane opened"
+  | None -> ());
+  (match int_of "snapshot_models" with
+  | Some n when n >= 1 -> ()
+  | Some _ -> fail file lineno "\"snapshot_models\" is zero: nothing checkpointed"
+  | None -> ());
+  ignore (num_of "cold_start_ms");
+  ignore (num_of "warm_restart_ms");
+  bool_true "warm_restart_relink_only"
+    "the restore recompiled instead of relinking from the registry";
+  bool_true "bitwise_ok"
+    "a fleet response diverged from the sequential reference"
+
 (* a [nimble-compile/v1] line: the BENCH_compile.json baseline *)
 let check_compile file lineno json =
   (match Json.member "instructions" json with
@@ -361,11 +477,12 @@ let check_file file =
              | Some (Json.String "nimble-chaos/v1") -> check_chaos file !lineno json
              | Some (Json.String "nimble-compile/v1") -> check_compile file !lineno json
              | Some (Json.String "nimble-tune/v1") -> check_tune file !lineno json
+             | Some (Json.String "nimble-fleet/v1") -> check_fleet file !lineno json
              | Some (Json.String other) ->
                  fail file !lineno
                    "schema is %S, want \"nimble-bench/v1\", \"nimble-serve/v1\", \
-                    \"nimble-chaos/v1\", \"nimble-compile/v1\" or \
-                    \"nimble-tune/v1\""
+                    \"nimble-chaos/v1\", \"nimble-compile/v1\", \
+                    \"nimble-tune/v1\" or \"nimble-fleet/v1\""
                    other
              | Some _ | None -> fail file !lineno "missing string \"schema\"")
          | exception Json.Parse_error msg ->
