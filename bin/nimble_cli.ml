@@ -128,9 +128,21 @@ let seq2seq_entry () =
           (Nimble_vm.Obj.Adt { tag = nil.Nimble_ir.Adt.tag; fields = [||] }));
   }
 
+let posenc_entry () =
+  let w = Posenc.init_weights Posenc.default_config in
+  {
+    description =
+      "positional-encoding head (data-dependent arange proven static by \
+       shape-value dominance)";
+    build = (fun () -> Posenc.ir_module w);
+    sample_input =
+      (fun ~seq -> Nimble_vm.Obj.tensor (Posenc.random_input w ~len:(max 1 seq)));
+  }
+
 let zoo () : (string * zoo_entry) list =
   [
     ("lstm", lstm_entry ());
+    ("posenc", posenc_entry ());
     ("gru", gru_entry ());
     ("treelstm", treelstm_entry ());
     ("bert", bert_entry ());
@@ -1291,6 +1303,38 @@ let lint_cmd =
           verify the stored bytecode")
     Term.(const run $ target)
 
+let classify_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A zoo model or $(b,all) (every zoo model plus the example \
+             programs)")
+  in
+  let run target =
+    let classify_module name m =
+      let _exe, report = Nimble.compile_with_report m in
+      Fmt.pr "== %s@.%a@." name Nimble.pp_classify report
+    in
+    if target = "all" then begin
+      List.iter (fun (n, e) -> classify_module n (e.build ())) (zoo ());
+      List.iter (fun (n, m) -> classify_module n m) (example_modules ())
+    end
+    else if List.mem_assoc target (zoo ()) then
+      classify_module target ((lookup target).build ())
+    else die "unknown classify target %s (expected a zoo model or 'all')" target
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Print the operator-classification table per function: \
+          data-dependent/upper-bound call sites, sites proven static by \
+          shape-value dominance, and fused groups crossing a formerly \
+          dynamic boundary")
+    Term.(const run $ target)
+
 let parse_cmd =
   let path =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Textual IR file")
@@ -1330,5 +1374,6 @@ let () =
             serve_cmd;
             loadgen_cmd;
             lint_cmd;
+            classify_cmd;
             parse_cmd;
           ]))

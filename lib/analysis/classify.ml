@@ -1,0 +1,510 @@
+(** Shape-value dominance classification (see [classify.mli]).
+
+    The pass walks each function's let chains with a forward abstract
+    interpretation hosted on the shared {!Dataflow} engine and tracks which
+    tensor *values* are statically known — constants, shape vectors of
+    tensors whose dims are resolved ([Static]/[Sym]), and scalars sliced
+    out of such vectors. An operator call site whose shape function is
+    registered [Data_dep] but whose value inputs are all dominated by this
+    static knowledge is *proven*: its attributes get a
+    {!Nimble_shape.Shape_func.proven_attr} stamp, and the binding's type is
+    refined from [Any] dims to the proven [Static]/[Sym] dims. Fusion,
+    manifest allocation, memory planning and the emitter all consult the
+    stamp through {!Nimble_shape.Shape_func.classify}. *)
+
+open Nimble_tensor
+open Nimble_ir
+module Shape_func = Nimble_shape.Shape_func
+
+(* ------------------------------------------------------------------ *)
+(* Abstract domain                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** What we know about a tensor's *value* at compile time. Absence from the
+    environment means "unknown" (top). *)
+type aval =
+  | Known of Tensor.t  (** a compile-time constant *)
+  | Dims of Dim.t array
+      (** a rank-1 integer vector equal to these dims (a [shape_of] result
+          or a slice of one); every element is [Static] or [Sym] *)
+  | Scalar_dim of Dim.t  (** a rank-0 scalar equal to this dim *)
+
+module Int_map = Map.Make (Int)
+
+(** Per-program-point state: value knowledge plus dim refinements that are
+    strictly sharper than the inferred [vty] (e.g. an [arange] output whose
+    extent is proven to be a parameter's [Sym] dim). *)
+type st = { vals : aval Int_map.t; dims : Dim.t array Int_map.t }
+
+let empty_st = { vals = Int_map.empty; dims = Int_map.empty }
+
+let aval_equal a b =
+  match (a, b) with
+  | Known x, Known y -> x == y
+  | Dims x, Dims y -> x = y
+  | Scalar_dim x, Scalar_dim y -> x = y
+  | (Known _ | Dims _ | Scalar_dim _), _ -> false
+
+let st_equal a b =
+  Int_map.equal aval_equal a.vals b.vals && Int_map.equal ( = ) a.dims b.dims
+
+(* Must-knowledge: the join keeps only facts both paths agree on. Let
+   chains are join-free (each binding has one flow predecessor), but the
+   engine contract requires a real lattice join. *)
+let join_st a b =
+  let keep eq _ x y = match (x, y) with Some v, Some w when eq v w -> Some v | _ -> None in
+  {
+    vals = Int_map.merge (keep aval_equal) a.vals b.vals;
+    dims = Int_map.merge (keep ( = )) a.dims b.dims;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries on atoms                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let static_dims t = Array.map (fun n -> Dim.Static n) (Tensor.shape t)
+
+(** Best known dims of an atom: the refinement table first, the inferred
+    type otherwise. *)
+let atom_dims st = function
+  | Expr.Const t -> Some (static_dims t)
+  | Expr.Var v -> (
+      match Int_map.find_opt v.Expr.vid st.dims with
+      | Some d -> Some d
+      | None -> (
+          match v.Expr.vty with
+          | Some (Ty.Tensor { dims; _ }) -> Some dims
+          | _ -> None))
+  | _ -> None
+
+let atom_val st = function
+  | Expr.Const t -> Some (Known t)
+  | Expr.Var v -> Int_map.find_opt v.Expr.vid st.vals
+  | _ -> None
+
+(** Scalar knowledge of an atom: a concrete float, or a symbolic dim. *)
+let scalar_of st a =
+  match atom_val st a with
+  | Some (Known t) when Tensor.numel t = 1 -> Some (`F (Tensor.item t))
+  | Some (Scalar_dim (Dim.Static n)) | Some (Dims [| Dim.Static n |]) ->
+      Some (`F (float_of_int n))
+  | Some (Scalar_dim d) | Some (Dims [| d |]) -> Some (`D d)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Conservative dim propagation for data-independent ops               *)
+(* ------------------------------------------------------------------ *)
+
+let identity_shape_ops =
+  [
+    "negative"; "abs"; "exp"; "log"; "sqrt"; "tanh"; "sigmoid"; "relu"; "gelu";
+    "erf"; "cast"; "softmax"; "log_softmax"; "logical_not"; "layer_norm";
+    "batch_norm"; "bias_add"; "device_copy";
+  ]
+
+let broadcast_ops =
+  [
+    "add"; "subtract"; "multiply"; "divide"; "maximum"; "minimum"; "power";
+    "equal"; "less"; "greater"; "less_equal"; "greater_equal"; "not_equal";
+    "logical_and"; "logical_or";
+  ]
+
+let broadcast_dims a b =
+  let ra = Array.length a and rb = Array.length b in
+  let r = Stdlib.max ra rb in
+  let ok = ref true in
+  let out =
+    Array.init r (fun i ->
+        let da = if i + ra >= r then a.(i + ra - r) else Dim.Static 1 in
+        let db = if i + rb >= r then b.(i + rb - r) else Dim.Static 1 in
+        match Dim.broadcast da db with
+        | Some d -> d
+        | None ->
+            ok := false;
+            Dim.Any)
+  in
+  if !ok then Some out else None
+
+let norm_axis ~rank axis = if axis < 0 then axis + rank else axis
+
+(* Refined output dims of a [Data_indep] op call, from refined input dims.
+   This deliberately re-derives only the rules the dominance pass needs —
+   the full typing relations already ran; here we only sharpen [Any]. *)
+let indep_out_dims st name args attrs : Dim.t array option =
+  let d0 () = match args with a :: _ -> atom_dims st a | [] -> None in
+  match name with
+  | _ when List.mem name identity_shape_ops -> d0 ()
+  | _ when List.mem name broadcast_ops -> (
+      match args with
+      | [ a; b ] -> (
+          match (atom_dims st a, atom_dims st b) with
+          | Some da, Some db -> broadcast_dims da db
+          | _ -> None)
+      | _ -> None)
+  | "where" -> (
+      match args with
+      | [ c; a; b ] -> (
+          match (atom_dims st c, atom_dims st a, atom_dims st b) with
+          | Some dc, Some da, Some db ->
+              Option.bind (broadcast_dims dc da) (fun d -> broadcast_dims d db)
+          | _ -> None)
+      | _ -> None)
+  | "expand_dims" ->
+      Option.bind (d0 ()) (fun d ->
+          let r = Array.length d in
+          let a = norm_axis ~rank:(r + 1) (Attrs.get_int ~default:0 attrs "axis") in
+          if a < 0 || a > r then None
+          else
+            Some
+              (Array.init (r + 1) (fun i ->
+                   if i < a then d.(i) else if i = a then Dim.Static 1 else d.(i - 1))))
+  | "squeeze" ->
+      Option.bind (d0 ()) (fun d ->
+          let r = Array.length d in
+          let a = norm_axis ~rank:r (Attrs.get_int ~default:0 attrs "axis") in
+          if a < 0 || a >= r then None
+          else
+            Some (Array.init (r - 1) (fun i -> if i < a then d.(i) else d.(i + 1))))
+  | "transpose" ->
+      Option.bind (d0 ()) (fun d ->
+          let r = Array.length d in
+          let axes =
+            match Attrs.find_ints attrs "axes" with
+            | Some a -> Array.of_list a
+            | None -> Array.init r (fun i -> r - 1 - i)
+          in
+          if Array.length axes <> r then None
+          else
+            let ok = ref true in
+            let out =
+              Array.map
+                (fun ax ->
+                  let ax = norm_axis ~rank:r ax in
+                  if ax < 0 || ax >= r then begin
+                    ok := false;
+                    Dim.Any
+                  end
+                  else d.(ax))
+                axes
+            in
+            if !ok then Some out else None)
+  | "dense" -> (
+      match args with
+      | [ a; w ] -> (
+          match (atom_dims st a, atom_dims st w) with
+          | Some da, Some dw when Array.length da = 2 && Array.length dw = 2 ->
+              Some [| da.(0); dw.(0) |]
+          | _ -> None)
+      | _ -> None)
+  | "matmul" -> (
+      match args with
+      | [ a; b ] -> (
+          match (atom_dims st a, atom_dims st b) with
+          | Some da, Some db when Array.length da = 2 && Array.length db = 2 ->
+              Some [| da.(0); db.(1) |]
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Dominance proofs for data-dependent sites                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Try to prove a [Data_dep] call site's output shape without runtime
+    values. Returns the proof name and the proven output dims. *)
+let prove st name args attrs : (string * Dim.t array) option =
+  match (name, args) with
+  | "arange", [ a; b; c ] -> (
+      match (scalar_of st a, scalar_of st b, scalar_of st c) with
+      | Some (`F start), Some (`F stop), Some (`F step) when step <> 0.0 ->
+          let n = Stdlib.max 0 (int_of_float (Float.ceil ((stop -. start) /. step))) in
+          Some ("static", [| Dim.Static n |])
+      | Some (`F start), Some (`D (Dim.Sym _ as d)), Some (`F step)
+        when start = 0.0 && step = 1.0 ->
+          (* arange(0, n, 1) has exactly n elements for n >= 0 *)
+          Some ("sym", [| d |])
+      | _ -> None)
+  | _ -> (
+      (* generic fallback: every input value is a compile-time constant, so
+         the shape function itself can run now *)
+      let vals = List.map (atom_val st) args in
+      if
+        vals <> []
+        && List.for_all (function Some (Known _) -> true | _ -> false) vals
+      then
+        let ins =
+          List.map
+            (function Some (Known t) -> Shape_func.with_data t | _ -> assert false)
+            vals
+        in
+        match Shape_func.run name ~attrs ins with
+        | [ shape ] -> Some ("static", Array.map (fun n -> Dim.Static n) shape)
+        | _ -> None
+        | exception Shape_func.Shape_func_error _ -> None
+      else None)
+
+(* Sites the classification table counts: kernel ops whose registered shape
+   function needs runtime values. [reshape_tensor] is a VM dialect op (it
+   becomes its own instruction), so it is not a classification candidate. *)
+let dialect_sites = [ "reshape_tensor" ]
+
+let countable_site name =
+  (not (List.mem name dialect_sites))
+  &&
+  match Shape_func.find name with
+  | Some { Shape_func.mode = Shape_func.Data_dep | Shape_func.Upper_bound; _ } -> true
+  | Some { Shape_func.mode = Shape_func.Data_indep; _ } | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Transfer function                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bind_st st (v : Expr.var) (value : aval option) (dims : Dim.t array option) =
+  let vals =
+    match value with Some a -> Int_map.add v.Expr.vid a st.vals | None -> st.vals
+  in
+  let dims =
+    match dims with Some d -> Int_map.add v.Expr.vid d st.dims | None -> st.dims
+  in
+  { vals; dims }
+
+(** Abstract effect of one binding, shared by the engine's transfer and the
+    stamping sweep. Pure: only reads [st]. *)
+let eval_bound st (bound : Expr.t) : aval option * Dim.t array option =
+  match bound with
+  | Expr.Const t -> (Some (Known t), Some (static_dims t))
+  | Expr.Var _ -> (atom_val st bound, atom_dims st bound)
+  | Expr.Call { callee = Expr.Op "shape_of"; args = [ x ]; _ } ->
+      let value =
+        match atom_dims st x with
+        | Some d when Array.for_all (fun dd -> dd <> Dim.Any) d -> Some (Dims d)
+        | _ -> None
+      in
+      let dims =
+        match atom_dims st x with
+        | Some d -> Some [| Dim.Static (Array.length d) |]
+        | None -> None
+      in
+      (value, dims)
+  | Expr.Call { callee = Expr.Op name; args; attrs } ->
+      let value =
+        match (name, args) with
+        | "strided_slice", [ x ] -> (
+            match (atom_val st x, Attrs.get_ints ~default:[] attrs "begins", Attrs.get_ints ~default:[] attrs "ends") with
+            | Some (Dims dv), [ b ], [ e ] ->
+                let len = Array.length dv in
+                let norm i = if i < 0 then i + len else i in
+                let lo = Stdlib.max 0 (Stdlib.min (norm b) len) in
+                let hi = Stdlib.max lo (Stdlib.min (norm e) len) in
+                Some (Dims (Array.sub dv lo (hi - lo)))
+            | _ -> None)
+        | "squeeze", [ x ] -> (
+            match atom_val st x with
+            | Some (Dims [| d |]) when norm_axis ~rank:1 (Attrs.get_int ~default:0 attrs "axis") = 0 ->
+                Some (Scalar_dim d)
+            | _ -> None)
+        | "expand_dims", [ x ] -> (
+            match atom_val st x with
+            | Some (Scalar_dim d) when Attrs.get_int ~default:0 attrs "axis" = 0 -> Some (Dims [| d |])
+            | _ -> None)
+        | "cast", [ x ] -> (
+            match atom_val st x with
+            | Some ((Dims _ | Scalar_dim _) as k) -> Some k
+            | _ -> None)
+        | _ -> None
+      in
+      let dims =
+        match Shape_func.find name with
+        | Some { Shape_func.mode = Shape_func.Data_indep; _ } ->
+            indep_out_dims st name args attrs
+        | Some { Shape_func.mode = Shape_func.Data_dep; _ }
+          when not (List.mem name dialect_sites) ->
+            Option.map snd (prove st name args attrs)
+        | _ -> None
+      in
+      (value, dims)
+  | _ -> (None, None)
+
+let step st ((v : Expr.var), bound) =
+  let value, dims = eval_bound st bound in
+  bind_st st v value dims
+
+(* ------------------------------------------------------------------ *)
+(* The pass: solve each chain on the engine, then stamp and refine     *)
+(* ------------------------------------------------------------------ *)
+
+type fn_stat = {
+  cs_fn : string;
+  cs_sites : int;  (** data-dependent / upper-bound op call sites *)
+  cs_proven : int;  (** sites upgraded to proven-static *)
+}
+
+type summary = { per_fn : fn_stat list; sites_total : int; classified_static : int }
+
+type acc = { mutable a_sites : int; mutable a_proven : int }
+
+let rec chain_of (e : Expr.t) =
+  match e with
+  | Expr.Let (v, bound, body) ->
+      let bs, term = chain_of body in
+      ((v, bound) :: bs, term)
+  | _ -> ([], e)
+
+let rec rebuild bindings term =
+  match bindings with
+  | [] -> term
+  | (v, bound) :: rest -> Expr.Let (v, bound, rebuild rest term)
+
+(** Refine a binding's inferred type in place: replace [Any] dims with the
+    proven dims; never override what inference already resolved. *)
+let refine_vty (v : Expr.var) (odims : Dim.t array) =
+  match v.Expr.vty with
+  | Some (Ty.Tensor { dims; dtype }) when Array.length dims = Array.length odims ->
+      let sharper = ref false in
+      let merged =
+        Array.mapi
+          (fun i d ->
+            match d with
+            | Dim.Any when odims.(i) <> Dim.Any ->
+                sharper := true;
+                odims.(i)
+            | d -> d)
+          dims
+      in
+      if !sharper then v.Expr.vty <- Some (Ty.Tensor { dims = merged; dtype })
+  | _ -> ()
+
+let rec process_region acc (entry : st) (e : Expr.t) : Expr.t =
+  let bindings, term = chain_of e in
+  match bindings with
+  | [] -> process_tail acc entry term
+  | _ ->
+      let barr = Array.of_list bindings in
+      let n = Array.length barr in
+      (* A let chain is a linear CFG over binding indices; the engine's
+         fixpoint degenerates to one forward sweep, which is exactly the
+         abstract interpretation we want — and branches below re-enter
+         [process_region] with a state snapshot, keeping regions join-free. *)
+      let states =
+        Dataflow.solve ~direction:Dataflow.Forward ~num_nodes:n
+          ~successors:(fun i -> if i + 1 < n then [ i + 1 ] else [])
+          ~transfer:(fun i r -> ref (step !r barr.(i)))
+          ~copy:(fun r -> ref !r)
+          ~join_into:(fun ~into out ->
+            let joined = join_st !into !out in
+            if st_equal joined !into then false
+            else begin
+              into := joined;
+              true
+            end)
+          ~seeds:[ (0, ref entry) ]
+      in
+      let state_at i = match states.(i) with Some r -> !r | None -> entry in
+      let rebuilt =
+        List.mapi
+          (fun i (v, bound) -> (v, sweep_binding acc (state_at i) v bound))
+          bindings
+      in
+      let final = step (state_at (n - 1)) barr.(n - 1) in
+      rebuild rebuilt (process_tail acc final term)
+
+(* Rebuild one binding with its in-state: stamp proven sites, refine the
+   binding's type from anything the abstract interpretation sharpened, and
+   recurse into nested regions. *)
+and sweep_binding acc st (v : Expr.var) (bound : Expr.t) : Expr.t =
+  match bound with
+  | Expr.If (c, t, f) -> Expr.If (c, process_region acc st t, process_region acc st f)
+  | Expr.Match (s, clauses) ->
+      Expr.Match
+        ( s,
+          List.map
+            (fun cl -> { cl with Expr.rhs = process_region acc st cl.Expr.rhs })
+            clauses )
+  | Expr.Fn fn ->
+      Expr.Fn { fn with Expr.body = process_region acc st fn.Expr.body }
+  | Expr.Call { callee = Expr.Op name; args; attrs } when countable_site name ->
+      acc.a_sites <- acc.a_sites + 1;
+      let data_dep = Shape_func.mode_of name = Shape_func.Data_dep in
+      (match (if data_dep then prove st name args attrs else None) with
+      | Some (proof, odims) ->
+          acc.a_proven <- acc.a_proven + 1;
+          refine_vty v odims;
+          Expr.Call
+            {
+              callee = Expr.Op name;
+              args;
+              attrs = Attrs.set attrs Shape_func.proven_attr (Attrs.Str proof);
+            }
+      | None -> bound)
+  | _ ->
+      (match snd (eval_bound st bound) with
+      | Some odims -> refine_vty v odims
+      | None -> ());
+      bound
+
+and process_tail acc st (term : Expr.t) : Expr.t =
+  match term with
+  | Expr.If (c, t, f) -> Expr.If (c, process_region acc st t, process_region acc st f)
+  | Expr.Match (s, clauses) ->
+      Expr.Match
+        ( s,
+          List.map
+            (fun cl -> { cl with Expr.rhs = process_region acc st cl.Expr.rhs })
+            clauses )
+  | Expr.Call { callee = Expr.Op name; _ } when countable_site name ->
+      (* a terminal call site is never let-bound, so there is nothing to
+         refine or stamp usefully; count it as an (unproven) site *)
+      acc.a_sites <- acc.a_sites + 1;
+      term
+  | _ -> term
+
+(** Run the pass over a module (in place): stamps proven sites, refines
+    binding types, and returns the per-function classification counts. *)
+let run (m : Irmod.t) : summary =
+  let per_fn = ref [] in
+  Irmod.map_funcs m (fun name fn ->
+      let acc = { a_sites = 0; a_proven = 0 } in
+      let body = process_region acc empty_st fn.Expr.body in
+      per_fn := { cs_fn = name; cs_sites = acc.a_sites; cs_proven = acc.a_proven } :: !per_fn;
+      { fn with Expr.body = body });
+  let per_fn = List.rev !per_fn in
+  {
+    per_fn;
+    sites_total = List.fold_left (fun a s -> a + s.cs_sites) 0 per_fn;
+    classified_static = List.fold_left (fun a s -> a + s.cs_proven) 0 per_fn;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Post-fusion accounting                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Fused groups (>1 op) containing a proven formerly-dynamic site — the
+    fusions the dominance pass unlocked. *)
+let fn_fused_across_dynamic (fn : Expr.fn) : int =
+  List.length
+    (List.filter
+       (fun (prim : Expr.fn) ->
+         List.length (Nimble_passes.Fusion.primitive_ops prim) > 1
+         &&
+         let proven = ref false in
+         Expr.iter
+           (function
+             | Expr.Call { callee = Expr.Op _; attrs; _ }
+               when Attrs.find_str attrs Shape_func.proven_attr <> None ->
+                 proven := true
+             | _ -> ())
+           prim.Expr.body;
+         !proven)
+       (Nimble_passes.Fusion.primitives_of fn.Expr.body))
+
+let fused_across_dynamic (m : Irmod.t) : int =
+  List.fold_left
+    (fun a (_, fn) -> a + fn_fused_across_dynamic fn)
+    0 (Irmod.functions m)
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf "%-24s %12s %12s@." "function" "sites" "proven";
+  List.iter
+    (fun f -> Fmt.pf ppf "%-24s %12d %12d@." f.cs_fn f.cs_sites f.cs_proven)
+    s.per_fn;
+  Fmt.pf ppf "%-24s %12d %12d@." "total" s.sites_total s.classified_static

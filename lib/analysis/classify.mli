@@ -1,0 +1,48 @@
+(** Shape-value dominance classification (paper §4.2, SoD-style).
+
+    A forward abstract interpretation — hosted on the shared {!Dataflow}
+    engine — tracks tensor values that are statically known at compile
+    time: constants, [shape_of] results over resolved ([Static]/[Sym])
+    dims, and scalars sliced out of such shape vectors. A call site whose
+    shape function is registered data-dependent but whose value inputs are
+    all dominated by this knowledge is {e proven}: it behaves like a
+    static site for fusion, manifest allocation and memory planning.
+
+    The pass mutates the module in place:
+    - proven sites get a {!Nimble_shape.Shape_func.proven_attr} attribute
+      ([Attrs.Str "static"] or [Attrs.Str "sym"]) that downstream passes
+      read through {!Nimble_shape.Shape_func.classify};
+    - binding types are refined where the interpretation is sharper than
+      inference (replacing [Any] dims only, never resolved ones), which
+      lets the symbolic memory planner assign arena slots to tensors that
+      were previously unplannable.
+
+    Only [Data_dep] sites are ever proven. [Upper_bound] sites are counted
+    but never stamped: their registered shape is a bound, not the exact
+    runtime extent, so fusing across one would be unsound. *)
+
+open Nimble_ir
+
+(** Per-function classification counts. *)
+type fn_stat = {
+  cs_fn : string;
+  cs_sites : int;  (** data-dependent / upper-bound op call sites *)
+  cs_proven : int;  (** sites upgraded to proven-static *)
+}
+
+type summary = { per_fn : fn_stat list; sites_total : int; classified_static : int }
+
+(** Run the pass over a module (in place — stamps attributes, refines
+    binding types) and return the classification counts. Idempotent. *)
+val run : Irmod.t -> summary
+
+(** Post-fusion: fused groups (>1 op) whose body contains a proven
+    formerly-dynamic site — the fusions the dominance pass unlocked. *)
+val fused_across_dynamic : Irmod.t -> int
+
+(** {!fused_across_dynamic} for a single function — the per-row value of
+    the report's classification table. *)
+val fn_fused_across_dynamic : Expr.fn -> int
+
+(** Render the per-function table (sites, proven) with a totals row. *)
+val pp_summary : Format.formatter -> summary -> unit

@@ -7,35 +7,41 @@ open Nimble_vm
 
 (* Backward liveness to fixpoint: live_in[pc] = reads ∪ (live_out \ writes),
    live_out[pc] = ∪ live_in[succ]. Registers out of [0, nregs) are ignored
-   (malformed code is the verifier's business, not ours). *)
+   (malformed code is the verifier's business, not ours). Hosted on the
+   shared [Dataflow] engine in [Backward] mode: the engine's per-node state
+   is live_out (the in-state in flow direction), and every pc is seeded
+   with bottom because dead code still gets its registers renamed. *)
 let liveness (f : Exe.vmfunc) : bool array array =
   let code = f.Exe.code in
   let len = Array.length code in
   let nregs = f.Exe.register_count in
-  let live_in = Array.init len (fun _ -> Array.make nregs false) in
   let in_bounds r = r >= 0 && r < nregs in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for pc = len - 1 downto 0 do
-      let out = Array.make nregs false in
-      List.iter
-        (fun succ ->
-          if succ >= 0 && succ < len then
-            Array.iteri (fun r v -> if v then out.(r) <- true) live_in.(succ))
-        (Verifier.successors pc code.(pc));
-      List.iter (fun r -> if in_bounds r then out.(r) <- false) (Verifier.writes code.(pc));
-      List.iter (fun r -> if in_bounds r then out.(r) <- true) (Verifier.reads code.(pc));
-      Array.iteri
-        (fun r v ->
-          if v && not live_in.(pc).(r) then begin
-            live_in.(pc).(r) <- true;
-            changed := true
-          end)
-        out
-    done
-  done;
-  live_in
+  let transfer pc (out : bool array) : bool array =
+    let st = Array.copy out in
+    List.iter (fun r -> if in_bounds r then st.(r) <- false) (Verifier.writes code.(pc));
+    List.iter (fun r -> if in_bounds r then st.(r) <- true) (Verifier.reads code.(pc));
+    st
+  in
+  let live_out =
+    Dataflow.solve ~direction:Dataflow.Backward ~num_nodes:len
+      ~successors:(fun pc -> Verifier.successors pc code.(pc))
+      ~transfer ~copy:Array.copy
+      ~join_into:(fun ~into out ->
+        let changed = ref false in
+        Array.iteri
+          (fun r v ->
+            if v && not into.(r) then begin
+              into.(r) <- true;
+              changed := true
+            end)
+          out;
+        !changed)
+      ~seeds:(List.init len (fun pc -> (pc, Array.make nregs false)))
+  in
+  Array.init len (fun pc ->
+      match live_out.(pc) with
+      | Some out -> transfer pc out
+      | None -> Array.make nregs false)
 
 (* live_out[pc] recomputed from the fixpoint live_in sets. *)
 let live_out_at (f : Exe.vmfunc) live_in pc =

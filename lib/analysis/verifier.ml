@@ -81,6 +81,63 @@ let successors pc : Isa.t -> int list = function
 
 (* ------------------------------------------------------------------ *)
 
+(* Transfer function of the register must-analysis, shared by the
+   per-function verification and the cross-function ADT summaries. *)
+let transfer_instr ~nregs instr (st : aval array) : aval array =
+  let st = Array.copy st in
+  let in_bounds r = r >= 0 && r < nregs in
+  let set r v = if in_bounds r then st.(r) <- v in
+  (match instr with
+  | Isa.Move { src; dst } -> set dst (if in_bounds src then st.(src) else Val)
+  | Isa.AllocStorage { dst; _ } | Isa.BindArena { dst; _ } -> set dst Storage
+  | Isa.AllocTensor { dst; _ } | Isa.AllocTensorReg { dst; _ } -> set dst Talloc
+  | Isa.AllocADT { fields; dst; _ } -> set dst (Adt (Array.length fields))
+  | Isa.GetTag { obj; dst } ->
+      (* the tag is being dispatched on: downstream field reads are
+         guarded by a tag test this analysis cannot see, so forget the
+         allocation-site field count to avoid false positives *)
+      (if in_bounds obj then match st.(obj) with Adt _ -> st.(obj) <- Val | _ -> ());
+      set dst Val
+  | _ -> List.iter (fun r -> set r Val) (writes instr));
+  st
+
+(* Entry state with the given abstract values for the argument registers
+   (callers pass all-[Val] when nothing is known about the caller). *)
+let entry_state (f : Exe.vmfunc) (params : aval array) : aval array =
+  let nregs = f.Exe.register_count in
+  let entry = Array.make (max nregs 1) Unset in
+  for r = 0 to min f.Exe.arity nregs - 1 do
+    entry.(r) <- (if r < Array.length params then params.(r) else Val)
+  done;
+  entry
+
+(* Fixpoint in-states of one function under the given entry; [None] =
+   unreachable. Empty array for an empty body. *)
+let func_states (exe : Exe.t) (fi : int) (entry : aval array) :
+    aval array option array =
+  let f = exe.Exe.funcs.(fi) in
+  let code = f.Exe.code in
+  let len = Array.length code in
+  let nregs = f.Exe.register_count in
+  if len = 0 then [||]
+  else
+    Dataflow.solve ~direction:Dataflow.Forward ~num_nodes:len
+      ~successors:(fun pc -> successors pc code.(pc))
+      ~transfer:(fun pc st -> transfer_instr ~nregs code.(pc) st)
+      ~copy:Array.copy
+      ~join_into:(fun ~into out ->
+        let changed = ref false in
+        Array.iteri
+          (fun r v ->
+            let j = join v out.(r) in
+            if j <> v then begin
+              into.(r) <- j;
+              changed := true
+            end)
+          into;
+        !changed)
+      ~seeds:[ (0, entry) ]
+
 let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
   let f = exe.Exe.funcs.(fi) in
   let code = f.Exe.code in
@@ -187,59 +244,10 @@ let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
       | _ -> ())
     code;
   (* ---- dataflow: def-before-use and alloc-backing on every path ---- *)
-  let in_states : aval array option array = Array.make (max len 1) None in
-  let entry = Array.make (max nregs 1) Unset in
-  for r = 0 to min f.Exe.arity nregs - 1 do
-    entry.(r) <- Val
-  done;
   let in_bounds r = r >= 0 && r < nregs in
-  let transfer instr (st : aval array) : aval array =
-    let st = Array.copy st in
-    let set r v = if in_bounds r then st.(r) <- v in
-    (match instr with
-    | Isa.Move { src; dst } -> set dst (if in_bounds src then st.(src) else Val)
-    | Isa.AllocStorage { dst; _ } | Isa.BindArena { dst; _ } -> set dst Storage
-    | Isa.AllocTensor { dst; _ } | Isa.AllocTensorReg { dst; _ } -> set dst Talloc
-    | Isa.AllocADT { fields; dst; _ } -> set dst (Adt (Array.length fields))
-    | Isa.GetTag { obj; dst } ->
-        (* the tag is being dispatched on: downstream field reads are
-           guarded by a tag test this analysis cannot see, so forget the
-           allocation-site field count to avoid false positives *)
-        (if in_bounds obj then match st.(obj) with Adt _ -> st.(obj) <- Val | _ -> ());
-        set dst Val
-    | _ -> List.iter (fun r -> set r Val) (writes instr));
-    st
-  in
   if len > 0 && nregs >= 0 then begin
-    in_states.(0) <- Some entry;
-    let work = Queue.create () in
-    Queue.add 0 work;
-    while not (Queue.is_empty work) do
-      let pc = Queue.pop work in
-      match in_states.(pc) with
-      | None -> ()
-      | Some st ->
-          let out = transfer code.(pc) st in
-          List.iter
-            (fun succ ->
-              if succ >= 0 && succ < len then
-                match in_states.(succ) with
-                | None ->
-                    in_states.(succ) <- Some (Array.copy out);
-                    Queue.add succ work
-                | Some old ->
-                    let changed = ref false in
-                    Array.iteri
-                      (fun r v ->
-                        let j = join v out.(r) in
-                        if j <> v then begin
-                          old.(r) <- j;
-                          changed := true
-                        end)
-                      old;
-                    if !changed then Queue.add succ work)
-            (successors pc code.(pc))
-    done;
+    let entry = entry_state f (Array.make f.Exe.arity Val) in
+    let in_states = func_states exe fi entry in
     (* final pass over reachable instructions with their fixpoint states *)
     Array.iteri
       (fun pc instr ->
@@ -290,6 +298,134 @@ let verify_func (exe : Exe.t) (fi : int) : Diag.t list =
           report (-1) "guard on %s names argument %d (arity %d)" g.Exe.g_name
             g.Exe.g_arg f.Exe.arity)
       gs.(fi);
+  List.rev !diags
+
+(* ---- cross-function ADT arity (Invoke / closure boundaries) ------- *)
+
+(* What a callee's parameter is known to hold, joined over every visible
+   call site. [PBot] = no visible call site reaches this parameter — the
+   function is only invocable externally (the interpreter accepts any
+   function by name), so nothing may be assumed. The per-function pass
+   above checks [GetField] against locally visible [AllocADT] sites only;
+   here allocation-site field counts are propagated through [Invoke]
+   arguments and [AllocClosure] captured prefixes so a field read of a
+   constructor built in the caller is bounds-checked too. Parameters past
+   a closure's captured prefix are filled at [InvokeClosure] sites whose
+   arguments this summary does not track, so they degrade to [PVal]. *)
+type psum = PBot | PVal | PAdt of int
+
+let pjoin a b =
+  match (a, b) with
+  | PBot, x | x, PBot -> x
+  | PAdt n, PAdt m when n = m -> PAdt n
+  | _ -> PVal
+
+let psum_of_aval = function Adt n -> PAdt n | _ -> PVal
+
+(* One collection sweep: join every visible call site's argument values
+   into the callee summaries, reading each caller's fixpoint in-states. *)
+let collect_summaries (exe : Exe.t) (states_of : int -> aval array option array)
+    : psum array array =
+  let nf = Array.length exe.Exe.funcs in
+  let sums =
+    Array.map (fun (f : Exe.vmfunc) -> Array.make (max f.Exe.arity 0) PBot)
+      exe.Exe.funcs
+  in
+  Array.iteri
+    (fun fi (f : Exe.vmfunc) ->
+      let sts = states_of fi in
+      let arg_val st r =
+        if r >= 0 && r < Array.length st then psum_of_aval st.(r) else PVal
+      in
+      Array.iteri
+        (fun pc instr ->
+          if pc < Array.length sts then
+            match sts.(pc) with
+            | None -> () (* unreachable call site *)
+            | Some st -> (
+                match instr with
+                | Isa.Invoke { func_index; args; _ }
+                  when func_index >= 0 && func_index < nf ->
+                    let cs = sums.(func_index) in
+                    Array.iteri
+                      (fun k a ->
+                        if k < Array.length cs then
+                          cs.(k) <- pjoin cs.(k) (arg_val st a))
+                      args
+                | Isa.AllocClosure { func_index; captured; _ }
+                  when func_index >= 0 && func_index < nf ->
+                    let cs = sums.(func_index) in
+                    Array.iteri
+                      (fun k a ->
+                        if k < Array.length cs then
+                          cs.(k) <- pjoin cs.(k) (arg_val st a))
+                      captured;
+                    for k = Array.length captured to Array.length cs - 1 do
+                      cs.(k) <- PVal
+                    done
+                | _ -> ()))
+        f.Exe.code)
+    exe.Exe.funcs;
+  sums
+
+let refined_entry (f : Exe.vmfunc) (sum : psum array) : aval array =
+  entry_state f
+    (Array.map (function PAdt n -> Adt n | _ -> Val) sum)
+
+(* How many collection rounds to run. One round sees direct caller →
+   callee edges; each further round lets allocation-site facts flow one
+   call deeper (f builds the ADT, passes it to g, g forwards it to h).
+   Summaries only sharpen entries that the baseline treated as [Val], so
+   a small bound is enough in practice. *)
+let summary_rounds = 3
+
+let verify_cross_adt (exe : Exe.t) : Diag.t list =
+  let nf = Array.length exe.Exe.funcs in
+  let baseline =
+    Array.init nf (fun fi ->
+        lazy
+          (func_states exe fi
+             (entry_state exe.Exe.funcs.(fi)
+                (Array.make exe.Exe.funcs.(fi).Exe.arity Val))))
+  in
+  let sums = ref (collect_summaries exe (fun fi -> Lazy.force baseline.(fi))) in
+  for _ = 2 to summary_rounds do
+    sums :=
+      collect_summaries exe (fun fi ->
+          func_states exe fi (refined_entry exe.Exe.funcs.(fi) !sums.(fi)))
+  done;
+  let sums = !sums in
+  let diags = ref [] in
+  Array.iteri
+    (fun fi (f : Exe.vmfunc) ->
+      if Array.exists (function PAdt _ -> true | _ -> false) sums.(fi) then begin
+        let base = Lazy.force baseline.(fi) in
+        let refined = func_states exe fi (refined_entry f sums.(fi)) in
+        let nregs = f.Exe.register_count in
+        Array.iteri
+          (fun pc instr ->
+            match instr with
+            | Isa.GetField { obj; index; _ }
+              when obj >= 0 && obj < nregs && pc < Array.length refined -> (
+                match (refined.(pc), base.(pc)) with
+                | Some rst, Some bst -> (
+                    match (rst.(obj), bst.(obj)) with
+                    | Adt _, Adt _ ->
+                        () (* locally visible: the per-function pass owns it *)
+                    | Adt n, _ when index >= n ->
+                        diags :=
+                          Diag.v ~check:"bytecode" ~where_:f.Exe.name ~pc
+                            (Fmt.str
+                               "field index %d out of bounds for a %d-field \
+                                ADT constructed by a caller"
+                               index n)
+                          :: !diags
+                    | _ -> ())
+                | _ -> ())
+            | _ -> ())
+          f.Exe.code
+      end)
+    exe.Exe.funcs;
   List.rev !diags
 
 (* ---- symbolic memory plans: the dialect's soundness obligations ---- *)
@@ -437,7 +573,7 @@ let verify_tunes (exe : Exe.t) : Diag.t list =
 let verify (exe : Exe.t) : Diag.t list =
   List.concat
     (List.init (Array.length exe.Exe.funcs) (fun fi -> verify_func exe fi))
-  @ verify_plans exe @ verify_tunes exe
+  @ verify_cross_adt exe @ verify_plans exe @ verify_tunes exe
 
 let verify_exn exe =
   match verify exe with [] -> () | diags -> raise (Verify_error diags)

@@ -43,6 +43,20 @@ exception Verify_error of Diag.t list
     so it works on unlinked (freshly deserialized) executables. *)
 val verify : Nimble_vm.Exe.t -> Diag.t list
 
+(** The cross-function slice of {!verify} on its own: ADT arity checking
+    across [Invoke] and closure boundaries. Each function parameter is
+    summarized by the join over every visible call site of what the
+    argument register holds ([Invoke] arguments; [AllocClosure] captured
+    prefixes — parameters past the prefix are filled at [InvokeClosure]
+    sites this summary does not track and degrade to unknown), and the
+    register must-analysis reruns with the refined entry so a [GetField]
+    whose object is a constructor built in a {e caller} is bounds-checked
+    too. Parameters with no visible call site stay unconstrained: the
+    interpreter can invoke any function by name, so external entry points
+    must not be speculated about. Only violations invisible to the
+    per-function pass are reported. *)
+val verify_cross_adt : Nimble_vm.Exe.t -> Diag.t list
+
 (** @raise Verify_error when {!verify} finds any violation. *)
 val verify_exn : Nimble_vm.Exe.t -> unit
 

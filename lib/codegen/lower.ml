@@ -113,14 +113,87 @@ let shape_func_of_primitive ~name (fn : Expr.fn) : Shape.t list -> Shape.t list 
   in
   go fn.Expr.body
 
-(** Whether every op in a primitive has a data-independent shape function —
-    the precondition for the composition above. *)
+(** Whether every op call site in a primitive has a statically-known output
+    shape (data-independent or dominance-proven) — the precondition for the
+    compositions above. *)
 let all_data_independent (fn : Expr.fn) =
   let ok = ref true in
   Expr.iter
     (function
-      | Expr.Call { callee = Expr.Op name; _ } ->
-          if not (Nimble_shape.Shape_func.fusible_as_consumer name) then ok := false
+      | Expr.Call { callee = Expr.Op name; attrs; _ } ->
+          if not (Nimble_shape.Shape_func.fusible_site ~name ~attrs) then ok := false
       | _ -> ())
     fn.Expr.body;
   !ok
+
+(** Compose the shape function of a primitive containing dominance-proven
+    data-dependent members. Unlike {!shape_func_of_primitive} it takes the
+    primitive's input {e values}; data flows lazily, so only the (scalar-
+    sized) chains feeding proven sites are ever evaluated at shape-function
+    time — heavy member ops are never forced. *)
+let shape_func_of_primitive_values ~name (fn : Expr.fn) :
+    Tensor.t list -> Shape.t list =
+ fun ins ->
+  if List.length ins <> List.length fn.Expr.params then
+    err "%s shape func: expected %d input values" name (List.length fn.Expr.params);
+  (* vid -> (output shapes, lazily evaluated output values when available) *)
+  let env : (int, Shape.t list * Tensor.t list Lazy.t option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter2
+    (fun (p : Expr.var) t ->
+      Hashtbl.replace env p.Expr.vid ([ Tensor.shape t ], Some (lazy [ t ])))
+    fn.Expr.params ins;
+  let all_data rs =
+    if List.for_all (fun (_, d) -> d <> None) rs then
+      Some (lazy (List.concat_map (fun (_, d) -> Lazy.force (Option.get d)) rs))
+    else None
+  in
+  let rec go (e : Expr.t) : Shape.t list * Tensor.t list Lazy.t option =
+    match e with
+    | Expr.Var v -> (
+        match Hashtbl.find_opt env v.Expr.vid with
+        | Some r -> r
+        | None -> err "%s shape func: unbound variable" name)
+    | Expr.Const t -> ([ Tensor.shape t ], Some (lazy [ t ]))
+    | Expr.Tuple es ->
+        let rs = List.map go es in
+        (List.concat_map fst rs, all_data rs)
+    | Expr.Proj (e1, i) ->
+        let shapes, data = go e1 in
+        if i >= List.length shapes then err "%s shape func: bad projection" name;
+        ( [ List.nth shapes i ],
+          Option.map (fun d -> lazy [ List.nth (Lazy.force d) i ]) data )
+    | Expr.Let (v, bound, body) ->
+        Hashtbl.replace env v.Expr.vid (go bound);
+        go body
+    | Expr.Call { callee = Expr.Op op; args; attrs } ->
+        let rs = List.map go args in
+        let needs_values =
+          match Nimble_shape.Shape_func.classify ~name:op ~attrs with
+          | Nimble_shape.Shape_func.Site_static -> false
+          | Nimble_shape.Shape_func.Site_proven _ -> true
+          | site ->
+              err "%s shape func: unproven dynamic member %s (%s)" name op
+                (Nimble_shape.Shape_func.site_to_string site)
+        in
+        let inputs =
+          List.concat_map
+            (fun (shapes, data) ->
+              if needs_values then
+                match data with
+                | Some d -> List.map Nimble_shape.Shape_func.with_data (Lazy.force d)
+                | None -> err "%s shape func: %s needs a value that is unavailable" name op
+              else List.map Nimble_shape.Shape_func.shape_only shapes)
+            rs
+        in
+        let shapes = Nimble_shape.Shape_func.run op ~attrs inputs in
+        let data =
+          Option.map
+            (fun d -> lazy (Trace.eval_op op ~attrs (Lazy.force d)))
+            (all_data rs)
+        in
+        (shapes, data)
+    | _ -> err "%s shape func: unsupported construct" name
+  in
+  fst (go fn.Expr.body)

@@ -139,6 +139,12 @@ let shape_func_of_primitive st (prim : Expr.fn) ~(mode : string) =
         let in_shapes = List.map Tensor.to_shape ins in
         let f = Nimble_codegen.Lower.shape_func_of_primitive ~name prim in
         shapes_to_tensors (f in_shapes)
+    | "proven" ->
+        (* dominance-proven group: inputs are the primitive's argument
+           values; the composed function forces only the scalar chains the
+           proofs need *)
+        let f = Nimble_codegen.Lower.shape_func_of_primitive_values ~name prim in
+        shapes_to_tensors (f ins)
     | "data_dep" -> (
         match singleton_op prim.Expr.body with
         | Some (op, attrs) ->

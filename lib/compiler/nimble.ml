@@ -16,6 +16,10 @@ open Nimble_passes
 type options = {
   target_device : int;  (** 0 = host CPU, 1 = simulated GPU *)
   fuse : bool;
+  classify : bool;
+      (** shape-value dominance classification ([Nimble_analysis.Classify]):
+          prove data-dependent sites static so fusion and memory planning
+          can cross formerly dynamic boundaries *)
   memory_plan : bool;
   symbolic_plan : bool;
       (** fold bindable dynamic allocations into per-device symbolic memory
@@ -46,6 +50,7 @@ let default_options =
   {
     target_device = 0;
     fuse = true;
+    classify = true;
     memory_plan = true;
     symbolic_plan = true;
     device_placement = true;
@@ -77,9 +82,22 @@ type verify_stat = {
   violations : int;
 }
 
+(** One function's row in the operator-classification table. *)
+type classify_stat = {
+  cls_fn : string;
+  cls_sites : int;  (** data-dependent / upper-bound op call sites *)
+  cls_proven : int;  (** sites proven static by shape-value dominance *)
+  cls_fused : int;  (** fused groups crossing a proven dynamic boundary *)
+}
+
 type report = {
   residual_checks : int;  (** runtime type checks deferred by gradual typing *)
   primitives : int;
+  sites_total : int;  (** classification candidates, all functions *)
+  classified_static : int;  (** dominance-proven sites, all functions *)
+  fused_across_dynamic : int;
+      (** fused groups containing a proven formerly-dynamic site *)
+  classify_table : classify_stat list;  (** per-function classification *)
   storages_before_planning : int;
   storages_after_planning : int;
   arena_bytes : int;
@@ -158,8 +176,35 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
       (fun m -> Type_resolve.run m infer_result.Nimble_typing.Infer.solver)
       m
   in
+  (* shape-value dominance: stamp proven data-dependent sites and refine
+     their binding types before fusion consults the site classification *)
+  let cls_summary =
+    if options.classify then
+      timed_stats "classify" (fun m -> Nimble_analysis.Classify.run m) m
+    else
+      { Nimble_analysis.Classify.per_fn = []; sites_total = 0; classified_static = 0 }
+  in
   let m = timed "fusion" (Fusion.run ~merge:options.fuse) m in
   lint "fusion" Nimble_analysis.Lint.fusion m;
+  let fused_per_fn =
+    List.map
+      (fun (name, (fn : Nimble_ir.Expr.fn)) ->
+        (name, Nimble_analysis.Classify.fn_fused_across_dynamic fn))
+      (Irmod.functions m)
+  in
+  let classify_table =
+    List.map
+      (fun (s : Nimble_analysis.Classify.fn_stat) ->
+        {
+          cls_fn = s.Nimble_analysis.Classify.cs_fn;
+          cls_sites = s.Nimble_analysis.Classify.cs_sites;
+          cls_proven = s.Nimble_analysis.Classify.cs_proven;
+          cls_fused =
+            Option.value ~default:0
+              (List.assoc_opt s.Nimble_analysis.Classify.cs_fn fused_per_fn);
+        })
+      cls_summary.Nimble_analysis.Classify.per_fn
+  in
   let primitives =
     List.fold_left
       (fun acc (_, (fn : Nimble_ir.Expr.fn)) ->
@@ -193,6 +238,11 @@ let optimize ?(options = default_options) (m : Irmod.t) : Irmod.t * report =
     {
       residual_checks = infer_result.Nimble_typing.Infer.residual_checks;
       primitives;
+      sites_total = cls_summary.Nimble_analysis.Classify.sites_total;
+      classified_static = cls_summary.Nimble_analysis.Classify.classified_static;
+      fused_across_dynamic =
+        List.fold_left (fun a (_, n) -> a + n) 0 fused_per_fn;
+      classify_table;
       storages_before_planning = mp_stats.Memory_plan.storages_before;
       storages_after_planning = mp_stats.Memory_plan.storages_after;
       arena_bytes = mp_stats.Memory_plan.arena_bytes;
@@ -296,12 +346,20 @@ let compile_static (m : Irmod.t) : Static_exec.t =
 
 let pp_report ppf (r : report) =
   Fmt.pf ppf
-    "residual_checks=%d primitives=%d storages=%d->%d arena=%dB (vs %dB) kills=%d \
-     copies=%d instrs=%d violations=%d"
-    r.residual_checks r.primitives r.storages_before_planning
-    r.storages_after_planning r.arena_bytes r.unplanned_bytes r.kills_inserted
-    r.device_copies r.instructions
+    "residual_checks=%d primitives=%d classified=%d/%d fused_across_dynamic=%d \
+     storages=%d->%d arena=%dB (vs %dB) kills=%d copies=%d instrs=%d violations=%d"
+    r.residual_checks r.primitives r.classified_static r.sites_total
+    r.fused_across_dynamic r.storages_before_planning r.storages_after_planning
+    r.arena_bytes r.unplanned_bytes r.kills_inserted r.device_copies r.instructions
     (List.length r.verify_diags)
+
+let pp_classify ppf (r : report) =
+  Fmt.pf ppf "%-24s %8s %8s %8s@." "function" "sites" "proven" "fused";
+  List.iter
+    (fun c -> Fmt.pf ppf "%-24s %8d %8d %8d@." c.cls_fn c.cls_sites c.cls_proven c.cls_fused)
+    r.classify_table;
+  Fmt.pf ppf "%-24s %8d %8d %8d@." "total" r.sites_total r.classified_static
+    r.fused_across_dynamic
 
 let pp_passes ppf (r : report) =
   Fmt.pf ppf "%-14s %9s %8s %8s@." "pass" "ms" "nodes" "delta";
@@ -319,6 +377,21 @@ let report_to_json (r : report) : Nimble_vm.Json.t =
       ("schema", String "nimble-compile/v1");
       ("residual_checks", Int r.residual_checks);
       ("primitives", Int r.primitives);
+      ("sites_total", Int r.sites_total);
+      ("classified_static", Int r.classified_static);
+      ("fused_across_dynamic", Int r.fused_across_dynamic);
+      ( "classify",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("fn", String c.cls_fn);
+                   ("sites_total", Int c.cls_sites);
+                   ("classified_static", Int c.cls_proven);
+                   ("fused_across_dynamic", Int c.cls_fused);
+                 ])
+             r.classify_table) );
       ("storages_before_planning", Int r.storages_before_planning);
       ("storages_after_planning", Int r.storages_after_planning);
       ("arena_bytes", Int r.arena_bytes);

@@ -11,6 +11,11 @@
 type options = {
   target_device : int;  (** 0 = host CPU, 1 = simulated GPU *)
   fuse : bool;  (** operator fusion (dynamic policy, §4.2) *)
+  classify : bool;
+      (** shape-value dominance classification ([Nimble_analysis.Classify]):
+          prove data-dependent sites static at compile time so fusion and
+          memory planning can cross formerly dynamic boundaries; results
+          land in the report's classification table. On by default *)
   memory_plan : bool;  (** storage coalescing + kill insertion (§4.3) *)
   symbolic_plan : bool;
       (** fold bindable dynamic allocations into per-device symbolic memory
@@ -76,10 +81,26 @@ type verify_stat = {
   violations : int;
 }
 
+(** One function's row in the operator-classification table: how many call
+    sites have data-dependent/upper-bound shape functions, how many of
+    those the dominance pass proved static, and how many fused groups ended
+    up crossing a proven boundary. *)
+type classify_stat = {
+  cls_fn : string;
+  cls_sites : int;  (** data-dependent / upper-bound op call sites *)
+  cls_proven : int;  (** sites proven static by shape-value dominance *)
+  cls_fused : int;  (** fused groups crossing a proven dynamic boundary *)
+}
+
 (** Per-compile statistics surfaced for tests, benches and the CLI. *)
 type report = {
   residual_checks : int;  (** runtime type checks deferred by gradual typing *)
   primitives : int;  (** fused kernels after the fusion pass *)
+  sites_total : int;  (** classification candidates across all functions *)
+  classified_static : int;  (** dominance-proven sites across all functions *)
+  fused_across_dynamic : int;
+      (** fused groups containing a proven formerly-dynamic site *)
+  classify_table : classify_stat list;  (** per-function classification *)
   storages_before_planning : int;
   storages_after_planning : int;
   arena_bytes : int;  (** coalesced arena footprint *)
@@ -132,6 +153,9 @@ val pp_report : Format.formatter -> report -> unit
 
 (** Render the per-pass table (pass, ms, nodes after, node delta). *)
 val pp_passes : Format.formatter -> report -> unit
+
+(** Render the per-function classification table (sites, proven, fused). *)
+val pp_classify : Format.formatter -> report -> unit
 
 (** The compile report as [nimble-compile/v1] JSON: the scalar fields of
     {!report} plus a [passes] array of

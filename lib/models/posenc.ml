@@ -1,0 +1,72 @@
+(** Positional-encoding head — the shape-value dominance demo model.
+
+    [main] takes an embedded sequence [x : (Any, H)] and computes
+
+    {[
+      pos = arange(0, x.shape[0], 1)          (* data-dependent shape! *)
+      pe  = tanh (expand_dims pos 1 * freq)   (* (n, H) *)
+      out = relu (dense (x + pe) w_out)       (* (n, C) *)
+    ]}
+
+    The [arange] extent is the runtime sequence length, so its shape
+    function is data-dependent and classic §4.2 fusion must stop at it.
+    But the extent flows from [shape_of x] through a scalar chain
+    (slice/squeeze/cast), so the Classify pass proves the site's output
+    shape is exactly [x]'s symbolic leading dim — unlocking one fused
+    group across the boundary and a fully symbolic memory plan. *)
+
+open Nimble_tensor
+open Nimble_ir
+
+type config = { hidden_size : int; out_size : int }
+
+let default_config = { hidden_size = 32; out_size = 16 }
+
+type weights = {
+  config : config;
+  freq : Tensor.t;  (** (1, H) per-channel frequencies *)
+  w_out : Tensor.t;  (** (C, H) output projection *)
+}
+
+let init_weights ?(seed = 11) (config : config) : weights =
+  let rng = Rng.create ~seed in
+  {
+    config;
+    freq = Tensor.randn ~scale:0.1 rng [| 1; config.hidden_size |];
+    w_out = Tensor.randn ~scale:0.1 rng [| config.out_size; config.hidden_size |];
+  }
+
+(** Reference execution over [x : (n, H)]. *)
+let reference (w : weights) (x : Tensor.t) : Tensor.t =
+  let n = (Tensor.shape x).(0) in
+  let pos = Ops_shape.arange ~start:0.0 ~stop:(float_of_int n) ~step:1.0 () in
+  let pe = Ops_elem.tanh (Ops_elem.mul (Tensor.reshape pos [| n; 1 |]) w.freq) in
+  Ops_elem.relu (Ops_matmul.dense (Ops_elem.add x pe) w.w_out)
+
+(** Build the IR module: main takes an embedded sequence [(Any, H)]. *)
+let ir_module (w : weights) : Irmod.t =
+  let h = w.config.hidden_size in
+  let x = Expr.fresh_var ~ty:(Ty.tensor [ Dim.Any; Dim.static h ]) "x" in
+  let sh = Expr.op_call "shape_of" [ Expr.Var x ] in
+  let n_vec =
+    Expr.op_call
+      ~attrs:[ ("begins", Attrs.Ints [ 0 ]); ("ends", Attrs.Ints [ 1 ]) ]
+      "strided_slice" [ sh ]
+  in
+  let n_scalar = Expr.op_call ~attrs:[ ("axis", Attrs.Int 0) ] "squeeze" [ n_vec ] in
+  let n_f32 =
+    Expr.op_call ~attrs:[ ("dtype", Attrs.Str "float32") ] "cast" [ n_scalar ]
+  in
+  let pos =
+    Expr.op_call "arange" [ Expr.const_scalar 0.0; n_f32; Expr.const_scalar 1.0 ]
+  in
+  let pos_col = Expr.op_call ~attrs:[ ("axis", Attrs.Int 1) ] "expand_dims" [ pos ] in
+  let pe = Expr.op_call "tanh" [ Expr.op_call "multiply" [ pos_col; Expr.Const w.freq ] ] in
+  let xa = Expr.op_call "add" [ Expr.Var x; pe ] in
+  let out = Expr.op_call "relu" [ Expr.op_call "dense" [ xa; Expr.Const w.w_out ] ] in
+  Irmod.of_main (Expr.fn_def [ x ] out)
+
+(** Random embedded input of a given sequence length. *)
+let random_input ?(seed = 23) (w : weights) ~len : Tensor.t =
+  let rng = Rng.create ~seed:(seed + len) in
+  Tensor.randn ~scale:0.5 rng [| max 1 len; w.config.hidden_size |]

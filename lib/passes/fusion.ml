@@ -88,9 +88,27 @@ let primitive_pattern (fn : Expr.fn) =
   | Some "out_fusable" -> Op.Out_fusable
   | _ -> Op.Opaque
 
-(** Every op in the primitive has a data-independent shape function. *)
+(** Every op call site in the primitive has a statically-known output
+    shape: registered data-independent, or proven by the Classify
+    shape-value dominance pass. Site-aware — the [proven] attribute
+    survives wrapping because [wrap_call] keeps op attrs in the body. *)
 let data_independent (fn : Expr.fn) =
-  List.for_all Nimble_shape.Shape_func.fusible_as_consumer (primitive_ops fn)
+  let body_ops = ref [] in
+  let ok = ref true in
+  Expr.iter
+    (function
+      | Expr.Call { callee = Expr.Op name; attrs; _ } ->
+          body_ops := name :: !body_ops;
+          if not (Nimble_shape.Shape_func.fusible_site ~name ~attrs) then ok := false
+      | _ -> ())
+    fn.Expr.body;
+  !ok
+  && (* ops recorded on the group but absent from the body (hand-built
+        groups) carry no site attrs; judge them by registry mode *)
+  List.for_all
+    (fun op ->
+      List.mem op !body_ops || Nimble_shape.Shape_func.fusible_as_consumer op)
+    (primitive_ops fn)
 
 let group_size (fn : Expr.fn) = List.length (primitive_ops fn)
 
@@ -111,7 +129,20 @@ let wrap_call name args attrs : Expr.t =
     List.mapi (fun i a -> Expr.fresh_var ?ty:(atom_ty a) (Fmt.str "p%d" i)) args
   in
   let body = Expr.op_call ~attrs name (List.map Expr.var params) in
-  let fn_attrs = primitive_attrs ~ops:[ name ] ~pattern:op_def.Op.pattern in
+  (* A proven data-dependent site computes a statically-shaped result
+     elementwise over its (value) inputs; its registered Opaque pattern
+     exists only because its shape needs values — which the dominance
+     proof just discharged. Upgrade so fusion can absorb it. *)
+  let pattern =
+    match op_def.Op.pattern with
+    | Op.Opaque
+      when (match Nimble_shape.Shape_func.classify ~name ~attrs with
+           | Nimble_shape.Shape_func.Site_proven _ -> true
+           | _ -> false) ->
+        Op.Injective
+    | p -> p
+  in
+  let fn_attrs = primitive_attrs ~ops:[ name ] ~pattern in
   Expr.Call
     {
       callee = Expr.Fn { params; ret_ty = None; body; fn_attrs };

@@ -35,16 +35,35 @@ let err fmt = Fmt.kstr (fun s -> raise (Alloc_error s)) fmt
 let shape_tensor_const (s : int array) : Expr.t =
   Expr.Const (Tensor.of_int_array ~dtype:Dtype.I64 [| Array.length s |] s)
 
-(** Shape-function mode of a primitive: data-independent iff every member op
-    is; otherwise it is a singleton (guaranteed by the fusion policy) and
-    inherits its op's mode. *)
-let primitive_mode (fn : Expr.fn) : Nimble_shape.Shape_func.mode =
-  match Fusion.primitive_ops fn with
-  | [ op ] -> (Nimble_shape.Shape_func.get op).Nimble_shape.Shape_func.mode
-  | ops ->
-      if List.for_all Nimble_shape.Shape_func.fusible_as_consumer ops then
-        Nimble_shape.Shape_func.Data_indep
-      else err "fused primitive with non-data-independent member: %s" (String.concat "," ops)
+(** Site classification of a primitive group. Fusion guarantees that a
+    fused group (>1 op) contains only static-or-proven sites; a genuinely
+    dynamic site is always a singleton. *)
+type group_class =
+  | Gstatic  (** every site data-independent *)
+  | Gproven
+      (** every site static or dominance-proven, at least one proven: the
+          group's shape function is composed at compile time from the
+          member ops' proofs and receives argument values *)
+  | Gdynamic of Nimble_shape.Shape_func.mode  (** singleton dynamic site *)
+
+let classify_group (fn : Expr.fn) : group_class =
+  let module SF = Nimble_shape.Shape_func in
+  let sites = ref [] in
+  Expr.iter
+    (function
+      | Expr.Call { callee = Expr.Op name; attrs; _ } ->
+          (* [get] keeps the historical diagnostic for unregistered ops *)
+          ignore (SF.get name);
+          sites := SF.classify ~name ~attrs :: !sites
+      | _ -> ())
+    fn.Expr.body;
+  let proven = List.exists (function SF.Site_proven _ -> true | _ -> false) !sites in
+  match List.filter_map (function SF.Site_dynamic m -> Some m | _ -> None) !sites with
+  | [] -> if proven then Gproven else Gstatic
+  | [ m ] when List.length (Fusion.primitive_ops fn) = 1 -> Gdynamic m
+  | _ ->
+      err "fused primitive with unproven dynamic member: %s"
+        (String.concat "," (Fusion.primitive_ops fn))
 
 let out_tensor_tys (v : Expr.var) : Ty.t list =
   match v.Expr.vty with
@@ -140,10 +159,9 @@ let rec alloc_many allocs k =
 let rewrite_call ~device (v : Expr.var) (prim : Expr.fn) (prim_expr : Expr.t)
     (args : Expr.t list) (rest : Expr.t) : Expr.t =
   let out_tys = out_tensor_tys v in
-  let mode = primitive_mode prim in
+  let gclass = classify_group prim in
   let all_static =
-    List.for_all (fun ty -> Ty.static_shape ty <> None) out_tys
-    && mode = Nimble_shape.Shape_func.Data_indep
+    List.for_all (fun ty -> Ty.static_shape ty <> None) out_tys && gclass = Gstatic
   in
   let finish outs =
     let unit_v = Expr.fresh_var ~ty:Ty.unit "u" in
@@ -154,7 +172,7 @@ let rewrite_call ~device (v : Expr.var) (prim : Expr.fn) (prim_expr : Expr.t)
             ("num_inputs", Attrs.Int (List.length args));
             ("device", Attrs.Int device);
             ( "upper_bound",
-              Attrs.Bool (mode = Nimble_shape.Shape_func.Upper_bound) );
+              Attrs.Bool (gclass = Gdynamic Nimble_shape.Shape_func.Upper_bound) );
           ]
         "memory.invoke_mut"
         ((prim_expr :: args) @ outs)
@@ -175,17 +193,20 @@ let rewrite_call ~device (v : Expr.var) (prim : Expr.fn) (prim_expr : Expr.t)
     alloc_many allocs finish
   else begin
     (* Shape inputs: shapes for data-independent / upper-bound functions,
-       values for data-dependent ones. *)
+       values for data-dependent and proven groups (a proven group's
+       composed shape function forces only the values its proven members
+       actually need). *)
     let mode_str =
-      match mode with
-      | Nimble_shape.Shape_func.Data_indep -> "data_indep"
-      | Nimble_shape.Shape_func.Data_dep -> "data_dep"
-      | Nimble_shape.Shape_func.Upper_bound -> "upper_bound"
+      match gclass with
+      | Gstatic | Gdynamic Nimble_shape.Shape_func.Data_indep -> "data_indep"
+      | Gproven -> "proven"
+      | Gdynamic Nimble_shape.Shape_func.Data_dep -> "data_dep"
+      | Gdynamic Nimble_shape.Shape_func.Upper_bound -> "upper_bound"
     in
     let with_shape_inputs k =
-      match mode with
-      | Nimble_shape.Shape_func.Data_dep -> k args
-      | Nimble_shape.Shape_func.Data_indep | Nimble_shape.Shape_func.Upper_bound ->
+      match gclass with
+      | Gproven | Gdynamic Nimble_shape.Shape_func.Data_dep -> k args
+      | Gstatic | Gdynamic _ ->
           let rec go acc = function
             | [] -> k (List.rev acc)
             | arg :: more ->

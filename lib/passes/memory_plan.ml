@@ -280,7 +280,12 @@ let rec plan_expr stats ~binders (e : Expr.t) : Expr.t =
                   | _ -> ())
               barr;
             match !tensor with
-            | Some (tv, tattrs) when Attrs.find_str tattrs "mode" = Some "data_indep" -> (
+            | Some (tv, tattrs)
+              when (match Attrs.find_str tattrs "mode" with
+                   (* proven sites have dominance-refined [Sym] dims, so
+                      their size is a plannable symbolic expression too *)
+                   | Some "data_indep" | Some "proven" -> true
+                   | _ -> false) -> (
                 match
                   Option.bind tv.Expr.vty (size_expr_of_ty binders ~alignment)
                 with

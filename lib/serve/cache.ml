@@ -214,6 +214,39 @@ let write_file_atomic path contents =
       output_string oc contents);
   Sys.rename tmp path
 
+(* ---- generation rotation: each snapshot lands in its own gen-N
+   subdirectory and the top-level manifest is renamed over last, so a
+   reader always sees a complete generation; older generations are
+   garbage-collected after the manifest switch. *)
+
+let generation_of_dirname name =
+  if String.length name > 4 && String.sub name 0 4 = "gen-" then
+    int_of_string_opt (String.sub name 4 (String.length name - 4))
+  else None
+
+let generation_dirname g = Printf.sprintf "gen-%d" g
+
+(** Generation numbers present under [dir], unsorted. *)
+let generations ~dir : int list =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun n ->
+           match generation_of_dirname n with
+           | Some g when Sys.is_directory (Filename.concat dir n) -> Some g
+           | _ -> None)
+  else []
+
+(* Best-effort removal of one generation directory: a crashed GC leaves
+   at worst an extra stale generation, never a torn current one. *)
+let remove_generation ~dir g =
+  let gdir = Filename.concat dir (generation_dirname g) in
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat gdir f) with Sys_error _ -> ())
+       (Sys.readdir gdir)
+   with Sys_error _ -> ());
+  try Sys.rmdir gdir with Sys_error _ -> ()
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
@@ -226,9 +259,12 @@ let read_file path =
     temp name and renamed, so a crashed snapshot never leaves a torn
     manifest. All I/O passes the ["snapshot_io"] fault point (transient
     faults retried). Returns how many models were written. *)
-let snapshot ?(hints = []) t ~dir : int =
+let snapshot ?(hints = []) ?(keep = 2) t ~dir : int =
+  if keep < 1 then invalid_arg "Cache.snapshot: keep must be >= 1";
   locked t (fun () ->
-      mkdir_p dir;
+      let prior = generations ~dir in
+      let gen = 1 + List.fold_left max 0 prior in
+      mkdir_p (Filename.concat dir (generation_dirname gen));
       let models =
         Hashtbl.fold (fun name e acc -> (name, e) :: acc) t.entries []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -238,7 +274,9 @@ let snapshot ?(hints = []) t ~dir : int =
           (fun (name, e) ->
             let tunes = persist_tunes e.exe in
             let bytes = Nimble_vm.Serialize.to_bytes e.exe in
-            let file = snapshot_file name in
+            let file =
+              Filename.concat (generation_dirname gen) (snapshot_file name)
+            in
             io_retrying (fun () ->
                 write_file_atomic (Filename.concat dir file) bytes);
             let arena_hints =
@@ -265,13 +303,25 @@ let snapshot ?(hints = []) t ~dir : int =
         Json.Obj
           [
             ("schema", Json.String snapshot_schema);
+            ("generation", Json.Int gen);
             ("models", Json.List entries);
           ]
       in
+      (* the rename is the commit point: a crash before it leaves the old
+         manifest (and its generation) fully intact *)
       io_retrying (fun () ->
           write_file_atomic
             (Filename.concat dir "MANIFEST.json")
             (Json.to_string_pretty manifest));
+      (* GC: every generation older than the newest [keep] is dead — no
+         manifest can reference it anymore *)
+      let kept =
+        List.filteri (fun i _ -> i < keep)
+          (List.sort (fun a b -> compare b a) (gen :: prior))
+      in
+      List.iter
+        (fun g -> if not (List.mem g kept) then remove_generation ~dir g)
+        prior;
       List.length models)
 
 (** One model brought back by {!restore}. *)

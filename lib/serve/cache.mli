@@ -54,13 +54,24 @@ val register_impls : t -> Nimble_vm.Exe.t -> int
 val snapshot_schema : string
 
 (** Checkpoint every cached model to [dir]: persist live tune decisions,
-    serialize each executable to [<name>.nmblexe] (temp-write + rename,
-    so a crash never leaves a torn file), and record the set — with the
-    given per-model [hints] arena-bound dims — in a versioned
-    [MANIFEST.json]. All I/O passes the ["snapshot_io"] fault point
-    (transient faults retried, persistent propagate). Returns how many
-    models were written. *)
-val snapshot : ?hints:(string * int array list) list -> t -> dir:string -> int
+    serialize each executable to [gen-N/<name>.nmblexe] — each snapshot
+    gets a fresh generation subdirectory — and record the set (with the
+    given per-model [hints] arena-bound dims, and the generation number)
+    in a versioned top-level [MANIFEST.json]. Every file is temp-written
+    and renamed, the manifest last, so the manifest rename is the commit
+    point: a crash mid-snapshot leaves the previous generation fully
+    intact and referenced. After the commit, generations older than the
+    newest [keep] (default 2: current + one rollback) are
+    garbage-collected best-effort. All I/O passes the ["snapshot_io"]
+    fault point (transient faults retried, persistent propagate).
+    Returns how many models were written.
+    @raise Invalid_argument when [keep < 1]. *)
+val snapshot :
+  ?hints:(string * int array list) list -> ?keep:int -> t -> dir:string -> int
+
+(** Generation numbers currently present under [dir] (unsorted); the
+    manifest always references the highest one that was committed. *)
+val generations : dir:string -> int list
 
 (** One model brought back by {!restore}. *)
 type restored = {

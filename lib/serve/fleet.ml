@@ -293,9 +293,11 @@ let breaker_totals t ~model =
 
 (** Checkpoint the whole fleet to [dir]: every model's executable and
     live tune table, plus the bucket shapes each model has actually
-    served (the arena hints a restarted shard pre-warms at). Returns the
-    model count written. I/O passes the ["snapshot_io"] fault point. *)
-let snapshot t ~dir : int =
+    served (the arena hints a restarted shard pre-warms at). Each
+    checkpoint lands in a fresh [gen-N] subdirectory; [keep] (default 2)
+    generations are retained — see {!Cache.snapshot}. Returns the model
+    count written. I/O passes the ["snapshot_io"] fault point. *)
+let snapshot ?keep t ~dir : int =
   let hints =
     List.map
       (fun name ->
@@ -308,7 +310,7 @@ let snapshot t ~dir : int =
         (name, dims))
       t.order
   in
-  Cache.snapshot ~hints t.cache ~dir
+  Cache.snapshot ~hints ?keep t.cache ~dir
 
 (** Warm-restart one model from the snapshot in [dir]: shut its shard
     pool down, relink the snapshotted executable from the cache's link

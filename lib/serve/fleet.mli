@@ -90,8 +90,10 @@ val breaker_totals : t -> model:string -> Breaker.counters * int * int
 
 (** Checkpoint the fleet to [dir]: every model's executable, live tune
     table, and observed-bucket arena hints, under a versioned manifest
-    ({!Cache.snapshot}). Returns the model count written. *)
-val snapshot : t -> dir:string -> int
+    in a fresh [gen-N] generation subdirectory with the newest [keep]
+    (default 2) generations retained ({!Cache.snapshot}). Returns the
+    model count written. *)
+val snapshot : ?keep:int -> t -> dir:string -> int
 
 (** Warm-restart one model from the snapshot in [dir]: shut its pool
     down, relink from the cache's registry without recompiling, replay

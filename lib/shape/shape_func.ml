@@ -300,3 +300,45 @@ let fusible_as_consumer name =
   | Some { mode = Data_indep; _ } -> true
   | Some { mode = Data_dep | Upper_bound; _ } -> false
   | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-site classification (shape-value dominance, SoD²-style)         *)
+(* ------------------------------------------------------------------ *)
+
+let proven_attr = "proven"
+
+type site =
+  | Site_static  (** registered [Data_indep]: static by construction *)
+  | Site_proven of string
+      (** [Data_dep]/[Upper_bound] whose inputs the Classify pass proved
+          known at compile/binding time; payload names the proof *)
+  | Site_dynamic of mode  (** genuinely dynamic [Data_dep]/[Upper_bound] *)
+  | Site_unknown  (** no shape function registered *)
+
+let site_to_string = function
+  | Site_static -> "static"
+  | Site_proven p -> "proven:" ^ p
+  | Site_dynamic m -> mode_to_string m
+  | Site_unknown -> "unknown"
+
+(** Classify one operator call site. This is the single source of truth the
+    fusion pass, the memory planner and the lints all consult: the
+    registry gives the per-op mode, and a [proven] attribute stamped by the
+    Classify dominance pass upgrades a dynamic site. *)
+let classify ~name ~attrs =
+  match find name with
+  | None -> Site_unknown
+  | Some { mode = Data_indep; _ } -> Site_static
+  | Some { mode = (Data_dep | Upper_bound) as m; _ } -> (
+      match Attrs.find_str attrs proven_attr with
+      | Some proof -> Site_proven proof
+      | None -> Site_dynamic m)
+
+(** Site-aware fusion predicate: a call site may consume fused intermediate
+    results iff its output shape never needs runtime values — either the
+    op is [Data_indep] or the Classify pass proved this particular site's
+    value inputs statically known. *)
+let fusible_site ~name ~attrs =
+  match classify ~name ~attrs with
+  | Site_static | Site_proven _ -> true
+  | Site_dynamic _ | Site_unknown -> false

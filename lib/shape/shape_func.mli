@@ -42,5 +42,32 @@ val run : string -> attrs:Attrs.t -> input list -> Shape.t list
 val shape_only : Shape.t -> input
 val with_data : Tensor.t -> input
 
-(** The fusion-policy predicate: may this op consume fused intermediates? *)
+(** The fusion-policy predicate: may this op consume fused intermediates?
+    Registry-only (per-op mode); see {!fusible_site} for the site-aware
+    variant that also honours dominance proofs. *)
 val fusible_as_consumer : string -> bool
+
+(** Attribute key ([="proven"]) stamped on a call site by the Classify
+    shape-value dominance pass; its payload names the proof
+    ([static] / [sym] / [bound]). *)
+val proven_attr : string
+
+(** Per-call-site classification: the registry mode refined by any
+    dominance proof stamped on the site's attributes. *)
+type site =
+  | Site_static  (** registered [Data_indep]: static by construction *)
+  | Site_proven of string
+      (** [Data_dep]/[Upper_bound] whose value inputs Classify proved known
+          at compile/binding time; payload names the proof *)
+  | Site_dynamic of mode  (** genuinely dynamic [Data_dep]/[Upper_bound] *)
+  | Site_unknown  (** no shape function registered *)
+
+val site_to_string : site -> string
+
+(** Classify one operator call site — the single source of truth consulted
+    by fusion, memory planning and the lints. *)
+val classify : name:string -> attrs:Attrs.t -> site
+
+(** Site-aware fusion predicate: true iff the site's output shape never
+    needs runtime values ([Site_static] or [Site_proven]). *)
+val fusible_site : name:string -> attrs:Attrs.t -> bool

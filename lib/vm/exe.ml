@@ -39,8 +39,8 @@ type packed = {
   packed_name : string;
   kind : [ `Kernel | `Shape_func ];
   mode : string option;
-      (** shape-function mode ("data_indep" / "data_dep" / "upper_bound"),
-          carried for trace tagging; [None] for kernels *)
+      (** shape-function mode ("data_indep" / "data_dep" / "upper_bound" /
+          "proven"), carried for trace tagging; [None] for kernels *)
   run : Tensor.t list -> Tensor.t list;
 }
 

@@ -71,11 +71,36 @@ let fresh_dir =
     in
     dir
 
-let rm_rf dir =
+let rec rm_rf dir =
   if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
     Sys.rmdir dir
   end
+
+(* resolve a model's snapshot file through the manifest (files live in
+   per-generation subdirectories) *)
+let manifest_file dir name =
+  let manifest =
+    let ic = open_in_bin (Filename.concat dir "MANIFEST.json") in
+    Fun.protect ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+    |> Nimble_vm.Json.of_string
+  in
+  let models =
+    Nimble_vm.Json.to_list_exn (Nimble_vm.Json.member_exn "models" manifest)
+  in
+  let m =
+    List.find
+      (fun m ->
+        Nimble_vm.Json.to_string_exn (Nimble_vm.Json.member_exn "name" m) = name)
+      models
+  in
+  Filename.concat dir
+    (Nimble_vm.Json.to_string_exn (Nimble_vm.Json.member_exn "file" m))
 
 (* ----------------------------- breaker ------------------------------ *)
 
@@ -246,7 +271,7 @@ let test_snapshot_roundtrip () =
       (* the snapshot's executable bytes round-trip bitwise: re-serializing
          the restored exe reproduces the on-disk artifact exactly
          (bytecode, tune table and all) *)
-      let ic = open_in_bin (Filename.concat dir "a.nmblexe") in
+      let ic = open_in_bin (manifest_file dir "a") in
       let on_disk =
         Fun.protect ~finally:(fun () -> close_in ic)
           (fun () -> really_input_string ic (in_channel_length ic))
@@ -272,6 +297,48 @@ let test_snapshot_roundtrip () =
                 reference t.Obj.data
           | _ -> Alcotest.failf "%s did not serve after restart" model)
         before)
+
+(* ----------------------- snapshot generations ----------------------- *)
+
+(* repeated snapshots rotate: each lands in a fresh gen-N subdirectory,
+   the manifest always points at the newest, and only the last two
+   generations survive garbage collection *)
+let test_snapshot_rotation () =
+  let dir = fresh_dir () in
+  let fleet = Fleet.create ~config:(fleet_config ~total_workers:2) (specs ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fleet.shutdown fleet;
+      rm_rf dir)
+    (fun () ->
+      let reference =
+        match Fleet.run fleet ~model:"a" ~shape:[| 4 |] (input 4) with
+        | Ok (Obj.Tensor t) -> t.Obj.data
+        | _ -> Alcotest.fail "model a did not serve"
+      in
+      ignore (Fleet.snapshot fleet ~dir);
+      Alcotest.(check (list int)) "first snapshot is gen-1" [ 1 ]
+        (Cache.generations ~dir);
+      ignore (Fleet.snapshot fleet ~dir);
+      ignore (Fleet.snapshot fleet ~dir);
+      Alcotest.(check (list int)) "only the newest two survive GC" [ 2; 3 ]
+        (List.sort compare (Cache.generations ~dir));
+      Alcotest.(check bool) "manifest points into gen-3" true
+        (String.length (manifest_file dir "a") > 0
+        && Filename.basename (Filename.dirname (manifest_file dir "a")) = "gen-3");
+      (* keep=1 drops the rollback generation too *)
+      ignore (Fleet.snapshot ~keep:1 fleet ~dir);
+      Alcotest.(check (list int)) "keep=1 retains only gen-4" [ 4 ]
+        (Cache.generations ~dir);
+      (* and the rotated snapshot still restores and serves bitwise *)
+      let restored = Fleet.warm_restart fleet ~dir ~model:"a" in
+      Alcotest.(check string) "right model restored" "a" restored.Cache.r_name;
+      match Fleet.run fleet ~model:"a" ~shape:[| 4 |] (input 4) with
+      | Ok (Obj.Tensor t) ->
+          Alcotest.check tensor_bitwise "bitwise across rotated restart"
+            reference t.Obj.data
+      | Ok o -> Alcotest.failf "served %a" Obj.pp o
+      | Error e -> Alcotest.failf "restarted pool failed: %a" pp_error e)
 
 (* --------------------------- chaos restart -------------------------- *)
 
@@ -420,6 +487,8 @@ let () =
       ( "snapshot",
         [
           Alcotest.test_case "round trip is bitwise" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "generations rotate, GC keeps two" `Quick
+            test_snapshot_rotation;
           Alcotest.test_case "killed shard warm-restarts" `Quick
             test_chaos_warm_restart;
         ] );

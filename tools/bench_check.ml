@@ -27,11 +27,15 @@
 
    Checked per compile report: integer [instructions]; integer
    [registers_before]/[registers_after] with after <= before (dead-register
-   compaction never grows a frame); a non-empty [passes] list of
-   [{name, seconds, nodes_before, nodes_after}]; and a non-empty [verify]
-   list of [{name, seconds, violations}] whose [violations] are all zero —
-   a committed baseline must come from a pipeline the verifier and dialect
-   lints accept (docs/ANALYSIS.md).
+   compaction never grows a frame); classification fields with
+   sites_total >= classified_static >= 0 (top level and every [classify]
+   row) and — across all compile lines of the file — at least one report
+   with [fused_across_dynamic] > 0, so the committed baseline demonstrates
+   a fusion across a proven formerly-dynamic boundary; a non-empty
+   [passes] list of [{name, seconds, nodes_before, nodes_after}]; and a
+   non-empty [verify] list of [{name, seconds, violations}] whose
+   [violations] are all zero — a committed baseline must come from a
+   pipeline the verifier and dialect lints accept (docs/ANALYSIS.md).
 
    Checked per tune document ([nimble-tune/v1], the BENCH_tune.json
    baseline from the online-specialization bench): [title]/[model]
@@ -359,8 +363,15 @@ let check_fleet file lineno json =
   bool_true "bitwise_ok"
     "a fleet response diverged from the sequential reference"
 
+(* Across all compile-report lines of one file: at least one model must
+   show a fused group crossing a proven formerly-dynamic boundary, or the
+   classification pass is decorative (docs/ANALYSIS.md). *)
+let compile_fused_seen = ref false
+let compile_first_line = ref None
+
 (* a [nimble-compile/v1] line: the BENCH_compile.json baseline *)
 let check_compile file lineno json =
+  if !compile_first_line = None then compile_first_line := Some lineno;
   (match Json.member "instructions" json with
   | Some (Json.Int n) when n > 0 -> ()
   | Some (Json.Int _) -> fail file lineno "\"instructions\" is not positive"
@@ -379,6 +390,42 @@ let check_compile file lineno json =
            "registers_after %d > registers_before %d (compaction never grows a frame)"
            after before
    | _ -> ());
+  (* classification fields: candidate sites >= dominance-proven sites,
+     both non-negative, at top level and per classify-table row *)
+  (let nat ctx entry key =
+     match Json.member key entry with
+     | Some (Json.Int n) when n >= 0 -> Some n
+     | Some (Json.Int n) ->
+         fail file lineno "%s: %S is negative (%d)" ctx key n;
+         None
+     | _ ->
+         fail file lineno "%s: missing integer %S" ctx key;
+         None
+   in
+   let counted_vs_proven ctx entry =
+     (match (nat ctx entry "sites_total", nat ctx entry "classified_static") with
+     | Some total, Some proven when proven > total ->
+         fail file lineno
+           "%s: classified_static %d > sites_total %d (cannot prove more \
+            sites than exist)"
+           ctx proven total
+     | _ -> ());
+     nat ctx entry "fused_across_dynamic"
+   in
+   (match counted_vs_proven "report" json with
+   | Some n when n > 0 -> compile_fused_seen := true
+   | _ -> ());
+   match Json.member "classify" json with
+   | Some (Json.List rows) ->
+       List.iteri
+         (fun i row ->
+           let ctx = Fmt.str "classify row %d" i in
+           (match Json.member "fn" row with
+           | Some (Json.String _) -> ()
+           | _ -> fail file lineno "%s: missing string \"fn\"" ctx);
+           ignore (counted_vs_proven ctx row))
+         rows
+   | _ -> fail file lineno "missing \"classify\" list");
   let num ctx entry key =
     match Json.member key entry with
     | Some (Json.Float _) | Some (Json.Int _) -> ()
@@ -463,6 +510,8 @@ let check_file file =
   let ic = open_in file in
   let tables = ref 0 in
   let lineno = ref 0 in
+  compile_fused_seen := false;
+  compile_first_line := None;
   (try
      while true do
        let line = input_line ic in
@@ -491,7 +540,13 @@ let check_file file =
      done
    with End_of_file -> ());
   close_in ic;
-  if !tables = 0 then fail file 0 "no tables found (empty file)"
+  if !tables = 0 then fail file 0 "no tables found (empty file)";
+  match !compile_first_line with
+  | Some line when not !compile_fused_seen ->
+      fail file line
+        "no compile report has fused_across_dynamic > 0 (at least one zoo \
+         model must fuse across a proven dynamic boundary)"
+  | _ -> ()
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
